@@ -1,0 +1,421 @@
+//! Analytic cycle/traffic/energy model of CSP-H for full networks.
+//!
+//! The formulas here are the closed forms of the event counts the
+//! functional [`SerialCascadingArray`](crate::SerialCascadingArray)
+//! produces; the test suite cross-checks them on shared workloads.
+//!
+//! ## Dataflow accounting
+//!
+//! **IpOS** (convolutions): with chunk size `arr_w`, output pixels tile
+//! across the `arr_h` PE rows. Every surviving (row, chunk) sub-row costs
+//! one cycle per pixel tile, so
+//! `compute cycles = Σ_j count_j × ⌈P / arr_h⌉`, plus the 2-cycle flush
+//! stall per pass. Early stop means utilization is not degraded by
+//! sparsity differences across sub-rows (Section 5.3).
+//!
+//! **IpWS** (FC layers): filter rows are unrolled onto the PEs in bundles
+//! of `arr_h × T` rows (after the greedy least-to-most-sparse reorder);
+//! each bundle steps through `max(count)` chunks at `T` sub-row feeds per
+//! chunk, each feed serving the `P` token columns, plus one
+//! `accumulate_psums()` cycle per `T` sub-rows (Section 5.4).
+//!
+//! ## Traffic accounting (the one-time-access guarantee)
+//!
+//! * DRAM reads unique IFM data exactly once, and the weaved-compressed
+//!   weights (payload + chunk counts) exactly once.
+//! * The weight GLB streams the compressed weights into the array once per
+//!   pixel tile (IpOS) or once (IpWS, weights stationary).
+//! * The InAct GLB serves one activation load per (filter row, pixel);
+//!   chunk-dimension reuse happens *inside* the PEs by recycling.
+//! * OFM data is written once, quantized to 8 bits.
+
+use crate::config::CspHConfig;
+use crate::regbin::{regbin_index_of_chunk, regbin_len, NUM_REGBINS};
+use csp_models::{LayerShape, Network, SparsityProfile};
+use csp_pruning::reorder_rows_for_ipws;
+use csp_sim::{EnergyBreakdown, EnergyTable, MemoryPort, RunResult, TrafficClass};
+
+/// Per-layer simulation output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerRun {
+    /// Layer name.
+    pub name: String,
+    /// Cycles spent on this layer.
+    pub cycles: u64,
+    /// MACs executed.
+    pub macs: u64,
+    /// DRAM traffic of this layer.
+    pub dram: MemoryPort,
+    /// GLB traffic of this layer (all three buffers merged; per-byte
+    /// energies are applied per buffer before merging).
+    pub energy: EnergyBreakdown,
+}
+
+/// The analytic CSP-H model.
+#[derive(Debug, Clone)]
+pub struct CspH {
+    config: CspHConfig,
+    energy: EnergyTable,
+}
+
+impl CspH {
+    /// A model with the default Table 1 configuration and energies.
+    pub fn new(config: CspHConfig, energy: EnergyTable) -> Self {
+        CspH { config, energy }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CspHConfig {
+        &self.config
+    }
+
+    /// Simulate one layer under `profile`-synthesized chunk counts.
+    pub fn run_layer(&self, layer: &LayerShape, profile: &SparsityProfile) -> LayerRun {
+        let counts = profile
+            .with_chunk_size(self.config.arr_w)
+            .chunk_counts(layer);
+        self.run_layer_with_counts(layer, &counts)
+    }
+
+    /// Simulate one layer with explicit per-row chunk counts (e.g. from a
+    /// real CSP-A-pruned model).
+    pub fn run_layer_with_counts(&self, layer: &LayerShape, counts: &[usize]) -> LayerRun {
+        let cfg = &self.config;
+        let e = &self.energy;
+        let m = layer.m();
+        let c_out = layer.c_out();
+        let p = layer.pixels();
+        let n_chunks = c_out.div_ceil(cfg.arr_w);
+        assert_eq!(counts.len(), m, "one chunk count per filter row");
+
+        let nnz_chunks: u64 = counts.iter().map(|&c| c as u64).sum();
+        // Weight payload bytes: surviving chunks at 8-bit, last chunk may
+        // be partial.
+        let chunk_bytes = |n: usize| -> u64 {
+            let start = n * cfg.arr_w;
+            (cfg.arr_w.min(c_out - start)) as u64
+        };
+        let payload_bytes: u64 = counts
+            .iter()
+            .map(|&c| (0..c).map(chunk_bytes).sum::<u64>())
+            .sum();
+        let meta_bytes = m as u64; // one chunk-count byte per row
+        let macs: u64 = counts
+            .iter()
+            .map(|&c| (0..c).map(chunk_bytes).sum::<u64>())
+            .sum::<u64>()
+            * p as u64;
+
+        // Chunk capacity passes: layers with more chunks than the 62-entry
+        // buffer need multiple chunk windows (rare; ≤1984 filters fit).
+        let chunk_windows = n_chunks.div_ceil(cfg.accum_entries()).max(1) as u64;
+
+        let (compute_cycles, flush_stalls, act_glb_reads, wgt_glb_reads) = if layer.is_conv() {
+            // IpOS.
+            let tiles = p.div_ceil(cfg.arr_h) as u64;
+            let cycles = nnz_chunks * tiles * chunk_windows;
+            let stalls = 2 * tiles * chunk_windows;
+            let live_rows = counts.iter().filter(|&&c| c > 0).count() as u64;
+            let act_reads = live_rows * p as u64; // one load per (row, pixel)
+            let wgt_reads = (payload_bytes + meta_bytes) * tiles;
+            (cycles, stalls, act_reads, wgt_reads)
+        } else {
+            // IpWS: bundles of arr_h × T reordered rows.
+            let t = cfg.truncation_period.max(1);
+            let bundle = cfg.arr_h * t;
+            let order = reorder_rows_for_ipws(counts);
+            let mut cycles = 0u64;
+            for rows in order.chunks(bundle) {
+                let max_count = rows.iter().map(|&r| counts[r]).max().unwrap_or(0) as u64;
+                if max_count == 0 {
+                    continue;
+                }
+                // Sub-row feeds per chunk step: the bundle's rows spread
+                // over the arr_h parallel row groups (a partial final
+                // bundle needs proportionally fewer feeds), each feed
+                // serving the P token columns, plus one accumulate_psums()
+                // cycle per chunk step.
+                let feeds = rows.len().div_ceil(cfg.arr_h) as u64;
+                cycles += max_count * feeds * (p as u64) + max_count;
+            }
+            let stalls = 2 * (order.len().div_ceil(bundle) as u64);
+            let live_rows = counts.iter().filter(|&&c| c > 0).count() as u64;
+            let act_reads = live_rows * p as u64;
+            // Weights stationary: streamed into the array once (unicast).
+            let wgt_reads = payload_bytes + meta_bytes;
+            (cycles, stalls, act_reads, wgt_reads)
+        };
+        let cycles = compute_cycles + flush_stalls;
+
+        // DRAM traffic: one-time unique IFM, one-time compressed weights,
+        // one-time OFM (8-bit).
+        let mut dram = MemoryPort::new("DRAM", e.dram_read_pj, e.dram_write_pj);
+        dram.read(layer.ifm_elems() as u64, TrafficClass::IfmUnique);
+        dram.read(payload_bytes, TrafficClass::Weight);
+        dram.read(meta_bytes, TrafficClass::WeightMeta);
+        dram.write(layer.ofm_elems() as u64, TrafficClass::Ofm);
+
+        // GLB traffic.
+        let mut inact = MemoryPort::new("InAct GLB", e.csp_inact_read_pj, e.csp_inact_read_pj);
+        inact.read(act_glb_reads, TrafficClass::IfmUnique);
+        let mut wgt = MemoryPort::new("Wgt GLB", e.csp_wgt_read_pj, e.csp_wgt_read_pj);
+        wgt.read(wgt_glb_reads, TrafficClass::Weight);
+        let mut outact =
+            MemoryPort::new("OutAct GLB", e.csp_outact_write_pj, e.csp_outact_write_pj);
+        outact.write(layer.ofm_elems() as u64, TrafficClass::Ofm);
+        if !layer.is_conv() {
+            // IpWS accumulates partial outputs across row bundles: RMW of
+            // 16-bit psums per extra bundle.
+            let bundles = m.div_ceil(cfg.arr_h * cfg.truncation_period.max(1)) as u64;
+            if bundles > 1 {
+                let psum_bytes = 2 * layer.ofm_elems() as u64 * (bundles - 1);
+                outact.read(psum_bytes, TrafficClass::PartialSum);
+                outact.write(psum_bytes, TrafficClass::PartialSum);
+            }
+        }
+
+        // RegBin dynamic energy: per chunk access, the engaged bin toggles
+        // its head entry; deeper rows rotate whole bins. Updates happen
+        // every T cycles (Section 5.2's switching reduction), and bins
+        // untouched in a pass are clock-gated.
+        let bits = cfg.regbin_bits as f64;
+        let mut regbin_pj = 0.0f64;
+        let folds_per_chunk = (p as f64 / cfg.arr_h as f64).ceil(); // per tile
+        for &c in counts {
+            for n in 0..c {
+                let b = regbin_index_of_chunk(n.min(61));
+                // Head RMW toggle.
+                regbin_pj += bits * e.regbin_bit_toggle_pj * folds_per_chunk;
+                // Rotation of the engaged bin when the row reaches past the
+                // bin head.
+                if n > crate::regbin::regbin_start(b) {
+                    regbin_pj +=
+                        regbin_len(b) as f64 * bits * e.regbin_bit_toggle_pj * folds_per_chunk
+                            / cfg.truncation_period.max(1) as f64;
+                }
+            }
+        }
+        // Clock + switching power of the register bins: every clocked bit
+        // costs `regbin_bit_toggle_pj` per cycle. Per-pass clock gating
+        // stops the clock of bins above the layer's maximum chunk count;
+        // updating the FSMs once every `T` cycles (Section 5.2) lowers the
+        // switching activity of the remaining bits.
+        let max_count = counts.iter().copied().max().unwrap_or(0);
+        let active_bins = if max_count == 0 {
+            0
+        } else {
+            regbin_index_of_chunk((max_count - 1).min(61)) + 1
+        };
+        let clocked_bins = if cfg.clock_gating {
+            active_bins
+        } else {
+            NUM_REGBINS
+        };
+        let clocked_bits: usize = (0..clocked_bins)
+            .map(|b| regbin_len(b) * cfg.regbin_bits as usize)
+            .sum();
+        let activity = 0.5 + 0.5 / cfg.truncation_period.max(1) as f64;
+        let clock_pj = clocked_bits as f64
+            * cfg.num_pes() as f64
+            * cycles as f64
+            * e.regbin_bit_toggle_pj
+            * activity;
+        regbin_pj *= cfg.num_pes() as f64 / cfg.arr_w as f64; // per-column replication
+        regbin_pj += clock_pj;
+
+        let mut energy = EnergyBreakdown::new();
+        energy.add("DRAM IFM U", dram.energy_pj_class(TrafficClass::IfmUnique));
+        energy.add("DRAM WGT", dram.energy_pj_class(TrafficClass::Weight));
+        energy.add("DRAM META", dram.energy_pj_class(TrafficClass::WeightMeta));
+        energy.add("DRAM OFM", dram.energy_pj_class(TrafficClass::Ofm));
+        energy.add("GLB InAct", inact.energy_pj());
+        energy.add("GLB Wgt", wgt.energy_pj());
+        energy.add("GLB OutAct", outact.energy_pj());
+        energy.add("PE MAC", macs as f64 * e.mac_pj);
+        energy.add("PE RegBin", regbin_pj);
+        energy.add("SRAM leak", e.sram_leak_pj(cfg.total_glb_bytes(), cycles));
+
+        LayerRun {
+            name: layer.name.clone(),
+            cycles,
+            macs,
+            dram,
+            energy,
+        }
+    }
+
+    /// Simulate a whole network under `profile` (conv layers on IpOS, FC
+    /// layers on IpWS).
+    pub fn run_network(&self, net: &Network, profile: &SparsityProfile) -> RunResult {
+        let mut cycles = 0u64;
+        let mut macs = 0u64;
+        let mut energy = EnergyBreakdown::new();
+        for layer in &net.layers {
+            let run = self.run_layer(layer, profile);
+            cycles += run.cycles;
+            macs += run.macs;
+            energy.absorb(&run.energy);
+        }
+        RunResult {
+            accelerator: "CSP-H".into(),
+            network: net.name.into(),
+            cycles,
+            energy,
+            macs_executed: macs,
+        }
+    }
+
+    /// Per-layer runs for a whole network (Fig. 1-style layer-wise plots).
+    pub fn run_network_layers(&self, net: &Network, profile: &SparsityProfile) -> Vec<LayerRun> {
+        net.layers
+            .iter()
+            .map(|l| self.run_layer(l, profile))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::SerialCascadingArray;
+    use csp_models::{vgg16, Dataset};
+    use csp_pruning::{ChunkedLayout, CspMask};
+    use csp_tensor::Tensor;
+
+    fn model() -> CspH {
+        CspH::new(CspHConfig::default(), EnergyTable::default())
+    }
+
+    #[test]
+    fn analytic_cycles_match_functional_array() {
+        // Small conv-like GEMM: cross-check analytic IpOS cycles against
+        // the functional Serial Cascading array.
+        let cfg = CspHConfig {
+            arr_w: 4,
+            arr_h: 2,
+            truncation_period: 1,
+            ..CspHConfig::default()
+        };
+        let counts = vec![2usize, 1, 2, 0];
+        let (m, c_out, p) = (4usize, 8usize, 6usize);
+        // Functional.
+        let arr = SerialCascadingArray::new(cfg, None);
+        let layout = ChunkedLayout::new(m, c_out, 4).unwrap();
+        let mask = CspMask::from_chunk_counts(layout, counts.clone()).unwrap();
+        let w = mask
+            .apply(&Tensor::from_fn(&[m, c_out], |i| (i as f32 * 0.3).sin()))
+            .unwrap();
+        let a = Tensor::from_fn(&[m, p], |i| (i as f32 * 0.7).cos());
+        let (_, fstats) = arr.run_gemm(&w, &counts, &a).unwrap();
+        // Analytic: a conv layer with M = 4, c_out = 8, P = 6.
+        let layer = LayerShape::conv("x", 1, c_out, 2, 1, 0, 3, 4); // M = 4, P = 2*3 = 6
+        assert_eq!(layer.m(), m);
+        assert_eq!(layer.pixels(), p);
+        let csph = CspH::new(cfg, EnergyTable::default());
+        let run = csph.run_layer_with_counts(&layer, &counts);
+        assert_eq!(run.cycles, fstats.cycles);
+        assert_eq!(run.macs, fstats.macs);
+    }
+
+    #[test]
+    fn one_time_ifm_access() {
+        let m = model();
+        let layer = LayerShape::conv("c", 64, 128, 3, 1, 1, 28, 28);
+        let profile = SparsityProfile::new(0.7, 1);
+        let run = m.run_layer(&layer, &profile);
+        // DRAM IFM reads equal the unique IFM size exactly — the paper's
+        // headline guarantee.
+        assert_eq!(
+            run.dram.bytes_read_class(TrafficClass::IfmUnique),
+            layer.ifm_elems() as u64
+        );
+        assert_eq!(run.dram.bytes_read_class(TrafficClass::IfmRefetch), 0);
+    }
+
+    #[test]
+    fn sparsity_reduces_cycles_and_macs() {
+        let m = model();
+        let layer = LayerShape::conv("c", 64, 128, 3, 1, 1, 28, 28);
+        let dense = m.run_layer(&layer, &SparsityProfile::new(0.0, 1));
+        let sparse = m.run_layer(&layer, &SparsityProfile::new(0.75, 1));
+        assert!(sparse.cycles < dense.cycles);
+        assert!(sparse.macs < dense.macs);
+        let ratio = sparse.macs as f64 / dense.macs as f64;
+        assert!((ratio - 0.25).abs() < 0.05, "MAC ratio {ratio}");
+    }
+
+    #[test]
+    fn dense_conv_cycles_match_throughput_bound() {
+        // Dense layer: cycles ≈ MACs / 1024 (full PE utilization).
+        let m = model();
+        let layer = LayerShape::conv("c", 64, 128, 3, 1, 1, 32, 32);
+        let run = m.run_layer(&layer, &SparsityProfile::new(0.0, 1));
+        let bound = layer.macs() / 1024;
+        let slack = run.cycles as f64 / bound as f64;
+        assert!(
+            (1.0..1.2).contains(&slack),
+            "cycles {} vs bound {bound}",
+            run.cycles
+        );
+    }
+
+    #[test]
+    fn fc_layer_uses_ipws_and_runs() {
+        let m = model();
+        let layer = LayerShape::fc("ffn", 512, 2048, 32);
+        let run = m.run_layer(&layer, &SparsityProfile::new(0.8, 2));
+        assert!(run.cycles > 0);
+        assert!(run.macs < layer.macs());
+        // Weight DRAM traffic shrinks with sparsity.
+        assert!(run.dram.bytes_read_class(TrafficClass::Weight) < layer.weight_elems() as u64);
+    }
+
+    #[test]
+    fn network_run_aggregates_layers() {
+        let m = model();
+        let net = vgg16(Dataset::Cifar10);
+        let profile = SparsityProfile::new(0.875, 3);
+        let result = m.run_network(&net, &profile);
+        let layers = m.run_network_layers(&net, &profile);
+        assert_eq!(layers.len(), net.layers.len());
+        assert_eq!(result.cycles, layers.iter().map(|l| l.cycles).sum::<u64>());
+        let esum: f64 = layers.iter().map(|l| l.energy.total_pj()).sum();
+        assert!((result.total_energy_pj() - esum).abs() < esum * 1e-9);
+    }
+
+    #[test]
+    fn energy_components_sum_to_total() {
+        let m = model();
+        let layer = LayerShape::conv("c", 32, 64, 3, 1, 1, 16, 16);
+        let run = m.run_layer(&layer, &SparsityProfile::new(0.5, 4));
+        let sum: f64 = run.energy.components().map(|(_, v)| v).sum();
+        assert!((sum - run.energy.total_pj()).abs() < 1e-6);
+        assert!(run.energy.component("DRAM IFM U") > 0.0);
+        assert!(run.energy.component("PE MAC") > 0.0);
+    }
+
+    #[test]
+    fn clock_gating_saves_regbin_energy() {
+        let cfg = CspHConfig::default();
+        let gated = CspH::new(cfg, EnergyTable::default());
+        let ungated = CspH::new(
+            CspHConfig {
+                clock_gating: false,
+                ..cfg
+            },
+            EnergyTable::default(),
+        );
+        let layer = LayerShape::conv("c", 64, 128, 3, 1, 1, 28, 28);
+        // High sparsity → few chunks → most bins gated.
+        let profile = SparsityProfile::new(0.9, 5);
+        let eg = gated
+            .run_layer(&layer, &profile)
+            .energy
+            .component("PE RegBin");
+        let eu = ungated
+            .run_layer(&layer, &profile)
+            .energy
+            .component("PE RegBin");
+        assert!(eg < eu, "gated {eg} vs ungated {eu}");
+    }
+}

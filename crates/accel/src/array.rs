@@ -1,0 +1,455 @@
+//! The Serial Cascading PE array (Section 4, Fig. 5b) — functional model.
+//!
+//! The array executes the IpOS dataflow on real values: output pixels map
+//! to PE rows, the `arr_w` filters of the current chunk map to PE columns,
+//! and every PE keeps per-chunk partial sums in its accumulation buffer.
+//! Activations are loaded once per (filter row, pixel tile) and *recycled*
+//! across chunks; the per-row chunk count drives the early-stop control.
+//!
+//! This model is the golden reference for the analytic cycle/traffic
+//! formulas in [`crate::analytic`]: the test suites assert that both agree
+//! on cycles and MAC counts, and that the computed output equals the dense
+//! GEMM exactly when truncation is disabled.
+
+use crate::config::CspHConfig;
+use crate::pe::Pe;
+use csp_pruning::truncation::TruncationConfig;
+use csp_tensor::{im2col, Conv2dSpec, Result, Tensor, TensorError};
+
+/// Cycle/traffic statistics of one functional array run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArrayStats {
+    /// Compute cycles (one cycle per sub-row step per pixel tile).
+    pub cycles: u64,
+    /// MACs executed (zero-weight chunks are never issued).
+    pub macs: u64,
+    /// Flush stall cycles exposed between passes.
+    pub flush_stalls: u64,
+    /// Activation values loaded from the InAct GLB into PEs.
+    pub act_loads: u64,
+    /// Activation values recycled inside PEs (reuse events that would have
+    /// been buffer reads on a conventional accelerator).
+    pub act_recycles: u64,
+    /// Weight values streamed from the weight GLB.
+    pub wgt_loads: u64,
+}
+
+/// The functional Serial Cascading array.
+#[derive(Debug, Clone)]
+pub struct SerialCascadingArray {
+    config: CspHConfig,
+    truncation: Option<TruncationConfig>,
+}
+
+impl SerialCascadingArray {
+    /// An array with the given configuration; `truncation == None` makes
+    /// the datapath exact (30-bit-equivalent partial sums).
+    pub fn new(config: CspHConfig, truncation: Option<TruncationConfig>) -> Self {
+        SerialCascadingArray { config, truncation }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CspHConfig {
+        &self.config
+    }
+
+    /// Execute `Wᵀ·A` where `weights` is the `M × c_out` filter matrix,
+    /// `chunk_counts` the per-row surviving chunk counts (chunk size
+    /// `arr_w`), and `acts` the `M × P` activation matrix. Returns the
+    /// `c_out × P` output and run statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for mismatched operands or when `c_out`
+    /// exceeds the accumulation buffer's 62-chunk capacity times `arr_w`.
+    pub fn run_gemm(
+        &self,
+        weights: &Tensor,
+        chunk_counts: &[usize],
+        acts: &Tensor,
+    ) -> Result<(Tensor, ArrayStats)> {
+        let (arr_w, arr_h, t_period) = (
+            self.config.arr_w,
+            self.config.arr_h,
+            self.config.truncation_period,
+        );
+        if weights.rank() != 2 || acts.rank() != 2 || weights.dims()[0] != acts.dims()[0] {
+            return Err(TensorError::IncompatibleShapes {
+                op: "serial_cascading_gemm",
+                lhs: weights.dims().to_vec(),
+                rhs: acts.dims().to_vec(),
+            });
+        }
+        let (m, c_out) = (weights.dims()[0], weights.dims()[1]);
+        let p = acts.dims()[1];
+        if chunk_counts.len() != m {
+            return Err(TensorError::InvalidParameter {
+                what: format!("chunk_counts length {} != M {}", chunk_counts.len(), m),
+            });
+        }
+        let n_chunks = c_out.div_ceil(arr_w);
+        if let Some(&bad) = chunk_counts.iter().find(|&&c| c > n_chunks) {
+            return Err(TensorError::InvalidParameter {
+                what: format!("chunk count {bad} exceeds N={n_chunks}"),
+            });
+        }
+        // Layers with more chunks than the 62-entry accumulation buffer run
+        // in sequential chunk windows: each window is an independent pass
+        // over a 62-chunk column slice (window outputs are disjoint filter
+        // sets, so no cross-window accumulation is needed).
+        if n_chunks > self.config.accum_entries() {
+            let window_chunks = self.config.accum_entries();
+            let mut out = Tensor::zeros(&[c_out, p]);
+            let mut stats = ArrayStats::default();
+            for w0 in (0..n_chunks).step_by(window_chunks) {
+                let w1 = (w0 + window_chunks).min(n_chunks);
+                let col0 = w0 * arr_w;
+                let col1 = (w1 * arr_w).min(c_out);
+                // Slice the weight columns and rebase the chunk counts.
+                let mut wslice = Tensor::zeros(&[m, col1 - col0]);
+                for j in 0..m {
+                    wslice.as_mut_slice()[j * (col1 - col0)..(j + 1) * (col1 - col0)]
+                        .copy_from_slice(&weights.as_slice()[j * c_out + col0..j * c_out + col1]);
+                }
+                let counts_slice: Vec<usize> = chunk_counts
+                    .iter()
+                    .map(|&c| c.saturating_sub(w0).min(w1 - w0))
+                    .collect();
+                let (o, s) = self.run_gemm(&wslice, &counts_slice, acts)?;
+                for col in 0..(col1 - col0) {
+                    for pix in 0..p {
+                        out.set(&[col0 + col, pix], o.get(&[col, pix])?)?;
+                    }
+                }
+                stats.cycles += s.cycles;
+                stats.macs += s.macs;
+                stats.flush_stalls += s.flush_stalls;
+                stats.act_loads += s.act_loads;
+                stats.act_recycles += s.act_recycles;
+                stats.wgt_loads += s.wgt_loads;
+            }
+            return Ok((out, stats));
+        }
+
+        let wd = weights.as_slice();
+        let ad = acts.as_slice();
+        let mut out = Tensor::zeros(&[c_out, p]);
+        let mut stats = ArrayStats::default();
+        // Group rows by the truncation-period feeding pattern: T MACs per
+        // chunk before a fold means T consecutive filter rows per group.
+        let group_rows = t_period.max(1);
+
+        for tile_start in (0..p).step_by(arr_h) {
+            let tile = tile_start..(tile_start + arr_h).min(p);
+            // One PE per (pixel-in-tile, column-in-chunk).
+            let mut pes: Vec<Pe> = (0..tile.len() * arr_w)
+                .map(|_| Pe::new(self.truncation))
+                .collect();
+            // Track activation residency: a PE row's activation for filter
+            // row j is loaded on j's first chunk step and recycled after.
+            for group in (0..m).collect::<Vec<_>>().chunks(group_rows) {
+                let max_count = group.iter().map(|&j| chunk_counts[j]).max().unwrap_or(0);
+                for n in 0..max_count {
+                    let mut fed_any = false;
+                    for &j in group {
+                        let count = chunk_counts[j];
+                        if n >= count {
+                            continue; // early stop for this row
+                        }
+                        fed_any = true;
+                        stats.cycles += 1;
+                        // Activation load on first chunk, recycle after.
+                        if n == 0 {
+                            stats.act_loads += tile.len() as u64;
+                        } else {
+                            stats.act_recycles += tile.len() as u64;
+                        }
+                        let chunk_start = n * arr_w;
+                        let chunk_end = (chunk_start + arr_w).min(c_out);
+                        stats.wgt_loads += (chunk_end - chunk_start) as u64;
+                        for (pi, pixel) in tile.clone().enumerate() {
+                            let a = ad[j * p + pixel];
+                            for (ci, col) in (chunk_start..chunk_end).enumerate() {
+                                let w = wd[j * c_out + col];
+                                pes[pi * arr_w + ci].mac(a, w, n, count);
+                                stats.macs += 1;
+                            }
+                        }
+                    }
+                    if fed_any {
+                        // RB step: fold IRs into the chunk's RegBin.
+                        for &j in group.iter().take(1) {
+                            let _ = j;
+                        }
+                        for (pi, _) in tile.clone().enumerate() {
+                            for ci in 0..arr_w {
+                                pes[pi * arr_w + ci].fold(n, max_count.min(62));
+                            }
+                        }
+                    }
+                }
+            }
+            // End of pass: flush all PEs and scatter into the output.
+            let mut pass_stall = 0u64;
+            for (pi, pixel) in tile.clone().enumerate() {
+                for ci in 0..arr_w {
+                    let (psums, fstats) = pes[pi * arr_w + ci].flush();
+                    pass_stall = pass_stall.max(fstats.stall_cycles);
+                    for (n, &v) in psums.iter().enumerate().take(n_chunks) {
+                        let col = n * arr_w + ci;
+                        if col < c_out && v != 0.0 {
+                            out.set(&[col, pixel], v)?;
+                        }
+                    }
+                }
+            }
+            stats.flush_stalls += pass_stall;
+        }
+        stats.cycles += stats.flush_stalls;
+        Ok((out, stats))
+    }
+
+    /// Execute a 2-D convolution under IpOS: the input `(c_in, h, w)` is
+    /// lowered with im2col (each row is one filter row, matching the CSP
+    /// layout), then run through [`run_gemm`](Self::run_gemm). `weights`
+    /// is the `M × c_out` flattened filter matrix. Returns the
+    /// `(c_out, oh, ow)` output feature map and run statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the lowering or the GEMM.
+    pub fn run_conv(
+        &self,
+        input: &Tensor,
+        weights: &Tensor,
+        chunk_counts: &[usize],
+        spec: Conv2dSpec,
+    ) -> Result<(Tensor, ArrayStats)> {
+        let cols = im2col(input, spec)?;
+        let (out, stats) = self.run_gemm(weights, chunk_counts, &cols)?;
+        let (oh, ow) = (spec.out_dim(input.dims()[1]), spec.out_dim(input.dims()[2]));
+        let c_out = weights.dims()[1];
+        Ok((out.reshape(&[c_out, oh, ow])?, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_pruning::{ChunkedLayout, CspMask};
+    use csp_tensor::matmul_at_b;
+
+    fn small_config(arr_w: usize, arr_h: usize, t: usize) -> CspHConfig {
+        CspHConfig {
+            arr_w,
+            arr_h,
+            truncation_period: t,
+            ..CspHConfig::default()
+        }
+    }
+
+    fn workload(m: usize, c_out: usize, p: usize) -> (Tensor, Tensor) {
+        let w = Tensor::from_fn(&[m, c_out], |i| ((i as f32) * 0.61).sin());
+        let a = Tensor::from_fn(&[m, p], |i| ((i as f32) * 0.37).cos());
+        (w, a)
+    }
+
+    #[test]
+    fn dense_gemm_matches_reference() {
+        let cfg = small_config(4, 4, 4);
+        let arr = SerialCascadingArray::new(cfg, None);
+        let (w, a) = workload(6, 8, 5);
+        let counts = vec![2usize; 6]; // all chunks survive (8/4 = 2)
+        let (out, stats) = arr.run_gemm(&w, &counts, &a).unwrap();
+        let expected = matmul_at_b(&w, &a).unwrap();
+        for (x, y) in out.as_slice().iter().zip(expected.as_slice()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+        assert_eq!(stats.macs, 6 * 8 * 5);
+    }
+
+    #[test]
+    fn masked_gemm_matches_masked_reference() {
+        let cfg = small_config(4, 2, 2);
+        let arr = SerialCascadingArray::new(cfg, None);
+        let (w, a) = workload(5, 12, 3);
+        let layout = ChunkedLayout::new(5, 12, 4).unwrap();
+        let counts = vec![3usize, 1, 2, 0, 3];
+        let mask = CspMask::from_chunk_counts(layout, counts.clone()).unwrap();
+        let wp = mask.apply(&w).unwrap();
+        let (out, stats) = arr.run_gemm(&wp, &counts, &a).unwrap();
+        let expected = matmul_at_b(&wp, &a).unwrap();
+        for (x, y) in out.as_slice().iter().zip(expected.as_slice()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+        // Early stop: MACs = surviving weights × pixels.
+        let nnz_chunks: usize = counts.iter().sum();
+        assert_eq!(stats.macs, (nnz_chunks * 4 * 3) as u64);
+    }
+
+    #[test]
+    fn cycles_equal_nnz_chunks_times_tiles() {
+        let cfg = small_config(4, 2, 1);
+        let arr = SerialCascadingArray::new(cfg, None);
+        let (w, a) = workload(4, 8, 6); // P = 6 → 3 tiles of arr_h = 2
+        let counts = vec![2usize, 1, 2, 0];
+        let layout = ChunkedLayout::new(4, 8, 4).unwrap();
+        let mask = CspMask::from_chunk_counts(layout, counts.clone()).unwrap();
+        let wp = mask.apply(&w).unwrap();
+        let (_, stats) = arr.run_gemm(&wp, &counts, &a).unwrap();
+        let nnz_chunks: u64 = counts.iter().sum::<usize>() as u64;
+        let tiles = 3u64;
+        assert_eq!(stats.cycles - stats.flush_stalls, nnz_chunks * tiles);
+        // Flush stall is 2 cycles per pass with a dirty RB0.
+        assert_eq!(stats.flush_stalls, 2 * tiles);
+    }
+
+    #[test]
+    fn activation_loaded_once_then_recycled() {
+        let cfg = small_config(2, 4, 1);
+        let arr = SerialCascadingArray::new(cfg, None);
+        let (w, a) = workload(3, 8, 4); // N = 4 chunks
+        let counts = vec![4usize, 4, 4];
+        let (_, stats) = arr.run_gemm(&w, &counts, &a).unwrap();
+        // One load per (row, pixel); recycles for the remaining chunks.
+        assert_eq!(stats.act_loads, 3 * 4);
+        assert_eq!(stats.act_recycles, 3 * 4 * 3); // (N−1) recycles each
+    }
+
+    #[test]
+    fn truncated_run_matches_truncation_model() {
+        let t = TruncationConfig::new(8, 8, 0.05).unwrap();
+        let cfg = small_config(4, 4, 8);
+        let arr = SerialCascadingArray::new(cfg, Some(t));
+        let (w, a) = workload(6, 4, 2);
+        let counts = vec![1usize; 6];
+        let (out, _) = arr.run_gemm(&w, &counts, &a).unwrap();
+        // The array folds the IR after each group of `period` rows of the
+        // same chunk; the result stays within one truncation step per fold
+        // of the exact value.
+        let exact = matmul_at_b(&w, &a).unwrap();
+        let folds = (6.0f32 / 8.0).ceil();
+        for (x, y) in out.as_slice().iter().zip(exact.as_slice()) {
+            assert!((x - y).abs() <= 0.05 * (folds + 1.0), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let arr = SerialCascadingArray::new(small_config(4, 4, 4), None);
+        let w = Tensor::zeros(&[4, 8]);
+        let a = Tensor::zeros(&[5, 3]);
+        assert!(arr.run_gemm(&w, &[2; 4], &a).is_err());
+        let a2 = Tensor::zeros(&[4, 3]);
+        assert!(arr.run_gemm(&w, &[2; 3], &a2).is_err()); // counts length
+        assert!(arr.run_gemm(&w, &[9; 4], &a2).is_err()); // counts too large
+    }
+
+    #[test]
+    fn oversized_filter_count_runs_in_chunk_windows() {
+        // 63 chunks > 62-entry capacity → two windows, still exact.
+        let arr = SerialCascadingArray::new(small_config(2, 2, 1), None);
+        let (m, c_out, p) = (2usize, 2 * 63, 3usize);
+        let w = Tensor::from_fn(&[m, c_out], |i| ((i as f32) * 0.11).sin());
+        let a = Tensor::from_fn(&[m, p], |i| ((i as f32) * 0.37).cos());
+        let (out, stats) = arr.run_gemm(&w, &[63, 63], &a).unwrap();
+        let expected = matmul_at_b(&w, &a).unwrap();
+        for (x, y) in out.as_slice().iter().zip(expected.as_slice()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+        assert_eq!(stats.macs, (m * c_out * p) as u64);
+        // Two windows → two flush sequences per pixel tile.
+        let tiles = (p as u64).div_ceil(2);
+        assert_eq!(stats.flush_stalls, 2 * 2 * tiles);
+    }
+
+    #[test]
+    fn run_conv_matches_dense_conv2d() {
+        use csp_tensor::conv2d;
+        let cfg = small_config(4, 4, 2);
+        let arr = SerialCascadingArray::new(cfg, None);
+        // 2-channel 5x5 input, 8 filters of 3x3 → M = 18, P = 25.
+        let input = Tensor::from_fn(&[2, 5, 5], |i| ((i as f32) * 0.37).sin());
+        let w4 = Tensor::from_fn(&[8, 2, 3, 3], |i| ((i as f32) * 0.61).cos());
+        let spec = Conv2dSpec::new(3, 1, 1);
+        // Flattened CSP layout: matrix[(ci*3+ky)*3+kx][o] = w4[o][ci][ky][kx].
+        let m = 18usize;
+        let flat = Tensor::from_fn(&[m, 8], |i| {
+            let (row, col) = (i / 8, i % 8);
+            w4.as_slice()[col * m + row]
+        });
+        let counts = vec![2usize; m]; // dense: 8 filters / chunk 4 = 2 chunks
+        let (got, stats) = arr.run_conv(&input, &flat, &counts, spec).unwrap();
+        let expected = conv2d(&input, &w4, spec).unwrap();
+        assert_eq!(got.dims(), expected.dims());
+        for (x, y) in got.as_slice().iter().zip(expected.as_slice()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+        assert_eq!(stats.macs, 18 * 8 * 25);
+    }
+
+    #[test]
+    fn partial_last_chunk_is_exact() {
+        // c_out = 10 with arr_w = 4: chunks of width 4, 4, 2.
+        let cfg = small_config(4, 3, 2);
+        let arr = SerialCascadingArray::new(cfg, None);
+        let (m, c_out, p) = (5usize, 10usize, 4usize);
+        let counts = vec![3usize, 2, 1, 3, 0];
+        let layout = ChunkedLayout::new(m, c_out, 4).unwrap();
+        let mask = CspMask::from_chunk_counts(layout, counts.clone()).unwrap();
+        let w = mask
+            .apply(&Tensor::from_fn(&[m, c_out], |i| ((i as f32) * 0.21).sin()))
+            .unwrap();
+        let acts = Tensor::from_fn(&[m, p], |i| ((i as f32) * 0.57).cos());
+        let (out, stats) = arr.run_gemm(&w, &counts, &acts).unwrap();
+        let expected = matmul_at_b(&w, &acts).unwrap();
+        for (x, y) in out.as_slice().iter().zip(expected.as_slice()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+        // MACs respect the partial chunk width: counts per row map to
+        // 4+4+2 column coverage.
+        let widths = [4usize, 4, 2];
+        let surviving: u64 = counts
+            .iter()
+            .map(|&c| widths[..c].iter().sum::<usize>() as u64)
+            .sum();
+        assert_eq!(stats.macs, surviving * p as u64);
+    }
+
+    #[test]
+    fn strided_conv_runs_exactly() {
+        use csp_tensor::conv2d;
+        let cfg = small_config(4, 4, 2);
+        let arr = SerialCascadingArray::new(cfg, None);
+        let input = Tensor::from_fn(&[3, 6, 6], |i| ((i as f32) * 0.41).sin());
+        let w4 = Tensor::from_fn(&[4, 3, 3, 3], |i| ((i as f32) * 0.19).cos());
+        let spec = Conv2dSpec::new(3, 2, 1); // stride 2
+        let m = 27usize;
+        let flat = Tensor::from_fn(&[m, 4], |i| {
+            let (row, col) = (i / 4, i % 4);
+            w4.as_slice()[col * m + row]
+        });
+        let counts = vec![1usize; m];
+        let (got, _) = arr.run_conv(&input, &flat, &counts, spec).unwrap();
+        let expected = conv2d(&input, &w4, spec).unwrap();
+        assert_eq!(got.dims(), expected.dims());
+        for (x, y) in got.as_slice().iter().zip(expected.as_slice()) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn empty_rows_cost_nothing() {
+        let cfg = small_config(4, 4, 1);
+        let arr = SerialCascadingArray::new(cfg, None);
+        let (w, a) = workload(4, 8, 2);
+        let zero_counts = vec![0usize; 4];
+        let layout = ChunkedLayout::new(4, 8, 4).unwrap();
+        let mask = CspMask::from_chunk_counts(layout, zero_counts.clone()).unwrap();
+        let wp = mask.apply(&w).unwrap();
+        let (out, stats) = arr.run_gemm(&wp, &zero_counts, &a).unwrap();
+        assert_eq!(stats.macs, 0);
+        assert_eq!(stats.cycles, 0);
+        assert_eq!(out.norm_l2(), 0.0);
+    }
+}

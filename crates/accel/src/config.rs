@@ -1,0 +1,116 @@
+//! CSP-H configuration (the "Ours" row of Table 1).
+
+/// Configuration of a CSP-H accelerator instance.
+///
+/// Defaults match the paper's evaluated design: a 32×32 PE array
+/// (1024 single-MAC PEs), chunk size equal to the array width, truncation
+/// period `T = 64` (two activation input registers, Section 7.3), 8-bit
+/// RegBins, and the Table 1 global buffers (2 KB InAct, 50 KB Wgt,
+/// 20 KB OutAct — 72 KB total).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CspHConfig {
+    /// PE-array width (`arr_w`); also the chunk size of the CSP layout.
+    pub arr_w: usize,
+    /// PE-array height (`arr_h`).
+    pub arr_h: usize,
+    /// Truncation period `T`: MACs accumulated in the IR before folding
+    /// into a RegBin. `T = arr_w` needs one activation input register;
+    /// `T = 2·arr_w` needs two (the evaluated configuration).
+    pub truncation_period: usize,
+    /// RegBin precision in bits.
+    pub regbin_bits: u32,
+    /// Input-activation global buffer size in bytes.
+    pub inact_glb_bytes: usize,
+    /// Weight global buffer size in bytes.
+    pub wgt_glb_bytes: usize,
+    /// Output-activation global buffer size in bytes.
+    pub outact_glb_bytes: usize,
+    /// Clock-gate RegBins unused within a pass (Section 5.2).
+    pub clock_gating: bool,
+}
+
+impl Default for CspHConfig {
+    fn default() -> Self {
+        CspHConfig {
+            arr_w: 32,
+            arr_h: 32,
+            truncation_period: 64,
+            regbin_bits: 8,
+            inact_glb_bytes: 2 * 1024,
+            wgt_glb_bytes: 50 * 1024,
+            outact_glb_bytes: 20 * 1024,
+            clock_gating: true,
+        }
+    }
+}
+
+impl CspHConfig {
+    /// Total PE count (`arr_w × arr_h`).
+    pub fn num_pes(&self) -> usize {
+        self.arr_w * self.arr_h
+    }
+
+    /// Accumulation-buffer entries per PE: `Σ_{b=0}^{4} 2^{b+1} = 62`.
+    pub fn accum_entries(&self) -> usize {
+        crate::regbin::NUM_REGBINS_ENTRIES
+    }
+
+    /// Maximum concurrent filters (`accum_entries × arr_w` — 1984 for the
+    /// default configuration, comfortably above the common ≤1024 case).
+    pub fn max_concurrent_filters(&self) -> usize {
+        self.accum_entries() * self.arr_w
+    }
+
+    /// Total global buffer bytes (72 KB for the default, matching the
+    /// constraint applied to all accelerators in Table 1).
+    pub fn total_glb_bytes(&self) -> usize {
+        self.inact_glb_bytes + self.wgt_glb_bytes + self.outact_glb_bytes
+    }
+
+    /// Per-PE local storage in bytes: activation + weight registers (2 B),
+    /// IR (4 B), accumulation buffer (62 B at 8-bit) — the "Mem./PE" cell
+    /// of Table 1.
+    pub fn per_pe_bytes(&self) -> usize {
+        2 + 4 + self.accum_entries() * (self.regbin_bits as usize).div_ceil(8)
+    }
+
+    /// Buffer-per-MAC in bytes (Table 1's `B/MAC` column): total GLB plus
+    /// all PE-local storage, divided by the MAC count.
+    pub fn buffer_per_mac_bytes(&self) -> f64 {
+        (self.total_glb_bytes() + self.num_pes() * self.per_pe_bytes()) as f64
+            / self.num_pes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = CspHConfig::default();
+        assert_eq!(c.num_pes(), 1024);
+        assert_eq!(c.accum_entries(), 62);
+        assert_eq!(c.max_concurrent_filters(), 1984);
+        assert_eq!(c.total_glb_bytes(), 72 * 1024);
+        assert_eq!(c.per_pe_bytes(), 2 + 4 + 62);
+        // Table 1 reports 0.137 KB/MAC.
+        let kb_per_mac = c.buffer_per_mac_bytes() / 1024.0;
+        assert!(
+            (kb_per_mac - 0.137).abs() < 0.005,
+            "B/MAC = {kb_per_mac} KB"
+        );
+    }
+
+    #[test]
+    fn per_pe_bytes_scales_with_regbin_precision() {
+        let narrow = CspHConfig::default();
+        let wide = CspHConfig {
+            regbin_bits: 30,
+            ..narrow
+        };
+        assert!(wide.per_pe_bytes() > narrow.per_pe_bytes());
+        // 30-bit entries occupy 4 bytes each.
+        assert_eq!(wide.per_pe_bytes(), 2 + 4 + 62 * 4);
+    }
+}

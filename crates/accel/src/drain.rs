@@ -1,0 +1,146 @@
+//! The inter-PE drain pipeline (Section 5.1, "Flushing Accumulation
+//! Buffer").
+//!
+//! At the end of a pass, every PE's RegBins drain serially — all five bins
+//! at once, one 8-bit entry per bin per cycle, onto an `(8 × B)`-bit drain
+//! bus. RegBins with the same id in *subsequent* PEs buffer the upstream
+//! PE's outputs while draining their own, forming a systolic drain chain
+//! down each column. Only RB0's two entries gate the next pass; the rest
+//! of the drain overlaps the next pass' computation.
+//!
+//! This module models the chain cycle-accurately for a column of PEs and
+//! checks the two properties the paper claims: (1) the exposed stall is
+//! `len(RB0) = 2` cycles regardless of column height, and (2) total drain
+//! latency grows only linearly in column height with slope `len(RB4)`
+//! (the largest bin sets the per-hop beat).
+
+use crate::regbin::{regbin_len, NUM_REGBINS};
+
+/// Result of draining a column of PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Cycles until the *last* value reaches the output bus at the column
+    /// edge.
+    pub total_cycles: u64,
+    /// Stall cycles exposed to the next pass (the RB0 gate).
+    pub exposed_stall: u64,
+    /// Values moved per PE (62 entries each).
+    pub values_per_pe: u64,
+    /// Drain-bus width in bits (`8 × B`).
+    pub bus_bits: u32,
+}
+
+/// Model the drain of a column of `column_height` PEs whose dirty bins are
+/// given by `dirty` (per-bin flags; clean bins are clock-gated and skip
+/// the chain).
+///
+/// Per bin `b`, each PE needs `len(b)` cycles to shift out its own entries
+/// and the chain adds one buffering hop per PE, so the column finishes in
+/// `len(b) + column_height − 1` cycles per dirty bin; the column total is
+/// the max over dirty bins. Only RB0 gates the next pass.
+///
+/// # Panics
+///
+/// Panics if `column_height == 0`.
+pub fn drain_column(column_height: usize, dirty: [bool; NUM_REGBINS]) -> DrainReport {
+    assert!(column_height > 0, "need at least one PE");
+    let mut total = 0u64;
+    let mut values = 0u64;
+    for (b, &is_dirty) in dirty.iter().enumerate() {
+        if !is_dirty {
+            continue;
+        }
+        let len = regbin_len(b) as u64;
+        total = total.max(len + column_height as u64 - 1);
+        values += len;
+    }
+    DrainReport {
+        total_cycles: total,
+        exposed_stall: if dirty[0] { regbin_len(0) as u64 } else { 0 },
+        values_per_pe: values,
+        bus_bits: 8 * NUM_REGBINS as u32,
+    }
+}
+
+/// The naive alternatives of Section 5.1, for comparison.
+pub mod alternatives {
+    use crate::regbin::NUM_REGBINS_ENTRIES;
+
+    /// Wide-bus flush: one cycle, but the output bus must carry every
+    /// entry at once.
+    pub fn wide_bus_bits() -> u32 {
+        (NUM_REGBINS_ENTRIES * 8) as u32
+    }
+
+    /// True-serial flush: cycles equal to the dirty entry count; the next
+    /// pass stalls for all of it.
+    pub fn true_serial_cycles(dirty_entries: u64) -> u64 {
+        dirty_entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL_DIRTY: [bool; NUM_REGBINS] = [true; NUM_REGBINS];
+
+    #[test]
+    fn exposed_stall_is_two_cycles() {
+        for height in [1usize, 8, 32] {
+            let r = drain_column(height, ALL_DIRTY);
+            assert_eq!(r.exposed_stall, 2, "height {height}");
+        }
+    }
+
+    #[test]
+    fn no_rb0_no_stall() {
+        let mut dirty = ALL_DIRTY;
+        dirty[0] = false;
+        assert_eq!(drain_column(4, dirty).exposed_stall, 0);
+    }
+
+    #[test]
+    fn total_latency_linear_in_height() {
+        let a = drain_column(1, ALL_DIRTY).total_cycles;
+        let b = drain_column(33, ALL_DIRTY).total_cycles;
+        assert_eq!(a, 32); // RB4 dominates
+        assert_eq!(b - a, 32); // +1 per extra hop
+    }
+
+    #[test]
+    fn clean_buffer_drains_nothing() {
+        let r = drain_column(8, [false; NUM_REGBINS]);
+        assert_eq!(r.total_cycles, 0);
+        assert_eq!(r.values_per_pe, 0);
+    }
+
+    #[test]
+    fn gated_big_bin_shortens_drain() {
+        let mut dirty = ALL_DIRTY;
+        dirty[4] = false; // RB4 clean (highly pruned pass)
+        let r = drain_column(4, dirty);
+        assert_eq!(r.total_cycles, 16 + 3); // RB3 now dominates
+        assert_eq!(r.values_per_pe, 2 + 4 + 8 + 16);
+    }
+
+    #[test]
+    fn bus_narrower_than_wide_flush() {
+        let r = drain_column(4, ALL_DIRTY);
+        assert_eq!(r.bus_bits, 40);
+        assert!(r.bus_bits < alternatives::wide_bus_bits());
+        assert_eq!(alternatives::wide_bus_bits(), 496);
+    }
+
+    #[test]
+    fn stall_beats_true_serial() {
+        let r = drain_column(4, ALL_DIRTY);
+        assert!(r.exposed_stall < alternatives::true_serial_cycles(62));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn zero_height_panics() {
+        let _ = drain_column(0, ALL_DIRTY);
+    }
+}

@@ -1,0 +1,263 @@
+//! Functional model of the IpWS (Input pseudo-Weight Stationary) dataflow
+//! (Section 5.4) — the FC-layer counterpart of the Serial Cascading array.
+//!
+//! Filter rows are unrolled spatially onto the PEs in bundles of
+//! `arr_h × T` rows; the `arr_w` columns hold the current chunk's filters.
+//! Within a bundle, the `arr_h` row groups advance in lockstep through
+//! chunk steps, each step feeding the group's `T` sub-rows serially; a row
+//! whose chunk count ended earlier leaves its PE idle (the residual
+//! under-utilization the greedy reorder mitigates). `accumulate_psums()`
+//! adds one cycle per chunk step to combine alternating rows at full
+//! precision before truncation.
+
+use crate::array::ArrayStats;
+use crate::config::CspHConfig;
+use csp_pruning::reorder_rows_for_ipws;
+use csp_pruning::truncation::TruncationConfig;
+use csp_tensor::{Result, Tensor, TensorError};
+
+/// The functional IpWS array.
+#[derive(Debug, Clone)]
+pub struct IpwsArray {
+    config: CspHConfig,
+    truncation: Option<TruncationConfig>,
+    reorder: bool,
+}
+
+impl IpwsArray {
+    /// An array with the given configuration. `reorder` enables the
+    /// Section 5.4 greedy least-to-most-sparse row reordering.
+    pub fn new(config: CspHConfig, truncation: Option<TruncationConfig>) -> Self {
+        IpwsArray {
+            config,
+            truncation,
+            reorder: true,
+        }
+    }
+
+    /// Disable the greedy reorder (for the ablation).
+    pub fn without_reorder(mut self) -> Self {
+        self.reorder = false;
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CspHConfig {
+        &self.config
+    }
+
+    /// Execute `Wᵀ·A` under IpWS: `weights` is `M × c_out`,
+    /// `chunk_counts` per-row counts (chunk size `arr_w`), `acts` is
+    /// `M × P` (P = tokens). Returns the `c_out × P` output and stats.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for mismatched operands or invalid counts.
+    pub fn run_gemm(
+        &self,
+        weights: &Tensor,
+        chunk_counts: &[usize],
+        acts: &Tensor,
+    ) -> Result<(Tensor, ArrayStats)> {
+        let cfg = &self.config;
+        if weights.rank() != 2 || acts.rank() != 2 || weights.dims()[0] != acts.dims()[0] {
+            return Err(TensorError::IncompatibleShapes {
+                op: "ipws_gemm",
+                lhs: weights.dims().to_vec(),
+                rhs: acts.dims().to_vec(),
+            });
+        }
+        let (m, c_out) = (weights.dims()[0], weights.dims()[1]);
+        let p = acts.dims()[1];
+        if chunk_counts.len() != m {
+            return Err(TensorError::InvalidParameter {
+                what: format!("chunk_counts length {} != M {}", chunk_counts.len(), m),
+            });
+        }
+        let n_chunks = c_out.div_ceil(cfg.arr_w);
+        if let Some(&bad) = chunk_counts.iter().find(|&&c| c > n_chunks) {
+            return Err(TensorError::InvalidParameter {
+                what: format!("chunk count {bad} exceeds N={n_chunks}"),
+            });
+        }
+
+        let order: Vec<usize> = if self.reorder {
+            reorder_rows_for_ipws(chunk_counts)
+        } else {
+            (0..m).collect()
+        };
+
+        let wd = weights.as_slice();
+        let ad = acts.as_slice();
+        let mut out = Tensor::zeros(&[c_out, p]);
+        let mut stats = ArrayStats::default();
+        let t = cfg.truncation_period.max(1);
+        let bundle = cfg.arr_h * t;
+
+        for rows in order.chunks(bundle) {
+            let max_count = rows.iter().map(|&r| chunk_counts[r]).max().unwrap_or(0);
+            if max_count == 0 {
+                continue;
+            }
+            // Psum accumulators for this bundle: one per (chunk column, token).
+            for n in 0..max_count {
+                let chunk_start = n * cfg.arr_w;
+                let chunk_end = (chunk_start + cfg.arr_w).min(c_out);
+                // Row groups of arr_h advance in parallel; feeds within a
+                // group are serial. Cycle accounting: feeds × P per chunk
+                // step, determined by the bundle's spatial occupancy.
+                let feeds = rows.len().div_ceil(cfg.arr_h) as u64;
+                stats.cycles += feeds * p as u64;
+                stats.cycles += 1; // accumulate_psums()
+                for &j in rows {
+                    if n >= chunk_counts[j] {
+                        continue; // idle PE: early-stopped row
+                    }
+                    if n == 0 {
+                        stats.act_loads += p as u64;
+                    } else {
+                        stats.act_recycles += p as u64;
+                    }
+                    stats.wgt_loads += (chunk_end - chunk_start) as u64;
+                    // Accumulate this sub-row's contribution at full
+                    // precision (the IR collects the group's T sub-rows
+                    // before truncation). Early stop is chunk-granular:
+                    // zeros *within* a surviving chunk still issue MACs.
+                    for col in chunk_start..chunk_end {
+                        let w = wd[j * c_out + col];
+                        stats.macs += p as u64;
+                        if w == 0.0 {
+                            continue;
+                        }
+                        for pix in 0..p {
+                            let idx = col * p + pix;
+                            out.as_mut_slice()[idx] += w * ad[j * p + pix];
+                        }
+                    }
+                }
+                // Periodic truncation after the group's T accumulations.
+                if let Some(tc) = self.truncation {
+                    for col in chunk_start..chunk_end {
+                        for pix in 0..p {
+                            let idx = col * p + pix;
+                            out.as_mut_slice()[idx] = tc.truncate(out.as_slice()[idx]);
+                        }
+                    }
+                }
+            }
+            stats.flush_stalls += 2;
+        }
+        stats.cycles += stats.flush_stalls;
+        Ok((out, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_pruning::{ChunkedLayout, CspMask};
+    use csp_tensor::matmul_at_b;
+
+    fn cfg(arr_w: usize, arr_h: usize, t: usize) -> CspHConfig {
+        CspHConfig {
+            arr_w,
+            arr_h,
+            truncation_period: t,
+            ..CspHConfig::default()
+        }
+    }
+
+    fn masked_workload(
+        m: usize,
+        c_out: usize,
+        chunk: usize,
+        p: usize,
+        counts: &[usize],
+    ) -> (Tensor, Tensor) {
+        let layout = ChunkedLayout::new(m, c_out, chunk).unwrap();
+        let mask = CspMask::from_chunk_counts(layout, counts.to_vec()).unwrap();
+        let w = mask
+            .apply(&Tensor::from_fn(&[m, c_out], |i| ((i as f32) * 0.53).sin()))
+            .unwrap();
+        let a = Tensor::from_fn(&[m, p], |i| ((i as f32) * 0.29).cos());
+        (w, a)
+    }
+
+    #[test]
+    fn matches_reference_gemm() {
+        let counts = vec![2usize, 1, 2, 0, 1, 2];
+        let (w, a) = masked_workload(6, 8, 4, 5, &counts);
+        let arr = IpwsArray::new(cfg(4, 2, 2), None);
+        let (out, _) = arr.run_gemm(&w, &counts, &a).unwrap();
+        let expected = matmul_at_b(&w, &a).unwrap();
+        for (x, y) in out.as_slice().iter().zip(expected.as_slice()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn reorder_does_not_change_results() {
+        let counts = vec![3usize, 0, 1, 2, 3, 1];
+        let (w, a) = masked_workload(6, 12, 4, 3, &counts);
+        let with = IpwsArray::new(cfg(4, 2, 1), None);
+        let without = IpwsArray::new(cfg(4, 2, 1), None).without_reorder();
+        let (o1, s1) = with.run_gemm(&w, &counts, &a).unwrap();
+        let (o2, s2) = without.run_gemm(&w, &counts, &a).unwrap();
+        for (x, y) in o1.as_slice().iter().zip(o2.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+        // Reordering can only help (fewer or equal cycles).
+        assert!(s1.cycles <= s2.cycles, "{} vs {}", s1.cycles, s2.cycles);
+    }
+
+    #[test]
+    fn cycles_match_analytic_model() {
+        use crate::analytic::CspH;
+        use csp_models::LayerShape;
+        use csp_sim::EnergyTable;
+        let c = cfg(4, 2, 2);
+        let counts = vec![2usize, 1, 3, 3, 0, 1, 2, 2];
+        let (m, c_out, p) = (8usize, 12usize, 4usize);
+        let (w, a) = masked_workload(m, c_out, 4, p, &counts);
+        let arr = IpwsArray::new(c, None);
+        let (_, fstats) = arr.run_gemm(&w, &counts, &a).unwrap();
+        let layer = LayerShape::fc("fc", m, c_out, p);
+        let run = CspH::new(c, EnergyTable::default()).run_layer_with_counts(&layer, &counts);
+        assert_eq!(run.cycles, fstats.cycles);
+    }
+
+    #[test]
+    fn empty_rows_cost_nothing() {
+        let counts = vec![0usize; 4];
+        let (w, a) = masked_workload(4, 8, 4, 3, &counts);
+        let arr = IpwsArray::new(cfg(4, 2, 1), None);
+        let (out, stats) = arr.run_gemm(&w, &counts, &a).unwrap();
+        assert_eq!(stats.cycles, 0);
+        assert_eq!(out.norm_l2(), 0.0);
+    }
+
+    #[test]
+    fn truncation_bounded_error() {
+        let counts = vec![2usize; 6];
+        let (w, a) = masked_workload(6, 8, 4, 4, &counts);
+        let tc = TruncationConfig::new(2, 16, 0.01).unwrap();
+        let arr = IpwsArray::new(cfg(4, 2, 2), Some(tc));
+        let (out, _) = arr.run_gemm(&w, &counts, &a).unwrap();
+        let expected = matmul_at_b(&w, &a).unwrap();
+        // One truncation per chunk step per bundle: error stays small.
+        for (x, y) in out.as_slice().iter().zip(expected.as_slice()) {
+            assert!((x - y).abs() < 0.1, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn shape_validation() {
+        let arr = IpwsArray::new(cfg(4, 2, 1), None);
+        let w = Tensor::zeros(&[4, 8]);
+        let a = Tensor::zeros(&[5, 3]);
+        assert!(arr.run_gemm(&w, &[1; 4], &a).is_err());
+        let a2 = Tensor::zeros(&[4, 3]);
+        assert!(arr.run_gemm(&w, &[1; 3], &a2).is_err());
+        assert!(arr.run_gemm(&w, &[9; 4], &a2).is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! The Leader–Follower pipeline (Section 4, Fig. 5a) — the ablation
+//! baseline CSP-H's Serial Cascading design is compared against.
+//!
+//! In the Leader–Follower scheme, pipelined PE arrays each process one
+//! chunk: the leader works on chunk 0 and forwards its activations to the
+//! follower (chunk 1), and so on. Two problems motivate Serial Cascading:
+//!
+//! 1. the global activation buffer's bandwidth demand scales with the
+//!    number of pipelined arrays (followers must re-fetch fresh rows when
+//!    their chunk of a filter row is pruned);
+//! 2. load imbalance between arrays causes stalls — a follower is idle for
+//!    every filter row whose chunk count ends before its stage.
+
+/// Cycle/traffic estimate of a Leader–Follower pipeline run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaderFollowerReport {
+    /// Total cycles (limited by the busiest stage).
+    pub cycles: u64,
+    /// PE-stage stall slots (idle stage-cycles from load imbalance).
+    pub stall_slots: u64,
+    /// Activation fetches from the global buffer (scales with stages —
+    /// problem 1 of Section 4).
+    pub act_fetches: u64,
+    /// Pipeline stage count used.
+    pub stages: usize,
+}
+
+/// Estimate a Leader–Follower pipeline over rows with the given chunk
+/// counts: stage `s` processes chunk `s` of every filter row (stage count =
+/// maximum chunk count, capped at `max_stages`; deeper chunks wrap onto the
+/// pipeline in extra rounds).
+///
+/// Each stage spends one cycle per row it actually processes and stalls
+/// (idle) for rows whose count ended earlier; the pipeline advances at the
+/// rate of the slowest stage — the leader, which sees every live row.
+///
+/// # Panics
+///
+/// Panics if `max_stages == 0`.
+pub fn leader_follower_cycles(chunk_counts: &[usize], max_stages: usize) -> LeaderFollowerReport {
+    assert!(max_stages > 0, "need at least one stage");
+    let max_count = chunk_counts.iter().copied().max().unwrap_or(0);
+    let stages = max_count.min(max_stages).max(1);
+    let rounds = max_count.div_ceil(stages).max(1);
+    let mut stall_slots = 0u64;
+    let mut act_fetches = 0u64;
+    let mut cycles = 0u64;
+    for round in 0..rounds {
+        // Rows alive at the first stage of this round set the pipeline beat.
+        let base_chunk = round * stages;
+        let leader_rows = chunk_counts.iter().filter(|&&c| c > base_chunk).count() as u64;
+        if leader_rows == 0 {
+            continue;
+        }
+        cycles += leader_rows;
+        for s in 0..stages {
+            let chunk = base_chunk + s;
+            let live = chunk_counts.iter().filter(|&&c| c > chunk).count() as u64;
+            stall_slots += leader_rows - live;
+            // The leader fetches every live row's activation; every
+            // follower re-fetches activations for the rows where its chunk
+            // was pruned upstream (it must advance to the next filter row).
+            act_fetches += if s == 0 { live } else { leader_rows };
+        }
+    }
+    LeaderFollowerReport {
+        cycles,
+        stall_slots,
+        act_fetches,
+        stages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_counts_no_stalls() {
+        let counts = vec![4usize; 8];
+        let r = leader_follower_cycles(&counts, 4);
+        assert_eq!(r.stages, 4);
+        assert_eq!(r.stall_slots, 0);
+        assert_eq!(r.cycles, 8);
+    }
+
+    #[test]
+    fn imbalance_causes_stalls() {
+        let counts = vec![4usize, 1, 1, 1];
+        let r = leader_follower_cycles(&counts, 4);
+        assert!(r.stall_slots > 0, "followers must stall on short rows");
+    }
+
+    #[test]
+    fn bandwidth_scales_with_stages() {
+        let counts = vec![4usize; 16];
+        let two = leader_follower_cycles(&counts, 2);
+        let four = leader_follower_cycles(&counts, 4);
+        // More pipelined stages → more activation fetch pressure per round.
+        let per_round_two = two.act_fetches as f64 / two.cycles as f64;
+        let per_round_four = four.act_fetches as f64 / four.cycles as f64;
+        assert!(per_round_four > per_round_two);
+    }
+
+    #[test]
+    fn deep_counts_wrap_in_rounds() {
+        let counts = vec![8usize; 4];
+        let r = leader_follower_cycles(&counts, 2);
+        assert_eq!(r.stages, 2);
+        // 4 rounds of 4 rows each.
+        assert_eq!(r.cycles, 16);
+    }
+
+    #[test]
+    fn empty_counts() {
+        let r = leader_follower_cycles(&[], 4);
+        assert_eq!(r.cycles, 0);
+        assert_eq!(r.stall_slots, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stage")]
+    fn zero_stages_panics() {
+        let _ = leader_follower_cycles(&[1], 0);
+    }
+}

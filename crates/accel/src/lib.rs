@@ -1,0 +1,61 @@
+//! # csp-accel
+//!
+//! **CSP-H**: the hardware half of Cascading Structured Pruning (ISCA '22),
+//! modelled at two fidelity levels:
+//!
+//! * a **functional microarchitecture model** — [`RegBin`], [`AccumBuffer`],
+//!   [`Pe`], and [`SerialCascadingArray`] — which computes real values
+//!   through the circular register bins, intermediate register (IR) and
+//!   early-stop control, and is validated bit-for-bit against the dense
+//!   reference GEMM (tests and the `csp-core` pipeline use this on small
+//!   layers);
+//! * an **analytic cycle/traffic model** — [`CspH`] — which derives cycle
+//!   counts and data-movement traces for full networks (ResNet-50, VGG-16,
+//!   …) from layer geometry and per-row chunk counts, using exactly the
+//!   event model of the functional simulator. The analytic cycle formulas
+//!   are cross-checked against the functional array in the test suite.
+//!
+//! Both dataflows of the paper are implemented: **IpOS** (input
+//! pseudo-output-stationary, Section 5.3, for convolutions) and **IpWS**
+//! (input pseudo-weight-stationary, Section 5.4, for FC layers), plus the
+//! Section 4 **Leader–Follower** pipeline as an ablation baseline.
+//!
+//! ## Example
+//!
+//! ```
+//! use csp_accel::CspHConfig;
+//!
+//! let cfg = CspHConfig::default();
+//! assert_eq!(cfg.num_pes(), 1024);
+//! assert_eq!(cfg.accum_entries(), 62); // 2 + 4 + 8 + 16 + 32
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accum;
+mod actskip;
+mod analytic;
+mod array;
+mod config;
+pub mod drain;
+mod ipws_array;
+mod leader_follower;
+mod pe;
+mod regbin;
+mod stats;
+pub mod trace;
+
+pub use accum::{AccumBuffer, FlushStats};
+pub use actskip::CspHActSkip;
+pub use analytic::{CspH, LayerRun};
+pub use array::{ArrayStats, SerialCascadingArray};
+pub use config::CspHConfig;
+pub use ipws_array::IpwsArray;
+pub use leader_follower::{leader_follower_cycles, LeaderFollowerReport};
+pub use pe::Pe;
+pub use regbin::{
+    regbin_index_of_chunk, regbin_len, regbin_start, rotate_threshold, RegBin, RegBinEvents,
+    NUM_REGBINS, NUM_REGBINS_ENTRIES,
+};
+pub use stats::{regbin_access_frequency, RegBinUsage};

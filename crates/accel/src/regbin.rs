@@ -1,0 +1,333 @@
+//! The circular register bin (Section 5.1, Figs. 6–7).
+//!
+//! A PE's accumulation buffer is split into five RegBins of exponentially
+//! growing length, `len(RB_b) = 2^(b+1)` (Eq. 6): 2, 4, 8, 16, 32 entries,
+//! 62 in total. Partial sums propagate through a bin only when the current
+//! filter row's chunk count reaches past the bin's head (rotate threshold,
+//! Eq. 7); otherwise the head is accessed directly, saving switching power.
+//! A counter-based FSM keeps a partially-entered bin rotating until it
+//! realigns, which guarantees stall-free accesses (Fig. 7's running
+//! example).
+
+/// Number of RegBins per accumulation buffer.
+pub const NUM_REGBINS: usize = 5;
+
+/// Total entries across all bins: `2 + 4 + 8 + 16 + 32 = 62`.
+pub const NUM_REGBINS_ENTRIES: usize = 62;
+
+/// Length of RegBin `b` (Eq. 6).
+pub fn regbin_len(b: usize) -> usize {
+    assert!(b < NUM_REGBINS, "RegBin id {b} out of range");
+    1 << (b + 1)
+}
+
+/// First chunk index held by RegBin `b` (cumulative length of earlier
+/// bins): 0, 2, 6, 14, 30.
+pub fn regbin_start(b: usize) -> usize {
+    assert!(b < NUM_REGBINS, "RegBin id {b} out of range");
+    (1 << (b + 1)) - 2
+}
+
+/// Which RegBin holds chunk index `chunk` (0-based).
+///
+/// # Panics
+///
+/// Panics if `chunk >= 62`.
+pub fn regbin_index_of_chunk(chunk: usize) -> usize {
+    assert!(
+        chunk < NUM_REGBINS_ENTRIES,
+        "chunk {chunk} exceeds the 62-entry accumulation buffer"
+    );
+    for b in (0..NUM_REGBINS).rev() {
+        if chunk >= regbin_start(b) {
+            return b;
+        }
+    }
+    0
+}
+
+/// Rotate threshold of RegBin `b` (Eq. 7): 0 for the head bin, its own
+/// length for the rest — a row whose chunk count only reaches the bin's
+/// head can be served without triggering rotation.
+pub fn rotate_threshold(b: usize) -> usize {
+    if b == 0 {
+        0
+    } else {
+        1 << (b + 1)
+    }
+}
+
+/// Event counters of one RegBin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegBinEvents {
+    /// Head read-modify-write accesses.
+    pub head_accesses: u64,
+    /// Single-entry rotation steps executed.
+    pub rotation_steps: u64,
+    /// Passes during which the bin was touched at least once (drives the
+    /// per-pass clock-gating statistics of Fig. 13).
+    pub active_passes: u64,
+    /// Passes during which the bin was clock-gated (untouched).
+    pub gated_passes: u64,
+}
+
+/// A functional circular register bin.
+///
+/// Values are stored logically indexed by in-bin offset; the rotation
+/// mechanics are tracked through the counter FSM so that event counts
+/// (and hence energy) match the hardware behaviour, while reads/writes
+/// remain value-exact.
+#[derive(Debug, Clone)]
+pub struct RegBin {
+    id: usize,
+    values: Vec<f32>,
+    rot_counter: usize,
+    touched_this_pass: bool,
+    events: RegBinEvents,
+}
+
+impl RegBin {
+    /// RegBin `id` (0..5), zero-initialized.
+    pub fn new(id: usize) -> Self {
+        RegBin {
+            id,
+            values: vec![0.0; regbin_len(id)],
+            rot_counter: 0,
+            touched_this_pass: false,
+            events: RegBinEvents::default(),
+        }
+    }
+
+    /// Bin id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Entry count (Eq. 6).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Event counters so far.
+    pub fn events(&self) -> RegBinEvents {
+        self.events
+    }
+
+    /// Read-modify-write the entry at in-bin `offset`: adds `delta` and
+    /// returns the new value.
+    ///
+    /// `row_chunk_count` is the current filter row's total chunk count; it
+    /// decides (via Eq. 7) whether this access engages rotation. An access
+    /// beyond the head always rotates; a head-only access with the counter
+    /// idle is served directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= len()`.
+    pub fn accumulate(&mut self, offset: usize, delta: f32, row_chunk_count: usize) -> f32 {
+        assert!(
+            offset < self.len(),
+            "offset {offset} out of bin {}",
+            self.id
+        );
+        self.touched_this_pass = true;
+        self.events.head_accesses += 1;
+        // Fig. 7: a row whose chunk count only reaches this bin's head is
+        // served directly; reaching past the head engages rotation (the
+        // Eq. 7 counter FSM keeps it spinning until realigned).
+        let engages_rotation = offset > 0 || row_chunk_count > regbin_start(self.id) + 1;
+        if engages_rotation {
+            // One rotation step per access while engaged; the FSM counter
+            // keeps the bin rotating until it completes a full revolution
+            // (it may already be mid-flight from a previous row).
+            if self.rot_counter == 0 {
+                self.rot_counter = self.len();
+            }
+            self.rot_counter -= 1;
+            self.events.rotation_steps += 1;
+        }
+        self.values[offset] += delta;
+        self.values[offset]
+    }
+
+    /// Idle tick: if the FSM counter is armed, the bin keeps rotating even
+    /// when not selected, so it realigns before the next filter row
+    /// (the cycle-4→7 situation of Fig. 7).
+    pub fn tick(&mut self) {
+        if self.rot_counter > 0 {
+            self.rot_counter -= 1;
+            self.events.rotation_steps += 1;
+        }
+    }
+
+    /// True when the bin is mid-rotation.
+    pub fn is_rotating(&self) -> bool {
+        self.rot_counter > 0
+    }
+
+    /// Read the entry at `offset` without event accounting (used by flush).
+    pub fn peek(&self, offset: usize) -> f32 {
+        self.values[offset]
+    }
+
+    /// Overwrite the entry at `offset` (used by flush/reset paths).
+    pub fn poke(&mut self, offset: usize, value: f32) {
+        self.values[offset] = value;
+    }
+
+    /// Drain all entries to zero, returning them head-first. Serial drain
+    /// takes `len()` cycles but overlaps with the next pass (Section 5.1).
+    pub fn drain(&mut self) -> Vec<f32> {
+        let out = self.values.clone();
+        for v in &mut self.values {
+            *v = 0.0;
+        }
+        out
+    }
+
+    /// Finish the rotation the FSM may still owe (invoked between row
+    /// groups; keeps the realignment invariant testable).
+    pub fn settle(&mut self) {
+        while self.rot_counter > 0 {
+            self.tick();
+        }
+    }
+
+    /// Close a pass: record whether the bin was active or gated, and clear
+    /// the per-pass flag.
+    pub fn end_pass(&mut self) {
+        if self.touched_this_pass {
+            self.events.active_passes += 1;
+        } else {
+            self.events.gated_passes += 1;
+        }
+        self.touched_this_pass = false;
+    }
+
+    /// Whether the bin has been touched in the current pass.
+    pub fn touched(&self) -> bool {
+        self.touched_this_pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_match_eq6() {
+        assert_eq!(
+            (0..NUM_REGBINS).map(regbin_len).collect::<Vec<_>>(),
+            vec![2, 4, 8, 16, 32]
+        );
+        assert_eq!((0..NUM_REGBINS).map(regbin_len).sum::<usize>(), 62);
+    }
+
+    #[test]
+    fn starts_are_cumulative() {
+        assert_eq!(
+            (0..NUM_REGBINS).map(regbin_start).collect::<Vec<_>>(),
+            vec![0, 2, 6, 14, 30]
+        );
+    }
+
+    #[test]
+    fn chunk_to_bin_mapping() {
+        assert_eq!(regbin_index_of_chunk(0), 0);
+        assert_eq!(regbin_index_of_chunk(1), 0);
+        assert_eq!(regbin_index_of_chunk(2), 1);
+        assert_eq!(regbin_index_of_chunk(5), 1);
+        assert_eq!(regbin_index_of_chunk(6), 2);
+        assert_eq!(regbin_index_of_chunk(13), 2);
+        assert_eq!(regbin_index_of_chunk(14), 3);
+        assert_eq!(regbin_index_of_chunk(29), 3);
+        assert_eq!(regbin_index_of_chunk(30), 4);
+        assert_eq!(regbin_index_of_chunk(61), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "62-entry")]
+    fn chunk_beyond_buffer_panics() {
+        let _ = regbin_index_of_chunk(62);
+    }
+
+    #[test]
+    fn thresholds_match_eq7() {
+        assert_eq!(rotate_threshold(0), 0);
+        assert_eq!(rotate_threshold(1), 4);
+        assert_eq!(rotate_threshold(4), 32);
+    }
+
+    #[test]
+    fn accumulate_is_value_exact() {
+        let mut rb = RegBin::new(1);
+        assert_eq!(rb.accumulate(0, 1.5, 6), 1.5);
+        assert_eq!(rb.accumulate(0, 2.0, 6), 3.5);
+        assert_eq!(rb.accumulate(3, 1.0, 6), 1.0);
+        assert_eq!(rb.peek(0), 3.5);
+        assert_eq!(rb.peek(3), 1.0);
+    }
+
+    #[test]
+    fn head_only_access_avoids_rotation() {
+        // Row whose chunk count reaches only the head of bin 1 (count = 3:
+        // chunks 0,1 in bin 0 and chunk 2 at bin 1's head).
+        let mut rb = RegBin::new(1);
+        rb.accumulate(0, 1.0, 3);
+        assert_eq!(rb.events().rotation_steps, 0);
+        assert!(!rb.is_rotating());
+    }
+
+    #[test]
+    fn deep_access_engages_rotation() {
+        let mut rb = RegBin::new(1); // len 4
+        rb.accumulate(1, 1.0, 8); // beyond head
+        assert!(rb.events().rotation_steps > 0);
+        assert!(rb.is_rotating());
+        // FSM keeps rotating on idle ticks until realigned.
+        rb.settle();
+        assert!(!rb.is_rotating());
+        // A full revolution was completed: len steps in total.
+        assert_eq!(rb.events().rotation_steps as usize, rb.len());
+    }
+
+    #[test]
+    fn fig7_realignment_before_next_row() {
+        // Fig. 7: a row reaching only the second entry of the bin forces a
+        // full on-time rotation so the next row can access the head.
+        let mut rb = RegBin::new(1);
+        rb.accumulate(0, 1.0, 8);
+        rb.accumulate(1, 2.0, 8); // partial entry: rotation armed
+                                  // Idle ticks while other bins are served.
+        for _ in 0..rb.len() {
+            rb.tick();
+        }
+        assert!(!rb.is_rotating(), "bin must have realigned");
+        // Values are intact for the next row.
+        assert_eq!(rb.peek(0), 1.0);
+        assert_eq!(rb.peek(1), 2.0);
+    }
+
+    #[test]
+    fn drain_zeroes_and_returns() {
+        let mut rb = RegBin::new(0);
+        rb.accumulate(0, 3.0, 2);
+        rb.accumulate(1, 4.0, 2);
+        assert_eq!(rb.drain(), vec![3.0, 4.0]);
+        assert_eq!(rb.peek(0), 0.0);
+        assert_eq!(rb.peek(1), 0.0);
+    }
+
+    #[test]
+    fn pass_gating_bookkeeping() {
+        let mut rb = RegBin::new(2);
+        rb.end_pass(); // untouched → gated
+        rb.accumulate(0, 1.0, 7);
+        rb.end_pass(); // touched → active
+        let e = rb.events();
+        assert_eq!(e.gated_passes, 1);
+        assert_eq!(e.active_passes, 1);
+        assert!(!rb.touched());
+    }
+}

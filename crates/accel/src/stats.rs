@@ -1,0 +1,125 @@
+//! RegBin access-frequency statistics (Fig. 13) and clock-gating savings.
+
+use crate::regbin::{regbin_index_of_chunk, regbin_len, NUM_REGBINS};
+
+/// Per-RegBin usage across a workload's filter rows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegBinUsage {
+    /// Fraction of filter rows whose chunk count reaches each bin
+    /// (`RB_0` is 1.0 for any row with at least one surviving chunk).
+    pub access_frequency: [f64; NUM_REGBINS],
+    /// Fraction of per-pass bin instances that can be clock-gated
+    /// (weighted by bin size, since power scales with register count).
+    pub gated_power_fraction: f64,
+}
+
+/// Compute Fig. 13-style statistics from per-row chunk counts across one or
+/// more layers. A bin is *accessed* by a row when the row's chunk count
+/// reaches into it; bins beyond the row's count are candidates for
+/// per-pass clock gating.
+pub fn regbin_access_frequency<'a>(
+    layer_counts: impl IntoIterator<Item = &'a [usize]>,
+) -> RegBinUsage {
+    let mut touched = [0u64; NUM_REGBINS];
+    let mut rows = 0u64;
+    let mut gated_weight = 0.0f64;
+    let mut total_weight = 0.0f64;
+    let bin_weight: Vec<f64> = (0..NUM_REGBINS).map(|b| regbin_len(b) as f64).collect();
+    for counts in layer_counts {
+        for &c in counts {
+            rows += 1;
+            let top_bin = if c == 0 {
+                None
+            } else {
+                Some(regbin_index_of_chunk((c - 1).min(61)))
+            };
+            for b in 0..NUM_REGBINS {
+                let active = top_bin.is_some_and(|t| b <= t);
+                if active {
+                    touched[b] += 1;
+                } else {
+                    gated_weight += bin_weight[b];
+                }
+                total_weight += bin_weight[b];
+            }
+        }
+    }
+    let mut freq = [0.0f64; NUM_REGBINS];
+    for b in 0..NUM_REGBINS {
+        freq[b] = if rows == 0 {
+            0.0
+        } else {
+            touched[b] as f64 / rows as f64
+        };
+    }
+    RegBinUsage {
+        access_frequency: freq,
+        gated_power_fraction: if total_weight == 0.0 {
+            0.0
+        } else {
+            gated_weight / total_weight
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rb0_always_accessed_by_live_rows() {
+        let counts = vec![1usize, 2, 5, 30, 62];
+        let usage = regbin_access_frequency([counts.as_slice()]);
+        assert!((usage.access_frequency[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_rows_access_nothing() {
+        let counts = vec![0usize; 10];
+        let usage = regbin_access_frequency([counts.as_slice()]);
+        assert!(usage.access_frequency.iter().all(|&f| f == 0.0));
+        assert!((usage.gated_power_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_monotone_decreasing_in_bin() {
+        // Later bins can never be accessed more often than earlier ones.
+        let counts = vec![1usize, 3, 7, 15, 31, 62, 2, 2, 10];
+        let usage = regbin_access_frequency([counts.as_slice()]);
+        for b in 1..NUM_REGBINS {
+            assert!(usage.access_frequency[b] <= usage.access_frequency[b - 1]);
+        }
+    }
+
+    #[test]
+    fn shallow_counts_leave_rb4_unused() {
+        // Counts never reaching chunk 30 → RB4 never accessed (the "drops
+        // to zero for highly pruned models" observation).
+        let counts = vec![4usize; 100];
+        let usage = regbin_access_frequency([counts.as_slice()]);
+        assert_eq!(usage.access_frequency[4], 0.0);
+        assert_eq!(usage.access_frequency[3], 0.0);
+        assert!(usage.access_frequency[1] > 0.0);
+        // RB4 alone is 32/62 of the register power — gating saves a lot.
+        assert!(usage.gated_power_fraction > 0.5);
+    }
+
+    #[test]
+    fn multiple_layers_aggregate() {
+        let a = vec![62usize; 5];
+        let b = vec![0usize; 5];
+        let usage = regbin_access_frequency([a.as_slice(), b.as_slice()]);
+        assert!((usage.access_frequency[4] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_counts_map_to_expected_bins() {
+        // count = 2 reaches only RB0 (chunks 0,1); count = 3 reaches RB1.
+        let rb0_only = vec![2usize];
+        let usage0 = regbin_access_frequency([rb0_only.as_slice()]);
+        assert_eq!(usage0.access_frequency[1], 0.0);
+        let rb1 = vec![3usize];
+        let usage1 = regbin_access_frequency([rb1.as_slice()]);
+        assert!((usage1.access_frequency[1] - 1.0).abs() < 1e-12);
+    }
+}

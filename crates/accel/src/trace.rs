@@ -1,0 +1,256 @@
+//! Structured event tracing for the functional arrays.
+//!
+//! A [`Trace`] records dataflow events (activation loads/recycles, sub-row
+//! feeds, IR folds, RegBin rotations, flushes) with their cycle stamps, and
+//! renders them as a human-readable timeline — the tool behind Fig. 7/8
+//! style walk-throughs and the first thing to reach for when a dataflow
+//! change misbehaves.
+
+use std::fmt;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Activation loaded from the GLB into a PE row.
+    ActLoad {
+        /// Filter row.
+        row: usize,
+    },
+    /// Activation recycled in place for the next chunk.
+    ActRecycle {
+        /// Filter row.
+        row: usize,
+    },
+    /// One sub-row feed: filter row × chunk across the array.
+    Feed {
+        /// Filter row.
+        row: usize,
+        /// Chunk index.
+        chunk: usize,
+    },
+    /// IR folded into the RegBin for a chunk ("RB Step").
+    Fold {
+        /// Chunk index.
+        chunk: usize,
+    },
+    /// Early stop: a row's chunks are exhausted before the group's max.
+    EarlyStop {
+        /// Filter row.
+        row: usize,
+        /// The row's chunk count.
+        count: usize,
+    },
+    /// Accumulation buffers flushed at end of pass.
+    Flush {
+        /// Stall cycles exposed.
+        stall: u64,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::ActLoad { row } => write!(f, "load act[row {row}]"),
+            TraceEvent::ActRecycle { row } => write!(f, "recycle act[row {row}]"),
+            TraceEvent::Feed { row, chunk } => write!(f, "feed row {row} chunk {chunk}"),
+            TraceEvent::Fold { chunk } => write!(f, "RB step (fold chunk {chunk})"),
+            TraceEvent::EarlyStop { row, count } => {
+                write!(f, "early stop row {row} (count {count})")
+            }
+            TraceEvent::Flush { stall } => write!(f, "flush ({stall}-cycle stall)"),
+        }
+    }
+}
+
+/// A cycle-stamped event log.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<(u64, TraceEvent)>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Record `event` at `cycle`.
+    pub fn record(&mut self, cycle: u64, event: TraceEvent) {
+        self.events.push((cycle, event));
+    }
+
+    /// Number of recorded events.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Iterate events in recording order.
+    pub fn iter(&self) -> impl Iterator<Item = &(u64, TraceEvent)> {
+        self.events.iter()
+    }
+
+    /// Count events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.events.iter().filter(|(_, e)| pred(e)).count()
+    }
+
+    /// Render the timeline as text, one `cycle | event` line per entry.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (cycle, event) in &self.events {
+            out.push_str(&format!("{cycle:>6} | {event}\n"));
+        }
+        out
+    }
+}
+
+/// Trace a small IpOS pass over explicit chunk counts: replays the Serial
+/// Cascading schedule (group feeds, early stops, folds, flush) and returns
+/// the trace plus the total cycles. A lightweight schedule-only companion
+/// to the value-exact functional array.
+pub fn trace_ipos_pass(chunk_counts: &[usize], group_rows: usize) -> (Trace, u64) {
+    assert!(group_rows > 0, "group size must be positive");
+    let mut trace = Trace::new();
+    let mut cycle = 0u64;
+    for group_start in (0..chunk_counts.len()).step_by(group_rows) {
+        let group = &chunk_counts[group_start..(group_start + group_rows).min(chunk_counts.len())];
+        let max_count = group.iter().copied().max().unwrap_or(0);
+        for (off, &count) in group.iter().enumerate() {
+            if count < max_count {
+                trace.record(
+                    cycle,
+                    TraceEvent::EarlyStop {
+                        row: group_start + off,
+                        count,
+                    },
+                );
+            }
+        }
+        for n in 0..max_count {
+            for (off, &count) in group.iter().enumerate() {
+                let row = group_start + off;
+                if n >= count {
+                    continue;
+                }
+                if n == 0 {
+                    trace.record(cycle, TraceEvent::ActLoad { row });
+                } else {
+                    trace.record(cycle, TraceEvent::ActRecycle { row });
+                }
+                trace.record(cycle, TraceEvent::Feed { row, chunk: n });
+                cycle += 1;
+            }
+            if group.iter().any(|&c| n < c) {
+                trace.record(cycle, TraceEvent::Fold { chunk: n });
+            }
+        }
+    }
+    trace.record(cycle, TraceEvent::Flush { stall: 2 });
+    cycle += 2;
+    (trace, cycle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feeds_equal_total_chunk_counts() {
+        let counts = [3usize, 1, 2, 0];
+        let (trace, cycles) = trace_ipos_pass(&counts, 2);
+        let feeds = trace.count(|e| matches!(e, TraceEvent::Feed { .. }));
+        assert_eq!(feeds, 6);
+        // Cycles = feeds + flush stall.
+        assert_eq!(cycles, 6 + 2);
+    }
+
+    #[test]
+    fn loads_once_then_recycles() {
+        let counts = [3usize, 3];
+        let (trace, _) = trace_ipos_pass(&counts, 2);
+        assert_eq!(trace.count(|e| matches!(e, TraceEvent::ActLoad { .. })), 2);
+        assert_eq!(
+            trace.count(|e| matches!(e, TraceEvent::ActRecycle { .. })),
+            4 // (count-1) per row
+        );
+    }
+
+    #[test]
+    fn early_stops_flagged_for_short_rows() {
+        let counts = [4usize, 1];
+        let (trace, _) = trace_ipos_pass(&counts, 2);
+        assert_eq!(
+            trace.count(|e| matches!(e, TraceEvent::EarlyStop { row: 1, count: 1 })),
+            1
+        );
+    }
+
+    #[test]
+    fn render_lists_all_events() {
+        let (trace, _) = trace_ipos_pass(&[2, 1], 2);
+        let text = trace.render();
+        assert_eq!(text.lines().count(), trace.len());
+        assert!(text.contains("feed row 0 chunk 0"));
+        assert!(text.contains("flush"));
+    }
+
+    #[test]
+    fn one_fold_per_chunk_step() {
+        let counts = [2usize, 2, 2];
+        let (trace, _) = trace_ipos_pass(&counts, 3);
+        assert_eq!(trace.count(|e| matches!(e, TraceEvent::Fold { .. })), 2);
+    }
+
+    #[test]
+    fn empty_counts_only_flush() {
+        let (trace, cycles) = trace_ipos_pass(&[0, 0], 2);
+        assert_eq!(trace.count(|e| matches!(e, TraceEvent::Feed { .. })), 0);
+        assert_eq!(cycles, 2);
+    }
+
+    #[test]
+    fn trace_cycles_match_functional_array_single_tile() {
+        // Schedule-only trace and the value-exact array must agree on
+        // compute cycles whenever one pixel tile covers all pixels.
+        use crate::array::SerialCascadingArray;
+        use crate::config::CspHConfig;
+        use csp_pruning::{ChunkedLayout, CspMask};
+        use csp_tensor::Tensor;
+        let counts = vec![3usize, 1, 2, 0, 2];
+        let (m, arr_w, p) = (5usize, 2usize, 3usize);
+        let c_out = 3 * arr_w;
+        let group = 2usize;
+        let (trace, trace_cycles) = trace_ipos_pass(&counts, group);
+        let cfg = CspHConfig {
+            arr_w,
+            arr_h: p, // one tile
+            truncation_period: group,
+            ..CspHConfig::default()
+        };
+        let layout = ChunkedLayout::new(m, c_out, arr_w).unwrap();
+        let mask = CspMask::from_chunk_counts(layout, counts.clone()).unwrap();
+        let w = mask.apply(&Tensor::ones(&[m, c_out])).unwrap();
+        let acts = Tensor::ones(&[m, p]);
+        let (_, stats) = SerialCascadingArray::new(cfg, None)
+            .run_gemm(&w, &counts, &acts)
+            .unwrap();
+        assert_eq!(stats.cycles, trace_cycles);
+        let feeds = trace.count(|e| matches!(e, TraceEvent::Feed { .. })) as u64;
+        assert_eq!(stats.cycles - stats.flush_stalls, feeds);
+    }
+
+    #[test]
+    fn events_display_nonempty() {
+        for e in [
+            TraceEvent::ActLoad { row: 1 },
+            TraceEvent::ActRecycle { row: 2 },
+            TraceEvent::Feed { row: 0, chunk: 3 },
+            TraceEvent::Fold { chunk: 1 },
+            TraceEvent::EarlyStop { row: 4, count: 2 },
+            TraceEvent::Flush { stall: 2 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Cambricon-X (1-way unstructured weight sparsity with indexing) and
+//! Cambricon-S (cooperative structured sparsity with a shared-index
+//! buffer and large per-PE memories).
+
+use crate::common::{weight_tiled_passes, window_overlap_factor, Accelerator, LayerCost};
+use csp_models::{LayerShape, SparsityProfile};
+use csp_sim::{EnergyBreakdown, EnergyTable, MemoryPort, TrafficClass};
+
+/// Cambricon-X: compressed weights, per-PE indexing unit (the BCFU-style
+/// step-index gather), dense activations.
+#[derive(Debug, Clone)]
+pub struct CambriconX {
+    energy: EnergyTable,
+}
+
+impl CambriconX {
+    /// Model with the default energy table.
+    pub fn new(energy: EnergyTable) -> Self {
+        CambriconX { energy }
+    }
+}
+
+impl Accelerator for CambriconX {
+    fn name(&self) -> &'static str {
+        "Cambricon-X"
+    }
+
+    fn buffer_bytes_per_mac(&self) -> f64 {
+        0.195 * 1024.0 // Table 1
+    }
+
+    fn run_layer(&self, layer: &LayerShape, profile: &SparsityProfile) -> LayerCost {
+        let e = &self.energy;
+        let density = 1.0 - profile.weight_sparsity;
+        let m = layer.m() as u64;
+        let c_out = layer.c_out() as u64;
+        let nnz_w = ((m * c_out) as f64 * density).ceil() as u64;
+        let macs = ((layer.macs() as f64) * density).ceil() as u64;
+        // Indexing adds a small pipeline overhead and load imbalance across
+        // the 16 PEs' private nonzero streams.
+        let cycles = ((macs as f64 / 1024.0) * 1.08).ceil() as u64;
+
+        // Compressed weights: values + 4-bit step indices.
+        let weight_bytes = nnz_w + nnz_w.div_ceil(2);
+        let passes = weight_tiled_passes(weight_bytes, 36 * 1024);
+        // 36 KB NBin: same vertical-overlap re-fetch as DianNao.
+        let overlap = window_overlap_factor(layer, 36 * 1024, 1.0);
+        let ifm_bytes = layer.ifm_elems() as u64;
+        let act_total = ifm_bytes * passes * overlap;
+
+        let mut dram = MemoryPort::new("DRAM", e.dram_read_pj, e.dram_write_pj);
+        dram.read(ifm_bytes, TrafficClass::IfmUnique);
+        dram.read(act_total - ifm_bytes, TrafficClass::IfmRefetch);
+        dram.read(nnz_w, TrafficClass::Weight);
+        dram.read(nnz_w.div_ceil(2), TrafficClass::WeightMeta);
+        dram.write(layer.ofm_elems() as u64, TrafficClass::Ofm);
+
+        // The indexing unit (IM) gathers the needed activation for every
+        // surviving weight: one buffer read per MAC plus an index decode,
+        // which is the "BCFU locating and re-transporting" energy Fig. 11
+        // attributes to the Cambricons.
+        let mut nbin = MemoryPort::new("NBin", e.nb_read_pj, e.nb_write_pj);
+        nbin.read(macs, TrafficClass::IfmUnique);
+        let index_decode_pj = macs as f64 * 0.35; // per-gather index logic
+        let mut sb = MemoryPort::new("SB", e.nb_read_pj, e.nb_write_pj);
+        sb.read(macs, TrafficClass::Weight);
+        let mut nbout = MemoryPort::new("NBout", e.nb_read_pj, e.nb_write_pj);
+        nbout.write(layer.ofm_elems() as u64, TrafficClass::Ofm);
+
+        let mut energy = EnergyBreakdown::new();
+        energy.add("DRAM IFM U", dram.energy_pj_class(TrafficClass::IfmUnique));
+        energy.add(
+            "DRAM IFM RR",
+            dram.energy_pj_class(TrafficClass::IfmRefetch),
+        );
+        energy.add("DRAM WGT", dram.energy_pj_class(TrafficClass::Weight));
+        energy.add("DRAM META", dram.energy_pj_class(TrafficClass::WeightMeta));
+        energy.add("DRAM OFM", dram.energy_pj_class(TrafficClass::Ofm));
+        energy.add("GLB NBin", nbin.energy_pj());
+        energy.add("GLB SB", sb.energy_pj());
+        energy.add("GLB NBout", nbout.energy_pj());
+        energy.add("BCFU index", index_decode_pj);
+        energy.add("PE MAC", macs as f64 * e.mac_pj);
+        let leak_bytes = (self.buffer_bytes_per_mac() * 1024.0) as usize;
+        energy.add("SRAM leak", e.sram_leak_pj(leak_bytes, cycles));
+
+        LayerCost {
+            name: layer.name.clone(),
+            cycles,
+            macs,
+            dram,
+            energy,
+        }
+    }
+}
+
+/// Cambricon-S: structured (block) weight sparsity shared across PEs via a
+/// shared-index buffer, large 32 KB per-PE memories, and activation
+/// gathering through the neuron-selector module (NSM).
+#[derive(Debug, Clone)]
+pub struct CambriconS {
+    energy: EnergyTable,
+}
+
+impl CambriconS {
+    /// Model with the default energy table.
+    pub fn new(energy: EnergyTable) -> Self {
+        CambriconS { energy }
+    }
+}
+
+impl Accelerator for CambriconS {
+    fn name(&self) -> &'static str {
+        "Cambricon-S"
+    }
+
+    fn buffer_bytes_per_mac(&self) -> f64 {
+        2.070 * 1024.0 // Table 1
+    }
+
+    fn run_layer(&self, layer: &LayerShape, profile: &SparsityProfile) -> LayerCost {
+        let e = &self.energy;
+        let density = 1.0 - profile.weight_sparsity;
+        let m = layer.m() as u64;
+        let c_out = layer.c_out() as u64;
+        let nnz_w = ((m * c_out) as f64 * density).ceil() as u64;
+        let macs = ((layer.macs() as f64) * density).ceil() as u64;
+        // Structured blocks keep the PEs balanced: small overhead only.
+        let cycles = ((macs as f64 / 1024.0) * 1.03).ceil() as u64;
+
+        // Structured compression: shared indices amortize metadata across
+        // the block (16 filters share one index stream).
+        let weight_bytes = nnz_w + nnz_w.div_ceil(16);
+        // The large per-PE memories (32 KB × 64 PEs = 2 MB) cache weights
+        // effectively: far fewer activation re-streams.
+        let passes = weight_tiled_passes(weight_bytes, 2 * 1024 * 1024);
+        let ifm_bytes = layer.ifm_elems() as u64;
+
+        let mut dram = MemoryPort::new("DRAM", e.dram_read_pj, e.dram_write_pj);
+        dram.read(ifm_bytes, TrafficClass::IfmUnique);
+        dram.read(ifm_bytes * (passes - 1), TrafficClass::IfmRefetch);
+        dram.read(nnz_w, TrafficClass::Weight);
+        dram.read(nnz_w.div_ceil(16), TrafficClass::WeightMeta);
+        dram.write(layer.ofm_elems() as u64, TrafficClass::Ofm);
+
+        // Structured blocks let 16-filter groups share gathered
+        // activations, but the NSM still re-transports each selected
+        // activation to its PE group (half the per-MAC rate of X).
+        let mut nbin = MemoryPort::new("NBin", e.cs_nbin_read_pj, e.cs_nbout_write_pj);
+        nbin.read(macs / 2, TrafficClass::IfmUnique);
+        let mut sib = MemoryPort::new("SIB", e.cs_sib_read_pj, e.cs_sib_read_pj);
+        sib.read(macs.div_ceil(16), TrafficClass::WeightMeta);
+        let mut nbout = MemoryPort::new("NBout", e.cs_nbin_read_pj, e.cs_nbout_write_pj);
+        nbout.write(layer.ofm_elems() as u64, TrafficClass::Ofm);
+        // Every MAC's operands are staged through the PE's private 32 KB
+        // SRAM — large local buffers cost more per access than registers.
+        let mut local = MemoryPort::new("PE SRAM", 1.2, 1.2);
+        local.read(2 * macs, TrafficClass::IfmUnique);
+        // NSM selection logic per gathered activation group.
+        let nsm_pj = macs as f64 * 0.12;
+
+        let mut energy = EnergyBreakdown::new();
+        energy.add("DRAM IFM U", dram.energy_pj_class(TrafficClass::IfmUnique));
+        energy.add(
+            "DRAM IFM RR",
+            dram.energy_pj_class(TrafficClass::IfmRefetch),
+        );
+        energy.add("DRAM WGT", dram.energy_pj_class(TrafficClass::Weight));
+        energy.add("DRAM META", dram.energy_pj_class(TrafficClass::WeightMeta));
+        energy.add("DRAM OFM", dram.energy_pj_class(TrafficClass::Ofm));
+        energy.add("GLB NBin", nbin.energy_pj());
+        energy.add("GLB SIB", sib.energy_pj());
+        energy.add("GLB NBout", nbout.energy_pj());
+        energy.add("PE SRAM", local.energy_pj());
+        energy.add("NSM select", nsm_pj);
+        energy.add("PE MAC", macs as f64 * e.mac_pj);
+        let leak_bytes = (self.buffer_bytes_per_mac() * 1024.0) as usize;
+        energy.add("SRAM leak", e.sram_leak_pj(leak_bytes, cycles));
+
+        LayerCost {
+            name: layer.name.clone(),
+            cycles,
+            macs,
+            dram,
+            energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> LayerShape {
+        LayerShape::conv("c", 128, 256, 3, 1, 1, 14, 14)
+    }
+
+    #[test]
+    fn x_skips_by_weight_sparsity() {
+        let x = CambriconX::new(EnergyTable::default());
+        let run = x.run_layer(&layer(), &SparsityProfile::new(0.75, 1));
+        let ratio = run.macs as f64 / layer().macs() as f64;
+        assert!((ratio - 0.25).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn s_has_lower_cycle_overhead_than_x() {
+        let x = CambriconX::new(EnergyTable::default());
+        let s = CambriconS::new(EnergyTable::default());
+        let p = SparsityProfile::new(0.6, 1);
+        assert!(s.run_layer(&layer(), &p).cycles < x.run_layer(&layer(), &p).cycles);
+    }
+
+    #[test]
+    fn s_refetches_less_than_x() {
+        let x = CambriconX::new(EnergyTable::default());
+        let s = CambriconS::new(EnergyTable::default());
+        // Big-weight layer forces X into multiple passes.
+        let big = LayerShape::conv("c5", 512, 512, 3, 1, 1, 14, 14);
+        let p = SparsityProfile::new(0.5, 1);
+        let xr = x.run_layer(&big, &p);
+        let sr = s.run_layer(&big, &p);
+        assert!(
+            sr.dram.bytes_read_class(TrafficClass::IfmRefetch)
+                < xr.dram.bytes_read_class(TrafficClass::IfmRefetch)
+        );
+    }
+
+    #[test]
+    fn s_pays_more_leakage() {
+        let x = CambriconX::new(EnergyTable::default());
+        let s = CambriconS::new(EnergyTable::default());
+        let p = SparsityProfile::new(0.6, 1);
+        let xe = x.run_layer(&layer(), &p).energy.component("SRAM leak");
+        let se = s.run_layer(&layer(), &p).energy.component("SRAM leak");
+        assert!(se > 5.0 * xe, "S leak {se} vs X leak {xe}");
+    }
+
+    #[test]
+    fn structured_metadata_is_cheaper() {
+        let x = CambriconX::new(EnergyTable::default());
+        let s = CambriconS::new(EnergyTable::default());
+        let p = SparsityProfile::new(0.6, 1);
+        let xm = x
+            .run_layer(&layer(), &p)
+            .dram
+            .bytes_read_class(TrafficClass::WeightMeta);
+        let sm = s
+            .run_layer(&layer(), &p)
+            .dram
+            .bytes_read_class(TrafficClass::WeightMeta);
+        assert!(sm < xm);
+    }
+
+    #[test]
+    fn energy_components_sum() {
+        for acc in [
+            Box::new(CambriconX::new(EnergyTable::default())) as Box<dyn Accelerator>,
+            Box::new(CambriconS::new(EnergyTable::default())),
+        ] {
+            let run = acc.run_layer(&layer(), &SparsityProfile::new(0.5, 2));
+            let sum: f64 = run.energy.components().map(|(_, v)| v).sum();
+            assert!((sum - run.energy.total_pj()).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Shared accelerator abstractions for the baseline models.
+
+use csp_models::{LayerShape, Network, SparsityProfile};
+use csp_sim::{EnergyBreakdown, MemoryPort, RunResult};
+
+/// Per-layer simulation output shared by all baseline models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerCost {
+    /// Layer name.
+    pub name: String,
+    /// Cycles for this layer.
+    pub cycles: u64,
+    /// MACs actually executed (after whatever skipping the design does).
+    pub macs: u64,
+    /// Off-chip traffic of this layer.
+    pub dram: MemoryPort,
+    /// Energy breakdown (pJ); components sum to the layer total.
+    pub energy: EnergyBreakdown,
+}
+
+/// An accelerator model: layer in, cycles/traffic/energy out.
+pub trait Accelerator {
+    /// Display name (matches the paper's figures).
+    fn name(&self) -> &'static str;
+
+    /// Simulate one layer under the given sparsity profile.
+    fn run_layer(&self, layer: &LayerShape, profile: &SparsityProfile) -> LayerCost;
+
+    /// Bytes of on-chip buffering per MAC unit (the Table 1 `B/MAC`
+    /// column), used for leakage accounting and the area discussion.
+    fn buffer_bytes_per_mac(&self) -> f64;
+
+    /// Simulate a whole network; the default sums the layer runs.
+    fn run_network(&self, net: &Network, profile: &SparsityProfile) -> RunResult {
+        let mut cycles = 0u64;
+        let mut macs = 0u64;
+        let mut energy = EnergyBreakdown::new();
+        for layer in &net.layers {
+            let run = self.run_layer(layer, profile);
+            cycles += run.cycles;
+            macs += run.macs;
+            energy.absorb(&run.energy);
+        }
+        RunResult {
+            accelerator: self.name().into(),
+            network: net.name.into(),
+            cycles,
+            energy,
+            macs_executed: macs,
+        }
+    }
+
+    /// Per-layer runs for a whole network.
+    fn run_network_layers(&self, net: &Network, profile: &SparsityProfile) -> Vec<LayerCost> {
+        net.layers
+            .iter()
+            .map(|l| self.run_layer(l, profile))
+            .collect()
+    }
+}
+
+/// Number of weight-stationary passes needed when only `buffer_bytes` of
+/// weights fit on chip: each pass re-streams the layer's input activations
+/// (the re-fetch mechanism of Fig. 1). At least one pass.
+pub fn weight_tiled_passes(weight_bytes: u64, buffer_bytes: u64) -> u64 {
+    weight_bytes.div_ceil(buffer_bytes.max(1)).max(1)
+}
+
+/// Compressed activation bytes for a bitmask scheme: non-zero values plus
+/// one mask bit per element.
+pub fn bitmask_compressed_bytes(elems: u64, density: f64) -> u64 {
+    (elems as f64 * density).ceil() as u64 + elems.div_ceil(8)
+}
+
+/// Sliding-window re-fetch factor for convolution layers: an accelerator
+/// whose activation buffering cannot hold the `k` input rows a `k × k`
+/// window spans must re-read each input row up to `k` times as the window
+/// slides vertically. Returns 1 for FC layers, for 1×1 kernels, and when
+/// the `k`-row working set (`k · in_w · c_in · density` bytes) fits in
+/// `act_buffer_bytes`.
+pub fn window_overlap_factor(layer: &LayerShape, act_buffer_bytes: u64, act_density: f64) -> u64 {
+    match layer.kind {
+        csp_models::LayerKind::Conv {
+            c_in, kernel, in_w, ..
+        } => {
+            if kernel <= 1 {
+                return 1;
+            }
+            let working_set = ((kernel * in_w * c_in) as f64 * act_density).ceil() as u64;
+            if working_set > act_buffer_bytes {
+                kernel as u64
+            } else {
+                1
+            }
+        }
+        csp_models::LayerKind::Fc { .. } => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_at_least_one() {
+        assert_eq!(weight_tiled_passes(0, 1024), 1);
+        assert_eq!(weight_tiled_passes(100, 1024), 1);
+        assert_eq!(weight_tiled_passes(2048, 1024), 2);
+        assert_eq!(weight_tiled_passes(2049, 1024), 3);
+    }
+
+    #[test]
+    fn passes_handle_zero_buffer() {
+        assert_eq!(weight_tiled_passes(10, 0), 10);
+    }
+
+    #[test]
+    fn bitmask_compression_accounting() {
+        // 800 elems at 50% density: 400 values + 100 mask bytes.
+        assert_eq!(bitmask_compressed_bytes(800, 0.5), 500);
+        // Fully dense costs *more* than raw due to the mask.
+        assert_eq!(bitmask_compressed_bytes(800, 1.0), 900);
+    }
+}

@@ -1,0 +1,158 @@
+//! DianNao: a dense 3-level-memory accelerator (the normalization baseline
+//! of Fig. 10).
+//!
+//! The model follows the paper's methodology: dense execution at full MAC
+//! utilization, with NBin/NBout staging buffers (36 KB each) and weight-
+//! tiled passes that re-stream input activations from off-chip. Because
+//! DianNao does not exploit unstructured sparsity, the paper enhances its
+//! baseline by structurally pruning *entire ineffectual filters*; the model
+//! applies the same enhancement with a filter-level sparsity of half the
+//! element-wise rate (whole-filter pruning cannot reach element-wise rates
+//! without accuracy collapse).
+
+use crate::common::{weight_tiled_passes, window_overlap_factor, Accelerator, LayerCost};
+use csp_models::{LayerShape, SparsityProfile};
+use csp_sim::{EnergyBreakdown, EnergyTable, MemoryPort, TrafficClass};
+
+/// The DianNao model.
+#[derive(Debug, Clone)]
+pub struct DianNao {
+    energy: EnergyTable,
+    /// Fraction of the element-wise sparsity achievable by whole-filter
+    /// pruning (the paper's baseline enhancement).
+    filter_prune_fraction: f64,
+}
+
+impl DianNao {
+    /// Model with the default energy table.
+    pub fn new(energy: EnergyTable) -> Self {
+        DianNao {
+            energy,
+            filter_prune_fraction: 0.5,
+        }
+    }
+
+    /// Effective filter count after whole-filter pruning.
+    fn effective_c_out(&self, layer: &LayerShape, profile: &SparsityProfile) -> u64 {
+        let kept = 1.0 - profile.weight_sparsity * self.filter_prune_fraction;
+        ((layer.c_out() as f64) * kept).ceil().max(1.0) as u64
+    }
+}
+
+impl Accelerator for DianNao {
+    fn name(&self) -> &'static str {
+        "DianNao"
+    }
+
+    fn buffer_bytes_per_mac(&self) -> f64 {
+        0.195 * 1024.0 // Table 1
+    }
+
+    fn run_layer(&self, layer: &LayerShape, profile: &SparsityProfile) -> LayerCost {
+        let e = &self.energy;
+        let c_out_eff = self.effective_c_out(layer, profile);
+        let m = layer.m() as u64;
+        let p = layer.pixels() as u64;
+        let macs = m * c_out_eff * p;
+        let cycles = macs.div_ceil(1024);
+
+        // Weight-tiled passes over the 36 KB SB: each pass re-streams the
+        // IFM from DRAM.
+        let weight_bytes = m * c_out_eff;
+        let passes = weight_tiled_passes(weight_bytes, 36 * 1024);
+        // The 36 KB NBin cannot hold the k-row working set of large maps:
+        // sliding windows re-fetch vertically-overlapping rows.
+        let overlap = window_overlap_factor(layer, 36 * 1024, 1.0);
+        let ifm_bytes = layer.ifm_elems() as u64;
+        let ofm_bytes = c_out_eff * p;
+        let act_total = ifm_bytes * passes * overlap;
+
+        let mut dram = MemoryPort::new("DRAM", e.dram_read_pj, e.dram_write_pj);
+        dram.read(ifm_bytes, TrafficClass::IfmUnique);
+        dram.read(act_total - ifm_bytes, TrafficClass::IfmRefetch);
+        dram.read(weight_bytes, TrafficClass::Weight);
+        dram.write(ofm_bytes, TrafficClass::Ofm);
+
+        // NBin reads are broadcast to the NFU's 16 parallel neurons (one
+        // activation feeds 16 MACs); SB supplies one distinct weight per
+        // MAC; NBout writes each output once.
+        let mut nbin = MemoryPort::new("NBin", e.nb_read_pj, e.nb_write_pj);
+        nbin.read(macs / 16, TrafficClass::IfmUnique);
+        let mut sb = MemoryPort::new("SB", e.nb_read_pj, e.nb_write_pj);
+        sb.read(macs, TrafficClass::Weight);
+        let mut nbout = MemoryPort::new("NBout", e.nb_read_pj, e.nb_write_pj);
+        nbout.write(ofm_bytes, TrafficClass::Ofm);
+
+        let mut energy = EnergyBreakdown::new();
+        energy.add("DRAM IFM U", dram.energy_pj_class(TrafficClass::IfmUnique));
+        energy.add(
+            "DRAM IFM RR",
+            dram.energy_pj_class(TrafficClass::IfmRefetch),
+        );
+        energy.add("DRAM WGT", dram.energy_pj_class(TrafficClass::Weight));
+        energy.add("DRAM OFM", dram.energy_pj_class(TrafficClass::Ofm));
+        energy.add("GLB NBin", nbin.energy_pj());
+        energy.add("GLB SB", sb.energy_pj());
+        energy.add("GLB NBout", nbout.energy_pj());
+        energy.add("PE MAC", macs as f64 * e.mac_pj);
+        let leak_bytes = (self.buffer_bytes_per_mac() * 1024.0) as usize;
+        energy.add("SRAM leak", e.sram_leak_pj(leak_bytes, cycles));
+
+        LayerCost {
+            name: layer.name.clone(),
+            cycles,
+            macs,
+            dram,
+            energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> LayerShape {
+        LayerShape::conv("c", 64, 128, 3, 1, 1, 28, 28)
+    }
+
+    #[test]
+    fn dense_cycles_are_throughput_bound() {
+        let d = DianNao::new(EnergyTable::default());
+        let run = d.run_layer(&layer(), &SparsityProfile::new(0.0, 1));
+        assert_eq!(run.macs, layer().macs());
+        assert_eq!(run.cycles, layer().macs().div_ceil(1024));
+    }
+
+    #[test]
+    fn filter_pruning_helps_but_less_than_elementwise() {
+        let d = DianNao::new(EnergyTable::default());
+        let dense = d.run_layer(&layer(), &SparsityProfile::new(0.0, 1));
+        let sparse = d.run_layer(&layer(), &SparsityProfile::new(0.8, 1));
+        let ratio = sparse.macs as f64 / dense.macs as f64;
+        // 80% element-wise → 40% filter-level → 60% of MACs remain.
+        assert!((ratio - 0.6).abs() < 0.02, "ratio {ratio}");
+    }
+
+    #[test]
+    fn big_layers_refetch_activations() {
+        let d = DianNao::new(EnergyTable::default());
+        // conv with 2.3 MB of weights ≫ 36 KB SB.
+        let big = LayerShape::conv("c5", 512, 512, 3, 1, 1, 14, 14);
+        let run = d.run_layer(&big, &SparsityProfile::new(0.0, 1));
+        assert!(run.dram.bytes_read_class(TrafficClass::IfmRefetch) > 0);
+        // Re-fetch dominates unique (the Fig. 1 observation).
+        assert!(
+            run.dram.bytes_read_class(TrafficClass::IfmRefetch)
+                > 10 * run.dram.bytes_read_class(TrafficClass::IfmUnique)
+        );
+    }
+
+    #[test]
+    fn energy_components_sum() {
+        let d = DianNao::new(EnergyTable::default());
+        let run = d.run_layer(&layer(), &SparsityProfile::new(0.5, 2));
+        let sum: f64 = run.energy.components().map(|(_, v)| v).sum();
+        assert!((sum - run.energy.total_pj()).abs() < 1e-6);
+    }
+}

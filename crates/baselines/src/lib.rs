@@ -1,0 +1,39 @@
+//! # csp-baselines
+//!
+//! Analytic cycle/traffic/energy models of the baseline accelerators the
+//! CSP paper compares against (Section 6.2, Table 1):
+//!
+//! * [`DianNao`] — dense 3-level-memory accelerator (enhanced, as in the
+//!   paper, by structurally pruning whole ineffectual filters);
+//! * [`CambriconX`] — 1-way weight-sparse accelerator with compressed
+//!   weights and an indexing unit;
+//! * [`CambriconS`] — cooperative structured-sparse accelerator with a
+//!   shared-index buffer and large per-PE memories;
+//! * [`SparTen`] — 2-way sparse (bitmask) accelerator with 32 independent
+//!   clusters and offline load balancing, plus its dense-execution variant;
+//! * [`OsDataflow`] — a conventional dense output-stationary accelerator
+//!   ("Vanilla" in Fig. 12) and its "OS + CSR compression" variant
+//!   (Fig. 11).
+//!
+//! All models are constrained to 1024 MAC units, 72 KB of global buffer,
+//! 8-bit operands and a 300 MHz clock, exactly as the paper's methodology
+//! prescribes, and they consume the same [`LayerShape`]/[`SparsityProfile`]
+//! inputs as the CSP-H simulator so comparisons are apples-to-apples.
+//!
+//! [`LayerShape`]: csp_models::LayerShape
+//! [`SparsityProfile`]: csp_models::SparsityProfile
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cambricon;
+mod common;
+mod diannao;
+mod os;
+mod sparten;
+
+pub use cambricon::{CambriconS, CambriconX};
+pub use common::{Accelerator, LayerCost};
+pub use diannao::DianNao;
+pub use os::OsDataflow;
+pub use sparten::SparTen;

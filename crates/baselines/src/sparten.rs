@@ -1,0 +1,222 @@
+//! SparTen: a 2-way sparse (bitmask) accelerator with 32 independent
+//! clusters, offline load balancing, and no shared global buffer.
+//!
+//! SparTen skips *all* ineffectual computations — products with a zero
+//! weight or a zero activation — giving it the best cycle counts of the
+//! baselines. Its energy weakness, which Fig. 11 isolates, is that the 32
+//! clusters work on independent output slices and each re-fetches the
+//! overlapping input-map data it needs from off-chip (there is no shared
+//! GLB; Table 1 lists "N/A"), eclipsing the ~50 % activation-compression
+//! savings of the bitmask format.
+
+use crate::common::{bitmask_compressed_bytes, Accelerator, LayerCost};
+use csp_models::{LayerShape, SparsityProfile};
+use csp_sim::{EnergyBreakdown, EnergyTable, MemoryPort, TrafficClass};
+
+/// The SparTen model (and its dense-execution variant).
+#[derive(Debug, Clone)]
+pub struct SparTen {
+    energy: EnergyTable,
+    clusters: u64,
+    /// When `false`, models the "SparTen-dense" additional baseline of
+    /// Fig. 10: same hardware, no sparsity exploited.
+    sparse: bool,
+}
+
+impl SparTen {
+    /// The sparse (normal) SparTen model.
+    pub fn new(energy: EnergyTable) -> Self {
+        SparTen {
+            energy,
+            clusters: 32,
+            sparse: true,
+        }
+    }
+
+    /// The dense-execution variant ("SparTen-dense" in Fig. 10).
+    pub fn dense(energy: EnergyTable) -> Self {
+        SparTen {
+            energy,
+            clusters: 32,
+            sparse: false,
+        }
+    }
+
+    /// Cluster count.
+    pub fn clusters(&self) -> u64 {
+        self.clusters
+    }
+}
+
+impl Accelerator for SparTen {
+    fn name(&self) -> &'static str {
+        if self.sparse {
+            "SparTen"
+        } else {
+            "SparTen-dense"
+        }
+    }
+
+    fn buffer_bytes_per_mac(&self) -> f64 {
+        0.778 * 1024.0 // Table 1: 1024 PEs × 0.76 KB, no GLB
+    }
+
+    fn run_layer(&self, layer: &LayerShape, profile: &SparsityProfile) -> LayerCost {
+        let e = &self.energy;
+        let (w_density, a_density) = if self.sparse {
+            (1.0 - profile.weight_sparsity, profile.activation_density)
+        } else {
+            (1.0, 1.0)
+        };
+        let m = layer.m() as u64;
+        let c_out = layer.c_out() as u64;
+        let dense_macs = layer.macs();
+        // 2-way skipping: only weight-nonzero × activation-nonzero
+        // intersections compute.
+        let macs = ((dense_macs as f64) * w_density * a_density).ceil() as u64;
+        // Offline (software greedy sort) + online load balancing leaves a
+        // modest imbalance penalty.
+        let cycles = ((macs as f64 / 1024.0) * 1.10).ceil() as u64;
+
+        // Weights: bitmask-compressed, fetched once (streamed through the
+        // per-PE buffers).
+        let nnz_w = ((m * c_out) as f64 * w_density).ceil() as u64;
+        let w_mask = (m * c_out).div_ceil(8);
+
+        // Activations: bitmask-compressed, but each filter assignment
+        // round re-streams the input map because clusters hold only their
+        // small private buffers. Filters are distributed round-robin over
+        // the clusters; each round of `clusters` filters streams the IFM
+        // once.
+        let ifm_elems = layer.ifm_elems() as u64;
+        let ifm_compressed = bitmask_compressed_bytes(ifm_elems, a_density);
+        // The clusters operate *independently* on their own output slices
+        // (filter subsets). Each cluster buffers as many compressed
+        // filters as its private 24 KB (32 PEs × 0.76 KB) holds and
+        // streams the compressed IFM once per filter batch — and because
+        // the clusters are unsynchronized, their overlapping IFM streams
+        // are fetched redundantly (the Fig. 11 indictment: redundant
+        // cluster accesses eclipse the nominal 50 % compression savings).
+        let filter_bytes = ((m as f64 * w_density).ceil() as u64 + m.div_ceil(8)).max(1);
+        let filters_per_cluster = c_out.div_ceil(self.clusters).max(1);
+        let filters_per_batch = (24 * 1024 / filter_bytes).max(1);
+        let cluster_passes = filters_per_cluster.div_ceil(filters_per_batch);
+        let streaming_clusters = self.clusters.min(c_out);
+        let act_read_total = ifm_compressed * streaming_clusters * cluster_passes;
+
+        let mut dram = MemoryPort::new("DRAM", e.dram_read_pj, e.dram_write_pj);
+        dram.read(ifm_compressed.min(act_read_total), TrafficClass::IfmUnique);
+        dram.read(
+            act_read_total.saturating_sub(ifm_compressed),
+            TrafficClass::IfmRefetch,
+        );
+        dram.read(nnz_w, TrafficClass::Weight);
+        dram.read(w_mask, TrafficClass::WeightMeta);
+        dram.write(layer.ofm_elems() as u64, TrafficClass::Ofm);
+
+        // Per-PE buffer traffic: operands staged through the 0.76 KB
+        // private buffers; prefix-sum intersection logic per effectual
+        // pair.
+        let mut local = MemoryPort::new("PE buffers", 1.0, 1.5);
+        local.read(2 * macs, TrafficClass::IfmUnique);
+        local.write(layer.ofm_elems() as u64, TrafficClass::Ofm);
+        let prefix_sum_pj = macs as f64 * 0.22;
+
+        let mut energy = EnergyBreakdown::new();
+        energy.add("DRAM IFM U", dram.energy_pj_class(TrafficClass::IfmUnique));
+        energy.add(
+            "DRAM IFM RR",
+            dram.energy_pj_class(TrafficClass::IfmRefetch),
+        );
+        energy.add("DRAM WGT", dram.energy_pj_class(TrafficClass::Weight));
+        energy.add("DRAM META", dram.energy_pj_class(TrafficClass::WeightMeta));
+        energy.add("DRAM OFM", dram.energy_pj_class(TrafficClass::Ofm));
+        energy.add("PE buffers", local.energy_pj());
+        energy.add("Prefix-sum", prefix_sum_pj);
+        energy.add("PE MAC", macs as f64 * e.mac_pj);
+        let leak_bytes = (self.buffer_bytes_per_mac() * 1024.0) as usize;
+        energy.add("SRAM leak", e.sram_leak_pj(leak_bytes, cycles));
+
+        LayerCost {
+            name: layer.name.clone(),
+            cycles,
+            macs,
+            dram,
+            energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> LayerShape {
+        LayerShape::conv("c", 128, 256, 3, 1, 1, 14, 14)
+    }
+
+    #[test]
+    fn two_way_skipping_beats_one_way() {
+        let s = SparTen::new(EnergyTable::default());
+        let p = SparsityProfile::new(0.6, 1).with_activation_density(0.5);
+        let run = s.run_layer(&layer(), &p);
+        let ratio = run.macs as f64 / layer().macs() as f64;
+        assert!((ratio - 0.2).abs() < 0.01, "ratio {ratio}"); // 0.4 × 0.5
+    }
+
+    #[test]
+    fn dense_variant_executes_everything() {
+        let d = SparTen::dense(EnergyTable::default());
+        let p = SparsityProfile::new(0.9, 1).with_activation_density(0.3);
+        let run = d.run_layer(&layer(), &p);
+        assert_eq!(run.macs, layer().macs());
+        assert_eq!(d.name(), "SparTen-dense");
+    }
+
+    #[test]
+    fn independent_clusters_refetch_redundantly() {
+        let s = SparTen::new(EnergyTable::default());
+        let p = SparsityProfile::new(0.5, 1);
+        // 32 unsynchronized clusters each stream the compressed IFM.
+        let run = s.run_layer(&layer(), &p);
+        let unique = run.dram.bytes_read_class(TrafficClass::IfmUnique);
+        let refetch = run.dram.bytes_read_class(TrafficClass::IfmRefetch);
+        assert!(
+            refetch > 10 * unique,
+            "refetch {refetch} vs unique {unique}"
+        );
+    }
+
+    #[test]
+    fn refetch_grows_with_filter_count() {
+        let s = SparTen::new(EnergyTable::default());
+        let p = SparsityProfile::new(0.5, 1);
+        let few = LayerShape::conv("a", 128, 64, 3, 1, 1, 14, 14);
+        let many = LayerShape::conv("b", 128, 2048, 3, 1, 1, 14, 14);
+        let rf = |l: &LayerShape| {
+            s.run_layer(l, &p)
+                .dram
+                .bytes_read_class(TrafficClass::IfmRefetch)
+        };
+        assert!(rf(&many) > rf(&few));
+    }
+
+    #[test]
+    fn sparten_is_fast_but_not_efficient() {
+        // The paper's headline trade-off: SparTen wins cycles, loses energy.
+        let s = SparTen::new(EnergyTable::default());
+        let d = crate::diannao::DianNao::new(EnergyTable::default());
+        let p = SparsityProfile::new(0.7, 1).with_activation_density(0.5);
+        let sr = s.run_layer(&layer(), &p);
+        let dr = d.run_layer(&layer(), &p);
+        assert!(sr.cycles < dr.cycles, "SparTen should be faster");
+    }
+
+    #[test]
+    fn energy_components_sum() {
+        let s = SparTen::new(EnergyTable::default());
+        let run = s.run_layer(&layer(), &SparsityProfile::new(0.5, 2));
+        let sum: f64 = run.energy.components().map(|(_, v)| v).sum();
+        assert!((sum - run.energy.total_pj()).abs() < 1e-6);
+    }
+}

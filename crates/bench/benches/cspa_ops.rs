@@ -1,0 +1,71 @@
+//! Criterion bench: CSP-A algorithm hot paths — the cascading regularizer
+//! gradient, threshold pruning, and a full training step with the
+//! regularizer hook attached.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csp_nn::data::ClusterImages;
+use csp_nn::{train_classifier, Conv2d, Flatten, Linear, Relu, Sequential, Sgd, TrainOptions};
+use csp_pruning::{CascadeRegularizer, ChunkedLayout, CspPruner, Regularizer};
+use csp_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_cspa(c: &mut Criterion) {
+    // VGG conv3_1-sized filter matrix: M = 1152, c_out = 256, chunk 32.
+    let layout = ChunkedLayout::new(1152, 256, 32).expect("valid");
+    let w = Tensor::from_fn(&[1152, 256], |i| ((i as f32) * 0.003).sin());
+    let reg = CascadeRegularizer::new(0.01);
+
+    c.bench_function("cascade_regularizer_grad_1152x256", |b| {
+        b.iter(|| black_box(reg.grad(black_box(&w), layout).expect("shapes match")))
+    });
+    c.bench_function("cascade_regularizer_penalty_1152x256", |b| {
+        b.iter(|| black_box(reg.penalty(black_box(&w), layout).expect("shapes match")))
+    });
+    c.bench_function("csp_pruner_1152x256", |b| {
+        let pruner = CspPruner::new(0.75);
+        b.iter(|| black_box(pruner.prune(black_box(&w), layout).expect("shapes match")))
+    });
+
+    c.bench_function("train_step_with_regularizer_hook", |b| {
+        let mut rng = csp_nn::seeded_rng(0);
+        let ds = ClusterImages::generate(&mut rng, 8, 2, 1, 8, 0.2);
+        b.iter(|| {
+            let mut rng = csp_nn::seeded_rng(1);
+            let mut model = Sequential::new(vec![
+                Box::new(Conv2d::new(&mut rng, 1, 4, 3, 1, 1)),
+                Box::new(Relu::new()),
+                Box::new(Flatten::new()),
+                Box::new(Linear::new(&mut rng, 4 * 8 * 8, 2)),
+            ]);
+            let mut opt = Sgd::new(0.05);
+            let reg = CascadeRegularizer::new(0.01);
+            let mut hook = |layers: &mut [&mut dyn csp_nn::Prunable]| {
+                for layer in layers.iter_mut() {
+                    let (m, c) = layer.csp_dims();
+                    let layout = ChunkedLayout::new(m, c, 4).expect("valid");
+                    let g = reg.grad(&layer.csp_weight(), layout).expect("shapes match");
+                    layer.add_csp_weight_grad(&g).expect("shapes match");
+                }
+            };
+            let ds2 = ds.clone();
+            let stats = train_classifier(
+                &mut model,
+                move |b| ds2.batch(b * 4, 4),
+                2,
+                &mut opt,
+                &TrainOptions {
+                    epochs: 1,
+                    batch_size: 4,
+                    ..Default::default()
+                },
+                Some(&mut hook),
+                None,
+            )
+            .expect("trains");
+            black_box(stats)
+        })
+    });
+}
+
+criterion_group!(benches, bench_cspa);
+criterion_main!(benches);

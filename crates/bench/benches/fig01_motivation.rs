@@ -1,0 +1,29 @@
+//! Criterion bench: the Fig. 1 motivation study (ResNet-50 layer-wise
+//! data-movement simulation on the dense OS baseline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csp_baselines::{Accelerator, OsDataflow};
+use csp_models::{resnet50, Dataset, SparsityProfile};
+use csp_sim::EnergyTable;
+use std::hint::black_box;
+
+fn bench_fig01(c: &mut Criterion) {
+    let net = resnet50(Dataset::ImageNet);
+    let acc = OsDataflow::vanilla(EnergyTable::default());
+    let profile = SparsityProfile::new(0.0, 1);
+    c.bench_function("fig01_resnet50_dense_os_network", |b| {
+        b.iter(|| {
+            let result = acc.run_network(black_box(&net), black_box(&profile));
+            black_box(result.total_energy_pj())
+        })
+    });
+    c.bench_function("fig01_resnet50_layerwise", |b| {
+        b.iter(|| {
+            let layers = acc.run_network_layers(black_box(&net), black_box(&profile));
+            black_box(layers.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig01);
+criterion_main!(benches);

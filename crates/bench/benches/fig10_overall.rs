@@ -1,0 +1,29 @@
+//! Criterion bench: the Fig. 10 overall comparison (all accelerators on
+//! all five models) and per-accelerator network simulation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csp_bench::{accelerator_lineup, run_lineup, workloads};
+use std::hint::black_box;
+
+fn bench_fig10(c: &mut Criterion) {
+    let lineup = accelerator_lineup();
+    let works = workloads();
+
+    c.bench_function("fig10_full_lineup_vgg16", |b| {
+        let vgg = works
+            .iter()
+            .find(|w| w.network.name == "VGG-16")
+            .expect("VGG-16 present");
+        b.iter(|| black_box(run_lineup(&lineup, vgg)))
+    });
+
+    for w in &works {
+        let csph = &lineup[lineup.len() - 1];
+        c.bench_function(&format!("fig10_csph_{}", w.network.name), |b| {
+            b.iter(|| black_box(csph.run_network(&w.network, &w.profile)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

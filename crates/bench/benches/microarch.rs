@@ -1,0 +1,60 @@
+//! Criterion bench: hot microarchitecture paths — the functional Serial
+//! Cascading array, RegBin accumulate/flush, weaved compression, and the
+//! truncated GEMM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csp_accel::{AccumBuffer, CspHConfig, SerialCascadingArray};
+use csp_pruning::truncation::{truncated_matmul, TruncationConfig};
+use csp_pruning::{ChunkedLayout, CspMask, Weaved};
+use csp_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_array(c: &mut Criterion) {
+    let (m, c_out, p, chunk) = (32usize, 64usize, 16usize, 8usize);
+    let layout = ChunkedLayout::new(m, c_out, chunk).expect("valid");
+    let counts: Vec<usize> = (0..m)
+        .map(|j| (j * 5 + 3) % (layout.n_chunks() + 1))
+        .collect();
+    let mask = CspMask::from_chunk_counts(layout, counts.clone()).expect("valid counts");
+    let w = mask
+        .apply(&Tensor::from_fn(&[m, c_out], |i| ((i as f32) * 0.3).sin()))
+        .expect("shapes match");
+    let acts = Tensor::from_fn(&[m, p], |i| ((i as f32) * 0.7).cos());
+    let cfg = CspHConfig {
+        arr_w: chunk,
+        arr_h: 4,
+        truncation_period: chunk,
+        ..CspHConfig::default()
+    };
+    let arr = SerialCascadingArray::new(cfg, None);
+    c.bench_function("functional_array_gemm_32x64x16", |b| {
+        b.iter(|| black_box(arr.run_gemm(&w, &counts, &acts).expect("runs")))
+    });
+
+    c.bench_function("weaved_compress_roundtrip", |b| {
+        b.iter(|| {
+            let weaved = Weaved::compress(black_box(&w), &mask).expect("compresses");
+            black_box(weaved.decompress())
+        })
+    });
+
+    c.bench_function("accum_buffer_62_chunk_sweep", |b| {
+        b.iter(|| {
+            let mut ab = AccumBuffer::new();
+            for chunk in 0..62 {
+                ab.accumulate(chunk, chunk as f32, 62);
+            }
+            black_box(ab.flush())
+        })
+    });
+
+    let ta = Tensor::from_fn(&[16, 128], |i| ((i as f32) * 0.11).sin());
+    let tb = Tensor::from_fn(&[128, 16], |i| ((i as f32) * 0.23).cos());
+    let tcfg = TruncationConfig::new(32, 8, 0.01).expect("valid");
+    c.bench_function("truncated_matmul_16x128x16", |b| {
+        b.iter(|| black_box(truncated_matmul(&ta, &tb, &tcfg).expect("shapes match")))
+    });
+}
+
+criterion_group!(benches, bench_array);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Fig. 10: overall energy efficiency and speedup of all accelerators on
+//! the five evaluated models, normalized to DianNao.
+
+use csp_bench::{accelerator_lineup, fmt_x, run_lineup, workloads};
+use csp_sim::format_table;
+
+fn main() {
+    let lineup = accelerator_lineup();
+    let works = workloads();
+
+    println!("== Fig. 10: energy efficiency & speedup, normalized to DianNao ==\n");
+
+    let mut eff_rows = Vec::new();
+    let mut spd_rows = Vec::new();
+    // Geometric means across models, per accelerator.
+    let mut geo_eff = vec![1.0f64; lineup.len()];
+    let mut geo_spd = vec![1.0f64; lineup.len()];
+
+    for w in &works {
+        let results = run_lineup(&lineup, w);
+        let base = &results[0]; // DianNao
+        let mut eff_cells = vec![w.network.name.to_string()];
+        let mut spd_cells = vec![w.network.name.to_string()];
+        for (i, r) in results.iter().enumerate() {
+            let eff = r.efficiency_vs(base);
+            let spd = r.speedup_vs(base);
+            geo_eff[i] *= eff;
+            geo_spd[i] *= spd;
+            eff_cells.push(fmt_x(eff));
+            spd_cells.push(fmt_x(spd));
+        }
+        eff_rows.push(eff_cells);
+        spd_rows.push(spd_cells);
+    }
+    let n = works.len() as f64;
+    let mut eff_gm = vec!["geomean".to_string()];
+    let mut spd_gm = vec!["geomean".to_string()];
+    for i in 0..lineup.len() {
+        eff_gm.push(fmt_x(geo_eff[i].powf(1.0 / n)));
+        spd_gm.push(fmt_x(geo_spd[i].powf(1.0 / n)));
+    }
+    eff_rows.push(eff_gm);
+    spd_rows.push(spd_gm);
+
+    let mut header = vec!["model".to_string()];
+    header.extend(lineup.iter().map(|a| a.name().to_string()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    println!("Energy efficiency (inferences/J, normalized):\n");
+    println!("{}", format_table(&header_refs, &eff_rows));
+    println!("\nSpeedup (cycles, normalized):\n");
+    println!("{}", format_table(&header_refs, &spd_rows));
+
+    // Paper headline ratios: CSP-H vs SparTen / Cambricon-X / Cambricon-S.
+    println!("\nHeadline ratios (geomean):");
+    let idx = |name: &str| {
+        lineup
+            .iter()
+            .position(|a| a.name() == name)
+            .expect("in lineup")
+    };
+    let csp = idx("CSP-H");
+    for other in ["SparTen", "Cambricon-X", "Cambricon-S"] {
+        let o = idx(other);
+        let eff_ratio = (geo_eff[csp] / geo_eff[o]).powf(1.0 / n);
+        let spd_ratio = (geo_spd[csp] / geo_spd[o]).powf(1.0 / n);
+        println!(
+            "  CSP-H vs {other:<12}: {} energy efficiency, {} speed",
+            fmt_x(eff_ratio),
+            fmt_x(spd_ratio)
+        );
+    }
+    println!("\nPaper reference: ~15x vs SparTen, ~7.7x vs Cambricon-X, ~5x vs Cambricon-S in");
+    println!(
+        "energy efficiency, with CSP-H ~1.4x slower than SparTen (2-way skipping wins cycles)."
+    );
+}

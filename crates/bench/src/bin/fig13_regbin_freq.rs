@@ -1,0 +1,49 @@
+//! Fig. 13: RegBin access frequency per model and clock-gating savings.
+//!
+//! For each evaluated model, synthesizes the per-layer chunk counts its
+//! Table 2 sparsity rate implies and reports how often each RegBin is
+//! reached, plus the power fraction recoverable by per-pass clock gating.
+
+use csp_accel::{regbin_access_frequency, NUM_REGBINS};
+use csp_bench::workloads;
+use csp_sim::format_table;
+
+fn main() {
+    println!("== Fig. 13: RegBin access frequency & clock-gating savings ==\n");
+    let mut rows = Vec::new();
+    for w in workloads() {
+        let chunked = w.profile.with_chunk_size(32);
+        let all_counts: Vec<Vec<usize>> = w
+            .network
+            .layers
+            .iter()
+            .map(|l| chunked.chunk_counts(l))
+            .collect();
+        let usage = regbin_access_frequency(all_counts.iter().map(|c| c.as_slice()));
+        let mut cells = vec![w.network.name.to_string()];
+        for b in 0..NUM_REGBINS {
+            cells.push(format!("{:.1}%", 100.0 * usage.access_frequency[b]));
+        }
+        cells.push(format!("{:.1}%", 100.0 * usage.gated_power_fraction));
+        rows.push(cells);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["model", "RB0", "RB1", "RB2", "RB3", "RB4", "gated power"],
+            &rows
+        )
+    );
+    println!("\nPaper shape: RB0 is accessed ~100% of the time, RB4 under 11% (zero for");
+    println!("highly pruned models); per-pass clock gating of unused bins recovers ~46%");
+    println!("of each PE's accumulation-buffer power on average (0.574 mW/PE).");
+
+    // Translate the gated fraction into the paper's mW-per-PE framing using
+    // the register-toggle energy model.
+    let e = csp_sim::EnergyTable::default();
+    // 62 entries × 8 bits switching at ~50% activity at 300 MHz.
+    let accum_power_mw = 62.0 * 8.0 * 0.5 * e.regbin_bit_toggle_pj * e.clock_mhz * 1e6 / 1e9;
+    println!(
+        "\nModelled accumulation-buffer dynamic power: {accum_power_mw:.3} mW/PE before gating."
+    );
+}

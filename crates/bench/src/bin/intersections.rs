@@ -1,0 +1,75 @@
+//! Intersection study (Section 2.1): early-stop vs sparse-skip work, on
+//! CSP-pruned vs magnitude-pruned masks of the evaluation models' layers.
+//!
+//! Quantifies the ExTensor-inspired observation motivating CSP: what
+//! matters is the *sparsity pattern*, not its magnitude — a cascade-closed
+//! mask lets a sequential consumer stop early with zero wasted visits,
+//! while an unstructured mask of identical sparsity forces either wasted
+//! sequential visits or a full sparse-skip scan.
+
+use csp_bench::workloads;
+use csp_models::LayerShape;
+use csp_pruning::intersections::analyze;
+use csp_pruning::{ChunkedLayout, CspMask, MagnitudePruner};
+use csp_sim::format_table;
+use csp_tensor::Tensor;
+
+fn synth_weights(layer: &LayerShape, seed: u64) -> Tensor {
+    Tensor::from_fn(&[layer.m(), layer.c_out()], |i| {
+        let h = (i as u64)
+            .wrapping_mul(0x9e3779b97f4a7c15 ^ seed)
+            .rotate_left(21);
+        ((h % 1000) as f32 / 1000.0) - 0.5
+    })
+}
+
+fn main() {
+    println!("== Intersection analysis: early-stop vs sparse-skip ==\n");
+    let mut rows = Vec::new();
+    for w in workloads().iter().take(3) {
+        let chunked = w.profile.with_chunk_size(32);
+        // Representative mid-network layer.
+        let layer = &w.network.layers[w.network.layers.len() / 2];
+        let layout = ChunkedLayout::new(layer.m(), layer.c_out(), 32).expect("valid layer dims");
+        let weights = synth_weights(layer, 5);
+
+        // CSP mask from the profile's cascade-closed counts.
+        let counts = chunked.chunk_counts(layer);
+        let csp_mask = CspMask::from_chunk_counts(layout, counts).expect("valid counts");
+        let csp_w = csp_mask.apply(&weights).expect("shapes match");
+        let csp = analyze(&csp_w, layout).expect("shapes match");
+
+        // Magnitude mask at identical sparsity.
+        let mag_mask = MagnitudePruner::new(csp_mask.sparsity())
+            .mask(&weights)
+            .expect("non-empty");
+        let mag_w = weights.mul(&mag_mask).expect("shapes match");
+        let mag = analyze(&mag_w, layout).expect("shapes match");
+
+        rows.push(vec![
+            format!("{}/{}", w.network.name, layer.name),
+            format!("{:.0}%", 100.0 * csp_mask.sparsity()),
+            format!("{:.3}", csp.early_stop_efficiency()),
+            format!("{:.3}", mag.early_stop_efficiency()),
+            format!("{:.2}x", csp.sparse_skip_amplification()),
+            format!("{:.2}x", mag.sparse_skip_amplification()),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "layer",
+                "sparsity",
+                "CSP early-stop eff",
+                "unstruct early-stop eff",
+                "CSP skip amp",
+                "unstruct skip amp"
+            ],
+            &rows
+        )
+    );
+    println!("\nCascade-closed masks give a sequential consumer ~1.0 efficiency (all");
+    println!("intersections sit at the front); unstructured masks of equal sparsity");
+    println!("waste sequential visits, forcing the costly skip machinery CSP avoids.");
+}

@@ -1,0 +1,72 @@
+//! Run every experiment driver in sequence and write the captured output
+//! to `results/<driver>.txt` — the one-command regeneration of all tables
+//! and figures.
+//!
+//! Usage: `cargo run --release -p csp-bench --bin run_all [-- --skip-slow]`
+//! (`--skip-slow` skips the two drivers that train models).
+
+use std::path::Path;
+use std::process::Command;
+
+fn main() {
+    let skip_slow = std::env::args().any(|a| a == "--skip-slow");
+    let fast = [
+        "table1_hw_params",
+        "fig01_motivation",
+        "fig03_regularization",
+        "fig07_regbin_trace",
+        "fig10_overall",
+        "fig11_refetch",
+        "fig12_breakdown",
+        "fig13_regbin_freq",
+        "ablations",
+        "sweep_sparsity",
+        "intersections",
+        "future_actskip",
+        "bandwidth_study",
+    ];
+    let slow = ["table2_cspa", "fig09_truncation"];
+
+    std::fs::create_dir_all("results").expect("can create results/");
+    let bin_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+
+    let mut failures = Vec::new();
+    let drivers: Vec<&str> = if skip_slow {
+        fast.to_vec()
+    } else {
+        fast.iter().chain(slow.iter()).copied().collect()
+    };
+    for name in &drivers {
+        let exe = bin_dir.join(name);
+        if !Path::new(&exe).exists() {
+            eprintln!(
+                "skipping {name}: binary not built (run cargo build --release -p csp-bench --bins)"
+            );
+            failures.push(*name);
+            continue;
+        }
+        print!("running {name:<24} ... ");
+        let output = Command::new(&exe).output().expect("driver spawns");
+        let path = format!("results/{name}.txt");
+        std::fs::write(&path, &output.stdout).expect("can write results");
+        if output.status.success() {
+            println!("ok -> {path}");
+        } else {
+            println!("FAILED (exit {:?})", output.status.code());
+            failures.push(*name);
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "\nall {} drivers completed; outputs in results/",
+            drivers.len()
+        );
+    } else {
+        eprintln!("\nfailed drivers: {failures:?}");
+        std::process::exit(1);
+    }
+}

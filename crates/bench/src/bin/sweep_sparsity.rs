@@ -1,0 +1,62 @@
+//! Sparsity sweep: how CSP-H's advantage scales with the CSP-A pruning
+//! rate, on VGG-16 conv layers. Quantifies the paper's claim that higher
+//! CSP sparsity compounds the clock-gating and early-stop benefits, and
+//! shows where the efficiency crossover against each baseline falls.
+
+use csp_accel::{CspH, CspHConfig};
+use csp_baselines::{Accelerator, CambriconS, DianNao, SparTen};
+use csp_models::{vgg16, Dataset, Network, SparsityProfile};
+use csp_sim::{format_table, EnergyTable};
+
+fn main() {
+    let e = EnergyTable::default();
+    let net = vgg16(Dataset::ImageNet);
+    let conv_net = Network {
+        name: net.name,
+        layers: net.layers.iter().filter(|l| l.is_conv()).cloned().collect(),
+    };
+    let csph = CspH::new(CspHConfig::default(), e);
+    let diannao = DianNao::new(e);
+    let sparten = SparTen::new(e);
+    let cambs = CambriconS::new(e);
+
+    println!("== Sparsity sweep: VGG-16 conv layers ==\n");
+    let mut rows = Vec::new();
+    for s in [0.0f64, 0.2, 0.4, 0.6, 0.74, 0.85, 0.95] {
+        let p = SparsityProfile::new(s, 77);
+        let c = csph.run_network(&conv_net, &p);
+        let d = diannao.run_network(&conv_net, &p);
+        let sp = sparten.run_network(&conv_net, &p);
+        let cs = cambs.run_network(&conv_net, &p);
+        rows.push(vec![
+            format!("{:.0}%", 100.0 * s),
+            format!("{:.2}", c.total_energy_pj() / 1e9),
+            format!("{:.2}x", d.total_energy_pj() / c.total_energy_pj()),
+            format!("{:.2}x", sp.total_energy_pj() / c.total_energy_pj()),
+            format!("{:.2}x", cs.total_energy_pj() / c.total_energy_pj()),
+            format!("{:.2}x", sp.cycles as f64 / c.cycles.max(1) as f64),
+            format!("{:.2}", c.average_power_w(e.clock_mhz)),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "CSP spar.",
+                "CSP-H mJ",
+                "eff vs DianNao",
+                "eff vs SparTen",
+                "eff vs Camb-S",
+                "SparTen speed",
+                "CSP-H avg W"
+            ],
+            &rows
+        )
+    );
+    println!("\nCSP-H's own energy falls steadily with sparsity (fewer chunks, more gated");
+    println!("RegBins, less weight traffic). The gap vs DianNao/SparTen stays wide at all");
+    println!("rates; the gap vs Cambricon-S narrows because S's compute-proportional");
+    println!("costs shrink with sparsity while the shared DRAM floor (unique IFM + OFM)");
+    println!("bounds how low any design can go — the ExTensor point that the *pattern*,");
+    println!("not the magnitude, of sparsity is what differentiates designs.");
+}

@@ -1,0 +1,63 @@
+//! Table 1: hardware parameters of all evaluated accelerators.
+//!
+//! Prints the configuration constants every simulator in this repository
+//! is parameterized with, in the paper's layout.
+
+use csp_accel::CspHConfig;
+use csp_bench::accelerator_lineup;
+use csp_sim::{format_table, EnergyTable};
+
+fn main() {
+    let e = EnergyTable::default();
+    println!("== Table 1: Hardware Parameters ==\n");
+    println!(
+        "Off-chip DRAM: {:.0} pJ/B read, {:.0} pJ/B write; clock {} MHz; 8-bit ops\n",
+        e.dram_read_pj, e.dram_write_pj, e.clock_mhz
+    );
+
+    let rows: Vec<Vec<String>> = accelerator_lineup()
+        .iter()
+        .map(|acc| {
+            vec![
+                acc.name().to_string(),
+                "1024".to_string(),
+                format!("{:.3} KB", acc.buffer_bytes_per_mac() / 1024.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(&["Accelerator", "MACs", "Buffer/MAC"], &rows)
+    );
+
+    let c = CspHConfig::default();
+    println!("CSP-H (Ours) detail:");
+    println!(
+        "  PE array           : {} x {} = {} PEs",
+        c.arr_w,
+        c.arr_h,
+        c.num_pes()
+    );
+    println!(
+        "  GLBs               : InAct {} KB ({} pJ/B rd), Wgt {} KB ({} pJ/B rd), OutAct {} KB ({} pJ/B wt)",
+        c.inact_glb_bytes / 1024,
+        e.csp_inact_read_pj,
+        c.wgt_glb_bytes / 1024,
+        e.csp_wgt_read_pj,
+        c.outact_glb_bytes / 1024,
+        e.csp_outact_write_pj
+    );
+    println!(
+        "  Per-PE             : A&W 2 B, IR 4 B, Accum {} B ({} RegBins)",
+        c.accum_entries(),
+        csp_accel::NUM_REGBINS
+    );
+    println!(
+        "  Truncation period T: {}   RegBin precision: {}-bit   clock gating: {}",
+        c.truncation_period, c.regbin_bits, c.clock_gating
+    );
+    println!(
+        "  Max concurrent filters: {} (62 chunks x arr_w)",
+        c.max_concurrent_filters()
+    );
+}

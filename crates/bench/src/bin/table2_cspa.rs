@@ -1,0 +1,129 @@
+//! Table 2: CSP-A model accuracy and sparsity.
+//!
+//! Trains the scaled-down models on the synthetic tasks (the documented
+//! substitution for CIFAR-10/ImageNet/WMT) with four regularizer variants:
+//!
+//! * `Ours`       — cascading group LASSO (Eq. 4),
+//! * `SSL-col`    — group LASSO across output channels (SSL-style),
+//! * `l2-reg-flat`— plain L2 (unstructured pressure only),
+//! * plus the chunk-size sweep `Ours-2..Ours-16` on the mini-Transformer
+//!   (the paper sweeps 8..128 on d_K = 64; the mini model has d_K = 4, so
+//!   the sweep brackets its own key dimension the same way).
+//!
+//! Reported per run: base accuracy/BLEU, final accuracy/BLEU (after
+//! pruning + fine-tuning), the delta and the achieved parameter sparsity.
+
+use csp_core::pipeline::{CspPipeline, PipelineConfig};
+use csp_core::pruning::{CascadeRegularizer, FlatL2Regularizer, Regularizer, SslColumnRegularizer};
+use csp_core::transformer_pipeline::{run_transformer_pipeline_with, TransformerPipelineConfig};
+use csp_core::ModelFamily;
+use csp_sim::format_table;
+
+fn main() {
+    println!("== Table 2: CSP-A accuracy and sparsity (synthetic-substitution runs) ==\n");
+
+    // --- CNN rows: one per model family, plus λ ablations on the basic
+    // CNN (mirrors Table 2's per-model structure). ---
+    let mut rows = Vec::new();
+    for (label, family, lambda, q) in [
+        ("MiniAlexNet Ours", ModelFamily::AlexNet, 0.01f32, 0.75f32),
+        ("MiniVGG Ours", ModelFamily::Vgg, 0.01, 0.75),
+        ("MiniResNet Ours", ModelFamily::ResNet, 0.01, 0.75),
+        ("MiniInception Ours", ModelFamily::Inception, 0.01, 0.75),
+        ("MiniCNN Ours (λ=0.01)", ModelFamily::Basic, 0.01, 0.75),
+        ("MiniCNN Ours (λ=0.03)", ModelFamily::Basic, 0.03, 0.75),
+        ("MiniCNN light (λ=0.003)", ModelFamily::Basic, 0.003, 0.75),
+    ] {
+        let report = CspPipeline::new(PipelineConfig {
+            lambda,
+            q,
+            family,
+            train_epochs: 12,
+            finetune_epochs: 6,
+            samples: 64,
+            noise: 1.0, // hard enough that pruning deltas are visible
+            ..PipelineConfig::default()
+        })
+        .run_mini_cnn()
+        .expect("pipeline runs");
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}%", 100.0 * report.base_accuracy),
+            format!("{:.1}%", 100.0 * report.final_accuracy),
+            format!(
+                "{:+.1}%",
+                100.0 * (report.final_accuracy - report.base_accuracy)
+            ),
+            format!("{:.1}%", 100.0 * report.overall_sparsity),
+            format!("{:.2}", report.activation_density),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "model/method",
+                "base acc",
+                "final acc",
+                "dAcc",
+                "param spar",
+                "act dens"
+            ],
+            &rows
+        )
+    );
+
+    // --- Transformer rows (mini-Transformer, BLEU). ---
+    println!("\nmini-Transformer on the sequence-transduction task (BLEU, d_K = 4):\n");
+    let mut rows = Vec::new();
+    for (label, reg, chunk) in [
+        (
+            "Ours-4 (cascade, chunk=d_K)",
+            Box::new(CascadeRegularizer::new(0.004)) as Box<dyn Regularizer>,
+            4usize,
+        ),
+        (
+            "Ours-2 (cascade, chunk 2)",
+            Box::new(CascadeRegularizer::new(0.004)),
+            2,
+        ),
+        (
+            "Ours-8 (cascade, chunk 8)",
+            Box::new(CascadeRegularizer::new(0.004)),
+            8,
+        ),
+        (
+            "Ours-16 (cascade, chunk 16)",
+            Box::new(CascadeRegularizer::new(0.004)),
+            16,
+        ),
+        (
+            "SSL across output channels",
+            Box::new(SslColumnRegularizer::new(0.004)),
+            4,
+        ),
+        ("l2-reg-flat", Box::new(FlatL2Regularizer::new(0.004)), 4),
+    ] {
+        let cfg = TransformerPipelineConfig {
+            chunk_size: chunk,
+            ..TransformerPipelineConfig::default()
+        };
+        let r = run_transformer_pipeline_with(&cfg, reg.as_ref()).expect("pipeline runs");
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2}", r.base_bleu),
+            format!("{:.2}", r.final_bleu),
+            format!("{:+.2}", r.final_bleu - r.base_bleu),
+            format!("{:.1}%", 100.0 * r.sparsity),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["method", "base BLEU", "final BLEU", "dBLEU", "param spar"],
+            &rows
+        )
+    );
+    println!("\nPaper reference (WMT, Transformer-base): Ours-32 reaches 84.4% sparsity with");
+    println!("BLEU *improving*; SSL across output channels degrades BLEU at similar sparsity.");
+}

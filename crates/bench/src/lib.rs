@@ -1,0 +1,212 @@
+//! # csp-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! CSP paper's evaluation. Each `src/bin/*.rs` driver reproduces one
+//! table/figure (see `DESIGN.md` for the experiment index); the Criterion
+//! benches in `benches/` time the hot simulation paths.
+//!
+//! This library hosts the shared roster: the evaluated networks with their
+//! Table 2 sparsity profiles, the accelerator lineup of Fig. 10, and an
+//! adapter exposing CSP-H through the common [`Accelerator`] trait.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use csp_accel::{CspH, CspHConfig};
+use csp_baselines::{Accelerator, CambriconS, CambriconX, DianNao, LayerCost, OsDataflow, SparTen};
+use csp_models::{
+    alexnet, inception_v3, resnet50, transformer_base, vgg16, Dataset, LayerShape, Network,
+    SparsityProfile,
+};
+use csp_sim::{EnergyTable, RunResult};
+
+/// One evaluated workload: a network plus the sparsity its CSP-A training
+/// reached (Table 2's "Ours" rows; ImageNet-scale rates for the CNNs,
+/// chunk-32 rate for the Transformer).
+pub struct Workload {
+    /// The network shapes.
+    pub network: Network,
+    /// The injected sparsity profile.
+    pub profile: SparsityProfile,
+}
+
+/// Restrict a network to its CSP-targeted layers, following Section 7.1:
+/// convolutions for the CNNs, FC layers for the Transformer. The paper
+/// evaluates exactly the targeted layers, keeping the comparison focused
+/// on the layer type each technique addresses.
+fn targeted(net: Network) -> Network {
+    if net.name == "Transformer" {
+        return net; // all-FC already
+    }
+    let layers = net.layers.into_iter().filter(|l| l.is_conv()).collect();
+    Network {
+        name: net.name,
+        layers,
+    }
+}
+
+/// The five evaluation workloads of Fig. 10, with Table 2 sparsity rates,
+/// scoped to each model's CSP-targeted layers.
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            network: targeted(alexnet(Dataset::ImageNet)),
+            profile: SparsityProfile::new(0.4902, 11),
+        },
+        Workload {
+            network: targeted(vgg16(Dataset::ImageNet)),
+            profile: SparsityProfile::new(0.7372, 12),
+        },
+        Workload {
+            network: targeted(resnet50(Dataset::ImageNet)),
+            profile: SparsityProfile::new(0.7391, 13),
+        },
+        Workload {
+            network: targeted(inception_v3(Dataset::ImageNet)),
+            profile: SparsityProfile::new(0.9556, 14),
+        },
+        Workload {
+            network: transformer_base(),
+            profile: SparsityProfile::new(0.8439, 15),
+        },
+    ]
+}
+
+/// CSP-H wrapped in the common [`Accelerator`] interface so the drivers
+/// can iterate one roster.
+pub struct CspHAccelerator {
+    inner: CspH,
+}
+
+impl CspHAccelerator {
+    /// The default Table 1 CSP-H configuration.
+    pub fn new() -> Self {
+        CspHAccelerator {
+            inner: CspH::new(CspHConfig::default(), EnergyTable::default()),
+        }
+    }
+
+    /// Access the underlying analytic model.
+    pub fn inner(&self) -> &CspH {
+        &self.inner
+    }
+}
+
+impl Default for CspHAccelerator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Accelerator for CspHAccelerator {
+    fn name(&self) -> &'static str {
+        "CSP-H"
+    }
+
+    fn buffer_bytes_per_mac(&self) -> f64 {
+        self.inner.config().buffer_per_mac_bytes()
+    }
+
+    fn run_layer(&self, layer: &LayerShape, profile: &SparsityProfile) -> LayerCost {
+        let run = self.inner.run_layer(layer, profile);
+        LayerCost {
+            name: run.name,
+            cycles: run.cycles,
+            macs: run.macs,
+            dram: run.dram,
+            energy: run.energy,
+        }
+    }
+}
+
+/// The Fig. 10 accelerator lineup, in presentation order.
+pub fn accelerator_lineup() -> Vec<Box<dyn Accelerator>> {
+    let e = EnergyTable::default();
+    vec![
+        Box::new(DianNao::new(e)),
+        Box::new(CambriconX::new(e)),
+        Box::new(SparTen::dense(e)),
+        Box::new(SparTen::new(e)),
+        Box::new(CambriconS::new(e)),
+        Box::new(CspHAccelerator::new()),
+    ]
+}
+
+/// The extra Fig. 11 lineup entries.
+pub fn fig11_extras() -> Vec<Box<dyn Accelerator>> {
+    let e = EnergyTable::default();
+    vec![
+        Box::new(OsDataflow::vanilla(e)),
+        Box::new(OsDataflow::with_csr(e)),
+    ]
+}
+
+/// Run every accelerator in `lineup` on one workload.
+pub fn run_lineup(lineup: &[Box<dyn Accelerator>], w: &Workload) -> Vec<RunResult> {
+    lineup
+        .iter()
+        .map(|acc| acc.run_network(&w.network, &w.profile))
+        .collect()
+}
+
+/// Format a ratio like `15.3x`.
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Format picojoules as millijoules.
+pub fn fmt_mj(pj: f64) -> String {
+    format!("{:.2} mJ", pj / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_cover_the_five_models() {
+        let names: Vec<&str> = workloads().iter().map(|w| w.network.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "AlexNet",
+                "VGG-16",
+                "ResNet-50",
+                "InceptionV3",
+                "Transformer"
+            ]
+        );
+    }
+
+    #[test]
+    fn lineup_order_matches_fig10() {
+        let names: Vec<&str> = accelerator_lineup().iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "DianNao",
+                "Cambricon-X",
+                "SparTen-dense",
+                "SparTen",
+                "Cambricon-S",
+                "CSP-H"
+            ]
+        );
+    }
+
+    #[test]
+    fn csph_adapter_consistent_with_inner() {
+        let acc = CspHAccelerator::new();
+        let w = &workloads()[0];
+        let via_trait = acc.run_network(&w.network, &w.profile);
+        let direct = acc.inner().run_network(&w.network, &w.profile);
+        assert_eq!(via_trait.cycles, direct.cycles);
+        assert!((via_trait.total_energy_pj() - direct.total_energy_pj()).abs() < 1.0);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_x(15.0), "15.00x");
+        assert_eq!(fmt_mj(2.5e9), "2.50 mJ");
+    }
+}

@@ -1,0 +1,54 @@
+//! # csp-core
+//!
+//! The public facade of the CSP (Cascading Structured Pruning, ISCA '22)
+//! reproduction. It re-exports the subsystem crates and provides the
+//! end-to-end [`CspPipeline`]:
+//!
+//! 1. **Train** a model with the cascading group-LASSO regularizer
+//!    (CSP-A, `csp-pruning` + `csp-nn`),
+//! 2. **Prune** with the standard-deviation threshold rule and cascade
+//!    closure,
+//! 3. **Fine-tune** under the fixed pruning masks,
+//! 4. **Compress** the weights into the weaved format,
+//! 5. **Verify** the pruned layers on the functional CSP-H array
+//!    (`csp-accel`) against the dense reference, and
+//! 6. **Simulate** full networks on CSP-H and the baselines
+//!    (`csp-baselines`) for the paper's architecture comparisons.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use csp_core::pipeline::{CspPipeline, PipelineConfig};
+//!
+//! # fn main() -> Result<(), csp_tensor::TensorError> {
+//! let report = CspPipeline::new(PipelineConfig {
+//!     train_epochs: 2,
+//!     finetune_epochs: 1,
+//!     samples: 32,
+//!     ..PipelineConfig::default()
+//! })
+//! .run_mini_cnn()?;
+//! assert!(report.overall_sparsity >= 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod transformer_pipeline;
+
+pub use csp_accel as accel;
+pub use csp_baselines as baselines;
+pub use csp_models as models;
+pub use csp_nn as nn;
+pub use csp_pruning as pruning;
+pub use csp_sim as sim;
+pub use csp_tensor as tensor;
+
+pub use pipeline::{CspPipeline, LayerReport, ModelFamily, PipelineConfig, PipelineReport};
+pub use transformer_pipeline::{
+    run_transformer_pipeline, run_transformer_pipeline_with, TransformerPipelineConfig,
+    TransformerReport,
+};

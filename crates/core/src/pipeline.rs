@@ -1,0 +1,508 @@
+//! The end-to-end CSP pipeline: train → regularize → prune → fine-tune →
+//! compress → verify on the functional CSP-H array.
+
+use csp_accel::{CspHConfig, SerialCascadingArray};
+use csp_nn::data::ClusterImages;
+use csp_nn::zoo_mini;
+use csp_nn::{
+    train_classifier, Conv2d, Flatten, Linear, MaxPool, Prunable, Relu, Sequential, Sgd,
+    TrainOptions,
+};
+use csp_pruning::quant::QuantSpec;
+use csp_pruning::{CascadeRegularizer, ChunkedLayout, CspMask, CspPruner, Regularizer, Weaved};
+use csp_tensor::{Result, Tensor};
+
+/// Which scaled-down model family the pipeline trains (mirrors the paper's
+/// five evaluated families; the Transformer path lives in the Table 2
+/// driver since it needs BLEU scoring rather than accuracy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModelFamily {
+    /// The default two-conv CNN.
+    #[default]
+    Basic,
+    /// Mini-AlexNet (large first kernel).
+    AlexNet,
+    /// Mini-VGG (stacked 3×3 pairs).
+    Vgg,
+    /// Mini-ResNet (identity residual blocks).
+    ResNet,
+    /// Mini-Inception (parallel branches).
+    Inception,
+}
+
+/// Configuration of a pipeline run.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// CSP chunk size (paper default 32; mini models use smaller).
+    pub chunk_size: usize,
+    /// Regularization strength λ.
+    pub lambda: f32,
+    /// Pruning threshold multiplier `q` (paper: 0.75).
+    pub q: f32,
+    /// Epochs of regularized training.
+    pub train_epochs: usize,
+    /// Epochs of masked fine-tuning.
+    pub finetune_epochs: usize,
+    /// Training-set size for the synthetic task.
+    pub samples: usize,
+    /// Classes of the synthetic task.
+    pub classes: usize,
+    /// Noise magnitude of the synthetic task (higher = harder; ≥ ~0.5
+    /// pushes accuracies below 100 % so pruning deltas become visible).
+    pub noise: f32,
+    /// RNG seed.
+    pub seed: u64,
+    /// Which mini model family to train.
+    pub family: ModelFamily,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            chunk_size: 4,
+            lambda: 0.01,
+            q: 0.75,
+            train_epochs: 10,
+            finetune_epochs: 5,
+            samples: 64,
+            classes: 4,
+            noise: 0.2,
+            seed: 7,
+            family: ModelFamily::Basic,
+        }
+    }
+}
+
+/// Per-layer pruning outcome.
+#[derive(Debug, Clone)]
+pub struct LayerReport {
+    /// Layer label.
+    pub label: String,
+    /// Weight sparsity after pruning.
+    pub sparsity: f32,
+    /// Mean surviving chunk count per filter row.
+    pub mean_chunk_count: f32,
+    /// Weaved-compression ratio vs the dense 8-bit matrix.
+    pub compression_ratio: f32,
+    /// Whether the functional CSP-H array reproduced the dense reference
+    /// exactly on this layer's pruned weights.
+    pub functional_check: bool,
+    /// The measured per-row chunk counts of the pruned layer — the real
+    /// sparsity pattern, consumable by the accelerator simulators via
+    /// `CspH::run_layer_with_counts` instead of synthetic profiles.
+    pub chunk_counts: Vec<usize>,
+}
+
+/// The output of a pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Accuracy of the unregularized dense baseline.
+    pub base_accuracy: f32,
+    /// Accuracy after regularized training (pre-pruning).
+    pub regularized_accuracy: f32,
+    /// Accuracy right after pruning (before fine-tuning).
+    pub pruned_accuracy: f32,
+    /// Final accuracy after masked fine-tuning.
+    pub final_accuracy: f32,
+    /// Accuracy with 8-bit fake-quantized weights (the deployment
+    /// precision all accelerators in the evaluation assume).
+    pub quantized_accuracy: f32,
+    /// Aggregate weight sparsity over the prunable layers.
+    pub overall_sparsity: f32,
+    /// Measured post-ReLU activation density of the trained model on the
+    /// dataset (the quantity SparTen-style 2-way skipping exploits).
+    pub activation_density: f32,
+    /// Per-layer outcomes.
+    pub layers: Vec<LayerReport>,
+}
+
+/// The end-to-end CSP pipeline on the mini CNN workload.
+#[derive(Debug, Clone, Copy)]
+pub struct CspPipeline {
+    config: PipelineConfig,
+}
+
+impl CspPipeline {
+    /// A pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        CspPipeline { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    fn build_cnn(&self, seed: u64, classes: usize) -> Sequential {
+        let mut rng = csp_nn::seeded_rng(seed);
+        match self.config.family {
+            ModelFamily::Basic => Sequential::new(vec![
+                Box::new(Conv2d::new(&mut rng, 1, 8, 3, 1, 1)),
+                Box::new(Relu::new()),
+                Box::new(MaxPool::new(2, 2)),
+                Box::new(Conv2d::new(&mut rng, 8, 16, 3, 1, 1)),
+                Box::new(Relu::new()),
+                Box::new(MaxPool::new(2, 2)),
+                Box::new(Flatten::new()),
+                Box::new(Linear::new(&mut rng, 16 * 2 * 2, classes)),
+            ]),
+            ModelFamily::AlexNet => zoo_mini::mini_alexnet(&mut rng, 1, 8, classes),
+            ModelFamily::Vgg => zoo_mini::mini_vgg(&mut rng, 1, 8, classes),
+            ModelFamily::ResNet => zoo_mini::mini_resnet(&mut rng, 1, 8, classes),
+            ModelFamily::Inception => zoo_mini::mini_inception(&mut rng, 1, 8, classes),
+        }
+    }
+
+    fn eval(model: &mut Sequential, ds: &ClusterImages, batch: usize) -> Result<f32> {
+        let n_batches = ds.len().div_ceil(batch);
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for b in 0..n_batches {
+            let count = batch.min(ds.len() - b * batch);
+            let (x, labels) = ds.batch(b * batch, count);
+            let logits = model.forward(&x, false)?;
+            let c = logits.dims()[1];
+            for (i, &label) in labels.iter().enumerate() {
+                let row = &logits.as_slice()[i * c..(i + 1) * c];
+                let pred = row
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+                    .map(|(j, _)| j)
+                    .expect("non-empty");
+                if pred == label {
+                    correct += 1;
+                }
+                total += 1;
+            }
+        }
+        Ok(correct as f32 / total.max(1) as f32)
+    }
+
+    /// Mean post-ReLU activation density over a probe batch: forward the
+    /// model layer-by-layer and measure the non-zero fraction after every
+    /// ReLU.
+    fn measure_activation_density(
+        model: &mut Sequential,
+        ds: &ClusterImages,
+        batch: usize,
+    ) -> Result<f32> {
+        let (x, _) = ds.batch(0, batch.min(ds.len()));
+        let mut cur = x;
+        let mut density_sum = 0.0f32;
+        let mut relu_count = 0usize;
+        for layer in model.layers_mut() {
+            cur = layer.forward(&cur, false)?;
+            if layer.name() == "relu" {
+                density_sum += 1.0 - cur.sparsity();
+                relu_count += 1;
+            }
+        }
+        Ok(if relu_count == 0 {
+            1.0
+        } else {
+            density_sum / relu_count as f32
+        })
+    }
+
+    /// Prune every prunable layer of `model`, returning masks and reports.
+    fn prune_model(&self, model: &mut Sequential) -> Result<(Vec<CspMask>, Vec<LayerReport>)> {
+        let q = self.config.q;
+        let cs = self.config.chunk_size;
+        let mut masks = Vec::new();
+        let mut reports = Vec::new();
+        for layer in model.prunable_layers() {
+            let (m, c_out) = layer.csp_dims();
+            let layout = ChunkedLayout::new(m, c_out, cs)?;
+            let w = layer.csp_weight();
+            let mask = CspPruner::new(q).prune(&w, layout)?;
+            layer.apply_csp_mask(&mask.mask)?;
+            let weaved = Weaved::compress(&w, &mask)?;
+            reports.push(LayerReport {
+                label: layer.csp_label(),
+                sparsity: mask.sparsity(),
+                mean_chunk_count: mask.chunk_counts.iter().sum::<usize>() as f32
+                    / mask.chunk_counts.len().max(1) as f32,
+                compression_ratio: weaved.compression_ratio(),
+                functional_check: false, // filled by verify step
+                chunk_counts: mask.chunk_counts.clone(),
+            });
+            masks.push(mask);
+        }
+        Ok((masks, reports))
+    }
+
+    /// Verify each pruned layer on the functional Serial Cascading array:
+    /// the array's GEMM on the masked weights must match the dense
+    /// reference exactly (truncation disabled).
+    fn verify_functional(
+        &self,
+        model: &mut Sequential,
+        masks: &[CspMask],
+        reports: &mut [LayerReport],
+    ) -> Result<()> {
+        let cs = self.config.chunk_size;
+        let arr = SerialCascadingArray::new(
+            CspHConfig {
+                arr_w: cs,
+                arr_h: 4,
+                truncation_period: cs,
+                ..CspHConfig::default()
+            },
+            None,
+        );
+        for ((layer, mask), report) in model
+            .prunable_layers()
+            .into_iter()
+            .zip(masks)
+            .zip(reports.iter_mut())
+        {
+            let w = layer.csp_weight();
+            let (m, _) = layer.csp_dims();
+            let acts = Tensor::from_fn(&[m, 6], |i| ((i as f32) * 0.7).sin());
+            let (got, _) = arr.run_gemm(&w, &mask.chunk_counts, &acts)?;
+            let expected = csp_tensor::matmul_at_b(&w, &acts)?;
+            let err = got.sub(&expected)?.norm_l2();
+            report.functional_check = err < 1e-3 * (1.0 + expected.norm_l2());
+        }
+        Ok(())
+    }
+
+    /// Run the full pipeline on the mini CNN + synthetic image task.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor shape errors from training or simulation.
+    pub fn run_mini_cnn(&self) -> Result<PipelineReport> {
+        let cfg = &self.config;
+        let mut rng = csp_nn::seeded_rng(cfg.seed);
+        let ds = ClusterImages::generate(&mut rng, cfg.samples, cfg.classes, 1, 8, cfg.noise);
+        // Held-out evaluation set: same class templates, fresh noise draws.
+        let mut eval_rng = csp_nn::seeded_rng(cfg.seed ^ 0xE7A1);
+        let eval_ds =
+            ClusterImages::generate(&mut eval_rng, cfg.samples, cfg.classes, 1, 8, cfg.noise);
+        let batch = 8usize.min(cfg.samples.max(1));
+        let n_batches = cfg.samples.div_ceil(batch);
+
+        // 1. Dense baseline.
+        let mut base = self.build_cnn(cfg.seed + 1, cfg.classes);
+        let mut opt = Sgd::new(0.05).with_momentum(0.9, true);
+        let ds_train = ds.clone();
+        train_classifier(
+            &mut base,
+            move |b| ds_train.batch(b * batch, batch),
+            n_batches,
+            &mut opt,
+            &TrainOptions {
+                epochs: cfg.train_epochs,
+                batch_size: batch,
+                ..Default::default()
+            },
+            None,
+            None,
+        )?;
+        let base_accuracy = Self::eval(&mut base, &eval_ds, batch)?;
+
+        // 2. Regularized training (same init).
+        let mut model = self.build_cnn(cfg.seed + 1, cfg.classes);
+        let mut opt = Sgd::new(0.05)
+            .with_momentum(0.9, true)
+            .with_weight_decay(5e-4);
+        let reg = CascadeRegularizer::new(cfg.lambda);
+        let cs = cfg.chunk_size;
+        let mut reg_hook = move |layers: &mut [&mut dyn Prunable]| {
+            for layer in layers.iter_mut() {
+                let (m, c_out) = layer.csp_dims();
+                let layout = ChunkedLayout::new(m, c_out, cs).expect("valid dims");
+                let w = layer.csp_weight();
+                let g = reg.grad(&w, layout).expect("grad shapes match");
+                layer.add_csp_weight_grad(&g).expect("grad shapes match");
+            }
+        };
+        let ds_train = ds.clone();
+        train_classifier(
+            &mut model,
+            move |b| ds_train.batch(b * batch, batch),
+            n_batches,
+            &mut opt,
+            &TrainOptions {
+                epochs: cfg.train_epochs,
+                batch_size: batch,
+                ..Default::default()
+            },
+            Some(&mut reg_hook),
+            None,
+        )?;
+        let regularized_accuracy = Self::eval(&mut model, &eval_ds, batch)?;
+
+        // 3. Prune with cascade closure.
+        let (masks, mut reports) = self.prune_model(&mut model)?;
+        let pruned_accuracy = Self::eval(&mut model, &eval_ds, batch)?;
+
+        // 4. Fine-tune under fixed masks.
+        let mut opt = Sgd::new(0.02).with_momentum(0.9, true);
+        let mask_tensors: Vec<Tensor> = masks.iter().map(|m| m.mask.clone()).collect();
+        let mut mask_hook = move |layers: &mut [&mut dyn Prunable]| {
+            for (layer, mask) in layers.iter_mut().zip(&mask_tensors) {
+                layer.apply_csp_mask(mask).expect("mask shapes match");
+            }
+        };
+        let ds_train = ds.clone();
+        train_classifier(
+            &mut model,
+            move |b| ds_train.batch(b * batch, batch),
+            n_batches,
+            &mut opt,
+            &TrainOptions {
+                epochs: cfg.finetune_epochs,
+                batch_size: batch,
+                ..Default::default()
+            },
+            None,
+            Some(&mut mask_hook),
+        )?;
+        let final_accuracy = Self::eval(&mut model, &eval_ds, batch)?;
+
+        // 5. 8-bit weight quantization (symmetric per-layer), then measure
+        // the deployment-precision accuracy.
+        for layer in model.prunable_layers() {
+            let w = layer.csp_weight();
+            let spec = QuantSpec::calibrate(&w, 8)?;
+            layer.set_csp_weight(&spec.fake_quant(&w))?;
+        }
+        let quantized_accuracy = Self::eval(&mut model, &eval_ds, batch)?;
+        let activation_density = Self::measure_activation_density(&mut model, &ds, batch)?;
+
+        // 6. Functional verification on the CSP-H array.
+        self.verify_functional(&mut model, &masks, &mut reports)?;
+
+        // Aggregate sparsity (weighted by layer size).
+        let mut zeros = 0usize;
+        let mut total = 0usize;
+        for mask in &masks {
+            let n = mask.mask.len();
+            zeros += ((mask.sparsity() * n as f32).round()) as usize;
+            total += n;
+        }
+        Ok(PipelineReport {
+            base_accuracy,
+            regularized_accuracy,
+            pruned_accuracy,
+            final_accuracy,
+            quantized_accuracy,
+            overall_sparsity: zeros as f32 / total.max(1) as f32,
+            activation_density,
+            layers: reports,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> PipelineConfig {
+        PipelineConfig {
+            train_epochs: 6,
+            finetune_epochs: 3,
+            samples: 48,
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_end_to_end() {
+        let report = CspPipeline::new(quick_config()).run_mini_cnn().unwrap();
+        // The pipeline must produce nonzero sparsity and keep the model
+        // functional, and every layer must pass the CSP-H functional check.
+        assert!(report.overall_sparsity > 0.0, "no pruning happened");
+        assert!(
+            report.final_accuracy > 0.5,
+            "fine-tuned accuracy collapsed: {}",
+            report.final_accuracy
+        );
+        assert_eq!(report.layers.len(), 3); // 2 convs + 1 linear
+        for l in &report.layers {
+            assert!(l.functional_check, "CSP-H mismatch on {}", l.label);
+            assert!(l.compression_ratio > 0.0);
+        }
+        // 8-bit quantization costs at most a few points on this task.
+        assert!(
+            report.quantized_accuracy >= report.final_accuracy - 0.1,
+            "quantization collapsed accuracy: {} -> {}",
+            report.final_accuracy,
+            report.quantized_accuracy
+        );
+        // ReLU networks show real activation sparsity.
+        assert!(
+            report.activation_density > 0.05 && report.activation_density < 0.95,
+            "implausible activation density {}",
+            report.activation_density
+        );
+    }
+
+    #[test]
+    fn pipeline_runs_on_every_family() {
+        use super::ModelFamily;
+        for family in [
+            ModelFamily::AlexNet,
+            ModelFamily::Vgg,
+            ModelFamily::ResNet,
+            ModelFamily::Inception,
+        ] {
+            let report = CspPipeline::new(PipelineConfig {
+                family,
+                train_epochs: 4,
+                finetune_epochs: 2,
+                samples: 32,
+                ..PipelineConfig::default()
+            })
+            .run_mini_cnn()
+            .unwrap();
+            assert!(
+                !report.layers.is_empty(),
+                "{family:?} produced no prunable layers"
+            );
+            for l in &report.layers {
+                assert!(
+                    l.functional_check,
+                    "{family:?}: CSP-H mismatch on {}",
+                    l.label
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn finetune_recovers_accuracy() {
+        let report = CspPipeline::new(quick_config()).run_mini_cnn().unwrap();
+        assert!(
+            report.final_accuracy >= report.pruned_accuracy - 0.05,
+            "fine-tuning should not lose accuracy: {} -> {}",
+            report.pruned_accuracy,
+            report.final_accuracy
+        );
+    }
+
+    #[test]
+    fn stronger_lambda_prunes_more() {
+        let weak = CspPipeline::new(PipelineConfig {
+            lambda: 0.0005,
+            ..quick_config()
+        })
+        .run_mini_cnn()
+        .unwrap();
+        let strong = CspPipeline::new(PipelineConfig {
+            lambda: 0.05,
+            ..quick_config()
+        })
+        .run_mini_cnn()
+        .unwrap();
+        assert!(
+            strong.overall_sparsity >= weak.overall_sparsity,
+            "λ=0.05 gave {} vs λ=0.0005 {}",
+            strong.overall_sparsity,
+            weak.overall_sparsity
+        );
+    }
+}

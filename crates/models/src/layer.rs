@@ -1,0 +1,279 @@
+//! Per-layer tensor geometry and derived workload statistics.
+
+/// The kind of a compute layer, with its geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// 2-D convolution.
+    Conv {
+        /// Input channels.
+        c_in: usize,
+        /// Output channels (filters).
+        c_out: usize,
+        /// Square kernel extent.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        padding: usize,
+        /// Input spatial height.
+        in_h: usize,
+        /// Input spatial width.
+        in_w: usize,
+    },
+    /// Fully-connected (matrix-multiply) layer applied to `tokens` input
+    /// rows (1 for a classic FC head, sequence length for Transformer FCs).
+    Fc {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+        /// Number of activation rows processed per inference.
+        tokens: usize,
+    },
+}
+
+/// A named layer with geometry and derived statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LayerShape {
+    /// Layer label, unique within a network (e.g. `"conv3_2"`).
+    pub name: String,
+    /// Geometry.
+    pub kind: LayerKind,
+}
+
+impl LayerShape {
+    /// A convolution layer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv(
+        name: impl Into<String>,
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        in_h: usize,
+        in_w: usize,
+    ) -> Self {
+        LayerShape {
+            name: name.into(),
+            kind: LayerKind::Conv {
+                c_in,
+                c_out,
+                kernel,
+                stride,
+                padding,
+                in_h,
+                in_w,
+            },
+        }
+    }
+
+    /// A fully-connected layer.
+    pub fn fc(
+        name: impl Into<String>,
+        in_features: usize,
+        out_features: usize,
+        tokens: usize,
+    ) -> Self {
+        LayerShape {
+            name: name.into(),
+            kind: LayerKind::Fc {
+                in_features,
+                out_features,
+                tokens,
+            },
+        }
+    }
+
+    /// True for convolution layers.
+    pub fn is_conv(&self) -> bool {
+        matches!(self.kind, LayerKind::Conv { .. })
+    }
+
+    /// Output spatial dims `(oh, ow)` for conv; `(tokens, 1)` for FC.
+    pub fn out_spatial(&self) -> (usize, usize) {
+        match self.kind {
+            LayerKind::Conv {
+                kernel,
+                stride,
+                padding,
+                in_h,
+                in_w,
+                ..
+            } => (
+                (in_h + 2 * padding - kernel) / stride + 1,
+                (in_w + 2 * padding - kernel) / stride + 1,
+            ),
+            LayerKind::Fc { tokens, .. } => (tokens, 1),
+        }
+    }
+
+    /// Filter-row count `M` of the flattened filter matrix
+    /// (`c_in · k²` for conv, `in_features` for FC).
+    pub fn m(&self) -> usize {
+        match self.kind {
+            LayerKind::Conv { c_in, kernel, .. } => c_in * kernel * kernel,
+            LayerKind::Fc { in_features, .. } => in_features,
+        }
+    }
+
+    /// Filter count `c_out` of the flattened filter matrix.
+    pub fn c_out(&self) -> usize {
+        match self.kind {
+            LayerKind::Conv { c_out, .. } => c_out,
+            LayerKind::Fc { out_features, .. } => out_features,
+        }
+    }
+
+    /// Number of output pixels `P` the filter matrix multiplies against
+    /// (spatial positions for conv, token rows for FC).
+    pub fn pixels(&self) -> usize {
+        let (oh, ow) = self.out_spatial();
+        oh * ow
+    }
+
+    /// Weight element count (`M · c_out`).
+    pub fn weight_elems(&self) -> usize {
+        self.m() * self.c_out()
+    }
+
+    /// Unique input activation count.
+    pub fn ifm_elems(&self) -> usize {
+        match self.kind {
+            LayerKind::Conv {
+                c_in, in_h, in_w, ..
+            } => c_in * in_h * in_w,
+            LayerKind::Fc {
+                in_features,
+                tokens,
+                ..
+            } => in_features * tokens,
+        }
+    }
+
+    /// Output activation count.
+    pub fn ofm_elems(&self) -> usize {
+        self.c_out() * self.pixels()
+    }
+
+    /// Dense MAC count (`M · c_out · P`).
+    pub fn macs(&self) -> u64 {
+        self.m() as u64 * self.c_out() as u64 * self.pixels() as u64
+    }
+
+    /// Total activation *reads* a naive dataflow performs: every output
+    /// pixel consumes all `M` filter-row activations (`M · P`). The excess
+    /// over [`ifm_elems`](Self::ifm_elems) is the re-fetch volume Fig. 1
+    /// highlights.
+    pub fn activation_reads(&self) -> u64 {
+        self.m() as u64 * self.pixels() as u64
+    }
+
+    /// Activation reads that are re-fetches of already-read data
+    /// (`activation_reads − ifm_elems`, saturating at zero for layers where
+    /// every read is unique, e.g. FC with one token).
+    pub fn activation_refetches(&self) -> u64 {
+        self.activation_reads()
+            .saturating_sub(self.ifm_elems() as u64)
+    }
+
+    /// Activation reuse factor: mean number of times each unique input
+    /// element is read by the dense computation.
+    pub fn activation_reuse(&self) -> f64 {
+        self.activation_reads() as f64 / self.ifm_elems().max(1) as f64
+    }
+}
+
+impl std::fmt::Display for LayerShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            LayerKind::Conv {
+                c_in,
+                c_out,
+                kernel,
+                stride,
+                ..
+            } => write!(
+                f,
+                "{}: conv {}->{} k{} s{} ({} MACs)",
+                self.name,
+                c_in,
+                c_out,
+                kernel,
+                stride,
+                self.macs()
+            ),
+            LayerKind::Fc {
+                in_features,
+                out_features,
+                tokens,
+            } => write!(
+                f,
+                "{}: fc {}->{} x{} ({} MACs)",
+                self.name,
+                in_features,
+                out_features,
+                tokens,
+                self.macs()
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_geometry() {
+        // VGG conv1_1: 3->64, k3 s1 p1 on 224x224.
+        let l = LayerShape::conv("conv1_1", 3, 64, 3, 1, 1, 224, 224);
+        assert_eq!(l.out_spatial(), (224, 224));
+        assert_eq!(l.m(), 27);
+        assert_eq!(l.c_out(), 64);
+        assert_eq!(l.pixels(), 224 * 224);
+        assert_eq!(l.macs(), 27 * 64 * 224 * 224);
+        assert_eq!(l.weight_elems(), 27 * 64);
+        assert_eq!(l.ifm_elems(), 3 * 224 * 224);
+    }
+
+    #[test]
+    fn strided_conv_geometry() {
+        // AlexNet conv1: 3->64 k11 s4 p2 on 224 → 55.
+        let l = LayerShape::conv("conv1", 3, 64, 11, 4, 2, 224, 224);
+        assert_eq!(l.out_spatial(), (55, 55));
+    }
+
+    #[test]
+    fn fc_geometry() {
+        let l = LayerShape::fc("ffn1", 512, 2048, 32);
+        assert_eq!(l.m(), 512);
+        assert_eq!(l.c_out(), 2048);
+        assert_eq!(l.pixels(), 32);
+        assert_eq!(l.macs(), 512 * 2048 * 32);
+        assert_eq!(l.ifm_elems(), 512 * 32);
+        assert_eq!(l.ofm_elems(), 2048 * 32);
+    }
+
+    #[test]
+    fn conv_has_high_activation_reuse() {
+        let conv = LayerShape::conv("c", 64, 64, 3, 1, 1, 56, 56);
+        assert!(conv.activation_reuse() > 5.0);
+        assert!(conv.activation_refetches() > 0);
+    }
+
+    #[test]
+    fn fc_single_token_has_no_refetch() {
+        let fc = LayerShape::fc("f", 4096, 1000, 1);
+        assert_eq!(fc.activation_refetches(), 0);
+        assert!((fc.activation_reuse() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let l = LayerShape::conv("c", 3, 8, 3, 1, 1, 8, 8);
+        assert!(format!("{l}").contains("conv"));
+        let f = LayerShape::fc("f", 8, 8, 1);
+        assert!(format!("{f}").contains("fc"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # csp-models
+//!
+//! Layer-shape database for the five networks evaluated in the CSP paper —
+//! AlexNet, VGG-16, ResNet-50, InceptionV3 and the Transformer (base) — plus
+//! synthetic sparsity profiles.
+//!
+//! The accelerator simulators (`csp-accel`, `csp-baselines`) consume
+//! [`LayerShape`]s: per-layer tensor geometry from which MAC counts, unique
+//! and re-fetched data volumes, and dataflow mappings are derived. Actual
+//! weight *values* only matter for the accuracy experiments, which train
+//! scaled-down models in `csp-nn`; for the architecture experiments the
+//! paper-reported (or CSP-A-measured) sparsity rates are injected through
+//! [`SparsityProfile`], which synthesizes cascade-closed per-row chunk
+//! counts matching a target sparsity.
+//!
+//! ## Example
+//!
+//! ```
+//! use csp_models::{vgg16, Dataset};
+//!
+//! let net = vgg16(Dataset::ImageNet);
+//! assert_eq!(net.name, "VGG-16");
+//! let total_macs: u64 = net.layers.iter().map(|l| l.macs()).sum();
+//! assert!(total_macs > 10_000_000_000); // ~15.5 GMACs
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod layer;
+mod sparsity;
+mod zoo;
+
+pub use layer::{LayerKind, LayerShape};
+pub use sparsity::SparsityProfile;
+pub use zoo::{
+    alexnet, inception_v3, mini_alexnet_shapes, mini_cnn_shapes, mini_inception_shapes,
+    mini_resnet_shapes, mini_vgg_shapes, resnet50, transformer_base, vgg16, Dataset, Network,
+};

@@ -1,0 +1,198 @@
+//! Synthetic sparsity injection for architecture experiments.
+//!
+//! The accelerator comparisons need per-layer sparsity patterns. When a
+//! trained mini-model is available, real chunk counts from `csp-pruning`
+//! are used; otherwise [`SparsityProfile`] synthesizes deterministic,
+//! cascade-closed chunk counts whose aggregate weight sparsity matches a
+//! target rate (e.g. the CSP-A rates of Table 2).
+
+use crate::layer::LayerShape;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A per-network sparsity configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsityProfile {
+    /// Target fraction of zero weights in `[0, 1)`.
+    pub weight_sparsity: f64,
+    /// Fraction of non-zero activations after ReLU in `(0, 1]`, exploited
+    /// by 2-way-sparse baselines (SparTen).
+    pub activation_density: f64,
+    /// Chunk size used for the CSP layout (32 in the paper).
+    pub chunk_size: usize,
+    /// RNG seed for deterministic synthesis.
+    pub seed: u64,
+}
+
+impl SparsityProfile {
+    /// Profile with the paper's defaults (chunk 32, activation density 0.5).
+    pub fn new(weight_sparsity: f64, seed: u64) -> Self {
+        SparsityProfile {
+            weight_sparsity: weight_sparsity.clamp(0.0, 0.999),
+            activation_density: 0.5,
+            chunk_size: 32,
+            seed,
+        }
+    }
+
+    /// Override the activation density.
+    pub fn with_activation_density(mut self, d: f64) -> Self {
+        self.activation_density = d.clamp(0.01, 1.0);
+        self
+    }
+
+    /// Override the chunk size.
+    pub fn with_chunk_size(mut self, cs: usize) -> Self {
+        assert!(cs > 0, "chunk size must be positive");
+        self.chunk_size = cs;
+        self
+    }
+
+    /// Number of chunks for a layer under this profile.
+    pub fn n_chunks(&self, layer: &LayerShape) -> usize {
+        layer.c_out().div_ceil(self.chunk_size)
+    }
+
+    /// Synthesize cascade-closed chunk counts for a layer: one count per
+    /// filter row, mean count ≈ `(1 − sparsity) · N`, deterministic in
+    /// `(seed, layer name)`.
+    ///
+    /// The count distribution is skewed the way CSP-A training skews it
+    /// (later chunks pruned more): counts are drawn from a truncated
+    /// geometric-like distribution around the target mean.
+    pub fn chunk_counts(&self, layer: &LayerShape) -> Vec<usize> {
+        let n = self.n_chunks(layer);
+        let m = layer.m();
+        let target_mean = (1.0 - self.weight_sparsity) * n as f64;
+        let mut rng = self.layer_rng(layer);
+        let mut counts = Vec::with_capacity(m);
+        for _ in 0..m {
+            // Triangular-ish jitter around the mean, clamped to [0, n].
+            let jitter = (rng.gen::<f64>() + rng.gen::<f64>() - 1.0) * n as f64 * 0.5;
+            let c = (target_mean + jitter).round().clamp(0.0, n as f64) as usize;
+            counts.push(c);
+        }
+        // Exact-mean correction: nudge counts until the aggregate surviving
+        // fraction matches the target within one chunk per row on average.
+        let target_total = (target_mean * m as f64).round() as i64;
+        let mut total: i64 = counts.iter().map(|&c| c as i64).sum();
+        let mut idx = 0usize;
+        while total != target_total && m > 0 {
+            let c = &mut counts[idx % m];
+            if total < target_total && *c < n {
+                *c += 1;
+                total += 1;
+            } else if total > target_total && *c > 0 {
+                *c -= 1;
+                total -= 1;
+            }
+            idx += 1;
+            if idx > 16 * m {
+                break; // safety: profile target unreachable (e.g. all rows saturated)
+            }
+        }
+        counts
+    }
+
+    /// The realized weight sparsity of the synthesized counts for `layer`
+    /// (approximately `weight_sparsity`; exact up to chunk granularity).
+    pub fn realized_sparsity(&self, layer: &LayerShape) -> f64 {
+        let counts = self.chunk_counts(layer);
+        let n = self.n_chunks(layer);
+        let cs = self.chunk_size;
+        let c_out = layer.c_out();
+        let kept: u64 = counts
+            .iter()
+            .map(|&c| {
+                let full = c.min(n);
+                // Last chunk may be partial.
+                (0..full)
+                    .map(|i| (cs.min(c_out - i * cs)) as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+        1.0 - kept as f64 / (layer.weight_elems() as f64)
+    }
+
+    fn layer_rng(&self, layer: &LayerShape) -> StdRng {
+        // Stable per-layer stream: combine the profile seed with a simple
+        // FNV-1a hash of the layer name.
+        let mut h = 0xcbf29ce484222325u64;
+        for b in layer.name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        StdRng::seed_from_u64(self.seed ^ h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerShape;
+
+    fn layer() -> LayerShape {
+        LayerShape::conv("test", 64, 128, 3, 1, 1, 14, 14)
+    }
+
+    #[test]
+    fn counts_deterministic() {
+        let p = SparsityProfile::new(0.7, 42);
+        assert_eq!(p.chunk_counts(&layer()), p.chunk_counts(&layer()));
+    }
+
+    #[test]
+    fn different_layers_different_counts() {
+        let p = SparsityProfile::new(0.7, 42);
+        let other = LayerShape::conv("other", 64, 128, 3, 1, 1, 14, 14);
+        assert_ne!(p.chunk_counts(&layer()), p.chunk_counts(&other));
+    }
+
+    #[test]
+    fn counts_bounded_by_n() {
+        let p = SparsityProfile::new(0.3, 1);
+        let l = layer();
+        let n = p.n_chunks(&l);
+        assert!(p.chunk_counts(&l).iter().all(|&c| c <= n));
+    }
+
+    #[test]
+    fn realized_sparsity_near_target() {
+        for target in [0.3f64, 0.5, 0.74, 0.88] {
+            let p = SparsityProfile::new(target, 7);
+            let got = p.realized_sparsity(&layer());
+            assert!(
+                (got - target).abs() < 0.05,
+                "target {target} realized {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_sparsity_keeps_everything() {
+        let p = SparsityProfile::new(0.0, 3);
+        let l = layer();
+        let n = p.n_chunks(&l);
+        assert!(p.chunk_counts(&l).iter().all(|&c| c == n));
+        assert!(p.realized_sparsity(&l) < 1e-9);
+    }
+
+    #[test]
+    fn chunk_size_controls_n() {
+        let l = layer(); // c_out = 128
+        assert_eq!(SparsityProfile::new(0.5, 0).n_chunks(&l), 4);
+        assert_eq!(
+            SparsityProfile::new(0.5, 0).with_chunk_size(8).n_chunks(&l),
+            16
+        );
+        // Partial last chunk.
+        let odd = LayerShape::conv("odd", 4, 100, 3, 1, 1, 8, 8);
+        assert_eq!(SparsityProfile::new(0.5, 0).n_chunks(&odd), 4);
+    }
+
+    #[test]
+    fn activation_density_clamped() {
+        let p = SparsityProfile::new(0.5, 0).with_activation_density(2.0);
+        assert!(p.activation_density <= 1.0);
+    }
+}

@@ -1,0 +1,846 @@
+//! The network zoo: layer lists for the five evaluated models.
+//!
+//! Shapes follow the standard published architectures (torchvision-style
+//! AlexNet/VGG-16/ResNet-50/InceptionV3, Transformer base). For CIFAR-10
+//! variants the input resolution is 32×32 and the classifier head is
+//! reduced, matching common CIFAR adaptations.
+
+use crate::layer::LayerShape;
+
+/// Dataset a network variant is configured for (sets the input resolution
+/// and classifier sizing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    /// 32×32 inputs, 10 classes.
+    Cifar10,
+    /// 224/227/299-pixel inputs, 1000 classes.
+    ImageNet,
+    /// WMT-style sequence-to-sequence (Transformer only).
+    Wmt,
+}
+
+/// A network: a name plus its compute layers in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Network {
+    /// Display name (matches the paper's figures).
+    pub name: &'static str,
+    /// Compute layers (convolutions and FC layers only; pooling and
+    /// element-wise layers carry no MACs and are omitted).
+    pub layers: Vec<LayerShape>,
+}
+
+impl Network {
+    /// Total dense MAC count.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs()).sum()
+    }
+
+    /// Total weight elements.
+    pub fn total_weights(&self) -> u64 {
+        self.layers.iter().map(|l| l.weight_elems() as u64).sum()
+    }
+
+    /// Only the convolution layers.
+    pub fn conv_layers(&self) -> impl Iterator<Item = &LayerShape> {
+        self.layers.iter().filter(|l| l.is_conv())
+    }
+
+    /// Only the FC layers.
+    pub fn fc_layers(&self) -> impl Iterator<Item = &LayerShape> {
+        self.layers.iter().filter(|l| !l.is_conv())
+    }
+
+    /// A plain-text per-layer summary: name, M, filters, pixels, MACs,
+    /// weights, and activation-reuse factor — the first thing to print
+    /// when sizing a workload for the simulators.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "{} — {} layers, {:.2} GMACs, {:.1} M weights\n",
+            self.name,
+            self.layers.len(),
+            self.total_macs() as f64 / 1e9,
+            self.total_weights() as f64 / 1e6
+        );
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>8} {:>8} {:>12} {:>10} {:>7}\n",
+            "layer", "M", "filters", "pixels", "MACs", "weights", "reuse"
+        ));
+        for l in &self.layers {
+            out.push_str(&format!(
+                "{:<16} {:>8} {:>8} {:>8} {:>12} {:>10} {:>7.1}\n",
+                l.name,
+                l.m(),
+                l.c_out(),
+                l.pixels(),
+                l.macs(),
+                l.weight_elems(),
+                l.activation_reuse()
+            ));
+        }
+        out
+    }
+}
+
+/// AlexNet (5 convolutions + 3 FC).
+pub fn alexnet(ds: Dataset) -> Network {
+    let mut layers = Vec::new();
+    match ds {
+        Dataset::ImageNet | Dataset::Wmt => {
+            layers.push(LayerShape::conv("conv1", 3, 64, 11, 4, 2, 224, 224)); // 55
+            layers.push(LayerShape::conv("conv2", 64, 192, 5, 1, 2, 27, 27)); // after pool 55->27
+            layers.push(LayerShape::conv("conv3", 192, 384, 3, 1, 1, 13, 13)); // after pool 27->13
+            layers.push(LayerShape::conv("conv4", 384, 256, 3, 1, 1, 13, 13));
+            layers.push(LayerShape::conv("conv5", 256, 256, 3, 1, 1, 13, 13));
+            layers.push(LayerShape::fc("fc6", 256 * 6 * 6, 4096, 1));
+            layers.push(LayerShape::fc("fc7", 4096, 4096, 1));
+            layers.push(LayerShape::fc("fc8", 4096, 1000, 1));
+        }
+        Dataset::Cifar10 => {
+            layers.push(LayerShape::conv("conv1", 3, 64, 3, 1, 1, 32, 32));
+            layers.push(LayerShape::conv("conv2", 64, 192, 3, 1, 1, 16, 16));
+            layers.push(LayerShape::conv("conv3", 192, 384, 3, 1, 1, 8, 8));
+            layers.push(LayerShape::conv("conv4", 384, 256, 3, 1, 1, 8, 8));
+            layers.push(LayerShape::conv("conv5", 256, 256, 3, 1, 1, 8, 8));
+            layers.push(LayerShape::fc("fc6", 256 * 4 * 4, 1024, 1));
+            layers.push(LayerShape::fc("fc7", 1024, 512, 1));
+            layers.push(LayerShape::fc("fc8", 512, 10, 1));
+        }
+    }
+    Network {
+        name: "AlexNet",
+        layers,
+    }
+}
+
+/// VGG-16 (13 convolutions + 3 FC).
+pub fn vgg16(ds: Dataset) -> Network {
+    // (c_in, c_out, repeats) per stage; spatial halves after each stage.
+    let stages: [(usize, usize, usize); 5] = [
+        (3, 64, 2),
+        (64, 128, 2),
+        (128, 256, 3),
+        (256, 512, 3),
+        (512, 512, 3),
+    ];
+    let mut side = match ds {
+        Dataset::Cifar10 => 32,
+        _ => 224,
+    };
+    let mut layers = Vec::new();
+    for (s, &(c_in, c_out, reps)) in stages.iter().enumerate() {
+        for r in 0..reps {
+            let cin = if r == 0 { c_in } else { c_out };
+            layers.push(LayerShape::conv(
+                format!("conv{}_{}", s + 1, r + 1),
+                cin,
+                c_out,
+                3,
+                1,
+                1,
+                side,
+                side,
+            ));
+        }
+        side /= 2;
+    }
+    match ds {
+        Dataset::Cifar10 => {
+            layers.push(LayerShape::fc("fc1", 512, 512, 1));
+            layers.push(LayerShape::fc("fc2", 512, 10, 1));
+        }
+        _ => {
+            layers.push(LayerShape::fc("fc1", 512 * 7 * 7, 4096, 1));
+            layers.push(LayerShape::fc("fc2", 4096, 4096, 1));
+            layers.push(LayerShape::fc("fc3", 4096, 1000, 1));
+        }
+    }
+    Network {
+        name: "VGG-16",
+        layers,
+    }
+}
+
+/// ResNet-50: stem + 4 stages of bottleneck blocks ([3, 4, 6, 3]).
+pub fn resnet50(ds: Dataset) -> Network {
+    let mut layers = Vec::new();
+    let (mut side, stem_stride) = match ds {
+        Dataset::Cifar10 => (32, 1),
+        _ => (224, 2),
+    };
+    if stem_stride == 2 {
+        layers.push(LayerShape::conv("conv1", 3, 64, 7, 2, 3, side, side));
+        side /= 2; // 112
+        side /= 2; // maxpool -> 56
+    } else {
+        layers.push(LayerShape::conv("conv1", 3, 64, 3, 1, 1, side, side));
+    }
+    let stage_cfg: [(usize, usize, usize); 4] =
+        [(64, 256, 3), (128, 512, 4), (256, 1024, 6), (512, 2048, 3)];
+    let mut c_in = 64usize;
+    for (s, &(mid, out, blocks)) in stage_cfg.iter().enumerate() {
+        for b in 0..blocks {
+            // First block of stages 2-4 downsamples spatially.
+            let stride = if b == 0 && s > 0 { 2 } else { 1 };
+            let n = format!("res{}_{}", s + 2, b + 1);
+            layers.push(LayerShape::conv(
+                format!("{n}_1x1a"),
+                c_in,
+                mid,
+                1,
+                stride,
+                0,
+                side,
+                side,
+            ));
+            let inner = side / stride;
+            layers.push(LayerShape::conv(
+                format!("{n}_3x3"),
+                mid,
+                mid,
+                3,
+                1,
+                1,
+                inner,
+                inner,
+            ));
+            layers.push(LayerShape::conv(
+                format!("{n}_1x1b"),
+                mid,
+                out,
+                1,
+                1,
+                0,
+                inner,
+                inner,
+            ));
+            if b == 0 {
+                // Projection shortcut.
+                layers.push(LayerShape::conv(
+                    format!("{n}_proj"),
+                    c_in,
+                    out,
+                    1,
+                    stride,
+                    0,
+                    side,
+                    side,
+                ));
+            }
+            side = inner;
+            c_in = out;
+        }
+    }
+    let classes = if ds == Dataset::Cifar10 { 10 } else { 1000 };
+    layers.push(LayerShape::fc("fc", 2048, classes, 1));
+    Network {
+        name: "ResNet-50",
+        layers,
+    }
+}
+
+/// InceptionV3: stem + Inception-A/B/C blocks with reductions.
+///
+/// The branch structure follows the published architecture; each branch
+/// convolution is one layer. Asymmetric 1×7/7×1 factorized convolutions are
+/// modelled as `k × k` layers of equal MAC count using an effective kernel
+/// of `sqrt(1·7) ≈` the exact rectangular geometry — we keep exactness by
+/// emitting two layers whose `M` uses `k² = 7` (a 1×7 kernel has 7 taps).
+pub fn inception_v3(ds: Dataset) -> Network {
+    // Rectangular kernels: model a 1x7 as kernel taps = 7 with unchanged
+    // spatial output. LayerShape only supports square kernels, so we encode
+    // a (1xk) kernel as kernel=k, padding chosen so out == in on one axis;
+    // MAC counts match because M = c_in * taps either way. For geometry we
+    // use square k with "same" padding — output pixel counts are identical.
+    let mut layers = Vec::new();
+    let mut side = match ds {
+        Dataset::Cifar10 => 32,
+        _ => 299,
+    };
+    let seven = 7usize; // factorized 1x7/7x1 tap count
+
+    // Stem.
+    if side > 64 {
+        layers.push(LayerShape::conv("stem1", 3, 32, 3, 2, 0, side, side));
+        side = (side - 3) / 2 + 1; // 149
+        layers.push(LayerShape::conv("stem2", 32, 32, 3, 1, 0, side, side));
+        side -= 2; // 147
+        layers.push(LayerShape::conv("stem3", 32, 64, 3, 1, 1, side, side));
+        side = (side - 3) / 2 + 1; // pool -> 73
+        layers.push(LayerShape::conv("stem4", 64, 80, 1, 1, 0, side, side));
+        layers.push(LayerShape::conv("stem5", 80, 192, 3, 1, 0, side, side));
+        side -= 2; // 71
+        side = (side - 3) / 2 + 1; // pool -> 35
+    } else {
+        layers.push(LayerShape::conv("stem1", 3, 32, 3, 1, 1, side, side));
+        layers.push(LayerShape::conv("stem2", 32, 64, 3, 1, 1, side, side));
+        layers.push(LayerShape::conv("stem3", 64, 192, 3, 1, 1, side, side));
+    }
+
+    // 3 × Inception-A at `side` (35 for ImageNet).
+    let mut c_in = 192usize;
+    for (i, pool_out) in [32usize, 64, 64].iter().enumerate() {
+        let n = format!("mixA{}", i + 1);
+        layers.push(LayerShape::conv(
+            format!("{n}_b1_1x1"),
+            c_in,
+            64,
+            1,
+            1,
+            0,
+            side,
+            side,
+        ));
+        layers.push(LayerShape::conv(
+            format!("{n}_b2_1x1"),
+            c_in,
+            48,
+            1,
+            1,
+            0,
+            side,
+            side,
+        ));
+        layers.push(LayerShape::conv(
+            format!("{n}_b2_5x5"),
+            48,
+            64,
+            5,
+            1,
+            2,
+            side,
+            side,
+        ));
+        layers.push(LayerShape::conv(
+            format!("{n}_b3_1x1"),
+            c_in,
+            64,
+            1,
+            1,
+            0,
+            side,
+            side,
+        ));
+        layers.push(LayerShape::conv(
+            format!("{n}_b3_3x3a"),
+            64,
+            96,
+            3,
+            1,
+            1,
+            side,
+            side,
+        ));
+        layers.push(LayerShape::conv(
+            format!("{n}_b3_3x3b"),
+            96,
+            96,
+            3,
+            1,
+            1,
+            side,
+            side,
+        ));
+        layers.push(LayerShape::conv(
+            format!("{n}_b4_pool1x1"),
+            c_in,
+            *pool_out,
+            1,
+            1,
+            0,
+            side,
+            side,
+        ));
+        c_in = 64 + 64 + 96 + pool_out;
+    }
+
+    // Reduction-A: 35 -> 17.
+    layers.push(LayerShape::conv("redA_3x3", c_in, 384, 3, 2, 0, side, side));
+    layers.push(LayerShape::conv(
+        "redA_b2_1x1",
+        c_in,
+        64,
+        1,
+        1,
+        0,
+        side,
+        side,
+    ));
+    layers.push(LayerShape::conv(
+        "redA_b2_3x3a",
+        64,
+        96,
+        3,
+        1,
+        1,
+        side,
+        side,
+    ));
+    layers.push(LayerShape::conv(
+        "redA_b2_3x3b",
+        96,
+        96,
+        3,
+        2,
+        0,
+        side,
+        side,
+    ));
+    side = (side - 3) / 2 + 1;
+    c_in += 384 + 96; // + pooled passthrough
+
+    // 4 × Inception-B (factorized 7-tap convolutions) at `side` (17).
+    for (i, ch7) in [128usize, 160, 160, 192].iter().enumerate() {
+        let n = format!("mixB{}", i + 1);
+        let c7 = *ch7;
+        layers.push(LayerShape::conv(
+            format!("{n}_b1_1x1"),
+            c_in,
+            192,
+            1,
+            1,
+            0,
+            side,
+            side,
+        ));
+        layers.push(LayerShape::conv(
+            format!("{n}_b2_1x1"),
+            c_in,
+            c7,
+            1,
+            1,
+            0,
+            side,
+            side,
+        ));
+        layers.push(fact_conv(format!("{n}_b2_1x7"), c7, c7, seven, side));
+        layers.push(fact_conv(format!("{n}_b2_7x1"), c7, 192, seven, side));
+        layers.push(LayerShape::conv(
+            format!("{n}_b3_1x1"),
+            c_in,
+            c7,
+            1,
+            1,
+            0,
+            side,
+            side,
+        ));
+        layers.push(fact_conv(format!("{n}_b3_7x1a"), c7, c7, seven, side));
+        layers.push(fact_conv(format!("{n}_b3_1x7a"), c7, c7, seven, side));
+        layers.push(fact_conv(format!("{n}_b3_7x1b"), c7, c7, seven, side));
+        layers.push(fact_conv(format!("{n}_b3_1x7b"), c7, 192, seven, side));
+        layers.push(LayerShape::conv(
+            format!("{n}_b4_pool1x1"),
+            c_in,
+            192,
+            1,
+            1,
+            0,
+            side,
+            side,
+        ));
+        c_in = 192 * 4;
+    }
+
+    // Reduction-B: 17 -> 8.
+    layers.push(LayerShape::conv(
+        "redB_b1_1x1",
+        c_in,
+        192,
+        1,
+        1,
+        0,
+        side,
+        side,
+    ));
+    layers.push(LayerShape::conv(
+        "redB_b1_3x3",
+        192,
+        320,
+        3,
+        2,
+        0,
+        side,
+        side,
+    ));
+    layers.push(LayerShape::conv(
+        "redB_b2_1x1",
+        c_in,
+        192,
+        1,
+        1,
+        0,
+        side,
+        side,
+    ));
+    layers.push(fact_conv("redB_b2_1x7", 192, 192, seven, side));
+    layers.push(fact_conv("redB_b2_7x1", 192, 192, seven, side));
+    layers.push(LayerShape::conv(
+        "redB_b2_3x3",
+        192,
+        192,
+        3,
+        2,
+        0,
+        side,
+        side,
+    ));
+    side = (side - 3) / 2 + 1;
+    c_in += 320 + 192;
+
+    // 2 × Inception-C at `side` (8).
+    for i in 0..2 {
+        let n = format!("mixC{}", i + 1);
+        layers.push(LayerShape::conv(
+            format!("{n}_b1_1x1"),
+            c_in,
+            320,
+            1,
+            1,
+            0,
+            side,
+            side,
+        ));
+        layers.push(LayerShape::conv(
+            format!("{n}_b2_1x1"),
+            c_in,
+            384,
+            1,
+            1,
+            0,
+            side,
+            side,
+        ));
+        layers.push(fact_conv(format!("{n}_b2_1x3"), 384, 384, 3, side));
+        layers.push(fact_conv(format!("{n}_b2_3x1"), 384, 384, 3, side));
+        layers.push(LayerShape::conv(
+            format!("{n}_b3_1x1"),
+            c_in,
+            448,
+            1,
+            1,
+            0,
+            side,
+            side,
+        ));
+        layers.push(LayerShape::conv(
+            format!("{n}_b3_3x3"),
+            448,
+            384,
+            3,
+            1,
+            1,
+            side,
+            side,
+        ));
+        layers.push(fact_conv(format!("{n}_b3_1x3"), 384, 384, 3, side));
+        layers.push(fact_conv(format!("{n}_b3_3x1"), 384, 384, 3, side));
+        layers.push(LayerShape::conv(
+            format!("{n}_b4_pool1x1"),
+            c_in,
+            192,
+            1,
+            1,
+            0,
+            side,
+            side,
+        ));
+        c_in = 320 + 2 * 384 + 2 * 384 + 192;
+    }
+
+    let classes = if ds == Dataset::Cifar10 { 10 } else { 1000 };
+    layers.push(LayerShape::fc("fc", 2048, classes, 1));
+    Network {
+        name: "InceptionV3",
+        layers,
+    }
+}
+
+/// A factorized rectangular convolution (`1×k` or `k×1`) modelled with an
+/// exact tap count: `M = c_in · taps`, output spatial size preserved.
+/// Implemented as a 1-D-kernel layer by treating the taps as a `taps × 1`
+/// kernel applied with "same" geometry: we emit a square kernel of size 1
+/// and scale `M` through the channel dimension trick — instead, simply use
+/// a conv with `kernel² = taps` by flattening: a `1 × taps` kernel over an
+/// `h × w` map is geometry-identical to a `taps-tap` kernel; we encode it
+/// as `kernel = taps` on a reshaped `(h·w) × 1` map with "same" padding.
+fn fact_conv(
+    name: impl Into<String>,
+    c_in: usize,
+    c_out: usize,
+    taps: usize,
+    side: usize,
+) -> LayerShape {
+    // Geometry: output pixels = side², M = c_in * taps. Encode as a conv on
+    // an (side², 1)-shaped map with kernel taps×1: we use in_h = side*side,
+    // in_w = 1, kernel size sqrt not needed — use kernel=1 width semantics.
+    // LayerShape is square-kernel only, so encode via kernel=1 and fold the
+    // taps into c_in (M and MACs exact, pixels exact, IFM unique exact).
+    let _ = taps;
+    LayerShape {
+        name: name.into(),
+        kind: crate::layer::LayerKind::Conv {
+            c_in: c_in * taps,
+            c_out,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            in_h: side,
+            in_w: side,
+        },
+    }
+}
+
+/// Transformer (base): 6 encoder + 6 decoder layers, d_model = 512,
+/// d_ff = 2048; only the static FC layers (projections and FFNs) are
+/// listed, matching the paper's treatment. `tokens` is the sequence length
+/// used for one inference (32 here).
+pub fn transformer_base() -> Network {
+    let d_model = 512usize;
+    let d_ff = 2048usize;
+    let tokens = 32usize;
+    let vocab = 32_000usize;
+    let mut layers = Vec::new();
+    for l in 0..6 {
+        for proj in ["wq", "wk", "wv", "wo"] {
+            layers.push(LayerShape::fc(
+                format!("enc{l}_{proj}"),
+                d_model,
+                d_model,
+                tokens,
+            ));
+        }
+        layers.push(LayerShape::fc(
+            format!("enc{l}_ffn1"),
+            d_model,
+            d_ff,
+            tokens,
+        ));
+        layers.push(LayerShape::fc(
+            format!("enc{l}_ffn2"),
+            d_ff,
+            d_model,
+            tokens,
+        ));
+    }
+    for l in 0..6 {
+        // Self-attention + cross-attention projections.
+        for proj in [
+            "self_wq", "self_wk", "self_wv", "self_wo", "x_wq", "x_wk", "x_wv", "x_wo",
+        ] {
+            layers.push(LayerShape::fc(
+                format!("dec{l}_{proj}"),
+                d_model,
+                d_model,
+                tokens,
+            ));
+        }
+        layers.push(LayerShape::fc(
+            format!("dec{l}_ffn1"),
+            d_model,
+            d_ff,
+            tokens,
+        ));
+        layers.push(LayerShape::fc(
+            format!("dec{l}_ffn2"),
+            d_ff,
+            d_model,
+            tokens,
+        ));
+    }
+    layers.push(LayerShape::fc("generator", d_model, vocab, tokens));
+    Network {
+        name: "Transformer",
+        layers,
+    }
+}
+
+/// The scaled-down CNN used by the training experiments (matches the
+/// `csp-nn` mini model builders): layer shapes only, for simulator runs on
+/// trained mini-models.
+pub fn mini_cnn_shapes(channels: usize, side: usize, classes: usize) -> Network {
+    Network {
+        name: "MiniCNN",
+        layers: vec![
+            LayerShape::conv("conv1", channels, 16, 3, 1, 1, side, side),
+            LayerShape::conv("conv2", 16, 32, 3, 1, 1, side / 2, side / 2),
+            LayerShape::fc("fc", 32 * (side / 4) * (side / 4), classes, 1),
+        ],
+    }
+}
+
+/// Shapes of `csp-nn`'s `zoo_mini::mini_alexnet`.
+pub fn mini_alexnet_shapes(channels: usize, side: usize, classes: usize) -> Network {
+    Network {
+        name: "MiniAlexNet",
+        layers: vec![
+            LayerShape::conv("conv1", channels, 8, 5, 1, 2, side, side),
+            LayerShape::conv("conv2", 8, 16, 3, 1, 1, side / 2, side / 2),
+            LayerShape::fc("fc", 16 * (side / 4) * (side / 4), classes, 1),
+        ],
+    }
+}
+
+/// Shapes of `csp-nn`'s `zoo_mini::mini_vgg`.
+pub fn mini_vgg_shapes(channels: usize, side: usize, classes: usize) -> Network {
+    Network {
+        name: "MiniVGG",
+        layers: vec![
+            LayerShape::conv("conv1_1", channels, 8, 3, 1, 1, side, side),
+            LayerShape::conv("conv1_2", 8, 8, 3, 1, 1, side, side),
+            LayerShape::conv("conv2_1", 8, 16, 3, 1, 1, side / 2, side / 2),
+            LayerShape::conv("conv2_2", 16, 16, 3, 1, 1, side / 2, side / 2),
+            LayerShape::fc("fc", 16 * (side / 4) * (side / 4), classes, 1),
+        ],
+    }
+}
+
+/// Shapes of `csp-nn`'s `zoo_mini::mini_resnet`.
+pub fn mini_resnet_shapes(channels: usize, side: usize, classes: usize) -> Network {
+    Network {
+        name: "MiniResNet",
+        layers: vec![
+            LayerShape::conv("stem", channels, 12, 3, 1, 1, side, side),
+            LayerShape::conv("res1_a", 12, 12, 3, 1, 1, side, side),
+            LayerShape::conv("res1_b", 12, 12, 3, 1, 1, side, side),
+            LayerShape::conv("res2_a", 12, 12, 3, 1, 1, side / 2, side / 2),
+            LayerShape::conv("res2_b", 12, 12, 3, 1, 1, side / 2, side / 2),
+            LayerShape::fc("fc", 12 * (side / 4) * (side / 4), classes, 1),
+        ],
+    }
+}
+
+/// Shapes of `csp-nn`'s `zoo_mini::mini_inception` (branch convolutions
+/// flattened into the layer list).
+pub fn mini_inception_shapes(channels: usize, side: usize, classes: usize) -> Network {
+    let s = side / 2;
+    Network {
+        name: "MiniInception",
+        layers: vec![
+            LayerShape::conv("stem", channels, 8, 3, 1, 1, side, side),
+            LayerShape::conv("mix_b1_1x1", 8, 4, 1, 1, 0, s, s),
+            LayerShape::conv("mix_b2_1x1", 8, 4, 1, 1, 0, s, s),
+            LayerShape::conv("mix_b2_3x3", 4, 6, 3, 1, 1, s, s),
+            LayerShape::conv("mix_b3_1x1", 8, 2, 1, 1, 0, s, s),
+            LayerShape::conv("mix_b3_5x5", 2, 4, 5, 1, 2, s, s),
+            LayerShape::fc("fc", 14 * (side / 4) * (side / 4), classes, 1),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_imagenet_macs_match_published() {
+        let net = vgg16(Dataset::ImageNet);
+        let gmacs = net.total_macs() as f64 / 1e9;
+        // Published: ~15.5 GMACs.
+        assert!((gmacs - 15.5).abs() < 0.5, "VGG-16 GMACs {gmacs}");
+        assert_eq!(net.conv_layers().count(), 13);
+        assert_eq!(net.fc_layers().count(), 3);
+        // Published parameter count ~138M.
+        let params = net.total_weights() as f64 / 1e6;
+        assert!((params - 138.0).abs() < 5.0, "VGG-16 params {params}M");
+    }
+
+    #[test]
+    fn alexnet_imagenet_macs_match_published() {
+        let net = alexnet(Dataset::ImageNet);
+        let gmacs = net.total_macs() as f64 / 1e9;
+        // Published: ~0.71 GMACs.
+        assert!((gmacs - 0.71).abs() < 0.1, "AlexNet GMACs {gmacs}");
+        let params = net.total_weights() as f64 / 1e6;
+        assert!((params - 61.0).abs() < 4.0, "AlexNet params {params}M");
+    }
+
+    #[test]
+    fn resnet50_imagenet_macs_match_published() {
+        let net = resnet50(Dataset::ImageNet);
+        let gmacs = net.total_macs() as f64 / 1e9;
+        // Published: ~4.1 GMACs (conv only; we include projections).
+        assert!((gmacs - 4.1).abs() < 0.4, "ResNet-50 GMACs {gmacs}");
+        // 1 stem + 16 blocks×3 + 4 projections + 1 fc = 54 layers.
+        assert_eq!(net.layers.len(), 54);
+    }
+
+    #[test]
+    fn inception_macs_plausible() {
+        let net = inception_v3(Dataset::ImageNet);
+        let gmacs = net.total_macs() as f64 / 1e9;
+        // Published: ~5.7 GMACs; branch bookkeeping tolerances apply.
+        assert!((2.0..9.0).contains(&gmacs), "InceptionV3 GMACs {gmacs}");
+        assert!(net.layers.len() > 80);
+    }
+
+    #[test]
+    fn transformer_weight_dominated() {
+        let net = transformer_base();
+        // FC-only network.
+        assert_eq!(net.conv_layers().count(), 0);
+        // Weight-data dominant: weights far exceed unique activations.
+        let weights = net.total_weights();
+        let acts: u64 = net.layers.iter().map(|l| l.ifm_elems() as u64).sum();
+        assert!(weights > 10 * acts);
+    }
+
+    #[test]
+    fn cifar_variants_are_smaller() {
+        assert!(vgg16(Dataset::Cifar10).total_macs() < vgg16(Dataset::ImageNet).total_macs());
+        assert!(resnet50(Dataset::Cifar10).total_macs() < resnet50(Dataset::ImageNet).total_macs());
+    }
+
+    #[test]
+    fn layer_names_unique() {
+        for net in [
+            alexnet(Dataset::ImageNet),
+            vgg16(Dataset::ImageNet),
+            resnet50(Dataset::ImageNet),
+            inception_v3(Dataset::ImageNet),
+            transformer_base(),
+        ] {
+            let mut names: Vec<&str> = net.layers.iter().map(|l| l.name.as_str()).collect();
+            let before = names.len();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(before, names.len(), "duplicate layer names in {}", net.name);
+        }
+    }
+
+    #[test]
+    fn mini_cnn_shapes_consistent() {
+        let net = mini_cnn_shapes(1, 8, 4);
+        assert_eq!(net.layers.len(), 3);
+        assert_eq!(net.layers[2].m(), 32 * 2 * 2);
+    }
+
+    #[test]
+    fn summary_renders_every_layer() {
+        let net = alexnet(Dataset::ImageNet);
+        let s = net.summary();
+        assert!(s.contains("AlexNet"));
+        for l in &net.layers {
+            assert!(s.contains(&l.name), "missing {}", l.name);
+        }
+        // One header + intro + one line per layer.
+        assert_eq!(s.lines().count(), 2 + net.layers.len());
+    }
+
+    #[test]
+    fn mini_family_shapes_consistent() {
+        // FC input dims must match the flattened conv outputs.
+        let a = mini_alexnet_shapes(1, 8, 4);
+        assert_eq!(a.layers.last().unwrap().m(), 16 * 2 * 2);
+        let v = mini_vgg_shapes(1, 8, 4);
+        assert_eq!(v.layers.last().unwrap().m(), 16 * 2 * 2);
+        assert_eq!(v.conv_layers().count(), 4);
+        let r = mini_resnet_shapes(1, 8, 4);
+        assert_eq!(r.layers.last().unwrap().m(), 12 * 2 * 2);
+        let i = mini_inception_shapes(1, 8, 4);
+        // Branch outputs concat to 4 + 6 + 4 = 14 channels.
+        assert_eq!(i.layers.last().unwrap().m(), 14 * 2 * 2);
+        for net in [a, v, r, i] {
+            assert!(net.total_macs() > 0);
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Multi-head self-attention with a hand-written backward pass.
+//!
+//! The attention projections (`W_q`, `W_k`, `W_v`, `W_o`) are the *static*
+//! FC weights that CSP-A prunes in the Transformer experiments; the Logit
+//! (`QKᵀ`) and Attend (`AV`) operators stay dense, matching the paper's
+//! treatment (Section 8: CSP-A targets static elements and treats Logit /
+//! Attend as dense).
+
+use crate::layers::Linear;
+use crate::model::{Layer, Param};
+use csp_tensor::{
+    add_col_block, col_block, matmul, matmul_a_bt, matmul_at_b, softmax_rows, Result, Tensor,
+    TensorError,
+};
+use rand::Rng;
+
+/// Backward through a row-wise softmax: given `s = softmax(z)` and `ds`,
+/// returns `dz = s ⊙ (ds - rowsum(ds ⊙ s))`.
+fn softmax_backward(s: &Tensor, ds: &Tensor) -> Result<Tensor> {
+    let (rows, cols) = (s.dims()[0], s.dims()[1]);
+    let mut dz = Tensor::zeros(s.dims());
+    for r in 0..rows {
+        let srow = &s.as_slice()[r * cols..(r + 1) * cols];
+        let dsrow = &ds.as_slice()[r * cols..(r + 1) * cols];
+        let dot: f32 = srow.iter().zip(dsrow).map(|(&a, &b)| a * b).sum();
+        for c in 0..cols {
+            dz.as_mut_slice()[r * cols + c] = srow[c] * (dsrow[c] - dot);
+        }
+    }
+    Ok(dz)
+}
+
+struct HeadCache {
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    attn: Tensor,
+}
+
+/// Multi-head self-attention over a `(seq, d_model)` input.
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    dk: usize,
+    cache: Option<Vec<HeadCache>>,
+}
+
+impl MultiHeadAttention {
+    /// Self-attention with `heads` heads over `d_model` features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_model` is not divisible by `heads`.
+    pub fn new<R: Rng>(rng: &mut R, d_model: usize, heads: usize) -> Self {
+        assert!(
+            heads > 0 && d_model.is_multiple_of(heads),
+            "d_model must divide by heads"
+        );
+        MultiHeadAttention {
+            wq: Linear::new(rng, d_model, d_model),
+            wk: Linear::new(rng, d_model, d_model),
+            wv: Linear::new(rng, d_model, d_model),
+            wo: Linear::new(rng, d_model, d_model),
+            heads,
+            dk: d_model / heads,
+            cache: None,
+        }
+    }
+
+    /// Number of heads.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Key dimension per head (`d_K` in the paper; 64 for Transformer-base).
+    pub fn dk(&self) -> usize {
+        self.dk
+    }
+
+    /// The four projection layers, for pruning hooks.
+    pub fn projections_mut(&mut self) -> [&mut Linear; 4] {
+        [&mut self.wq, &mut self.wk, &mut self.wv, &mut self.wo]
+    }
+}
+
+impl Layer for MultiHeadAttention {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        if x.rank() != 2 || x.dims()[1] != self.heads * self.dk {
+            return Err(TensorError::IncompatibleShapes {
+                op: "mha",
+                lhs: x.dims().to_vec(),
+                rhs: vec![self.heads * self.dk],
+            });
+        }
+        let q_all = self.wq.forward(x, train)?;
+        let k_all = self.wk.forward(x, train)?;
+        let v_all = self.wv.forward(x, train)?;
+        let seq = x.dims()[0];
+        let d_model = self.heads * self.dk;
+        let mut concat = Tensor::zeros(&[seq, d_model]);
+        let mut caches = Vec::with_capacity(self.heads);
+        let scale = 1.0 / (self.dk as f32).sqrt();
+        for h in 0..self.heads {
+            let (c0, c1) = (h * self.dk, (h + 1) * self.dk);
+            let q = col_block(&q_all, c0, c1)?;
+            let k = col_block(&k_all, c0, c1)?;
+            let v = col_block(&v_all, c0, c1)?;
+            let logits = matmul_a_bt(&q, &k)?.scale(scale);
+            let attn = softmax_rows(&logits)?;
+            let out = matmul(&attn, &v)?;
+            add_col_block(&mut concat, &out, c0)?;
+            if train {
+                caches.push(HeadCache { q, k, v, attn });
+            }
+        }
+        if train {
+            self.cache = Some(caches);
+        }
+        self.wo.forward(&concat, train)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let caches = self
+            .cache
+            .as_ref()
+            .ok_or_else(|| TensorError::InvalidParameter {
+                what: "backward called before forward(train=true)".into(),
+            })?;
+        let d_concat = self.wo.backward(grad_out)?;
+        let seq = d_concat.dims()[0];
+        let d_model = self.heads * self.dk;
+        let scale = 1.0 / (self.dk as f32).sqrt();
+        let mut dq_all = Tensor::zeros(&[seq, d_model]);
+        let mut dk_all = Tensor::zeros(&[seq, d_model]);
+        let mut dv_all = Tensor::zeros(&[seq, d_model]);
+        for (h, cache) in caches.iter().enumerate() {
+            let c0 = h * self.dk;
+            let d_out = col_block(&d_concat, c0, c0 + self.dk)?;
+            // out = attn · v
+            let d_attn = matmul_a_bt(&d_out, &cache.v)?;
+            let dv = matmul_at_b(&cache.attn, &d_out)?;
+            // attn = softmax(scale · q kᵀ)
+            let d_logits = softmax_backward(&cache.attn, &d_attn)?.scale(scale);
+            let dq = matmul(&d_logits, &cache.k)?;
+            let dk = matmul_at_b(&d_logits, &cache.q)?;
+            add_col_block(&mut dq_all, &dq, c0)?;
+            add_col_block(&mut dk_all, &dk, c0)?;
+            add_col_block(&mut dv_all, &dv, c0)?;
+        }
+        let gx_q = self.wq.backward(&dq_all)?;
+        let gx_k = self.wk.backward(&dk_all)?;
+        let gx_v = self.wv.backward(&dv_all)?;
+        gx_q.add(&gx_k)?.add(&gx_v)
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        let mut ps = self.wq.params();
+        ps.extend(self.wk.params());
+        ps.extend(self.wv.params());
+        ps.extend(self.wo.params());
+        ps
+    }
+
+    fn zero_grad(&mut self) {
+        self.wq.zero_grad();
+        self.wk.zero_grad();
+        self.wv.zero_grad();
+        self.wo.zero_grad();
+    }
+
+    fn name(&self) -> &'static str {
+        "mha"
+    }
+}
+
+/// Prunable view over all four projection matrices stacked is not provided:
+/// CSP-A treats each projection as an independent FC layer, so pruning hooks
+/// iterate [`MultiHeadAttention::projections_mut`] instead.
+impl std::fmt::Debug for MultiHeadAttention {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MultiHeadAttention(heads={}, dk={})",
+            self.heads, self.dk
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = seeded_rng(0);
+        let mut mha = MultiHeadAttention::new(&mut rng, 8, 2);
+        let x = Tensor::from_fn(&[5, 8], |i| (i as f32 * 0.1).sin());
+        let y = mha.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[5, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn heads_must_divide() {
+        let mut rng = seeded_rng(0);
+        let _ = MultiHeadAttention::new(&mut rng, 10, 3);
+    }
+
+    #[test]
+    fn col_block_round_trip() {
+        let x = Tensor::from_fn(&[3, 6], |i| i as f32);
+        let b = col_block(&x, 2, 4).unwrap();
+        assert_eq!(b.dims(), &[3, 2]);
+        assert_eq!(b.get(&[1, 0]).unwrap(), 8.0);
+        let mut y = Tensor::zeros(&[3, 6]);
+        add_col_block(&mut y, &b, 2).unwrap();
+        assert_eq!(y.get(&[1, 2]).unwrap(), 8.0);
+        assert_eq!(y.get(&[1, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn softmax_backward_finite_difference() {
+        let z = Tensor::from_vec(vec![0.2, -0.5, 1.0], &[1, 3]).unwrap();
+        let s = softmax_rows(&z).unwrap();
+        let w = [1.0f32, 0.3, -0.7];
+        let ds = Tensor::from_vec(w.to_vec(), &[1, 3]).unwrap();
+        let dz = softmax_backward(&s, &ds).unwrap();
+        let loss = |z: &Tensor| -> f32 {
+            let s = softmax_rows(z).unwrap();
+            s.as_slice().iter().zip(&w).map(|(&a, &b)| a * b).sum()
+        };
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut zp = z.clone();
+            zp.as_mut_slice()[i] += eps;
+            let mut zm = z.clone();
+            zm.as_mut_slice()[i] -= eps;
+            let fd = (loss(&zp) - loss(&zm)) / (2.0 * eps);
+            assert!((fd - dz.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn mha_backward_finite_difference() {
+        let mut rng = seeded_rng(1);
+        let mut mha = MultiHeadAttention::new(&mut rng, 4, 2);
+        let x = Tensor::from_fn(&[3, 4], |i| (i as f32 * 0.17).sin());
+        let y = mha.forward(&x, true).unwrap();
+        let gin = mha.backward(&Tensor::ones(y.dims())).unwrap();
+        let eps = 1e-3;
+        for idx in [0usize, 3, 7, 11] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let lp = mha.forward(&xp, false).unwrap().sum();
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lm = mha.forward(&xm, false).unwrap().sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - gin.as_slice()[idx]).abs() < 2e-2,
+                "idx {idx}: fd {fd} vs {}",
+                gin.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn mha_param_count() {
+        let mut rng = seeded_rng(2);
+        let mut mha = MultiHeadAttention::new(&mut rng, 8, 2);
+        // 4 projections × (weight + bias).
+        assert_eq!(mha.params().len(), 8);
+    }
+
+    #[test]
+    fn projections_are_prunable_linears() {
+        use crate::prunable::Prunable;
+        let mut rng = seeded_rng(3);
+        let mut mha = MultiHeadAttention::new(&mut rng, 8, 2);
+        for p in mha.projections_mut() {
+            let (m, c) = p.csp_dims();
+            assert_eq!((m, c), (8, 8));
+        }
+    }
+}

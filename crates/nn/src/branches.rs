@@ -1,0 +1,246 @@
+//! Inception-style parallel branches with channel concatenation.
+
+use crate::model::{Layer, Param};
+use crate::prunable::Prunable;
+use csp_tensor::{Result, Tensor, TensorError};
+
+/// Runs several layer stacks on the same input and concatenates their
+/// outputs along the channel dimension — the Inception block structure.
+///
+/// All branches must produce outputs with identical `(n, _, h, w)` apart
+/// from the channel count.
+pub struct Branches {
+    branches: Vec<Vec<Box<dyn Layer>>>,
+    cache_channels: Option<Vec<usize>>,
+}
+
+impl Branches {
+    /// Build from a list of branch stacks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branches` is empty.
+    pub fn new(branches: Vec<Vec<Box<dyn Layer>>>) -> Self {
+        assert!(!branches.is_empty(), "need at least one branch");
+        Branches {
+            branches,
+            cache_channels: None,
+        }
+    }
+
+    /// Number of branches.
+    pub fn num_branches(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Prunable layers across all branches.
+    pub fn prunable_layers(&mut self) -> Vec<&mut dyn Prunable> {
+        self.branches
+            .iter_mut()
+            .flat_map(|b| b.iter_mut().filter_map(|l| l.as_prunable()))
+            .collect()
+    }
+}
+
+fn concat_channels(parts: &[Tensor]) -> Result<Tensor> {
+    let n = parts[0].dims()[0];
+    let (h, w) = (parts[0].dims()[2], parts[0].dims()[3]);
+    for p in parts {
+        if p.dims()[0] != n || p.dims()[2] != h || p.dims()[3] != w {
+            return Err(TensorError::IncompatibleShapes {
+                op: "branch_concat",
+                lhs: parts[0].dims().to_vec(),
+                rhs: p.dims().to_vec(),
+            });
+        }
+    }
+    let c_total: usize = parts.iter().map(|p| p.dims()[1]).sum();
+    let mut out = Tensor::zeros(&[n, c_total, h, w]);
+    let per = h * w;
+    for ni in 0..n {
+        let mut c_off = 0usize;
+        for p in parts {
+            let c = p.dims()[1];
+            let src = &p.as_slice()[ni * c * per..(ni + 1) * c * per];
+            out.as_mut_slice()[(ni * c_total + c_off) * per..(ni * c_total + c_off + c) * per]
+                .copy_from_slice(src);
+            c_off += c;
+        }
+    }
+    Ok(out)
+}
+
+fn split_channels(x: &Tensor, channels: &[usize]) -> Vec<Tensor> {
+    let n = x.dims()[0];
+    let c_total = x.dims()[1];
+    let (h, w) = (x.dims()[2], x.dims()[3]);
+    let per = h * w;
+    let mut parts = Vec::with_capacity(channels.len());
+    let mut c_off = 0usize;
+    for &c in channels {
+        let mut t = Tensor::zeros(&[n, c, h, w]);
+        for ni in 0..n {
+            let src = &x.as_slice()[(ni * c_total + c_off) * per..(ni * c_total + c_off + c) * per];
+            t.as_mut_slice()[ni * c * per..(ni + 1) * c * per].copy_from_slice(src);
+        }
+        parts.push(t);
+        c_off += c;
+    }
+    parts
+}
+
+impl Layer for Branches {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        let mut outs = Vec::with_capacity(self.branches.len());
+        for branch in &mut self.branches {
+            let mut cur = x.clone();
+            for l in branch.iter_mut() {
+                cur = l.forward(&cur, train)?;
+            }
+            outs.push(cur);
+        }
+        if train {
+            self.cache_channels = Some(outs.iter().map(|o| o.dims()[1]).collect());
+        }
+        concat_channels(&outs)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let channels =
+            self.cache_channels
+                .as_ref()
+                .ok_or_else(|| TensorError::InvalidParameter {
+                    what: "backward called before forward(train=true)".into(),
+                })?;
+        let grads = split_channels(grad_out, channels);
+        let mut gin: Option<Tensor> = None;
+        for (branch, g) in self.branches.iter_mut().zip(grads) {
+            let mut cur = g;
+            for l in branch.iter_mut().rev() {
+                cur = l.backward(&cur)?;
+            }
+            gin = Some(match gin {
+                None => cur,
+                Some(acc) => acc.add(&cur)?,
+            });
+        }
+        gin.ok_or_else(|| TensorError::InvalidParameter {
+            what: "no branches".into(),
+        })
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        self.branches
+            .iter_mut()
+            .flat_map(|b| b.iter_mut().flat_map(|l| l.params()))
+            .collect()
+    }
+
+    fn zero_grad(&mut self) {
+        for b in &mut self.branches {
+            for l in b.iter_mut() {
+                l.zero_grad();
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "branches"
+    }
+
+    fn collect_prunables(&mut self) -> Vec<&mut dyn Prunable> {
+        self.branches
+            .iter_mut()
+            .flat_map(|b| b.iter_mut().flat_map(|l| l.collect_prunables()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Relu};
+    use crate::seeded_rng;
+
+    fn block(seed: u64) -> Branches {
+        let mut rng = seeded_rng(seed);
+        Branches::new(vec![
+            vec![Box::new(Conv2d::new(&mut rng, 2, 3, 1, 1, 0)) as Box<dyn Layer>],
+            vec![
+                Box::new(Conv2d::new(&mut rng, 2, 4, 3, 1, 1)),
+                Box::new(Relu::new()),
+            ],
+        ])
+    }
+
+    #[test]
+    fn concatenates_channels() {
+        let mut b = block(0);
+        let y = b.forward(&Tensor::zeros(&[2, 2, 5, 5]), false).unwrap();
+        assert_eq!(y.dims(), &[2, 7, 5, 5]); // 3 + 4 channels
+        assert_eq!(b.num_branches(), 2);
+    }
+
+    #[test]
+    fn concat_preserves_branch_outputs() {
+        // Identity-style check: branch 0 output occupies channels 0..3.
+        let mut rng = seeded_rng(1);
+        let mut conv = Conv2d::new(&mut rng, 1, 1, 1, 1, 0);
+        conv.set_weight(&Tensor::from_vec(vec![2.0], &[1, 1, 1, 1]).unwrap())
+            .unwrap();
+        let mut conv2 = Conv2d::new(&mut rng, 1, 1, 1, 1, 0);
+        conv2
+            .set_weight(&Tensor::from_vec(vec![-1.0], &[1, 1, 1, 1]).unwrap())
+            .unwrap();
+        let mut b = Branches::new(vec![
+            vec![Box::new(conv) as Box<dyn Layer>],
+            vec![Box::new(conv2)],
+        ]);
+        let x = Tensor::from_fn(&[1, 1, 2, 2], |i| i as f32);
+        let y = b.forward(&x, false).unwrap();
+        assert_eq!(y.get(&[0, 0, 1, 1]).unwrap(), 6.0); // 2 * 3
+        assert_eq!(y.get(&[0, 1, 1, 1]).unwrap(), -3.0);
+    }
+
+    #[test]
+    fn backward_finite_difference() {
+        let mut b = block(2);
+        let x = Tensor::from_fn(&[1, 2, 4, 4], |i| (i as f32 * 0.21).sin());
+        let y = b.forward(&x, true).unwrap();
+        let gin = b.backward(&Tensor::ones(y.dims())).unwrap();
+        let eps = 1e-3;
+        for idx in [0usize, 9, 21, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let lp = b.forward(&xp, false).unwrap().sum();
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lm = b.forward(&xm, false).unwrap().sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - gin.as_slice()[idx]).abs() < 2e-2,
+                "idx {idx}: fd {fd} vs {}",
+                gin.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn prunable_layers_span_branches() {
+        let mut b = block(3);
+        assert_eq!(b.prunable_layers().len(), 2);
+    }
+
+    #[test]
+    fn params_span_branches() {
+        let mut b = block(4);
+        // Two convs × (weight + bias).
+        assert_eq!(b.params().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one branch")]
+    fn empty_branches_panic() {
+        let _ = Branches::new(vec![]);
+    }
+}

@@ -1,0 +1,257 @@
+//! Synthetic datasets standing in for CIFAR-10 / ImageNet / WMT'16.
+//!
+//! The paper's accuracy experiments require *learnable* tasks so that
+//! pruning-induced degradation is observable. We use:
+//!
+//! * [`ClusterImages`] — a k-class image-classification task where each
+//!   class is a smooth spatial template plus per-sample noise. Small CNNs
+//!   reach high accuracy quickly, and over-pruning visibly hurts.
+//! * [`SeqTask`] — a sequence-transduction (toy "translation") task mapping
+//!   an input token sequence to an output sequence (reversal plus a fixed
+//!   vocabulary shift). Attention models solve it well; the output is scored
+//!   with BLEU just like WMT in the paper.
+
+use csp_tensor::Tensor;
+use rand::Rng;
+
+/// A labelled image-classification dataset of `(c, h, w)` samples.
+#[derive(Debug, Clone)]
+pub struct ClusterImages {
+    /// Flattened samples, each `(c, h, w)`.
+    pub images: Vec<Tensor>,
+    /// Class index per sample.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Channel count.
+    pub channels: usize,
+    /// Spatial extent (square images).
+    pub side: usize,
+}
+
+impl ClusterImages {
+    /// Generate `n` samples of `k` classes of `c`-channel `side × side`
+    /// images. Each class is a smooth sinusoidal template; samples add
+    /// Gaussian-ish noise of magnitude `noise`.
+    pub fn generate<R: Rng>(
+        rng: &mut R,
+        n: usize,
+        k: usize,
+        c: usize,
+        side: usize,
+        noise: f32,
+    ) -> Self {
+        assert!(k > 0, "need at least one class");
+        // Smooth per-class templates: frequency/phase vary by class.
+        let template = |class: usize, ci: usize, y: usize, x: usize| -> f32 {
+            let fy = 1.0 + (class % 3) as f32;
+            let fx = 1.0 + (class / 3) as f32;
+            let phase = class as f32 * 0.7 + ci as f32 * 0.3;
+            ((y as f32 / side as f32) * fy * std::f32::consts::TAU + phase).sin()
+                * ((x as f32 / side as f32) * fx * std::f32::consts::TAU).cos()
+        };
+        let mut images = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % k;
+            let mut img = Tensor::zeros(&[c, side, side]);
+            for ci in 0..c {
+                for y in 0..side {
+                    for x in 0..side {
+                        let v = template(class, ci, y, x) + noise * (rng.gen::<f32>() * 2.0 - 1.0);
+                        img.set(&[ci, y, x], v).expect("in bounds");
+                    }
+                }
+            }
+            images.push(img);
+            labels.push(class);
+        }
+        ClusterImages {
+            images,
+            labels,
+            num_classes: k,
+            channels: c,
+            side,
+        }
+    }
+
+    /// Number of samples.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Stack samples `[start, start+count)` into a `(count, c, h, w)` batch
+    /// plus labels. Indices wrap around the dataset.
+    pub fn batch(&self, start: usize, count: usize) -> (Tensor, Vec<usize>) {
+        let mut data = Vec::with_capacity(count * self.images[0].len());
+        let mut labels = Vec::with_capacity(count);
+        for i in 0..count {
+            let idx = (start + i) % self.len();
+            data.extend_from_slice(self.images[idx].as_slice());
+            labels.push(self.labels[idx]);
+        }
+        (
+            Tensor::from_vec(data, &[count, self.channels, self.side, self.side])
+                .expect("consistent sample dims"),
+            labels,
+        )
+    }
+
+    /// Split into (train, test) by a fraction of samples for train.
+    pub fn split(self, train_frac: f32) -> (ClusterImages, ClusterImages) {
+        let n_train = ((self.len() as f32) * train_frac) as usize;
+        let (ti, si) = (
+            self.images[..n_train].to_vec(),
+            self.images[n_train..].to_vec(),
+        );
+        let (tl, sl) = (
+            self.labels[..n_train].to_vec(),
+            self.labels[n_train..].to_vec(),
+        );
+        (
+            ClusterImages {
+                images: ti,
+                labels: tl,
+                ..self.clone()
+            },
+            ClusterImages {
+                images: si,
+                labels: sl,
+                ..self
+            },
+        )
+    }
+}
+
+/// A toy sequence-transduction dataset: the "translation" of an input
+/// sequence is its reversal with each token shifted by a fixed offset
+/// (mod vocab). Deterministic, position-dependent, and requires attention
+/// to solve — a faithful miniature of the WMT setup for pruning studies.
+#[derive(Debug, Clone)]
+pub struct SeqTask {
+    /// Input sequences (token ids).
+    pub inputs: Vec<Vec<usize>>,
+    /// Target sequences (token ids), same length as inputs.
+    pub targets: Vec<Vec<usize>>,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Sequence length.
+    pub seq_len: usize,
+}
+
+impl SeqTask {
+    /// Generate `n` random sequences of length `seq_len` over `vocab`
+    /// tokens; targets are `reverse(input) + 1 (mod vocab)`.
+    pub fn generate<R: Rng>(rng: &mut R, n: usize, seq_len: usize, vocab: usize) -> Self {
+        assert!(vocab >= 2, "vocab must hold at least two tokens");
+        let mut inputs = Vec::with_capacity(n);
+        let mut targets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let seq: Vec<usize> = (0..seq_len).map(|_| rng.gen_range(0..vocab)).collect();
+            let tgt: Vec<usize> = seq.iter().rev().map(|&t| (t + 1) % vocab).collect();
+            inputs.push(seq);
+            targets.push(tgt);
+        }
+        SeqTask {
+            inputs,
+            targets,
+            vocab,
+            seq_len,
+        }
+    }
+
+    /// Number of sequence pairs.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Split into (train, test).
+    pub fn split(self, train_frac: f32) -> (SeqTask, SeqTask) {
+        let n_train = ((self.len() as f32) * train_frac) as usize;
+        (
+            SeqTask {
+                inputs: self.inputs[..n_train].to_vec(),
+                targets: self.targets[..n_train].to_vec(),
+                vocab: self.vocab,
+                seq_len: self.seq_len,
+            },
+            SeqTask {
+                inputs: self.inputs[n_train..].to_vec(),
+                targets: self.targets[n_train..].to_vec(),
+                vocab: self.vocab,
+                seq_len: self.seq_len,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn cluster_images_shapes_and_labels() {
+        let mut rng = seeded_rng(0);
+        let ds = ClusterImages::generate(&mut rng, 20, 4, 2, 8, 0.1);
+        assert_eq!(ds.len(), 20);
+        assert_eq!(ds.images[0].dims(), &[2, 8, 8]);
+        assert!(ds.labels.iter().all(|&l| l < 4));
+        // All classes represented.
+        for k in 0..4 {
+            assert!(ds.labels.contains(&k));
+        }
+    }
+
+    #[test]
+    fn cluster_batch_wraps() {
+        let mut rng = seeded_rng(1);
+        let ds = ClusterImages::generate(&mut rng, 5, 2, 1, 4, 0.0);
+        let (x, y) = ds.batch(3, 4);
+        assert_eq!(x.dims(), &[4, 1, 4, 4]);
+        assert_eq!(y.len(), 4);
+        assert_eq!(y[2], ds.labels[0]); // wrapped
+    }
+
+    #[test]
+    fn templates_are_class_separable() {
+        // Noise-free samples of the same class must be identical and of
+        // different classes distinct.
+        let mut rng = seeded_rng(2);
+        let ds = ClusterImages::generate(&mut rng, 6, 3, 1, 6, 0.0);
+        assert_eq!(ds.images[0], ds.images[3]); // class 0 repeats at i=3
+        assert_ne!(ds.images[0], ds.images[1]);
+    }
+
+    #[test]
+    fn split_preserves_counts() {
+        let mut rng = seeded_rng(3);
+        let ds = ClusterImages::generate(&mut rng, 10, 2, 1, 4, 0.1);
+        let (tr, te) = ds.split(0.8);
+        assert_eq!(tr.len(), 8);
+        assert_eq!(te.len(), 2);
+    }
+
+    #[test]
+    fn seq_task_target_rule() {
+        let mut rng = seeded_rng(4);
+        let ds = SeqTask::generate(&mut rng, 3, 5, 10);
+        for (inp, tgt) in ds.inputs.iter().zip(&ds.targets) {
+            for (i, &t) in tgt.iter().enumerate() {
+                assert_eq!(t, (inp[ds.seq_len - 1 - i] + 1) % 10);
+            }
+        }
+    }
+
+    #[test]
+    fn seq_split() {
+        let mut rng = seeded_rng(5);
+        let ds = SeqTask::generate(&mut rng, 10, 4, 8);
+        let (tr, te) = ds.split(0.7);
+        assert_eq!(tr.len(), 7);
+        assert_eq!(te.len(), 3);
+        assert_eq!(tr.vocab, 8);
+    }
+}

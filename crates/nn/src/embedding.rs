@@ -1,0 +1,143 @@
+//! Token embedding with scatter-add gradients.
+
+use crate::model::Param;
+use csp_tensor::{uniform, Result, Tensor, TensorError};
+use rand::Rng;
+
+/// A learnable token-embedding table `(vocab, dim)`.
+///
+/// Unlike the dense layers, `Embedding` consumes token-id slices rather
+/// than tensors, so it is not a [`Layer`](crate::Layer); the Transformer
+/// model drives it directly.
+pub struct Embedding {
+    table: Tensor,
+    grad: Tensor,
+}
+
+impl Embedding {
+    /// A table of `vocab` rows of width `dim`, uniformly initialized.
+    pub fn new<R: Rng>(rng: &mut R, vocab: usize, dim: usize) -> Self {
+        Embedding {
+            table: uniform(rng, &[vocab, dim], 0.1),
+            grad: Tensor::zeros(&[vocab, dim]),
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.dims()[0]
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.table.dims()[1]
+    }
+
+    /// Look up a token sequence, producing `(tokens.len(), dim)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] for out-of-vocabulary ids.
+    pub fn forward(&self, tokens: &[usize]) -> Result<Tensor> {
+        let (vocab, dim) = (self.vocab(), self.dim());
+        if let Some(&bad) = tokens.iter().find(|&&t| t >= vocab) {
+            return Err(TensorError::InvalidParameter {
+                what: format!("token {bad} out of vocabulary {vocab}"),
+            });
+        }
+        let mut out = Tensor::zeros(&[tokens.len(), dim]);
+        for (p, &t) in tokens.iter().enumerate() {
+            out.as_mut_slice()[p * dim..(p + 1) * dim]
+                .copy_from_slice(&self.table.as_slice()[t * dim..(t + 1) * dim]);
+        }
+        Ok(out)
+    }
+
+    /// Scatter-add the output gradient back into the table gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `grad_out` is not `(tokens.len(), dim)`.
+    pub fn backward(&mut self, tokens: &[usize], grad_out: &Tensor) -> Result<()> {
+        let dim = self.dim();
+        if grad_out.dims() != [tokens.len(), dim] {
+            return Err(TensorError::IncompatibleShapes {
+                op: "embedding_backward",
+                lhs: vec![tokens.len(), dim],
+                rhs: grad_out.dims().to_vec(),
+            });
+        }
+        for (p, &t) in tokens.iter().enumerate() {
+            for d in 0..dim {
+                self.grad.as_mut_slice()[t * dim + d] += grad_out.as_slice()[p * dim + d];
+            }
+        }
+        Ok(())
+    }
+
+    /// The parameter view (table + gradient) for the optimizer.
+    pub fn param(&mut self) -> Param<'_> {
+        Param {
+            value: &mut self.table,
+            grad: &mut self.grad,
+        }
+    }
+
+    /// Zero the gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_inplace(|_| 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn lookup_copies_rows() {
+        let mut rng = seeded_rng(0);
+        let e = Embedding::new(&mut rng, 5, 3);
+        let out = e.forward(&[2, 2, 4]).unwrap();
+        assert_eq!(out.dims(), &[3, 3]);
+        assert_eq!(out.row(0).unwrap(), out.row(1).unwrap());
+        assert_ne!(out.row(0).unwrap(), out.row(2).unwrap());
+    }
+
+    #[test]
+    fn rejects_oov() {
+        let mut rng = seeded_rng(1);
+        let e = Embedding::new(&mut rng, 4, 2);
+        assert!(e.forward(&[4]).is_err());
+    }
+
+    #[test]
+    fn backward_accumulates_per_token() {
+        let mut rng = seeded_rng(2);
+        let mut e = Embedding::new(&mut rng, 4, 2);
+        // Token 1 appears twice: its gradient row must sum both positions.
+        let g = Tensor::from_vec(vec![1.0, 2.0, 10.0, 20.0, 100.0, 200.0], &[3, 2]).unwrap();
+        e.backward(&[1, 3, 1], &g).unwrap();
+        let grad = e.param().grad.clone();
+        assert_eq!(grad.get(&[1, 0]).unwrap(), 101.0);
+        assert_eq!(grad.get(&[1, 1]).unwrap(), 202.0);
+        assert_eq!(grad.get(&[3, 0]).unwrap(), 10.0);
+        assert_eq!(grad.get(&[0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn backward_shape_checked() {
+        let mut rng = seeded_rng(3);
+        let mut e = Embedding::new(&mut rng, 4, 2);
+        assert!(e.backward(&[0, 1], &Tensor::zeros(&[3, 2])).is_err());
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut rng = seeded_rng(4);
+        let mut e = Embedding::new(&mut rng, 4, 2);
+        e.backward(&[0], &Tensor::ones(&[1, 2])).unwrap();
+        e.zero_grad();
+        assert_eq!(e.param().grad.norm_l2(), 0.0);
+    }
+}

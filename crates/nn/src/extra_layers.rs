@@ -1,0 +1,524 @@
+//! Additional layers for deeper mini-model families: residual blocks,
+//! batch normalization (inference-friendly running-stats variant),
+//! dropout, and GELU.
+
+use crate::model::{Layer, Param};
+use crate::prunable::Prunable;
+use csp_tensor::{Result, Tensor, TensorError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A residual wrapper: `y = inner(x) + x` (ResNet-style identity skip).
+///
+/// The wrapped stack must preserve the input shape.
+pub struct Residual {
+    inner: Vec<Box<dyn Layer>>,
+}
+
+impl Residual {
+    /// Wrap an inner layer stack.
+    pub fn new(inner: Vec<Box<dyn Layer>>) -> Self {
+        Residual { inner }
+    }
+}
+
+impl Layer for Residual {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        let mut cur = x.clone();
+        for l in &mut self.inner {
+            cur = l.forward(&cur, train)?;
+        }
+        if cur.dims() != x.dims() {
+            return Err(TensorError::IncompatibleShapes {
+                op: "residual",
+                lhs: x.dims().to_vec(),
+                rhs: cur.dims().to_vec(),
+            });
+        }
+        cur.add(x)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mut g = grad_out.clone();
+        for l in self.inner.iter_mut().rev() {
+            g = l.backward(&g)?;
+        }
+        // d/dx (inner(x) + x) = inner'(x)·g + g.
+        g.add(grad_out)
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        self.inner.iter_mut().flat_map(|l| l.params()).collect()
+    }
+
+    fn zero_grad(&mut self) {
+        for l in &mut self.inner {
+            l.zero_grad();
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "residual"
+    }
+
+    fn collect_prunables(&mut self) -> Vec<&mut dyn Prunable> {
+        self.inner
+            .iter_mut()
+            .flat_map(|l| l.collect_prunables())
+            .collect()
+    }
+}
+
+impl Residual {
+    /// Prunable layers inside the block.
+    pub fn prunable_layers(&mut self) -> Vec<&mut dyn Prunable> {
+        self.inner
+            .iter_mut()
+            .filter_map(|l| l.as_prunable())
+            .collect()
+    }
+}
+
+/// Per-channel batch normalization over `(n, c, h, w)` inputs, using batch
+/// statistics during training and running statistics at inference.
+pub struct BatchNorm2d {
+    gamma: Tensor,
+    beta: Tensor,
+    gamma_grad: Tensor,
+    beta_grad: Tensor,
+    running_mean: Tensor,
+    running_var: Tensor,
+    momentum: f32,
+    eps: f32,
+    cache: Option<(Tensor, Tensor, Tensor)>, // (x_hat, batch_std, x dims via x_hat)
+}
+
+impl BatchNorm2d {
+    /// Normalization over `channels` channels.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Tensor::ones(&[channels]),
+            beta: Tensor::zeros(&[channels]),
+            gamma_grad: Tensor::zeros(&[channels]),
+            beta_grad: Tensor::zeros(&[channels]),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.gamma.len()
+    }
+
+    fn channel_stats(&self, x: &Tensor) -> (Vec<f32>, Vec<f32>) {
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let per = h * w;
+        let count = (n * per) as f32;
+        let mut means = vec![0.0f32; c];
+        let mut vars = vec![0.0f32; c];
+        for ci in 0..c {
+            let mut sum = 0.0;
+            let mut sum_sq = 0.0;
+            for ni in 0..n {
+                let base = (ni * c + ci) * per;
+                for v in &x.as_slice()[base..base + per] {
+                    sum += v;
+                    sum_sq += v * v;
+                }
+            }
+            let mean = sum / count;
+            means[ci] = mean;
+            vars[ci] = (sum_sq / count - mean * mean).max(0.0);
+        }
+        (means, vars)
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        if x.rank() != 4 || x.dims()[1] != self.channels() {
+            return Err(TensorError::IncompatibleShapes {
+                op: "batchnorm2d",
+                lhs: x.dims().to_vec(),
+                rhs: vec![self.channels()],
+            });
+        }
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let per = h * w;
+        let (means, vars) = if train {
+            let (m, v) = self.channel_stats(x);
+            for ci in 0..c {
+                self.running_mean.as_mut_slice()[ci] = (1.0 - self.momentum)
+                    * self.running_mean.as_slice()[ci]
+                    + self.momentum * m[ci];
+                self.running_var.as_mut_slice()[ci] =
+                    (1.0 - self.momentum) * self.running_var.as_slice()[ci] + self.momentum * v[ci];
+            }
+            (m, v)
+        } else {
+            (
+                self.running_mean.as_slice().to_vec(),
+                self.running_var.as_slice().to_vec(),
+            )
+        };
+        let mut x_hat = x.clone();
+        let mut stds = Tensor::zeros(&[c]);
+        for ci in 0..c {
+            let std = (vars[ci] + self.eps).sqrt();
+            stds.as_mut_slice()[ci] = std;
+            for ni in 0..n {
+                let base = (ni * c + ci) * per;
+                for v in &mut x_hat.as_mut_slice()[base..base + per] {
+                    *v = (*v - means[ci]) / std;
+                }
+            }
+        }
+        let mut y = x_hat.clone();
+        for ci in 0..c {
+            let (g, b) = (self.gamma.as_slice()[ci], self.beta.as_slice()[ci]);
+            for ni in 0..n {
+                let base = (ni * c + ci) * per;
+                for v in &mut y.as_mut_slice()[base..base + per] {
+                    *v = *v * g + b;
+                }
+            }
+        }
+        if train {
+            self.cache = Some((x_hat, stds, x.clone()));
+        }
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let (x_hat, stds, x) =
+            self.cache
+                .as_ref()
+                .ok_or_else(|| TensorError::InvalidParameter {
+                    what: "backward called before forward(train=true)".into(),
+                })?;
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let per = h * w;
+        let count = (n * per) as f32;
+        let mut gin = Tensor::zeros(x.dims());
+        for ci in 0..c {
+            // Standard batch-norm backward, per channel.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for ni in 0..n {
+                let base = (ni * c + ci) * per;
+                for i in base..base + per {
+                    let dy = grad_out.as_slice()[i];
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * x_hat.as_slice()[i];
+                }
+            }
+            self.beta_grad.as_mut_slice()[ci] += sum_dy;
+            self.gamma_grad.as_mut_slice()[ci] += sum_dy_xhat;
+            let g = self.gamma.as_slice()[ci];
+            let std = stds.as_slice()[ci];
+            for ni in 0..n {
+                let base = (ni * c + ci) * per;
+                for i in base..base + per {
+                    let dy = grad_out.as_slice()[i];
+                    gin.as_mut_slice()[i] =
+                        g / std * (dy - sum_dy / count - x_hat.as_slice()[i] * sum_dy_xhat / count);
+                }
+            }
+        }
+        Ok(gin)
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        vec![
+            Param {
+                value: &mut self.gamma,
+                grad: &mut self.gamma_grad,
+            },
+            Param {
+                value: &mut self.beta,
+                grad: &mut self.beta_grad,
+            },
+        ]
+    }
+
+    fn zero_grad(&mut self) {
+        self.gamma_grad.map_inplace(|_| 0.0);
+        self.beta_grad.map_inplace(|_| 0.0);
+    }
+
+    fn name(&self) -> &'static str {
+        "batchnorm2d"
+    }
+}
+
+/// Inverted dropout: scales surviving activations by `1 / (1 - p)` during
+/// training; identity at inference.
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    cache_mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Dropout with drop probability `p` and a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p < 1.0`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "p must be in [0, 1)");
+        Dropout {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            cache_mask: None,
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        if !train || self.p == 0.0 {
+            self.cache_mask = None;
+            return Ok(x.clone());
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask = Tensor::from_fn(x.dims(), |_| {
+            if self.rng.gen::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            }
+        });
+        let y = x.mul(&mask)?;
+        self.cache_mask = Some(mask);
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        match &self.cache_mask {
+            Some(mask) => grad_out.mul(mask),
+            None => Ok(grad_out.clone()),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+}
+
+/// GELU activation (tanh approximation), used by Transformer FFNs.
+#[derive(Default)]
+pub struct Gelu {
+    cache_x: Option<Tensor>,
+}
+
+impl Gelu {
+    /// New GELU layer.
+    pub fn new() -> Self {
+        Gelu::default()
+    }
+
+    fn value(x: f32) -> f32 {
+        const C: f32 = 0.797_884_6; // sqrt(2/π)
+        0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+    }
+
+    fn derivative(x: f32) -> f32 {
+        const C: f32 = 0.797_884_6;
+        let inner = C * (x + 0.044715 * x * x * x);
+        let t = inner.tanh();
+        let sech2 = 1.0 - t * t;
+        0.5 * (1.0 + t) + 0.5 * x * sech2 * C * (1.0 + 3.0 * 0.044715 * x * x)
+    }
+}
+
+impl Layer for Gelu {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        self.cache_x = train.then(|| x.clone());
+        Ok(x.map(Self::value))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let x = self
+            .cache_x
+            .as_ref()
+            .ok_or_else(|| TensorError::InvalidParameter {
+                what: "backward called before forward(train=true)".into(),
+            })?;
+        x.zip_map(grad_out, |xi, gi| Self::derivative(xi) * gi)
+    }
+
+    fn name(&self) -> &'static str {
+        "gelu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Relu};
+    use crate::seeded_rng;
+
+    #[test]
+    fn residual_identity_plus_inner() {
+        let mut rng = seeded_rng(0);
+        let conv = Conv2d::new(&mut rng, 2, 2, 3, 1, 1); // shape-preserving
+        let mut res = Residual::new(vec![Box::new(conv), Box::new(Relu::new())]);
+        let x = Tensor::from_fn(&[1, 2, 4, 4], |i| (i as f32 * 0.1).sin());
+        let y = res.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), x.dims());
+        // y - x equals the inner stack's output (ReLU ≥ 0).
+        let diff = y.sub(&x).unwrap();
+        assert!(diff.min() >= -1e-6);
+    }
+
+    #[test]
+    fn residual_backward_finite_difference() {
+        let mut rng = seeded_rng(1);
+        let conv = Conv2d::new(&mut rng, 1, 1, 3, 1, 1);
+        let mut res = Residual::new(vec![Box::new(conv)]);
+        let x = Tensor::from_fn(&[1, 1, 3, 3], |i| (i as f32 * 0.3).cos());
+        let y = res.forward(&x, true).unwrap();
+        let gin = res.backward(&Tensor::ones(y.dims())).unwrap();
+        let eps = 1e-3;
+        for idx in [0usize, 4, 8] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let lp = res.forward(&xp, false).unwrap().sum();
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lm = res.forward(&xm, false).unwrap().sum();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - gin.as_slice()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn residual_rejects_shape_change() {
+        let mut rng = seeded_rng(2);
+        let conv = Conv2d::new(&mut rng, 2, 4, 3, 1, 1); // channel change
+        let mut res = Residual::new(vec![Box::new(conv)]);
+        assert!(res.forward(&Tensor::zeros(&[1, 2, 4, 4]), false).is_err());
+    }
+
+    #[test]
+    fn batchnorm_normalizes_training_batch() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::from_fn(&[4, 2, 3, 3], |i| (i as f32 * 0.7).sin() * 3.0 + 1.0);
+        let y = bn.forward(&x, true).unwrap();
+        // Each channel of the output is ~zero-mean unit-variance.
+        let (n, per) = (4, 9);
+        for ci in 0..2 {
+            let mut vals = Vec::new();
+            for ni in 0..n {
+                let base = (ni * 2 + ci) * per;
+                vals.extend_from_slice(&y.as_slice()[base..base + per]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_inference_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::full(&[2, 1, 2, 2], 5.0);
+        // Before any training step, running stats are (0, 1): inference
+        // output equals the input (gamma 1, beta 0).
+        let y = bn.forward(&x, false).unwrap();
+        assert!((y.as_slice()[0] - 5.0).abs() < 1e-3);
+        // Train once on the batch; running mean moves towards 5.
+        let _ = bn.forward(&x, true).unwrap();
+        assert!(bn.running_mean.as_slice()[0] > 0.4);
+    }
+
+    #[test]
+    fn batchnorm_backward_finite_difference() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_fn(&[2, 1, 2, 2], |i| (i as f32 * 0.9).sin());
+        let _ = bn.forward(&x, true).unwrap();
+        let w: Vec<f32> = (0..8).map(|i| 1.0 + 0.2 * i as f32).collect();
+        let g = Tensor::from_vec(w.clone(), &[2, 1, 2, 2]).unwrap();
+        let gin = bn.backward(&g).unwrap();
+        let loss = |bn: &mut BatchNorm2d, x: &Tensor| -> f32 {
+            let y = bn.forward(x, true).unwrap();
+            y.as_slice().iter().zip(&w).map(|(&a, &b)| a * b).sum()
+        };
+        let eps = 1e-3;
+        for idx in [0usize, 3, 7] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let fd = (loss(&mut bn, &xp) - loss(&mut bn, &xm)) / (2.0 * eps);
+            assert!(
+                (fd - gin.as_slice()[idx]).abs() < 2e-2,
+                "idx {idx}: {fd} vs {}",
+                gin.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn dropout_inference_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_fn(&[10], |i| i as f32);
+        assert_eq!(d.forward(&x, false).unwrap(), x);
+    }
+
+    #[test]
+    fn dropout_training_preserves_expectation() {
+        let mut d = Dropout::new(0.5, 2);
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, true).unwrap();
+        // Inverted dropout: E[y] = E[x].
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+        // Roughly half the entries are zero.
+        let zeros = y.sparsity();
+        assert!((zeros - 0.5).abs() < 0.05, "sparsity {zeros}");
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut d = Dropout::new(0.3, 3);
+        let x = Tensor::ones(&[100]);
+        let y = d.forward(&x, true).unwrap();
+        let g = d.backward(&Tensor::ones(&[100])).unwrap();
+        // Gradient zero exactly where the forward output was zero.
+        for (yv, gv) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn gelu_known_values_and_gradient() {
+        let mut g = Gelu::new();
+        let x = Tensor::from_vec(vec![-2.0, 0.0, 2.0], &[3]).unwrap();
+        let y = g.forward(&x, true).unwrap();
+        assert!(y.as_slice()[1].abs() < 1e-6); // GELU(0) = 0
+        assert!(y.as_slice()[2] > 1.9 && y.as_slice()[2] < 2.0);
+        assert!(y.as_slice()[0] > -0.1 && y.as_slice()[0] < 0.0);
+        // Finite-difference gradient.
+        let gin = g.backward(&Tensor::ones(&[3])).unwrap();
+        let eps = 1e-3;
+        for idx in 0..3 {
+            let fd = (Gelu::value(x.as_slice()[idx] + eps) - Gelu::value(x.as_slice()[idx] - eps))
+                / (2.0 * eps);
+            assert!((fd - gin.as_slice()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be")]
+    fn dropout_rejects_p_one() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

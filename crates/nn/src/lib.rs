@@ -1,0 +1,79 @@
+//! # csp-nn
+//!
+//! A small, self-contained neural-network training framework used to
+//! reproduce the **CSP-A** (algorithm-side) experiments of the CSP paper.
+//! It provides:
+//!
+//! * layers with hand-written forward/backward passes ([`Linear`],
+//!   [`Conv2d`], [`Relu`], [`MaxPool`], [`AvgPool`], [`Flatten`],
+//!   [`LayerNorm`], multi-head attention in [`attention`]),
+//! * a [`Sequential`] container and a full [`TransformerModel`],
+//! * losses ([`softmax_cross_entropy`], [`mse_loss`]),
+//! * optimizers ([`Sgd`] with Nesterov momentum, [`Adam`]) and a
+//!   [`CosineAnnealing`] learning-rate schedule,
+//! * synthetic datasets that stand in for CIFAR-10 / ImageNet / WMT
+//!   ([`data`]) and the matching metrics ([`metrics`], including BLEU),
+//! * the [`Prunable`] hook through which `csp-pruning` applies cascading
+//!   group-LASSO regularization and pruning masks.
+//!
+//! The framework is deliberately CPU-only and loop-based: training runs use
+//! scaled-down model variants (see `csp-models`), which is the documented
+//! substitution for the paper's GPU training runs.
+//!
+//! ## Example
+//!
+//! ```
+//! use csp_nn::{Linear, Relu, Sequential, Layer};
+//! use csp_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), csp_tensor::TensorError> {
+//! let mut rng = csp_nn::seeded_rng(0);
+//! let mut model = Sequential::new(vec![
+//!     Box::new(Linear::new(&mut rng, 4, 8)),
+//!     Box::new(Relu::new()),
+//!     Box::new(Linear::new(&mut rng, 8, 2)),
+//! ]);
+//! let x = Tensor::zeros(&[3, 4]); // batch of 3
+//! let logits = model.forward(&x, false)?;
+//! assert_eq!(logits.dims(), &[3, 2]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attention;
+mod branches;
+pub mod data;
+mod embedding;
+mod extra_layers;
+mod layers;
+mod loss;
+pub mod metrics;
+mod model;
+mod optim;
+mod prunable;
+mod trainer;
+pub mod transformer;
+pub mod zoo_mini;
+
+pub use branches::Branches;
+pub use embedding::Embedding;
+pub use extra_layers::{BatchNorm2d, Dropout, Gelu, Residual};
+pub use layers::{AvgPool, Conv2d, Flatten, LayerNorm, Linear, MaxPool, Relu};
+pub use loss::{mse_loss, softmax_cross_entropy};
+pub use model::{Layer, Param, Sequential};
+pub use optim::{Adam, CosineAnnealing, LrSchedule, Optimizer, Sgd};
+pub use prunable::Prunable;
+pub use trainer::{eval_classifier, train_classifier, EpochStats, PruneHook, TrainOptions};
+pub use transformer::TransformerModel;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Create a deterministic RNG from a seed — the single entry point used by
+/// all examples and experiments so runs are reproducible.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

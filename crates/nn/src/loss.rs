@@ -1,0 +1,106 @@
+//! Loss functions with fused gradients.
+
+use csp_tensor::{softmax_rows, Result, Tensor, TensorError};
+
+/// Softmax cross-entropy over a batch of logits.
+///
+/// `logits` is `(batch, classes)`, `labels` one class index per batch item.
+/// Returns the mean loss and the gradient w.r.t. the logits (already divided
+/// by the batch size).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] when label count differs from
+/// the batch size or a label is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
+    if logits.rank() != 2 || logits.dims()[0] != labels.len() {
+        return Err(TensorError::InvalidParameter {
+            what: format!("logits {:?} vs {} labels", logits.dims(), labels.len()),
+        });
+    }
+    let (n, c) = (logits.dims()[0], logits.dims()[1]);
+    if let Some(&bad) = labels.iter().find(|&&l| l >= c) {
+        return Err(TensorError::InvalidParameter {
+            what: format!("label {bad} out of range for {c} classes"),
+        });
+    }
+    let probs = softmax_rows(logits)?;
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    for (i, &label) in labels.iter().enumerate() {
+        let p = probs.as_slice()[i * c + label].max(1e-12);
+        loss -= p.ln();
+        grad.as_mut_slice()[i * c + label] -= 1.0;
+    }
+    let inv_n = 1.0 / n as f32;
+    Ok((loss * inv_n, grad.scale(inv_n)))
+}
+
+/// Mean-squared-error loss. Returns the mean loss and gradient w.r.t. `pred`.
+///
+/// # Errors
+///
+/// Returns a shape error when `pred` and `target` differ.
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor)> {
+    let diff = pred.sub(target)?;
+    let n = diff.len().max(1) as f32;
+    let loss = diff.as_slice().iter().map(|d| d * d).sum::<f32>() / n;
+    Ok((loss, diff.scale(2.0 / n)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ce_uniform_logits() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 3]).unwrap();
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+        // Gradient rows sum to zero.
+        for i in 0..2 {
+            assert!(grad.row(i).unwrap().sum().abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ce_confident_correct_is_small() {
+        let logits = Tensor::from_vec(vec![10.0, 0.0, 0.0, 10.0], &[2, 2]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1]).unwrap();
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn ce_gradient_finite_difference() {
+        let mut logits = Tensor::from_vec(vec![0.5, -0.2, 1.0, 0.1, 0.3, -1.0], &[2, 3]).unwrap();
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3;
+        for idx in 0..logits.len() {
+            let orig = logits.as_slice()[idx];
+            logits.as_mut_slice()[idx] = orig + eps;
+            let (lp, _) = softmax_cross_entropy(&logits, &labels).unwrap();
+            logits.as_mut_slice()[idx] = orig - eps;
+            let (lm, _) = softmax_cross_entropy(&logits, &labels).unwrap();
+            logits.as_mut_slice()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - grad.as_slice()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn ce_rejects_bad_labels() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(softmax_cross_entropy(&logits, &[0]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 3]).is_err());
+    }
+
+    #[test]
+    fn mse_basics() {
+        let p = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let t = Tensor::from_vec(vec![0.0, 2.0], &[2]).unwrap();
+        let (loss, grad) = mse_loss(&p, &t).unwrap();
+        assert!((loss - 0.5).abs() < 1e-6);
+        assert_eq!(grad.as_slice(), &[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Evaluation metrics: classification accuracy and corpus BLEU.
+
+use std::collections::HashMap;
+
+/// Fraction of predictions equal to their label, in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the two slices differ in length.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "predictions and labels must align"
+    );
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f32 / predictions.len() as f32
+}
+
+fn ngram_counts(seq: &[usize], n: usize) -> HashMap<&[usize], usize> {
+    let mut counts = HashMap::new();
+    if seq.len() >= n {
+        for w in seq.windows(n) {
+            *counts.entry(w).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Corpus-level BLEU-4 (geometric mean of clipped 1–4-gram precisions with
+/// brevity penalty), scaled to `[0, 100]` as reported in the paper.
+///
+/// Hypotheses/references are token-id sequences; each hypothesis has exactly
+/// one reference.
+///
+/// # Panics
+///
+/// Panics if the two slices differ in length.
+pub fn bleu(hypotheses: &[Vec<usize>], references: &[Vec<usize>]) -> f32 {
+    assert_eq!(
+        hypotheses.len(),
+        references.len(),
+        "hypotheses and references must align"
+    );
+    if hypotheses.is_empty() {
+        return 0.0;
+    }
+    let max_n = 4;
+    let mut matched = vec![0usize; max_n];
+    let mut total = vec![0usize; max_n];
+    let mut hyp_len = 0usize;
+    let mut ref_len = 0usize;
+    for (h, r) in hypotheses.iter().zip(references) {
+        hyp_len += h.len();
+        ref_len += r.len();
+        for n in 1..=max_n {
+            let hc = ngram_counts(h, n);
+            let rc = ngram_counts(r, n);
+            for (gram, &count) in &hc {
+                total[n - 1] += count;
+                matched[n - 1] += count.min(*rc.get(gram).unwrap_or(&0));
+            }
+        }
+    }
+    // Geometric mean of precisions with +0 smoothing: any zero precision
+    // zeroes BLEU, as in the standard definition.
+    let mut log_sum = 0.0f64;
+    for n in 0..max_n {
+        if total[n] == 0 || matched[n] == 0 {
+            return 0.0;
+        }
+        log_sum += (matched[n] as f64 / total[n] as f64).ln();
+    }
+    let precision = (log_sum / max_n as f64).exp();
+    let bp = if hyp_len >= ref_len {
+        1.0
+    } else {
+        (1.0 - ref_len as f64 / hyp_len.max(1) as f64).exp()
+    };
+    (100.0 * bp * precision) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 0]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[5], &[5]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn accuracy_length_mismatch_panics() {
+        let _ = accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn bleu_perfect_match_is_100() {
+        let seqs = vec![vec![1, 2, 3, 4, 5], vec![6, 7, 8, 9]];
+        let score = bleu(&seqs, &seqs);
+        assert!((score - 100.0).abs() < 1e-3, "score {score}");
+    }
+
+    #[test]
+    fn bleu_disjoint_is_zero() {
+        let h = vec![vec![1, 1, 1, 1, 1]];
+        let r = vec![vec![2, 2, 2, 2, 2]];
+        assert_eq!(bleu(&h, &r), 0.0);
+    }
+
+    #[test]
+    fn bleu_partial_between_zero_and_100() {
+        let h = vec![vec![1, 2, 3, 4, 5, 9, 9, 9]];
+        let r = vec![vec![1, 2, 3, 4, 5, 6, 7, 8]];
+        let s = bleu(&h, &r);
+        assert!(s > 0.0 && s < 100.0, "score {s}");
+    }
+
+    #[test]
+    fn bleu_brevity_penalty_applies() {
+        // Hypothesis is a strict prefix of the reference: precisions are
+        // perfect but BP < 1 must reduce the score.
+        let h = vec![vec![1, 2, 3, 4, 5]];
+        let r = vec![vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10]];
+        let s = bleu(&h, &r);
+        assert!(s < 100.0 && s > 0.0, "score {s}");
+    }
+
+    #[test]
+    fn bleu_empty_corpus() {
+        assert_eq!(bleu(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn bleu_monotone_in_overlap() {
+        let r = vec![vec![1, 2, 3, 4, 5, 6, 7, 8]];
+        let good = vec![vec![1, 2, 3, 4, 5, 6, 9, 9]];
+        let bad = vec![vec![1, 2, 9, 9, 9, 9, 9, 9]];
+        assert!(bleu(&good, &r) > bleu(&bad, &r));
+    }
+}

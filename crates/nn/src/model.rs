@@ -1,0 +1,214 @@
+//! The [`Layer`] trait and the [`Sequential`] container.
+
+use crate::prunable::Prunable;
+use csp_tensor::{Result, Tensor};
+
+/// A mutable view of one learnable parameter tensor and its gradient.
+///
+/// Optimizers iterate over these; gradients are zeroed by the training loop
+/// before each backward pass.
+#[derive(Debug)]
+pub struct Param<'a> {
+    /// The parameter values.
+    pub value: &'a mut Tensor,
+    /// The accumulated gradient of the loss w.r.t. the values.
+    pub grad: &'a mut Tensor,
+}
+
+/// A neural-network layer with explicit forward and backward passes.
+///
+/// `forward` caches whatever the subsequent `backward` needs; `backward`
+/// consumes the cache, accumulates parameter gradients internally and
+/// returns the gradient w.r.t. the layer input.
+pub trait Layer {
+    /// Compute the layer output. `train` enables training-only behaviour
+    /// (caching for backward, dropout-style noise, ...).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors when the input does not match the layer.
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor>;
+
+    /// Back-propagate `grad_out`, returning the gradient w.r.t. the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors and fails if called before `forward(_, true)`.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor>;
+
+    /// Mutable views of this layer's parameters (empty by default).
+    fn params(&mut self) -> Vec<Param<'_>> {
+        Vec::new()
+    }
+
+    /// Zero all parameter gradients (no-op by default).
+    fn zero_grad(&mut self) {}
+
+    /// A short human-readable layer name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Downcast hook: layers whose weights CSP-A can prune return
+    /// `Some(self)`.
+    fn as_prunable(&mut self) -> Option<&mut dyn Prunable> {
+        None
+    }
+
+    /// All prunable layers reachable from this layer. Containers
+    /// (residual blocks, branch blocks) override this to recurse; plain
+    /// layers default to their own [`as_prunable`](Self::as_prunable).
+    fn collect_prunables(&mut self) -> Vec<&mut dyn Prunable> {
+        self.as_prunable().into_iter().collect()
+    }
+}
+
+/// An ordered stack of layers executed front to back.
+///
+/// `Sequential` is the model container for all CNN/MLP experiments; the
+/// Transformer has its own dedicated model type.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Build from a list of boxed layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Number of layers.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Run all layers front to back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train)?;
+        }
+        Ok(cur)
+    }
+
+    /// Back-propagate through all layers back to front.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mut cur = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur)?;
+        }
+        Ok(cur)
+    }
+
+    /// All parameters of all layers, in layer order.
+    pub fn params(&mut self) -> Vec<Param<'_>> {
+        self.layers.iter_mut().flat_map(|l| l.params()).collect()
+    }
+
+    /// Zero all gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Iterate over the prunable layers (those CSP-A can act on),
+    /// including prunables nested inside residual/branch containers.
+    pub fn prunable_layers(&mut self) -> Vec<&mut dyn Prunable> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.collect_prunables())
+            .collect()
+    }
+
+    /// Borrow the layer stack (read-only), e.g. to export weights.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutably borrow the layer stack.
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_params(&mut self) -> usize {
+        self.params().iter().map(|p| p.value.len()).sum()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential[")?;
+        for (i, l) in self.layers.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", l.name())?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use crate::seeded_rng;
+
+    #[test]
+    fn sequential_forward_shapes() {
+        let mut rng = seeded_rng(0);
+        let mut m = Sequential::new(vec![
+            Box::new(Linear::new(&mut rng, 3, 5)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(&mut rng, 5, 2)),
+        ]);
+        let y = m.forward(&Tensor::zeros(&[4, 3]), false).unwrap();
+        assert_eq!(y.dims(), &[4, 2]);
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn params_collects_all_layers() {
+        let mut rng = seeded_rng(0);
+        let mut m = Sequential::new(vec![
+            Box::new(Linear::new(&mut rng, 3, 5)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(&mut rng, 5, 2)),
+        ]);
+        // Two Linear layers × (weight + bias) = 4 params.
+        assert_eq!(m.params().len(), 4);
+        assert_eq!(m.num_params(), 3 * 5 + 5 + 5 * 2 + 2);
+    }
+
+    #[test]
+    fn prunable_layers_skips_activations() {
+        let mut rng = seeded_rng(0);
+        let mut m = Sequential::new(vec![
+            Box::new(Linear::new(&mut rng, 3, 5)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(&mut rng, 5, 2)),
+        ]);
+        assert_eq!(m.prunable_layers().len(), 2);
+    }
+
+    #[test]
+    fn debug_lists_layer_names() {
+        let mut rng = seeded_rng(0);
+        let m = Sequential::new(vec![
+            Box::new(Linear::new(&mut rng, 3, 5)),
+            Box::new(Relu::new()),
+        ]);
+        let d = format!("{m:?}");
+        assert!(d.contains("linear"));
+        assert!(d.contains("relu"));
+    }
+}

@@ -1,0 +1,281 @@
+//! Optimizers (SGD with Nesterov momentum, Adam) and LR schedules.
+//!
+//! The paper trains CNNs with SGD + Nesterov momentum 0.9 and cosine
+//! annealing, and fine-tunes ImageNet models with Adam — both are
+//! implemented here.
+
+use crate::model::Param;
+use csp_tensor::Tensor;
+
+/// An optimizer updates parameters in place given their gradients.
+///
+/// State (momentum/moment buffers) is keyed by the position of the parameter
+/// in the `params` slice, so callers must pass parameters in a stable order
+/// (as [`Sequential::params`](crate::Sequential::params) does).
+pub trait Optimizer {
+    /// Apply one update step.
+    fn step(&mut self, params: &mut [Param<'_>]);
+    /// Current learning rate.
+    fn lr(&self) -> f32;
+    /// Override the learning rate (used by schedules).
+    fn set_lr(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with (optionally Nesterov) momentum and
+/// decoupled weight decay.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    nesterov: bool,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            nesterov: false,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Set the momentum coefficient; `nesterov` selects Nesterov lookahead.
+    pub fn with_momentum(mut self, momentum: f32, nesterov: bool) -> Self {
+        self.momentum = momentum;
+        self.nesterov = nesterov;
+        self
+    }
+
+    /// Set L2 weight decay (applied to the gradient, as in the paper's
+    /// 0.0005 setting).
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [Param<'_>]) {
+        while self.velocity.len() < params.len() {
+            let i = self.velocity.len();
+            self.velocity.push(Tensor::zeros(params[i].value.dims()));
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            let mut g = p.grad.clone();
+            if self.weight_decay != 0.0 {
+                g.axpy(self.weight_decay, p.value).expect("same dims");
+            }
+            if self.momentum != 0.0 {
+                let v = &mut self.velocity[i];
+                // v = momentum*v + g
+                *v = v.scale(self.momentum);
+                v.axpy(1.0, &g).expect("same dims");
+                if self.nesterov {
+                    // effective grad = g + momentum*v
+                    g.axpy(self.momentum, v).expect("same dims");
+                } else {
+                    g = v.clone();
+                }
+            }
+            p.value.axpy(-self.lr, &g).expect("same dims");
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [Param<'_>]) {
+        while self.m.len() < params.len() {
+            let i = self.m.len();
+            self.m.push(Tensor::zeros(params[i].value.dims()));
+            self.v.push(Tensor::zeros(params[i].value.dims()));
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in params.iter_mut().enumerate() {
+            let g = &*p.grad;
+            let m = &mut self.m[i];
+            *m = m.scale(self.beta1);
+            m.axpy(1.0 - self.beta1, g).expect("same dims");
+            let v = &mut self.v[i];
+            let g2 = g.mul(g).expect("same dims");
+            *v = v.scale(self.beta2);
+            v.axpy(1.0 - self.beta2, &g2).expect("same dims");
+            for (w, (&mi, &vi)) in p
+                .value
+                .as_mut_slice()
+                .iter_mut()
+                .zip(m.as_slice().iter().zip(v.as_slice()))
+            {
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                *w -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// A learning-rate schedule queried once per epoch.
+pub trait LrSchedule {
+    /// LR for 0-based `epoch`.
+    fn lr_at(&self, epoch: usize) -> f32;
+}
+
+/// Cosine annealing from `lr_max` down to `lr_min` over `total_epochs`
+/// (the paper's CNN schedule).
+#[derive(Debug, Clone, Copy)]
+pub struct CosineAnnealing {
+    /// Initial (maximum) learning rate.
+    pub lr_max: f32,
+    /// Final (minimum) learning rate.
+    pub lr_min: f32,
+    /// Horizon of the schedule.
+    pub total_epochs: usize,
+}
+
+impl CosineAnnealing {
+    /// Schedule decaying `lr_max → lr_min` over `total_epochs`.
+    pub fn new(lr_max: f32, lr_min: f32, total_epochs: usize) -> Self {
+        CosineAnnealing {
+            lr_max,
+            lr_min,
+            total_epochs: total_epochs.max(1),
+        }
+    }
+}
+
+impl LrSchedule for CosineAnnealing {
+    fn lr_at(&self, epoch: usize) -> f32 {
+        let t = (epoch.min(self.total_epochs) as f32) / self.total_epochs as f32;
+        self.lr_min + 0.5 * (self.lr_max - self.lr_min) * (1.0 + (std::f32::consts::PI * t).cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad_grad(w: &Tensor) -> Tensor {
+        // d/dw of 0.5*||w||² is w.
+        w.clone()
+    }
+
+    fn run_steps(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut w = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]).unwrap();
+        for _ in 0..steps {
+            let mut g = quad_grad(&w);
+            let mut params = vec![Param {
+                value: &mut w,
+                grad: &mut g,
+            }];
+            opt.step(&mut params);
+        }
+        w.norm_l2()
+    }
+
+    #[test]
+    fn sgd_decreases_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let final_norm = run_steps(&mut opt, 50);
+        assert!(final_norm < 0.1, "norm {final_norm}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::new(0.05).with_momentum(0.9, true);
+        let final_norm = run_steps(&mut opt, 100);
+        assert!(final_norm < 0.1, "norm {final_norm}");
+    }
+
+    #[test]
+    fn adam_converges() {
+        let mut opt = Adam::new(0.1);
+        let final_norm = run_steps(&mut opt, 200);
+        assert!(final_norm < 0.05, "norm {final_norm}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut w = Tensor::ones(&[4]);
+        let mut g = Tensor::zeros(&[4]);
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        for _ in 0..10 {
+            g.map_inplace(|_| 0.0);
+            let mut params = vec![Param {
+                value: &mut w,
+                grad: &mut g,
+            }];
+            opt.step(&mut params);
+        }
+        let expected = 2.0 * (1.0f32 - 0.05).powi(10);
+        assert!((w.norm_l2() - expected).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints() {
+        let s = CosineAnnealing::new(0.1, 0.001, 100);
+        assert!((s.lr_at(0) - 0.1).abs() < 1e-6);
+        assert!((s.lr_at(100) - 0.001).abs() < 1e-6);
+        assert!(s.lr_at(50) < 0.1 && s.lr_at(50) > 0.001);
+        // Monotone decreasing.
+        assert!(s.lr_at(10) > s.lr_at(20));
+    }
+
+    #[test]
+    fn set_lr_round_trip() {
+        let mut opt = Sgd::new(0.1);
+        opt.set_lr(0.01);
+        assert_eq!(opt.lr(), 0.01);
+        let mut a = Adam::new(0.1);
+        a.set_lr(0.2);
+        assert_eq!(a.lr(), 0.2);
+    }
+}

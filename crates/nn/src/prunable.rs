@@ -1,0 +1,117 @@
+//! The [`Prunable`] hook through which CSP-A reaches into layers.
+//!
+//! CSP-A operates on the *flattened filter matrix* of Fig. 2 in the paper:
+//! each prunable layer exposes its weights as an `M × c_out` matrix, where
+//! rows are filter rows (a `(channel, ky, kx)` coordinate for convolutions,
+//! an input feature for fully-connected layers) and columns are filters /
+//! output units. Chunking and cascades are then defined along the column
+//! dimension by `csp-pruning`.
+
+use csp_tensor::{Result, Tensor};
+
+/// A layer whose weights can be regularized and pruned by CSP-A.
+///
+/// All tensors exchanged through this trait use the canonical
+/// `M × c_out` flattened-filter-matrix layout.
+pub trait Prunable {
+    /// `(M, c_out)`: filter-row count and filter count.
+    fn csp_dims(&self) -> (usize, usize);
+
+    /// A copy of the weights in the `M × c_out` layout.
+    fn csp_weight(&self) -> Tensor;
+
+    /// Overwrite the weights from an `M × c_out` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `w` is not `M × c_out`.
+    fn set_csp_weight(&mut self, w: &Tensor) -> Result<()>;
+
+    /// Accumulate `g` (in `M × c_out` layout) into the weight gradient.
+    /// Used by the group-LASSO regularizer during training.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `g` is not `M × c_out`.
+    fn add_csp_weight_grad(&mut self, g: &Tensor) -> Result<()>;
+
+    /// Multiply the weights element-wise by `mask` (0/1 values, `M × c_out`
+    /// layout). Pruned positions stay zero afterwards only if the caller
+    /// re-applies the mask after optimizer steps (the fine-tuning loop does).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `mask` is not `M × c_out`.
+    fn apply_csp_mask(&mut self, mask: &Tensor) -> Result<()>;
+
+    /// A label for reports (e.g. `"conv2d(16->32,k3)"`).
+    fn csp_label(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::layers::{Conv2d, Linear};
+    use crate::prunable::Prunable;
+    use crate::seeded_rng;
+    use csp_tensor::Tensor;
+
+    #[test]
+    fn linear_round_trips_csp_weight() {
+        let mut rng = seeded_rng(3);
+        let mut l = Linear::new(&mut rng, 6, 4);
+        let (m, c) = l.csp_dims();
+        assert_eq!((m, c), (6, 4));
+        let w = l.csp_weight();
+        assert_eq!(w.dims(), &[6, 4]);
+        let w2 = w.scale(2.0);
+        l.set_csp_weight(&w2).unwrap();
+        assert_eq!(l.csp_weight(), w2);
+    }
+
+    #[test]
+    fn conv_round_trips_csp_weight() {
+        let mut rng = seeded_rng(4);
+        let mut l = Conv2d::new(&mut rng, 3, 8, 3, 1, 1);
+        let (m, c) = l.csp_dims();
+        assert_eq!((m, c), (3 * 9, 8));
+        let w = l.csp_weight();
+        let doubled = w.scale(2.0);
+        l.set_csp_weight(&doubled).unwrap();
+        assert_eq!(l.csp_weight(), doubled);
+    }
+
+    #[test]
+    fn conv_csp_layout_matches_fig2() {
+        // Element w[o][ci][ky][kx] must land at matrix[(ci*k+ky)*k+kx][o].
+        let mut rng = seeded_rng(5);
+        let mut l = Conv2d::new(&mut rng, 2, 3, 2, 1, 0);
+        let mut w4 = Tensor::zeros(&[3, 2, 2, 2]);
+        w4.set(&[1, 0, 1, 0], 7.5).unwrap();
+        l.set_weight(&w4).unwrap();
+        let mat = l.csp_weight();
+        // ci=0, ky=1, kx=0 → row (0*2+1)*2+0 = 2; column o=1.
+        assert_eq!(mat.get(&[2, 1]).unwrap(), 7.5);
+        assert_eq!(mat.sum(), 7.5);
+    }
+
+    #[test]
+    fn mask_zeroes_weights() {
+        let mut rng = seeded_rng(6);
+        let mut l = Linear::new(&mut rng, 4, 4);
+        let mut mask = Tensor::ones(&[4, 4]);
+        mask.set(&[0, 0], 0.0).unwrap();
+        mask.set(&[3, 3], 0.0).unwrap();
+        l.apply_csp_mask(&mask).unwrap();
+        let w = l.csp_weight();
+        assert_eq!(w.get(&[0, 0]).unwrap(), 0.0);
+        assert_eq!(w.get(&[3, 3]).unwrap(), 0.0);
+        assert_ne!(w.get(&[1, 1]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mask_shape_checked() {
+        let mut rng = seeded_rng(7);
+        let mut l = Linear::new(&mut rng, 4, 4);
+        assert!(l.apply_csp_mask(&Tensor::ones(&[3, 4])).is_err());
+    }
+}

@@ -1,0 +1,335 @@
+//! A small encoder-style Transformer for sequence transduction.
+//!
+//! Mirrors the structure the paper prunes: multi-head attention projections
+//! and feed-forward (FC) layers, with layer norms and residual connections.
+//! Processes one sequence at a time (`(seq, d_model)`), predicting one output
+//! token per position.
+
+use crate::attention::MultiHeadAttention;
+use crate::embedding::Embedding;
+use crate::layers::{LayerNorm, Linear, Relu};
+use crate::loss::softmax_cross_entropy;
+use crate::model::{Layer, Param};
+use crate::prunable::Prunable;
+use csp_tensor::{Result, Tensor};
+use rand::Rng;
+
+/// One encoder block: MHA + residual + LN, FFN + residual + LN.
+struct Block {
+    attn: MultiHeadAttention,
+    ln1: LayerNorm,
+    ff1: Linear,
+    ff_act: Relu,
+    ff2: Linear,
+    ln2: LayerNorm,
+    cache_x: Option<Tensor>,
+    cache_mid: Option<Tensor>,
+}
+
+impl Block {
+    fn new<R: Rng>(rng: &mut R, d_model: usize, d_ff: usize, heads: usize) -> Self {
+        Block {
+            attn: MultiHeadAttention::new(rng, d_model, heads),
+            ln1: LayerNorm::new(d_model),
+            ff1: Linear::new(rng, d_model, d_ff),
+            ff_act: Relu::new(),
+            ff2: Linear::new(rng, d_ff, d_model),
+            ln2: LayerNorm::new(d_model),
+            cache_x: None,
+            cache_mid: None,
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
+        let a = self.attn.forward(x, train)?;
+        let mid = self.ln1.forward(&x.add(&a)?, train)?;
+        let f = self.ff2.forward(
+            &self
+                .ff_act
+                .forward(&self.ff1.forward(&mid, train)?, train)?,
+            train,
+        )?;
+        let out = self.ln2.forward(&mid.add(&f)?, train)?;
+        if train {
+            self.cache_x = Some(x.clone());
+            self.cache_mid = Some(mid);
+        }
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let d_res2 = self.ln2.backward(grad_out)?;
+        // res2 = mid + f
+        let d_f = d_res2.clone();
+        let d_mid_from_ff = self
+            .ff1
+            .backward(&self.ff_act.backward(&self.ff2.backward(&d_f)?)?)?;
+        let d_mid = d_res2.add(&d_mid_from_ff)?;
+        let d_res1 = self.ln1.backward(&d_mid)?;
+        // res1 = x + attn(x)
+        let d_x_from_attn = self.attn.backward(&d_res1)?;
+        d_res1.add(&d_x_from_attn)
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        let mut ps = self.attn.params();
+        ps.extend(self.ln1.params());
+        ps.extend(self.ff1.params());
+        ps.extend(self.ff2.params());
+        ps.extend(self.ln2.params());
+        ps
+    }
+
+    fn zero_grad(&mut self) {
+        self.attn.zero_grad();
+        self.ln1.zero_grad();
+        self.ff1.zero_grad();
+        self.ff2.zero_grad();
+        self.ln2.zero_grad();
+    }
+
+    fn prunable_layers(&mut self) -> Vec<&mut dyn Prunable> {
+        let mut v: Vec<&mut dyn Prunable> = Vec::new();
+        for p in self.attn.projections_mut() {
+            v.push(p);
+        }
+        v.push(&mut self.ff1);
+        v.push(&mut self.ff2);
+        v
+    }
+}
+
+/// Encoder-style Transformer: embedding + sinusoidal positions, `L` blocks,
+/// and a vocabulary projection head.
+pub struct TransformerModel {
+    embed: Embedding,
+    blocks: Vec<Block>,
+    head: Linear,
+    d_model: usize,
+    vocab: usize,
+    cache_tokens: Option<Vec<usize>>,
+}
+
+impl TransformerModel {
+    /// Build a model with `layers` encoder blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_model % heads != 0` (propagated from attention).
+    pub fn new<R: Rng>(
+        rng: &mut R,
+        vocab: usize,
+        d_model: usize,
+        d_ff: usize,
+        heads: usize,
+        layers: usize,
+    ) -> Self {
+        TransformerModel {
+            embed: Embedding::new(rng, vocab, d_model),
+            blocks: (0..layers)
+                .map(|_| Block::new(rng, d_model, d_ff, heads))
+                .collect(),
+            head: Linear::new(rng, d_model, vocab),
+            d_model,
+            vocab,
+            cache_tokens: None,
+        }
+    }
+
+    /// Model width.
+    pub fn d_model(&self) -> usize {
+        self.d_model
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    fn positional(&self, seq: usize) -> Tensor {
+        Tensor::from_fn(&[seq, self.d_model], |i| {
+            let (pos, dim) = (i / self.d_model, i % self.d_model);
+            let angle =
+                pos as f32 / (10_000.0f32).powf((2 * (dim / 2)) as f32 / self.d_model as f32);
+            if dim % 2 == 0 {
+                angle.sin()
+            } else {
+                angle.cos()
+            }
+        })
+    }
+
+    /// Logits `(seq, vocab)` for one token sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the blocks.
+    pub fn forward(&mut self, tokens: &[usize], train: bool) -> Result<Tensor> {
+        let seq = tokens.len();
+        let mut x = self.embed.forward(tokens)?;
+        x = x.add(&self.positional(seq))?;
+        for b in &mut self.blocks {
+            x = b.forward(&x, train)?;
+        }
+        if train {
+            self.cache_tokens = Some(tokens.to_vec());
+        }
+        self.head.forward(&x, train)
+    }
+
+    /// One training step on a single (input, target) pair: forward,
+    /// cross-entropy over positions, full backward. Returns the loss.
+    /// Gradients accumulate; the caller zeroes and steps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn loss_and_backward(&mut self, tokens: &[usize], targets: &[usize]) -> Result<f32> {
+        let logits = self.forward(tokens, true)?;
+        let (loss, grad) = softmax_cross_entropy(&logits, targets)?;
+        let mut g = self.head.backward(&grad)?;
+        for b in self.blocks.iter_mut().rev() {
+            g = b.backward(&g)?;
+        }
+        // Embedding gradient: scatter rows back by token id.
+        let tokens = self.cache_tokens.take().expect("forward cached tokens");
+        self.embed.backward(&tokens, &g)?;
+        self.cache_tokens = Some(tokens);
+        Ok(loss)
+    }
+
+    /// Greedy prediction: argmax token per position.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn predict(&mut self, tokens: &[usize]) -> Result<Vec<usize>> {
+        let logits = self.forward(tokens, false)?;
+        let (seq, vocab) = (logits.dims()[0], logits.dims()[1]);
+        Ok((0..seq)
+            .map(|p| {
+                let row = &logits.as_slice()[p * vocab..(p + 1) * vocab];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN logits"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty vocab")
+            })
+            .collect())
+    }
+
+    /// All learnable parameters.
+    pub fn params(&mut self) -> Vec<Param<'_>> {
+        let mut ps = vec![self.embed.param()];
+        for b in &mut self.blocks {
+            ps.extend(b.params());
+        }
+        ps.extend(self.head.params());
+        ps
+    }
+
+    /// Zero all gradients.
+    pub fn zero_grad(&mut self) {
+        self.embed.zero_grad();
+        for b in &mut self.blocks {
+            b.zero_grad();
+        }
+        self.head.zero_grad();
+    }
+
+    /// The FC layers CSP-A prunes: attention projections and FFN layers of
+    /// every block (the embedding and output head are left dense, matching
+    /// the paper which targets the FC layers).
+    pub fn prunable_layers(&mut self) -> Vec<&mut dyn Prunable> {
+        let mut v: Vec<&mut dyn Prunable> = Vec::new();
+        for b in &mut self.blocks {
+            v.extend(b.prunable_layers());
+        }
+        v
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&mut self) -> usize {
+        self.params().iter().map(|p| p.value.len()).sum()
+    }
+}
+
+impl std::fmt::Debug for TransformerModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TransformerModel(vocab={}, d_model={}, blocks={})",
+            self.vocab,
+            self.d_model,
+            self.blocks.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Adam, Optimizer};
+    use crate::seeded_rng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = seeded_rng(0);
+        let mut m = TransformerModel::new(&mut rng, 12, 8, 16, 2, 2);
+        let logits = m.forward(&[1, 2, 3, 4], false).unwrap();
+        assert_eq!(logits.dims(), &[4, 12]);
+    }
+
+    #[test]
+    fn prunable_layer_count() {
+        let mut rng = seeded_rng(1);
+        let mut m = TransformerModel::new(&mut rng, 12, 8, 16, 2, 3);
+        // Per block: 4 attention projections + 2 FFN layers.
+        assert_eq!(m.prunable_layers().len(), 3 * 6);
+    }
+
+    #[test]
+    fn positional_encoding_distinguishes_positions() {
+        let mut rng = seeded_rng(2);
+        let mut m = TransformerModel::new(&mut rng, 8, 8, 8, 2, 1);
+        // Same token at two positions must produce different logits rows.
+        let logits = m.forward(&[3, 3], false).unwrap();
+        let r0 = logits.row(0).unwrap();
+        let r1 = logits.row(1).unwrap();
+        assert!(r0.sub(&r1).unwrap().norm_l2() > 1e-4);
+    }
+
+    #[test]
+    fn loss_decreases_with_training() {
+        let mut rng = seeded_rng(3);
+        let mut m = TransformerModel::new(&mut rng, 6, 8, 16, 2, 1);
+        let tokens = [0usize, 1, 2, 3];
+        let targets = [3usize, 2, 1, 0];
+        let mut opt = Adam::new(3e-3);
+        let first = m.loss_and_backward(&tokens, &targets).unwrap();
+        opt.step(&mut m.params());
+        m.zero_grad();
+        let mut last = first;
+        for _ in 0..60 {
+            last = m.loss_and_backward(&tokens, &targets).unwrap();
+            opt.step(&mut m.params());
+            m.zero_grad();
+        }
+        assert!(last < first * 0.5, "loss did not halve: {first} -> {last}");
+    }
+
+    #[test]
+    fn predict_matches_fit_pair_after_training() {
+        let mut rng = seeded_rng(4);
+        let mut m = TransformerModel::new(&mut rng, 6, 8, 16, 2, 1);
+        let tokens = [4usize, 0, 5, 2];
+        let targets = [2usize, 5, 0, 4];
+        let mut opt = Adam::new(3e-3);
+        for _ in 0..150 {
+            m.loss_and_backward(&tokens, &targets).unwrap();
+            opt.step(&mut m.params());
+            m.zero_grad();
+        }
+        assert_eq!(m.predict(&tokens).unwrap(), targets.to_vec());
+    }
+}

@@ -1,0 +1,218 @@
+//! Scaled-down trainable variants of the five evaluated model families.
+//!
+//! These builders mirror the *structural signature* of each published
+//! architecture at laptop scale, so the Table 2 experiments can exercise
+//! CSP-A on every family: AlexNet's larger first kernel, VGG's repeated
+//! 3×3 stacks, ResNet's residual bottlenecks, Inception's parallel
+//! branches. (The Transformer has its own dedicated model type,
+//! [`TransformerModel`](crate::TransformerModel).)
+//!
+//! All builders take `(channels, side, classes)` for a `channels × side ×
+//! side` input and are deterministic given the RNG.
+
+use crate::branches::Branches;
+use crate::extra_layers::Residual;
+use crate::layers::{AvgPool, Conv2d, Flatten, Linear, MaxPool, Relu};
+use crate::model::{Layer, Sequential};
+use rand::Rng;
+
+/// Mini-AlexNet: a 5×5 first kernel (standing in for the 11×11), then
+/// 3×3 convolutions and an FC head.
+pub fn mini_alexnet<R: Rng>(
+    rng: &mut R,
+    channels: usize,
+    side: usize,
+    classes: usize,
+) -> Sequential {
+    Sequential::new(vec![
+        Box::new(Conv2d::new(rng, channels, 8, 5, 1, 2)),
+        Box::new(Relu::new()),
+        Box::new(MaxPool::new(2, 2)),
+        Box::new(Conv2d::new(rng, 8, 16, 3, 1, 1)),
+        Box::new(Relu::new()),
+        Box::new(MaxPool::new(2, 2)),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(rng, 16 * (side / 4) * (side / 4), classes)),
+    ])
+}
+
+/// Mini-VGG: stacked 3×3 pairs with pooling between stages.
+pub fn mini_vgg<R: Rng>(rng: &mut R, channels: usize, side: usize, classes: usize) -> Sequential {
+    Sequential::new(vec![
+        Box::new(Conv2d::new(rng, channels, 8, 3, 1, 1)),
+        Box::new(Relu::new()),
+        Box::new(Conv2d::new(rng, 8, 8, 3, 1, 1)),
+        Box::new(Relu::new()),
+        Box::new(MaxPool::new(2, 2)),
+        Box::new(Conv2d::new(rng, 8, 16, 3, 1, 1)),
+        Box::new(Relu::new()),
+        Box::new(Conv2d::new(rng, 16, 16, 3, 1, 1)),
+        Box::new(Relu::new()),
+        Box::new(MaxPool::new(2, 2)),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(rng, 16 * (side / 4) * (side / 4), classes)),
+    ])
+}
+
+/// Mini-ResNet: a stem then two identity-residual 3×3 blocks.
+pub fn mini_resnet<R: Rng>(
+    rng: &mut R,
+    channels: usize,
+    side: usize,
+    classes: usize,
+) -> Sequential {
+    let block = |rng: &mut R, c: usize| -> Box<dyn Layer> {
+        Box::new(Residual::new(vec![
+            Box::new(Conv2d::new(rng, c, c, 3, 1, 1)),
+            Box::new(Relu::new()),
+            Box::new(Conv2d::new(rng, c, c, 3, 1, 1)),
+        ]))
+    };
+    Sequential::new(vec![
+        Box::new(Conv2d::new(rng, channels, 12, 3, 1, 1)),
+        Box::new(Relu::new()),
+        block(rng, 12),
+        Box::new(Relu::new()),
+        Box::new(MaxPool::new(2, 2)),
+        block(rng, 12),
+        Box::new(Relu::new()),
+        Box::new(AvgPool::new(2, 2)),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(rng, 12 * (side / 4) * (side / 4), classes)),
+    ])
+}
+
+/// Mini-Inception: a stem then a branch block (1×1 / 3×3 / 5×5 paths).
+pub fn mini_inception<R: Rng>(
+    rng: &mut R,
+    channels: usize,
+    side: usize,
+    classes: usize,
+) -> Sequential {
+    let inception = |rng: &mut R, c_in: usize| -> Box<dyn Layer> {
+        Box::new(Branches::new(vec![
+            vec![Box::new(Conv2d::new(rng, c_in, 4, 1, 1, 0)) as Box<dyn Layer>],
+            vec![
+                Box::new(Conv2d::new(rng, c_in, 4, 1, 1, 0)),
+                Box::new(Relu::new()),
+                Box::new(Conv2d::new(rng, 4, 6, 3, 1, 1)),
+            ],
+            vec![
+                Box::new(Conv2d::new(rng, c_in, 2, 1, 1, 0)),
+                Box::new(Relu::new()),
+                Box::new(Conv2d::new(rng, 2, 4, 5, 1, 2)),
+            ],
+        ]))
+    };
+    Sequential::new(vec![
+        Box::new(Conv2d::new(rng, channels, 8, 3, 1, 1)),
+        Box::new(Relu::new()),
+        Box::new(MaxPool::new(2, 2)),
+        inception(rng, 8), // -> 14 channels
+        Box::new(Relu::new()),
+        Box::new(MaxPool::new(2, 2)),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(rng, 14 * (side / 4) * (side / 4), classes)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::ClusterImages;
+    use crate::optim::Sgd;
+    use crate::seeded_rng;
+    use crate::trainer::{train_classifier, TrainOptions};
+    use csp_tensor::Tensor;
+
+    fn shapes_ok(mut model: Sequential, classes: usize) {
+        let y = model.forward(&Tensor::zeros(&[2, 1, 8, 8]), false).unwrap();
+        assert_eq!(y.dims(), &[2, classes]);
+    }
+
+    #[test]
+    fn all_families_produce_logits() {
+        let mut rng = seeded_rng(0);
+        shapes_ok(mini_alexnet(&mut rng, 1, 8, 4), 4);
+        shapes_ok(mini_vgg(&mut rng, 1, 8, 4), 4);
+        shapes_ok(mini_resnet(&mut rng, 1, 8, 4), 4);
+        shapes_ok(mini_inception(&mut rng, 1, 8, 4), 4);
+    }
+
+    #[test]
+    fn every_family_has_prunable_conv_layers() {
+        let mut rng = seeded_rng(1);
+        // Residual/Branches wrap their inner convs, so only top-level
+        // prunables are visible through Sequential; each family still
+        // exposes at least stem + head.
+        for (model, min_prunable) in [
+            (mini_alexnet(&mut rng, 1, 8, 4), 3),
+            (mini_vgg(&mut rng, 1, 8, 4), 5),
+            (mini_resnet(&mut rng, 1, 8, 4), 2),
+            (mini_inception(&mut rng, 1, 8, 4), 2),
+        ] {
+            let mut m = model;
+            assert!(
+                m.prunable_layers().len() >= min_prunable,
+                "expected >= {min_prunable}, got {}",
+                m.prunable_layers().len()
+            );
+        }
+    }
+
+    #[test]
+    fn mini_resnet_learns() {
+        let mut rng = seeded_rng(2);
+        let ds = ClusterImages::generate(&mut rng, 48, 4, 1, 8, 0.2);
+        let mut model = mini_resnet(&mut rng, 1, 8, 4);
+        let mut opt = Sgd::new(0.05).with_momentum(0.9, true);
+        let ds2 = ds.clone();
+        let stats = train_classifier(
+            &mut model,
+            move |b| ds2.batch(b * 8, 8),
+            6,
+            &mut opt,
+            &TrainOptions {
+                epochs: 10,
+                batch_size: 8,
+                ..Default::default()
+            },
+            None,
+            None,
+        )
+        .unwrap();
+        assert!(
+            stats.last().unwrap().accuracy > 0.85,
+            "mini-resnet accuracy {}",
+            stats.last().unwrap().accuracy
+        );
+    }
+
+    #[test]
+    fn mini_inception_learns() {
+        let mut rng = seeded_rng(3);
+        let ds = ClusterImages::generate(&mut rng, 48, 4, 1, 8, 0.2);
+        let mut model = mini_inception(&mut rng, 1, 8, 4);
+        let mut opt = Sgd::new(0.05).with_momentum(0.9, true);
+        let ds2 = ds.clone();
+        let stats = train_classifier(
+            &mut model,
+            move |b| ds2.batch(b * 8, 8),
+            6,
+            &mut opt,
+            &TrainOptions {
+                epochs: 10,
+                batch_size: 8,
+                ..Default::default()
+            },
+            None,
+            None,
+        )
+        .unwrap();
+        assert!(
+            stats.last().unwrap().accuracy > 0.85,
+            "mini-inception accuracy {}",
+            stats.last().unwrap().accuracy
+        );
+    }
+}

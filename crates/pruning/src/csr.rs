@@ -1,0 +1,205 @@
+//! Compressed Sparse Row baseline format (for the "OS + CSR" comparison of
+//! Fig. 11 and size accounting against weaved compression).
+
+use csp_tensor::{Tensor, TensorError};
+
+/// A CSR-compressed matrix: row pointers, column indices, values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    /// `row_ptr[j]..row_ptr[j+1]` indexes the non-zeros of row `j`.
+    pub row_ptr: Vec<usize>,
+    /// Column index of each stored value.
+    pub col_idx: Vec<usize>,
+    /// Non-zero values, row-major.
+    pub values: Vec<f32>,
+    /// Dense shape `(rows, cols)`.
+    pub shape: (usize, usize),
+}
+
+impl Csr {
+    /// Compress a dense rank-2 tensor, dropping exact zeros.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] for non-matrix input.
+    pub fn compress(w: &Tensor) -> Result<Self, TensorError> {
+        if w.rank() != 2 {
+            return Err(TensorError::InvalidParameter {
+                what: format!("CSR expects rank 2, got {:?}", w.dims()),
+            });
+        }
+        let (rows, cols) = (w.dims()[0], w.dims()[1]);
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for j in 0..rows {
+            for c in 0..cols {
+                let v = w.as_slice()[j * cols + c];
+                if v != 0.0 {
+                    col_idx.push(c);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(values.len());
+        }
+        Ok(Csr {
+            row_ptr,
+            col_idx,
+            values,
+            shape: (rows, cols),
+        })
+    }
+
+    /// Reconstruct the dense matrix.
+    pub fn decompress(&self) -> Tensor {
+        let (rows, cols) = self.shape;
+        let mut out = Tensor::zeros(&[rows, cols]);
+        for j in 0..rows {
+            for k in self.row_ptr[j]..self.row_ptr[j + 1] {
+                out.as_mut_slice()[j * cols + self.col_idx[k]] = self.values[k];
+            }
+        }
+        out
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Validate internal consistency: monotone row pointers covering the
+    /// value array, in-bounds column indices, and strictly increasing
+    /// columns within each row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] describing the first
+    /// inconsistency found.
+    pub fn validate(&self) -> Result<(), TensorError> {
+        let (rows, cols) = self.shape;
+        if self.row_ptr.len() != rows + 1 || self.row_ptr[0] != 0 {
+            return Err(TensorError::InvalidParameter {
+                what: "row_ptr must have rows+1 entries starting at 0".into(),
+            });
+        }
+        if *self.row_ptr.last().expect("non-empty") != self.values.len()
+            || self.col_idx.len() != self.values.len()
+        {
+            return Err(TensorError::InvalidParameter {
+                what: "row_ptr end / col_idx length must match values".into(),
+            });
+        }
+        for j in 0..rows {
+            let (s, e) = (self.row_ptr[j], self.row_ptr[j + 1]);
+            if s > e {
+                return Err(TensorError::InvalidParameter {
+                    what: format!("row_ptr not monotone at row {j}"),
+                });
+            }
+            for k in s..e {
+                if self.col_idx[k] >= cols {
+                    return Err(TensorError::InvalidParameter {
+                        what: format!("column index {} out of {cols}", self.col_idx[k]),
+                    });
+                }
+                if k > s && self.col_idx[k] <= self.col_idx[k - 1] {
+                    return Err(TensorError::InvalidParameter {
+                        what: format!("columns not strictly increasing in row {j}"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Storage bytes: 8-bit values, 16-bit column indices, 32-bit row
+    /// pointers — the conventional accounting used when comparing against
+    /// weaved compression.
+    pub fn size_bytes(&self) -> usize {
+        self.values.len() + 2 * self.col_idx.len() + 4 * self.row_ptr.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let w =
+            Tensor::from_vec(vec![1.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0, 0.0, 4.0], &[3, 3]).unwrap();
+        let csr = Csr::compress(&w).unwrap();
+        assert_eq!(csr.nnz(), 4);
+        assert_eq!(csr.row_ptr, vec![0, 2, 2, 4]);
+        assert_eq!(csr.col_idx, vec![0, 2, 0, 2]);
+        assert_eq!(csr.decompress(), w);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let w = Tensor::zeros(&[2, 2]);
+        let csr = Csr::compress(&w).unwrap();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.decompress(), w);
+    }
+
+    #[test]
+    fn rejects_non_matrix() {
+        assert!(Csr::compress(&Tensor::zeros(&[2, 2, 2])).is_err());
+    }
+
+    #[test]
+    fn size_accounting() {
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        let csr = Csr::compress(&w).unwrap();
+        // 2 values ×1B + 2 col idx ×2B + 3 row ptrs ×4B = 18.
+        assert_eq!(csr.size_bytes(), 18);
+    }
+
+    #[test]
+    fn validate_accepts_compressed_output() {
+        let w = Tensor::from_vec(vec![1.0, 0.0, 2.0, 3.0], &[2, 2]).unwrap();
+        assert!(Csr::compress(&w).unwrap().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_detects_injected_corruption() {
+        let w = Tensor::from_vec(vec![1.0, 0.0, 2.0, 0.0, 3.0, 4.0], &[2, 3]).unwrap();
+        let csr = Csr::compress(&w).unwrap();
+
+        // Out-of-bounds column index.
+        let mut broken = csr.clone();
+        broken.col_idx[0] = 99;
+        assert!(broken.validate().is_err());
+
+        // Non-monotone row pointers.
+        let mut broken = csr.clone();
+        broken.row_ptr[1] = broken.row_ptr[2] + 1;
+        assert!(broken.validate().is_err());
+
+        // Duplicate columns within a row.
+        let mut broken = csr.clone();
+        broken.col_idx[1] = broken.col_idx[0];
+        assert!(broken.validate().is_err());
+
+        // Dangling values.
+        let mut broken = csr;
+        broken.values.push(9.0);
+        assert!(broken.validate().is_err());
+    }
+
+    #[test]
+    fn csr_vs_weaved_on_cascade_closed_matrix() {
+        // On a cascade-closed matrix weaved wins: no per-element indices.
+        use crate::layout::ChunkedLayout;
+        use crate::pruner::CspMask;
+        use crate::weaved::Weaved;
+        let l = ChunkedLayout::new(8, 32, 4).unwrap();
+        let mask = CspMask::from_chunk_counts(l, vec![2, 2, 1, 1, 3, 2, 1, 0]).unwrap();
+        let w = mask.apply(&Tensor::ones(&[8, 32])).unwrap();
+        let weaved = Weaved::compress(&w, &mask).unwrap();
+        let csr = Csr::compress(&w).unwrap();
+        assert!(weaved.size_bytes() < csr.size_bytes());
+    }
+}

@@ -1,0 +1,176 @@
+//! Intersection analysis (Section 2.1's ExTensor framing).
+//!
+//! In sparse matrix multiplication, only *intersections* — coordinate
+//! pairs where both the weight and the activation are non-zero — affect
+//! the output. CSP-A's key move is to *push intersections towards the
+//! beginning* of each chunk-wise computation: because surviving chunks
+//! form a prefix, a sequential walk over a filter row's chunks encounters
+//! all effectual work first and can stop early, whereas an unstructured
+//! mask interleaves effectual and ineffectual coordinates and forces a
+//! search (sparse-skipping) mechanism.
+//!
+//! This module quantifies that difference for a given mask: how many
+//! coordinates a sequential early-stop consumer must visit versus how many
+//! a sparse-skip consumer must *search*.
+
+use crate::layout::ChunkedLayout;
+use csp_tensor::{Result, Tensor};
+
+/// Work accounting for one mask under the two consumption models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntersectionReport {
+    /// Non-zero (effectual) weight coordinates.
+    pub effectual: u64,
+    /// Coordinates a *sequential early-stop* consumer visits: for each
+    /// row, everything up to the last non-zero chunk (prefix walk).
+    pub early_stop_visits: u64,
+    /// Coordinates a *sparse-skip* consumer must examine to locate the
+    /// effectual ones without structural guarantees: every coordinate of
+    /// every row that contains at least one non-zero (it cannot stop
+    /// early, matching bit-mask scanning à la SparTen).
+    pub sparse_skip_scans: u64,
+}
+
+impl IntersectionReport {
+    /// Wasted visits of the early-stop walk (zeros inside the prefix).
+    pub fn early_stop_waste(&self) -> u64 {
+        self.early_stop_visits - self.effectual
+    }
+
+    /// Efficiency of the early-stop walk in `(0, 1]`
+    /// (`effectual / visits`; 1.0 when the prefix is fully dense).
+    pub fn early_stop_efficiency(&self) -> f64 {
+        if self.early_stop_visits == 0 {
+            1.0
+        } else {
+            self.effectual as f64 / self.early_stop_visits as f64
+        }
+    }
+
+    /// Scan amplification of sparse skipping (`scans / effectual`).
+    pub fn sparse_skip_amplification(&self) -> f64 {
+        if self.effectual == 0 {
+            0.0
+        } else {
+            self.sparse_skip_scans as f64 / self.effectual as f64
+        }
+    }
+}
+
+/// Analyze a (possibly masked) weight matrix under `layout`.
+///
+/// # Errors
+///
+/// Returns a shape error if `w` does not match `layout`.
+pub fn analyze(w: &Tensor, layout: ChunkedLayout) -> Result<IntersectionReport> {
+    layout.check(w)?;
+    let (m, c_out) = (layout.m(), layout.c_out());
+    let mut effectual = 0u64;
+    let mut early_stop = 0u64;
+    let mut scans = 0u64;
+    for j in 0..m {
+        let row = &w.as_slice()[j * c_out..(j + 1) * c_out];
+        let nnz = row.iter().filter(|&&v| v != 0.0).count() as u64;
+        effectual += nnz;
+        if nnz == 0 {
+            continue; // both consumers skip all-zero rows via metadata
+        }
+        scans += c_out as u64;
+        // Last chunk containing a non-zero.
+        let mut last_chunk = 0usize;
+        for n in 0..layout.n_chunks() {
+            let (s, e) = layout.chunk_cols(n);
+            if row[s..e].iter().any(|&v| v != 0.0) {
+                last_chunk = n;
+            }
+        }
+        early_stop += layout.chunk_cols(last_chunk).1 as u64;
+    }
+    Ok(IntersectionReport {
+        effectual,
+        early_stop_visits: early_stop,
+        sparse_skip_scans: scans,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::magnitude::MagnitudePruner;
+    use crate::pruner::{CspMask, CspPruner};
+
+    fn layout(m: usize, c: usize, cs: usize) -> ChunkedLayout {
+        ChunkedLayout::new(m, c, cs).unwrap()
+    }
+
+    #[test]
+    fn dense_matrix_all_equal() {
+        let l = layout(3, 8, 2);
+        let w = Tensor::ones(&[3, 8]);
+        let r = analyze(&w, l).unwrap();
+        assert_eq!(r.effectual, 24);
+        assert_eq!(r.early_stop_visits, 24);
+        assert_eq!(r.sparse_skip_scans, 24);
+        assert_eq!(r.early_stop_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn cascade_closed_mask_has_perfect_early_stop() {
+        // For a cascade-closed mask with fully dense surviving chunks, the
+        // early-stop walk visits exactly the effectual coordinates.
+        let l = layout(4, 8, 2);
+        let mask = CspMask::from_chunk_counts(l, vec![1, 2, 4, 0]).unwrap();
+        let w = mask.apply(&Tensor::ones(&[4, 8])).unwrap();
+        let r = analyze(&w, l).unwrap();
+        assert_eq!(r.early_stop_waste(), 0);
+        assert_eq!(r.early_stop_efficiency(), 1.0);
+        // Sparse skipping still scans whole rows.
+        assert!(r.sparse_skip_amplification() > 1.0);
+    }
+
+    #[test]
+    fn unstructured_mask_wastes_early_stop_visits() {
+        // A magnitude mask with a hole in the middle forces the sequential
+        // walk past ineffectual coordinates.
+        let l = layout(2, 8, 2);
+        let w = Tensor::from_fn(&[2, 8], |i| if matches!(i % 8, 2..=5) { 0.01 } else { 1.0 });
+        let mask = MagnitudePruner::new(0.5).mask(&w).unwrap();
+        let pruned = w.mul(&mask).unwrap();
+        let r = analyze(&pruned, l).unwrap();
+        assert!(r.early_stop_waste() > 0, "middle hole must cost visits");
+        assert!(r.early_stop_efficiency() < 1.0);
+    }
+
+    #[test]
+    fn csp_pruner_beats_unstructured_on_early_stop() {
+        // Same matrix, similar sparsity: the CSP mask's sequential
+        // efficiency must dominate the unstructured one's.
+        let l = layout(16, 32, 4);
+        let w = Tensor::from_fn(&[16, 32], |i| {
+            // Magnitudes decay along the row: both pruners remove tails,
+            // but only CSP guarantees the prefix structure.
+            let col = (i % 32) as f32;
+            ((i as f32 * 1.7).sin() + 1.5) * (1.0 / (1.0 + col * 0.2))
+        });
+        let csp_mask = CspPruner::new(1.0).prune(&w, l).unwrap();
+        let csp = analyze(&csp_mask.apply(&w).unwrap(), l).unwrap();
+        let mag_mask = MagnitudePruner::new(csp_mask.sparsity()).mask(&w).unwrap();
+        let mag = analyze(&w.mul(&mag_mask).unwrap(), l).unwrap();
+        assert!(
+            csp.early_stop_efficiency() >= mag.early_stop_efficiency(),
+            "CSP {} vs magnitude {}",
+            csp.early_stop_efficiency(),
+            mag.early_stop_efficiency()
+        );
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let l = layout(2, 4, 2);
+        let r = analyze(&Tensor::zeros(&[2, 4]), l).unwrap();
+        assert_eq!(r.effectual, 0);
+        assert_eq!(r.early_stop_visits, 0);
+        assert_eq!(r.sparse_skip_scans, 0);
+        assert_eq!(r.sparse_skip_amplification(), 0.0);
+    }
+}

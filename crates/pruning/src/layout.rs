@@ -1,0 +1,197 @@
+//! Chunk/cascade index math over the flattened filter matrix.
+
+use csp_tensor::{Tensor, TensorError};
+
+/// Describes how an `M × c_out` filter matrix is chunked along its columns.
+///
+/// The last chunk may be partial when `c_out` is not a multiple of
+/// `chunk_size`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChunkedLayout {
+    m: usize,
+    c_out: usize,
+    chunk_size: usize,
+}
+
+impl ChunkedLayout {
+    /// Create a layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] for zero sizes.
+    pub fn new(m: usize, c_out: usize, chunk_size: usize) -> Result<Self, TensorError> {
+        if m == 0 || c_out == 0 || chunk_size == 0 {
+            return Err(TensorError::InvalidParameter {
+                what: format!("layout sizes must be positive, got m={m}, c_out={c_out}, chunk_size={chunk_size}"),
+            });
+        }
+        Ok(ChunkedLayout {
+            m,
+            c_out,
+            chunk_size,
+        })
+    }
+
+    /// Number of filter rows `M`.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of filters (columns).
+    pub fn c_out(&self) -> usize {
+        self.c_out
+    }
+
+    /// Nominal chunk size.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Number of chunks `N = ceil(c_out / chunk_size)`.
+    pub fn n_chunks(&self) -> usize {
+        self.c_out.div_ceil(self.chunk_size)
+    }
+
+    /// Column range `[start, end)` of chunk `n` (the last chunk may be
+    /// shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= n_chunks()`.
+    pub fn chunk_cols(&self, n: usize) -> (usize, usize) {
+        assert!(n < self.n_chunks(), "chunk {n} out of {}", self.n_chunks());
+        let start = n * self.chunk_size;
+        (start, (start + self.chunk_size).min(self.c_out))
+    }
+
+    /// Actual width of chunk `n`.
+    pub fn chunk_width(&self, n: usize) -> usize {
+        let (s, e) = self.chunk_cols(n);
+        e - s
+    }
+
+    /// Verify `w` has this layout's dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] on mismatch.
+    pub fn check(&self, w: &Tensor) -> Result<(), TensorError> {
+        if w.dims() != [self.m, self.c_out] {
+            return Err(TensorError::IncompatibleShapes {
+                op: "chunked_layout",
+                lhs: vec![self.m, self.c_out],
+                rhs: w.dims().to_vec(),
+            });
+        }
+        Ok(())
+    }
+
+    /// L2 norm of the sub-row: row `row`, chunk `n` of `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range `row`/`n`; call [`check`](Self::check) first.
+    pub fn subrow_norm(&self, w: &Tensor, row: usize, n: usize) -> f32 {
+        let (s, e) = self.chunk_cols(n);
+        let base = row * self.c_out;
+        w.as_slice()[base + s..base + e]
+            .iter()
+            .map(|v| v * v)
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// L2 norm of the cascade group: row `row`, chunks `i..N` of `w`
+    /// (the `w_{j,[i:N]}` of Eq. 1).
+    pub fn cascade_norm(&self, w: &Tensor, row: usize, i: usize) -> f32 {
+        let s = self.chunk_cols(i).0;
+        let base = row * self.c_out;
+        w.as_slice()[base + s..base + self.c_out]
+            .iter()
+            .map(|v| v * v)
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Regularization-count total `RT = N(N+1)/2` (Eq. 2).
+    pub fn rt(&self) -> usize {
+        let n = self.n_chunks();
+        n * (n + 1) / 2
+    }
+
+    /// Cascade scaling numerator `RC_n = N − n` (Eq. 3).
+    pub fn rc(&self, n: usize) -> usize {
+        self.n_chunks() - n
+    }
+
+    /// Number of times chunk `c` is penalized by the *unscaled* Eq. 1
+    /// (cascades `0..=c` all contain it) — the skew illustrated in Fig. 3.
+    pub fn unscaled_penalty_count(&self, c: usize) -> usize {
+        assert!(c < self.n_chunks());
+        c + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_math_exact_division() {
+        let l = ChunkedLayout::new(3, 8, 2).unwrap();
+        assert_eq!(l.n_chunks(), 4);
+        assert_eq!(l.chunk_cols(0), (0, 2));
+        assert_eq!(l.chunk_cols(3), (6, 8));
+        assert_eq!(l.chunk_width(3), 2);
+    }
+
+    #[test]
+    fn chunk_math_partial_last_chunk() {
+        let l = ChunkedLayout::new(3, 7, 3).unwrap();
+        assert_eq!(l.n_chunks(), 3);
+        assert_eq!(l.chunk_cols(2), (6, 7));
+        assert_eq!(l.chunk_width(2), 1);
+    }
+
+    #[test]
+    fn rejects_zero_sizes() {
+        assert!(ChunkedLayout::new(0, 4, 2).is_err());
+        assert!(ChunkedLayout::new(4, 0, 2).is_err());
+        assert!(ChunkedLayout::new(4, 4, 0).is_err());
+    }
+
+    #[test]
+    fn rt_and_rc() {
+        let l = ChunkedLayout::new(1, 8, 2).unwrap(); // N = 4
+        assert_eq!(l.rt(), 10);
+        assert_eq!(l.rc(0), 4);
+        assert_eq!(l.rc(3), 1);
+        assert_eq!(l.unscaled_penalty_count(0), 1);
+        assert_eq!(l.unscaled_penalty_count(3), 4);
+    }
+
+    #[test]
+    fn subrow_and_cascade_norms() {
+        let l = ChunkedLayout::new(2, 4, 2).unwrap();
+        let w = Tensor::from_vec(vec![3.0, 4.0, 0.0, 0.0, 1.0, 0.0, 2.0, 2.0], &[2, 4]).unwrap();
+        assert_eq!(l.subrow_norm(&w, 0, 0), 5.0);
+        assert_eq!(l.subrow_norm(&w, 0, 1), 0.0);
+        assert_eq!(l.cascade_norm(&w, 0, 0), 5.0);
+        assert_eq!(l.subrow_norm(&w, 1, 1), (8.0f32).sqrt());
+        assert_eq!(l.cascade_norm(&w, 1, 0), 3.0);
+    }
+
+    #[test]
+    fn check_shape() {
+        let l = ChunkedLayout::new(2, 4, 2).unwrap();
+        assert!(l.check(&Tensor::zeros(&[2, 4])).is_ok());
+        assert!(l.check(&Tensor::zeros(&[4, 2])).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk")]
+    fn chunk_cols_bounds() {
+        let l = ChunkedLayout::new(2, 4, 2).unwrap();
+        let _ = l.chunk_cols(2);
+    }
+}

@@ -1,0 +1,69 @@
+//! # csp-pruning
+//!
+//! **CSP-A**: the algorithm half of Cascading Structured Pruning (ISCA '22).
+//!
+//! CSP-A operates on the flattened filter matrix of a layer (`M × c_out`,
+//! rows = filter rows, columns = filters — paper Fig. 2). The columns are
+//! split into `N` *chunks* of `chunk_size` filters; *cascade* `C(n)` is the
+//! suffix of chunks `n..N`. The crate provides:
+//!
+//! * [`ChunkedLayout`] — chunk/cascade index math shared by everything else;
+//! * [`CascadeRegularizer`] — the cascading group-LASSO penalty of
+//!   Eqs. 1–4, including the `RC/RT` rescaling that prevents
+//!   over-penalizing later chunks (Fig. 3), plus the SSL-across-output-
+//!   channels and flat-L2 comparison regularizers of Table 2;
+//! * [`CspPruner`] — the standard-deviation threshold rule of Eq. 5 with
+//!   *cascade closure* (surviving chunks of every row form a prefix), and
+//!   the resulting [`CspMask`] with per-row *chunk counts*;
+//! * [`Weaved`] — the *weaved compression* format (Section 3.3): a chunk-
+//!   counts array plus densely stacked surviving chunks, supporting `T`-row
+//!   grouping for the IpOS/IpWS feeding patterns;
+//! * [`Csr`] — a standard CSR baseline for the "OS + CSR" comparison;
+//! * [`reorder_rows_for_ipws`] — the greedy least-to-most-sparse filter-row
+//!   reordering of Section 5.4;
+//! * [`quant`] — 8-bit symmetric quantization used by all accelerators;
+//! * [`truncation`] — the periodic partial-sum truncation model of
+//!   Section 5.2 / Fig. 9 (intermediate register of period `T`, RegBins of
+//!   reduced precision).
+//!
+//! ## Example
+//!
+//! ```
+//! use csp_pruning::{ChunkedLayout, CspPruner};
+//! use csp_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), csp_tensor::TensorError> {
+//! let layout = ChunkedLayout::new(4, 8, 2)?; // M=4 rows, 8 filters, chunks of 2
+//! let w = Tensor::from_fn(&[4, 8], |i| if i % 7 == 0 { 1.0 } else { 0.01 });
+//! let mask = CspPruner::new(0.75).prune(&w, layout)?;
+//! // Every row's surviving chunks form a prefix — the CSP invariant.
+//! for row in 0..4 {
+//!     assert!(mask.chunk_counts[row] <= layout.n_chunks());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod csr;
+pub mod intersections;
+mod layout;
+mod magnitude;
+mod pruner;
+pub mod quant;
+mod regularizer;
+mod reorder;
+pub mod truncation;
+mod truncation_ste;
+mod weaved;
+
+pub use csr::Csr;
+pub use layout::ChunkedLayout;
+pub use magnitude::MagnitudePruner;
+pub use pruner::{CspMask, CspPruner, SparsityReport};
+pub use regularizer::{CascadeRegularizer, FlatL2Regularizer, Regularizer, SslColumnRegularizer};
+pub use reorder::{group_waste, reorder_rows_for_ipws};
+pub use truncation_ste::TruncationSte;
+pub use weaved::{RowGroup, Weaved};

@@ -1,0 +1,152 @@
+//! Iterative magnitude pruning — the `transformers.zip`-style baseline the
+//! paper contrasts with CSP-A (Section 7.1: "a method that relies on
+//! iterative magnitude pruning is only able to prune 30 % with negligible
+//! accuracy loss because it does not utilize parameter regularization
+//! during training").
+//!
+//! Unlike CSP-A this produces *unstructured* masks: no cascade structure,
+//! no weaved compression, no early stop — hardware must sparse-skip.
+
+use csp_tensor::{Result, Tensor, TensorError};
+
+/// Unstructured magnitude pruner: keeps the largest-|w| fraction.
+#[derive(Debug, Clone, Copy)]
+pub struct MagnitudePruner {
+    /// Fraction of weights to prune in `[0, 1)` per call.
+    pub target_sparsity: f32,
+}
+
+impl MagnitudePruner {
+    /// Pruner targeting the given sparsity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= target_sparsity < 1.0`.
+    pub fn new(target_sparsity: f32) -> Self {
+        assert!(
+            (0.0..1.0).contains(&target_sparsity),
+            "target sparsity must be in [0, 1)"
+        );
+        MagnitudePruner { target_sparsity }
+    }
+
+    /// A 0/1 mask keeping the largest-magnitude `(1 − s)` fraction of `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] for empty input.
+    pub fn mask(&self, w: &Tensor) -> Result<Tensor> {
+        if w.len() == 0 {
+            return Err(TensorError::InvalidParameter {
+                what: "cannot prune an empty tensor".into(),
+            });
+        }
+        let mut magnitudes: Vec<f32> = w.as_slice().iter().map(|v| v.abs()).collect();
+        magnitudes.sort_by(|a, b| a.partial_cmp(b).expect("no NaN weights"));
+        let cut = ((w.len() as f32) * self.target_sparsity) as usize;
+        let threshold = if cut == 0 {
+            -1.0 // keep everything
+        } else {
+            // Largest magnitude among the pruned fraction: strictly larger
+            // values survive.
+            magnitudes[cut - 1]
+        };
+        Ok(w.map(|v| if v.abs() > threshold { 1.0 } else { 0.0 }))
+    }
+
+    /// Iterative schedule: prune in `steps` equal sparsity increments,
+    /// invoking `finetune` between steps (the caller trains the model).
+    /// Returns the final mask.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mask errors.
+    pub fn iterative(
+        &self,
+        w0: &Tensor,
+        steps: usize,
+        mut finetune: impl FnMut(&Tensor) -> Tensor,
+    ) -> Result<Tensor> {
+        let steps = steps.max(1);
+        let mut w = w0.clone();
+        let mut mask = Tensor::ones(w0.dims());
+        for k in 1..=steps {
+            let s = self.target_sparsity * (k as f32) / (steps as f32);
+            mask = MagnitudePruner::new(s).mask(&w)?;
+            let pruned = w.mul(&mask)?;
+            w = finetune(&pruned).mul(&mask)?;
+        }
+        Ok(mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_largest_magnitudes() {
+        let w = Tensor::from_vec(vec![0.1, -0.9, 0.5, -0.01], &[4]).unwrap();
+        let mask = MagnitudePruner::new(0.5).mask(&w).unwrap();
+        assert_eq!(mask.as_slice(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_sparsity_keeps_all() {
+        let w = Tensor::from_fn(&[10], |i| i as f32 - 5.0);
+        let mask = MagnitudePruner::new(0.0).mask(&w).unwrap();
+        assert_eq!(mask.sum(), 10.0);
+    }
+
+    #[test]
+    fn achieved_sparsity_near_target() {
+        let w = Tensor::from_fn(&[1000], |i| ((i as f32) * 0.137).sin());
+        for s in [0.3f32, 0.5, 0.8] {
+            let mask = MagnitudePruner::new(s).mask(&w).unwrap();
+            let got = 1.0 - mask.mean();
+            assert!((got - s).abs() < 0.02, "target {s} got {got}");
+        }
+    }
+
+    #[test]
+    fn unstructured_masks_are_not_cascade_closed_in_general() {
+        use crate::layout::ChunkedLayout;
+        use crate::pruner::CspMask;
+        // Make the *middle* chunk (cols 2-3) of every row the smallest so
+        // magnitude pruning kills it while later chunks survive — a hole
+        // CSP-A's closure would forbid.
+        let layout = ChunkedLayout::new(4, 8, 2).unwrap();
+        let w = Tensor::from_fn(&[4, 8], |i| if matches!(i % 8, 2 | 3) { 0.01 } else { 1.0 });
+        let mask = MagnitudePruner::new(0.25).mask(&w).unwrap();
+        // Interpret as chunk counts by testing the closure predicate.
+        let csp_like = CspMask {
+            mask,
+            chunk_counts: vec![layout.n_chunks(); 4],
+            layout,
+        };
+        assert!(!csp_like.is_cascade_closed());
+    }
+
+    #[test]
+    fn iterative_schedule_reaches_target() {
+        let w = Tensor::from_fn(&[256], |i| ((i as f32) * 0.71).cos());
+        let mask = MagnitudePruner::new(0.6)
+            .iterative(&w, 4, |pruned| pruned.clone())
+            .unwrap();
+        let got = 1.0 - mask.mean();
+        assert!((got - 0.6).abs() < 0.05, "got {got}");
+    }
+
+    #[test]
+    fn empty_tensor_rejected() {
+        assert!(MagnitudePruner::new(0.5)
+            .mask(&Tensor::zeros(&[0]))
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "target sparsity")]
+    fn rejects_sparsity_one() {
+        let _ = MagnitudePruner::new(1.0);
+    }
+}

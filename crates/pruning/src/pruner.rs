@@ -1,0 +1,337 @@
+//! Threshold pruning (Eq. 5) with cascade closure, producing masks and
+//! per-row chunk counts.
+
+use crate::layout::ChunkedLayout;
+use csp_tensor::{Result, Tensor, TensorError};
+
+/// The result of CSP-A pruning: a 0/1 mask over the filter matrix and the
+/// per-row *chunk counts* that drive weaved compression and the CSP-H
+/// early-stop mechanism.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CspMask {
+    /// 0/1 mask, `M × c_out`.
+    pub mask: Tensor,
+    /// Surviving chunk count per filter row (`len == M`); chunks
+    /// `[0, chunk_counts[j])` of row `j` survive, the rest are pruned.
+    pub chunk_counts: Vec<usize>,
+    /// The layout the mask was produced under.
+    pub layout: ChunkedLayout,
+}
+
+impl CspMask {
+    /// A mask keeping everything (all chunks survive).
+    pub fn dense(layout: ChunkedLayout) -> Self {
+        CspMask {
+            mask: Tensor::ones(&[layout.m(), layout.c_out()]),
+            chunk_counts: vec![layout.n_chunks(); layout.m()],
+            layout,
+        }
+    }
+
+    /// Build a mask directly from per-row chunk counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] if counts are out of range
+    /// or the count vector length differs from `M`.
+    pub fn from_chunk_counts(layout: ChunkedLayout, chunk_counts: Vec<usize>) -> Result<Self> {
+        if chunk_counts.len() != layout.m() {
+            return Err(TensorError::InvalidParameter {
+                what: format!(
+                    "chunk_counts length {} != M {}",
+                    chunk_counts.len(),
+                    layout.m()
+                ),
+            });
+        }
+        if let Some(&bad) = chunk_counts.iter().find(|&&c| c > layout.n_chunks()) {
+            return Err(TensorError::InvalidParameter {
+                what: format!("chunk count {bad} exceeds N={}", layout.n_chunks()),
+            });
+        }
+        let mut mask = Tensor::zeros(&[layout.m(), layout.c_out()]);
+        for (j, &count) in chunk_counts.iter().enumerate() {
+            let end = if count == 0 {
+                0
+            } else {
+                layout.chunk_cols(count - 1).1
+            };
+            for c in 0..end {
+                mask.set(&[j, c], 1.0).expect("in bounds");
+            }
+        }
+        Ok(CspMask {
+            mask,
+            chunk_counts,
+            layout,
+        })
+    }
+
+    /// Fraction of masked-out (pruned) weights in `[0, 1]`.
+    pub fn sparsity(&self) -> f32 {
+        1.0 - self.mask.mean()
+    }
+
+    /// True iff, for every row, the surviving chunks form a prefix — the
+    /// CSP invariant (always true for masks built by [`CspPruner`]).
+    pub fn is_cascade_closed(&self) -> bool {
+        let l = self.layout;
+        for j in 0..l.m() {
+            let mut seen_pruned = false;
+            for n in 0..l.n_chunks() {
+                let (s, e) = l.chunk_cols(n);
+                let alive = (s..e).any(|c| self.mask.get(&[j, c]).expect("in bounds") != 0.0);
+                if alive && seen_pruned {
+                    return false;
+                }
+                if !alive {
+                    seen_pruned = true;
+                }
+            }
+        }
+        true
+    }
+
+    /// Apply the mask to a weight matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error on mismatch.
+    pub fn apply(&self, w: &Tensor) -> Result<Tensor> {
+        w.mul(&self.mask)
+    }
+}
+
+/// The CSP-A pruner: per-chunk standard-deviation thresholds (Eq. 5)
+/// followed by cascade closure.
+///
+/// A sub-row `(j, n)` is below threshold when its RMS magnitude
+/// (`‖w_{j,n}‖₂ / √width`) is less than `δ_n = STD(chunk n) × q`. The RMS
+/// normalization makes the comparison scale-free, matching the spirit of
+/// the paper's "L1 norm of the L2 norm" rule. Cascade closure then prunes
+/// every chunk at or after the first below-threshold chunk of each row, so
+/// that surviving chunks always form a prefix.
+#[derive(Debug, Clone, Copy)]
+pub struct CspPruner {
+    /// Threshold multiplier `q` (0.75 in the paper).
+    pub q: f32,
+}
+
+impl CspPruner {
+    /// Pruner with threshold multiplier `q`.
+    pub fn new(q: f32) -> Self {
+        CspPruner { q }
+    }
+
+    /// Per-chunk thresholds `δ_n` (Eq. 5): standard deviation of all
+    /// weights in chunk `n`, times `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `w` does not match `layout`.
+    pub fn thresholds(&self, w: &Tensor, layout: ChunkedLayout) -> Result<Vec<f32>> {
+        layout.check(w)?;
+        let c_out = layout.c_out();
+        let mut out = Vec::with_capacity(layout.n_chunks());
+        for n in 0..layout.n_chunks() {
+            let (s, e) = layout.chunk_cols(n);
+            let count = (layout.m() * (e - s)) as f32;
+            let mut sum = 0.0f32;
+            let mut sum_sq = 0.0f32;
+            for j in 0..layout.m() {
+                for c in s..e {
+                    let v = w.as_slice()[j * c_out + c];
+                    sum += v;
+                    sum_sq += v * v;
+                }
+            }
+            let mean = sum / count;
+            let var = (sum_sq / count - mean * mean).max(0.0);
+            out.push(var.sqrt() * self.q);
+        }
+        Ok(out)
+    }
+
+    /// Prune `w`, returning the mask with cascade closure applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `w` does not match `layout`.
+    pub fn prune(&self, w: &Tensor, layout: ChunkedLayout) -> Result<CspMask> {
+        let thresholds = self.thresholds(w, layout)?;
+        let mut chunk_counts = Vec::with_capacity(layout.m());
+        for j in 0..layout.m() {
+            let mut count = layout.n_chunks();
+            for (n, &delta) in thresholds.iter().enumerate() {
+                let width = layout.chunk_width(n) as f32;
+                let rms = layout.subrow_norm(w, j, n) / width.sqrt();
+                if rms < delta {
+                    count = n; // cascade closure: stop at first pruned chunk
+                    break;
+                }
+            }
+            chunk_counts.push(count);
+        }
+        CspMask::from_chunk_counts(layout, chunk_counts)
+    }
+}
+
+/// Sparsity statistics of a pruned layer, for Table 2-style reporting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsityReport {
+    /// Fraction of zero weights in `[0, 1]`.
+    pub weight_sparsity: f32,
+    /// Mean surviving chunk count per row.
+    pub mean_chunk_count: f32,
+    /// Fraction of rows fully pruned (chunk count 0).
+    pub empty_rows: f32,
+}
+
+impl SparsityReport {
+    /// Summarize a mask.
+    pub fn from_mask(mask: &CspMask) -> Self {
+        let m = mask.chunk_counts.len().max(1) as f32;
+        SparsityReport {
+            weight_sparsity: mask.sparsity(),
+            mean_chunk_count: mask.chunk_counts.iter().sum::<usize>() as f32 / m,
+            empty_rows: mask.chunk_counts.iter().filter(|&&c| c == 0).count() as f32 / m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(m: usize, c: usize, cs: usize) -> ChunkedLayout {
+        ChunkedLayout::new(m, c, cs).unwrap()
+    }
+
+    #[test]
+    fn dense_mask_keeps_all() {
+        let l = layout(3, 8, 2);
+        let m = CspMask::dense(l);
+        assert_eq!(m.sparsity(), 0.0);
+        assert_eq!(m.chunk_counts, vec![4, 4, 4]);
+        assert!(m.is_cascade_closed());
+    }
+
+    #[test]
+    fn from_chunk_counts_prefix_structure() {
+        let l = layout(2, 8, 2);
+        let m = CspMask::from_chunk_counts(l, vec![1, 3]).unwrap();
+        // Row 0: only first chunk (cols 0..2) survives.
+        assert_eq!(m.mask.get(&[0, 1]).unwrap(), 1.0);
+        assert_eq!(m.mask.get(&[0, 2]).unwrap(), 0.0);
+        // Row 1: chunks 0..3 (cols 0..6).
+        assert_eq!(m.mask.get(&[1, 5]).unwrap(), 1.0);
+        assert_eq!(m.mask.get(&[1, 6]).unwrap(), 0.0);
+        assert!(m.is_cascade_closed());
+    }
+
+    #[test]
+    fn from_chunk_counts_validates() {
+        let l = layout(2, 8, 2);
+        assert!(CspMask::from_chunk_counts(l, vec![1]).is_err());
+        assert!(CspMask::from_chunk_counts(l, vec![5, 0]).is_err());
+    }
+
+    #[test]
+    fn zero_count_row_fully_pruned() {
+        let l = layout(1, 4, 2);
+        let m = CspMask::from_chunk_counts(l, vec![0]).unwrap();
+        assert_eq!(m.sparsity(), 1.0);
+        assert!(m.is_cascade_closed());
+    }
+
+    #[test]
+    fn prune_small_magnitude_tail() {
+        // Row 1 has a strong first chunk and a weak tail; row 0 stays strong
+        // everywhere (and anchors the per-chunk std). Row 1 must be closed
+        // after its first chunk, row 0 must survive fully.
+        let l = layout(2, 8, 2);
+        let w = Tensor::from_vec(
+            vec![
+                2.0, -2.0, 2.0, -2.0, 2.0, -2.0, 2.0, -2.0, // row 0
+                2.0, -2.0, 0.01, -0.01, 0.01, -0.01, 0.0, 0.0, // row 1
+            ],
+            &[2, 8],
+        )
+        .unwrap();
+        let mask = CspPruner::new(0.75).prune(&w, l).unwrap();
+        assert_eq!(mask.chunk_counts, vec![4, 1]);
+        assert!(mask.is_cascade_closed());
+    }
+
+    #[test]
+    fn strong_everywhere_survives_everywhere() {
+        // Alternate signs so per-chunk std is high but every sub-row has
+        // RMS equal to the std — q < 1 keeps everything.
+        let l = layout(4, 8, 2);
+        let w = Tensor::from_fn(&[4, 8], |i| if i % 2 == 0 { 1.0 } else { -1.0 });
+        let mask = CspPruner::new(0.75).prune(&w, l).unwrap();
+        assert_eq!(mask.sparsity(), 0.0);
+    }
+
+    #[test]
+    fn cascade_closure_prunes_everything_after_weak_chunk() {
+        // Middle chunk weak, last chunk strong: closure must prune both.
+        let l = layout(2, 6, 2);
+        let w = Tensor::from_vec(
+            vec![
+                1.0, -1.0, 0.0, 0.0, 1.0, -1.0, // row 0: strong, weak, strong
+                1.0, -1.0, 1.0, -1.0, 1.0, -1.0, // row 1: all strong
+            ],
+            &[2, 6],
+        )
+        .unwrap();
+        let mask = CspPruner::new(0.75).prune(&w, l).unwrap();
+        assert_eq!(mask.chunk_counts[0], 1);
+        assert_eq!(mask.chunk_counts[1], 3);
+        assert!(mask.is_cascade_closed());
+        // Strong-but-late weights of row 0 are sacrificed for structure.
+        let pruned = mask.apply(&w).unwrap();
+        assert_eq!(pruned.get(&[0, 4]).unwrap(), 0.0);
+        assert_eq!(pruned.get(&[1, 4]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn thresholds_scale_with_q() {
+        let l = layout(2, 4, 2);
+        let w = Tensor::from_fn(&[2, 4], |i| (i as f32 * 0.9).sin());
+        let t1 = CspPruner::new(0.5).thresholds(&w, l).unwrap();
+        let t2 = CspPruner::new(1.0).thresholds(&w, l).unwrap();
+        for (a, b) in t1.iter().zip(&t2) {
+            assert!((b - 2.0 * a).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn higher_q_prunes_more() {
+        let l = layout(8, 16, 4);
+        let w = Tensor::from_fn(&[8, 16], |i| (i as f32 * 1.7).sin());
+        let light = CspPruner::new(0.3).prune(&w, l).unwrap();
+        let heavy = CspPruner::new(1.5).prune(&w, l).unwrap();
+        assert!(heavy.sparsity() >= light.sparsity());
+    }
+
+    #[test]
+    fn sparsity_report() {
+        let l = layout(4, 8, 2);
+        let m = CspMask::from_chunk_counts(l, vec![0, 1, 2, 4]).unwrap();
+        let r = SparsityReport::from_mask(&m);
+        assert!((r.mean_chunk_count - 1.75).abs() < 1e-6);
+        assert!((r.empty_rows - 0.25).abs() < 1e-6);
+        // 0+2+4+8 = 14 surviving of 32.
+        assert!((r.weight_sparsity - (1.0 - 14.0 / 32.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn apply_zeroes_pruned_weights() {
+        let l = layout(2, 4, 2);
+        let m = CspMask::from_chunk_counts(l, vec![1, 0]).unwrap();
+        let w = Tensor::ones(&[2, 4]);
+        let pw = m.apply(&w).unwrap();
+        assert_eq!(pw.sum(), 2.0);
+    }
+}

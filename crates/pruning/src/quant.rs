@@ -1,0 +1,121 @@
+//! Symmetric fixed-point quantization (8-bit weights/activations, as used
+//! by all accelerators in the evaluation).
+
+use csp_tensor::{Tensor, TensorError};
+
+/// A symmetric per-tensor quantization: `q = clamp(round(x / scale))` over
+/// signed `bits`-bit integers, dequantized as `q * scale`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantSpec {
+    /// Bit width (including sign).
+    pub bits: u32,
+    /// Step size.
+    pub scale: f32,
+}
+
+impl QuantSpec {
+    /// Calibrate a spec so the tensor's max magnitude maps to the largest
+    /// representable level. Falls back to scale 1.0 for all-zero input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] if `bits < 2`.
+    pub fn calibrate(t: &Tensor, bits: u32) -> Result<Self, TensorError> {
+        if bits < 2 {
+            return Err(TensorError::InvalidParameter {
+                what: format!("need at least 2 bits, got {bits}"),
+            });
+        }
+        let max_abs = t.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let levels = ((1i64 << (bits - 1)) - 1) as f32;
+        let scale = if max_abs == 0.0 {
+            1.0
+        } else {
+            max_abs / levels
+        };
+        Ok(QuantSpec { bits, scale })
+    }
+
+    /// Largest representable positive level.
+    pub fn max_level(&self) -> i64 {
+        (1i64 << (self.bits - 1)) - 1
+    }
+
+    /// Quantize a single value to its integer level.
+    pub fn quantize_value(&self, v: f32) -> i64 {
+        let q = (v / self.scale).round() as i64;
+        q.clamp(-self.max_level() - 1, self.max_level())
+    }
+
+    /// Quantize-dequantize a single value (the "fake quantization" used to
+    /// evaluate accuracy impact).
+    pub fn fake_quant_value(&self, v: f32) -> f32 {
+        self.quantize_value(v) as f32 * self.scale
+    }
+
+    /// Quantize-dequantize a whole tensor.
+    pub fn fake_quant(&self, t: &Tensor) -> Tensor {
+        t.map(|v| self.fake_quant_value(v))
+    }
+}
+
+/// Worst-case absolute quantization error of a spec (half a step).
+pub fn quant_error_bound(spec: &QuantSpec) -> f32 {
+    spec.scale * 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrate_uses_max_abs() {
+        let t = Tensor::from_vec(vec![-2.0, 0.5, 1.0], &[3]).unwrap();
+        let s = QuantSpec::calibrate(&t, 8).unwrap();
+        assert!((s.scale - 2.0 / 127.0).abs() < 1e-6);
+        assert_eq!(s.max_level(), 127);
+    }
+
+    #[test]
+    fn zero_tensor_safe() {
+        let s = QuantSpec::calibrate(&Tensor::zeros(&[4]), 8).unwrap();
+        assert_eq!(s.scale, 1.0);
+        assert_eq!(s.fake_quant_value(0.0), 0.0);
+    }
+
+    #[test]
+    fn fake_quant_error_bounded() {
+        let t = Tensor::from_fn(&[100], |i| ((i as f32) * 0.13).sin());
+        let s = QuantSpec::calibrate(&t, 8).unwrap();
+        let q = s.fake_quant(&t);
+        let bound = quant_error_bound(&s) + 1e-6;
+        for (a, b) in t.as_slice().iter().zip(q.as_slice()) {
+            assert!((a - b).abs() <= bound, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let s = QuantSpec {
+            bits: 8,
+            scale: 0.01,
+        };
+        assert_eq!(s.quantize_value(100.0), 127);
+        assert_eq!(s.quantize_value(-100.0), -128);
+    }
+
+    #[test]
+    fn more_bits_less_error() {
+        let t = Tensor::from_fn(&[64], |i| ((i as f32) * 0.71).cos());
+        let s8 = QuantSpec::calibrate(&t, 8).unwrap();
+        let s4 = QuantSpec::calibrate(&t, 4).unwrap();
+        let e8: f32 = t.sub(&s8.fake_quant(&t)).unwrap().norm_l2();
+        let e4: f32 = t.sub(&s4.fake_quant(&t)).unwrap().norm_l2();
+        assert!(e8 < e4);
+    }
+
+    #[test]
+    fn rejects_one_bit() {
+        assert!(QuantSpec::calibrate(&Tensor::ones(&[2]), 1).is_err());
+    }
+}

@@ -1,0 +1,315 @@
+//! Training-time regularizers: the cascading group LASSO of CSP-A and the
+//! two comparison regularizers used in Table 2.
+
+use crate::layout::ChunkedLayout;
+use csp_tensor::{Result, Tensor};
+
+/// A weight regularizer: computes a scalar penalty and its gradient on a
+/// flattened `M × c_out` filter matrix.
+pub trait Regularizer {
+    /// Penalty value `R(W)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `w` does not match `layout`.
+    fn penalty(&self, w: &Tensor, layout: ChunkedLayout) -> Result<f32>;
+
+    /// Gradient `∂R/∂W`, same shape as `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `w` does not match `layout`.
+    fn grad(&self, w: &Tensor, layout: ChunkedLayout) -> Result<Tensor>;
+}
+
+/// The CSP-A cascading group-LASSO regularizer (Eqs. 1–4).
+///
+/// For every filter row `j` and cascade `i` (chunks `i..N`), the group
+/// `w_{j,[i:N]}` is penalized by its L2 norm. With `scaled == true`
+/// (the default, Eq. 4) each cascade's term is scaled by
+/// `RC_i / RT = (N − i) / (N(N+1)/2)`, countering the skew where later
+/// chunks appear in more cascades (Fig. 3).
+#[derive(Debug, Clone, Copy)]
+pub struct CascadeRegularizer {
+    /// Regularization strength λ.
+    pub lambda: f32,
+    /// Apply the Eq. 4 per-cascade rescaling (Eq. 1 when `false`).
+    pub scaled: bool,
+}
+
+impl CascadeRegularizer {
+    /// Scaled (Eq. 4) regularizer with strength `lambda`.
+    pub fn new(lambda: f32) -> Self {
+        CascadeRegularizer {
+            lambda,
+            scaled: true,
+        }
+    }
+
+    /// Unscaled Eq. 1 variant, for the Fig. 3 over-penalization analysis.
+    pub fn unscaled(lambda: f32) -> Self {
+        CascadeRegularizer {
+            lambda,
+            scaled: false,
+        }
+    }
+
+    fn cascade_scale(&self, layout: ChunkedLayout, i: usize) -> f32 {
+        if self.scaled {
+            layout.rc(i) as f32 / layout.rt() as f32
+        } else {
+            1.0
+        }
+    }
+
+    /// The *effective* per-chunk penalty weight: how strongly chunk `c` is
+    /// penalized in total (sum of scales of all cascades containing it).
+    /// Regenerates the Fig. 3 curves.
+    pub fn chunk_penalty_weight(&self, layout: ChunkedLayout, c: usize) -> f32 {
+        (0..=c).map(|i| self.cascade_scale(layout, i)).sum()
+    }
+}
+
+impl Regularizer for CascadeRegularizer {
+    fn penalty(&self, w: &Tensor, layout: ChunkedLayout) -> Result<f32> {
+        layout.check(w)?;
+        let n = layout.n_chunks();
+        let mut total = 0.0f32;
+        for i in 0..n {
+            let scale = self.cascade_scale(layout, i);
+            for j in 0..layout.m() {
+                total += layout.cascade_norm(w, j, i) * scale;
+            }
+        }
+        Ok(self.lambda * total)
+    }
+
+    fn grad(&self, w: &Tensor, layout: ChunkedLayout) -> Result<Tensor> {
+        layout.check(w)?;
+        let n = layout.n_chunks();
+        let c_out = layout.c_out();
+        let mut g = Tensor::zeros(w.dims());
+        let wd = w.as_slice();
+        let eps = 1e-12f32;
+        for j in 0..layout.m() {
+            let base = j * c_out;
+            for i in 0..n {
+                let norm = layout.cascade_norm(w, j, i);
+                if norm < eps {
+                    continue; // subgradient 0 at the origin
+                }
+                let k = self.lambda * self.cascade_scale(layout, i) / norm;
+                let s = layout.chunk_cols(i).0;
+                for c in s..c_out {
+                    g.as_mut_slice()[base + c] += k * wd[base + c];
+                }
+            }
+        }
+        Ok(g)
+    }
+}
+
+/// SSL-style group LASSO across *whole output channels* (columns), i.e.
+/// CSP-A with chunk size equal to one filter — the `[36]`-row comparison in
+/// Table 2. Groups are individual columns of the filter matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct SslColumnRegularizer {
+    /// Regularization strength λ.
+    pub lambda: f32,
+}
+
+impl SslColumnRegularizer {
+    /// Column-group LASSO with strength `lambda`.
+    pub fn new(lambda: f32) -> Self {
+        SslColumnRegularizer { lambda }
+    }
+
+    fn column_norm(w: &Tensor, col: usize) -> f32 {
+        let (m, c_out) = (w.dims()[0], w.dims()[1]);
+        (0..m)
+            .map(|j| {
+                let v = w.as_slice()[j * c_out + col];
+                v * v
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+}
+
+impl Regularizer for SslColumnRegularizer {
+    fn penalty(&self, w: &Tensor, layout: ChunkedLayout) -> Result<f32> {
+        layout.check(w)?;
+        let total: f32 = (0..layout.c_out()).map(|c| Self::column_norm(w, c)).sum();
+        Ok(self.lambda * total)
+    }
+
+    fn grad(&self, w: &Tensor, layout: ChunkedLayout) -> Result<Tensor> {
+        layout.check(w)?;
+        let (m, c_out) = (layout.m(), layout.c_out());
+        let mut g = Tensor::zeros(w.dims());
+        for c in 0..c_out {
+            let norm = Self::column_norm(w, c);
+            if norm < 1e-12 {
+                continue;
+            }
+            let k = self.lambda / norm;
+            for j in 0..m {
+                g.as_mut_slice()[j * c_out + c] = k * w.as_slice()[j * c_out + c];
+            }
+        }
+        Ok(g)
+    }
+}
+
+/// Plain (flat) L2 regularization — the `l2-reg-flat` row of Table 2,
+/// which induces unstructured sparsity pressure only.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatL2Regularizer {
+    /// Regularization strength λ.
+    pub lambda: f32,
+}
+
+impl FlatL2Regularizer {
+    /// Flat L2 with strength `lambda`.
+    pub fn new(lambda: f32) -> Self {
+        FlatL2Regularizer { lambda }
+    }
+}
+
+impl Regularizer for FlatL2Regularizer {
+    fn penalty(&self, w: &Tensor, layout: ChunkedLayout) -> Result<f32> {
+        layout.check(w)?;
+        Ok(self.lambda * 0.5 * w.as_slice().iter().map(|v| v * v).sum::<f32>())
+    }
+
+    fn grad(&self, w: &Tensor, layout: ChunkedLayout) -> Result<Tensor> {
+        layout.check(w)?;
+        Ok(w.scale(self.lambda))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(m: usize, c: usize, cs: usize) -> ChunkedLayout {
+        ChunkedLayout::new(m, c, cs).unwrap()
+    }
+
+    fn finite_diff_check(reg: &dyn Regularizer, w: &Tensor, layout: ChunkedLayout) {
+        let g = reg.grad(w, layout).unwrap();
+        let eps = 1e-3;
+        let mut w = w.clone();
+        for idx in 0..w.len() {
+            let orig = w.as_slice()[idx];
+            w.as_mut_slice()[idx] = orig + eps;
+            let lp = reg.penalty(&w, layout).unwrap();
+            w.as_mut_slice()[idx] = orig - eps;
+            let lm = reg.penalty(&w, layout).unwrap();
+            w.as_mut_slice()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - g.as_slice()[idx]).abs() < 1e-2,
+                "idx {idx}: fd {fd} vs analytic {}",
+                g.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn cascade_penalty_hand_computed() {
+        // 1 row, 4 cols, chunk 2 → N = 2 cascades.
+        // w = [3, 4, 0, 0]: cascade 0 norm = 5, cascade 1 norm = 0.
+        // RT = 3, RC_0 = 2, RC_1 = 1 → R = λ (5·2/3 + 0·1/3).
+        let l = layout(1, 4, 2);
+        let w = Tensor::from_vec(vec![3.0, 4.0, 0.0, 0.0], &[1, 4]).unwrap();
+        let reg = CascadeRegularizer::new(0.3);
+        let r = reg.penalty(&w, l).unwrap();
+        assert!((r - 0.3 * 5.0 * 2.0 / 3.0).abs() < 1e-6, "r = {r}");
+    }
+
+    #[test]
+    fn unscaled_penalizes_later_chunks_more() {
+        // Unit weight placed in chunk 0 vs the last chunk: the unscaled
+        // Eq. 1 penalizes the last chunk N times as much.
+        let l = layout(1, 8, 2); // N = 4
+        let reg = CascadeRegularizer::unscaled(1.0);
+        let mut early = Tensor::zeros(&[1, 8]);
+        early.set(&[0, 0], 1.0).unwrap();
+        let mut late = Tensor::zeros(&[1, 8]);
+        late.set(&[0, 7], 1.0).unwrap();
+        let pe = reg.penalty(&early, l).unwrap();
+        let pl = reg.penalty(&late, l).unwrap();
+        assert!((pl / pe - 4.0).abs() < 1e-5, "ratio {}", pl / pe);
+    }
+
+    #[test]
+    fn scaled_reduces_last_chunk_skew() {
+        let l = layout(1, 8, 2); // N = 4
+        let scaled = CascadeRegularizer::new(1.0);
+        let unscaled = CascadeRegularizer::unscaled(1.0);
+        // Ratio of last-chunk to first-chunk effective penalty must shrink.
+        let skew_scaled = scaled.chunk_penalty_weight(l, 3) / scaled.chunk_penalty_weight(l, 0);
+        let skew_unscaled =
+            unscaled.chunk_penalty_weight(l, 3) / unscaled.chunk_penalty_weight(l, 0);
+        assert!(skew_scaled < skew_unscaled);
+        assert_eq!(skew_unscaled, 4.0);
+    }
+
+    #[test]
+    fn cascade_grad_finite_difference() {
+        let l = layout(3, 6, 2);
+        let w = Tensor::from_fn(&[3, 6], |i| 0.5 + (i as f32 * 0.37).sin());
+        finite_diff_check(&CascadeRegularizer::new(0.11), &w, l);
+        finite_diff_check(&CascadeRegularizer::unscaled(0.07), &w, l);
+    }
+
+    #[test]
+    fn ssl_grad_finite_difference() {
+        let l = layout(3, 4, 2);
+        let w = Tensor::from_fn(&[3, 4], |i| 0.5 + (i as f32 * 0.77).cos());
+        finite_diff_check(&SslColumnRegularizer::new(0.2), &w, l);
+    }
+
+    #[test]
+    fn flat_l2_grad_is_scaled_weights() {
+        let l = layout(2, 4, 2);
+        let w = Tensor::from_fn(&[2, 4], |i| i as f32);
+        let g = FlatL2Regularizer::new(0.5).grad(&w, l).unwrap();
+        assert_eq!(g, w.scale(0.5));
+        finite_diff_check(&FlatL2Regularizer::new(0.5), &w, l);
+    }
+
+    #[test]
+    fn zero_weights_zero_grad() {
+        let l = layout(2, 4, 2);
+        let w = Tensor::zeros(&[2, 4]);
+        let g = CascadeRegularizer::new(1.0).grad(&w, l).unwrap();
+        assert_eq!(g.norm_l2(), 0.0);
+    }
+
+    #[test]
+    fn grad_pressure_is_stronger_on_later_chunks_for_uniform_weights() {
+        // For a uniform-magnitude row, the cascade structure pushes later
+        // columns towards zero harder — the mechanism that "pushes pruned
+        // weights towards the later filters".
+        let l = layout(1, 8, 2);
+        let w = Tensor::ones(&[1, 8]);
+        let g = CascadeRegularizer::new(1.0).grad(&w, l).unwrap();
+        let first = g.get(&[0, 0]).unwrap();
+        let last = g.get(&[0, 7]).unwrap();
+        assert!(
+            last > first,
+            "expected later-chunk gradient {last} > earlier {first}"
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let l = layout(2, 4, 2);
+        let w = Tensor::zeros(&[4, 2]);
+        assert!(CascadeRegularizer::new(1.0).penalty(&w, l).is_err());
+        assert!(SslColumnRegularizer::new(1.0).grad(&w, l).is_err());
+        assert!(FlatL2Regularizer::new(1.0).penalty(&w, l).is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! Greedy filter-row reordering for the IpWS dataflow (Section 5.4).
+//!
+//! IpWS unrolls filter rows spatially across the PE array, so rows mapped
+//! to the same chunk step should have similar chunk counts, or the array
+//! under-utilizes like the Leader-Follower pipeline. The paper's remedy is
+//! a greedy reorder of filter rows from *least to most sparse* — i.e.
+//! descending chunk count — which maximizes the chance that concurrently
+//! mapped sub-rows share the same sparsity.
+
+/// Return a permutation of row indices sorted by descending chunk count
+/// (least sparse first). Ties preserve the original order (stable), keeping
+/// the reorder deterministic.
+pub fn reorder_rows_for_ipws(chunk_counts: &[usize]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..chunk_counts.len()).collect();
+    order.sort_by(|&a, &b| chunk_counts[b].cmp(&chunk_counts[a]));
+    order
+}
+
+/// Estimated PE chunk-step waste of processing rows in `order` with group
+/// size `t`: for each group, every row pays for the group's maximum chunk
+/// count, so waste is `Σ (max - count)` — zero iff all grouped rows match.
+pub fn group_waste(chunk_counts: &[usize], order: &[usize], t: usize) -> usize {
+    assert!(t > 0, "T must be positive");
+    order
+        .chunks(t)
+        .map(|rows| {
+            let max = rows.iter().map(|&r| chunk_counts[r]).max().unwrap_or(0);
+            rows.iter().map(|&r| max - chunk_counts[r]).sum::<usize>()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descending_order() {
+        let counts = [1usize, 4, 2, 4, 0];
+        let order = reorder_rows_for_ipws(&counts);
+        let sorted: Vec<usize> = order.iter().map(|&r| counts[r]).collect();
+        assert_eq!(sorted, vec![4, 4, 2, 1, 0]);
+    }
+
+    #[test]
+    fn stable_for_ties() {
+        let counts = [3usize, 3, 3];
+        assert_eq!(reorder_rows_for_ipws(&counts), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(reorder_rows_for_ipws(&[]).is_empty());
+    }
+
+    #[test]
+    fn reorder_never_increases_waste() {
+        let counts = [5usize, 1, 5, 1, 3, 3, 2, 4];
+        let natural: Vec<usize> = (0..counts.len()).collect();
+        let reordered = reorder_rows_for_ipws(&counts);
+        for t in [2usize, 4] {
+            assert!(
+                group_waste(&counts, &reordered, t) <= group_waste(&counts, &natural, t),
+                "t = {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn perfectly_matched_groups_have_zero_waste() {
+        let counts = [2usize, 4, 2, 4];
+        let order = reorder_rows_for_ipws(&counts);
+        assert_eq!(group_waste(&counts, &order, 2), 0);
+    }
+
+    #[test]
+    fn waste_hand_computed() {
+        let counts = [4usize, 1];
+        // Grouped together: row 1 wastes 3 steps.
+        assert_eq!(group_waste(&counts, &[0, 1], 2), 3);
+        // Alone: no waste.
+        assert_eq!(group_waste(&counts, &[0, 1], 1), 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Periodic partial-sum truncation (Section 5.2, Fig. 9).
+//!
+//! CSP-H stores per-chunk partial sums in register bins. Keeping them at
+//! the conventional 26–32-bit precision makes the accumulation buffer large
+//! and power-hungry; truncating them to 8–16 bits saves area/power but adds
+//! accumulation error. The *intermediate register* (IR) accumulates up to
+//! `T` MACs at full precision before the result is folded into the reduced-
+//! precision RegBin, which recovers nearly all the accuracy loss.
+//!
+//! [`truncated_matmul`] is a bit-accurate functional model of this pipeline:
+//! products accumulate in a full-precision IR for `period` steps, after
+//! which the IR is added into a RegBin value that is truncated to
+//! `regbin_bits` after every fold.
+
+use csp_tensor::{matmul, Result, Tensor, TensorError};
+
+/// Configuration of the truncation pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncationConfig {
+    /// Truncation period `T`: number of MACs accumulated at full precision
+    /// in the IR before folding into the RegBin. `T = 1` models direct
+    /// RegBin accumulation with no IR.
+    pub period: usize,
+    /// RegBin precision in bits (including sign). 30 models the
+    /// conventional full-precision buffer.
+    pub regbin_bits: u32,
+    /// Fixed-point step of the RegBin representation. Values are truncated
+    /// to multiples of `step` and clamped to the representable range.
+    pub step: f32,
+}
+
+impl TruncationConfig {
+    /// Config with period `T` and `bits`-bit RegBins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] for `period == 0`,
+    /// `bits < 2`, or non-positive `step`.
+    pub fn new(period: usize, regbin_bits: u32, step: f32) -> Result<Self> {
+        if period == 0 {
+            return Err(TensorError::InvalidParameter {
+                what: "truncation period must be positive".into(),
+            });
+        }
+        if regbin_bits < 2 {
+            return Err(TensorError::InvalidParameter {
+                what: format!("RegBin needs at least 2 bits, got {regbin_bits}"),
+            });
+        }
+        if step.is_nan() || step <= 0.0 {
+            return Err(TensorError::InvalidParameter {
+                what: format!("step must be positive, got {step}"),
+            });
+        }
+        Ok(TruncationConfig {
+            period,
+            regbin_bits,
+            step,
+        })
+    }
+
+    /// Truncate one RegBin value: round towards zero to a multiple of
+    /// `step`, clamped to the signed `regbin_bits` range.
+    pub fn truncate(&self, v: f32) -> f32 {
+        let max_level = ((1i64 << (self.regbin_bits - 1)) - 1) as f32;
+        let level = (v / self.step).trunc().clamp(-max_level - 1.0, max_level);
+        level * self.step
+    }
+
+    /// Largest representable magnitude.
+    pub fn max_value(&self) -> f32 {
+        (((1i64 << (self.regbin_bits - 1)) - 1) as f32) * self.step
+    }
+}
+
+/// Matrix product `A (m×k) · B (k×n)` computed with the IR + truncated
+/// RegBin pipeline: for each output element, products along `k` accumulate
+/// at full precision in runs of `cfg.period`; after each run the IR folds
+/// into a RegBin value that is truncated to `cfg.regbin_bits`.
+///
+/// With `cfg.period ≥ k` or a very fine `step`/wide `regbin_bits`, the
+/// result converges to the exact [`matmul`].
+///
+/// # Errors
+///
+/// Returns the same shape errors as [`matmul`].
+pub fn truncated_matmul(a: &Tensor, b: &Tensor, cfg: &TruncationConfig) -> Result<Tensor> {
+    if a.rank() != 2 || b.rank() != 2 || a.dims()[1] != b.dims()[0] {
+        return Err(TensorError::IncompatibleShapes {
+            op: "truncated_matmul",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut regbin = 0.0f32;
+            let mut ir = 0.0f32;
+            let mut in_ir = 0usize;
+            for p in 0..k {
+                ir += ad[i * k + p] * bd[p * n + j];
+                in_ir += 1;
+                if in_ir == cfg.period {
+                    regbin = cfg.truncate(regbin + ir);
+                    ir = 0.0;
+                    in_ir = 0;
+                }
+            }
+            if in_ir > 0 {
+                regbin = cfg.truncate(regbin + ir);
+            }
+            out[i * n + j] = regbin;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Root-mean-square error between the truncated and exact products for a
+/// given workload — the quantity the Fig. 9 sweep reports (normalized into
+/// an accuracy-loss proxy by the experiment driver).
+///
+/// # Errors
+///
+/// Returns the same shape errors as [`matmul`].
+pub fn truncation_rmse(a: &Tensor, b: &Tensor, cfg: &TruncationConfig) -> Result<f32> {
+    let exact = matmul(a, b)?;
+    let approx = truncated_matmul(a, b, cfg)?;
+    let diff = exact.sub(&approx)?;
+    Ok(diff.norm_l2() / (diff.len() as f32).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload(m: usize, k: usize, n: usize) -> (Tensor, Tensor) {
+        let a = Tensor::from_fn(&[m, k], |i| ((i as f32) * 0.37).sin() * 0.5);
+        let b = Tensor::from_fn(&[k, n], |i| ((i as f32) * 0.73).cos() * 0.5);
+        (a, b)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(TruncationConfig::new(0, 8, 0.01).is_err());
+        assert!(TruncationConfig::new(4, 1, 0.01).is_err());
+        assert!(TruncationConfig::new(4, 8, 0.0).is_err());
+        assert!(TruncationConfig::new(4, 8, 0.01).is_ok());
+    }
+
+    #[test]
+    fn truncate_rounds_toward_zero_and_clamps() {
+        let cfg = TruncationConfig::new(1, 4, 0.5).unwrap(); // levels -8..=7
+        assert_eq!(cfg.truncate(1.3), 1.0);
+        assert_eq!(cfg.truncate(-1.3), -1.0);
+        assert_eq!(cfg.truncate(100.0), 3.5); // clamp at 7 * 0.5
+        assert_eq!(cfg.truncate(-100.0), -4.0);
+        assert_eq!(cfg.max_value(), 3.5);
+    }
+
+    #[test]
+    fn wide_regbin_matches_exact() {
+        let (a, b) = workload(3, 16, 3);
+        let cfg = TruncationConfig::new(1, 30, 1e-6).unwrap();
+        let exact = matmul(&a, &b).unwrap();
+        let approx = truncated_matmul(&a, &b, &cfg).unwrap();
+        let err = exact.sub(&approx).unwrap().norm_l2();
+        assert!(err < 1e-3, "err {err}");
+    }
+
+    #[test]
+    fn longer_period_reduces_error() {
+        // The Fig. 9 effect: with coarse RegBins, increasing T recovers
+        // accuracy because fewer truncations happen.
+        let (a, b) = workload(4, 64, 4);
+        let coarse = |t: usize| {
+            let cfg = TruncationConfig::new(t, 8, 0.05).unwrap();
+            truncation_rmse(&a, &b, &cfg).unwrap()
+        };
+        let e1 = coarse(1);
+        let e8 = coarse(8);
+        let e64 = coarse(64);
+        assert!(e8 <= e1, "T=8 ({e8}) should beat T=1 ({e1})");
+        assert!(e64 <= e8, "T=64 ({e64}) should beat T=8 ({e8})");
+    }
+
+    #[test]
+    fn more_bits_reduce_error() {
+        let (a, b) = workload(4, 64, 4);
+        let err = |bits: u32| {
+            // Halve the step per extra bit so the representable range stays
+            // comparable while the resolution improves.
+            let step = 0.8 / (1u64 << (bits - 1)) as f32;
+            let cfg = TruncationConfig::new(1, bits, step).unwrap();
+            truncation_rmse(&a, &b, &cfg).unwrap()
+        };
+        assert!(err(16) <= err(8));
+        assert!(err(8) <= err(4));
+    }
+
+    #[test]
+    fn period_covering_k_truncates_once() {
+        let (a, b) = workload(2, 10, 2);
+        let cfg = TruncationConfig::new(100, 8, 0.01).unwrap();
+        let approx = truncated_matmul(&a, &b, &cfg).unwrap();
+        // Single truncation at the end: error bounded by one step.
+        let exact = matmul(&a, &b).unwrap();
+        for (x, y) in exact.as_slice().iter().zip(approx.as_slice()) {
+            assert!((x - y).abs() <= cfg.step + 1e-6);
+        }
+    }
+
+    #[test]
+    fn shape_errors_propagate() {
+        let cfg = TruncationConfig::new(4, 8, 0.01).unwrap();
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(truncated_matmul(&a, &b, &cfg).is_err());
+    }
+}

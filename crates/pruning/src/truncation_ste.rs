@@ -1,0 +1,113 @@
+//! Truncation-aware training (the paper's Section 7.2 future work,
+//! implemented): a straight-through-estimator layer that applies CSP-H's
+//! periodic partial-sum truncation during the forward pass while passing
+//! gradients through unchanged, so fine-tuning adapts the weights to the
+//! truncated datapath.
+//!
+//! Placed after a convolution or linear layer, [`TruncationSte`] makes the
+//! training loop see exactly the values the 8-bit RegBins would produce;
+//! the STE backward keeps optimization stable (truncation's derivative is
+//! zero almost everywhere, so the identity surrogate is the standard
+//! choice).
+
+use crate::truncation::TruncationConfig;
+use csp_nn::Layer;
+use csp_tensor::{Result, Tensor};
+
+/// Straight-through truncation layer.
+pub struct TruncationSte {
+    cfg: TruncationConfig,
+}
+
+impl TruncationSte {
+    /// Truncate forward values under `cfg` (the same configuration the
+    /// CSP-H simulator uses).
+    pub fn new(cfg: TruncationConfig) -> Self {
+        TruncationSte { cfg }
+    }
+
+    /// The truncation configuration.
+    pub fn config(&self) -> &TruncationConfig {
+        &self.cfg
+    }
+}
+
+impl Layer for TruncationSte {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Result<Tensor> {
+        Ok(x.map(|v| self.cfg.truncate(v)))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        // Straight-through estimator: identity gradient.
+        Ok(grad_out.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "truncation_ste"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_nn::data::ClusterImages;
+    use csp_nn::seeded_rng;
+    use csp_nn::Sequential;
+    use csp_nn::Sgd;
+    use csp_nn::{eval_classifier, train_classifier, TrainOptions};
+    use csp_nn::{Conv2d, Flatten, Linear, Relu};
+
+    fn trunc_cfg() -> TruncationConfig {
+        TruncationConfig::new(1, 8, 0.5).unwrap() // aggressive: visible loss
+    }
+
+    #[test]
+    fn forward_truncates_backward_is_identity() {
+        let mut ste = TruncationSte::new(trunc_cfg());
+        let x = Tensor::from_vec(vec![0.3, -0.7, 1.26], &[3]).unwrap();
+        let y = ste.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, -0.5, 1.0]);
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        assert_eq!(ste.backward(&g).unwrap(), g);
+    }
+
+    #[test]
+    fn truncation_aware_training_learns_through_the_truncated_datapath() {
+        // Train a CNN whose conv outputs pass through aggressive
+        // truncation. With the STE the model must still learn the task —
+        // the weights adapt to the coarse grid (the future-work claim).
+        let mut rng = seeded_rng(50);
+        let ds = ClusterImages::generate(&mut rng, 48, 4, 1, 8, 0.2);
+        let mut rng = seeded_rng(51);
+        let mut aware = Sequential::new(vec![
+            Box::new(Conv2d::new(&mut rng, 1, 8, 3, 1, 1)),
+            Box::new(TruncationSte::new(trunc_cfg())),
+            Box::new(Relu::new()),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(&mut rng, 8 * 8 * 8, 4)),
+        ]);
+        let mut opt = Sgd::new(0.05).with_momentum(0.9, true);
+        let ds2 = ds.clone();
+        train_classifier(
+            &mut aware,
+            move |b| ds2.batch(b * 8, 8),
+            6,
+            &mut opt,
+            &TrainOptions {
+                epochs: 15,
+                batch_size: 8,
+                ..Default::default()
+            },
+            None,
+            None,
+        )
+        .unwrap();
+        // Evaluate *with truncation active* (same architecture).
+        let ds3 = ds.clone();
+        let acc = eval_classifier(&mut aware, move |b| ds3.batch(b * 8, 8), 6).unwrap();
+        assert!(
+            acc > 0.8,
+            "truncation-aware training failed to adapt: accuracy {acc}"
+        );
+    }
+}

@@ -1,0 +1,327 @@
+//! *Weaved compression* — the CSP compressed weight format (Section 3.3).
+//!
+//! For a cascade-closed filter matrix, each row's surviving chunks are a
+//! prefix, so the whole matrix compresses to a *chunk counts* array plus the
+//! densely stacked surviving chunks. Unlike CSR there are no row/column
+//! pointers and no indirect addressing: both the weight payload and the
+//! activation stream are accessed strictly sequentially.
+//!
+//! The format optionally groups `T` rows (`T`-row grouping) to match the
+//! feeding patterns of the IpOS/IpWS dataflows, where the PE array processes
+//! `T` filter rows concurrently and interleaves their chunks.
+
+use crate::layout::ChunkedLayout;
+use crate::pruner::CspMask;
+use csp_tensor::{Result, Tensor, TensorError};
+
+/// A weaved-compressed filter matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Weaved {
+    /// Surviving chunk count per filter row (`len == M`).
+    pub chunk_counts: Vec<usize>,
+    /// Densely stacked surviving chunks: for row `j`, chunks
+    /// `0..chunk_counts[j]` in order, each `chunk_width` values.
+    pub payload: Vec<f32>,
+    /// The chunking layout of the original matrix.
+    pub layout: ChunkedLayout,
+}
+
+/// One `T`-row feeding group: rows `rows[0]..rows[T-1]` processed together,
+/// interleaved chunk-by-chunk up to the group's maximum chunk count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowGroup {
+    /// Filter-row indices in this group (≤ `T` rows; the final group may be
+    /// smaller).
+    pub rows: Vec<usize>,
+    /// Chunk count of each row in the group.
+    pub counts: Vec<usize>,
+    /// `max(counts)` — the number of chunk steps the group occupies.
+    pub max_count: usize,
+}
+
+impl Weaved {
+    /// Compress `w` under `mask`. The mask's pruned entries are dropped; its
+    /// surviving chunks are copied verbatim (including any zeros within a
+    /// surviving chunk — weaved compression is chunk-granular).
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `w` does not match the mask's layout.
+    pub fn compress(w: &Tensor, mask: &CspMask) -> Result<Self> {
+        let layout = mask.layout;
+        layout.check(w)?;
+        let c_out = layout.c_out();
+        let mut payload = Vec::new();
+        for (j, &count) in mask.chunk_counts.iter().enumerate() {
+            for n in 0..count {
+                let (s, e) = layout.chunk_cols(n);
+                payload.extend_from_slice(&w.as_slice()[j * c_out + s..j * c_out + e]);
+            }
+        }
+        Ok(Weaved {
+            chunk_counts: mask.chunk_counts.clone(),
+            payload,
+            layout,
+        })
+    }
+
+    /// Reconstruct the dense matrix (pruned positions become zero).
+    pub fn decompress(&self) -> Tensor {
+        let l = self.layout;
+        let mut out = Tensor::zeros(&[l.m(), l.c_out()]);
+        let mut cursor = 0usize;
+        for (j, &count) in self.chunk_counts.iter().enumerate() {
+            for n in 0..count {
+                let (s, e) = l.chunk_cols(n);
+                let width = e - s;
+                out.as_mut_slice()[j * l.c_out() + s..j * l.c_out() + e]
+                    .copy_from_slice(&self.payload[cursor..cursor + width]);
+                cursor += width;
+            }
+        }
+        out
+    }
+
+    /// Borrow the surviving chunk `n` of row `j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] when the chunk was pruned
+    /// or indices are out of range.
+    pub fn chunk(&self, j: usize, n: usize) -> Result<&[f32]> {
+        if j >= self.layout.m() || n >= *self.chunk_counts.get(j).unwrap_or(&0) {
+            return Err(TensorError::InvalidParameter {
+                what: format!("chunk ({j},{n}) not present"),
+            });
+        }
+        let mut cursor = 0usize;
+        for (row, &count) in self.chunk_counts.iter().enumerate().take(j) {
+            let _ = row;
+            for c in 0..count {
+                cursor += self.layout.chunk_width(c);
+            }
+        }
+        for c in 0..n {
+            cursor += self.layout.chunk_width(c);
+        }
+        Ok(&self.payload[cursor..cursor + self.layout.chunk_width(n)])
+    }
+
+    /// Number of stored weight values (the payload is 100 % dense).
+    pub fn nnz(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Validate internal consistency: the chunk-count vector must match
+    /// the layout's row count, every count must be within `N`, and the
+    /// payload length must equal the total width of the counted chunks.
+    /// Detects corruption (truncated payloads, tampered counts) before it
+    /// becomes silent wrong answers downstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] describing the first
+    /// inconsistency found.
+    pub fn validate(&self) -> Result<()> {
+        if self.chunk_counts.len() != self.layout.m() {
+            return Err(TensorError::InvalidParameter {
+                what: format!(
+                    "chunk_counts length {} != M {}",
+                    self.chunk_counts.len(),
+                    self.layout.m()
+                ),
+            });
+        }
+        let n = self.layout.n_chunks();
+        let mut expected = 0usize;
+        for (j, &count) in self.chunk_counts.iter().enumerate() {
+            if count > n {
+                return Err(TensorError::InvalidParameter {
+                    what: format!("row {j} chunk count {count} exceeds N={n}"),
+                });
+            }
+            expected += (0..count)
+                .map(|c| self.layout.chunk_width(c))
+                .sum::<usize>();
+        }
+        if expected != self.payload.len() {
+            return Err(TensorError::InvalidParameter {
+                what: format!(
+                    "payload length {} does not match counted chunks ({expected})",
+                    self.payload.len()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Storage size in bytes assuming 8-bit weights and one byte per chunk
+    /// count (counts ≤ 62 always fit). This is the quantity charged to
+    /// weight traffic by the CSP-H simulator.
+    pub fn size_bytes(&self) -> usize {
+        self.payload.len() + self.chunk_counts.len()
+    }
+
+    /// Compression ratio versus the dense 8-bit matrix.
+    pub fn compression_ratio(&self) -> f32 {
+        let dense = self.layout.m() * self.layout.c_out();
+        dense as f32 / self.size_bytes().max(1) as f32
+    }
+
+    /// Logical `T`-row groups for the dataflow feeding pattern
+    /// (Sections 5.3/5.4). Rows are grouped in the given order; pass a
+    /// permutation (e.g. from
+    /// [`reorder_rows_for_ipws`](crate::reorder_rows_for_ipws)) to group
+    /// reordered rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0` or `order` contains an out-of-range row.
+    pub fn row_groups(&self, t: usize, order: &[usize]) -> Vec<RowGroup> {
+        assert!(t > 0, "T must be positive");
+        order
+            .chunks(t)
+            .map(|rows| {
+                let counts: Vec<usize> = rows.iter().map(|&r| self.chunk_counts[r]).collect();
+                let max_count = counts.iter().copied().max().unwrap_or(0);
+                RowGroup {
+                    rows: rows.to_vec(),
+                    counts,
+                    max_count,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pruner::CspMask;
+
+    fn layout(m: usize, c: usize, cs: usize) -> ChunkedLayout {
+        ChunkedLayout::new(m, c, cs).unwrap()
+    }
+
+    fn example() -> (Tensor, CspMask) {
+        let l = layout(3, 6, 2);
+        let w = Tensor::from_fn(&[3, 6], |i| (i + 1) as f32);
+        let mask = CspMask::from_chunk_counts(l, vec![3, 1, 0]).unwrap();
+        (w, mask)
+    }
+
+    #[test]
+    fn compress_payload_contents() {
+        let (w, mask) = example();
+        let wv = Weaved::compress(&w, &mask).unwrap();
+        // Row 0 keeps all 6 values, row 1 keeps cols 0..2, row 2 nothing.
+        assert_eq!(wv.payload, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(wv.nnz(), 8);
+        assert_eq!(wv.size_bytes(), 8 + 3);
+    }
+
+    #[test]
+    fn round_trip_masked_matrix() {
+        let (w, mask) = example();
+        let wv = Weaved::compress(&w, &mask).unwrap();
+        let rebuilt = wv.decompress();
+        assert_eq!(rebuilt, mask.apply(&w).unwrap());
+    }
+
+    #[test]
+    fn chunk_accessor() {
+        let (w, mask) = example();
+        let wv = Weaved::compress(&w, &mask).unwrap();
+        assert_eq!(wv.chunk(0, 2).unwrap(), &[5.0, 6.0]);
+        assert_eq!(wv.chunk(1, 0).unwrap(), &[7.0, 8.0]);
+        assert!(wv.chunk(1, 1).is_err()); // pruned
+        assert!(wv.chunk(2, 0).is_err()); // empty row
+        assert!(wv.chunk(9, 0).is_err()); // out of range
+    }
+
+    #[test]
+    fn partial_last_chunk_round_trip() {
+        let l = layout(2, 5, 2); // chunks: 2,2,1
+        let w = Tensor::from_fn(&[2, 5], |i| i as f32 + 1.0);
+        let mask = CspMask::from_chunk_counts(l, vec![3, 2]).unwrap();
+        let wv = Weaved::compress(&w, &mask).unwrap();
+        assert_eq!(wv.decompress(), mask.apply(&w).unwrap());
+        // Row 0 keeps 5 values, row 1 keeps 4.
+        assert_eq!(wv.nnz(), 9);
+    }
+
+    #[test]
+    fn compression_ratio_improves_with_sparsity() {
+        let l = layout(4, 8, 2);
+        let w = Tensor::ones(&[4, 8]);
+        let sparse = CspMask::from_chunk_counts(l, vec![1, 1, 0, 0]).unwrap();
+        let dense = CspMask::dense(l);
+        let rs = Weaved::compress(&w, &sparse).unwrap().compression_ratio();
+        let rd = Weaved::compress(&w, &dense).unwrap().compression_ratio();
+        assert!(rs > rd);
+        assert!(rd <= 1.0); // counts overhead makes dense slightly worse
+    }
+
+    #[test]
+    fn row_groups_t2() {
+        let (w, mask) = example();
+        let wv = Weaved::compress(&w, &mask).unwrap();
+        let groups = wv.row_groups(2, &[0, 1, 2]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].rows, vec![0, 1]);
+        assert_eq!(groups[0].counts, vec![3, 1]);
+        assert_eq!(groups[0].max_count, 3);
+        assert_eq!(groups[1].rows, vec![2]);
+        assert_eq!(groups[1].max_count, 0);
+    }
+
+    #[test]
+    fn row_groups_respect_order() {
+        let (w, mask) = example();
+        let wv = Weaved::compress(&w, &mask).unwrap();
+        let groups = wv.row_groups(2, &[2, 0, 1]);
+        assert_eq!(groups[0].rows, vec![2, 0]);
+        assert_eq!(groups[0].max_count, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn row_groups_zero_t_panics() {
+        let (w, mask) = example();
+        let wv = Weaved::compress(&w, &mask).unwrap();
+        let _ = wv.row_groups(0, &[0, 1, 2]);
+    }
+
+    #[test]
+    fn validate_accepts_compressed_output() {
+        let (w, mask) = example();
+        let wv = Weaved::compress(&w, &mask).unwrap();
+        assert!(wv.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_detects_injected_corruption() {
+        let (w, mask) = example();
+        let wv = Weaved::compress(&w, &mask).unwrap();
+
+        // Truncated payload.
+        let mut broken = wv.clone();
+        broken.payload.pop();
+        assert!(broken.validate().is_err());
+
+        // Tampered chunk count (out of range).
+        let mut broken = wv.clone();
+        broken.chunk_counts[0] = 99;
+        assert!(broken.validate().is_err());
+
+        // Tampered chunk count (in range, payload now inconsistent).
+        let mut broken = wv.clone();
+        broken.chunk_counts[0] -= 1;
+        assert!(broken.validate().is_err());
+
+        // Wrong number of rows.
+        let mut broken = wv;
+        broken.chunk_counts.push(0);
+        assert!(broken.validate().is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! A first-order area model for PE arrays (Fig. 12's area comparison).
+//!
+//! Area is expressed in kilo-gate-equivalents (kGE) at the 65 nm node:
+//! registers dominate a PE's area, so the model charges a fixed cost per
+//! register bit, per 8×8-bit MAC, and per byte of SRAM buffer.
+
+/// Per-structure area coefficients (gate equivalents).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// Gate equivalents per flip-flop bit.
+    pub ge_per_reg_bit: f64,
+    /// Gate equivalents per 8×8-bit multiplier-accumulator.
+    pub ge_per_mac: f64,
+    /// Gate equivalents per byte of SRAM (amortized macro cost).
+    pub ge_per_sram_byte: f64,
+    /// Gate equivalents of fixed per-PE control (FSMs, muxes).
+    pub ge_control: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            ge_per_reg_bit: 8.0,
+            ge_per_mac: 420.0,
+            ge_per_sram_byte: 10.0,
+            ge_control: 150.0,
+        }
+    }
+}
+
+/// Area of one PE, split by structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeAreaBreakdown {
+    /// MAC unit area (GE).
+    pub mac_ge: f64,
+    /// Accumulation-register area (GE) — RegBins for CSP-H, the psum
+    /// register for conventional PEs.
+    pub accum_ge: f64,
+    /// Input/weight/IR register area (GE).
+    pub io_regs_ge: f64,
+    /// Control overhead (GE).
+    pub control_ge: f64,
+}
+
+impl PeAreaBreakdown {
+    /// Total PE area in gate equivalents.
+    pub fn total_ge(&self) -> f64 {
+        self.mac_ge + self.accum_ge + self.io_regs_ge + self.control_ge
+    }
+}
+
+impl AreaModel {
+    /// Area of a PE holding `accum_bits` of accumulation registers and
+    /// `io_reg_bits` of input/weight/IR registers.
+    pub fn pe(&self, accum_bits: usize, io_reg_bits: usize) -> PeAreaBreakdown {
+        PeAreaBreakdown {
+            mac_ge: self.ge_per_mac,
+            accum_ge: accum_bits as f64 * self.ge_per_reg_bit,
+            io_regs_ge: io_reg_bits as f64 * self.ge_per_reg_bit,
+            control_ge: self.ge_control,
+        }
+    }
+
+    /// Area of `bytes` of SRAM buffer.
+    pub fn sram(&self, bytes: usize) -> f64 {
+        bytes as f64 * self.ge_per_sram_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe_area_composition() {
+        let m = AreaModel::default();
+        // CSP-H PE: 62 accumulation entries ... 8-bit each = 496 bits,
+        // IR 32-bit + act/wgt 16-bit = 48 io bits.
+        let pe = m.pe(62 * 8, 48);
+        assert!(pe.total_ge() > 0.0);
+        let sum = pe.mac_ge + pe.accum_ge + pe.io_regs_ge + pe.control_ge;
+        assert!((pe.total_ge() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thirty_bit_psums_cost_more_than_8bit() {
+        let m = AreaModel::default();
+        let wide = m.pe(62 * 30, 48);
+        let narrow = m.pe(62 * 8, 48);
+        assert!(wide.total_ge() > narrow.total_ge());
+        // The accumulator difference is exactly 62*22 bits.
+        let diff = wide.accum_ge - narrow.accum_ge;
+        assert!((diff - 62.0 * 22.0 * m.ge_per_reg_bit).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sram_linear() {
+        let m = AreaModel::default();
+        assert!((m.sram(2048) - 2.0 * m.sram(1024)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,140 @@
+//! Unit-energy constants (Table 1 of the paper).
+//!
+//! All values are in picojoules. Memory energies are per byte; compute
+//! energies per operation. The defaults reproduce the paper's Table 1:
+//! off-chip DRAM at 766/780 pJ per byte (read/write), the per-accelerator
+//! global-buffer energies, and a synthesized-MAC dynamic energy of
+//! 0.081 pJ used for all baseline accelerators.
+
+/// Per-event energy constants, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyTable {
+    /// Off-chip DRAM read energy per byte.
+    pub dram_read_pj: f64,
+    /// Off-chip DRAM write energy per byte.
+    pub dram_write_pj: f64,
+    /// CSP-H input-activation GLB read (2 KB SRAM).
+    pub csp_inact_read_pj: f64,
+    /// CSP-H weight GLB read (50 KB SRAM).
+    pub csp_wgt_read_pj: f64,
+    /// CSP-H output-activation GLB write (20 KB SRAM).
+    pub csp_outact_write_pj: f64,
+    /// DianNao / Cambricon-X NBin-style buffer read (36 KB).
+    pub nb_read_pj: f64,
+    /// DianNao / Cambricon-X NBout-style buffer write (36 KB).
+    pub nb_write_pj: f64,
+    /// Cambricon-S NBin read (32 KB).
+    pub cs_nbin_read_pj: f64,
+    /// Cambricon-S NBout write (32 KB).
+    pub cs_nbout_write_pj: f64,
+    /// Cambricon-S shared-index buffer (SIB) read (8 KB).
+    pub cs_sib_read_pj: f64,
+    /// Dynamic energy of one 8-bit MAC (synthesized, baselines).
+    pub mac_pj: f64,
+    /// Dynamic energy of one register-bit toggle in a RegBin shift
+    /// (derived from the synthesized PE power model).
+    pub regbin_bit_toggle_pj: f64,
+    /// Leakage power per KB of on-chip SRAM, in mW.
+    pub sram_leak_mw_per_kb: f64,
+    /// Clock frequency in MHz (all accelerators scaled to 300 MHz).
+    pub clock_mhz: f64,
+}
+
+impl Default for EnergyTable {
+    fn default() -> Self {
+        EnergyTable {
+            dram_read_pj: 766.0,
+            dram_write_pj: 780.0,
+            csp_inact_read_pj: 0.84,
+            csp_wgt_read_pj: 1.76,
+            csp_outact_write_pj: 2.83,
+            nb_read_pj: 1.51,
+            nb_write_pj: 2.98,
+            cs_nbin_read_pj: 1.44,
+            cs_nbout_write_pj: 2.64,
+            cs_sib_read_pj: 1.01,
+            mac_pj: 0.081,
+            regbin_bit_toggle_pj: 0.0025,
+            sram_leak_mw_per_kb: 0.25,
+            clock_mhz: 300.0,
+        }
+    }
+}
+
+impl EnergyTable {
+    /// Leakage energy in pJ for `bytes` of SRAM held for `cycles` cycles.
+    pub fn sram_leak_pj(&self, bytes: usize, cycles: u64) -> f64 {
+        let kb = bytes as f64 / 1024.0;
+        let seconds = cycles as f64 / (self.clock_mhz * 1e6);
+        // mW·s = mJ = 1e9 pJ.
+        kb * self.sram_leak_mw_per_kb * seconds * 1e9
+    }
+
+    /// Seconds taken by `cycles` cycles at the table's clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_mhz * 1e6)
+    }
+
+    /// Off-chip bytes transferable per core cycle for the Table 1 memory
+    /// system (DDR3, 64-bit bus at 800 MHz data rate, against the 300 MHz
+    /// core clock): `8 B × 800 / 300 ≈ 21.3 B/cycle`.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        8.0 * 800.0 / self.clock_mhz
+    }
+
+    /// Core cycles needed to move `bytes` over the DRAM interface — the
+    /// memory-bound lower bound on a layer's latency.
+    pub fn dram_bound_cycles(&self, bytes: u64) -> u64 {
+        (bytes as f64 / self.dram_bytes_per_cycle()).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table1() {
+        let t = EnergyTable::default();
+        assert_eq!(t.dram_read_pj, 766.0);
+        assert_eq!(t.dram_write_pj, 780.0);
+        assert_eq!(t.csp_inact_read_pj, 0.84);
+        assert_eq!(t.csp_wgt_read_pj, 1.76);
+        assert_eq!(t.csp_outact_write_pj, 2.83);
+        assert_eq!(t.nb_read_pj, 1.51);
+        assert_eq!(t.nb_write_pj, 2.98);
+        assert_eq!(t.mac_pj, 0.081);
+        assert_eq!(t.clock_mhz, 300.0);
+    }
+
+    #[test]
+    fn dram_read_dominates_sram_read() {
+        let t = EnergyTable::default();
+        assert!(t.dram_read_pj / t.csp_inact_read_pj > 500.0);
+    }
+
+    #[test]
+    fn leak_scales_linearly() {
+        let t = EnergyTable::default();
+        let one = t.sram_leak_pj(1024, 300);
+        assert!(one > 0.0);
+        assert!((t.sram_leak_pj(2048, 300) - 2.0 * one).abs() < 1e-9);
+        assert!((t.sram_leak_pj(1024, 600) - 2.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_bandwidth_model() {
+        let t = EnergyTable::default();
+        assert!((t.dram_bytes_per_cycle() - 21.333).abs() < 0.01);
+        // 21333 bytes need ~1000 cycles.
+        let c = t.dram_bound_cycles(21_333);
+        assert!((999..=1001).contains(&c), "cycles {c}");
+        assert_eq!(t.dram_bound_cycles(0), 0);
+    }
+
+    #[test]
+    fn cycles_to_seconds_at_300mhz() {
+        let t = EnergyTable::default();
+        assert!((t.cycles_to_seconds(300_000_000) - 1.0).abs() < 1e-9);
+    }
+}

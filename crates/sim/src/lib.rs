@@ -1,0 +1,37 @@
+//! # csp-sim
+//!
+//! The shared simulation substrate for all accelerator models in the CSP
+//! reproduction: unit-energy tables (Table 1 of the paper), memory-traffic
+//! counters, an area model, and energy-breakdown reporting.
+//!
+//! The paper's evaluation methodology boils down to *events × unit energy*:
+//! cycle counts and data-movement traces are produced by cycle-level
+//! simulation, then multiplied by per-byte (memory) and per-MAC (compute)
+//! energies obtained from synthesis/CACTI. This crate holds exactly those
+//! constants and the bookkeeping types every simulator shares.
+//!
+//! ## Example
+//!
+//! ```
+//! use csp_sim::{EnergyTable, MemoryPort, TrafficClass};
+//!
+//! let table = EnergyTable::default();
+//! let mut dram = MemoryPort::new("DRAM", table.dram_read_pj, table.dram_write_pj);
+//! dram.read(1024, TrafficClass::IfmUnique);
+//! assert!(dram.energy_pj() > 700_000.0); // 1 KiB at 766 pJ/B
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod energy;
+mod memory;
+mod report;
+mod sram;
+
+pub use area::{AreaModel, PeAreaBreakdown};
+pub use energy::EnergyTable;
+pub use memory::{MemoryPort, TrafficClass};
+pub use report::{format_table, EnergyBreakdown, RunResult};
+pub use sram::{sram_read_pj_per_byte, sram_write_pj_per_byte};

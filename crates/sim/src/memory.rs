@@ -1,0 +1,197 @@
+//! Memory-traffic counters with per-class attribution.
+
+use std::collections::BTreeMap;
+
+/// What a memory transfer carries — used to attribute energy (Figs. 1/11:
+/// unique vs re-fetched IFM data is the paper's central distinction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TrafficClass {
+    /// First-time fetch of unique input-feature-map data ("IFM U").
+    IfmUnique,
+    /// Re-fetch of input-feature-map data already read before ("IFM RR").
+    IfmRefetch,
+    /// Weight data.
+    Weight,
+    /// Weight metadata (chunk counts, bit-masks, indices).
+    WeightMeta,
+    /// Output-feature-map data.
+    Ofm,
+    /// Partial sums spilled/reloaded outside the PE.
+    PartialSum,
+}
+
+impl TrafficClass {
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrafficClass::IfmUnique => "IFM U",
+            TrafficClass::IfmRefetch => "IFM RR",
+            TrafficClass::Weight => "WGT",
+            TrafficClass::WeightMeta => "META",
+            TrafficClass::Ofm => "OFM",
+            TrafficClass::PartialSum => "PSUM",
+        }
+    }
+
+    /// All classes, for iteration in reports.
+    pub fn all() -> [TrafficClass; 6] {
+        [
+            TrafficClass::IfmUnique,
+            TrafficClass::IfmRefetch,
+            TrafficClass::Weight,
+            TrafficClass::WeightMeta,
+            TrafficClass::Ofm,
+            TrafficClass::PartialSum,
+        ]
+    }
+}
+
+/// A memory endpoint (DRAM, a GLB bank, ...) that counts bytes moved per
+/// traffic class and converts them to energy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryPort {
+    name: &'static str,
+    read_pj_per_byte: f64,
+    write_pj_per_byte: f64,
+    reads: BTreeMap<TrafficClass, u64>,
+    writes: BTreeMap<TrafficClass, u64>,
+}
+
+impl MemoryPort {
+    /// A port with the given per-byte energies.
+    pub fn new(name: &'static str, read_pj_per_byte: f64, write_pj_per_byte: f64) -> Self {
+        MemoryPort {
+            name,
+            read_pj_per_byte,
+            write_pj_per_byte,
+            reads: BTreeMap::new(),
+            writes: BTreeMap::new(),
+        }
+    }
+
+    /// Port name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record `bytes` read as `class`.
+    pub fn read(&mut self, bytes: u64, class: TrafficClass) {
+        *self.reads.entry(class).or_insert(0) += bytes;
+    }
+
+    /// Record `bytes` written as `class`.
+    pub fn write(&mut self, bytes: u64, class: TrafficClass) {
+        *self.writes.entry(class).or_insert(0) += bytes;
+    }
+
+    /// Total bytes read.
+    pub fn bytes_read(&self) -> u64 {
+        self.reads.values().sum()
+    }
+
+    /// Total bytes written.
+    pub fn bytes_written(&self) -> u64 {
+        self.writes.values().sum()
+    }
+
+    /// Bytes read in one class.
+    pub fn bytes_read_class(&self, class: TrafficClass) -> u64 {
+        *self.reads.get(&class).unwrap_or(&0)
+    }
+
+    /// Bytes written in one class.
+    pub fn bytes_written_class(&self, class: TrafficClass) -> u64 {
+        *self.writes.get(&class).unwrap_or(&0)
+    }
+
+    /// Total energy of all recorded traffic, in pJ.
+    pub fn energy_pj(&self) -> f64 {
+        self.bytes_read() as f64 * self.read_pj_per_byte
+            + self.bytes_written() as f64 * self.write_pj_per_byte
+    }
+
+    /// Energy attributable to one traffic class, in pJ.
+    pub fn energy_pj_class(&self, class: TrafficClass) -> f64 {
+        self.bytes_read_class(class) as f64 * self.read_pj_per_byte
+            + self.bytes_written_class(class) as f64 * self.write_pj_per_byte
+    }
+
+    /// Merge another port's counters into this one (used to aggregate
+    /// per-layer ports into a whole-network total).
+    pub fn absorb(&mut self, other: &MemoryPort) {
+        for (c, b) in &other.reads {
+            *self.reads.entry(*c).or_insert(0) += b;
+        }
+        for (c, b) in &other.writes {
+            *self.writes.entry(*c).or_insert(0) += b;
+        }
+    }
+
+    /// Clear all counters.
+    pub fn reset(&mut self) {
+        self.reads.clear();
+        self.writes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_energy() {
+        let mut p = MemoryPort::new("DRAM", 766.0, 780.0);
+        p.read(100, TrafficClass::IfmUnique);
+        p.read(50, TrafficClass::IfmRefetch);
+        p.write(10, TrafficClass::Ofm);
+        assert_eq!(p.bytes_read(), 150);
+        assert_eq!(p.bytes_written(), 10);
+        assert_eq!(p.bytes_read_class(TrafficClass::IfmUnique), 100);
+        let expected = 150.0 * 766.0 + 10.0 * 780.0;
+        assert!((p.energy_pj() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_class_energy_sums_to_total() {
+        let mut p = MemoryPort::new("GLB", 1.5, 3.0);
+        p.read(10, TrafficClass::Weight);
+        p.read(20, TrafficClass::IfmUnique);
+        p.write(5, TrafficClass::Ofm);
+        p.write(7, TrafficClass::PartialSum);
+        let sum: f64 = TrafficClass::all()
+            .iter()
+            .map(|&c| p.energy_pj_class(c))
+            .sum();
+        assert!((sum - p.energy_pj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = MemoryPort::new("A", 1.0, 1.0);
+        let mut b = MemoryPort::new("B", 1.0, 1.0);
+        a.read(5, TrafficClass::Weight);
+        b.read(7, TrafficClass::Weight);
+        b.write(2, TrafficClass::Ofm);
+        a.absorb(&b);
+        assert_eq!(a.bytes_read_class(TrafficClass::Weight), 12);
+        assert_eq!(a.bytes_written(), 2);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut p = MemoryPort::new("X", 1.0, 1.0);
+        p.read(5, TrafficClass::Weight);
+        p.reset();
+        assert_eq!(p.bytes_read(), 0);
+        assert_eq!(p.energy_pj(), 0.0);
+    }
+
+    #[test]
+    fn labels_are_short_and_distinct() {
+        let labels: Vec<&str> = TrafficClass::all().iter().map(|c| c.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+    }
+}

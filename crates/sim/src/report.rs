@@ -1,0 +1,235 @@
+//! Energy-breakdown bookkeeping and plain-text table rendering for the
+//! experiment drivers.
+
+use std::collections::BTreeMap;
+
+/// A named energy breakdown, in picojoules per component.
+///
+/// Components sum to [`total_pj`](Self::total_pj); the experiment drivers
+/// rely on that invariant when printing stacked breakdowns (Figs. 11/12).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    components: BTreeMap<String, f64>,
+}
+
+impl EnergyBreakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `pj` to component `name`.
+    pub fn add(&mut self, name: impl Into<String>, pj: f64) {
+        *self.components.entry(name.into()).or_insert(0.0) += pj;
+    }
+
+    /// Energy of one component (0 when absent).
+    pub fn component(&self, name: &str) -> f64 {
+        *self.components.get(name).unwrap_or(&0.0)
+    }
+
+    /// All components, sorted by name.
+    pub fn components(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.components.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Sum of all components, in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.components.values().sum()
+    }
+
+    /// Fraction of the total contributed by `name` (0 for an empty total).
+    pub fn fraction(&self, name: &str) -> f64 {
+        let t = self.total_pj();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.component(name) / t
+        }
+    }
+
+    /// Merge another breakdown into this one.
+    pub fn absorb(&mut self, other: &EnergyBreakdown) {
+        for (k, v) in &other.components {
+            self.add(k.clone(), *v);
+        }
+    }
+}
+
+/// The result of simulating one inference on one accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Accelerator name.
+    pub accelerator: String,
+    /// Network name.
+    pub network: String,
+    /// Total cycles for one inference.
+    pub cycles: u64,
+    /// Energy breakdown (pJ).
+    pub energy: EnergyBreakdown,
+    /// MAC operations actually executed (after sparsity skipping).
+    pub macs_executed: u64,
+}
+
+impl RunResult {
+    /// Total energy in pJ.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.energy.total_pj()
+    }
+
+    /// Inferences per joule — the paper's energy-efficiency metric.
+    pub fn inferences_per_joule(&self) -> f64 {
+        1e12 / self.total_energy_pj().max(1e-12)
+    }
+
+    /// Average power in watts at the given clock (energy over runtime).
+    pub fn average_power_w(&self, clock_mhz: f64) -> f64 {
+        let seconds = self.cycles as f64 / (clock_mhz * 1e6);
+        (self.total_energy_pj() / 1e12) / seconds.max(1e-12)
+    }
+
+    /// Speedup of `self` relative to `base` (cycles ratio).
+    pub fn speedup_vs(&self, base: &RunResult) -> f64 {
+        base.cycles as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Energy-efficiency improvement of `self` relative to `base`.
+    pub fn efficiency_vs(&self, base: &RunResult) -> f64 {
+        base.total_energy_pj() / self.total_energy_pj().max(1e-12)
+    }
+}
+
+/// Render rows as a plain-text table with right-aligned numeric columns.
+/// `header` names the columns; every row must have the same arity.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    for r in rows {
+        assert_eq!(r.len(), header.len(), "row arity mismatch");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if i == 0 {
+                    format!("{:<w$}", c, w = widths[i])
+                } else {
+                    format!("{:>w$}", c, w = widths[i])
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accumulates() {
+        let mut b = EnergyBreakdown::new();
+        b.add("dram", 100.0);
+        b.add("dram", 50.0);
+        b.add("glb", 10.0);
+        assert_eq!(b.component("dram"), 150.0);
+        assert_eq!(b.total_pj(), 160.0);
+        assert!((b.fraction("dram") - 150.0 / 160.0).abs() < 1e-12);
+        assert_eq!(b.component("missing"), 0.0);
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = EnergyBreakdown::new();
+        a.add("x", 1.0);
+        let mut b = EnergyBreakdown::new();
+        b.add("x", 2.0);
+        b.add("y", 3.0);
+        a.absorb(&b);
+        assert_eq!(a.component("x"), 3.0);
+        assert_eq!(a.component("y"), 3.0);
+    }
+
+    #[test]
+    fn average_power_from_energy_and_cycles() {
+        let mut e = EnergyBreakdown::new();
+        e.add("total", 3e12); // 3 J
+        let r = RunResult {
+            accelerator: "X".into(),
+            network: "Y".into(),
+            cycles: 300_000_000, // 1 s at 300 MHz
+            energy: e,
+            macs_executed: 1,
+        };
+        assert!((r.average_power_w(300.0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_result_metrics() {
+        let mut e1 = EnergyBreakdown::new();
+        e1.add("total", 2e12); // 2 J
+        let base = RunResult {
+            accelerator: "DianNao".into(),
+            network: "VGG-16".into(),
+            cycles: 1000,
+            energy: e1,
+            macs_executed: 10,
+        };
+        let mut e2 = EnergyBreakdown::new();
+        e2.add("total", 1e12); // 1 J
+        let fast = RunResult {
+            accelerator: "CSP-H".into(),
+            network: "VGG-16".into(),
+            cycles: 500,
+            energy: e2,
+            macs_executed: 10,
+        };
+        assert!((fast.speedup_vs(&base) - 2.0).abs() < 1e-12);
+        assert!((fast.efficiency_vs(&base) - 2.0).abs() < 1e-12);
+        assert!((fast.inferences_per_joule() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = format_table(
+            &["name", "val"],
+            &[
+                vec!["alpha".into(), "1.0".into()],
+                vec!["b".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].starts_with("alpha"));
+        // Right-aligned numeric column.
+        assert!(lines[2].ends_with("1.0"));
+        assert!(lines[3].ends_with("12345"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_ragged_rows() {
+        let _ = format_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

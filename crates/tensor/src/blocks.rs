@@ -1,0 +1,186 @@
+//! Row/column block operations on matrices.
+//!
+//! These are the small data-movement primitives the attention layers and
+//! branch containers are built from: extracting a column band of a matrix
+//! (one attention head's slice), scatter-adding it back, and stacking
+//! matrices vertically.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+fn check_matrix(x: &Tensor, op: &'static str) -> Result<(usize, usize), TensorError> {
+    if x.rank() != 2 {
+        return Err(TensorError::InvalidParameter {
+            what: format!("{op} requires rank 2, got {:?}", x.dims()),
+        });
+    }
+    Ok((x.dims()[0], x.dims()[1]))
+}
+
+/// Copy columns `[c0, c1)` of a matrix into a new `(rows, c1-c0)` matrix.
+///
+/// # Errors
+///
+/// Returns an error for non-matrix input or an invalid column range.
+pub fn col_block(x: &Tensor, c0: usize, c1: usize) -> Result<Tensor, TensorError> {
+    let (rows, cols) = check_matrix(x, "col_block")?;
+    if c0 > c1 || c1 > cols {
+        return Err(TensorError::InvalidParameter {
+            what: format!("column range {c0}..{c1} invalid for {cols} columns"),
+        });
+    }
+    let w = c1 - c0;
+    let mut out = Tensor::zeros(&[rows, w]);
+    for r in 0..rows {
+        out.as_mut_slice()[r * w..(r + 1) * w]
+            .copy_from_slice(&x.as_slice()[r * cols + c0..r * cols + c1]);
+    }
+    Ok(out)
+}
+
+/// Add `src` into columns `[c0, c0 + src_cols)` of `dst` in place.
+///
+/// # Errors
+///
+/// Returns an error when shapes or the placement don't fit.
+pub fn add_col_block(dst: &mut Tensor, src: &Tensor, c0: usize) -> Result<(), TensorError> {
+    let (rows, cols) = check_matrix(dst, "add_col_block")?;
+    let (srows, w) = check_matrix(src, "add_col_block")?;
+    if srows != rows || c0 + w > cols {
+        return Err(TensorError::IncompatibleShapes {
+            op: "add_col_block",
+            lhs: dst.dims().to_vec(),
+            rhs: src.dims().to_vec(),
+        });
+    }
+    for r in 0..rows {
+        for c in 0..w {
+            dst.as_mut_slice()[r * cols + c0 + c] += src.as_slice()[r * w + c];
+        }
+    }
+    Ok(())
+}
+
+/// Copy rows `[r0, r1)` of a matrix into a new `(r1-r0, cols)` matrix.
+///
+/// # Errors
+///
+/// Returns an error for non-matrix input or an invalid row range.
+pub fn row_block(x: &Tensor, r0: usize, r1: usize) -> Result<Tensor, TensorError> {
+    let (rows, cols) = check_matrix(x, "row_block")?;
+    if r0 > r1 || r1 > rows {
+        return Err(TensorError::InvalidParameter {
+            what: format!("row range {r0}..{r1} invalid for {rows} rows"),
+        });
+    }
+    Tensor::from_vec(
+        x.as_slice()[r0 * cols..r1 * cols].to_vec(),
+        &[r1 - r0, cols],
+    )
+}
+
+/// Stack matrices with equal column counts vertically.
+///
+/// # Errors
+///
+/// Returns an error for an empty list or mismatched column counts.
+pub fn vstack(parts: &[Tensor]) -> Result<Tensor, TensorError> {
+    let first = parts.first().ok_or_else(|| TensorError::InvalidParameter {
+        what: "vstack needs at least one matrix".into(),
+    })?;
+    let (_, cols) = check_matrix(first, "vstack")?;
+    let mut rows = 0usize;
+    let mut data = Vec::new();
+    for p in parts {
+        let (r, c) = check_matrix(p, "vstack")?;
+        if c != cols {
+            return Err(TensorError::IncompatibleShapes {
+                op: "vstack",
+                lhs: first.dims().to_vec(),
+                rhs: p.dims().to_vec(),
+            });
+        }
+        rows += r;
+        data.extend_from_slice(p.as_slice());
+    }
+    Tensor::from_vec(data, &[rows, cols])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> Tensor {
+        Tensor::from_fn(&[3, 4], |i| i as f32)
+    }
+
+    #[test]
+    fn col_block_extracts_band() {
+        let b = col_block(&m(), 1, 3).unwrap();
+        assert_eq!(b.dims(), &[3, 2]);
+        assert_eq!(b.as_slice(), &[1.0, 2.0, 5.0, 6.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn col_block_validates_range() {
+        assert!(col_block(&m(), 3, 2).is_err());
+        assert!(col_block(&m(), 0, 5).is_err());
+        assert!(col_block(&Tensor::zeros(&[4]), 0, 1).is_err());
+    }
+
+    #[test]
+    fn add_col_block_scatters() {
+        let mut dst = Tensor::zeros(&[3, 4]);
+        let src = Tensor::ones(&[3, 2]);
+        add_col_block(&mut dst, &src, 2).unwrap();
+        assert_eq!(dst.get(&[1, 2]).unwrap(), 1.0);
+        assert_eq!(dst.get(&[1, 1]).unwrap(), 0.0);
+        add_col_block(&mut dst, &src, 2).unwrap();
+        assert_eq!(dst.get(&[1, 3]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn add_col_block_validates_fit() {
+        let mut dst = Tensor::zeros(&[3, 4]);
+        let src = Tensor::ones(&[3, 2]);
+        assert!(add_col_block(&mut dst, &src, 3).is_err());
+        let bad_rows = Tensor::ones(&[2, 2]);
+        assert!(add_col_block(&mut dst, &bad_rows, 0).is_err());
+    }
+
+    #[test]
+    fn block_round_trip() {
+        let x = m();
+        let a = col_block(&x, 0, 2).unwrap();
+        let b = col_block(&x, 2, 4).unwrap();
+        let mut rebuilt = Tensor::zeros(&[3, 4]);
+        add_col_block(&mut rebuilt, &a, 0).unwrap();
+        add_col_block(&mut rebuilt, &b, 2).unwrap();
+        assert_eq!(rebuilt, x);
+    }
+
+    #[test]
+    fn row_block_extracts() {
+        let b = row_block(&m(), 1, 3).unwrap();
+        assert_eq!(b.dims(), &[2, 4]);
+        assert_eq!(b.get(&[0, 0]).unwrap(), 4.0);
+        assert!(row_block(&m(), 2, 5).is_err());
+    }
+
+    #[test]
+    fn vstack_concatenates() {
+        let a = Tensor::from_fn(&[1, 3], |i| i as f32);
+        let b = Tensor::from_fn(&[2, 3], |i| 10.0 + i as f32);
+        let s = vstack(&[a, b]).unwrap();
+        assert_eq!(s.dims(), &[3, 3]);
+        assert_eq!(s.get(&[1, 0]).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn vstack_validates() {
+        assert!(vstack(&[]).is_err());
+        let a = Tensor::zeros(&[1, 3]);
+        let b = Tensor::zeros(&[1, 4]);
+        assert!(vstack(&[a, b]).is_err());
+    }
+}

@@ -1,0 +1,380 @@
+//! Convolution lowering (im2col/col2im) and direct 2-D convolution.
+
+use crate::error::TensorError;
+use crate::ops::matmul;
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D convolution: kernel size, stride and zero padding.
+///
+/// ```
+/// use csp_tensor::Conv2dSpec;
+///
+/// let spec = Conv2dSpec::new(3, 1, 1);
+/// assert_eq!(spec.out_dim(32), 32); // "same" convolution
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dSpec {
+    /// Square kernel extent `k` (the kernel is `k × k`).
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding in both spatial dimensions.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Create a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel == 0` or `stride == 0`.
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
+        assert!(kernel > 0, "kernel must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Conv2dSpec {
+            kernel,
+            stride,
+            padding,
+        }
+    }
+
+    /// Output spatial extent for an input extent `in_dim`.
+    pub fn out_dim(&self, in_dim: usize) -> usize {
+        (in_dim + 2 * self.padding).saturating_sub(self.kernel) / self.stride + 1
+    }
+}
+
+/// Lower an input feature map `(c_in, h, w)` into the im2col matrix of shape
+/// `(c_in·k², out_h·out_w)`. Padding positions contribute zeros.
+///
+/// Each *row* of the result corresponds to one `(channel, ky, kx)` filter
+/// coordinate — exactly the "filter row" granularity at which CSP-A prunes —
+/// and each *column* to one output pixel.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] for non-rank-3 input or when
+/// the kernel does not fit even with padding.
+pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Result<Tensor, TensorError> {
+    if input.rank() != 3 {
+        return Err(TensorError::InvalidParameter {
+            what: format!("im2col expects (c,h,w), got {:?}", input.dims()),
+        });
+    }
+    let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+    let k = spec.kernel;
+    if h + 2 * spec.padding < k || w + 2 * spec.padding < k {
+        return Err(TensorError::InvalidParameter {
+            what: format!("kernel {k} larger than padded input ({h}x{w})"),
+        });
+    }
+    let (oh, ow) = (spec.out_dim(h), spec.out_dim(w));
+    let rows = c * k * k;
+    let cols = oh * ow;
+    let mut out = vec![0.0f32; rows * cols];
+    let data = input.as_slice();
+    for ci in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ci * k + ky) * k + kx;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        out[row * cols + oy * ow + ox] =
+                            data[(ci * h + iy as usize) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols])
+}
+
+/// Inverse of [`im2col`]: scatter-add a `(c_in·k², out_h·out_w)` matrix back
+/// into an input-shaped `(c_in, h, w)` tensor. Overlapping windows sum, which
+/// makes this the adjoint operator needed for convolution input gradients.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] when `cols` does not match the
+/// implied geometry.
+pub fn col2im(
+    cols_mat: &Tensor,
+    input_dims: &[usize; 3],
+    spec: Conv2dSpec,
+) -> Result<Tensor, TensorError> {
+    let (c, h, w) = (input_dims[0], input_dims[1], input_dims[2]);
+    let k = spec.kernel;
+    let (oh, ow) = (spec.out_dim(h), spec.out_dim(w));
+    if cols_mat.dims() != [c * k * k, oh * ow] {
+        return Err(TensorError::InvalidParameter {
+            what: format!(
+                "col2im expects ({}, {}), got {:?}",
+                c * k * k,
+                oh * ow,
+                cols_mat.dims()
+            ),
+        });
+    }
+    let mut out = Tensor::zeros(&[c, h, w]);
+    let src = cols_mat.as_slice();
+    let dst = out.as_mut_slice();
+    let n_cols = oh * ow;
+    for ci in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ci * k + ky) * k + kx;
+                for oy in 0..oh {
+                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        dst[(ci * h + iy as usize) * w + ix as usize] +=
+                            src[row * n_cols + oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Direct 2-D convolution: input `(c_in, h, w)`, weights
+/// `(c_out, c_in, k, k)` → output `(c_out, out_h, out_w)`.
+///
+/// Implemented as `W_flat (c_out × c_in·k²) · im2col(input)`, matching the
+/// paper's flattened weight-matrix view (Fig. 2).
+///
+/// # Errors
+///
+/// Returns shape errors from [`im2col`]/[`matmul`] and
+/// [`TensorError::IncompatibleShapes`] when weights do not match the input
+/// channel count.
+pub fn conv2d(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Result<Tensor, TensorError> {
+    if weight.rank() != 4
+        || input.rank() != 3
+        || weight.dims()[1] != input.dims()[0]
+        || weight.dims()[2] != spec.kernel
+        || weight.dims()[3] != spec.kernel
+    {
+        return Err(TensorError::IncompatibleShapes {
+            op: "conv2d",
+            lhs: input.dims().to_vec(),
+            rhs: weight.dims().to_vec(),
+        });
+    }
+    let c_out = weight.dims()[0];
+    let m = weight.dims()[1] * spec.kernel * spec.kernel;
+    let cols = im2col(input, spec)?;
+    let w_flat = weight.reshape(&[c_out, m])?;
+    let out = matmul(&w_flat, &cols)?;
+    let (oh, ow) = (spec.out_dim(input.dims()[1]), spec.out_dim(input.dims()[2]));
+    out.reshape(&[c_out, oh, ow])
+}
+
+/// Gradient of a convolution w.r.t. its weights.
+///
+/// Given `grad_out (c_out, oh, ow)` and the original input, returns a tensor
+/// with the weight's shape `(c_out, c_in, k, k)`.
+///
+/// # Errors
+///
+/// Propagates shape errors from the underlying kernels.
+pub fn conv2d_grad_weight(
+    input: &Tensor,
+    grad_out: &Tensor,
+    c_out: usize,
+    spec: Conv2dSpec,
+) -> Result<Tensor, TensorError> {
+    let cols = im2col(input, spec)?; // (M, P)
+    let p = cols.dims()[1];
+    let g = grad_out.reshape(&[c_out, p])?; // (c_out, P)
+                                            // dW_flat = G · colsᵀ  → (c_out, M)
+    let gw = crate::ops::matmul_a_bt(&g, &cols)?;
+    let c_in = input.dims()[0];
+    gw.reshape(&[c_out, c_in, spec.kernel, spec.kernel])
+}
+
+/// Gradient of a convolution w.r.t. its input.
+///
+/// # Errors
+///
+/// Propagates shape errors from the underlying kernels.
+pub fn conv2d_grad_input(
+    weight: &Tensor,
+    grad_out: &Tensor,
+    input_dims: &[usize; 3],
+    spec: Conv2dSpec,
+) -> Result<Tensor, TensorError> {
+    let c_out = weight.dims()[0];
+    let m = weight.dims()[1] * spec.kernel * spec.kernel;
+    let (oh, ow) = (spec.out_dim(input_dims[1]), spec.out_dim(input_dims[2]));
+    let g = grad_out.reshape(&[c_out, oh * ow])?;
+    let w_flat = weight.reshape(&[c_out, m])?;
+    // dCols = W_flatᵀ · G → (M, P)
+    let dcols = crate::ops::matmul_at_b(&w_flat, &g)?;
+    col2im(&dcols, input_dims, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_out_dims() {
+        assert_eq!(Conv2dSpec::new(3, 1, 0).out_dim(5), 3);
+        assert_eq!(Conv2dSpec::new(3, 1, 1).out_dim(5), 5);
+        assert_eq!(Conv2dSpec::new(3, 2, 1).out_dim(8), 4);
+        assert_eq!(Conv2dSpec::new(1, 1, 0).out_dim(7), 7);
+        assert_eq!(Conv2dSpec::new(11, 4, 0).out_dim(227), 55); // AlexNet conv1
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn spec_rejects_zero_stride() {
+        let _ = Conv2dSpec::new(3, 0, 0);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1: im2col is just a reshape.
+        let x = Tensor::from_fn(&[2, 3, 3], |i| i as f32);
+        let cols = im2col(&x, Conv2dSpec::new(1, 1, 0)).unwrap();
+        assert_eq!(cols.dims(), &[2, 9]);
+        assert_eq!(cols.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn im2col_known_values() {
+        // 1 channel, 3x3 input, 2x2 kernel, stride 1, no padding.
+        let x = Tensor::from_fn(&[1, 3, 3], |i| i as f32);
+        let cols = im2col(&x, Conv2dSpec::new(2, 1, 0)).unwrap();
+        assert_eq!(cols.dims(), &[4, 4]);
+        // Row 0 = top-left of each window.
+        assert_eq!(cols.row(0).unwrap().as_slice(), &[0.0, 1.0, 3.0, 4.0]);
+        // Row 3 = bottom-right of each window.
+        assert_eq!(cols.row(3).unwrap().as_slice(), &[4.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn conv2d_matches_manual() {
+        // 1 channel 3x3 input, single 2x2 averaging-ish kernel.
+        let x = Tensor::from_fn(&[1, 3, 3], |i| i as f32);
+        let w = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[1, 1, 2, 2]).unwrap();
+        let y = conv2d(&x, &w, Conv2dSpec::new(2, 1, 0)).unwrap();
+        assert_eq!(y.dims(), &[1, 2, 2]);
+        assert_eq!(y.as_slice(), &[8.0, 12.0, 20.0, 24.0]);
+    }
+
+    #[test]
+    fn conv2d_padding_same() {
+        let x = Tensor::ones(&[1, 3, 3]);
+        let w = Tensor::ones(&[1, 1, 3, 3]);
+        let y = conv2d(&x, &w, Conv2dSpec::new(3, 1, 1)).unwrap();
+        assert_eq!(y.dims(), &[1, 3, 3]);
+        // Center sees all 9 ones; corners see 4.
+        assert_eq!(y.get(&[0, 1, 1]).unwrap(), 9.0);
+        assert_eq!(y.get(&[0, 0, 0]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn conv2d_multi_channel_sums_channels() {
+        let x = Tensor::ones(&[3, 2, 2]);
+        let w = Tensor::ones(&[2, 3, 1, 1]);
+        let y = conv2d(&x, &w, Conv2dSpec::new(1, 1, 0)).unwrap();
+        assert_eq!(y.dims(), &[2, 2, 2]);
+        assert!(y.as_slice().iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn conv2d_shape_validation() {
+        let x = Tensor::zeros(&[2, 4, 4]);
+        let w = Tensor::zeros(&[1, 3, 3, 3]); // wrong c_in
+        assert!(conv2d(&x, &w, Conv2dSpec::new(3, 1, 0)).is_err());
+    }
+
+    #[test]
+    fn col2im_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property.
+        let spec = Conv2dSpec::new(3, 2, 1);
+        let x = Tensor::from_fn(&[2, 5, 5], |i| (i as f32).sin());
+        let cols = im2col(&x, spec).unwrap();
+        let y = Tensor::from_fn(cols.dims(), |i| (i as f32 * 0.37).cos());
+        let lhs: f32 = cols
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        let back = col2im(&y, &[2, 5, 5], spec).unwrap();
+        let rhs: f32 = x
+            .as_slice()
+            .iter()
+            .zip(back.as_slice())
+            .map(|(&a, &b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn grad_weight_finite_difference() {
+        let spec = Conv2dSpec::new(2, 1, 0);
+        let x = Tensor::from_fn(&[1, 3, 3], |i| (i as f32 * 0.3).sin());
+        let mut w = Tensor::from_fn(&[2, 1, 2, 2], |i| (i as f32 * 0.7).cos());
+        // Loss = sum(conv(x, w)); analytic gradient of sum is conv2d_grad_weight
+        // with grad_out of ones.
+        let gout = Tensor::ones(&[2, 2, 2]);
+        let g = conv2d_grad_weight(&x, &gout, 2, spec).unwrap();
+        let eps = 1e-3;
+        for idx in 0..w.len() {
+            let orig = w.as_slice()[idx];
+            w.as_mut_slice()[idx] = orig + eps;
+            let lp = conv2d(&x, &w, spec).unwrap().sum();
+            w.as_mut_slice()[idx] = orig - eps;
+            let lm = conv2d(&x, &w, spec).unwrap().sum();
+            w.as_mut_slice()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - g.as_slice()[idx]).abs() < 1e-2,
+                "idx {idx}: fd {fd} vs analytic {}",
+                g.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn grad_input_finite_difference() {
+        let spec = Conv2dSpec::new(2, 1, 1);
+        let mut x = Tensor::from_fn(&[2, 3, 3], |i| (i as f32 * 0.21).sin());
+        let w = Tensor::from_fn(&[2, 2, 2, 2], |i| (i as f32 * 0.13).cos());
+        let gout = Tensor::ones(&[2, 4, 4]);
+        let g = conv2d_grad_input(&w, &gout, &[2, 3, 3], spec).unwrap();
+        let eps = 1e-3;
+        for idx in [0usize, 5, 11, 17] {
+            let orig = x.as_slice()[idx];
+            x.as_mut_slice()[idx] = orig + eps;
+            let lp = conv2d(&x, &w, spec).unwrap().sum();
+            x.as_mut_slice()[idx] = orig - eps;
+            let lm = conv2d(&x, &w, spec).unwrap().sum();
+            x.as_mut_slice()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - g.as_slice()[idx]).abs() < 1e-2,
+                "idx {idx}: fd {fd} vs analytic {}",
+                g.as_slice()[idx]
+            );
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Error produced by fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of provided elements does not match the product of the
+    /// requested dimensions.
+    ShapeMismatch {
+        /// Number of elements supplied.
+        elements: usize,
+        /// Requested dimensions.
+        dims: Vec<usize>,
+    },
+    /// Two operands have incompatible shapes for the attempted operation.
+    IncompatibleShapes {
+        /// Human-readable operation name (e.g. `"matmul"`).
+        op: &'static str,
+        /// Left-hand-side dimensions.
+        lhs: Vec<usize>,
+        /// Right-hand-side dimensions.
+        rhs: Vec<usize>,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor's dimensions.
+        dims: Vec<usize>,
+    },
+    /// A parameter was invalid (zero stride, zero kernel, ...).
+    InvalidParameter {
+        /// Description of what was wrong.
+        what: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { elements, dims } => write!(
+                f,
+                "cannot view {elements} elements as shape {dims:?} ({} required)",
+                dims.iter().product::<usize>()
+            ),
+            TensorError::IncompatibleShapes { op, lhs, rhs } => {
+                write!(f, "incompatible shapes for {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::IndexOutOfBounds { index, dims } => {
+                write!(f, "index {index:?} out of bounds for shape {dims:?}")
+            }
+            TensorError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let err = TensorError::ShapeMismatch {
+            elements: 3,
+            dims: vec![2, 2],
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("3 elements"));
+        assert!(msg.contains("[2, 2]"));
+        assert!(msg.contains("4 required"));
+    }
+
+    #[test]
+    fn display_incompatible() {
+        let err = TensorError::IncompatibleShapes {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        assert!(err.to_string().contains("matmul"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<TensorError>();
+    }
+}

@@ -1,0 +1,92 @@
+//! Random weight initializers.
+//!
+//! All initializers take an explicit RNG so experiments are reproducible
+//! from a seed.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Uniform initialization in `[-bound, bound]`.
+///
+/// # Panics
+///
+/// Panics if `bound` is negative or not finite.
+pub fn uniform<R: Rng>(rng: &mut R, dims: &[usize], bound: f32) -> Tensor {
+    assert!(bound.is_finite() && bound >= 0.0, "bound must be >= 0");
+    Tensor::from_fn(dims, |_| rng.gen_range(-bound..=bound))
+}
+
+/// Kaiming (He) uniform initialization: `bound = sqrt(6 / fan_in)`.
+///
+/// `fan_in` is the number of input connections per output unit, e.g.
+/// `c_in * k * k` for a convolution.
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn kaiming_uniform<R: Rng>(rng: &mut R, dims: &[usize], fan_in: usize) -> Tensor {
+    assert!(fan_in > 0, "fan_in must be positive");
+    let bound = (6.0f32 / fan_in as f32).sqrt();
+    uniform(rng, dims, bound)
+}
+
+/// Xavier (Glorot) uniform initialization: `bound = sqrt(6 / (fan_in + fan_out))`.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out == 0`.
+pub fn xavier_uniform<R: Rng>(
+    rng: &mut R,
+    dims: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
+    assert!(fan_in + fan_out > 0, "fan_in + fan_out must be positive");
+    let bound = (6.0f32 / (fan_in + fan_out) as f32).sqrt();
+    uniform(rng, dims, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = uniform(&mut rng, &[100], 0.5);
+        assert!(t.as_slice().iter().all(|&v| (-0.5..=0.5).contains(&v)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = uniform(&mut StdRng::seed_from_u64(42), &[16], 1.0);
+        let b = uniform(&mut StdRng::seed_from_u64(42), &[16], 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kaiming_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let wide = kaiming_uniform(&mut rng, &[1000], 10_000);
+        let narrow = kaiming_uniform(&mut rng, &[1000], 4);
+        assert!(wide.max().abs() < narrow.max().abs());
+        assert!(wide.max() <= (6.0f32 / 10_000.0).sqrt());
+    }
+
+    #[test]
+    fn xavier_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = xavier_uniform(&mut rng, &[256], 6, 6);
+        let bound = (6.0f32 / 12.0).sqrt();
+        assert!(t.as_slice().iter().all(|&v| v.abs() <= bound + 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "fan_in")]
+    fn kaiming_zero_fan_in_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = kaiming_uniform(&mut rng, &[4], 0);
+    }
+}

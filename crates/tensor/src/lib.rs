@@ -1,0 +1,56 @@
+//! # csp-tensor
+//!
+//! A minimal, dependency-light tensor library used throughout the CSP
+//! (Cascading Structured Pruning) reproduction. It provides exactly what the
+//! training framework ([`csp-nn`]) and the accelerator simulators need:
+//!
+//! * an owned, contiguous, row-major [`Tensor`] of `f32` values,
+//! * shape/stride bookkeeping via [`Shape`],
+//! * dense linear algebra ([`matmul`], transposes, reductions),
+//! * convolution lowering via [`im2col`]/[`col2im`] and direct [`conv2d`],
+//! * pooling, activations and broadcasting element-wise arithmetic,
+//! * random and deterministic initializers.
+//!
+//! The library favours clarity and testability over raw speed: all kernels
+//! are straightforward loops that the accelerator simulators can also use as
+//! their *functional golden model*.
+//!
+//! ## Example
+//!
+//! ```
+//! use csp_tensor::{Tensor, matmul};
+//!
+//! # fn main() -> Result<(), csp_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = matmul(&a, &b)?;
+//! assert_eq!(c.as_slice(), a.as_slice());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`csp-nn`]: ../csp_nn/index.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blocks;
+mod conv;
+mod error;
+mod init;
+mod ops;
+mod pool;
+mod shape;
+mod tensor;
+
+pub use blocks::{add_col_block, col_block, row_block, vstack};
+pub use conv::{col2im, conv2d, conv2d_grad_input, conv2d_grad_weight, im2col, Conv2dSpec};
+pub use error::TensorError;
+pub use init::{kaiming_uniform, uniform, xavier_uniform};
+pub use ops::{add_bias, matmul, matmul_a_bt, matmul_at_b, outer, relu, relu_grad, softmax_rows};
+pub use pool::{avg_pool2d, avg_pool2d_grad, max_pool2d, max_pool2d_grad, Pool2dSpec};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenient result alias for fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,294 @@
+//! Dense linear-algebra kernels: matmul variants, activations, softmax.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// Matrix product `A (m×k) · B (k×n) → (m×n)`.
+///
+/// This loop-nest kernel is also the *functional golden model* the
+/// accelerator simulators check themselves against.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IncompatibleShapes`] if operands are not rank 2
+/// with a matching inner dimension.
+///
+/// ```
+/// use csp_tensor::{matmul, Tensor};
+/// # fn main() -> Result<(), csp_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// let b = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2])?;
+/// assert_eq!(matmul(&a, &b)?.as_slice(), &[2.0, 1.0, 4.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let bad = || TensorError::IncompatibleShapes {
+        op: "matmul",
+        lhs: a.dims().to_vec(),
+        rhs: b.dims().to_vec(),
+    };
+    if a.rank() != 2 || b.rank() != 2 || a.dims()[1] != b.dims()[0] {
+        return Err(bad());
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = ad[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `Aᵀ · B` without materializing the transpose: `A (k×m), B (k×n) → (m×n)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IncompatibleShapes`] if operands are not rank 2
+/// with matching leading dimension.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let bad = || TensorError::IncompatibleShapes {
+        op: "matmul_at_b",
+        lhs: a.dims().to_vec(),
+        rhs: b.dims().to_vec(),
+    };
+    if a.rank() != 2 || b.rank() != 2 || a.dims()[0] != b.dims()[0] {
+        return Err(bad());
+    }
+    let (k, m) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `A · Bᵀ` without materializing the transpose: `A (m×k), B (n×k) → (m×n)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IncompatibleShapes`] if operands are not rank 2
+/// with matching trailing dimension.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    let bad = || TensorError::IncompatibleShapes {
+        op: "matmul_a_bt",
+        lhs: a.dims().to_vec(),
+        rhs: b.dims().to_vec(),
+    };
+    if a.rank() != 2 || b.rank() != 2 || a.dims()[1] != b.dims()[1] {
+        return Err(bad());
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[0];
+    let (ad, bd) = (a.as_slice(), b.as_slice());
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            out[i * n + j] = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Outer product of two vectors: `u (m) ⊗ v (n) → (m×n)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IncompatibleShapes`] for non-vector inputs.
+pub fn outer(u: &Tensor, v: &Tensor) -> Result<Tensor, TensorError> {
+    if u.rank() != 1 || v.rank() != 1 {
+        return Err(TensorError::IncompatibleShapes {
+            op: "outer",
+            lhs: u.dims().to_vec(),
+            rhs: v.dims().to_vec(),
+        });
+    }
+    let (m, n) = (u.len(), v.len());
+    let mut out = vec![0.0f32; m * n];
+    for (i, &a) in u.as_slice().iter().enumerate() {
+        for (j, &b) in v.as_slice().iter().enumerate() {
+            out[i * n + j] = a * b;
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Add a bias vector to every row of a matrix: `X (m×n) + b (n)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IncompatibleShapes`] if `b.len() != n`.
+pub fn add_bias(x: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if x.rank() != 2 || b.rank() != 1 || x.dims()[1] != b.len() {
+        return Err(TensorError::IncompatibleShapes {
+            op: "add_bias",
+            lhs: x.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
+    }
+    let n = b.len();
+    let mut out = x.clone();
+    for (i, v) in out.as_mut_slice().iter_mut().enumerate() {
+        *v += b.as_slice()[i % n];
+    }
+    Ok(out)
+}
+
+/// Rectified linear unit applied element-wise.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// Gradient mask for ReLU: `grad * (x > 0)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IncompatibleShapes`] if shapes differ.
+pub fn relu_grad(x: &Tensor, grad: &Tensor) -> Result<Tensor, TensorError> {
+    x.zip_map(grad, |xi, gi| if xi > 0.0 { gi } else { 0.0 })
+}
+
+/// Numerically stable softmax along the last dimension of a rank-2 tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] for non-matrix input.
+pub fn softmax_rows(x: &Tensor) -> Result<Tensor, TensorError> {
+    if x.rank() != 2 {
+        return Err(TensorError::InvalidParameter {
+            what: format!("softmax_rows requires rank 2, got {:?}", x.dims()),
+        });
+    }
+    let (m, n) = (x.dims()[0], x.dims()[1]);
+    let mut out = x.clone();
+    let data = out.as_mut_slice();
+    for i in 0..m {
+        let row = &mut data[i * n..(i + 1) * n];
+        let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - mx).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], dims: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), dims).unwrap()
+    }
+
+    #[test]
+    fn matmul_basic() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul(&a, &Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let b = t(&[1.0, 0.0, -1.0, 2.0, 0.5, 1.0], &[3, 2]);
+        let direct = matmul(&a.transpose().unwrap(), &b).unwrap();
+        let fused = matmul_at_b(&a, &b).unwrap();
+        assert_eq!(direct, fused);
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[1.0, -1.0, 2.0, 0.5], &[2, 2]);
+        let direct = matmul(&a, &b.transpose().unwrap()).unwrap();
+        let fused = matmul_a_bt(&a, &b).unwrap();
+        assert_eq!(direct, fused);
+    }
+
+    #[test]
+    fn outer_product() {
+        let u = t(&[1.0, 2.0], &[2]);
+        let v = t(&[3.0, 4.0, 5.0], &[3]);
+        let o = outer(&u, &v).unwrap();
+        assert_eq!(o.dims(), &[2, 3]);
+        assert_eq!(o.as_slice(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn bias_broadcast() {
+        let x = t(&[0.0, 0.0, 1.0, 1.0], &[2, 2]);
+        let b = t(&[10.0, 20.0], &[2]);
+        assert_eq!(
+            add_bias(&x, &b).unwrap().as_slice(),
+            &[10.0, 20.0, 11.0, 21.0]
+        );
+        assert!(add_bias(&x, &t(&[1.0], &[1])).is_err());
+    }
+
+    #[test]
+    fn relu_and_grad() {
+        let x = t(&[-1.0, 0.0, 2.0], &[3]);
+        assert_eq!(relu(&x).as_slice(), &[0.0, 0.0, 2.0]);
+        let g = t(&[5.0, 5.0, 5.0], &[3]);
+        assert_eq!(relu_grad(&x, &g).unwrap().as_slice(), &[0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = t(&[1.0, 2.0, 3.0, 1000.0, 1000.0, 1000.0], &[2, 3]);
+        let s = softmax_rows(&x).unwrap();
+        for i in 0..2 {
+            let sum: f32 = s.row(i).unwrap().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {i} sums to {sum}");
+        }
+        // Large-but-equal logits must not overflow to NaN.
+        assert!((s.get(&[1, 0]).unwrap() - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_monotone() {
+        let x = t(&[0.0, 1.0], &[1, 2]);
+        let s = softmax_rows(&x).unwrap();
+        assert!(s.get(&[0, 1]).unwrap() > s.get(&[0, 0]).unwrap());
+    }
+}

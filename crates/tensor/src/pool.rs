@@ -1,0 +1,237 @@
+//! Spatial pooling kernels (max and average) with backward passes.
+
+use crate::error::TensorError;
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pool2dSpec {
+    /// Square window extent.
+    pub window: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+}
+
+impl Pool2dSpec {
+    /// Create a pooling spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `stride == 0`.
+    pub fn new(window: usize, stride: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Pool2dSpec { window, stride }
+    }
+
+    /// Output spatial extent for input extent `in_dim`.
+    pub fn out_dim(&self, in_dim: usize) -> usize {
+        if in_dim < self.window {
+            0
+        } else {
+            (in_dim - self.window) / self.stride + 1
+        }
+    }
+}
+
+fn check_input(input: &Tensor, op: &'static str) -> Result<(usize, usize, usize), TensorError> {
+    if input.rank() != 3 {
+        return Err(TensorError::InvalidParameter {
+            what: format!("{op} expects (c,h,w), got {:?}", input.dims()),
+        });
+    }
+    Ok((input.dims()[0], input.dims()[1], input.dims()[2]))
+}
+
+/// Max pooling over `(c, h, w)`. Returns the pooled tensor and the flat
+/// argmax indices (into the input) used by [`max_pool2d_grad`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] for non-rank-3 input.
+pub fn max_pool2d(input: &Tensor, spec: Pool2dSpec) -> Result<(Tensor, Vec<usize>), TensorError> {
+    let (c, h, w) = check_input(input, "max_pool2d")?;
+    let (oh, ow) = (spec.out_dim(h), spec.out_dim(w));
+    let mut out = Tensor::zeros(&[c, oh, ow]);
+    let mut arg = vec![0usize; c * oh * ow];
+    let data = input.as_slice();
+    for ci in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = 0usize;
+                for ky in 0..spec.window {
+                    for kx in 0..spec.window {
+                        let iy = oy * spec.stride + ky;
+                        let ix = ox * spec.stride + kx;
+                        let idx = (ci * h + iy) * w + ix;
+                        if data[idx] > best {
+                            best = data[idx];
+                            best_idx = idx;
+                        }
+                    }
+                }
+                let o = (ci * oh + oy) * ow + ox;
+                out.as_mut_slice()[o] = best;
+                arg[o] = best_idx;
+            }
+        }
+    }
+    Ok((out, arg))
+}
+
+/// Backward pass of max pooling: route each output gradient to the input
+/// position that won the max.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] if `argmax` length differs from
+/// `grad_out` length.
+pub fn max_pool2d_grad(
+    grad_out: &Tensor,
+    argmax: &[usize],
+    input_dims: &[usize; 3],
+) -> Result<Tensor, TensorError> {
+    if argmax.len() != grad_out.len() {
+        return Err(TensorError::InvalidParameter {
+            what: format!(
+                "argmax length {} != grad_out length {}",
+                argmax.len(),
+                grad_out.len()
+            ),
+        });
+    }
+    let mut gin = Tensor::zeros(input_dims);
+    for (g, &idx) in grad_out.as_slice().iter().zip(argmax) {
+        gin.as_mut_slice()[idx] += g;
+    }
+    Ok(gin)
+}
+
+/// Average pooling over `(c, h, w)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] for non-rank-3 input.
+pub fn avg_pool2d(input: &Tensor, spec: Pool2dSpec) -> Result<Tensor, TensorError> {
+    let (c, h, w) = check_input(input, "avg_pool2d")?;
+    let (oh, ow) = (spec.out_dim(h), spec.out_dim(w));
+    let mut out = Tensor::zeros(&[c, oh, ow]);
+    let data = input.as_slice();
+    let norm = 1.0 / (spec.window * spec.window) as f32;
+    for ci in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0;
+                for ky in 0..spec.window {
+                    for kx in 0..spec.window {
+                        let iy = oy * spec.stride + ky;
+                        let ix = ox * spec.stride + kx;
+                        acc += data[(ci * h + iy) * w + ix];
+                    }
+                }
+                out.as_mut_slice()[(ci * oh + oy) * ow + ox] = acc * norm;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Backward pass of average pooling: spread each output gradient uniformly
+/// over its window.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidParameter`] if `grad_out` does not match the
+/// pooled geometry of `input_dims`.
+pub fn avg_pool2d_grad(
+    grad_out: &Tensor,
+    input_dims: &[usize; 3],
+    spec: Pool2dSpec,
+) -> Result<Tensor, TensorError> {
+    let (c, h, w) = (input_dims[0], input_dims[1], input_dims[2]);
+    let (oh, ow) = (spec.out_dim(h), spec.out_dim(w));
+    if grad_out.dims() != [c, oh, ow] {
+        return Err(TensorError::InvalidParameter {
+            what: format!(
+                "avg_pool2d_grad expects ({c},{oh},{ow}), got {:?}",
+                grad_out.dims()
+            ),
+        });
+    }
+    let mut gin = Tensor::zeros(input_dims);
+    let norm = 1.0 / (spec.window * spec.window) as f32;
+    let g = grad_out.as_slice();
+    for ci in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let gv = g[(ci * oh + oy) * ow + ox] * norm;
+                for ky in 0..spec.window {
+                    for kx in 0..spec.window {
+                        let iy = oy * spec.stride + ky;
+                        let ix = ox * spec.stride + kx;
+                        gin.as_mut_slice()[(ci * h + iy) * w + ix] += gv;
+                    }
+                }
+            }
+        }
+    }
+    Ok(gin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_out_dims() {
+        let p = Pool2dSpec::new(2, 2);
+        assert_eq!(p.out_dim(4), 2);
+        assert_eq!(p.out_dim(5), 2);
+        assert_eq!(p.out_dim(1), 0);
+        assert_eq!(Pool2dSpec::new(3, 2).out_dim(7), 3);
+    }
+
+    #[test]
+    fn max_pool_values_and_argmax() {
+        let x = Tensor::from_fn(&[1, 4, 4], |i| i as f32);
+        let (y, arg) = max_pool2d(&x, Pool2dSpec::new(2, 2)).unwrap();
+        assert_eq!(y.dims(), &[1, 2, 2]);
+        assert_eq!(y.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
+        assert_eq!(arg, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn max_pool_grad_routes_to_argmax() {
+        let x = Tensor::from_fn(&[1, 4, 4], |i| i as f32);
+        let (_, arg) = max_pool2d(&x, Pool2dSpec::new(2, 2)).unwrap();
+        let g = Tensor::ones(&[1, 2, 2]);
+        let gin = max_pool2d_grad(&g, &arg, &[1, 4, 4]).unwrap();
+        assert_eq!(gin.sum(), 4.0);
+        assert_eq!(gin.get(&[0, 1, 1]).unwrap(), 1.0); // flat index 5
+        assert_eq!(gin.get(&[0, 0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn avg_pool_mean() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0, 2.0, 2.0, 2.0, 2.0], &[2, 2, 2]).unwrap();
+        let y = avg_pool2d(&x, Pool2dSpec::new(2, 2)).unwrap();
+        assert_eq!(y.dims(), &[2, 1, 1]);
+        assert_eq!(y.as_slice(), &[4.0, 2.0]);
+    }
+
+    #[test]
+    fn avg_pool_grad_conserves_mass() {
+        let g = Tensor::from_vec(vec![8.0], &[1, 1, 1]).unwrap();
+        let gin = avg_pool2d_grad(&g, &[1, 2, 2], Pool2dSpec::new(2, 2)).unwrap();
+        assert!(gin.as_slice().iter().all(|&v| v == 2.0));
+        assert_eq!(gin.sum(), 8.0);
+    }
+
+    #[test]
+    fn rank_validation() {
+        let x = Tensor::zeros(&[4, 4]);
+        assert!(max_pool2d(&x, Pool2dSpec::new(2, 2)).is_err());
+        assert!(avg_pool2d(&x, Pool2dSpec::new(2, 2)).is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! Shape and stride bookkeeping for row-major tensors.
+
+use crate::error::TensorError;
+
+/// A tensor shape: an ordered list of dimension extents with cached
+/// row-major strides.
+///
+/// `Shape` is cheap to clone and compares by its dimensions only.
+///
+/// ```
+/// use csp_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.strides(), &[12, 4, 1]);
+/// assert_eq!(s.offset(&[1, 2, 3]).unwrap(), 23);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+    strides: Vec<usize>,
+}
+
+impl Shape {
+    /// Create a shape from dimension extents.
+    pub fn new(dims: &[usize]) -> Self {
+        let mut strides = vec![1usize; dims.len()];
+        for i in (0..dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * dims[i + 1];
+        }
+        Shape {
+            dims: dims.to_vec(),
+            strides,
+        }
+    }
+
+    /// A zero-dimensional (scalar) shape.
+    pub fn scalar() -> Self {
+        Shape::new(&[])
+    }
+
+    /// The dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Row-major strides corresponding to [`dims`](Self::dims).
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Number of dimensions (rank).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements. A scalar shape has one element.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Extent of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Linear row-major offset of a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the index rank does not
+    /// match or any coordinate exceeds its extent.
+    pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.dims.len() || index.iter().zip(&self.dims).any(|(&i, &d)| i >= d) {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                dims: self.dims.clone(),
+            });
+        }
+        Ok(index.iter().zip(&self.strides).map(|(&i, &s)| i * s).sum())
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[4, 3, 2]);
+        assert_eq!(s.strides(), &[6, 2, 1]);
+        assert_eq!(s.len(), 24);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.offset(&[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn offset_math() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.offset(&[0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[0, 2]).unwrap(), 2);
+        assert_eq!(s.offset(&[1, 0]).unwrap(), 3);
+        assert_eq!(s.offset(&[1, 2]).unwrap(), 5);
+    }
+
+    #[test]
+    fn offset_out_of_bounds() {
+        let s = Shape::new(&[2, 3]);
+        assert!(s.offset(&[2, 0]).is_err());
+        assert!(s.offset(&[0, 3]).is_err());
+        assert!(s.offset(&[0]).is_err());
+    }
+
+    #[test]
+    fn zero_extent_dimension() {
+        let s = Shape::new(&[0, 5]);
+        assert_eq!(s.len(), 0);
+        assert!(s.offset(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn from_array() {
+        let s: Shape = [2, 2].into();
+        assert_eq!(s.dims(), &[2, 2]);
+    }
+}

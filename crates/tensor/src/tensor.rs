@@ -1,0 +1,475 @@
+//! The owned, contiguous `f32` tensor.
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use std::fmt;
+
+/// An owned, contiguous, row-major tensor of `f32` values.
+///
+/// `Tensor` is the single data container used across the CSP reproduction:
+/// model weights, activations, gradients, and the golden reference inputs of
+/// the accelerator simulators are all `Tensor`s.
+///
+/// ```
+/// use csp_tensor::Tensor;
+///
+/// # fn main() -> Result<(), csp_tensor::TensorError> {
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3])?;
+/// assert_eq!(t.get(&[1, 2])?, 6.0);
+/// let flat = t.reshape(&[6])?;
+/// assert_eq!(flat.dims(), &[6]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// A tensor of zeros with the given dimensions.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        Tensor {
+            data: vec![0.0; shape.len()],
+            shape,
+        }
+    }
+
+    /// A tensor of ones with the given dimensions.
+    pub fn ones(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        Tensor {
+            data: vec![1.0; shape.len()],
+            shape,
+        }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        Tensor {
+            data: vec![value; shape.len()],
+            shape,
+        }
+    }
+
+    /// The `n`-by-`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Build a tensor from existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `data.len()` differs from
+    /// the product of `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims);
+        if data.len() != shape.len() {
+            return Err(TensorError::ShapeMismatch {
+                elements: data.len(),
+                dims: dims.to_vec(),
+            });
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// Build a tensor by evaluating `f` at every multi-index, in row-major
+    /// order. The closure receives the flat index.
+    pub fn from_fn(dims: &[usize], f: impl FnMut(usize) -> f32) -> Self {
+        let shape = Shape::new(dims);
+        let data = (0..shape.len()).map(f).collect();
+        Tensor { data, shape }
+    }
+
+    /// Dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Shape descriptor (with strides).
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total number of elements.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Borrow the underlying row-major element slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major element slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor and return its element buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for invalid indices.
+    pub fn get(&self, index: &[usize]) -> Result<f32, TensorError> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Set the element at a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for invalid indices.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<(), TensorError> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Reinterpret the data with new dimensions of equal total length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Result<Tensor, TensorError> {
+        Tensor::from_vec(self.data.clone(), dims)
+    }
+
+    /// Apply `f` element-wise, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Apply `f` element-wise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise combination of two same-shape tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] if shapes differ.
+    pub fn zip_map(
+        &self,
+        other: &Tensor,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, TensorError> {
+        if self.dims() != other.dims() {
+            return Err(TensorError::IncompatibleShapes {
+                op: "zip_map",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        Ok(Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        })
+    }
+
+    /// Element-wise sum. See [`zip_map`](Self::zip_map) for errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] if shapes differ.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] if shapes differ.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] if shapes differ.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn scale(&self, k: f32) -> Tensor {
+        self.map(|x| x * k)
+    }
+
+    /// In-place `self += k * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] if shapes differ.
+    pub fn axpy(&mut self, k: f32, other: &Tensor) -> Result<(), TensorError> {
+        if self.dims() != other.dims() {
+            return Err(TensorError::IncompatibleShapes {
+                op: "axpy",
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += k * b;
+        }
+        Ok(())
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0.0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (negative infinity for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (positive infinity for empty tensors).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Euclidean (L2) norm of the flattened tensor.
+    pub fn norm_l2(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// L1 norm of the flattened tensor.
+    pub fn norm_l1(&self) -> f32 {
+        self.data.iter().map(|x| x.abs()).sum()
+    }
+
+    /// Fraction of exactly-zero elements in `[0, 1]`; 0.0 for empty tensors.
+    pub fn sparsity(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().filter(|&&x| x == 0.0).count() as f32 / self.data.len() as f32
+    }
+
+    /// Index of the maximum element in the flattened tensor (ties resolve to
+    /// the first occurrence); `None` when empty.
+    pub fn argmax(&self) -> Option<usize> {
+        if self.data.is_empty() {
+            return None;
+        }
+        let mut best = 0usize;
+        for (i, &x) in self.data.iter().enumerate() {
+            if x > self.data[best] {
+                best = i;
+            }
+        }
+        Some(best)
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] for non-matrix input.
+    pub fn transpose(&self) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::InvalidParameter {
+                what: format!("transpose requires rank 2, got {:?}", self.dims()),
+            });
+        }
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        let mut out = Tensor::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Copy row `i` of a rank-2 tensor as a new rank-1 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrix input or out-of-bounds rows.
+    pub fn row(&self, i: usize) -> Result<Tensor, TensorError> {
+        if self.rank() != 2 {
+            return Err(TensorError::InvalidParameter {
+                what: format!("row() requires rank 2, got {:?}", self.dims()),
+            });
+        }
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        if i >= r {
+            return Err(TensorError::IndexOutOfBounds {
+                index: vec![i],
+                dims: self.dims().to_vec(),
+            });
+        }
+        Tensor::from_vec(self.data[i * c..(i + 1) * c].to_vec(), &[c])
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.dims())?;
+        if self.len() <= 16 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(
+                f,
+                " [{:.4}, {:.4}, .., {:.4}] (n={})",
+                self.data[0],
+                self.data[1],
+                self.data[self.len() - 1],
+                self.len()
+            )
+        }
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros(&[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(t.get(&[0, 1]).unwrap(), 2.0);
+        assert_eq!(t.get(&[1, 0]).unwrap(), 3.0);
+        assert!(t.get(&[2, 0]).is_err());
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_len() {
+        assert!(Tensor::from_vec(vec![1.0; 3], &[2, 2]).is_err());
+    }
+
+    #[test]
+    fn eye_matmul_identityish() {
+        let e = Tensor::eye(3);
+        assert_eq!(e.get(&[0, 0]).unwrap(), 1.0);
+        assert_eq!(e.get(&[0, 1]).unwrap(), 0.0);
+        assert_eq!(e.sum(), 3.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![3.0, 5.0], &[2]).unwrap();
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[3.0, 10.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn elementwise_shape_mismatch() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        assert!(a.add(&b).is_err());
+        let mut a = a;
+        assert!(a.axpy(1.0, &b).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::ones(&[3]);
+        let g = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        a.axpy(-0.5, &g).unwrap();
+        assert_eq!(a.as_slice(), &[0.5, 0.0, -0.5]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![-1.0, 0.0, 3.0, 2.0], &[4]).unwrap();
+        assert_eq!(t.sum(), 4.0);
+        assert_eq!(t.mean(), 1.0);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.min(), -1.0);
+        assert_eq!(t.argmax(), Some(2));
+        assert!((t.norm_l2() - (14.0f32).sqrt()).abs() < 1e-6);
+        assert_eq!(t.norm_l1(), 6.0);
+        assert_eq!(t.sparsity(), 0.25);
+    }
+
+    #[test]
+    fn transpose_matrix() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let tt = t.transpose().unwrap();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.get(&[2, 1]).unwrap(), 6.0);
+        assert_eq!(tt.transpose().unwrap(), t);
+    }
+
+    #[test]
+    fn transpose_requires_rank2() {
+        assert!(Tensor::zeros(&[2, 2, 2]).transpose().is_err());
+    }
+
+    #[test]
+    fn reshape_round_trip() {
+        let t = Tensor::from_fn(&[2, 6], |i| i as f32);
+        let r = t.reshape(&[3, 4]).unwrap();
+        assert_eq!(r.dims(), &[3, 4]);
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape(&[5]).is_err());
+    }
+
+    #[test]
+    fn row_extraction() {
+        let t = Tensor::from_fn(&[3, 2], |i| i as f32);
+        assert_eq!(t.row(1).unwrap().as_slice(), &[2.0, 3.0]);
+        assert!(t.row(3).is_err());
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        assert!(!format!("{:?}", Tensor::zeros(&[2])).is_empty());
+        assert!(!format!("{:?}", Tensor::zeros(&[100])).is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! Accelerator comparison on a network of your choice: runs CSP-H and all
+//! baselines on one model at a configurable sparsity, printing cycles,
+//! energy, and the per-component breakdown.
+//!
+//! Run with: `cargo run --release --example accelerator_comparison -- [model] [sparsity]`
+//! where `model` is one of alexnet|vgg16|resnet50|inception|transformer
+//! (default vgg16) and `sparsity` is in [0,1) (default 0.74).
+
+use csp_core::accel::{CspH, CspHConfig};
+use csp_core::baselines::{Accelerator, CambriconS, CambriconX, DianNao, OsDataflow, SparTen};
+use csp_core::models::{
+    alexnet, inception_v3, resnet50, transformer_base, vgg16, Dataset, SparsityProfile,
+};
+use csp_core::sim::{format_table, EnergyTable, RunResult};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let model = args.get(1).map(String::as_str).unwrap_or("vgg16");
+    let sparsity: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.74);
+
+    let net = match model {
+        "alexnet" => alexnet(Dataset::ImageNet),
+        "vgg16" => vgg16(Dataset::ImageNet),
+        "resnet50" => resnet50(Dataset::ImageNet),
+        "inception" => inception_v3(Dataset::ImageNet),
+        "transformer" => transformer_base(),
+        other => {
+            eprintln!(
+                "unknown model '{other}', expected alexnet|vgg16|resnet50|inception|transformer"
+            );
+            std::process::exit(1);
+        }
+    };
+    let profile = SparsityProfile::new(sparsity, 99);
+    let e = EnergyTable::default();
+
+    println!(
+        "Model: {} ({} layers, {:.1} GMACs dense), weight sparsity {:.0}%\n",
+        net.name,
+        net.layers.len(),
+        net.total_macs() as f64 / 1e9,
+        100.0 * sparsity
+    );
+
+    let mut results: Vec<RunResult> = Vec::new();
+    let baselines: Vec<Box<dyn Accelerator>> = vec![
+        Box::new(DianNao::new(e)),
+        Box::new(OsDataflow::vanilla(e)),
+        Box::new(OsDataflow::with_csr(e)),
+        Box::new(CambriconX::new(e)),
+        Box::new(SparTen::new(e)),
+        Box::new(CambriconS::new(e)),
+    ];
+    for acc in &baselines {
+        results.push(acc.run_network(&net, &profile));
+    }
+    let csph = CspH::new(CspHConfig::default(), e);
+    results.push(csph.run_network(&net, &profile));
+
+    let base_cycles = results[0].cycles;
+    let base_energy = results[0].total_energy_pj();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.accelerator.clone(),
+                format!("{:.2}M", r.cycles as f64 / 1e6),
+                format!("{:.2}x", base_cycles as f64 / r.cycles.max(1) as f64),
+                format!("{:.2}", r.total_energy_pj() / 1e9),
+                format!("{:.2}x", base_energy / r.total_energy_pj()),
+                format!("{:.1}", r.inferences_per_joule()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "accelerator",
+                "cycles",
+                "speedup",
+                "energy (mJ)",
+                "efficiency",
+                "inf/J"
+            ],
+            &rows
+        )
+    );
+
+    println!("\nCSP-H energy breakdown:");
+    let csp = results.last().expect("CSP-H ran");
+    for (name, pj) in csp.energy.components() {
+        println!(
+            "  {:<12} {:>9.3} mJ  ({:>5.1}%)",
+            name,
+            pj / 1e9,
+            100.0 * pj / csp.total_energy_pj()
+        );
+    }
+}

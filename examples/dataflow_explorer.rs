@@ -1,0 +1,86 @@
+//! Dataflow explorer: runs the *functional* Serial Cascading array on a
+//! pruned GEMM and contrasts it with the Leader–Follower pipeline of
+//! Section 4, showing early-stop cycles, activation recycling, RegBin
+//! events and the flush behaviour.
+//!
+//! Run with: `cargo run --release --example dataflow_explorer`
+
+use csp_core::accel::{leader_follower_cycles, CspHConfig, Pe, SerialCascadingArray};
+use csp_core::pruning::{ChunkedLayout, CspMask};
+use csp_core::tensor::{matmul_at_b, Tensor};
+
+fn main() -> Result<(), csp_core::tensor::TensorError> {
+    // A small filter matrix: 8 filter rows, 16 filters, chunk size 4.
+    let (m, c_out, chunk) = (8usize, 16usize, 4usize);
+    let layout = ChunkedLayout::new(m, c_out, chunk)?;
+    let counts = vec![4usize, 3, 2, 2, 1, 1, 1, 0];
+    let mask = CspMask::from_chunk_counts(layout, counts.clone())?;
+    let w = mask.apply(&Tensor::from_fn(&[m, c_out], |i| ((i as f32) * 0.43).sin()))?;
+    let acts = Tensor::from_fn(&[m, 6], |i| ((i as f32) * 0.17).cos());
+
+    println!("Filter matrix: {m} rows x {c_out} filters, chunk size {chunk}");
+    println!("Per-row chunk counts: {counts:?}");
+    println!("Weight sparsity: {:.1}%\n", 100.0 * mask.sparsity());
+
+    // Serial Cascading (the CSP-H dataflow).
+    let cfg = CspHConfig {
+        arr_w: chunk,
+        arr_h: 3,
+        truncation_period: 4,
+        ..CspHConfig::default()
+    };
+    let array = SerialCascadingArray::new(cfg, None);
+    let (out, stats) = array.run_gemm(&w, &counts, &acts)?;
+    let reference = matmul_at_b(&w, &acts)?;
+    let err = out.sub(&reference)?.norm_l2();
+    println!("== Serial Cascading (IpOS) ==");
+    println!(
+        "  cycles          : {} (incl. {} flush-stall)",
+        stats.cycles, stats.flush_stalls
+    );
+    println!(
+        "  MACs executed   : {} (early stop skips pruned chunks)",
+        stats.macs
+    );
+    println!("  act GLB loads   : {}", stats.act_loads);
+    println!(
+        "  act recycles    : {} (in-PE reuse, zero buffer energy)",
+        stats.act_recycles
+    );
+    println!("  wgt GLB loads   : {}", stats.wgt_loads);
+    println!("  vs dense GEMM   : L2 error {err:.2e} (exact, truncation off)\n");
+
+    // Leader-Follower pipeline on the same counts.
+    let lf = leader_follower_cycles(&counts, 4);
+    println!("== Leader-Follower pipeline (Section 4 ablation) ==");
+    println!("  stages          : {}", lf.stages);
+    println!("  cycles          : {}", lf.cycles);
+    println!(
+        "  stall slots     : {} (idle stage-cycles from load imbalance)",
+        lf.stall_slots
+    );
+    println!(
+        "  act fetches     : {} (bandwidth scales with stages)\n",
+        lf.act_fetches
+    );
+
+    // A single PE with truncation: watch the IR fold into RegBins.
+    println!("== One PE, truncation period 4, 8-bit RegBins ==");
+    let trunc = csp_core::pruning::truncation::TruncationConfig::new(4, 8, 0.125)?;
+    let mut pe = Pe::new(Some(trunc));
+    for i in 0..8 {
+        pe.mac(0.3, 0.5 + 0.1 * i as f32, 0, 1);
+    }
+    pe.fold(0, 1);
+    println!(
+        "  8 MACs -> {} IR folds, partial sum {:.3}",
+        pe.ir_folds(),
+        pe.partial_sum(0)
+    );
+    let (psums, flush) = pe.flush();
+    println!(
+        "  flush: {} entries drained, {} stall cycles, psum[0] = {:.3}",
+        flush.entries_flushed, flush.stall_cycles, psums[0]
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Fig. 8 walkthrough: watch one IpOS computation loop step by step.
+//!
+//! Replays the paper's Fig. 8(a) schedule on a small filter tensor using
+//! the schedule tracer, then confirms the traced schedule against the
+//! value-exact Serial Cascading array and prints the IpWS counterpart's
+//! cycle accounting.
+//!
+//! Run with: `cargo run --release --example fig8_walkthrough`
+
+use csp_core::accel::trace::{trace_ipos_pass, TraceEvent};
+use csp_core::accel::{CspHConfig, IpwsArray, SerialCascadingArray};
+use csp_core::pruning::{ChunkedLayout, CspMask};
+use csp_core::tensor::Tensor;
+
+fn main() -> Result<(), csp_core::tensor::TensorError> {
+    // The Fig. 2/8 working example in miniature: 6 filter rows, chunks of
+    // 3 filters, per-row chunk counts after CSP-A pruning.
+    let counts = vec![3usize, 2, 2, 1, 1, 0];
+    let (m, chunk, n_chunks) = (6usize, 3usize, 3usize);
+    let c_out = chunk * n_chunks;
+    let group = 3usize; // T = 3: rows fed in groups of three
+
+    println!("IpOS schedule for chunk counts {counts:?} (T = {group}):\n");
+    let (trace, cycles) = trace_ipos_pass(&counts, group);
+    print!("{}", trace.render());
+    println!("\ntotal: {cycles} cycles (incl. 2-cycle flush stall)");
+    println!(
+        "feeds: {}  loads: {}  recycles: {}  early stops: {}\n",
+        trace.count(|e| matches!(e, TraceEvent::Feed { .. })),
+        trace.count(|e| matches!(e, TraceEvent::ActLoad { .. })),
+        trace.count(|e| matches!(e, TraceEvent::ActRecycle { .. })),
+        trace.count(|e| matches!(e, TraceEvent::EarlyStop { .. })),
+    );
+
+    // The same workload through the value-exact array.
+    let p = 4usize;
+    let cfg = CspHConfig {
+        arr_w: chunk,
+        arr_h: p, // one pixel tile so the schedules line up
+        truncation_period: group,
+        ..CspHConfig::default()
+    };
+    let layout = ChunkedLayout::new(m, c_out, chunk)?;
+    let mask = CspMask::from_chunk_counts(layout, counts.clone())?;
+    let w = mask.apply(&Tensor::from_fn(&[m, c_out], |i| ((i as f32) * 0.3).sin()))?;
+    let acts = Tensor::from_fn(&[m, p], |i| ((i as f32) * 0.7).cos());
+    let arr = SerialCascadingArray::new(cfg, None);
+    let (out, stats) = arr.run_gemm(&w, &counts, &acts)?;
+    let reference = csp_core::tensor::matmul_at_b(&w, &acts)?;
+    println!(
+        "functional array: {} cycles, {} MACs",
+        stats.cycles, stats.macs
+    );
+    println!(
+        "matches the traced schedule: {} (L2 error vs dense GEMM: {:.2e})\n",
+        stats.cycles == cycles,
+        out.sub(&reference)?.norm_l2()
+    );
+
+    // The IpWS counterpart (Fig. 8b): weights stationary, rows unrolled.
+    let ipws = IpwsArray::new(cfg, None);
+    let (out_ws, stats_ws) = ipws.run_gemm(&w, &counts, &acts)?;
+    println!(
+        "IpWS on the same workload: {} cycles, {} MACs (L2 error {:.2e})",
+        stats_ws.cycles,
+        stats_ws.macs,
+        out_ws.sub(&reference)?.norm_l2()
+    );
+    println!("IpOS keeps full utilization under uneven counts; IpWS pays the group's");
+    println!("max count (mitigated by the greedy reorder) but suits FC layers.");
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! Transformer pruning with CSP-A: trains a mini encoder Transformer on a
+//! sequence-transduction task, applies the cascading regularizer to the
+//! attention projections and FFN layers, prunes at several chunk sizes and
+//! reports BLEU — the paper's Table 2 chunk-size sweep in miniature.
+//!
+//! Run with: `cargo run --release --example transformer_pruning`
+
+use csp_core::nn::data::SeqTask;
+use csp_core::nn::metrics::bleu;
+use csp_core::nn::{Adam, Optimizer, TransformerModel};
+use csp_core::pruning::{CascadeRegularizer, ChunkedLayout, CspPruner, Regularizer};
+use csp_core::tensor::Tensor;
+
+fn run_chunk_size(chunk_size: usize) -> Result<(f32, f32, f32), csp_core::tensor::TensorError> {
+    let mut rng = csp_core::nn::seeded_rng(33);
+    let ds = SeqTask::generate(&mut rng, 60, 6, 12);
+    let (train, test) = ds.split(0.8);
+    let mut model = TransformerModel::new(&mut rng, 12, 16, 32, 4, 1);
+    let reg = CascadeRegularizer::new(0.003);
+
+    // Regularized training.
+    let mut opt = Adam::new(2e-3);
+    for _ in 0..35 {
+        for (inp, tgt) in train.inputs.iter().zip(&train.targets) {
+            model.zero_grad();
+            model.loss_and_backward(inp, tgt)?;
+            for layer in model.prunable_layers() {
+                let (m, c) = layer.csp_dims();
+                let layout = ChunkedLayout::new(m, c, chunk_size)?;
+                let g = reg.grad(&layer.csp_weight(), layout)?;
+                layer.add_csp_weight_grad(&g)?;
+            }
+            opt.step(&mut model.params());
+        }
+    }
+    let score = |model: &mut TransformerModel| -> Result<f32, csp_core::tensor::TensorError> {
+        let mut hyps = Vec::new();
+        for inp in &test.inputs {
+            hyps.push(model.predict(inp)?);
+        }
+        Ok(bleu(&hyps, &test.targets))
+    };
+    let base_bleu = score(&mut model)?;
+
+    // Prune.
+    let mut masks: Vec<Tensor> = Vec::new();
+    let (mut zeros, mut total) = (0usize, 0usize);
+    for layer in model.prunable_layers() {
+        let (m, c) = layer.csp_dims();
+        let layout = ChunkedLayout::new(m, c, chunk_size)?;
+        let mask = CspPruner::new(0.75).prune(&layer.csp_weight(), layout)?;
+        layer.apply_csp_mask(&mask.mask)?;
+        zeros += (mask.sparsity() * (m * c) as f32).round() as usize;
+        total += m * c;
+        masks.push(mask.mask);
+    }
+
+    // Fine-tune under the masks.
+    let mut opt = Adam::new(1e-3);
+    for _ in 0..15 {
+        for (inp, tgt) in train.inputs.iter().zip(&train.targets) {
+            model.zero_grad();
+            model.loss_and_backward(inp, tgt)?;
+            opt.step(&mut model.params());
+            for (layer, mask) in model.prunable_layers().into_iter().zip(&masks) {
+                layer.apply_csp_mask(mask)?;
+            }
+        }
+    }
+    let final_bleu = score(&mut model)?;
+    Ok((base_bleu, final_bleu, zeros as f32 / total as f32))
+}
+
+fn main() -> Result<(), csp_core::tensor::TensorError> {
+    println!("CSP-A on the mini-Transformer (d_model 16, d_K 4):\n");
+    println!(
+        "{:<10} {:>10} {:>11} {:>8} {:>10}",
+        "chunk", "base BLEU", "final BLEU", "dBLEU", "sparsity"
+    );
+    for chunk_size in [2usize, 4, 8, 16] {
+        let (base, fin, sparsity) = run_chunk_size(chunk_size)?;
+        println!(
+            "{:<10} {:>10.2} {:>11.2} {:>+8.2} {:>9.1}%",
+            format!("Ours-{chunk_size}"),
+            base,
+            fin,
+            fin - base,
+            100.0 * sparsity
+        );
+    }
+    println!("\nThe paper's sweet spot lies at the key dimension d_K; the mini model's");
+    println!("d_K is 4, mirroring the Ours-64 observation on Transformer-base (d_K = 64).");
+    Ok(())
+}

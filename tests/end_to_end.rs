@@ -1,0 +1,254 @@
+//! Cross-crate integration: the full algorithm→format→hardware chain.
+//!
+//! These tests exercise the interplay that unit tests cannot: CSP-A pruning
+//! feeding weaved compression feeding the functional CSP-H array, and the
+//! trained-model pipeline feeding accelerator simulation.
+
+use csp_core::accel::{CspH, CspHConfig, SerialCascadingArray};
+use csp_core::models::{mini_cnn_shapes, LayerShape, SparsityProfile};
+use csp_core::pipeline::{CspPipeline, PipelineConfig};
+use csp_core::pruning::{ChunkedLayout, CspMask, CspPruner, Weaved};
+use csp_core::sim::EnergyTable;
+use csp_core::tensor::{matmul_at_b, Tensor};
+
+#[test]
+fn pruned_weaved_array_chain_is_exact() {
+    // Random-ish matrix → prune → weave → decompress → run on the array:
+    // both the format round-trip and the hardware result must be exact.
+    let (m, c_out, chunk) = (12usize, 24usize, 4usize);
+    let layout = ChunkedLayout::new(m, c_out, chunk).unwrap();
+    let w = Tensor::from_fn(&[m, c_out], |i| ((i as f32) * 0.77).sin());
+    let mask = CspPruner::new(0.9).prune(&w, layout).unwrap();
+    assert!(mask.is_cascade_closed());
+    let pruned = mask.apply(&w).unwrap();
+
+    let weaved = Weaved::compress(&pruned, &mask).unwrap();
+    assert_eq!(weaved.decompress(), pruned);
+
+    let cfg = CspHConfig {
+        arr_w: chunk,
+        arr_h: 4,
+        truncation_period: 4,
+        ..CspHConfig::default()
+    };
+    let array = SerialCascadingArray::new(cfg, None);
+    let acts = Tensor::from_fn(&[m, 10], |i| ((i as f32) * 0.31).cos());
+    let (out, stats) = array.run_gemm(&pruned, &mask.chunk_counts, &acts).unwrap();
+    let reference = matmul_at_b(&pruned, &acts).unwrap();
+    let err = out.sub(&reference).unwrap().norm_l2();
+    assert!(err < 1e-4, "array vs reference error {err}");
+
+    // Early stop accounting: executed MACs equal surviving weights × pixels
+    // (surviving chunks may straddle the partial last chunk).
+    let surviving: usize = mask
+        .chunk_counts
+        .iter()
+        .map(|&c| (0..c).map(|n| layout.chunk_width(n)).sum::<usize>())
+        .sum();
+    assert_eq!(stats.macs, (surviving * 10) as u64);
+}
+
+#[test]
+fn pipeline_feeds_accelerator_simulation() {
+    // Run the training pipeline, then simulate the resulting mini-CNN
+    // shapes on CSP-H with the *measured* sparsity: the simulated MAC count
+    // must track the measured density.
+    let report = CspPipeline::new(PipelineConfig {
+        train_epochs: 6,
+        finetune_epochs: 2,
+        samples: 48,
+        ..PipelineConfig::default()
+    })
+    .run_mini_cnn()
+    .unwrap();
+
+    let net = mini_cnn_shapes(1, 8, 4);
+    let profile = SparsityProfile::new(report.overall_sparsity as f64, 5).with_chunk_size(4);
+    let csph = CspH::new(
+        CspHConfig {
+            arr_w: 4,
+            arr_h: 4,
+            truncation_period: 4,
+            ..CspHConfig::default()
+        },
+        EnergyTable::default(),
+    );
+    let result = csph.run_network(&net, &profile);
+    let dense: u64 = net.total_macs();
+    let measured_density = 1.0 - report.overall_sparsity as f64;
+    let sim_density = result.macs_executed as f64 / dense as f64;
+    assert!(
+        (sim_density - measured_density).abs() < 0.15,
+        "simulated density {sim_density} vs measured {measured_density}"
+    );
+}
+
+#[test]
+fn denser_profiles_cost_more_everywhere() {
+    // Monotonicity across the whole stack: more surviving weights → more
+    // MACs, more cycles, more energy on CSP-H.
+    let layer = LayerShape::conv("c", 32, 64, 3, 1, 1, 16, 16);
+    let csph = CspH::new(CspHConfig::default(), EnergyTable::default());
+    let mut prev: Option<(u64, u64, f64)> = None;
+    for sparsity in [0.9f64, 0.6, 0.3, 0.0] {
+        let run = csph.run_layer(&layer, &SparsityProfile::new(sparsity, 3));
+        if let Some((pm, pc, pe)) = prev {
+            assert!(run.macs >= pm);
+            assert!(run.cycles >= pc);
+            assert!(run.energy.total_pj() >= pe * 0.999);
+        }
+        prev = Some((run.macs, run.cycles, run.energy.total_pj()));
+    }
+}
+
+#[test]
+fn truncation_affects_array_results_but_stays_bounded() {
+    let (m, c_out, chunk) = (8usize, 8usize, 4usize);
+    let counts = vec![2usize; m];
+    let w = Tensor::from_fn(&[m, c_out], |i| ((i as f32) * 0.59).sin() * 0.5);
+    let acts = Tensor::from_fn(&[m, 4], |i| ((i as f32) * 0.23).cos() * 0.5);
+    let cfg = CspHConfig {
+        arr_w: chunk,
+        arr_h: 4,
+        truncation_period: 4,
+        ..CspHConfig::default()
+    };
+    let exact = SerialCascadingArray::new(cfg, None)
+        .run_gemm(&w, &counts, &acts)
+        .unwrap()
+        .0;
+    let trunc_cfg = csp_core::pruning::truncation::TruncationConfig::new(4, 8, 0.05).unwrap();
+    let approx = SerialCascadingArray::new(cfg, Some(trunc_cfg))
+        .run_gemm(&w, &counts, &acts)
+        .unwrap()
+        .0;
+    let max_err = exact
+        .as_slice()
+        .iter()
+        .zip(approx.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    assert!(max_err > 0.0, "truncation should perturb results");
+    // Each fold truncates by at most one step; folds per output ≤ ⌈M/T⌉.
+    let folds = (m as f32 / 4.0).ceil();
+    assert!(
+        max_err <= 0.05 * (folds + 1.0),
+        "error {max_err} beyond bound"
+    );
+}
+
+#[test]
+fn chunk_counts_from_mask_drive_simulation() {
+    // Explicit counts path: run_layer_with_counts must agree with the
+    // profile path when given the same counts.
+    let layer = LayerShape::conv("c", 16, 32, 3, 1, 1, 8, 8);
+    let csph = CspH::new(CspHConfig::default(), EnergyTable::default());
+    let profile = SparsityProfile::new(0.5, 9).with_chunk_size(32);
+    let counts = profile.chunk_counts(&layer);
+    let a = csph.run_layer(&layer, &profile);
+    let b = csph.run_layer_with_counts(&layer, &counts);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.macs, b.macs);
+    assert!((a.energy.total_pj() - b.energy.total_pj()).abs() < 1e-6);
+}
+
+#[test]
+fn measured_activation_density_feeds_sparten_model() {
+    // The pipeline measures real post-ReLU density from the trained model;
+    // a 2-way-sparse baseline simulated with that density must execute
+    // proportionally fewer MACs than its dense variant.
+    use csp_core::baselines::{Accelerator, SparTen};
+    let report = CspPipeline::new(PipelineConfig {
+        train_epochs: 5,
+        finetune_epochs: 2,
+        samples: 32,
+        ..PipelineConfig::default()
+    })
+    .run_mini_cnn()
+    .unwrap();
+    let density = report.activation_density as f64;
+    assert!((0.05..0.95).contains(&density), "density {density}");
+
+    let net = mini_cnn_shapes(1, 8, 4);
+    let profile = SparsityProfile::new(report.overall_sparsity as f64, 6)
+        .with_activation_density(density)
+        .with_chunk_size(4);
+    let e = EnergyTable::default();
+    let sparse = SparTen::new(e).run_network(&net, &profile);
+    let dense = SparTen::dense(e).run_network(&net, &profile);
+    let ratio = sparse.macs_executed as f64 / dense.macs_executed as f64;
+    let expected = (1.0 - report.overall_sparsity as f64) * density;
+    assert!(
+        (ratio - expected).abs() < 0.05,
+        "MAC ratio {ratio} vs expected {expected}"
+    );
+}
+
+#[test]
+fn real_pruned_chunk_counts_drive_the_analytic_simulator() {
+    // Train + prune, then simulate the *actual* pruned layers (their real
+    // per-row chunk counts) on CSP-H — the full algorithm→hardware loop
+    // with no synthetic sparsity in between.
+    let report = CspPipeline::new(PipelineConfig {
+        train_epochs: 5,
+        finetune_epochs: 2,
+        samples: 32,
+        ..PipelineConfig::default()
+    })
+    .run_mini_cnn()
+    .unwrap();
+
+    // Shapes matching the pipeline's Basic family: conv(1->8,k3),
+    // conv(8->16,k3) at 8x8/4x4, linear(64->4).
+    let shapes = [
+        LayerShape::conv("conv1", 1, 8, 3, 1, 1, 8, 8),
+        LayerShape::conv("conv2", 8, 16, 3, 1, 1, 4, 4),
+        LayerShape::fc("fc", 16 * 2 * 2, 4, 1),
+    ];
+    let csph = CspH::new(
+        CspHConfig {
+            arr_w: 4, // pipeline chunk size
+            arr_h: 4,
+            truncation_period: 4,
+            ..CspHConfig::default()
+        },
+        EnergyTable::default(),
+    );
+    assert_eq!(report.layers.len(), shapes.len());
+    for (layer_report, shape) in report.layers.iter().zip(&shapes) {
+        assert_eq!(
+            layer_report.chunk_counts.len(),
+            shape.m(),
+            "chunk counts must be one per filter row for {}",
+            layer_report.label
+        );
+        let run = csph.run_layer_with_counts(shape, &layer_report.chunk_counts);
+        // MACs must equal surviving weights × pixels exactly.
+        let surviving: u64 = layer_report
+            .chunk_counts
+            .iter()
+            .map(|&c| {
+                (0..c)
+                    .map(|n| 4usize.min(shape.c_out() - n * 4) as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(
+            run.macs,
+            surviving * shape.pixels() as u64,
+            "MAC accounting mismatch on {}",
+            layer_report.label
+        );
+    }
+}
+
+#[test]
+fn mask_from_chunk_counts_matches_pruner_masks() {
+    // CspMask::from_chunk_counts(pruner's counts) reproduces the pruner's
+    // mask exactly — the two construction paths are consistent.
+    let layout = ChunkedLayout::new(10, 20, 4).unwrap();
+    let w = Tensor::from_fn(&[10, 20], |i| ((i as f32) * 1.3).sin());
+    let pruned = CspPruner::new(0.8).prune(&w, layout).unwrap();
+    let rebuilt = CspMask::from_chunk_counts(layout, pruned.chunk_counts.clone()).unwrap();
+    assert_eq!(pruned, rebuilt);
+}

@@ -1,0 +1,135 @@
+//! Equivalence sweep: the analytic CSP-H model's cycle and MAC formulas
+//! must agree with the functional Serial Cascading array across a grid of
+//! geometries, sparsities and truncation periods.
+
+use csp_core::accel::{CspH, CspHConfig, SerialCascadingArray};
+use csp_core::models::LayerShape;
+use csp_core::pruning::{ChunkedLayout, CspMask};
+use csp_core::sim::EnergyTable;
+use csp_core::tensor::Tensor;
+
+/// Deterministic pseudo-random chunk counts.
+fn counts_for(m: usize, n_chunks: usize, salt: u64) -> Vec<usize> {
+    (0..m)
+        .map(|j| {
+            let h = (j as u64)
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add(salt)
+                .rotate_left(17);
+            (h % (n_chunks as u64 + 1)) as usize
+        })
+        .collect()
+}
+
+/// Build a conv LayerShape whose flattened dims equal (m, c_out, p).
+/// Uses a 1×1 kernel so M = c_in and P = h·w exactly.
+fn layer_for(m: usize, c_out: usize, p: usize) -> LayerShape {
+    LayerShape::conv("equiv", m, c_out, 1, 1, 0, p, 1)
+}
+
+#[test]
+fn cycles_and_macs_agree_across_grid() {
+    for (arr_w, arr_h) in [(2usize, 2usize), (4, 2), (4, 4)] {
+        for (m, n_chunks, p) in [(3usize, 2usize, 4usize), (6, 3, 5), (8, 4, 9)] {
+            let c_out = n_chunks * arr_w;
+            let counts = counts_for(m, n_chunks, (arr_w * 31 + m) as u64);
+            let cfg = CspHConfig {
+                arr_w,
+                arr_h,
+                truncation_period: 1,
+                ..CspHConfig::default()
+            };
+            // Functional run.
+            let layout = ChunkedLayout::new(m, c_out, arr_w).unwrap();
+            let mask = CspMask::from_chunk_counts(layout, counts.clone()).unwrap();
+            let w = mask
+                .apply(&Tensor::from_fn(&[m, c_out], |i| ((i as f32) * 0.3).sin()))
+                .unwrap();
+            let acts = Tensor::from_fn(&[m, p], |i| ((i as f32) * 0.7).cos());
+            let arr = SerialCascadingArray::new(cfg, None);
+            let (_, fstats) = arr.run_gemm(&w, &counts, &acts).unwrap();
+            // Analytic run.
+            let layer = layer_for(m, c_out, p);
+            assert_eq!(layer.m(), m);
+            assert_eq!(layer.pixels(), p);
+            let csph = CspH::new(cfg, EnergyTable::default());
+            let run = csph.run_layer_with_counts(&layer, &counts);
+            assert_eq!(
+                run.cycles, fstats.cycles,
+                "cycles mismatch at arr=({arr_w},{arr_h}) m={m} N={n_chunks} p={p}: \
+                 analytic {} vs functional {}",
+                run.cycles, fstats.cycles
+            );
+            assert_eq!(run.macs, fstats.macs, "MAC mismatch");
+        }
+    }
+}
+
+#[test]
+fn truncation_period_grouping_preserves_mac_count() {
+    // Grouping rows by T changes *when* folds happen, never how many MACs
+    // execute.
+    let (m, c_out, p) = (9usize, 8usize, 5usize);
+    let counts = counts_for(m, 2, 7);
+    let layout = ChunkedLayout::new(m, c_out, 4).unwrap();
+    let mask = CspMask::from_chunk_counts(layout, counts.clone()).unwrap();
+    let w = mask
+        .apply(&Tensor::from_fn(&[m, c_out], |i| ((i as f32) * 0.9).sin()))
+        .unwrap();
+    let acts = Tensor::from_fn(&[m, p], |i| ((i as f32) * 0.4).cos());
+    let mut macs = Vec::new();
+    for t in [1usize, 2, 4, 16] {
+        let cfg = CspHConfig {
+            arr_w: 4,
+            arr_h: 2,
+            truncation_period: t,
+            ..CspHConfig::default()
+        };
+        let arr = SerialCascadingArray::new(cfg, None);
+        let (out, stats) = arr.run_gemm(&w, &counts, &acts).unwrap();
+        macs.push(stats.macs);
+        // Result stays exact for every grouping.
+        let reference = csp_core::tensor::matmul_at_b(&w, &acts).unwrap();
+        assert!(out.sub(&reference).unwrap().norm_l2() < 1e-4);
+    }
+    assert!(
+        macs.windows(2).all(|w| w[0] == w[1]),
+        "MACs vary with T: {macs:?}"
+    );
+}
+
+#[test]
+fn analytic_fc_cycles_track_throughput_for_dense_counts() {
+    // Dense IpWS must stay within a small factor of the 1024-MAC bound.
+    let layer = LayerShape::fc("fc", 2048, 2048, 32);
+    let cfg = CspHConfig::default();
+    let csph = CspH::new(cfg, EnergyTable::default());
+    let n = layer.c_out().div_ceil(cfg.arr_w);
+    let counts = vec![n; layer.m()];
+    let run = csph.run_layer_with_counts(&layer, &counts);
+    let bound = layer.macs() / 1024;
+    let slack = run.cycles as f64 / bound as f64;
+    assert!(
+        (1.0..1.25).contains(&slack),
+        "dense IpWS slack {slack} (cycles {} vs bound {bound})",
+        run.cycles
+    );
+}
+
+#[test]
+fn analytic_fc_partial_bundle_not_overcharged() {
+    // A layer with fewer rows than one arr_h·T bundle must not pay for the
+    // whole bundle (regression test for the partial-bundle bug).
+    let layer = LayerShape::fc("fc", 512, 2048, 32);
+    let cfg = CspHConfig::default(); // bundle = 32 * 64 = 2048 > 512 rows
+    let csph = CspH::new(cfg, EnergyTable::default());
+    let n = layer.c_out().div_ceil(cfg.arr_w);
+    let counts = vec![n; layer.m()];
+    let run = csph.run_layer_with_counts(&layer, &counts);
+    let bound = layer.macs() / 1024;
+    assert!(
+        run.cycles < 2 * bound,
+        "partial bundle overcharged: {} vs bound {bound}",
+        run.cycles
+    );
+}

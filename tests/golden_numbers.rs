@@ -1,0 +1,116 @@
+//! Golden-number regression tests.
+//!
+//! The Fig. 10 headline comparison is the repository's central deliverable;
+//! these tests pin its aggregate outcomes inside tolerance bands so that a
+//! silent change to any simulator (a dropped energy component, a cycle
+//! formula typo) fails loudly instead of shifting the published numbers.
+//! Bands are deliberately loose (±20–30 %) so legitimate model refinements
+//! don't thrash them; direction/ordering assertions are exact.
+
+use csp_core::accel::{CspH, CspHConfig};
+use csp_core::baselines::{Accelerator, CambriconS, CambriconX, DianNao, SparTen};
+use csp_core::models::{vgg16, Dataset, Network, SparsityProfile};
+use csp_core::sim::EnergyTable;
+
+fn vgg_conv() -> Network {
+    let net = vgg16(Dataset::ImageNet);
+    Network {
+        name: net.name,
+        layers: net.layers.iter().filter(|l| l.is_conv()).cloned().collect(),
+    }
+}
+
+fn profile() -> SparsityProfile {
+    SparsityProfile::new(0.7372, 12) // Table 2 VGG-16 ImageNet rate
+}
+
+#[test]
+fn csph_vgg_conv_energy_band() {
+    let csph = CspH::new(CspHConfig::default(), EnergyTable::default());
+    let r = csph.run_network(&vgg_conv(), &profile());
+    let mj = r.total_energy_pj() / 1e9;
+    // Pinned at ~21.7 mJ when this test was written.
+    assert!((15.0..30.0).contains(&mj), "CSP-H VGG conv energy {mj} mJ");
+}
+
+#[test]
+fn csph_vgg_conv_cycle_band() {
+    let csph = CspH::new(CspHConfig::default(), EnergyTable::default());
+    let r = csph.run_network(&vgg_conv(), &profile());
+    let mcycles = r.cycles as f64 / 1e6;
+    // Dense bound is 15.3 GMAC / 1024 ≈ 15 Mcycles; at 26 % density ≈ 4 M.
+    assert!(
+        (3.0..6.5).contains(&mcycles),
+        "CSP-H VGG conv cycles {mcycles} M"
+    );
+}
+
+#[test]
+fn fig10_efficiency_ordering_is_stable() {
+    let e = EnergyTable::default();
+    let net = vgg_conv();
+    let p = profile();
+    let csph = CspH::new(CspHConfig::default(), e)
+        .run_network(&net, &p)
+        .total_energy_pj();
+    let diannao = DianNao::new(e).run_network(&net, &p).total_energy_pj();
+    let x = CambriconX::new(e).run_network(&net, &p).total_energy_pj();
+    let s = CambriconS::new(e).run_network(&net, &p).total_energy_pj();
+    let sparten = SparTen::new(e).run_network(&net, &p).total_energy_pj();
+    // The stable ordering on VGG: CSP-H < Cambricon-S < Cambricon-X <
+    // {DianNao, SparTen} — the two re-fetch-dominated designs trade places
+    // by small margins across models, so only their tier is pinned.
+    assert!(csph < s, "CSP-H must beat Cambricon-S");
+    assert!(s < x, "Cambricon-S must beat Cambricon-X");
+    assert!(x < diannao, "Cambricon-X must beat DianNao");
+    assert!(x < sparten, "Cambricon-X must beat SparTen on energy");
+    let tier_ratio = diannao / sparten;
+    assert!(
+        (0.5..2.0).contains(&tier_ratio),
+        "DianNao/SparTen tier drifted: {tier_ratio}"
+    );
+}
+
+#[test]
+fn fig10_headline_ratio_bands() {
+    let e = EnergyTable::default();
+    let net = vgg_conv();
+    let p = profile();
+    let csph = CspH::new(CspHConfig::default(), e).run_network(&net, &p);
+    let sparten = SparTen::new(e).run_network(&net, &p);
+    let diannao = DianNao::new(e).run_network(&net, &p);
+
+    let eff_vs_sparten = sparten.total_energy_pj() / csph.total_energy_pj();
+    // Pinned at ~8.2x when written (paper: 15x); band guards the model.
+    assert!(
+        (5.0..14.0).contains(&eff_vs_sparten),
+        "CSP-H vs SparTen efficiency {eff_vs_sparten}x"
+    );
+
+    let eff_vs_diannao = diannao.total_energy_pj() / csph.total_energy_pj();
+    assert!(
+        (5.0..14.0).contains(&eff_vs_diannao),
+        "CSP-H vs DianNao efficiency {eff_vs_diannao}x"
+    );
+
+    // SparTen keeps its cycle lead (paper: CSP-H ~1.4x slower).
+    let speed_vs_sparten = sparten.cycles as f64 / csph.cycles as f64;
+    assert!(
+        (0.2..0.95).contains(&speed_vs_sparten),
+        "CSP-H vs SparTen speed {speed_vs_sparten}x"
+    );
+}
+
+#[test]
+fn macs_track_density_exactly_for_csph() {
+    let csph = CspH::new(CspHConfig::default(), EnergyTable::default());
+    let net = vgg_conv();
+    let p = profile();
+    let r = csph.run_network(&net, &p);
+    let density = r.macs_executed as f64 / net.total_macs() as f64;
+    // The synthesized profile is exact up to chunk granularity.
+    assert!(
+        (density - (1.0 - 0.7372)).abs() < 0.02,
+        "CSP-H MAC density {density}"
+    );
+}

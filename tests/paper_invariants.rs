@@ -1,0 +1,169 @@
+//! The DESIGN.md invariants, checked across the whole accelerator roster
+//! and all five evaluation models.
+
+use csp_core::accel::{CspH, CspHConfig};
+use csp_core::baselines::{Accelerator, CambriconS, CambriconX, DianNao, OsDataflow, SparTen};
+use csp_core::models::{
+    alexnet, inception_v3, resnet50, transformer_base, vgg16, Dataset, Network, SparsityProfile,
+};
+use csp_core::sim::{EnergyTable, TrafficClass};
+
+fn all_networks() -> Vec<Network> {
+    vec![
+        alexnet(Dataset::ImageNet),
+        vgg16(Dataset::ImageNet),
+        resnet50(Dataset::ImageNet),
+        inception_v3(Dataset::ImageNet),
+        transformer_base(),
+    ]
+}
+
+fn all_baselines() -> Vec<Box<dyn Accelerator>> {
+    let e = EnergyTable::default();
+    vec![
+        Box::new(DianNao::new(e)),
+        Box::new(CambriconX::new(e)),
+        Box::new(CambriconS::new(e)),
+        Box::new(SparTen::new(e)),
+        Box::new(SparTen::dense(e)),
+        Box::new(OsDataflow::vanilla(e)),
+        Box::new(OsDataflow::with_csr(e)),
+    ]
+}
+
+#[test]
+fn csph_one_time_activation_access_on_every_model() {
+    // Invariant: CSP-H's DRAM activation traffic equals the unique IFM size
+    // exactly — never a re-fetch — on every layer of every model.
+    let csph = CspH::new(CspHConfig::default(), EnergyTable::default());
+    for net in all_networks() {
+        let profile = SparsityProfile::new(0.7, 42);
+        for layer in &net.layers {
+            let run = csph.run_layer(layer, &profile);
+            assert_eq!(
+                run.dram.bytes_read_class(TrafficClass::IfmUnique),
+                layer.ifm_elems() as u64,
+                "{}/{}",
+                net.name,
+                layer.name
+            );
+            assert_eq!(
+                run.dram.bytes_read_class(TrafficClass::IfmRefetch),
+                0,
+                "{}/{} re-fetched activations",
+                net.name,
+                layer.name
+            );
+        }
+    }
+}
+
+#[test]
+fn energy_components_sum_for_every_accelerator_and_model() {
+    let profile = SparsityProfile::new(0.6, 17);
+    for net in all_networks() {
+        for acc in all_baselines() {
+            let result = acc.run_network(&net, &profile);
+            let sum: f64 = result.energy.components().map(|(_, v)| v).sum();
+            assert!(
+                (sum - result.total_energy_pj()).abs() <= 1e-6 * sum.max(1.0),
+                "{} on {}: components {sum} vs total {}",
+                acc.name(),
+                net.name,
+                result.total_energy_pj()
+            );
+            assert!(result.cycles > 0, "{} on {}", acc.name(), net.name);
+            assert!(result.macs_executed > 0);
+        }
+    }
+}
+
+#[test]
+fn network_totals_equal_layer_sums() {
+    let profile = SparsityProfile::new(0.5, 3);
+    let net = vgg16(Dataset::ImageNet);
+    for acc in all_baselines() {
+        let whole = acc.run_network(&net, &profile);
+        let layers = acc.run_network_layers(&net, &profile);
+        assert_eq!(
+            whole.cycles,
+            layers.iter().map(|l| l.cycles).sum::<u64>(),
+            "{}",
+            acc.name()
+        );
+        let esum: f64 = layers.iter().map(|l| l.energy.total_pj()).sum();
+        assert!((whole.total_energy_pj() - esum).abs() < esum * 1e-9);
+    }
+}
+
+#[test]
+fn sparten_is_fastest_and_csph_is_most_efficient() {
+    // The paper's headline trade-off must hold on every CNN model.
+    let e = EnergyTable::default();
+    let csph = CspH::new(CspHConfig::default(), e);
+    let sparten = SparTen::new(e);
+    let diannao = DianNao::new(e);
+    for net in [vgg16(Dataset::ImageNet), resnet50(Dataset::ImageNet)] {
+        // Conv-only, as evaluated in the paper.
+        let conv_net = Network {
+            name: net.name,
+            layers: net.layers.iter().filter(|l| l.is_conv()).cloned().collect(),
+        };
+        let profile = SparsityProfile::new(0.74, 5);
+        let c = csph.run_network(&conv_net, &profile);
+        let s = sparten.run_network(&conv_net, &profile);
+        let d = diannao.run_network(&conv_net, &profile);
+        assert!(
+            s.cycles < c.cycles && s.cycles < d.cycles,
+            "SparTen must win cycles on {}",
+            net.name
+        );
+        assert!(
+            c.total_energy_pj() < s.total_energy_pj() && c.total_energy_pj() < d.total_energy_pj(),
+            "CSP-H must win energy on {}",
+            net.name
+        );
+    }
+}
+
+#[test]
+fn weight_sparsity_never_increases_traffic() {
+    // For every design that exploits weight sparsity, weight DRAM bytes
+    // must not grow as sparsity rises.
+    let e = EnergyTable::default();
+    let net = vgg16(Dataset::ImageNet);
+    let sparse_aware: Vec<Box<dyn Accelerator>> = vec![
+        Box::new(CambriconX::new(e)),
+        Box::new(CambriconS::new(e)),
+        Box::new(SparTen::new(e)),
+    ];
+    for acc in sparse_aware {
+        let mut prev = u64::MAX;
+        for s in [0.1f64, 0.4, 0.7, 0.9] {
+            let profile = SparsityProfile::new(s, 8);
+            let bytes: u64 = acc
+                .run_network_layers(&net, &profile)
+                .iter()
+                .map(|l| l.dram.bytes_read_class(TrafficClass::Weight))
+                .sum();
+            assert!(
+                bytes <= prev,
+                "{}: weight bytes rose from {prev} to {bytes} at sparsity {s}",
+                acc.name()
+            );
+            prev = bytes;
+        }
+    }
+}
+
+#[test]
+fn buffer_per_mac_ordering_matches_table1() {
+    // CSP-H must have the smallest buffer/MAC; Cambricon-S the largest.
+    let e = EnergyTable::default();
+    let csph = CspH::new(CspHConfig::default(), e);
+    let ours = csph.config().buffer_per_mac_bytes();
+    let sparten = SparTen::new(e).buffer_bytes_per_mac();
+    let cs = CambriconS::new(e).buffer_bytes_per_mac();
+    let dn = DianNao::new(e).buffer_bytes_per_mac();
+    assert!(ours < dn && dn < sparten && sparten < cs);
+}

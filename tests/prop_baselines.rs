@@ -1,0 +1,129 @@
+//! Property-based tests over the baseline accelerator models: every design
+//! must respond sanely to arbitrary layer geometries and sparsity levels
+//! (monotone costs, conserved energy accounting, positive work).
+
+use csp_core::baselines::{Accelerator, CambriconS, CambriconX, DianNao, OsDataflow, SparTen};
+use csp_core::models::{LayerShape, SparsityProfile};
+use csp_core::sim::EnergyTable;
+use proptest::prelude::*;
+
+fn lineup() -> Vec<Box<dyn Accelerator>> {
+    let e = EnergyTable::default();
+    vec![
+        Box::new(DianNao::new(e)),
+        Box::new(CambriconX::new(e)),
+        Box::new(CambriconS::new(e)),
+        Box::new(SparTen::new(e)),
+        Box::new(SparTen::dense(e)),
+        Box::new(OsDataflow::vanilla(e)),
+        Box::new(OsDataflow::with_csr(e)),
+    ]
+}
+
+/// Strategy: an arbitrary small conv or FC layer.
+fn any_layer() -> impl Strategy<Value = LayerShape> {
+    prop_oneof![
+        (1usize..64, 1usize..256, 1usize..4, 1usize..3, 4usize..30).prop_map(
+            |(c_in, c_out, half_k, stride, side)| {
+                let k = 2 * half_k - 1; // odd kernels 1/3/5
+                LayerShape::conv("p", c_in, c_out, k, stride, k / 2, side, side)
+            }
+        ),
+        (1usize..512, 1usize..1024, 1usize..40)
+            .prop_map(|(fi, fo, tok)| LayerShape::fc("p", fi, fo, tok)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_baseline_produces_positive_consistent_costs(
+        layer in any_layer(),
+        sparsity in 0.0f64..0.95,
+        density in 0.05f64..1.0
+    ) {
+        let profile = SparsityProfile::new(sparsity, 3).with_activation_density(density);
+        for acc in lineup() {
+            let run = acc.run_layer(&layer, &profile);
+            prop_assert!(run.macs > 0, "{} produced zero MACs", acc.name());
+            prop_assert!(run.cycles > 0, "{} produced zero cycles", acc.name());
+            let total = run.energy.total_pj();
+            prop_assert!(total > 0.0, "{} produced zero energy", acc.name());
+            let sum: f64 = run.energy.components().map(|(_, v)| v).sum();
+            prop_assert!(
+                (sum - total).abs() <= 1e-6 * total.max(1.0),
+                "{}: component sum {sum} != total {total}",
+                acc.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_aware_baselines_monotone_in_weight_sparsity(
+        layer in any_layer(),
+        s_low in 0.0f64..0.45
+    ) {
+        let s_high = s_low + 0.5;
+        let e = EnergyTable::default();
+        let sparse_aware: Vec<Box<dyn Accelerator>> = vec![
+            Box::new(CambriconX::new(e)),
+            Box::new(CambriconS::new(e)),
+            Box::new(SparTen::new(e)),
+            Box::new(OsDataflow::with_csr(e)),
+        ];
+        for acc in sparse_aware {
+            let lo = acc.run_layer(&layer, &SparsityProfile::new(s_low, 1));
+            let hi = acc.run_layer(&layer, &SparsityProfile::new(s_high, 1));
+            prop_assert!(
+                hi.macs <= lo.macs,
+                "{}: MACs rose with sparsity ({} -> {})",
+                acc.name(),
+                lo.macs,
+                hi.macs
+            );
+            prop_assert!(hi.cycles <= lo.cycles, "{}: cycles rose", acc.name());
+        }
+    }
+
+    #[test]
+    fn dense_designs_ignore_activation_density(
+        layer in any_layer(),
+        d1 in 0.05f64..1.0,
+        d2 in 0.05f64..1.0
+    ) {
+        let e = EnergyTable::default();
+        let dense: Vec<Box<dyn Accelerator>> = vec![
+            Box::new(DianNao::new(e)),
+            Box::new(CambriconX::new(e)),
+            Box::new(OsDataflow::vanilla(e)),
+        ];
+        for acc in dense {
+            let a = acc.run_layer(&layer, &SparsityProfile::new(0.5, 1).with_activation_density(d1));
+            let b = acc.run_layer(&layer, &SparsityProfile::new(0.5, 1).with_activation_density(d2));
+            prop_assert_eq!(a.macs, b.macs, "{} MACs vary with act density", acc.name());
+            prop_assert_eq!(a.cycles, b.cycles);
+        }
+    }
+
+    #[test]
+    fn sparten_macs_scale_with_both_sparsities(
+        layer in any_layer(),
+        w_sparsity in 0.0f64..0.9,
+        density in 0.1f64..1.0
+    ) {
+        let e = EnergyTable::default();
+        let s = SparTen::new(e);
+        let run = s.run_layer(
+            &layer,
+            &SparsityProfile::new(w_sparsity, 1).with_activation_density(density),
+        );
+        let expected = (layer.macs() as f64) * (1.0 - w_sparsity) * density;
+        let rel = run.macs as f64 / expected.max(1.0);
+        prop_assert!(
+            (0.99..=1.01).contains(&rel) || (run.macs as f64 - expected).abs() < 2.0,
+            "SparTen MACs {} vs expected {expected}",
+            run.macs
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Property-based tests on the CSP-A data structures: cascade closure,
+//! weaved/CSR round-trips, regularizer math, and reordering.
+
+use csp_core::pruning::quant::QuantSpec;
+use csp_core::pruning::truncation::TruncationConfig;
+use csp_core::pruning::{
+    group_waste, reorder_rows_for_ipws, CascadeRegularizer, ChunkedLayout, CspMask, CspPruner, Csr,
+    MagnitudePruner, Regularizer, Weaved,
+};
+use csp_core::tensor::Tensor;
+use proptest::prelude::*;
+
+/// Strategy: a layout plus a matching weight matrix with values in
+/// [-1, 1] and occasional exact zeros.
+fn layout_and_matrix() -> impl Strategy<Value = (ChunkedLayout, Tensor)> {
+    (1usize..12, 1usize..24, 1usize..6).prop_flat_map(|(m, c_out, chunk)| {
+        let len = m * c_out;
+        (
+            Just(ChunkedLayout::new(m, c_out, chunk).expect("positive dims")),
+            proptest::collection::vec(prop_oneof![3 => -1.0f32..1.0, 1 => Just(0.0f32)], len..=len)
+                .prop_map(move |v| Tensor::from_vec(v, &[m, c_out]).expect("len matches")),
+        )
+    })
+}
+
+/// Strategy: a layout plus valid chunk counts.
+fn layout_and_counts() -> impl Strategy<Value = (ChunkedLayout, Vec<usize>)> {
+    (1usize..12, 1usize..24, 1usize..6).prop_flat_map(|(m, c_out, chunk)| {
+        let layout = ChunkedLayout::new(m, c_out, chunk).expect("positive dims");
+        let n = layout.n_chunks();
+        (Just(layout), proptest::collection::vec(0usize..=n, m..=m))
+    })
+}
+
+proptest! {
+    #[test]
+    fn pruner_always_produces_cascade_closed_masks(
+        (layout, w) in layout_and_matrix(),
+        q in 0.0f32..2.0
+    ) {
+        let mask = CspPruner::new(q).prune(&w, layout).unwrap();
+        prop_assert!(mask.is_cascade_closed());
+        prop_assert_eq!(mask.chunk_counts.len(), layout.m());
+        for &c in &mask.chunk_counts {
+            prop_assert!(c <= layout.n_chunks());
+        }
+    }
+
+    #[test]
+    fn weaved_round_trip_is_identity(
+        (layout, counts) in layout_and_counts()
+    ) {
+        let mask = CspMask::from_chunk_counts(layout, counts).unwrap();
+        let w = Tensor::from_fn(&[layout.m(), layout.c_out()], |i| (i as f32 * 0.37).sin());
+        let masked = mask.apply(&w).unwrap();
+        let weaved = Weaved::compress(&masked, &mask).unwrap();
+        prop_assert_eq!(weaved.decompress(), masked.clone());
+        // Payload size equals the mask's surviving positions exactly
+        // (surviving chunks may contain zeros from w itself; count via mask).
+        let mask_ones = mask.mask.as_slice().iter().filter(|&&v| v != 0.0).count();
+        prop_assert_eq!(weaved.nnz(), mask_ones);
+    }
+
+    #[test]
+    fn weaved_size_never_exceeds_dense_plus_counts(
+        (layout, counts) in layout_and_counts()
+    ) {
+        let mask = CspMask::from_chunk_counts(layout, counts).unwrap();
+        let w = Tensor::ones(&[layout.m(), layout.c_out()]);
+        let weaved = Weaved::compress(&w, &mask).unwrap();
+        prop_assert!(weaved.size_bytes() <= layout.m() * layout.c_out() + layout.m());
+    }
+
+    #[test]
+    fn csr_round_trip_is_identity((_, w) in layout_and_matrix()) {
+        let csr = Csr::compress(&w).unwrap();
+        prop_assert_eq!(csr.decompress(), w);
+    }
+
+    #[test]
+    fn cascade_regularizer_grad_descends(
+        (layout, w) in layout_and_matrix(),
+        lambda in 0.001f32..0.5
+    ) {
+        // A small step against the gradient must not increase the penalty.
+        let reg = CascadeRegularizer::new(lambda);
+        let p0 = reg.penalty(&w, layout).unwrap();
+        let g = reg.grad(&w, layout).unwrap();
+        let gnorm = g.norm_l2();
+        prop_assume!(gnorm > 1e-6);
+        let step = 1e-3 / gnorm;
+        let mut w2 = w.clone();
+        w2.axpy(-step, &g).unwrap();
+        let p1 = reg.penalty(&w2, layout).unwrap();
+        prop_assert!(p1 <= p0 + 1e-4, "penalty rose {p0} -> {p1}");
+    }
+
+    #[test]
+    fn penalty_zero_iff_weights_zero((layout, _) in layout_and_matrix()) {
+        let reg = CascadeRegularizer::new(1.0);
+        let zero = Tensor::zeros(&[layout.m(), layout.c_out()]);
+        prop_assert_eq!(reg.penalty(&zero, layout).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn reorder_is_a_permutation(counts in proptest::collection::vec(0usize..10, 0..40)) {
+        let order = reorder_rows_for_ipws(&counts);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..counts.len()).collect::<Vec<_>>());
+        // Counts are non-increasing along the order.
+        for pair in order.windows(2) {
+            prop_assert!(counts[pair[0]] >= counts[pair[1]]);
+        }
+    }
+
+    #[test]
+    fn reorder_achieves_zero_waste_when_multiplicities_align(
+        // Build counts whose every distinct value appears a multiple of t
+        // times: the sorted grouping must then waste nothing.
+        values in proptest::collection::vec((0usize..10, 1usize..4), 1..6),
+        t in 1usize..5
+    ) {
+        let mut counts = Vec::new();
+        for &(v, reps) in &values {
+            for _ in 0..reps * t {
+                counts.push(v);
+            }
+        }
+        let reordered = reorder_rows_for_ipws(&counts);
+        prop_assert_eq!(group_waste(&counts, &reordered, t), 0);
+    }
+
+    #[test]
+    fn reorder_waste_bounded_by_group_spread(
+        counts in proptest::collection::vec(0usize..10, 1..40),
+        t in 1usize..8
+    ) {
+        // Sorted grouping bounds each group's waste by (t-1) × the drop
+        // across the group, so the total is bounded by (t-1) × max count.
+        let reordered = reorder_rows_for_ipws(&counts);
+        let max = counts.iter().copied().max().unwrap_or(0);
+        prop_assert!(group_waste(&counts, &reordered, t) <= (t - 1) * max);
+    }
+
+    #[test]
+    fn pruned_weights_have_reported_sparsity((layout, counts) in layout_and_counts()) {
+        let mask = CspMask::from_chunk_counts(layout, counts).unwrap();
+        let w = Tensor::ones(&[layout.m(), layout.c_out()]);
+        let pruned = mask.apply(&w).unwrap();
+        let measured = pruned.sparsity();
+        prop_assert!((measured - mask.sparsity()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn fake_quant_error_within_half_step(
+        values in proptest::collection::vec(-4.0f32..4.0, 1..64),
+        bits in 3u32..10
+    ) {
+        let len = values.len();
+        let t = Tensor::from_vec(values, &[len]).unwrap();
+        let spec = QuantSpec::calibrate(&t, bits).unwrap();
+        let q = spec.fake_quant(&t);
+        for (a, b) in t.as_slice().iter().zip(q.as_slice()) {
+            prop_assert!((a - b).abs() <= spec.scale * 0.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn fake_quant_is_idempotent(
+        values in proptest::collection::vec(-2.0f32..2.0, 1..32),
+        bits in 3u32..9
+    ) {
+        let len = values.len();
+        let t = Tensor::from_vec(values, &[len]).unwrap();
+        let spec = QuantSpec::calibrate(&t, bits).unwrap();
+        let once = spec.fake_quant(&t);
+        let twice = spec.fake_quant(&once);
+        for (a, b) in once.as_slice().iter().zip(twice.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn truncate_is_idempotent_and_bounded(
+        v in -100.0f32..100.0,
+        bits in 3u32..16,
+        step_exp in -6i32..0
+    ) {
+        let step = 2.0f32.powi(step_exp);
+        let cfg = TruncationConfig::new(1, bits, step).unwrap();
+        let t1 = cfg.truncate(v);
+        prop_assert!((cfg.truncate(t1) - t1).abs() < 1e-9);
+        // Two's-complement range: the negative clamp reaches one level
+        // beyond the positive max_value().
+        prop_assert!(t1.abs() <= cfg.max_value() + step + 1e-6);
+        // Truncation never moves past the original value (towards zero).
+        prop_assert!(t1.abs() <= v.abs() + 1e-6);
+    }
+
+    #[test]
+    fn magnitude_mask_hits_target_on_distinct_values(
+        n in 8usize..128,
+        s in 0.0f32..0.9
+    ) {
+        // Strictly increasing magnitudes → exact threshold behaviour.
+        let t = Tensor::from_fn(&[n], |i| (i + 1) as f32 * 0.1);
+        let mask = MagnitudePruner::new(s).mask(&t).unwrap();
+        let got = 1.0 - mask.mean();
+        prop_assert!((got - s).abs() <= 1.0 / n as f32 + 1e-6);
+    }
+}

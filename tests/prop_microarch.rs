@@ -1,0 +1,267 @@
+//! Property-based tests on the CSP-H microarchitecture: RegBin/accumulator
+//! correctness, array-vs-GEMM equivalence, early-stop accounting, and
+//! truncation error bounds.
+
+use csp_core::accel::drain::drain_column;
+use csp_core::accel::{
+    regbin_index_of_chunk, regbin_len, regbin_start, AccumBuffer, CspHConfig, IpwsArray, Pe,
+    SerialCascadingArray, NUM_REGBINS,
+};
+use csp_core::pruning::truncation::TruncationConfig;
+use csp_core::pruning::{ChunkedLayout, CspMask};
+use csp_core::tensor::{matmul_at_b, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn chunk_to_bin_mapping_is_consistent(chunk in 0usize..62) {
+        let b = regbin_index_of_chunk(chunk);
+        prop_assert!(b < NUM_REGBINS);
+        prop_assert!(chunk >= regbin_start(b));
+        prop_assert!(chunk < regbin_start(b) + regbin_len(b));
+    }
+
+    #[test]
+    fn accum_buffer_is_a_correct_scatter_accumulator(
+        ops in proptest::collection::vec((0usize..62, -10.0f32..10.0), 1..200)
+    ) {
+        let mut ab = AccumBuffer::new();
+        let mut model = [0.0f32; 62];
+        for &(chunk, delta) in &ops {
+            ab.accumulate(chunk, delta, 62);
+            model[chunk] += delta;
+        }
+        for (chunk, &expected) in model.iter().enumerate() {
+            prop_assert!((ab.peek(chunk) - expected).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn flush_always_zeroes_and_reports(
+        ops in proptest::collection::vec((0usize..62, -5.0f32..5.0), 0..60)
+    ) {
+        let mut ab = AccumBuffer::new();
+        for &(chunk, delta) in &ops {
+            ab.accumulate(chunk, delta, 62);
+        }
+        let (values, stats) = ab.flush();
+        prop_assert_eq!(values.len(), 62);
+        prop_assert!((0..62).all(|c| ab.peek(c) == 0.0));
+        prop_assert!(stats.stall_cycles <= 2);
+        prop_assert!(stats.drain_cycles <= 32);
+    }
+
+    #[test]
+    fn pe_without_truncation_is_exact(
+        pairs in proptest::collection::vec((-2.0f32..2.0, -2.0f32..2.0), 1..50),
+        chunk in 0usize..62
+    ) {
+        let mut pe = Pe::new(None);
+        let mut expected = 0.0f32;
+        for &(a, w) in &pairs {
+            pe.mac(a, w, chunk, chunk + 1);
+            expected += a * w;
+        }
+        pe.fold(chunk, chunk + 1);
+        prop_assert!((pe.partial_sum(chunk) - expected).abs() < 1e-3);
+        prop_assert_eq!(pe.macs_executed(), pairs.len() as u64);
+    }
+
+    #[test]
+    fn truncated_pe_error_bounded_by_fold_count(
+        pairs in proptest::collection::vec((-1.0f32..1.0, -1.0f32..1.0), 1..64),
+        period in 1usize..16
+    ) {
+        let step = 0.0625f32;
+        let cfg = TruncationConfig::new(period, 16, step).unwrap();
+        let mut pe = Pe::new(Some(cfg));
+        let mut exact = 0.0f32;
+        for &(a, w) in &pairs {
+            pe.mac(a, w, 0, 1);
+            exact += a * w;
+        }
+        pe.fold(0, 1);
+        let folds = pe.ir_folds() as f32;
+        let err = (pe.partial_sum(0) - exact).abs();
+        prop_assert!(
+            err <= step * (folds + 1.0),
+            "err {err} vs bound {} ({} folds)", step * (folds + 1.0), folds
+        );
+    }
+
+    #[test]
+    fn array_matches_reference_gemm_on_random_masks(
+        m in 1usize..7,
+        n_chunks in 1usize..4,
+        p in 1usize..6,
+        seed in 0u64..500
+    ) {
+        let arr_w = 3usize;
+        let c_out = n_chunks * arr_w;
+        let counts: Vec<usize> = (0..m)
+            .map(|j| {
+                let h = (j as u64 + 1).wrapping_mul(seed.wrapping_add(0x9e37)).rotate_left(13);
+                (h % (n_chunks as u64 + 1)) as usize
+            })
+            .collect();
+        let layout = ChunkedLayout::new(m, c_out, arr_w).unwrap();
+        let mask = CspMask::from_chunk_counts(layout, counts.clone()).unwrap();
+        let w = mask
+            .apply(&Tensor::from_fn(&[m, c_out], |i| ((i as f32) * 0.61).sin()))
+            .unwrap();
+        let acts = Tensor::from_fn(&[m, p], |i| ((i as f32) * 0.43).cos());
+        let cfg = CspHConfig {
+            arr_w,
+            arr_h: 2,
+            truncation_period: 2,
+            ..CspHConfig::default()
+        };
+        let (out, stats) = SerialCascadingArray::new(cfg, None)
+            .run_gemm(&w, &counts, &acts)
+            .unwrap();
+        let reference = matmul_at_b(&w, &acts).unwrap();
+        let err = out.sub(&reference).unwrap().norm_l2();
+        prop_assert!(err < 1e-3, "array error {err}");
+        // Early stop: cycles (minus flush) = nnz chunks × pixel tiles.
+        let nnz: u64 = counts.iter().map(|&c| c as u64).sum();
+        let tiles = p.div_ceil(2) as u64;
+        prop_assert_eq!(stats.cycles - stats.flush_stalls, nnz * tiles);
+    }
+
+    #[test]
+    fn drain_stall_never_exceeds_two_cycles(
+        height in 1usize..64,
+        dirty_bits in 0u8..32
+    ) {
+        let dirty: [bool; NUM_REGBINS] =
+            std::array::from_fn(|b| dirty_bits & (1 << b) != 0);
+        let r = drain_column(height, dirty);
+        prop_assert!(r.exposed_stall <= 2);
+        // Latency bounded by largest dirty bin + pipeline depth.
+        prop_assert!(r.total_cycles < 32 + height as u64);
+        // Bus width is fixed regardless of workload.
+        prop_assert_eq!(r.bus_bits, 40);
+    }
+
+    #[test]
+    fn ipws_matches_reference_on_random_masks(
+        m in 1usize..8,
+        n_chunks in 1usize..4,
+        p in 1usize..5,
+        seed in 0u64..200
+    ) {
+        let arr_w = 3usize;
+        let c_out = n_chunks * arr_w;
+        let counts: Vec<usize> = (0..m)
+            .map(|j| ((seed.wrapping_mul(31) + j as u64 * 7) % (n_chunks as u64 + 1)) as usize)
+            .collect();
+        let layout = ChunkedLayout::new(m, c_out, arr_w).unwrap();
+        let mask = CspMask::from_chunk_counts(layout, counts.clone()).unwrap();
+        let w = mask
+            .apply(&Tensor::from_fn(&[m, c_out], |i| ((i as f32) * 0.47).sin()))
+            .unwrap();
+        let acts = Tensor::from_fn(&[m, p], |i| ((i as f32) * 0.83).cos());
+        let cfg = CspHConfig {
+            arr_w,
+            arr_h: 2,
+            truncation_period: 2,
+            ..CspHConfig::default()
+        };
+        let (out, stats) = IpwsArray::new(cfg, None).run_gemm(&w, &counts, &acts).unwrap();
+        let reference = matmul_at_b(&w, &acts).unwrap();
+        let err = out.sub(&reference).unwrap().norm_l2();
+        prop_assert!(err < 1e-3, "IpWS error {err}");
+        // Chunk-granular early stop: MACs equal surviving chunk widths × P.
+        let surviving: u64 = counts.iter().map(|&c| (c * arr_w) as u64).sum();
+        prop_assert_eq!(stats.macs, surviving * p as u64);
+    }
+
+    #[test]
+    fn analytic_cycles_monotone_in_counts(
+        m in 1usize..10,
+        n_chunks in 1usize..5,
+        seed in 0u64..100
+    ) {
+        use csp_core::accel::CspH;
+        use csp_core::models::LayerShape;
+        use csp_core::sim::EnergyTable;
+        let cfg = CspHConfig::default();
+        let layer = LayerShape::conv("p", m, n_chunks * cfg.arr_w, 1, 1, 0, 6, 6);
+        let counts: Vec<usize> = (0..layer.m())
+            .map(|j| ((seed + j as u64 * 13) % (n_chunks as u64 + 1)) as usize)
+            .collect();
+        let mut more = counts.clone();
+        for c in &mut more {
+            *c = (*c + 1).min(n_chunks);
+        }
+        let csph = CspH::new(cfg, EnergyTable::default());
+        let a = csph.run_layer_with_counts(&layer, &counts);
+        let b = csph.run_layer_with_counts(&layer, &more);
+        prop_assert!(b.cycles >= a.cycles);
+        prop_assert!(b.macs >= a.macs);
+        prop_assert!(b.energy.total_pj() >= a.energy.total_pj() * 0.999);
+    }
+
+    #[test]
+    fn analytic_dram_reads_are_conserved(
+        m in 1usize..10,
+        n_chunks in 1usize..5,
+        seed in 0u64..100
+    ) {
+        use csp_core::accel::CspH;
+        use csp_core::models::LayerShape;
+        use csp_core::sim::{EnergyTable, TrafficClass};
+        let cfg = CspHConfig::default();
+        let layer = LayerShape::conv("p", m, n_chunks * cfg.arr_w, 1, 1, 0, 5, 5);
+        let counts: Vec<usize> = (0..layer.m())
+            .map(|j| ((seed * 7 + j as u64) % (n_chunks as u64 + 1)) as usize)
+            .collect();
+        let run = CspH::new(cfg, EnergyTable::default()).run_layer_with_counts(&layer, &counts);
+        // IFM: exactly the unique volume, never more nor less.
+        prop_assert_eq!(
+            run.dram.bytes_read_class(TrafficClass::IfmUnique),
+            layer.ifm_elems() as u64
+        );
+        prop_assert_eq!(run.dram.bytes_read_class(TrafficClass::IfmRefetch), 0);
+        // Weights: exactly the surviving chunk widths.
+        let surviving: u64 = counts
+            .iter()
+            .map(|&c| (c * cfg.arr_w) as u64)
+            .sum();
+        prop_assert_eq!(run.dram.bytes_read_class(TrafficClass::Weight), surviving);
+        // OFM written once.
+        prop_assert_eq!(
+            run.dram.bytes_written_class(TrafficClass::Ofm),
+            layer.ofm_elems() as u64
+        );
+    }
+
+    #[test]
+    fn array_macs_equal_surviving_weights_times_pixels(
+        m in 1usize..6,
+        n_chunks in 1usize..4,
+        p in 1usize..5,
+        seed in 0u64..200
+    ) {
+        let arr_w = 2usize;
+        let c_out = n_chunks * arr_w;
+        let counts: Vec<usize> = (0..m)
+            .map(|j| ((seed + j as u64) % (n_chunks as u64 + 1)) as usize)
+            .collect();
+        let layout = ChunkedLayout::new(m, c_out, arr_w).unwrap();
+        let mask = CspMask::from_chunk_counts(layout, counts.clone()).unwrap();
+        let w = mask.apply(&Tensor::ones(&[m, c_out])).unwrap();
+        let acts = Tensor::ones(&[m, p]);
+        let cfg = CspHConfig {
+            arr_w,
+            arr_h: 2,
+            truncation_period: 1,
+            ..CspHConfig::default()
+        };
+        let (_, stats) = SerialCascadingArray::new(cfg, None)
+            .run_gemm(&w, &counts, &acts)
+            .unwrap();
+        let surviving: u64 = counts.iter().map(|&c| (c * arr_w) as u64).sum();
+        prop_assert_eq!(stats.macs, surviving * p as u64);
+    }
+}
