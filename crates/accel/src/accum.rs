@@ -75,6 +75,14 @@ impl AccumBuffer {
         self.bins[b].poke(chunk - regbin_start(b), value);
     }
 
+    /// Fault-injection hook: expose the stored partial sum of `chunk` to a
+    /// corruption function and store back whatever it returns (see
+    /// [`RegBin::apply_fault`]).
+    pub fn apply_fault<F: FnOnce(f32) -> f32>(&mut self, chunk: usize, f: F) {
+        let b = regbin_index_of_chunk(chunk);
+        self.bins[b].apply_fault(chunk - regbin_start(b), f);
+    }
+
     /// Let all rotation FSMs run to completion (between row groups).
     pub fn settle(&mut self) {
         for bin in &mut self.bins {

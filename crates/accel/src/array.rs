@@ -14,6 +14,7 @@
 use crate::config::CspHConfig;
 use crate::pe::Pe;
 use csp_pruning::truncation::TruncationConfig;
+use csp_sim::fault::{FaultClass, FaultPlan, FaultReport, FaultSession};
 use csp_tensor::{im2col, Conv2dSpec, Result, Tensor, TensorError};
 
 /// Cycle/traffic statistics of one functional array run.
@@ -68,6 +69,53 @@ impl SerialCascadingArray {
         chunk_counts: &[usize],
         acts: &Tensor,
     ) -> Result<(Tensor, ArrayStats)> {
+        self.run_gemm_inner(weights, chunk_counts, acts, None)
+    }
+
+    /// [`run_gemm`](Self::run_gemm) under a fault campaign: weights are
+    /// first exposed to DRAM-transfer upsets, then the datapath runs with
+    /// weight-GLB, IR, RegBin and stuck-MAC injection per the plan.
+    /// Parity-retry stall cycles are added to the returned cycle count.
+    /// With [`FaultPlan::none()`] this is bit-identical to `run_gemm`.
+    ///
+    /// # Errors
+    ///
+    /// Same shape errors as [`run_gemm`](Self::run_gemm).
+    pub fn run_gemm_faulty(
+        &self,
+        weights: &Tensor,
+        chunk_counts: &[usize],
+        acts: &Tensor,
+        plan: &FaultPlan,
+    ) -> Result<(Tensor, ArrayStats, FaultReport)> {
+        if plan.is_none() {
+            let (out, stats) = self.run_gemm_inner(weights, chunk_counts, acts, None)?;
+            return Ok((out, stats, FaultReport::default()));
+        }
+        let mut session = FaultSession::new(plan.clone());
+        session.set_retry_costs(
+            self.config.truncation_period.max(1) as u64,
+            self.config.arr_w as u64,
+        );
+        // DRAM → GLB transfer: one vulnerable event per weight element,
+        // persisting for the whole run.
+        let faulted = Tensor::from_fn(weights.dims(), |i| {
+            session.corrupt_f32(FaultClass::DramTransfer, weights.as_slice()[i])
+        });
+        let (out, mut stats) =
+            self.run_gemm_inner(&faulted, chunk_counts, acts, Some(&mut session))?;
+        stats.cycles += session.retry_cycles();
+        stats.flush_stalls += session.retry_cycles();
+        Ok((out, stats, session.report()))
+    }
+
+    fn run_gemm_inner(
+        &self,
+        weights: &Tensor,
+        chunk_counts: &[usize],
+        acts: &Tensor,
+        mut session: Option<&mut FaultSession>,
+    ) -> Result<(Tensor, ArrayStats)> {
         let (arr_w, arr_h, t_period) = (
             self.config.arr_w,
             self.config.arr_h,
@@ -115,7 +163,8 @@ impl SerialCascadingArray {
                     .iter()
                     .map(|&c| c.saturating_sub(w0).min(w1 - w0))
                     .collect();
-                let (o, s) = self.run_gemm(&wslice, &counts_slice, acts)?;
+                let (o, s) =
+                    self.run_gemm_inner(&wslice, &counts_slice, acts, session.as_deref_mut())?;
                 for col in 0..(col1 - col0) {
                     for pix in 0..p {
                         out.set(&[col0 + col, pix], o.get(&[col, pix])?)?;
@@ -167,11 +216,35 @@ impl SerialCascadingArray {
                         let chunk_start = n * arr_w;
                         let chunk_end = (chunk_start + arr_w).min(c_out);
                         stats.wgt_loads += (chunk_end - chunk_start) as u64;
+                        // One weight-GLB vulnerable event per GLB read
+                        // (the read is shared by the tile's pixel rows).
+                        let wgt_override: Option<Vec<f32>> = session.as_deref_mut().map(|s| {
+                            (chunk_start..chunk_end)
+                                .map(|col| {
+                                    s.corrupt_f32(FaultClass::WeightGlb, wd[j * c_out + col])
+                                })
+                                .collect()
+                        });
                         for (pi, pixel) in tile.clone().enumerate() {
                             let a = ad[j * p + pixel];
                             for (ci, col) in (chunk_start..chunk_end).enumerate() {
-                                let w = wd[j * c_out + col];
-                                pes[pi * arr_w + ci].mac(a, w, n, count);
+                                let w = match &wgt_override {
+                                    Some(row) => row[ci],
+                                    None => wd[j * c_out + col],
+                                };
+                                match session.as_deref_mut() {
+                                    Some(s) => {
+                                        // Stuck-at-zero multiplier: the
+                                        // product of a stuck PE is dropped.
+                                        let w = if s.pe_is_stuck(pi * arr_w + ci) {
+                                            0.0
+                                        } else {
+                                            w
+                                        };
+                                        pes[pi * arr_w + ci].mac_with_faults(a, w, n, count, s);
+                                    }
+                                    None => pes[pi * arr_w + ci].mac(a, w, n, count),
+                                }
                                 stats.macs += 1;
                             }
                         }
@@ -183,7 +256,14 @@ impl SerialCascadingArray {
                         }
                         for (pi, _) in tile.clone().enumerate() {
                             for ci in 0..arr_w {
-                                pes[pi * arr_w + ci].fold(n, max_count.min(62));
+                                match session.as_deref_mut() {
+                                    Some(s) => pes[pi * arr_w + ci].fold_with_faults(
+                                        n,
+                                        max_count.min(62),
+                                        s,
+                                    ),
+                                    None => pes[pi * arr_w + ci].fold(n, max_count.min(62)),
+                                }
                             }
                         }
                     }
@@ -230,6 +310,27 @@ impl SerialCascadingArray {
         let (oh, ow) = (spec.out_dim(input.dims()[1]), spec.out_dim(input.dims()[2]));
         let c_out = weights.dims()[1];
         Ok((out.reshape(&[c_out, oh, ow])?, stats))
+    }
+
+    /// [`run_conv`](Self::run_conv) under a fault campaign (see
+    /// [`run_gemm_faulty`](Self::run_gemm_faulty)).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors from the lowering or the GEMM.
+    pub fn run_conv_faulty(
+        &self,
+        input: &Tensor,
+        weights: &Tensor,
+        chunk_counts: &[usize],
+        spec: Conv2dSpec,
+        plan: &FaultPlan,
+    ) -> Result<(Tensor, ArrayStats, FaultReport)> {
+        let cols = im2col(input, spec)?;
+        let (out, stats, report) = self.run_gemm_faulty(weights, chunk_counts, &cols, plan)?;
+        let (oh, ow) = (spec.out_dim(input.dims()[1]), spec.out_dim(input.dims()[2]));
+        let c_out = weights.dims()[1];
+        Ok((out.reshape(&[c_out, oh, ow])?, stats, report))
     }
 }
 

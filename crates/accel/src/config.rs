@@ -1,5 +1,7 @@
 //! CSP-H configuration (the "Ours" row of Table 1).
 
+use csp_tensor::CspError;
+
 /// Configuration of a CSP-H accelerator instance.
 ///
 /// Defaults match the paper's evaluated design: a 32×32 PE array
@@ -45,6 +47,42 @@ impl Default for CspHConfig {
 }
 
 impl CspHConfig {
+    /// Validate the configuration against the hardware's structural
+    /// constraints. Called by the pipeline entry points before any
+    /// simulation is attempted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Config`] for zero array dimensions, a
+    /// truncation period that is not a positive multiple of `arr_w`
+    /// (the IR feeds whole `arr_w`-wide chunk rows per fold, Section 7.3),
+    /// zero RegBin precision, or any zero-byte global buffer.
+    pub fn validate(&self) -> Result<(), CspError> {
+        let reject = |what: String| Err(CspError::Config { what });
+        if self.arr_w == 0 || self.arr_h == 0 {
+            return reject(format!(
+                "array dimensions must be positive, got arr_w={} arr_h={}",
+                self.arr_w, self.arr_h
+            ));
+        }
+        if self.truncation_period == 0 || !self.truncation_period.is_multiple_of(self.arr_w) {
+            return reject(format!(
+                "truncation_period must be a positive multiple of arr_w, got T={} arr_w={}",
+                self.truncation_period, self.arr_w
+            ));
+        }
+        if self.regbin_bits == 0 {
+            return reject("regbin_bits must be positive".to_string());
+        }
+        if self.inact_glb_bytes == 0 || self.wgt_glb_bytes == 0 || self.outact_glb_bytes == 0 {
+            return reject(format!(
+                "global buffers must be non-empty, got inact={} wgt={} outact={}",
+                self.inact_glb_bytes, self.wgt_glb_bytes, self.outact_glb_bytes
+            ));
+        }
+        Ok(())
+    }
+
     /// Total PE count (`arr_w × arr_h`).
     pub fn num_pes(&self) -> usize {
         self.arr_w * self.arr_h
@@ -100,6 +138,74 @@ mod tests {
             (kb_per_mac - 0.137).abs() < 0.005,
             "B/MAC = {kb_per_mac} KB"
         );
+    }
+
+    #[test]
+    fn validate_accepts_default_and_paper_variants() {
+        assert!(CspHConfig::default().validate().is_ok());
+        // T = arr_w (single input register) is also valid.
+        let t_eq_w = CspHConfig {
+            truncation_period: 32,
+            ..CspHConfig::default()
+        };
+        assert!(t_eq_w.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_array_dims() {
+        for (w, h) in [(0usize, 32usize), (32, 0), (0, 0)] {
+            let c = CspHConfig {
+                arr_w: w,
+                arr_h: h,
+                ..CspHConfig::default()
+            };
+            let err = c.validate().unwrap_err();
+            assert!(
+                matches!(err, CspError::Config { ref what } if what.contains("array dimensions")),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_bad_truncation_period() {
+        for t in [0usize, 33, 48] {
+            let c = CspHConfig {
+                truncation_period: t,
+                ..CspHConfig::default()
+            };
+            let err = c.validate().unwrap_err();
+            assert!(
+                matches!(err, CspError::Config { ref what } if what.contains("truncation_period")),
+                "T={t}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_zero_glbs() {
+        for (i, w, o) in [(0usize, 1usize, 1usize), (1, 0, 1), (1, 1, 0)] {
+            let c = CspHConfig {
+                inact_glb_bytes: i * 1024,
+                wgt_glb_bytes: w * 1024,
+                outact_glb_bytes: o * 1024,
+                ..CspHConfig::default()
+            };
+            let err = c.validate().unwrap_err();
+            assert!(
+                matches!(err, CspError::Config { ref what } if what.contains("global buffers")),
+                "{err}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_zero_regbin_bits() {
+        let c = CspHConfig {
+            regbin_bits: 0,
+            ..CspHConfig::default()
+        };
+        assert!(matches!(c.validate(), Err(CspError::Config { .. })));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::array::ArrayStats;
 use crate::config::CspHConfig;
 use csp_pruning::reorder_rows_for_ipws;
 use csp_pruning::truncation::TruncationConfig;
+use csp_sim::fault::{FaultClass, FaultPlan, FaultReport, FaultSession};
 use csp_tensor::{Result, Tensor, TensorError};
 
 /// The functional IpWS array.
@@ -58,6 +59,52 @@ impl IpwsArray {
         weights: &Tensor,
         chunk_counts: &[usize],
         acts: &Tensor,
+    ) -> Result<(Tensor, ArrayStats)> {
+        self.run_gemm_inner(weights, chunk_counts, acts, None)
+    }
+
+    /// [`run_gemm`](Self::run_gemm) under a fault campaign. IpWS exposes
+    /// the DRAM-transfer, weight-GLB, stuck-MAC and RegBin (psum
+    /// read-modify-write per chunk step) classes; its accumulation is
+    /// direct, so the IR class has no vulnerable events here. Parity-retry
+    /// stall cycles are added to the returned cycle count. With
+    /// [`FaultPlan::none()`] this is bit-identical to `run_gemm`.
+    ///
+    /// # Errors
+    ///
+    /// Same shape errors as [`run_gemm`](Self::run_gemm).
+    pub fn run_gemm_faulty(
+        &self,
+        weights: &Tensor,
+        chunk_counts: &[usize],
+        acts: &Tensor,
+        plan: &FaultPlan,
+    ) -> Result<(Tensor, ArrayStats, FaultReport)> {
+        if plan.is_none() {
+            let (out, stats) = self.run_gemm_inner(weights, chunk_counts, acts, None)?;
+            return Ok((out, stats, FaultReport::default()));
+        }
+        let mut session = FaultSession::new(plan.clone());
+        session.set_retry_costs(
+            self.config.truncation_period.max(1) as u64,
+            self.config.arr_w as u64,
+        );
+        let faulted = Tensor::from_fn(weights.dims(), |i| {
+            session.corrupt_f32(FaultClass::DramTransfer, weights.as_slice()[i])
+        });
+        let (out, mut stats) =
+            self.run_gemm_inner(&faulted, chunk_counts, acts, Some(&mut session))?;
+        stats.cycles += session.retry_cycles();
+        stats.flush_stalls += session.retry_cycles();
+        Ok((out, stats, session.report()))
+    }
+
+    fn run_gemm_inner(
+        &self,
+        weights: &Tensor,
+        chunk_counts: &[usize],
+        acts: &Tensor,
+        mut session: Option<&mut FaultSession>,
     ) -> Result<(Tensor, ArrayStats)> {
         let cfg = &self.config;
         if weights.rank() != 2 || acts.rank() != 2 || weights.dims()[0] != acts.dims()[0] {
@@ -109,7 +156,7 @@ impl IpwsArray {
                 let feeds = rows.len().div_ceil(cfg.arr_h) as u64;
                 stats.cycles += feeds * p as u64;
                 stats.cycles += 1; // accumulate_psums()
-                for &j in rows {
+                for (slot, &j) in rows.iter().enumerate() {
                     if n >= chunk_counts[j] {
                         continue; // idle PE: early-stopped row
                     }
@@ -123,15 +170,38 @@ impl IpwsArray {
                     // precision (the IR collects the group's T sub-rows
                     // before truncation). Early stop is chunk-granular:
                     // zeros *within* a surviving chunk still issue MACs.
-                    for col in chunk_start..chunk_end {
-                        let w = wd[j * c_out + col];
+                    for (ci, col) in (chunk_start..chunk_end).enumerate() {
+                        let mut w = wd[j * c_out + col];
                         stats.macs += p as u64;
+                        if let Some(s) = session.as_deref_mut() {
+                            // One weight-GLB vulnerable event per read;
+                            // stuck PEs are addressed by their spatial
+                            // position (row group slot × column).
+                            w = s.corrupt_f32(FaultClass::WeightGlb, w);
+                            if s.pe_is_stuck((slot % cfg.arr_h) * cfg.arr_w + ci) {
+                                w = 0.0;
+                            }
+                        }
                         if w == 0.0 {
                             continue;
                         }
                         for pix in 0..p {
                             let idx = col * p + pix;
                             out.as_mut_slice()[idx] += w * ad[j * p + pix];
+                        }
+                    }
+                }
+                // Psum read-modify-write for this chunk step: one RegBin
+                // vulnerable event per (column, token) accumulator.
+                if let Some(s) = session.as_deref_mut() {
+                    for col in chunk_start..chunk_end {
+                        for pix in 0..p {
+                            let idx = col * p + pix;
+                            let stored = out.as_slice()[idx];
+                            let observed = s.regbin_access(stored);
+                            if observed.to_bits() != stored.to_bits() {
+                                out.as_mut_slice()[idx] = observed;
+                            }
                         }
                     }
                 }

@@ -3,6 +3,7 @@
 
 use crate::accum::{AccumBuffer, FlushStats};
 use csp_pruning::truncation::TruncationConfig;
+use csp_sim::fault::{FaultClass, FaultSession};
 
 /// A functional CSP-H PE.
 ///
@@ -53,6 +54,52 @@ impl Pe {
             return;
         }
         let new = self.accum.accumulate(chunk, self.ir, row_chunk_count);
+        if let Some(t) = self.truncation {
+            let truncated = t.truncate(new);
+            self.accum.poke(chunk, truncated);
+        }
+        self.ir = 0.0;
+        self.ir_count = 0;
+        self.ir_folds += 1;
+    }
+
+    /// [`mac`](Self::mac) under a fault campaign: automatic period folds
+    /// go through [`fold_with_faults`](Self::fold_with_faults) so their IR
+    /// and RegBin vulnerable events are counted.
+    pub fn mac_with_faults(
+        &mut self,
+        activation: f32,
+        weight: f32,
+        chunk: usize,
+        row_chunk_count: usize,
+        session: &mut FaultSession,
+    ) {
+        self.ir += activation * weight;
+        self.ir_count += 1;
+        self.macs += 1;
+        let period = self.truncation.map_or(usize::MAX, |t| t.period);
+        if self.ir_count >= period {
+            self.fold_with_faults(chunk, row_chunk_count, session);
+        }
+    }
+
+    /// [`fold`](Self::fold) under a fault campaign. Two vulnerable events
+    /// per fold: the IR read-out (IEEE-754 bit flip) and the RegBin
+    /// read-modify-write on the stored partial sum (fixed-point bit flip,
+    /// subject to the plan's protection scheme).
+    pub fn fold_with_faults(
+        &mut self,
+        chunk: usize,
+        row_chunk_count: usize,
+        session: &mut FaultSession,
+    ) {
+        if self.ir_count == 0 {
+            return;
+        }
+        let ir = session.corrupt_f32(FaultClass::IntermediateReg, self.ir);
+        self.accum
+            .apply_fault(chunk, |stored| session.regbin_access(stored));
+        let new = self.accum.accumulate(chunk, ir, row_chunk_count);
         if let Some(t) = self.truncation {
             let truncated = t.truncate(new);
             self.accum.poke(chunk, truncated);

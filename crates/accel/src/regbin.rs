@@ -176,6 +176,14 @@ impl RegBin {
         self.values[offset] = value;
     }
 
+    /// Fault-injection hook: expose the stored entry at `offset` to a
+    /// corruption function (a retention upset or read disturb) and store
+    /// back whatever it returns. No event accounting — the upset is not a
+    /// datapath access.
+    pub fn apply_fault<F: FnOnce(f32) -> f32>(&mut self, offset: usize, f: F) {
+        self.values[offset] = f(self.values[offset]);
+    }
+
     /// Drain all entries to zero, returning them head-first. Serial drain
     /// takes `len()` cycles but overlaps with the next pass (Section 5.1).
     pub fn drain(&mut self) -> Vec<f32> {

@@ -1,0 +1,277 @@
+//! Fault-injection study: output quality vs fault rate under the three
+//! RegBin protection schemes, on dense and CSP-pruned mini-model GEMMs.
+//!
+//! The study runs a seeded classifier-style GEMM (`Wᵀ·A`, argmax over the
+//! filter axis per pixel) through the Serial Cascading array with the
+//! deterministic fault framework of `csp_sim::fault`:
+//!
+//! * **Table A** — per-class vulnerability: each fault class enabled alone,
+//!   unprotected, at a fixed rate; how many vulnerable events each class
+//!   exposes and how much output corruption it causes.
+//! * **Table B** — RegBin protection sweep: accuracy vs fault rate for
+//!   {unprotected, parity+retry, SECDED} × {dense, CSP-pruned}. Parity
+//!   retries are charged flush-and-recompute stall cycles and weight
+//!   re-fetch traffic; SECDED corrects in place.
+//! * **Table C** — protection overheads in Table 1 units: per-access energy
+//!   (pJ) scaled by the observed RegBin access count, and check-bit area
+//!   (kGE) over the whole accumulation-register file.
+//!
+//! "Accuracy" is argmax agreement with the fault-free run of the *same*
+//! array configuration, so RegBin truncation effects cancel out and only
+//! fault-induced corruption is measured. Everything is seeded: a fixed
+//! `--seed` reproduces the exact fault sites and the full table.
+//!
+//! `--smoke` shrinks the sweep to a single rate for CI.
+
+use csp_accel::{CspHConfig, SerialCascadingArray};
+use csp_core::pruning::{ChunkedLayout, CspPruner};
+use csp_core::tensor::{uniform, Tensor};
+use csp_sim::{
+    format_table, AreaModel, EnergyTable, FaultClass, FaultPlan, FaultReport, Protection,
+};
+
+/// One model variant: weights, per-row surviving chunk counts, a label.
+struct Variant {
+    name: &'static str,
+    weights: Tensor,
+    chunk_counts: Vec<usize>,
+}
+
+/// Argmax over the filter axis for every pixel column of a `c_out × P`
+/// output.
+fn argmax_per_pixel(out: &Tensor) -> Vec<usize> {
+    let (c_out, p) = (out.dims()[0], out.dims()[1]);
+    (0..p)
+        .map(|pix| {
+            (0..c_out)
+                .max_by(|&a, &b| {
+                    let va = out.get(&[a, pix]).expect("in range");
+                    let vb = out.get(&[b, pix]).expect("in range");
+                    va.partial_cmp(&vb).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("non-empty column")
+        })
+        .collect()
+}
+
+fn agreement(reference: &[usize], observed: &[usize]) -> f64 {
+    let hits = reference
+        .iter()
+        .zip(observed)
+        .filter(|(a, b)| a == b)
+        .count();
+    hits as f64 / reference.len().max(1) as f64
+}
+
+fn protection_name(p: Protection) -> &'static str {
+    match p {
+        Protection::None => "unprotected",
+        Protection::ParityRetry => "parity+retry",
+        Protection::Secded => "SECDED",
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(2022);
+
+    // Small array so fault effects are visible at modest event counts.
+    let cfg = CspHConfig {
+        arr_w: 8,
+        arr_h: 8,
+        truncation_period: 8,
+        ..CspHConfig::default()
+    };
+    let array = SerialCascadingArray::new(cfg, None);
+
+    // Seeded mini-model GEMM: M-deep reduction onto c_out filters over P
+    // pixels. The pruned variant reuses the same weights under a CSP mask.
+    let (m, c_out, p) = if smoke { (16, 16, 32) } else { (32, 32, 128) };
+    let mut rng = csp_core::nn::seeded_rng(seed);
+    let dense_w = uniform(&mut rng, &[m, c_out], 1.0);
+    let acts = uniform(&mut rng, &[m, p], 1.0);
+    let layout = ChunkedLayout::new(m, c_out, cfg.arr_w).expect("valid layout");
+    let n_chunks = c_out.div_ceil(cfg.arr_w);
+    let mask = CspPruner::new(1.0)
+        .prune(&dense_w, layout)
+        .expect("pruning succeeds");
+    let pruned_w = mask.apply(&dense_w).expect("mask applies");
+
+    let variants = [
+        Variant {
+            name: "dense",
+            weights: dense_w,
+            chunk_counts: vec![n_chunks; m],
+        },
+        Variant {
+            name: "CSP-pruned",
+            weights: pruned_w,
+            chunk_counts: mask.chunk_counts.clone(),
+        },
+    ];
+
+    println!("== Fault-injection study (seed {seed}) ==");
+    println!(
+        "array {}x{}  T={}  GEMM {m}x{c_out}x{p}  pruned sparsity {:.0}%\n",
+        cfg.arr_w,
+        cfg.arr_h,
+        cfg.truncation_period,
+        100.0 * mask.sparsity()
+    );
+
+    // -- Table A: per-class vulnerability, unprotected, fixed rate. -------
+    let class_rate = 1e-3;
+    println!("-- A. per-class vulnerability (rate {class_rate:.0e}, unprotected, dense) --");
+    let reference = {
+        let (out, _) = array
+            .run_gemm(&variants[0].weights, &variants[0].chunk_counts, &acts)
+            .expect("fault-free run");
+        argmax_per_pixel(&out)
+    };
+    let mut rows = Vec::new();
+    for class in FaultClass::ALL {
+        let plan = FaultPlan::bernoulli(class_rate, seed).with_classes(&[class]);
+        let (out, _, report) = array
+            .run_gemm_faulty(
+                &variants[0].weights,
+                &variants[0].chunk_counts,
+                &acts,
+                &plan,
+            )
+            .expect("faulty run");
+        rows.push(vec![
+            class.label().to_string(),
+            report.events[class.index()].to_string(),
+            report.injected[class.index()].to_string(),
+            format!(
+                "{:.1}%",
+                100.0 * agreement(&reference, &argmax_per_pixel(&out))
+            ),
+        ]);
+    }
+    println!(
+        "{}\n",
+        format_table(&["fault class", "events", "injected", "accuracy"], &rows)
+    );
+
+    // -- Table B: protection sweep on the RegBin file. --------------------
+    let rates: &[f64] = if smoke {
+        // High enough that faults actually fire on the reduced GEMM.
+        &[1e-2]
+    } else {
+        &[1e-5, 1e-4, 1e-3, 1e-2]
+    };
+    let protections = [
+        Protection::None,
+        Protection::ParityRetry,
+        Protection::Secded,
+    ];
+    println!("-- B. RegBin faults: accuracy under protection --");
+    let mut rows = Vec::new();
+    let mut regbin_reports: Vec<(&'static str, Protection, FaultReport)> = Vec::new();
+    for variant in &variants {
+        let reference = {
+            let (out, _) = array
+                .run_gemm(&variant.weights, &variant.chunk_counts, &acts)
+                .expect("fault-free run");
+            argmax_per_pixel(&out)
+        };
+        for &rate in rates {
+            for &protection in &protections {
+                let plan = FaultPlan::bernoulli(rate, seed)
+                    .with_classes(&[FaultClass::RegBin])
+                    .with_protection(protection);
+                let (out, stats, report) = array
+                    .run_gemm_faulty(&variant.weights, &variant.chunk_counts, &acts, &plan)
+                    .expect("faulty run");
+                rows.push(vec![
+                    variant.name.to_string(),
+                    format!("{rate:.0e}"),
+                    protection_name(protection).to_string(),
+                    report.injected[FaultClass::RegBin.index()].to_string(),
+                    report.silent.to_string(),
+                    (report.detected + report.corrected).to_string(),
+                    format!(
+                        "{:.1}%",
+                        100.0 * agreement(&reference, &argmax_per_pixel(&out))
+                    ),
+                    stats.cycles.to_string(),
+                    report.refetch_bytes.to_string(),
+                ]);
+                if (rate - rates[rates.len() - 1]).abs() < f64::EPSILON {
+                    regbin_reports.push((variant.name, protection, report));
+                }
+            }
+        }
+    }
+    println!(
+        "{}\n",
+        format_table(
+            &[
+                "model",
+                "rate",
+                "protection",
+                "injected",
+                "silent",
+                "caught",
+                "accuracy",
+                "cycles",
+                "refetch B",
+            ],
+            &rows
+        )
+    );
+
+    // -- Table C: protection overheads in Table 1 units. ------------------
+    let energy = EnergyTable::default();
+    let area = AreaModel::default();
+    let regfile_entries = cfg.num_pes() * cfg.accum_entries();
+    println!("-- C. protection overheads (Table 1 units) --");
+    let mut rows = Vec::new();
+    for (model, protection, report) in &regbin_reports {
+        let accesses = report.events[FaultClass::RegBin.index()];
+        let pj = accesses as f64 * energy.protection_pj_per_access(*protection);
+        let kge =
+            area.protection_overhead_ge(*protection, regfile_entries, cfg.regbin_bits as usize)
+                / 1e3;
+        rows.push(vec![
+            model.to_string(),
+            protection_name(*protection).to_string(),
+            accesses.to_string(),
+            format!("{pj:.2}"),
+            format!("{kge:.1}"),
+            report.retry_cycles.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "model",
+                "protection",
+                "RegBin accesses",
+                "check energy (pJ)",
+                "area (kGE)",
+                "retry cycles",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nParity detects-and-retries (flush + recompute: {} stall cycles, {} weight bytes",
+        cfg.truncation_period, cfg.arr_w
+    );
+    println!(
+        "re-fetched per detection); SECDED corrects in place at {}x the parity check energy.",
+        energy.regbin_secded_pj / energy.regbin_parity_pj
+    );
+    if smoke {
+        println!("\nsmoke mode: single-rate sweep, reduced GEMM.");
+    }
+}

@@ -20,7 +20,7 @@
 //! ```
 //! use csp_core::pipeline::{CspPipeline, PipelineConfig};
 //!
-//! # fn main() -> Result<(), csp_tensor::TensorError> {
+//! # fn main() -> Result<(), csp_tensor::CspError> {
 //! let report = CspPipeline::new(PipelineConfig {
 //!     train_epochs: 2,
 //!     finetune_epochs: 1,

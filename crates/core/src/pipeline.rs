@@ -10,7 +10,7 @@ use csp_nn::{
 };
 use csp_pruning::quant::QuantSpec;
 use csp_pruning::{CascadeRegularizer, ChunkedLayout, CspMask, CspPruner, Regularizer, Weaved};
-use csp_tensor::{Result, Tensor};
+use csp_tensor::{CspError, CspResult, Result, Tensor};
 
 /// Which scaled-down model family the pipeline trains (mirrors the paper's
 /// five evaluated families; the Transformer path lives in the Table 2
@@ -73,6 +73,59 @@ impl Default for PipelineConfig {
     }
 }
 
+impl PipelineConfig {
+    /// Validate the run parameters, including the CSP-H configuration the
+    /// functional verification step will instantiate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Config`] for zero chunk size / sample count,
+    /// fewer than two classes, or non-finite / negative λ and `q`.
+    pub fn validate(&self) -> CspResult<()> {
+        let reject = |what: String| Err(CspError::Config { what });
+        if self.chunk_size == 0 {
+            return reject("chunk_size must be positive".to_string());
+        }
+        if self.samples == 0 {
+            return reject("samples must be positive".to_string());
+        }
+        if self.classes < 2 {
+            return reject(format!("need at least 2 classes, got {}", self.classes));
+        }
+        if !self.lambda.is_finite() || self.lambda < 0.0 {
+            return reject(format!(
+                "lambda must be finite and non-negative, got {}",
+                self.lambda
+            ));
+        }
+        if !self.q.is_finite() || self.q <= 0.0 {
+            return reject(format!("q must be finite and positive, got {}", self.q));
+        }
+        if !self.noise.is_finite() || self.noise < 0.0 {
+            return reject(format!(
+                "noise must be finite and non-negative, got {}",
+                self.noise
+            ));
+        }
+        // The functional-verification array derives from the chunk size;
+        // reject runs whose derived accelerator config is structurally
+        // invalid before any training happens.
+        self.verify_array_config().validate()?;
+        Ok(())
+    }
+
+    /// The CSP-H configuration the functional verification step uses
+    /// (chunk size = array width = truncation period).
+    pub fn verify_array_config(&self) -> CspHConfig {
+        CspHConfig {
+            arr_w: self.chunk_size,
+            arr_h: 4,
+            truncation_period: self.chunk_size,
+            ..CspHConfig::default()
+        }
+    }
+}
+
 /// Per-layer pruning outcome.
 #[derive(Debug, Clone)]
 pub struct LayerReport {
@@ -91,6 +144,10 @@ pub struct LayerReport {
     /// sparsity pattern, consumable by the accelerator simulators via
     /// `CspH::run_layer_with_counts` instead of synthetic profiles.
     pub chunk_counts: Vec<usize>,
+    /// Why this layer failed to prune/verify, if it did. A failed layer
+    /// carries zeroed metrics and no mask; the run continues with the
+    /// remaining layers.
+    pub error: Option<String>,
 }
 
 /// The output of a pipeline run.
@@ -205,31 +262,60 @@ impl CspPipeline {
         })
     }
 
-    /// Prune every prunable layer of `model`, returning masks and reports.
-    fn prune_model(&self, model: &mut Sequential) -> Result<(Vec<CspMask>, Vec<LayerReport>)> {
+    /// Prune every prunable layer of `model`. A layer whose pruning fails
+    /// is recorded in its report (no mask) and the remaining layers are
+    /// still pruned; `masks` stays index-aligned with the reports.
+    fn prune_model(&self, model: &mut Sequential) -> (Vec<Option<CspMask>>, Vec<LayerReport>) {
         let q = self.config.q;
         let cs = self.config.chunk_size;
         let mut masks = Vec::new();
         let mut reports = Vec::new();
         for layer in model.prunable_layers() {
-            let (m, c_out) = layer.csp_dims();
-            let layout = ChunkedLayout::new(m, c_out, cs)?;
-            let w = layer.csp_weight();
-            let mask = CspPruner::new(q).prune(&w, layout)?;
-            layer.apply_csp_mask(&mask.mask)?;
-            let weaved = Weaved::compress(&w, &mask)?;
-            reports.push(LayerReport {
-                label: layer.csp_label(),
-                sparsity: mask.sparsity(),
-                mean_chunk_count: mask.chunk_counts.iter().sum::<usize>() as f32
-                    / mask.chunk_counts.len().max(1) as f32,
-                compression_ratio: weaved.compression_ratio(),
-                functional_check: false, // filled by verify step
-                chunk_counts: mask.chunk_counts.clone(),
-            });
-            masks.push(mask);
+            let label = layer.csp_label();
+            let outcome: Result<(CspMask, Weaved)> = (|| {
+                let (m, c_out) = layer.csp_dims();
+                let layout = ChunkedLayout::new(m, c_out, cs)?;
+                let w = layer.csp_weight();
+                let mask = CspPruner::new(q).prune(&w, layout)?;
+                layer.apply_csp_mask(&mask.mask)?;
+                let weaved = Weaved::compress(&w, &mask)?;
+                Ok((mask, weaved))
+            })();
+            match outcome {
+                Ok((mask, weaved)) => {
+                    reports.push(LayerReport {
+                        label,
+                        sparsity: mask.sparsity(),
+                        mean_chunk_count: mask.chunk_counts.iter().sum::<usize>() as f32
+                            / mask.chunk_counts.len().max(1) as f32,
+                        compression_ratio: weaved.compression_ratio(),
+                        functional_check: false, // filled by verify step
+                        chunk_counts: mask.chunk_counts.clone(),
+                        error: None,
+                    });
+                    masks.push(Some(mask));
+                }
+                Err(e) => {
+                    reports.push(LayerReport {
+                        label: label.clone(),
+                        sparsity: 0.0,
+                        mean_chunk_count: 0.0,
+                        compression_ratio: 0.0,
+                        functional_check: false,
+                        chunk_counts: Vec::new(),
+                        error: Some(
+                            CspError::Layer {
+                                label,
+                                what: e.to_string(),
+                            }
+                            .to_string(),
+                        ),
+                    });
+                    masks.push(None);
+                }
+            }
         }
-        Ok((masks, reports))
+        (masks, reports)
     }
 
     /// Verify each pruned layer on the functional Serial Cascading array:
@@ -238,42 +324,56 @@ impl CspPipeline {
     fn verify_functional(
         &self,
         model: &mut Sequential,
-        masks: &[CspMask],
+        masks: &[Option<CspMask>],
         reports: &mut [LayerReport],
-    ) -> Result<()> {
-        let cs = self.config.chunk_size;
-        let arr = SerialCascadingArray::new(
-            CspHConfig {
-                arr_w: cs,
-                arr_h: 4,
-                truncation_period: cs,
-                ..CspHConfig::default()
-            },
-            None,
-        );
+    ) {
+        let arr = SerialCascadingArray::new(self.config.verify_array_config(), None);
         for ((layer, mask), report) in model
             .prunable_layers()
             .into_iter()
             .zip(masks)
             .zip(reports.iter_mut())
         {
-            let w = layer.csp_weight();
-            let (m, _) = layer.csp_dims();
-            let acts = Tensor::from_fn(&[m, 6], |i| ((i as f32) * 0.7).sin());
-            let (got, _) = arr.run_gemm(&w, &mask.chunk_counts, &acts)?;
-            let expected = csp_tensor::matmul_at_b(&w, &acts)?;
-            let err = got.sub(&expected)?.norm_l2();
-            report.functional_check = err < 1e-3 * (1.0 + expected.norm_l2());
+            let Some(mask) = mask else {
+                continue; // layer already failed at prune time
+            };
+            let outcome: Result<bool> = (|| {
+                let w = layer.csp_weight();
+                let (m, _) = layer.csp_dims();
+                let acts = Tensor::from_fn(&[m, 6], |i| ((i as f32) * 0.7).sin());
+                let (got, _) = arr.run_gemm(&w, &mask.chunk_counts, &acts)?;
+                let expected = csp_tensor::matmul_at_b(&w, &acts)?;
+                let err = got.sub(&expected)?.norm_l2();
+                Ok(err < 1e-3 * (1.0 + expected.norm_l2()))
+            })();
+            match outcome {
+                Ok(check) => report.functional_check = check,
+                Err(e) => {
+                    report.error = Some(
+                        CspError::Layer {
+                            label: report.label.clone(),
+                            what: e.to_string(),
+                        }
+                        .to_string(),
+                    );
+                }
+            }
         }
-        Ok(())
     }
 
     /// Run the full pipeline on the mini CNN + synthetic image task.
     ///
     /// # Errors
     ///
-    /// Propagates tensor shape errors from training or simulation.
-    pub fn run_mini_cnn(&self) -> Result<PipelineReport> {
+    /// Returns [`CspError::Config`] when the configuration fails
+    /// [`PipelineConfig::validate`] (before any training happens),
+    /// [`CspError::Divergence`] when a training loop blows up, and wraps
+    /// tensor shape errors from training or simulation. Per-layer pruning
+    /// or verification failures do **not** abort the run: they are
+    /// recorded in the affected layer's [`LayerReport::error`] and the
+    /// remaining layers complete normally.
+    pub fn run_mini_cnn(&self) -> CspResult<PipelineReport> {
+        self.config.validate()?;
         let cfg = &self.config;
         let mut rng = csp_nn::seeded_rng(cfg.seed);
         let ds = ClusterImages::generate(&mut rng, cfg.samples, cfg.classes, 1, 8, cfg.noise);
@@ -313,7 +413,11 @@ impl CspPipeline {
         let mut reg_hook = move |layers: &mut [&mut dyn Prunable]| {
             for layer in layers.iter_mut() {
                 let (m, c_out) = layer.csp_dims();
-                let layout = ChunkedLayout::new(m, c_out, cs).expect("valid dims");
+                // Layers with degenerate shapes can't be regularized; they
+                // are reported as failed at prune time instead.
+                let Ok(layout) = ChunkedLayout::new(m, c_out, cs) else {
+                    continue;
+                };
                 let w = layer.csp_weight();
                 let g = reg.grad(&w, layout).expect("grad shapes match");
                 layer.add_csp_weight_grad(&g).expect("grad shapes match");
@@ -335,16 +439,22 @@ impl CspPipeline {
         )?;
         let regularized_accuracy = Self::eval(&mut model, &eval_ds, batch)?;
 
-        // 3. Prune with cascade closure.
-        let (masks, mut reports) = self.prune_model(&mut model)?;
+        // 3. Prune with cascade closure (per-layer failures recorded).
+        let (masks, mut reports) = self.prune_model(&mut model);
         let pruned_accuracy = Self::eval(&mut model, &eval_ds, batch)?;
 
-        // 4. Fine-tune under fixed masks.
+        // 4. Fine-tune under fixed masks (failed layers have none and
+        // train unconstrained).
         let mut opt = Sgd::new(0.02).with_momentum(0.9, true);
-        let mask_tensors: Vec<Tensor> = masks.iter().map(|m| m.mask.clone()).collect();
+        let mask_tensors: Vec<Option<Tensor>> = masks
+            .iter()
+            .map(|m| m.as_ref().map(|m| m.mask.clone()))
+            .collect();
         let mut mask_hook = move |layers: &mut [&mut dyn Prunable]| {
             for (layer, mask) in layers.iter_mut().zip(&mask_tensors) {
-                layer.apply_csp_mask(mask).expect("mask shapes match");
+                if let Some(mask) = mask {
+                    layer.apply_csp_mask(mask).expect("mask shapes match");
+                }
             }
         };
         let ds_train = ds.clone();
@@ -374,12 +484,12 @@ impl CspPipeline {
         let activation_density = Self::measure_activation_density(&mut model, &ds, batch)?;
 
         // 6. Functional verification on the CSP-H array.
-        self.verify_functional(&mut model, &masks, &mut reports)?;
+        self.verify_functional(&mut model, &masks, &mut reports);
 
         // Aggregate sparsity (weighted by layer size).
         let mut zeros = 0usize;
         let mut total = 0usize;
-        for mask in &masks {
+        for mask in masks.iter().flatten() {
             let n = mask.mask.len();
             zeros += ((mask.sparsity() * n as f32).round()) as usize;
             total += n;
@@ -482,6 +592,77 @@ mod tests {
             report.pruned_accuracy,
             report.final_accuracy
         );
+    }
+
+    #[test]
+    fn invalid_configs_return_typed_errors() {
+        let cases: Vec<(PipelineConfig, &str)> = vec![
+            (
+                PipelineConfig {
+                    chunk_size: 0,
+                    ..quick_config()
+                },
+                "chunk_size",
+            ),
+            (
+                PipelineConfig {
+                    samples: 0,
+                    ..quick_config()
+                },
+                "samples",
+            ),
+            (
+                PipelineConfig {
+                    classes: 1,
+                    ..quick_config()
+                },
+                "classes",
+            ),
+            (
+                PipelineConfig {
+                    lambda: f32::NAN,
+                    ..quick_config()
+                },
+                "lambda",
+            ),
+            (
+                PipelineConfig {
+                    q: -1.0,
+                    ..quick_config()
+                },
+                "q must",
+            ),
+        ];
+        for (cfg, needle) in cases {
+            let err = CspPipeline::new(cfg).run_mini_cnn().unwrap_err();
+            match err {
+                CspError::Config { ref what } => {
+                    assert!(what.contains(needle), "{what:?} should mention {needle:?}")
+                }
+                other => panic!("expected Config error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn per_layer_failure_is_recorded_and_run_continues() {
+        use csp_nn::Linear;
+        // A degenerate zero-output layer cannot be chunked; the healthy
+        // layer behind it must still be pruned and masked.
+        let mut rng = csp_nn::seeded_rng(3);
+        let mut model = Sequential::new(vec![
+            Box::new(Linear::new(&mut rng, 8, 0)),
+            Box::new(Linear::new(&mut rng, 8, 8)),
+        ]);
+        let pipeline = CspPipeline::new(quick_config());
+        let (masks, reports) = pipeline.prune_model(&mut model);
+        assert_eq!(reports.len(), 2);
+        assert!(masks[0].is_none());
+        let err = reports[0].error.as_deref().expect("failure recorded");
+        assert!(err.contains("layer") && err.contains("failed"), "{err}");
+        assert!(masks[1].is_some(), "healthy layer must still prune");
+        assert!(reports[1].error.is_none());
+        assert!(reports[1].sparsity >= 0.0);
     }
 
     #[test]

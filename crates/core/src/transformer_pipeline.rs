@@ -8,7 +8,7 @@ use csp_nn::data::SeqTask;
 use csp_nn::metrics::bleu;
 use csp_nn::{Adam, Optimizer, TransformerModel};
 use csp_pruning::{CascadeRegularizer, ChunkedLayout, CspPruner, Regularizer};
-use csp_tensor::{Result, Tensor};
+use csp_tensor::{CspError, CspResult, Result, Tensor};
 
 /// Configuration of a Transformer pipeline run.
 #[derive(Debug, Clone, Copy)]
@@ -72,12 +72,57 @@ pub struct TransformerReport {
     pub sparsity: f32,
 }
 
+impl TransformerPipelineConfig {
+    /// Validate the run parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Config`] for zero structural sizes, a `d_model`
+    /// not divisible by the head count, or non-finite λ / `q`.
+    pub fn validate(&self) -> CspResult<()> {
+        let reject = |what: String| Err(CspError::Config { what });
+        if self.chunk_size == 0 {
+            return reject("chunk_size must be positive".to_string());
+        }
+        if self.pairs == 0 || self.seq_len == 0 || self.vocab < 2 {
+            return reject(format!(
+                "dataset must be non-trivial, got pairs={} seq_len={} vocab={}",
+                self.pairs, self.seq_len, self.vocab
+            ));
+        }
+        if self.d_model == 0 || self.d_ff == 0 || self.heads == 0 || self.blocks == 0 {
+            return reject(format!(
+                "model sizes must be positive, got d_model={} d_ff={} heads={} blocks={}",
+                self.d_model, self.d_ff, self.heads, self.blocks
+            ));
+        }
+        if !self.d_model.is_multiple_of(self.heads) {
+            return reject(format!(
+                "d_model {} must be divisible by heads {}",
+                self.d_model, self.heads
+            ));
+        }
+        if !self.lambda.is_finite() || self.lambda < 0.0 {
+            return reject(format!(
+                "lambda must be finite and non-negative, got {}",
+                self.lambda
+            ));
+        }
+        if !self.q.is_finite() || self.q <= 0.0 {
+            return reject(format!("q must be finite and positive, got {}", self.q));
+        }
+        Ok(())
+    }
+}
+
 /// Run the Transformer pipeline with the cascading regularizer.
 ///
 /// # Errors
 ///
-/// Propagates tensor shape errors.
-pub fn run_transformer_pipeline(cfg: &TransformerPipelineConfig) -> Result<TransformerReport> {
+/// Returns [`CspError::Config`] for invalid configurations,
+/// [`CspError::Divergence`] when training blows up, and wraps tensor
+/// shape errors.
+pub fn run_transformer_pipeline(cfg: &TransformerPipelineConfig) -> CspResult<TransformerReport> {
     let reg = CascadeRegularizer::new(cfg.lambda);
     run_transformer_pipeline_with(cfg, &reg)
 }
@@ -87,11 +132,12 @@ pub fn run_transformer_pipeline(cfg: &TransformerPipelineConfig) -> Result<Trans
 ///
 /// # Errors
 ///
-/// Propagates tensor shape errors.
+/// Same as [`run_transformer_pipeline`].
 pub fn run_transformer_pipeline_with(
     cfg: &TransformerPipelineConfig,
     reg: &dyn Regularizer,
-) -> Result<TransformerReport> {
+) -> CspResult<TransformerReport> {
+    cfg.validate()?;
     let mut rng = csp_nn::seeded_rng(cfg.seed);
     let ds = SeqTask::generate(&mut rng, cfg.pairs, cfg.seq_len, cfg.vocab);
     let (train, test) = ds.split(0.75);
@@ -106,10 +152,17 @@ pub fn run_transformer_pipeline_with(
 
     // Regularized training.
     let mut opt = Adam::new(2e-3);
-    for _ in 0..cfg.train_epochs {
+    for epoch in 0..cfg.train_epochs {
         for (inp, tgt) in train.inputs.iter().zip(&train.targets) {
             model.zero_grad();
-            model.loss_and_backward(inp, tgt)?;
+            let loss = model.loss_and_backward(inp, tgt)?;
+            if !loss.is_finite() {
+                return Err(CspError::Divergence {
+                    layer: "transformer".to_string(),
+                    epoch,
+                    loss,
+                });
+            }
             for layer in model.prunable_layers() {
                 let (m, c) = layer.csp_dims();
                 let layout = ChunkedLayout::new(m, c, cfg.chunk_size)?;
@@ -143,10 +196,17 @@ pub fn run_transformer_pipeline_with(
 
     // Fine-tune under the fixed masks.
     let mut opt = Adam::new(1e-3);
-    for _ in 0..cfg.finetune_epochs {
+    for epoch in 0..cfg.finetune_epochs {
         for (inp, tgt) in train.inputs.iter().zip(&train.targets) {
             model.zero_grad();
-            model.loss_and_backward(inp, tgt)?;
+            let loss = model.loss_and_backward(inp, tgt)?;
+            if !loss.is_finite() {
+                return Err(CspError::Divergence {
+                    layer: "transformer".to_string(),
+                    epoch,
+                    loss,
+                });
+            }
             opt.step(&mut model.params());
             for (layer, mask) in model.prunable_layers().into_iter().zip(&masks) {
                 layer.apply_csp_mask(mask)?;
@@ -180,6 +240,24 @@ mod tests {
             "fine-tuned BLEU collapsed: {}",
             report.final_bleu
         );
+    }
+
+    #[test]
+    fn invalid_transformer_config_is_rejected() {
+        let bad = TransformerPipelineConfig {
+            d_model: 15, // not divisible by heads = 4
+            ..quick()
+        };
+        let err = run_transformer_pipeline(&bad).unwrap_err();
+        assert!(matches!(err, CspError::Config { ref what } if what.contains("divisible")));
+        let zero = TransformerPipelineConfig {
+            chunk_size: 0,
+            ..quick()
+        };
+        assert!(matches!(
+            run_transformer_pipeline(&zero),
+            Err(CspError::Config { .. })
+        ));
     }
 
     #[test]

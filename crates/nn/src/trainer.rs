@@ -11,7 +11,7 @@ use crate::loss::softmax_cross_entropy;
 use crate::model::Sequential;
 use crate::optim::{LrSchedule, Optimizer};
 use crate::prunable::Prunable;
-use csp_tensor::{Result, Tensor};
+use csp_tensor::{CspError, CspResult, Result, Tensor};
 
 /// A mutable hook over the model's prunable layers, invoked by the
 /// training loop (regularizer/mask application).
@@ -59,7 +59,10 @@ pub struct EpochStats {
 ///
 /// # Errors
 ///
-/// Propagates tensor shape errors from the model or loss.
+/// Propagates tensor shape errors from the model or loss, and aborts with
+/// [`CspError::Divergence`] as soon as a batch loss or any logit goes
+/// non-finite (the error names the first layer whose weights contain
+/// non-finite values).
 #[allow(clippy::too_many_arguments)]
 pub fn train_classifier(
     model: &mut Sequential,
@@ -69,7 +72,7 @@ pub fn train_classifier(
     options: &TrainOptions<'_>,
     mut regularizer: Option<PruneHook<'_>>,
     mut mask: Option<PruneHook<'_>>,
-) -> Result<Vec<EpochStats>> {
+) -> CspResult<Vec<EpochStats>> {
     let mut stats = Vec::with_capacity(options.epochs);
     for epoch in 0..options.epochs {
         if let Some(s) = options.schedule {
@@ -83,6 +86,16 @@ pub fn train_classifier(
             model.zero_grad();
             let logits = model.forward(&x, true)?;
             let (loss, grad) = softmax_cross_entropy(&logits, &labels)?;
+            if !loss.is_finite() || logits.as_slice().iter().any(|v| !v.is_finite()) {
+                // The loss clamps probabilities away from zero, which can
+                // mask NaN logits behind a finite value — report NaN then.
+                let loss = if loss.is_finite() { f32::NAN } else { loss };
+                return Err(CspError::Divergence {
+                    layer: first_nonfinite_layer(model),
+                    epoch,
+                    loss,
+                });
+            }
             loss_sum += loss;
             let (n, c) = (logits.dims()[0], logits.dims()[1]);
             for (i, &label) in labels.iter().enumerate() {
@@ -124,6 +137,18 @@ pub fn train_classifier(
         stats.push(s);
     }
     Ok(stats)
+}
+
+/// Name the first prunable layer whose weights hold non-finite values
+/// (for the divergence error), falling back to `"loss"` when the blow-up
+/// lives only in the activations/loss.
+fn first_nonfinite_layer(model: &mut Sequential) -> String {
+    for layer in model.prunable_layers() {
+        if layer.csp_weight().as_slice().iter().any(|v| !v.is_finite()) {
+            return layer.csp_label();
+        }
+    }
+    "loss".to_string()
 }
 
 /// Evaluate a classifier: returns accuracy over the provided batches.
@@ -246,6 +271,37 @@ mod tests {
         .unwrap();
         assert_eq!(reg_calls, 6);
         assert_eq!(mask_calls, 6);
+    }
+
+    #[test]
+    fn divergence_aborts_with_typed_error() {
+        let mut model = tiny_cnn(21, 2);
+        let mut opt = Sgd::new(0.05);
+        // Non-finite inputs blow up the loss on the very first batch.
+        let x = Tensor::from_fn(&[4, 1, 8, 8], |_| f32::INFINITY);
+        let labels = vec![0usize, 1, 0, 1];
+        let err = train_classifier(
+            &mut model,
+            move |_| (x.clone(), labels.clone()),
+            1,
+            &mut opt,
+            &TrainOptions {
+                epochs: 2,
+                batch_size: 4,
+                ..Default::default()
+            },
+            None,
+            None,
+        )
+        .unwrap_err();
+        match err {
+            CspError::Divergence { epoch, loss, layer } => {
+                assert_eq!(epoch, 0);
+                assert!(!loss.is_finite());
+                assert!(!layer.is_empty());
+            }
+            other => panic!("expected Divergence, got {other:?}"),
+        }
     }
 
     #[test]

@@ -65,6 +65,19 @@ impl AreaModel {
     pub fn sram(&self, bytes: usize) -> f64 {
         bytes as f64 * self.ge_per_sram_byte
     }
+
+    /// Register-area overhead (GE) of protecting `entries` accumulation
+    /// entries of `data_bits` bits each with the given scheme: the stored
+    /// check bits per entry (1 for parity, 5 for SECDED over 8-bit
+    /// payloads) at the flip-flop bit cost.
+    pub fn protection_overhead_ge(
+        &self,
+        protection: crate::fault::Protection,
+        entries: usize,
+        data_bits: usize,
+    ) -> f64 {
+        (entries * protection.check_bits(data_bits)) as f64 * self.ge_per_reg_bit
+    }
 }
 
 #[cfg(test)]

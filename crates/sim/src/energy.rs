@@ -38,6 +38,12 @@ pub struct EnergyTable {
     pub sram_leak_mw_per_kb: f64,
     /// Clock frequency in MHz (all accelerators scaled to 300 MHz).
     pub clock_mhz: f64,
+    /// Parity check energy per protected RegBin access (9-bit XOR tree;
+    /// derived from the register-bit toggle energy).
+    pub regbin_parity_pj: f64,
+    /// SECDED encode + decode energy per protected RegBin access (13-bit
+    /// Hamming logic).
+    pub regbin_secded_pj: f64,
 }
 
 impl Default for EnergyTable {
@@ -57,6 +63,8 @@ impl Default for EnergyTable {
             regbin_bit_toggle_pj: 0.0025,
             sram_leak_mw_per_kb: 0.25,
             clock_mhz: 300.0,
+            regbin_parity_pj: 0.0008,
+            regbin_secded_pj: 0.004,
         }
     }
 }
@@ -86,6 +94,16 @@ impl EnergyTable {
     /// memory-bound lower bound on a layer's latency.
     pub fn dram_bound_cycles(&self, bytes: u64) -> u64 {
         (bytes as f64 / self.dram_bytes_per_cycle()).ceil() as u64
+    }
+
+    /// Energy charged per RegBin access by the given protection scheme
+    /// (zero for the unprotected datapath).
+    pub fn protection_pj_per_access(&self, protection: crate::fault::Protection) -> f64 {
+        match protection {
+            crate::fault::Protection::None => 0.0,
+            crate::fault::Protection::ParityRetry => self.regbin_parity_pj,
+            crate::fault::Protection::Secded => self.regbin_secded_pj,
+        }
     }
 }
 

@@ -26,12 +26,17 @@
 
 mod area;
 mod energy;
+pub mod fault;
 mod memory;
 mod report;
 mod sram;
 
 pub use area::{AreaModel, PeAreaBreakdown};
 pub use energy::EnergyTable;
+pub use fault::{
+    FaultClass, FaultOutcome, FaultPlan, FaultRecord, FaultReport, FaultSession, Protection,
+    TargetedFault,
+};
 pub use memory::{MemoryPort, TrafficClass};
 pub use report::{format_table, EnergyBreakdown, RunResult};
 pub use sram::{sram_read_pj_per_byte, sram_write_pj_per_byte};

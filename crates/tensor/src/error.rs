@@ -57,6 +57,72 @@ impl fmt::Display for TensorError {
 
 impl std::error::Error for TensorError {}
 
+/// Workspace-wide error for the CSP pipelines: wraps tensor-level shape
+/// errors and adds the typed failure modes of the higher layers —
+/// configuration validation, training divergence and per-layer failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CspError {
+    /// A configuration was rejected by validation.
+    Config {
+        /// Description of the invalid field/value combination.
+        what: String,
+    },
+    /// A tensor operation failed.
+    Tensor(TensorError),
+    /// A training loop produced a non-finite loss and was aborted.
+    Divergence {
+        /// Name of the layer where non-finite values were first seen (or
+        /// `"loss"` when only the loss itself diverged).
+        layer: String,
+        /// Epoch (0-based) at which divergence was detected.
+        epoch: usize,
+        /// The offending loss value.
+        loss: f32,
+    },
+    /// A single layer of a pipeline run failed (the run may have
+    /// completed the remaining layers and recorded this per-layer).
+    Layer {
+        /// Layer label.
+        label: String,
+        /// Description of the failure.
+        what: String,
+    },
+}
+
+impl fmt::Display for CspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CspError::Config { what } => write!(f, "invalid configuration: {what}"),
+            CspError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CspError::Divergence { layer, epoch, loss } => {
+                write!(
+                    f,
+                    "training diverged at epoch {epoch} (layer {layer}): loss = {loss}"
+                )
+            }
+            CspError::Layer { label, what } => write!(f, "layer {label} failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CspError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CspError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for CspError {
+    fn from(e: TensorError) -> Self {
+        CspError::Tensor(e)
+    }
+}
+
+/// Result alias for pipeline-level fallible operations.
+pub type CspResult<T> = std::result::Result<T, CspError>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +153,32 @@ mod tests {
     fn error_is_std_error() {
         fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
         assert_err::<TensorError>();
+        assert_err::<CspError>();
+    }
+
+    #[test]
+    fn csp_error_wraps_tensor_error() {
+        let te = TensorError::InvalidParameter {
+            what: "zero stride".into(),
+        };
+        let ce: CspError = te.clone().into();
+        assert_eq!(ce, CspError::Tensor(te));
+        assert!(ce.to_string().contains("zero stride"));
+        assert!(std::error::Error::source(&ce).is_some());
+    }
+
+    #[test]
+    fn csp_error_display() {
+        let d = CspError::Divergence {
+            layer: "conv1".into(),
+            epoch: 3,
+            loss: f32::NAN,
+        };
+        let msg = d.to_string();
+        assert!(msg.contains("epoch 3") && msg.contains("conv1"), "{msg}");
+        let c = CspError::Config {
+            what: "arr_w must be positive".into(),
+        };
+        assert!(c.to_string().contains("arr_w"));
     }
 }

@@ -45,7 +45,7 @@ mod tensor;
 
 pub use blocks::{add_col_block, col_block, row_block, vstack};
 pub use conv::{col2im, conv2d, conv2d_grad_input, conv2d_grad_weight, im2col, Conv2dSpec};
-pub use error::TensorError;
+pub use error::{CspError, CspResult, TensorError};
 pub use init::{kaiming_uniform, uniform, xavier_uniform};
 pub use ops::{add_bias, matmul, matmul_a_bt, matmul_at_b, outer, relu, relu_grad, softmax_rows};
 pub use pool::{avg_pool2d, avg_pool2d_grad, max_pool2d, max_pool2d_grad, Pool2dSpec};

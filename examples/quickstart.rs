@@ -9,7 +9,7 @@
 
 use csp_core::pipeline::{CspPipeline, PipelineConfig};
 
-fn main() -> Result<(), csp_core::tensor::TensorError> {
+fn main() -> Result<(), csp_core::tensor::CspError> {
     let pipeline = CspPipeline::new(PipelineConfig {
         chunk_size: 4,
         lambda: 0.01,

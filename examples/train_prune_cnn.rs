@@ -14,7 +14,7 @@ use csp_core::pruning::{
     CascadeRegularizer, ChunkedLayout, CspPruner, Csr, Regularizer, SparsityReport, Weaved,
 };
 
-fn main() -> Result<(), csp_core::tensor::TensorError> {
+fn main() -> Result<(), csp_core::tensor::CspError> {
     let mut rng = csp_core::nn::seeded_rng(21);
     let ds = ClusterImages::generate(&mut rng, 96, 6, 1, 8, 0.2);
 

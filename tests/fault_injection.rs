@@ -1,0 +1,192 @@
+//! Property-based tests on the fault-injection framework: a disabled
+//! [`FaultPlan`] must leave both functional arrays bit-identical to the
+//! fault-free path, the same seed must reproduce the same fault campaign,
+//! and RegBin protection must mask every injected RegBin fault.
+
+use csp_core::accel::{CspHConfig, IpwsArray, SerialCascadingArray};
+use csp_core::sim::{FaultClass, FaultPlan, Protection};
+use csp_core::tensor::Tensor;
+use proptest::prelude::*;
+
+/// A small valid array configuration for fast property runs.
+fn small_config() -> CspHConfig {
+    CspHConfig {
+        arr_w: 4,
+        arr_h: 4,
+        truncation_period: 4,
+        ..CspHConfig::default()
+    }
+}
+
+/// Deterministic weights/activations from a seed (the proptest stub's
+/// f32 vectors would do too; a hash keeps the inputs compact).
+fn operands(seed: u64, m: usize, c_out: usize, p: usize) -> (Tensor, Tensor) {
+    let val = |tag: u64, i: usize| {
+        let mut x = seed ^ tag ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        (x % 2048) as f32 / 1024.0 - 1.0
+    };
+    let w = Tensor::from_fn(&[m, c_out], |i| val(0x57, i));
+    let a = Tensor::from_fn(&[m, p], |i| val(0xAC, i));
+    (w, a)
+}
+
+proptest! {
+    /// Rate-0 plans (both `none()` and an explicit zero-rate Bernoulli
+    /// campaign) leave the Serial Cascading array's outputs, cycles and
+    /// traffic statistics bit-identical, and report zero injections.
+    #[test]
+    fn zero_rate_plan_is_invisible_on_serial_array(
+        seed in 0u64..1u64 << 48,
+        m in 1usize..12,
+        chunks in 1usize..4,
+        p in 1usize..6,
+    ) {
+        let cfg = small_config();
+        let array = SerialCascadingArray::new(cfg, None);
+        let c_out = chunks * cfg.arr_w;
+        let (w, a) = operands(seed, m, c_out, p);
+        let counts = vec![chunks; m];
+
+        let (out, stats) = array.run_gemm(&w, &counts, &a).unwrap();
+        for plan in [FaultPlan::none(), FaultPlan::bernoulli(0.0, seed)] {
+            let (fout, fstats, report) = array.run_gemm_faulty(&w, &counts, &a, &plan).unwrap();
+            prop_assert_eq!(fout.as_slice(), out.as_slice());
+            prop_assert_eq!(fstats, stats);
+            prop_assert_eq!(report.total_injected(), 0);
+            prop_assert_eq!(report.retry_cycles, 0);
+            prop_assert_eq!(report.refetch_bytes, 0);
+        }
+    }
+
+    /// The same invisibility property on the IpWS array.
+    #[test]
+    fn zero_rate_plan_is_invisible_on_ipws_array(
+        seed in 0u64..1u64 << 48,
+        m in 1usize..12,
+        chunks in 1usize..4,
+        p in 1usize..6,
+    ) {
+        let cfg = small_config();
+        let array = IpwsArray::new(cfg, None);
+        let c_out = chunks * cfg.arr_w;
+        let (w, a) = operands(seed, m, c_out, p);
+        let counts = vec![chunks; m];
+
+        let (out, stats) = array.run_gemm(&w, &counts, &a).unwrap();
+        for plan in [FaultPlan::none(), FaultPlan::bernoulli(0.0, seed)] {
+            let (fout, fstats, report) = array.run_gemm_faulty(&w, &counts, &a, &plan).unwrap();
+            prop_assert_eq!(fout.as_slice(), out.as_slice());
+            prop_assert_eq!(fstats, stats);
+            prop_assert_eq!(report.total_injected(), 0);
+        }
+    }
+
+    /// Replaying the same seeded campaign reproduces the identical fault
+    /// sites, outcomes, statistics and outputs — the determinism contract
+    /// that makes campaigns comparable across protection schemes.
+    #[test]
+    fn same_seed_reproduces_the_same_campaign(
+        seed in 0u64..1u64 << 48,
+        m in 1usize..10,
+        chunks in 1usize..4,
+        p in 1usize..5,
+    ) {
+        let cfg = small_config();
+        let array = SerialCascadingArray::new(cfg, None);
+        let c_out = chunks * cfg.arr_w;
+        let (w, a) = operands(seed, m, c_out, p);
+        let counts = vec![chunks; m];
+
+        // A rate high enough that most runs actually inject something.
+        let plan = FaultPlan::bernoulli(0.05, seed);
+        let (out1, stats1, rep1) = array.run_gemm_faulty(&w, &counts, &a, &plan).unwrap();
+        let (out2, stats2, rep2) = array.run_gemm_faulty(&w, &counts, &a, &plan).unwrap();
+        prop_assert_eq!(out1.as_slice(), out2.as_slice());
+        prop_assert_eq!(stats1, stats2);
+        prop_assert_eq!(rep1, rep2);
+    }
+
+    /// With only RegBin faults enabled, SECDED corrects every injected
+    /// flip (single-bit per event by construction) and parity+retry
+    /// recomputes it away: both leave the output bit-identical to the
+    /// fault-free run, and no fault stays silent. Parity is the only
+    /// scheme charged retry stalls.
+    #[test]
+    fn regbin_protection_masks_all_faults(
+        seed in 0u64..1u64 << 48,
+        m in 1usize..10,
+        chunks in 1usize..4,
+        p in 1usize..5,
+    ) {
+        let cfg = small_config();
+        let array = SerialCascadingArray::new(cfg, None);
+        let c_out = chunks * cfg.arr_w;
+        let (w, a) = operands(seed, m, c_out, p);
+        let counts = vec![chunks; m];
+        let (clean, clean_stats) = array.run_gemm(&w, &counts, &a).unwrap();
+
+        for protection in [Protection::ParityRetry, Protection::Secded] {
+            let plan = FaultPlan::bernoulli(0.05, seed)
+                .with_classes(&[FaultClass::RegBin])
+                .with_protection(protection);
+            let (out, stats, report) = array.run_gemm_faulty(&w, &counts, &a, &plan).unwrap();
+            prop_assert_eq!(out.as_slice(), clean.as_slice());
+            prop_assert_eq!(report.silent, 0);
+            let injected = report.total_injected();
+            match protection {
+                Protection::Secded => {
+                    prop_assert_eq!(report.corrected, injected);
+                    prop_assert_eq!(report.retry_cycles, 0);
+                    prop_assert_eq!(stats.cycles, clean_stats.cycles);
+                }
+                _ => {
+                    prop_assert_eq!(report.detected, injected);
+                    prop_assert_eq!(
+                        report.retry_cycles,
+                        injected * cfg.truncation_period as u64
+                    );
+                    prop_assert_eq!(
+                        stats.cycles,
+                        clean_stats.cycles + report.retry_cycles
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A targeted campaign fires exactly the requested faults — and only
+/// those — independent of the Bernoulli stream.
+#[test]
+fn targeted_campaign_hits_exactly_the_requested_sites() {
+    use csp_core::sim::TargetedFault;
+
+    let cfg = small_config();
+    let array = SerialCascadingArray::new(cfg, None);
+    let (w, a) = operands(7, 8, 2 * cfg.arr_w, 3);
+    let counts = vec![2usize; 8];
+    let (clean, _) = array.run_gemm(&w, &counts, &a).unwrap();
+
+    let plan = FaultPlan::targeted(
+        vec![TargetedFault {
+            class: FaultClass::RegBin,
+            event: 5,
+            bit: 6,
+        }],
+        7,
+    );
+    let (out, _, report) = array.run_gemm_faulty(&w, &counts, &a, &plan).unwrap();
+    assert_eq!(report.total_injected(), 1);
+    assert_eq!(report.injected[FaultClass::RegBin.index()], 1);
+    assert_eq!(report.silent, 1);
+    let diffs = clean
+        .as_slice()
+        .iter()
+        .zip(out.as_slice())
+        .filter(|(x, y)| x != y)
+        .count();
+    assert!(diffs >= 1, "the targeted flip must perturb the output");
+}
