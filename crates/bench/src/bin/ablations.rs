@@ -10,13 +10,27 @@ use csp_accel::{leader_follower_cycles, regbin_len, regbin_start, NUM_REGBINS};
 use csp_bench::workloads;
 use csp_pruning::{group_waste, reorder_rows_for_ipws};
 use csp_sim::format_table;
+use csp_tensor::{CspError, CspResult};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ablations: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> CspResult<()> {
     let works = workloads();
     let vgg = works
         .iter()
         .find(|w| w.network.name == "VGG-16")
-        .expect("VGG-16 present");
+        .ok_or_else(|| CspError::Config {
+            what: "VGG-16 missing from the workload roster".into(),
+        })?;
     let chunked = vgg.profile.with_chunk_size(32);
 
     // --- 1. Leader-Follower vs Serial Cascading -------------------------
@@ -85,7 +99,9 @@ fn main() {
     let trans = works
         .iter()
         .find(|w| w.network.name == "Transformer")
-        .expect("Transformer present");
+        .ok_or_else(|| CspError::Config {
+            what: "Transformer missing from the workload roster".into(),
+        })?;
     let tchunked = trans.profile.with_chunk_size(32);
     let mut rows = Vec::new();
     for layer in trans.network.layers.iter().take(6) {
@@ -157,4 +173,5 @@ fn main() {
         "  exponential saves {:.1}% of rotation toggles on VGG-16's count profile.",
         100.0 * (1.0 - exp_cost as f64 / uniform_cost.max(1) as f64)
     );
+    Ok(())
 }

@@ -1,0 +1,369 @@
+//! Checkpoint & recovery study: the cost and the guarantees of the
+//! crash-safe training/artifact persistence layer (`csp-io`).
+//!
+//! Four tables:
+//!
+//! * **A. container anatomy** — encoded checkpoint size, per-section
+//!   breakdown, and the wall-clock cost of one atomic
+//!   write-with-history (tmp + fsync + double rename).
+//! * **B. kill-and-resume parity** — a run killed mid-way and resumed
+//!   from its checkpoint must be *bit-identical* to an uninterrupted
+//!   run: per-epoch loss/accuracy and every parameter tensor.
+//! * **C. crash-window survival** — a simulated kill at each point of
+//!   the atomic-write protocol must always leave one decodable
+//!   generation on disk.
+//! * **D. artifact-at-rest corruption** — random bit flips (the
+//!   `ArtifactAtRest` fault class) over serialized checkpoints and
+//!   weaved-model artifacts must be *detected* at decode time by the
+//!   per-section CRCs: corrupted bytes may be lost, but never silently
+//!   trusted.
+//!
+//! The study exits nonzero if parity breaks, a crash window loses both
+//! generations, or any corrupted artifact decodes silently.
+//!
+//! `--smoke` shrinks epochs and trial counts for CI.
+
+use csp_core::nn::data::ClusterImages;
+use csp_core::nn::{
+    seeded_rng, train_classifier, Conv2d, Flatten, Linear, MaxPool, Relu, Sequential, Sgd,
+    TrainOptions,
+};
+use csp_core::pruning::{ChunkedLayout, CspPruner, Weaved};
+use csp_core::tensor::{uniform, CspError, CspResult};
+use csp_io::{
+    decode_weaved_model, encode_weaved_model, CheckpointedTrainer, Container, CrashPoint,
+    RecoveryConfig, TrainerCheckpoint,
+};
+use csp_sim::{format_table, FaultClass, FaultPlan, FaultSession};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("checkpoint_study: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn study_dir() -> CspResult<PathBuf> {
+    let dir = std::env::temp_dir().join(format!("csp-checkpoint-study-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| CspError::Io {
+        path: dir.display().to_string(),
+        what: e.to_string(),
+    })?;
+    Ok(dir)
+}
+
+fn mini_cnn(seed: u64) -> Sequential {
+    let mut rng = seeded_rng(seed);
+    Sequential::new(vec![
+        Box::new(Conv2d::new(&mut rng, 1, 8, 3, 1, 1)),
+        Box::new(Relu::new()),
+        Box::new(MaxPool::new(2, 2)),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(&mut rng, 8 * 4 * 4, 4)),
+    ])
+}
+
+fn params_equal(a: &mut Sequential, b: &mut Sequential) -> bool {
+    let pa = a.params();
+    let pb = b.params();
+    pa.len() == pb.len()
+        && pa
+            .iter()
+            .zip(&pb)
+            .all(|(x, y)| x.value.as_slice() == y.value.as_slice())
+}
+
+fn crash_label(c: CrashPoint) -> &'static str {
+    match c {
+        CrashPoint::MidTmpWrite => "mid tmp write",
+        CrashPoint::BeforeRename => "tmp complete, before rename",
+        CrashPoint::BetweenRenames => "between the two renames",
+    }
+}
+
+fn run() -> CspResult<()> {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let dir = study_dir()?;
+
+    let total_epochs = if smoke { 4 } else { 8 };
+    let kill_after = total_epochs / 2;
+    let mut rng = seeded_rng(17);
+    let ds = ClusterImages::generate(&mut rng, 32, 4, 1, 8, 0.2);
+    let options = TrainOptions {
+        epochs: total_epochs,
+        batch_size: 8,
+        ..Default::default()
+    };
+
+    // -- A. container anatomy & write cost. -------------------------------
+    println!("== Checkpoint & recovery study ==\n");
+    println!("-- A. container anatomy and atomic-write cost --");
+    let mut probe = mini_cnn(3);
+    let mut probe_opt = Sgd::new(0.05).with_momentum(0.9, true);
+    let ds2 = ds.clone();
+    train_classifier(
+        &mut probe,
+        move |b| ds2.batch(b * 8, 8),
+        4,
+        &mut probe_opt,
+        &TrainOptions {
+            epochs: 2,
+            batch_size: 8,
+            ..Default::default()
+        },
+        None,
+        None,
+    )?;
+    let ckpt = TrainerCheckpoint::capture(2, &mut probe, &probe_opt, [1, 2, 3, 4], &[]);
+    let bytes = ckpt.encode();
+    let container = Container::decode(&bytes)?;
+    let mut rows = Vec::new();
+    for s in &container.sections {
+        let name = match s.tag {
+            1 => "meta (epoch + RNG state)",
+            2 => "model parameters",
+            3 => "optimizer state",
+            4 => "epoch stats",
+            _ => "unknown",
+        };
+        rows.push(vec![
+            format!("0x{:02x}", s.tag),
+            name.to_string(),
+            s.bytes.len().to_string(),
+        ]);
+    }
+    println!("{}", format_table(&["tag", "section", "bytes"], &rows));
+    let writes = if smoke { 5 } else { 25 };
+    let write_path = dir.join("probe.cspio");
+    let t0 = Instant::now();
+    for _ in 0..writes {
+        ckpt.save(&write_path, None)?;
+    }
+    let per_write = t0.elapsed().as_secs_f64() * 1e6 / writes as f64;
+    println!(
+        "encoded checkpoint: {} B total; atomic write-with-history: {:.0} us/write ({} writes)\n",
+        bytes.len(),
+        per_write,
+        writes
+    );
+
+    // -- B. kill-and-resume parity. ---------------------------------------
+    println!("-- B. kill-and-resume parity --");
+    let mut reference = mini_cnn(7);
+    let mut ref_opt = Sgd::new(0.05).with_momentum(0.9, true);
+    let ds3 = ds.clone();
+    let ref_stats = train_classifier(
+        &mut reference,
+        move |b| ds3.batch(b * 8, 8),
+        4,
+        &mut ref_opt,
+        &options,
+        None,
+        None,
+    )?;
+
+    let path = dir.join("train.cspio");
+    let trainer = CheckpointedTrainer::new(&path, RecoveryConfig::default())?;
+    // First life: killed after `kill_after` epochs (model and optimizer
+    // dropped entirely — only the checkpoint file survives).
+    {
+        let mut m = mini_cnn(7);
+        let mut o = Sgd::new(0.05).with_momentum(0.9, true);
+        let mut r = seeded_rng(42);
+        let ds4 = ds.clone();
+        trainer.train(
+            &mut m,
+            &mut r,
+            move |b| ds4.batch(b * 8, 8),
+            4,
+            &mut o,
+            &TrainOptions {
+                epochs: kill_after,
+                ..options
+            },
+            None,
+            None,
+        )?;
+    }
+    // Second life: fresh process state, resumes from disk.
+    let mut resumed = mini_cnn(7);
+    let mut res_opt = Sgd::new(0.05).with_momentum(0.9, true);
+    let mut r = seeded_rng(42);
+    let ds5 = ds.clone();
+    let run = trainer.train(
+        &mut resumed,
+        &mut r,
+        move |b| ds5.batch(b * 8, 8),
+        4,
+        &mut res_opt,
+        &options,
+        None,
+        None,
+    )?;
+
+    let stats_match = ref_stats.len() == run.stats.len()
+        && ref_stats.iter().zip(&run.stats).all(|(a, b)| {
+            a.epoch == b.epoch
+                && a.loss.to_bits() == b.loss.to_bits()
+                && a.accuracy.to_bits() == b.accuracy.to_bits()
+        });
+    let weights_match = params_equal(&mut reference, &mut resumed);
+    println!(
+        "killed after epoch {kill_after}/{total_epochs}; resumed at epoch {:?}",
+        run.resumed_at
+    );
+    for ev in &run.recovery_events {
+        println!("  recovery: {ev}");
+    }
+    println!(
+        "per-epoch stats bit-identical : {}",
+        if stats_match { "yes" } else { "NO" }
+    );
+    println!(
+        "parameter tensors bit-identical: {}\n",
+        if weights_match { "yes" } else { "NO" }
+    );
+
+    // -- C. crash-window survival. ----------------------------------------
+    println!("-- C. crash-window survival (simulated kill inside the atomic write) --");
+    let mut rows = Vec::new();
+    let mut all_survived = true;
+    for crash in [
+        CrashPoint::MidTmpWrite,
+        CrashPoint::BeforeRename,
+        CrashPoint::BetweenRenames,
+    ] {
+        let p = dir.join(format!("crash-{crash:?}.cspio"));
+        let gen1 = TrainerCheckpoint::capture(1, &mut probe, &probe_opt, [1, 1, 1, 1], &[]);
+        let gen2 = TrainerCheckpoint::capture(2, &mut probe, &probe_opt, [2, 2, 2, 2], &[]);
+        gen1.save(&p, None)?;
+        gen2.save(&p, Some(crash))?; // the "kill"
+        let (survivor, note) = match TrainerCheckpoint::load_with_fallback(&p) {
+            Ok((c, note)) => (format!("generation {}", c.next_epoch), note),
+            Err(e) => {
+                all_survived = false;
+                (format!("NONE ({e})"), None)
+            }
+        };
+        rows.push(vec![
+            crash_label(crash).to_string(),
+            survivor,
+            note.map_or_else(
+                || "primary".to_string(),
+                |_| "fell back to .prev".to_string(),
+            ),
+        ]);
+    }
+    println!(
+        "{}\n",
+        format_table(&["kill point", "decodable survivor", "loaded from"], &rows)
+    );
+
+    // -- D. artifact-at-rest corruption detection. ------------------------
+    println!("-- D. artifact-at-rest corruption: CRC detection at decode --");
+    // A weaved-model artifact alongside the trainer checkpoint.
+    let mut wrng = seeded_rng(5);
+    let w = uniform(&mut wrng, &[16, 16], 1.0);
+    let layout = ChunkedLayout::new(16, 16, 4)?;
+    let mask = CspPruner::new(1.0).prune(&w, layout)?;
+    let pruned = mask.apply(&w)?;
+    let weaved = Weaved::compress(&pruned, &mask)?;
+    let weaved_bytes = encode_weaved_model(&[("conv1".to_string(), weaved)]);
+
+    let rates: &[f64] = if smoke { &[1e-3] } else { &[1e-4, 1e-3, 1e-2] };
+    let trials: u64 = if smoke { 40 } else { 200 };
+    let mut rows = Vec::new();
+    let mut undetected_total = 0u64;
+    for (name, blob) in [
+        ("trainer-checkpoint", bytes.clone()),
+        ("weaved-model", weaved_bytes.clone()),
+    ] {
+        for &rate in rates {
+            let mut corrupted = 0u64;
+            let mut detected = 0u64;
+            let mut flipped_bits = 0usize;
+            for trial in 0..trials {
+                let plan = FaultPlan::bernoulli(rate, 900 + trial)
+                    .with_classes(&[FaultClass::ArtifactAtRest]);
+                let mut session = FaultSession::new(plan);
+                let mut copy = blob.clone();
+                let struck = session.corrupt_artifact(&mut copy);
+                if struck == 0 {
+                    continue; // no fault landed on this copy
+                }
+                corrupted += 1;
+                flipped_bits += struck;
+                let caught = match name {
+                    "trainer-checkpoint" => TrainerCheckpoint::decode(&copy).is_err(),
+                    _ => decode_weaved_model(&copy).is_err(),
+                };
+                if caught {
+                    detected += 1;
+                } else {
+                    undetected_total += 1;
+                }
+            }
+            rows.push(vec![
+                name.to_string(),
+                format!("{rate:.0e}"),
+                corrupted.to_string(),
+                flipped_bits.to_string(),
+                if corrupted == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}%", 100.0 * detected as f64 / corrupted as f64)
+                },
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "artifact",
+                "bit rate",
+                "corrupted copies",
+                "bits flipped",
+                "detected",
+            ],
+            &rows
+        )
+    );
+    println!("\nEvery corrupted artifact must fail decoding loudly (CspError::Corrupt):");
+    println!("data behind a broken CRC is discarded or falls back, never silently trusted.");
+    if smoke {
+        println!("\nsmoke mode: reduced epochs and trial counts.");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    verdict(stats_match && weights_match, all_survived, undetected_total)
+}
+
+fn verdict(parity: bool, survived: bool, undetected: u64) -> CspResult<()> {
+    if !parity {
+        return Err(CspError::Config {
+            what: "resumed run is not bit-identical to the uninterrupted run".into(),
+        });
+    }
+    if !survived {
+        return Err(CspError::Corrupt {
+            artifact: "trainer-checkpoint".into(),
+            what: "a simulated crash window left no decodable generation".into(),
+        });
+    }
+    if undetected > 0 {
+        return Err(CspError::Corrupt {
+            artifact: "container".into(),
+            what: format!("{undetected} corrupted copies decoded without error"),
+        });
+    }
+    Ok(())
+}

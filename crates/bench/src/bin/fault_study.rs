@@ -25,10 +25,11 @@
 
 use csp_accel::{CspHConfig, SerialCascadingArray};
 use csp_core::pruning::{ChunkedLayout, CspPruner};
-use csp_core::tensor::{uniform, Tensor};
+use csp_core::tensor::{uniform, CspResult, Tensor};
 use csp_sim::{
     format_table, AreaModel, EnergyTable, FaultClass, FaultPlan, FaultReport, Protection,
 };
+use std::process::ExitCode;
 
 /// One model variant: weights, per-row surviving chunk counts, a label.
 struct Variant {
@@ -71,7 +72,17 @@ fn protection_name(p: Protection) -> &'static str {
     }
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fault_study: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> CspResult<()> {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let seed = args
@@ -96,12 +107,10 @@ fn main() {
     let mut rng = csp_core::nn::seeded_rng(seed);
     let dense_w = uniform(&mut rng, &[m, c_out], 1.0);
     let acts = uniform(&mut rng, &[m, p], 1.0);
-    let layout = ChunkedLayout::new(m, c_out, cfg.arr_w).expect("valid layout");
+    let layout = ChunkedLayout::new(m, c_out, cfg.arr_w)?;
     let n_chunks = c_out.div_ceil(cfg.arr_w);
-    let mask = CspPruner::new(1.0)
-        .prune(&dense_w, layout)
-        .expect("pruning succeeds");
-    let pruned_w = mask.apply(&dense_w).expect("mask applies");
+    let mask = CspPruner::new(1.0).prune(&dense_w, layout)?;
+    let pruned_w = mask.apply(&dense_w)?;
 
     let variants = [
         Variant {
@@ -129,22 +138,18 @@ fn main() {
     let class_rate = 1e-3;
     println!("-- A. per-class vulnerability (rate {class_rate:.0e}, unprotected, dense) --");
     let reference = {
-        let (out, _) = array
-            .run_gemm(&variants[0].weights, &variants[0].chunk_counts, &acts)
-            .expect("fault-free run");
+        let (out, _) = array.run_gemm(&variants[0].weights, &variants[0].chunk_counts, &acts)?;
         argmax_per_pixel(&out)
     };
     let mut rows = Vec::new();
     for class in FaultClass::ALL {
         let plan = FaultPlan::bernoulli(class_rate, seed).with_classes(&[class]);
-        let (out, _, report) = array
-            .run_gemm_faulty(
-                &variants[0].weights,
-                &variants[0].chunk_counts,
-                &acts,
-                &plan,
-            )
-            .expect("faulty run");
+        let (out, _, report) = array.run_gemm_faulty(
+            &variants[0].weights,
+            &variants[0].chunk_counts,
+            &acts,
+            &plan,
+        )?;
         rows.push(vec![
             class.label().to_string(),
             report.events[class.index()].to_string(),
@@ -177,9 +182,7 @@ fn main() {
     let mut regbin_reports: Vec<(&'static str, Protection, FaultReport)> = Vec::new();
     for variant in &variants {
         let reference = {
-            let (out, _) = array
-                .run_gemm(&variant.weights, &variant.chunk_counts, &acts)
-                .expect("fault-free run");
+            let (out, _) = array.run_gemm(&variant.weights, &variant.chunk_counts, &acts)?;
             argmax_per_pixel(&out)
         };
         for &rate in rates {
@@ -187,9 +190,8 @@ fn main() {
                 let plan = FaultPlan::bernoulli(rate, seed)
                     .with_classes(&[FaultClass::RegBin])
                     .with_protection(protection);
-                let (out, stats, report) = array
-                    .run_gemm_faulty(&variant.weights, &variant.chunk_counts, &acts, &plan)
-                    .expect("faulty run");
+                let (out, stats, report) =
+                    array.run_gemm_faulty(&variant.weights, &variant.chunk_counts, &acts, &plan)?;
                 rows.push(vec![
                     variant.name.to_string(),
                     format!("{rate:.0e}"),
@@ -274,4 +276,5 @@ fn main() {
     if smoke {
         println!("\nsmoke mode: single-rate sweep, reduced GEMM.");
     }
+    Ok(())
 }

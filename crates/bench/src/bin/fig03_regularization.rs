@@ -8,11 +8,23 @@
 
 use csp_core::pruning::{CascadeRegularizer, ChunkedLayout};
 use csp_sim::format_table;
+use csp_tensor::CspResult;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig03_regularization: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> CspResult<()> {
     println!("== Fig. 3: per-chunk effective regularization weight ==\n");
     for n in [4usize, 8, 16] {
-        let layout = ChunkedLayout::new(1, n * 8, 8).expect("valid layout");
+        let layout = ChunkedLayout::new(1, n * 8, 8)?;
         assert_eq!(layout.n_chunks(), n);
         println!("N = {n} chunks, RT = {}:", layout.rt());
         let unscaled = CascadeRegularizer::unscaled(1.0);
@@ -36,4 +48,5 @@ fn main() {
             scaled.chunk_penalty_weight(layout, n - 1) / scaled.chunk_penalty_weight(layout, 0);
         println!("last/first skew: {skew_unscaled:.2}x unscaled -> {skew_scaled:.2}x scaled\n");
     }
+    Ok(())
 }

@@ -13,8 +13,11 @@ use csp_core::nn::{
 };
 use csp_core::pruning::truncation::{truncated_matmul, TruncationConfig};
 use csp_core::pruning::{ChunkedLayout, CspPruner};
-use csp_core::tensor::{add_bias, im2col, max_pool2d, relu, Conv2dSpec, Pool2dSpec, Tensor};
+use csp_core::tensor::{
+    add_bias, im2col, max_pool2d, relu, Conv2dSpec, CspResult, Pool2dSpec, Tensor,
+};
 use csp_sim::format_table;
+use std::process::ExitCode;
 
 /// The mini-CNN's layer parameters extracted for a truncated re-execution.
 struct ExtractedCnn {
@@ -24,7 +27,7 @@ struct ExtractedCnn {
     fc_b: Tensor,
 }
 
-fn build_and_train(prune: bool) -> (ExtractedCnn, ClusterImages, f32) {
+fn build_and_train(prune: bool) -> CspResult<(ExtractedCnn, ClusterImages, f32)> {
     let mut rng = csp_core::nn::seeded_rng(91);
     let ds = ClusterImages::generate(&mut rng, 64, 4, 1, 8, 0.2);
     let mut model = Sequential::new(vec![
@@ -48,16 +51,15 @@ fn build_and_train(prune: bool) -> (ExtractedCnn, ClusterImages, f32) {
         },
         None,
         None,
-    )
-    .expect("training runs");
+    )?;
 
     if prune {
         for layer in model.prunable_layers() {
             let (m, c) = layer.csp_dims();
-            let layout = ChunkedLayout::new(m, c, 4).expect("valid");
+            let layout = ChunkedLayout::new(m, c, 4)?;
             let w = layer.csp_weight();
-            let mask = CspPruner::new(0.5).prune(&w, layout).expect("valid");
-            layer.apply_csp_mask(&mask.mask).expect("shapes match");
+            let mask = CspPruner::new(0.5).prune(&w, layout)?;
+            layer.apply_csp_mask(&mask.mask)?;
         }
     }
 
@@ -84,47 +86,57 @@ fn build_and_train(prune: bool) -> (ExtractedCnn, ClusterImages, f32) {
         fc_w,
         fc_b,
     };
-    let exact_cfg = TruncationConfig::new(usize::MAX >> 1, 30, 1e-7).expect("valid");
-    let acc = eval_truncated(&net, &ds, &exact_cfg);
-    (net, ds, acc)
+    let exact_cfg = TruncationConfig::new(usize::MAX >> 1, 30, 1e-7)?;
+    let acc = eval_truncated(&net, &ds, &exact_cfg)?;
+    Ok((net, ds, acc))
 }
 
 /// Forward the extracted CNN with the truncated GEMM.
-fn eval_truncated(net: &ExtractedCnn, ds: &ClusterImages, cfg: &TruncationConfig) -> f32 {
+fn eval_truncated(
+    net: &ExtractedCnn,
+    ds: &ClusterImages,
+    cfg: &TruncationConfig,
+) -> CspResult<f32> {
     let spec = Conv2dSpec::new(3, 1, 1);
     let mut correct = 0usize;
     for (img, &label) in ds.images.iter().zip(&ds.labels) {
-        let cols = im2col(img, spec).expect("geometry fixed"); // (M, P)
-                                                               // conv_w is (M, c_out): output = conv_wᵀ · cols via truncated GEMM.
-        let wt = net.conv_w.transpose().expect("rank 2");
-        let y = truncated_matmul(&wt, &cols, cfg).expect("shapes match"); // (c_out, P)
-        let mut fm = y.reshape(&[8, 8, 8]).expect("8 channels, 8x8");
+        let cols = im2col(img, spec)?;
+        // conv_w is (M, c_out): output = conv_wᵀ · cols via truncated GEMM.
+        let wt = net.conv_w.transpose()?;
+        let y = truncated_matmul(&wt, &cols, cfg)?; // (c_out, P)
+        let mut fm = y.reshape(&[8, 8, 8])?;
         for (i, v) in fm.clone().as_slice().iter().enumerate() {
             fm.as_mut_slice()[i] = v + net.conv_b.as_slice()[i / 64];
         }
         let fm = relu(&fm);
-        let (pooled, _) = max_pool2d(&fm, Pool2dSpec::new(2, 2)).expect("geometry fixed");
-        let flat = pooled.reshape(&[1, 8 * 4 * 4]).expect("consistent");
-        let logits = add_bias(
-            &truncated_matmul(&flat, &net.fc_w, cfg).expect("shapes match"),
-            &net.fc_b,
-        )
-        .expect("bias matches");
+        let (pooled, _) = max_pool2d(&fm, Pool2dSpec::new(2, 2))?;
+        let flat = pooled.reshape(&[1, 8 * 4 * 4])?;
+        let logits = add_bias(&truncated_matmul(&flat, &net.fc_w, cfg)?, &net.fc_b)?;
         let pred = logits.argmax().expect("non-empty");
         if pred == label {
             correct += 1;
         }
     }
-    correct as f32 / ds.len() as f32
+    Ok(correct as f32 / ds.len() as f32)
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig09_truncation: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> CspResult<()> {
     println!("== Fig. 9: accuracy loss vs truncation period ==\n");
     let periods = [1usize, 2, 4, 8, 16, 32, 64];
     let precisions = [(8u32, 0.25f32), (16, 0.002), (30, 1e-6)];
 
     for (prune, tag) in [(false, 'D'), (true, 'S')] {
-        let (net, ds, base_acc) = build_and_train(prune);
+        let (net, ds, base_acc) = build_and_train(prune)?;
         println!(
             "{} model (CSP-pruned: {prune}), full-precision accuracy {:.1}%:",
             if prune { "Sparse" } else { "Dense" },
@@ -134,8 +146,8 @@ fn main() {
         for (bits, step) in precisions {
             let mut cells = vec![format!("{tag}-{bits}bit")];
             for t in periods {
-                let cfg = TruncationConfig::new(t, bits, step).expect("valid");
-                let acc = eval_truncated(&net, &ds, &cfg);
+                let cfg = TruncationConfig::new(t, bits, step)?;
+                let acc = eval_truncated(&net, &ds, &cfg)?;
                 cells.push(format!("{:+.1}", 100.0 * (acc - base_acc)));
             }
             rows.push(cells);
@@ -159,7 +171,7 @@ fn main() {
     );
     use csp_core::nn::{eval_classifier, Sequential};
     use csp_core::pruning::TruncationSte;
-    let aggressive = TruncationConfig::new(1, 8, 1.5).expect("valid");
+    let aggressive = TruncationConfig::new(1, 8, 1.5)?;
     let mut rng = csp_core::nn::seeded_rng(91);
     let ds = ClusterImages::generate(&mut rng, 64, 4, 1, 8, 0.2);
     let build = |seed: u64, with_ste: bool| -> Sequential {
@@ -175,7 +187,7 @@ fn main() {
         layers.push(Box::new(Linear::new(&mut rng, 8 * 4 * 4, 4)));
         Sequential::new(layers)
     };
-    let train = |model: &mut Sequential| {
+    let train = |model: &mut Sequential| -> CspResult<()> {
         let mut opt = Sgd::new(0.05).with_momentum(0.9, true);
         let ds2 = ds.clone();
         train_classifier(
@@ -190,12 +202,12 @@ fn main() {
             },
             None,
             None,
-        )
-        .expect("training runs");
+        )?;
+        Ok(())
     };
     // Unaware: trained full-precision, deployed truncated.
     let mut unaware = build(92, false);
-    train(&mut unaware);
+    train(&mut unaware)?;
     // Emulate truncated deployment by inserting the STE at eval time.
     let mut unaware_truncated = build(92, true);
     // Copy trained weights across (same seed → same layer order).
@@ -203,14 +215,12 @@ fn main() {
         *dst.value = src.value.clone();
     }
     let ds3 = ds.clone();
-    let acc_unaware = eval_classifier(&mut unaware_truncated, move |b| ds3.batch(b * 8, 8), 8)
-        .expect("eval runs");
+    let acc_unaware = eval_classifier(&mut unaware_truncated, move |b| ds3.batch(b * 8, 8), 8)?;
     // Aware: trained *through* the truncated datapath.
     let mut aware = build(93, true);
-    train(&mut aware);
+    train(&mut aware)?;
     let ds4 = ds.clone();
-    let acc_aware =
-        eval_classifier(&mut aware, move |b| ds4.batch(b * 8, 8), 8).expect("eval runs");
+    let acc_aware = eval_classifier(&mut aware, move |b| ds4.batch(b * 8, 8), 8)?;
     println!("deployed-with-truncation accuracy:");
     println!("  trained unaware : {:.1}%", 100.0 * acc_unaware);
     println!(
@@ -219,4 +229,5 @@ fn main() {
     );
     println!("\nTraining through the truncated datapath recovers the loss the IR cannot,");
     println!("confirming the paper's deferred algorithmic mitigation works.");
+    Ok(())
 }

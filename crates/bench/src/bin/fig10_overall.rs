@@ -3,8 +3,20 @@
 
 use csp_bench::{accelerator_lineup, fmt_x, run_lineup, workloads};
 use csp_sim::format_table;
+use csp_tensor::{CspError, CspResult};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig10_overall: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> CspResult<()> {
     let lineup = accelerator_lineup();
     let works = workloads();
 
@@ -53,15 +65,17 @@ fn main() {
 
     // Paper headline ratios: CSP-H vs SparTen / Cambricon-X / Cambricon-S.
     println!("\nHeadline ratios (geomean):");
-    let idx = |name: &str| {
+    let idx = |name: &str| -> CspResult<usize> {
         lineup
             .iter()
             .position(|a| a.name() == name)
-            .expect("in lineup")
+            .ok_or_else(|| CspError::Config {
+                what: format!("{name} missing from the accelerator lineup"),
+            })
     };
-    let csp = idx("CSP-H");
+    let csp = idx("CSP-H")?;
     for other in ["SparTen", "Cambricon-X", "Cambricon-S"] {
-        let o = idx(other);
+        let o = idx(other)?;
         let eff_ratio = (geo_eff[csp] / geo_eff[o]).powf(1.0 / n);
         let spd_ratio = (geo_spd[csp] / geo_spd[o]).powf(1.0 / n);
         println!(
@@ -74,4 +88,5 @@ fn main() {
     println!(
         "energy efficiency, with CSP-H ~1.4x slower than SparTen (2-way skipping wins cycles)."
     );
+    Ok(())
 }

@@ -5,13 +5,27 @@
 
 use csp_bench::{accelerator_lineup, fig11_extras, workloads};
 use csp_sim::{format_table, TrafficClass};
+use csp_tensor::{CspError, CspResult};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fig11_refetch: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> CspResult<()> {
     let works = workloads();
     let vgg = works
         .iter()
         .find(|w| w.network.name == "VGG-16")
-        .expect("VGG-16 in the roster");
+        .ok_or_else(|| CspError::Config {
+            what: "VGG-16 missing from the workload roster".into(),
+        })?;
 
     let mut lineup = accelerator_lineup();
     lineup.extend(fig11_extras());
@@ -58,4 +72,5 @@ fn main() {
     println!("\nPaper shape: DianNao >65% and SparTen ~60% of energy on off-chip re-fetch;");
     println!("OS+CSR still >40% off-chip activation traffic; CSP-H removes ALL re-fetches,");
     println!("leaving unique IFM fetches (unavoidable for any design) to dominate.");
+    Ok(())
 }

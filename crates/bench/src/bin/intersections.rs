@@ -12,7 +12,8 @@ use csp_models::LayerShape;
 use csp_pruning::intersections::analyze;
 use csp_pruning::{ChunkedLayout, CspMask, MagnitudePruner};
 use csp_sim::format_table;
-use csp_tensor::Tensor;
+use csp_tensor::{CspResult, Tensor};
+use std::process::ExitCode;
 
 fn synth_weights(layer: &LayerShape, seed: u64) -> Tensor {
     Tensor::from_fn(&[layer.m(), layer.c_out()], |i| {
@@ -23,28 +24,36 @@ fn synth_weights(layer: &LayerShape, seed: u64) -> Tensor {
     })
 }
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("intersections: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> CspResult<()> {
     println!("== Intersection analysis: early-stop vs sparse-skip ==\n");
     let mut rows = Vec::new();
     for w in workloads().iter().take(3) {
         let chunked = w.profile.with_chunk_size(32);
         // Representative mid-network layer.
         let layer = &w.network.layers[w.network.layers.len() / 2];
-        let layout = ChunkedLayout::new(layer.m(), layer.c_out(), 32).expect("valid layer dims");
+        let layout = ChunkedLayout::new(layer.m(), layer.c_out(), 32)?;
         let weights = synth_weights(layer, 5);
 
         // CSP mask from the profile's cascade-closed counts.
         let counts = chunked.chunk_counts(layer);
-        let csp_mask = CspMask::from_chunk_counts(layout, counts).expect("valid counts");
-        let csp_w = csp_mask.apply(&weights).expect("shapes match");
-        let csp = analyze(&csp_w, layout).expect("shapes match");
+        let csp_mask = CspMask::from_chunk_counts(layout, counts)?;
+        let csp_w = csp_mask.apply(&weights)?;
+        let csp = analyze(&csp_w, layout)?;
 
         // Magnitude mask at identical sparsity.
-        let mag_mask = MagnitudePruner::new(csp_mask.sparsity())
-            .mask(&weights)
-            .expect("non-empty");
-        let mag_w = weights.mul(&mag_mask).expect("shapes match");
-        let mag = analyze(&mag_w, layout).expect("shapes match");
+        let mag_mask = MagnitudePruner::new(csp_mask.sparsity()).mask(&weights)?;
+        let mag_w = weights.mul(&mag_mask)?;
+        let mag = analyze(&mag_w, layout)?;
 
         rows.push(vec![
             format!("{}/{}", w.network.name, layer.name),
@@ -72,4 +81,5 @@ fn main() {
     println!("\nCascade-closed masks give a sequential consumer ~1.0 efficiency (all");
     println!("intersections sit at the front); unstructured masks of equal sparsity");
     println!("waste sequential visits, forcing the costly skip machinery CSP avoids.");
+    Ok(())
 }

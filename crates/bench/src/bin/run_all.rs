@@ -2,71 +2,165 @@
 //! to `results/<driver>.txt` — the one-command regeneration of all tables
 //! and figures.
 //!
+//! A failing driver (spawn error, crash, or nonzero exit) never aborts
+//! the sweep: the remaining drivers still run, a per-study summary is
+//! printed at the end, and only then does `run_all` exit nonzero.
+//!
 //! Usage: `cargo run --release -p csp-bench --bin run_all [-- --skip-slow]`
 //! (`--skip-slow` skips the two drivers that train models).
 
 use std::path::Path;
-use std::process::Command;
+use std::process::{Command, ExitCode};
 
-fn main() {
+/// One experiment driver: binary name plus extra argv.
+struct Driver {
+    name: &'static str,
+    args: &'static [&'static str],
+}
+
+const fn driver(name: &'static str) -> Driver {
+    Driver { name, args: &[] }
+}
+
+/// Outcome of one driver, for the end-of-run summary.
+struct Outcome {
+    name: &'static str,
+    status: String,
+    ok: bool,
+}
+
+fn main() -> ExitCode {
     let skip_slow = std::env::args().any(|a| a == "--skip-slow");
     let fast = [
-        "table1_hw_params",
-        "fig01_motivation",
-        "fig03_regularization",
-        "fig07_regbin_trace",
-        "fig10_overall",
-        "fig11_refetch",
-        "fig12_breakdown",
-        "fig13_regbin_freq",
-        "ablations",
-        "sweep_sparsity",
-        "intersections",
-        "future_actskip",
-        "bandwidth_study",
+        driver("table1_hw_params"),
+        driver("fig01_motivation"),
+        driver("fig03_regularization"),
+        driver("fig07_regbin_trace"),
+        driver("fig10_overall"),
+        driver("fig11_refetch"),
+        driver("fig12_breakdown"),
+        driver("fig13_regbin_freq"),
+        driver("ablations"),
+        driver("sweep_sparsity"),
+        driver("intersections"),
+        driver("future_actskip"),
+        driver("bandwidth_study"),
+        Driver {
+            name: "fault_study",
+            args: &["--smoke"],
+        },
+        Driver {
+            name: "checkpoint_study",
+            args: &["--smoke"],
+        },
     ];
-    let slow = ["table2_cspa", "fig09_truncation"];
+    let slow = [driver("table2_cspa"), driver("fig09_truncation")];
 
-    std::fs::create_dir_all("results").expect("can create results/");
-    let bin_dir = std::env::current_exe()
-        .expect("own path")
-        .parent()
-        .expect("bin dir")
-        .to_path_buf();
-
-    let mut failures = Vec::new();
-    let drivers: Vec<&str> = if skip_slow {
-        fast.to_vec()
-    } else {
-        fast.iter().chain(slow.iter()).copied().collect()
+    if let Err(e) = std::fs::create_dir_all("results") {
+        eprintln!("run_all: cannot create results/: {e}");
+        return ExitCode::FAILURE;
+    }
+    let bin_dir = match std::env::current_exe() {
+        Ok(exe) => match exe.parent() {
+            Some(d) => d.to_path_buf(),
+            None => {
+                eprintln!("run_all: own executable has no parent directory");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("run_all: cannot locate own executable: {e}");
+            return ExitCode::FAILURE;
+        }
     };
-    for name in &drivers {
-        let exe = bin_dir.join(name);
+
+    let drivers: Vec<&Driver> = if skip_slow {
+        fast.iter().collect()
+    } else {
+        fast.iter().chain(slow.iter()).collect()
+    };
+    let mut outcomes: Vec<Outcome> = Vec::new();
+    for d in &drivers {
+        let exe = bin_dir.join(d.name);
         if !Path::new(&exe).exists() {
             eprintln!(
-                "skipping {name}: binary not built (run cargo build --release -p csp-bench --bins)"
+                "skipping {}: binary not built (run cargo build --release -p csp-bench --bins)",
+                d.name
             );
-            failures.push(*name);
+            outcomes.push(Outcome {
+                name: d.name,
+                status: "not built".to_string(),
+                ok: false,
+            });
             continue;
         }
-        print!("running {name:<24} ... ");
-        let output = Command::new(&exe).output().expect("driver spawns");
-        let path = format!("results/{name}.txt");
-        std::fs::write(&path, &output.stdout).expect("can write results");
+        print!("running {:<24} ... ", d.name);
+        let output = match Command::new(&exe).args(d.args).output() {
+            Ok(o) => o,
+            Err(e) => {
+                println!("FAILED (spawn: {e})");
+                outcomes.push(Outcome {
+                    name: d.name,
+                    status: format!("spawn error: {e}"),
+                    ok: false,
+                });
+                continue;
+            }
+        };
+        let path = format!("results/{}.txt", d.name);
+        if let Err(e) = std::fs::write(&path, &output.stdout) {
+            println!("FAILED (cannot write {path}: {e})");
+            outcomes.push(Outcome {
+                name: d.name,
+                status: format!("write error: {e}"),
+                ok: false,
+            });
+            continue;
+        }
         if output.status.success() {
             println!("ok -> {path}");
+            outcomes.push(Outcome {
+                name: d.name,
+                status: format!("ok -> {path}"),
+                ok: true,
+            });
         } else {
+            let stderr = String::from_utf8_lossy(&output.stderr);
+            let first_err = stderr.lines().next().unwrap_or("").trim();
             println!("FAILED (exit {:?})", output.status.code());
-            failures.push(*name);
+            if !first_err.is_empty() {
+                eprintln!("  {first_err}");
+            }
+            outcomes.push(Outcome {
+                name: d.name,
+                status: if first_err.is_empty() {
+                    format!("exit {:?}", output.status.code())
+                } else {
+                    format!("exit {:?}: {first_err}", output.status.code())
+                },
+                ok: false,
+            });
         }
     }
-    if failures.is_empty() {
+
+    let failed = outcomes.iter().filter(|o| !o.ok).count();
+    println!("\n== run_all summary ==");
+    for o in &outcomes {
+        println!(
+            "  {} {:<24} {}",
+            if o.ok { "PASS" } else { "FAIL" },
+            o.name,
+            o.status
+        );
+    }
+    if failed == 0 {
         println!(
             "\nall {} drivers completed; outputs in results/",
             drivers.len()
         );
+        ExitCode::SUCCESS
     } else {
-        eprintln!("\nfailed drivers: {failures:?}");
-        std::process::exit(1);
+        eprintln!("\n{failed}/{} drivers failed", drivers.len());
+        ExitCode::FAILURE
     }
 }

@@ -18,8 +18,20 @@ use csp_core::pruning::{CascadeRegularizer, FlatL2Regularizer, Regularizer, SslC
 use csp_core::transformer_pipeline::{run_transformer_pipeline_with, TransformerPipelineConfig};
 use csp_core::ModelFamily;
 use csp_sim::format_table;
+use csp_tensor::CspResult;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("table2_cspa: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> CspResult<()> {
     println!("== Table 2: CSP-A accuracy and sparsity (synthetic-substitution runs) ==\n");
 
     // --- CNN rows: one per model family, plus λ ablations on the basic
@@ -44,8 +56,7 @@ fn main() {
             noise: 1.0, // hard enough that pruning deltas are visible
             ..PipelineConfig::default()
         })
-        .run_mini_cnn()
-        .expect("pipeline runs");
+        .run_mini_cnn()?;
         rows.push(vec![
             label.to_string(),
             format!("{:.1}%", 100.0 * report.base_accuracy),
@@ -108,7 +119,7 @@ fn main() {
             chunk_size: chunk,
             ..TransformerPipelineConfig::default()
         };
-        let r = run_transformer_pipeline_with(&cfg, reg.as_ref()).expect("pipeline runs");
+        let r = run_transformer_pipeline_with(&cfg, reg.as_ref())?;
         rows.push(vec![
             label.to_string(),
             format!("{:.2}", r.base_bleu),
@@ -126,4 +137,5 @@ fn main() {
     );
     println!("\nPaper reference (WMT, Transformer-base): Ours-32 reaches 84.4% sparsity with");
     println!("BLEU *improving*; SSL across output channels degrades BLEU at similar sparsity.");
+    Ok(())
 }

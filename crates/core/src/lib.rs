@@ -41,14 +41,16 @@ pub mod transformer_pipeline;
 
 pub use csp_accel as accel;
 pub use csp_baselines as baselines;
+pub use csp_io as io;
 pub use csp_models as models;
 pub use csp_nn as nn;
 pub use csp_pruning as pruning;
 pub use csp_sim as sim;
 pub use csp_tensor as tensor;
 
+pub use csp_io::{RecoveryConfig, RecoveryEvent};
 pub use pipeline::{CspPipeline, LayerReport, ModelFamily, PipelineConfig, PipelineReport};
 pub use transformer_pipeline::{
-    run_transformer_pipeline, run_transformer_pipeline_with, TransformerPipelineConfig,
-    TransformerReport,
+    run_transformer_pipeline, run_transformer_pipeline_recoverable, run_transformer_pipeline_with,
+    TransformerPipelineConfig, TransformerReport,
 };

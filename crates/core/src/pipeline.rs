@@ -1,16 +1,29 @@
 //! The end-to-end CSP pipeline: train → regularize → prune → fine-tune →
 //! compress → verify on the functional CSP-H array.
+//!
+//! [`CspPipeline::run_mini_cnn_recoverable`] is the crash-safe variant:
+//! each training phase checkpoints into a directory through `csp-io`'s
+//! atomic container writes, the weaved artifact is persisted (and reused)
+//! across runs, and every recovery action lands in
+//! [`PipelineReport::recovery_events`] next to the per-layer failure
+//! records.
 
 use csp_accel::{CspHConfig, SerialCascadingArray};
+use csp_io::atomic::prev_path;
+use csp_io::{
+    decode_weaved_model, encode_weaved_model, read_file, write_with_history, CheckpointedTrainer,
+    RecoveryConfig, RecoveryEvent,
+};
 use csp_nn::data::ClusterImages;
 use csp_nn::zoo_mini;
 use csp_nn::{
-    train_classifier, Conv2d, Flatten, Linear, MaxPool, Prunable, Relu, Sequential, Sgd,
-    TrainOptions,
+    train_classifier, Conv2d, Flatten, Linear, MaxPool, Optimizer, Prunable, PruneHook, Relu,
+    Sequential, Sgd, TrainOptions,
 };
 use csp_pruning::quant::QuantSpec;
 use csp_pruning::{CascadeRegularizer, ChunkedLayout, CspMask, CspPruner, Regularizer, Weaved};
 use csp_tensor::{CspError, CspResult, Result, Tensor};
+use std::path::Path;
 
 /// Which scaled-down model family the pipeline trains (mirrors the paper's
 /// five evaluated families; the Transformer path lives in the Table 2
@@ -171,6 +184,9 @@ pub struct PipelineReport {
     pub activation_density: f32,
     /// Per-layer outcomes.
     pub layers: Vec<LayerReport>,
+    /// Recovery actions taken by the crash-safe variant (resumes, `.prev`
+    /// fall-backs, artifact reuse). Empty for plain runs.
+    pub recovery_events: Vec<RecoveryEvent>,
 }
 
 /// The end-to-end CSP pipeline on the mini CNN workload.
@@ -263,12 +279,18 @@ impl CspPipeline {
     }
 
     /// Prune every prunable layer of `model`. A layer whose pruning fails
-    /// is recorded in its report (no mask) and the remaining layers are
-    /// still pruned; `masks` stays index-aligned with the reports.
-    fn prune_model(&self, model: &mut Sequential) -> (Vec<Option<CspMask>>, Vec<LayerReport>) {
+    /// is recorded in its report (no mask, no weaved artifact) and the
+    /// remaining layers are still pruned; `masks` and `weaved` stay
+    /// index-aligned with the reports.
+    #[allow(clippy::type_complexity)]
+    fn prune_model(
+        &self,
+        model: &mut Sequential,
+    ) -> (Vec<Option<CspMask>>, Vec<Option<Weaved>>, Vec<LayerReport>) {
         let q = self.config.q;
         let cs = self.config.chunk_size;
         let mut masks = Vec::new();
+        let mut weaveds = Vec::new();
         let mut reports = Vec::new();
         for layer in model.prunable_layers() {
             let label = layer.csp_label();
@@ -283,17 +305,9 @@ impl CspPipeline {
             })();
             match outcome {
                 Ok((mask, weaved)) => {
-                    reports.push(LayerReport {
-                        label,
-                        sparsity: mask.sparsity(),
-                        mean_chunk_count: mask.chunk_counts.iter().sum::<usize>() as f32
-                            / mask.chunk_counts.len().max(1) as f32,
-                        compression_ratio: weaved.compression_ratio(),
-                        functional_check: false, // filled by verify step
-                        chunk_counts: mask.chunk_counts.clone(),
-                        error: None,
-                    });
+                    reports.push(Self::layer_report(&label, &mask, &weaved));
                     masks.push(Some(mask));
+                    weaveds.push(Some(weaved));
                 }
                 Err(e) => {
                     reports.push(LayerReport {
@@ -312,10 +326,26 @@ impl CspPipeline {
                         ),
                     });
                     masks.push(None);
+                    weaveds.push(None);
                 }
             }
         }
-        (masks, reports)
+        (masks, weaveds, reports)
+    }
+
+    /// The report entry of a successfully pruned layer (shared between
+    /// fresh pruning and artifact reuse).
+    fn layer_report(label: &str, mask: &CspMask, weaved: &Weaved) -> LayerReport {
+        LayerReport {
+            label: label.to_string(),
+            sparsity: mask.sparsity(),
+            mean_chunk_count: mask.chunk_counts.iter().sum::<usize>() as f32
+                / mask.chunk_counts.len().max(1) as f32,
+            compression_ratio: weaved.compression_ratio(),
+            functional_check: false, // filled by verify step
+            chunk_counts: mask.chunk_counts.clone(),
+            error: None,
+        }
     }
 
     /// Verify each pruned layer on the functional Serial Cascading array:
@@ -373,8 +403,187 @@ impl CspPipeline {
     /// recorded in the affected layer's [`LayerReport::error`] and the
     /// remaining layers complete normally.
     pub fn run_mini_cnn(&self) -> CspResult<PipelineReport> {
+        self.run_impl(None)
+    }
+
+    /// Crash-safe variant of [`run_mini_cnn`](Self::run_mini_cnn): every
+    /// training phase checkpoints into `dir` (atomic tmp-file + rename
+    /// writes, `.prev` generation kept), the weaved artifact is persisted
+    /// and reused across runs, and an interrupted run — killed at any
+    /// instant — resumes from the newest decodable generation and finishes
+    /// **bit-identically** to an uninterrupted one. Recovery actions are
+    /// recorded in [`PipelineReport::recovery_events`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`run_mini_cnn`](Self::run_mini_cnn) returns, plus
+    /// [`CspError::Config`] for an invalid `recovery` and
+    /// [`CspError::Io`] when checkpoint writes fail. A *corrupt* artifact
+    /// never aborts the run: the pipeline falls back to the `.prev`
+    /// generation or recomputes the phase, recording the event.
+    pub fn run_mini_cnn_recoverable(
+        &self,
+        dir: &Path,
+        recovery: &RecoveryConfig,
+    ) -> CspResult<PipelineReport> {
+        recovery.validate()?;
+        self.run_impl(Some((dir, recovery)))
+    }
+
+    /// One training phase: plain `train_classifier` without recovery,
+    /// checkpointed `CheckpointedTrainer::train` with it.
+    #[allow(clippy::too_many_arguments)]
+    fn train_phase(
+        &self,
+        phase: &str,
+        rec: Option<(&Path, &RecoveryConfig)>,
+        events: &mut Vec<RecoveryEvent>,
+        model: &mut Sequential,
+        data: impl FnMut(usize) -> (Tensor, Vec<usize>),
+        n_batches: usize,
+        opt: &mut dyn Optimizer,
+        options: &TrainOptions<'_>,
+        regularizer: Option<PruneHook<'_>>,
+        mask: Option<PruneHook<'_>>,
+    ) -> CspResult<()> {
+        match rec {
+            None => {
+                train_classifier(model, data, n_batches, opt, options, regularizer, mask)?;
+            }
+            Some((dir, recovery)) => {
+                let trainer =
+                    CheckpointedTrainer::new(dir.join(format!("{phase}.cspio")), *recovery)?;
+                let mut rng = csp_nn::seeded_rng(self.config.seed ^ 0x5EED);
+                let run = trainer.train(
+                    model,
+                    &mut rng,
+                    data,
+                    n_batches,
+                    opt,
+                    options,
+                    regularizer,
+                    mask,
+                )?;
+                events.extend(run.recovery_events.into_iter().map(|e| RecoveryEvent {
+                    phase: phase.to_string(),
+                    what: e.what,
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reuse a previously persisted weaved artifact: strict-decode the
+    /// primary generation (falling back to `.prev`), check it matches the
+    /// model's prunable layers exactly, and re-apply its masks. Returns
+    /// `None` — recording why, when a generation existed — if the phase
+    /// must be recomputed instead.
+    #[allow(clippy::type_complexity)]
+    fn try_reuse_weaved(
+        &self,
+        model: &mut Sequential,
+        path: &Path,
+        events: &mut Vec<RecoveryEvent>,
+    ) -> Option<(Vec<Option<CspMask>>, Vec<Option<Weaved>>, Vec<LayerReport>)> {
+        let event = |events: &mut Vec<RecoveryEvent>, what: String| {
+            events.push(RecoveryEvent {
+                phase: "weave".to_string(),
+                what,
+            });
+        };
+        let load = |p: &Path| read_file(p).and_then(|b| decode_weaved_model(&b));
+        let prev = prev_path(path);
+        let layers = match load(path) {
+            Ok(l) => l,
+            Err(primary_err) => {
+                if !path.exists() && !prev.exists() {
+                    return None; // fresh run, nothing to reuse
+                }
+                match load(&prev) {
+                    Ok(l) => {
+                        event(
+                            events,
+                            format!(
+                                "primary weaved artifact unusable ({primary_err}); fell back to {}",
+                                prev.display()
+                            ),
+                        );
+                        l
+                    }
+                    Err(_) => {
+                        event(
+                            events,
+                            format!(
+                                "no decodable weaved artifact generation ({primary_err}); \
+                                 re-pruning from scratch"
+                            ),
+                        );
+                        return None;
+                    }
+                }
+            }
+        };
+        let mut prunable = model.prunable_layers();
+        if prunable.len() != layers.len() {
+            event(
+                events,
+                format!(
+                    "weaved artifact holds {} layers but the model has {}; re-pruning",
+                    layers.len(),
+                    prunable.len()
+                ),
+            );
+            return None;
+        }
+        let mut masks = Vec::with_capacity(layers.len());
+        let mut weaveds = Vec::with_capacity(layers.len());
+        let mut reports = Vec::with_capacity(layers.len());
+        for (layer, (label, weaved)) in prunable.iter_mut().zip(&layers) {
+            let (m, c_out) = layer.csp_dims();
+            let fits = *label == layer.csp_label()
+                && weaved.layout.m() == m
+                && weaved.layout.c_out() == c_out
+                && weaved.layout.chunk_size() == self.config.chunk_size;
+            if !fits {
+                event(
+                    events,
+                    format!("weaved artifact does not fit layer {label}; re-pruning"),
+                );
+                return None;
+            }
+            let Ok(mask) = CspMask::from_chunk_counts(weaved.layout, weaved.chunk_counts.clone())
+            else {
+                event(
+                    events,
+                    format!("weaved artifact masks invalid for {label}; re-pruning"),
+                );
+                return None;
+            };
+            if layer.apply_csp_mask(&mask.mask).is_err() {
+                event(
+                    events,
+                    format!("weaved artifact mask shape mismatch on {label}; re-pruning"),
+                );
+                return None;
+            }
+            reports.push(Self::layer_report(label, &mask, weaved));
+            masks.push(Some(mask));
+            weaveds.push(Some(weaved.clone()));
+        }
+        event(
+            events,
+            format!(
+                "reused persisted weaved artifact for {} layers",
+                layers.len()
+            ),
+        );
+        Some((masks, weaveds, reports))
+    }
+
+    fn run_impl(&self, rec: Option<(&Path, &RecoveryConfig)>) -> CspResult<PipelineReport> {
         self.config.validate()?;
         let cfg = &self.config;
+        let mut recovery_events: Vec<RecoveryEvent> = Vec::new();
         let mut rng = csp_nn::seeded_rng(cfg.seed);
         let ds = ClusterImages::generate(&mut rng, cfg.samples, cfg.classes, 1, 8, cfg.noise);
         // Held-out evaluation set: same class templates, fresh noise draws.
@@ -388,7 +597,10 @@ impl CspPipeline {
         let mut base = self.build_cnn(cfg.seed + 1, cfg.classes);
         let mut opt = Sgd::new(0.05).with_momentum(0.9, true);
         let ds_train = ds.clone();
-        train_classifier(
+        self.train_phase(
+            "base-train",
+            rec,
+            &mut recovery_events,
             &mut base,
             move |b| ds_train.batch(b * batch, batch),
             n_batches,
@@ -424,7 +636,10 @@ impl CspPipeline {
             }
         };
         let ds_train = ds.clone();
-        train_classifier(
+        self.train_phase(
+            "reg-train",
+            rec,
+            &mut recovery_events,
             &mut model,
             move |b| ds_train.batch(b * batch, batch),
             n_batches,
@@ -439,8 +654,33 @@ impl CspPipeline {
         )?;
         let regularized_accuracy = Self::eval(&mut model, &eval_ds, batch)?;
 
-        // 3. Prune with cascade closure (per-layer failures recorded).
-        let (masks, mut reports) = self.prune_model(&mut model);
+        // 3. Prune with cascade closure (per-layer failures recorded). In
+        // recovery mode a persisted weaved artifact from a previous run is
+        // reused when it still fits the model; otherwise the phase is
+        // recomputed and the artifact (re)written crash-safely.
+        let weaved_path = rec.map(|(dir, _)| dir.join("weaved.cspio"));
+        let reused = weaved_path
+            .as_deref()
+            .and_then(|path| self.try_reuse_weaved(&mut model, path, &mut recovery_events));
+        let (masks, weaveds, mut reports) = match reused {
+            Some(r) => r,
+            None => {
+                let fresh = self.prune_model(&mut model);
+                if let Some(path) = weaved_path.as_deref() {
+                    let artifact: Vec<(String, Weaved)> = fresh
+                        .2
+                        .iter()
+                        .zip(&fresh.1)
+                        .filter_map(|(report, w)| {
+                            w.as_ref().map(|w| (report.label.clone(), w.clone()))
+                        })
+                        .collect();
+                    write_with_history(path, &encode_weaved_model(&artifact), None)?;
+                }
+                fresh
+            }
+        };
+        let _ = &weaveds; // index-aligned with masks/reports; persisted above
         let pruned_accuracy = Self::eval(&mut model, &eval_ds, batch)?;
 
         // 4. Fine-tune under fixed masks (failed layers have none and
@@ -458,7 +698,10 @@ impl CspPipeline {
             }
         };
         let ds_train = ds.clone();
-        train_classifier(
+        self.train_phase(
+            "finetune",
+            rec,
+            &mut recovery_events,
             &mut model,
             move |b| ds_train.batch(b * batch, batch),
             n_batches,
@@ -503,6 +746,7 @@ impl CspPipeline {
             overall_sparsity: zeros as f32 / total.max(1) as f32,
             activation_density,
             layers: reports,
+            recovery_events,
         })
     }
 }
@@ -655,14 +899,97 @@ mod tests {
             Box::new(Linear::new(&mut rng, 8, 8)),
         ]);
         let pipeline = CspPipeline::new(quick_config());
-        let (masks, reports) = pipeline.prune_model(&mut model);
+        let (masks, weaveds, reports) = pipeline.prune_model(&mut model);
         assert_eq!(reports.len(), 2);
         assert!(masks[0].is_none());
+        assert!(weaveds[0].is_none());
         let err = reports[0].error.as_deref().expect("failure recorded");
         assert!(err.contains("layer") && err.contains("failed"), "{err}");
         assert!(masks[1].is_some(), "healthy layer must still prune");
+        assert!(weaveds[1].is_some());
         assert!(reports[1].error.is_none());
         assert!(reports[1].sparsity >= 0.0);
+    }
+
+    fn recovery_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("csp-core-recov-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn recoverable_run_matches_plain_run_and_resumes() {
+        let dir = recovery_dir("match");
+        let cfg = quick_config();
+        let recovery = RecoveryConfig::default();
+        let plain = CspPipeline::new(cfg).run_mini_cnn().unwrap();
+        let first = CspPipeline::new(cfg)
+            .run_mini_cnn_recoverable(&dir, &recovery)
+            .unwrap();
+        // Checkpointing must not change the numbers at all.
+        assert_eq!(plain.base_accuracy, first.base_accuracy);
+        assert_eq!(plain.regularized_accuracy, first.regularized_accuracy);
+        assert_eq!(plain.final_accuracy, first.final_accuracy);
+        assert_eq!(plain.overall_sparsity, first.overall_sparsity);
+        assert!(plain.recovery_events.is_empty());
+        // A second run over the same directory resumes every phase from
+        // its completed checkpoint and reuses the weaved artifact, landing
+        // on identical numbers.
+        let second = CspPipeline::new(cfg)
+            .run_mini_cnn_recoverable(&dir, &recovery)
+            .unwrap();
+        assert_eq!(first.final_accuracy, second.final_accuracy);
+        assert_eq!(first.overall_sparsity, second.overall_sparsity);
+        assert!(
+            second
+                .recovery_events
+                .iter()
+                .any(|e| e.what.contains("resumed")),
+            "resume not recorded: {:?}",
+            second.recovery_events
+        );
+        assert!(
+            second
+                .recovery_events
+                .iter()
+                .any(|e| e.phase == "weave" && e.what.contains("reused")),
+            "artifact reuse not recorded: {:?}",
+            second.recovery_events
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_weaved_artifact_falls_back_to_prev_generation() {
+        let dir = recovery_dir("fallback");
+        let cfg = quick_config();
+        let recovery = RecoveryConfig::default();
+        let first = CspPipeline::new(cfg)
+            .run_mini_cnn_recoverable(&dir, &recovery)
+            .unwrap();
+        let path = dir.join("weaved.cspio");
+        // Make a .prev generation, then corrupt the primary.
+        let good = std::fs::read(&path).unwrap();
+        std::fs::write(dir.join("weaved.cspio.prev"), &good).unwrap();
+        let mut bad = good.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xFF;
+        std::fs::write(&path, &bad).unwrap();
+        let second = CspPipeline::new(cfg)
+            .run_mini_cnn_recoverable(&dir, &recovery)
+            .unwrap();
+        assert_eq!(first.overall_sparsity, second.overall_sparsity);
+        assert!(
+            second
+                .recovery_events
+                .iter()
+                .any(|e| e.what.contains("fell back")),
+            "fall-back not recorded: {:?}",
+            second.recovery_events
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -4,11 +4,14 @@
 //! scores BLEU — consolidating the flow used by the Table 2 driver and
 //! the `transformer_pruning` example.
 
+use csp_io::atomic::prev_path;
+use csp_io::{RecoveryConfig, RecoveryEvent, TrainerCheckpoint};
 use csp_nn::data::SeqTask;
 use csp_nn::metrics::bleu;
 use csp_nn::{Adam, Optimizer, TransformerModel};
 use csp_pruning::{CascadeRegularizer, ChunkedLayout, CspPruner, Regularizer};
 use csp_tensor::{CspError, CspResult, Result, Tensor};
+use std::path::Path;
 
 /// Configuration of a Transformer pipeline run.
 #[derive(Debug, Clone, Copy)]
@@ -137,7 +140,101 @@ pub fn run_transformer_pipeline_with(
     cfg: &TransformerPipelineConfig,
     reg: &dyn Regularizer,
 ) -> CspResult<TransformerReport> {
+    run_impl(cfg, reg, None).map(|(report, _)| report)
+}
+
+/// Crash-safe variant of [`run_transformer_pipeline`]: both training
+/// phases checkpoint into `dir` (atomic container writes with a `.prev`
+/// generation) and a rerun resumes from the newest decodable checkpoint,
+/// finishing bit-identically to an uninterrupted run. Returns the report
+/// plus the recovery actions taken.
+///
+/// # Errors
+///
+/// Everything [`run_transformer_pipeline`] returns, plus
+/// [`CspError::Config`] for an invalid `recovery` and [`CspError::Io`]
+/// when checkpoint writes fail. A corrupt checkpoint never aborts the
+/// run: the phase falls back to `.prev` or restarts, recording the event.
+pub fn run_transformer_pipeline_recoverable(
+    cfg: &TransformerPipelineConfig,
+    dir: &Path,
+    recovery: &RecoveryConfig,
+) -> CspResult<(TransformerReport, Vec<RecoveryEvent>)> {
+    recovery.validate()?;
+    let reg = CascadeRegularizer::new(cfg.lambda);
+    run_impl(cfg, &reg, Some((dir, recovery)))
+}
+
+/// Resume a checkpointed phase: restore the newest decodable generation
+/// into `model`/`opt` and return the epoch to continue from (0 when no
+/// generation is usable — the phase restarts, with the reason recorded).
+fn try_resume(
+    phase: &str,
+    path: &Path,
+    model: &mut TransformerModel,
+    opt: &mut Adam,
+    events: &mut Vec<RecoveryEvent>,
+) -> CspResult<usize> {
+    if !path.exists() && !prev_path(path).exists() {
+        return Ok(0);
+    }
+    match TrainerCheckpoint::load_with_fallback(path) {
+        Ok((ckpt, note)) => {
+            ckpt.apply_to_params(&mut model.params(), opt)?;
+            events.push(RecoveryEvent {
+                phase: phase.to_string(),
+                what: format!("resumed from checkpoint at epoch {}", ckpt.next_epoch),
+            });
+            if let Some(note) = note {
+                events.push(RecoveryEvent {
+                    phase: phase.to_string(),
+                    what: note,
+                });
+            }
+            Ok(ckpt.next_epoch)
+        }
+        Err(e) => {
+            events.push(RecoveryEvent {
+                phase: phase.to_string(),
+                what: format!("no decodable checkpoint generation ({e}); restarting phase"),
+            });
+            Ok(0)
+        }
+    }
+}
+
+/// Checkpoint a phase after epoch `epoch` when the policy says so.
+fn maybe_checkpoint(
+    rec: Option<(&Path, &RecoveryConfig)>,
+    file: &str,
+    epoch: usize,
+    total: usize,
+    model: &mut TransformerModel,
+    opt: &Adam,
+) -> CspResult<()> {
+    let Some((dir, recovery)) = rec else {
+        return Ok(());
+    };
+    if !recovery.should_checkpoint(epoch, total) {
+        return Ok(());
+    }
+    let ckpt = TrainerCheckpoint {
+        next_epoch: epoch + 1,
+        params: model.params().iter().map(|p| p.value.clone()).collect(),
+        opt: opt.export_state(),
+        rng: [0; 4], // no live RNG past dataset generation in this pipeline
+        stats: Vec::new(),
+    };
+    ckpt.save(&dir.join(file), None)
+}
+
+fn run_impl(
+    cfg: &TransformerPipelineConfig,
+    reg: &dyn Regularizer,
+    rec: Option<(&Path, &RecoveryConfig)>,
+) -> CspResult<(TransformerReport, Vec<RecoveryEvent>)> {
     cfg.validate()?;
+    let mut events: Vec<RecoveryEvent> = Vec::new();
     let mut rng = csp_nn::seeded_rng(cfg.seed);
     let ds = SeqTask::generate(&mut rng, cfg.pairs, cfg.seq_len, cfg.vocab);
     let (train, test) = ds.split(0.75);
@@ -152,7 +249,17 @@ pub fn run_transformer_pipeline_with(
 
     // Regularized training.
     let mut opt = Adam::new(2e-3);
-    for epoch in 0..cfg.train_epochs {
+    let start = match rec {
+        Some((dir, _)) => try_resume(
+            "reg-train",
+            &dir.join("transformer-train.cspio"),
+            &mut model,
+            &mut opt,
+            &mut events,
+        )?,
+        None => 0,
+    };
+    for epoch in start..cfg.train_epochs {
         for (inp, tgt) in train.inputs.iter().zip(&train.targets) {
             model.zero_grad();
             let loss = model.loss_and_backward(inp, tgt)?;
@@ -171,6 +278,14 @@ pub fn run_transformer_pipeline_with(
             }
             opt.step(&mut model.params());
         }
+        maybe_checkpoint(
+            rec,
+            "transformer-train.cspio",
+            epoch,
+            cfg.train_epochs,
+            &mut model,
+            &opt,
+        )?;
     }
     let score = |model: &mut TransformerModel| -> Result<f32> {
         let mut hyps = Vec::new();
@@ -196,7 +311,17 @@ pub fn run_transformer_pipeline_with(
 
     // Fine-tune under the fixed masks.
     let mut opt = Adam::new(1e-3);
-    for epoch in 0..cfg.finetune_epochs {
+    let start = match rec {
+        Some((dir, _)) => try_resume(
+            "finetune",
+            &dir.join("transformer-finetune.cspio"),
+            &mut model,
+            &mut opt,
+            &mut events,
+        )?,
+        None => 0,
+    };
+    for epoch in start..cfg.finetune_epochs {
         for (inp, tgt) in train.inputs.iter().zip(&train.targets) {
             model.zero_grad();
             let loss = model.loss_and_backward(inp, tgt)?;
@@ -212,14 +337,25 @@ pub fn run_transformer_pipeline_with(
                 layer.apply_csp_mask(mask)?;
             }
         }
+        maybe_checkpoint(
+            rec,
+            "transformer-finetune.cspio",
+            epoch,
+            cfg.finetune_epochs,
+            &mut model,
+            &opt,
+        )?;
     }
     let final_bleu = score(&mut model)?;
 
-    Ok(TransformerReport {
-        base_bleu,
-        final_bleu,
-        sparsity: zeros as f32 / total.max(1) as f32,
-    })
+    Ok((
+        TransformerReport {
+            base_bleu,
+            final_bleu,
+            sparsity: zeros as f32 / total.max(1) as f32,
+        },
+        events,
+    ))
 }
 
 #[cfg(test)]
@@ -258,6 +394,32 @@ mod tests {
             run_transformer_pipeline(&zero),
             Err(CspError::Config { .. })
         ));
+    }
+
+    #[test]
+    fn recoverable_transformer_run_matches_and_resumes() {
+        let dir = std::env::temp_dir().join(format!("csp-core-tf-recov-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = TransformerPipelineConfig {
+            train_epochs: 8,
+            finetune_epochs: 4,
+            ..quick()
+        };
+        let recovery = RecoveryConfig::default();
+        let plain = run_transformer_pipeline(&cfg).unwrap();
+        let (first, events) = run_transformer_pipeline_recoverable(&cfg, &dir, &recovery).unwrap();
+        assert_eq!(plain, first, "checkpointing changed the numbers");
+        assert!(events.is_empty(), "fresh run took recovery actions");
+        // Rerun over the same directory: both phases resume from their
+        // completed checkpoints and land on the same report.
+        let (second, events) = run_transformer_pipeline_recoverable(&cfg, &dir, &recovery).unwrap();
+        assert_eq!(first, second);
+        assert!(
+            events.iter().any(|e| e.what.contains("resumed")),
+            "resume not recorded: {events:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! The atomic-write protocol: tmp file + fsync + rename, with an optional
+//! `.prev` generation kept as automatic fall-back.
+//!
+//! A checkpoint overwrite has three externally visible steps:
+//!
+//! 1. the new bytes are written to `<path>.tmp` and fsynced;
+//! 2. the current `<path>` (if any) is renamed to `<path>.prev`;
+//! 3. `<path>.tmp` is renamed to `<path>`.
+//!
+//! POSIX renames within a directory are atomic, so whatever instant the
+//! process dies, at least one of `<path>` / `<path>.prev` holds a
+//! complete, CRC-valid artifact: a crash during step 1 leaves the old
+//! `<path>` untouched; between 2 and 3 the previous generation survives
+//! as `<path>.prev`; after 3 the new generation is durable. Loaders use
+//! [`crate::checkpoint::TrainerCheckpoint::load_with_fallback`]-style
+//! logic to walk that chain. [`CrashPoint`] lets tests and the
+//! `checkpoint_study` driver simulate a kill at each step and prove the
+//! guarantee.
+
+use csp_tensor::{CspError, CspResult};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Where a simulated crash interrupts [`write_with_history`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Die after writing half of the tmp file (tmp is garbage, target
+    /// untouched).
+    MidTmpWrite,
+    /// Die after the tmp file is complete but before any rename.
+    BeforeRename,
+    /// Die after the current file moved to `.prev` but before the tmp
+    /// file was renamed into place (target momentarily missing).
+    BetweenRenames,
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> CspError {
+    CspError::Io {
+        path: path.display().to_string(),
+        what: e.to_string(),
+    }
+}
+
+/// The sibling tmp path used by in-flight writes.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    with_suffix(path, ".tmp")
+}
+
+/// The previous-generation path kept as fall-back.
+pub fn prev_path(path: &Path) -> PathBuf {
+    with_suffix(path, ".prev")
+}
+
+fn with_suffix(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(suffix);
+    path.with_file_name(name)
+}
+
+/// Read a whole artifact file.
+///
+/// # Errors
+///
+/// Returns [`CspError::Io`] (missing file, permissions, ...).
+pub fn read_file(path: &Path) -> CspResult<Vec<u8>> {
+    fs::read(path).map_err(|e| io_err(path, e))
+}
+
+/// Atomically replace `path` with `bytes`: write `<path>.tmp`, fsync it,
+/// and rename it over `path`. The previous content of `path` is
+/// overwritten; use [`write_with_history`] to keep it as `.prev`.
+///
+/// # Errors
+///
+/// Returns [`CspError::Io`] when any step fails; `path` is never left
+/// half-written.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> CspResult<()> {
+    let tmp = tmp_path(path);
+    write_tmp(&tmp, bytes, None)?;
+    fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+}
+
+/// Atomically replace `path` with `bytes`, first preserving the current
+/// generation (if any) as `<path>.prev`. `crash` simulates a kill at the
+/// given protocol step (used by tests and `checkpoint_study` to prove the
+/// crash-safety guarantee) — the function returns `Ok` having deliberately
+/// left the file system in the corresponding mid-crash state.
+///
+/// # Errors
+///
+/// Returns [`CspError::Io`] when any real step fails.
+pub fn write_with_history(path: &Path, bytes: &[u8], crash: Option<CrashPoint>) -> CspResult<()> {
+    let tmp = tmp_path(path);
+    write_tmp(&tmp, bytes, crash)?;
+    if crash == Some(CrashPoint::MidTmpWrite) || crash == Some(CrashPoint::BeforeRename) {
+        return Ok(());
+    }
+    if path.exists() {
+        fs::rename(path, prev_path(path)).map_err(|e| io_err(path, e))?;
+    }
+    if crash == Some(CrashPoint::BetweenRenames) {
+        return Ok(());
+    }
+    fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+}
+
+fn write_tmp(tmp: &Path, bytes: &[u8], crash: Option<CrashPoint>) -> CspResult<()> {
+    if let Some(dir) = tmp.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+        }
+    }
+    let mut f = fs::File::create(tmp).map_err(|e| io_err(tmp, e))?;
+    let upto = if crash == Some(CrashPoint::MidTmpWrite) {
+        bytes.len() / 2
+    } else {
+        bytes.len()
+    };
+    f.write_all(&bytes[..upto]).map_err(|e| io_err(tmp, e))?;
+    f.sync_all().map_err(|e| io_err(tmp, e))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("csp-io-atomic-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_atomic_round_trips() {
+        let dir = tmp_dir("round");
+        let p = dir.join("a.cspio");
+        write_atomic(&p, b"hello").unwrap();
+        assert_eq!(read_file(&p).unwrap(), b"hello");
+        write_atomic(&p, b"world").unwrap();
+        assert_eq!(read_file(&p).unwrap(), b"world");
+        assert!(!tmp_path(&p).exists(), "tmp file must not survive");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn history_keeps_previous_generation() {
+        let dir = tmp_dir("hist");
+        let p = dir.join("ckpt.cspio");
+        write_with_history(&p, b"gen-1", None).unwrap();
+        write_with_history(&p, b"gen-2", None).unwrap();
+        assert_eq!(read_file(&p).unwrap(), b"gen-2");
+        assert_eq!(read_file(&prev_path(&p)).unwrap(), b"gen-1");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulated_crashes_never_lose_the_last_good_generation() {
+        for crash in [
+            CrashPoint::MidTmpWrite,
+            CrashPoint::BeforeRename,
+            CrashPoint::BetweenRenames,
+        ] {
+            let dir = tmp_dir("crash");
+            let p = dir.join("ckpt.cspio");
+            write_with_history(&p, b"good", None).unwrap();
+            write_with_history(&p, b"interrupted", Some(crash)).unwrap();
+            // The last good generation must be recoverable from the
+            // main path or the .prev fall-back, never half-written.
+            let main = read_file(&p).ok();
+            let prev = read_file(&prev_path(&p)).ok();
+            let survivor = match crash {
+                CrashPoint::MidTmpWrite | CrashPoint::BeforeRename => main,
+                CrashPoint::BetweenRenames => prev,
+            };
+            assert_eq!(survivor.as_deref(), Some(b"good".as_slice()), "{crash:?}");
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn io_failures_are_typed() {
+        let missing = Path::new("/nonexistent-csp-io-dir/x.cspio");
+        assert!(matches!(read_file(missing), Err(CspError::Io { .. })));
+    }
+}

@@ -1,0 +1,693 @@
+//! Training checkpoints: capture model parameters, optimizer state, RNG
+//! state, and the stats history into one [`Container`], write it with the
+//! crash-safe [`write_with_history`] protocol, and resume a run
+//! **bit-identically** — a resumed run produces exactly the same epoch
+//! stats and final weights as an uninterrupted one.
+//!
+//! [`CheckpointedTrainer`] wraps `csp_nn::train_classifier` with the
+//! checkpoint cadence of a [`RecoveryConfig`]: it checkpoints every
+//! interval-th epoch, and on start it transparently resumes from the
+//! newest decodable generation (`<path>` or the `.prev` fall-back),
+//! recording what it did as [`RecoveryEvent`]s.
+
+use crate::atomic::{prev_path, read_file, write_with_history, CrashPoint};
+use crate::container::{ArtifactKind, Container};
+use crate::recovery::{RecoveryConfig, RecoveryEvent};
+use crate::wire::{Reader, Writer};
+use csp_nn::{
+    train_classifier, EpochStats, Optimizer, OptimizerState, Param, PruneHook, Sequential,
+    TrainOptions,
+};
+use csp_tensor::{CspError, CspResult, Tensor};
+use rand::rngs::StdRng;
+use std::path::{Path, PathBuf};
+
+/// Section tag: epoch cursor + RNG state.
+pub const TAG_META: u32 = 0x01;
+/// Section tag: model parameter tensors.
+pub const TAG_PARAMS: u32 = 0x02;
+/// Section tag: optimizer state.
+pub const TAG_OPTIMIZER: u32 = 0x03;
+/// Section tag: per-epoch stats history.
+pub const TAG_STATS: u32 = 0x04;
+
+/// A complete snapshot of an interrupted training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerCheckpoint {
+    /// The next epoch the run would execute (0-based); resuming sets
+    /// `TrainOptions::start_epoch` to this.
+    pub next_epoch: usize,
+    /// Model parameter values in `Sequential::params` order.
+    pub params: Vec<Tensor>,
+    /// Full optimizer state (momentum / Adam moments and step counter).
+    pub opt: OptimizerState,
+    /// xoshiro256++ RNG state at capture time.
+    pub rng: [u64; 4],
+    /// Stats of every epoch completed so far.
+    pub stats: Vec<EpochStats>,
+}
+
+impl TrainerCheckpoint {
+    /// Snapshot `model` + `opt` after `next_epoch` epochs have completed.
+    pub fn capture(
+        next_epoch: usize,
+        model: &mut Sequential,
+        opt: &dyn Optimizer,
+        rng: [u64; 4],
+        stats: &[EpochStats],
+    ) -> Self {
+        TrainerCheckpoint {
+            next_epoch,
+            params: model.params().iter().map(|p| p.value.clone()).collect(),
+            opt: opt.export_state(),
+            rng,
+            stats: stats.to_vec(),
+        }
+    }
+
+    /// Restore the snapshot into `model` and `opt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Config`] when the checkpoint does not fit the
+    /// model (parameter count or shapes differ) or the optimizer family
+    /// differs — a *valid* artifact applied to the wrong architecture is a
+    /// configuration error, not corruption.
+    pub fn apply_to(&self, model: &mut Sequential, opt: &mut dyn Optimizer) -> CspResult<()> {
+        self.apply_to_params(&mut model.params(), opt)
+    }
+
+    /// [`apply_to`](Self::apply_to) over a raw parameter list — the entry
+    /// point for models that are not a `Sequential` (the Transformer
+    /// pipeline restores through this).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`apply_to`](Self::apply_to).
+    pub fn apply_to_params(
+        &self,
+        params: &mut [Param<'_>],
+        opt: &mut dyn Optimizer,
+    ) -> CspResult<()> {
+        if params.len() != self.params.len() {
+            return Err(CspError::Config {
+                what: format!(
+                    "checkpoint holds {} parameters but the model has {}",
+                    self.params.len(),
+                    params.len()
+                ),
+            });
+        }
+        for (i, (p, saved)) in params.iter().zip(&self.params).enumerate() {
+            if p.value.dims() != saved.dims() {
+                return Err(CspError::Config {
+                    what: format!(
+                        "parameter {i} shape mismatch: checkpoint {:?}, model {:?}",
+                        saved.dims(),
+                        p.value.dims()
+                    ),
+                });
+            }
+        }
+        for (p, saved) in params.iter_mut().zip(&self.params) {
+            *p.value = saved.clone();
+        }
+        opt.import_state(self.opt.clone())
+    }
+
+    /// Serialize into a [`ArtifactKind::TrainerCheckpoint`] container.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut meta = Writer::new();
+        meta.put_usize(self.next_epoch);
+        for s in self.rng {
+            meta.put_u64(s);
+        }
+        let mut params = Writer::new();
+        params.put_usize(self.params.len());
+        for t in &self.params {
+            params.put_tensor(t);
+        }
+        let mut opt = Writer::new();
+        put_opt_state(&mut opt, &self.opt);
+        let mut stats = Writer::new();
+        stats.put_usize(self.stats.len());
+        for s in &self.stats {
+            stats.put_usize(s.epoch);
+            stats.put_f32(s.loss);
+            stats.put_f32(s.accuracy);
+        }
+        let mut c = Container::new(ArtifactKind::TrainerCheckpoint);
+        c.push(TAG_META, meta.into_bytes());
+        c.push(TAG_PARAMS, params.into_bytes());
+        c.push(TAG_OPTIMIZER, opt.into_bytes());
+        c.push(TAG_STATS, stats.into_bytes());
+        c.encode()
+    }
+
+    /// Strictly decode a checkpoint produced by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Corrupt`] for any container- or field-level
+    /// violation; arbitrary corrupted bytes never panic.
+    pub fn decode(bytes: &[u8]) -> CspResult<TrainerCheckpoint> {
+        let c = Container::decode_expecting(bytes, ArtifactKind::TrainerCheckpoint)?;
+
+        let meta = c.section(TAG_META)?;
+        let mut r = Reader::new(&meta.bytes, "trainer-checkpoint/meta");
+        let next_epoch = r.usize()?;
+        let mut rng = [0u64; 4];
+        for s in &mut rng {
+            *s = r.u64()?;
+        }
+        r.expect_empty()?;
+
+        let psec = c.section(TAG_PARAMS)?;
+        let mut r = Reader::new(&psec.bytes, "trainer-checkpoint/params");
+        let n = r.bounded_len(4, "parameter")?;
+        let mut params = Vec::with_capacity(n);
+        for _ in 0..n {
+            params.push(r.tensor()?);
+        }
+        r.expect_empty()?;
+
+        let osec = c.section(TAG_OPTIMIZER)?;
+        let mut r = Reader::new(&osec.bytes, "trainer-checkpoint/optimizer");
+        let opt = read_opt_state(&mut r)?;
+        r.expect_empty()?;
+
+        let ssec = c.section(TAG_STATS)?;
+        let mut r = Reader::new(&ssec.bytes, "trainer-checkpoint/stats");
+        let n = r.bounded_len(16, "epoch-stat")?;
+        let mut stats = Vec::with_capacity(n);
+        for _ in 0..n {
+            stats.push(EpochStats {
+                epoch: r.usize()?,
+                loss: r.f32()?,
+                accuracy: r.f32()?,
+            });
+        }
+        r.expect_empty()?;
+
+        Ok(TrainerCheckpoint {
+            next_epoch,
+            params,
+            opt,
+            rng,
+            stats,
+        })
+    }
+
+    /// Write the checkpoint to `path` with the crash-safe
+    /// tmp-write/rename protocol, keeping the previous generation as
+    /// `.prev`. `crash` simulates a kill mid-protocol (tests and the
+    /// `checkpoint_study` driver).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Io`] when a filesystem step fails.
+    pub fn save(&self, path: &Path, crash: Option<CrashPoint>) -> CspResult<()> {
+        write_with_history(path, &self.encode(), crash)
+    }
+
+    /// Load the newest decodable generation: `path` first, then the
+    /// `.prev` fall-back. The second element notes the fall-back taken,
+    /// when one was.
+    ///
+    /// # Errors
+    ///
+    /// Returns the *primary* generation's error ([`CspError::Io`] or
+    /// [`CspError::Corrupt`]) when no generation is loadable.
+    pub fn load_with_fallback(path: &Path) -> CspResult<(TrainerCheckpoint, Option<String>)> {
+        let primary = read_file(path).and_then(|b| Self::decode(&b));
+        match primary {
+            Ok(c) => Ok((c, None)),
+            Err(primary_err) => {
+                let prev = prev_path(path);
+                match read_file(&prev).and_then(|b| Self::decode(&b)) {
+                    Ok(c) => Ok((
+                        c,
+                        Some(format!(
+                            "primary checkpoint unusable ({primary_err}); fell back to {}",
+                            prev.display()
+                        )),
+                    )),
+                    Err(_) => Err(primary_err),
+                }
+            }
+        }
+    }
+}
+
+fn put_opt_state(w: &mut Writer, state: &OptimizerState) {
+    match state {
+        OptimizerState::Sgd {
+            lr,
+            momentum,
+            nesterov,
+            weight_decay,
+            velocity,
+        } => {
+            w.put_u8(1);
+            w.put_f32(*lr);
+            w.put_f32(*momentum);
+            w.put_u8(u8::from(*nesterov));
+            w.put_f32(*weight_decay);
+            w.put_usize(velocity.len());
+            for t in velocity {
+                w.put_tensor(t);
+            }
+        }
+        OptimizerState::Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t,
+            m,
+            v,
+        } => {
+            w.put_u8(2);
+            w.put_f32(*lr);
+            w.put_f32(*beta1);
+            w.put_f32(*beta2);
+            w.put_f32(*eps);
+            w.put_u64(*t);
+            w.put_usize(m.len());
+            for t in m {
+                w.put_tensor(t);
+            }
+            w.put_usize(v.len());
+            for t in v {
+                w.put_tensor(t);
+            }
+        }
+    }
+}
+
+fn read_opt_state(r: &mut Reader<'_>) -> CspResult<OptimizerState> {
+    let kind = r.u8()?;
+    match kind {
+        1 => {
+            let lr = r.f32()?;
+            let momentum = r.f32()?;
+            let nesterov = match r.u8()? {
+                0 => false,
+                1 => true,
+                b => return Err(r.corrupt(format!("nesterov flag {b} is not a bool"))),
+            };
+            let weight_decay = r.f32()?;
+            let n = r.bounded_len(4, "velocity tensor")?;
+            let mut velocity = Vec::with_capacity(n);
+            for _ in 0..n {
+                velocity.push(r.tensor()?);
+            }
+            Ok(OptimizerState::Sgd {
+                lr,
+                momentum,
+                nesterov,
+                weight_decay,
+                velocity,
+            })
+        }
+        2 => {
+            let lr = r.f32()?;
+            let beta1 = r.f32()?;
+            let beta2 = r.f32()?;
+            let eps = r.f32()?;
+            let t = r.u64()?;
+            let nm = r.bounded_len(4, "first-moment tensor")?;
+            let mut m = Vec::with_capacity(nm);
+            for _ in 0..nm {
+                m.push(r.tensor()?);
+            }
+            let nv = r.bounded_len(4, "second-moment tensor")?;
+            let mut v = Vec::with_capacity(nv);
+            for _ in 0..nv {
+                v.push(r.tensor()?);
+            }
+            Ok(OptimizerState::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+                t,
+                m,
+                v,
+            })
+        }
+        other => Err(r.corrupt(format!("unknown optimizer kind {other}"))),
+    }
+}
+
+/// What a [`CheckpointedTrainer::train`] call did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainRun {
+    /// Stats of *all* epochs of the run, including those replayed from
+    /// the checkpoint's history on resume.
+    pub stats: Vec<EpochStats>,
+    /// The epoch the run resumed from, when it resumed.
+    pub resumed_at: Option<usize>,
+    /// Recovery actions taken (resume, `.prev` fall-backs).
+    pub recovery_events: Vec<RecoveryEvent>,
+}
+
+/// `train_classifier` with crash-safe periodic checkpoints and transparent
+/// resume.
+#[derive(Debug, Clone)]
+pub struct CheckpointedTrainer {
+    path: PathBuf,
+    recovery: RecoveryConfig,
+}
+
+impl CheckpointedTrainer {
+    /// A trainer checkpointing to `path` under `recovery`'s cadence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Config`] when `recovery` is invalid.
+    pub fn new(path: impl Into<PathBuf>, recovery: RecoveryConfig) -> CspResult<Self> {
+        recovery.validate()?;
+        Ok(CheckpointedTrainer {
+            path: path.into(),
+            recovery,
+        })
+    }
+
+    /// The checkpoint path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Run `train_classifier` epoch by epoch, checkpointing per the
+    /// recovery policy and resuming from the newest decodable generation
+    /// when one exists. The resumed run is bit-identical to an
+    /// uninterrupted one: parameters, optimizer buffers, the RNG, the LR
+    /// schedule position, and epoch numbering all continue exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training errors ([`CspError::Divergence`], shape
+    /// errors), checkpoint I/O errors, and [`CspError::Config`] when an
+    /// existing checkpoint does not fit `model`/`opt`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train(
+        &self,
+        model: &mut Sequential,
+        rng: &mut StdRng,
+        mut data: impl FnMut(usize) -> (Tensor, Vec<usize>),
+        n_batches: usize,
+        opt: &mut dyn Optimizer,
+        options: &TrainOptions<'_>,
+        mut regularizer: Option<PruneHook<'_>>,
+        mut mask: Option<PruneHook<'_>>,
+    ) -> CspResult<TrainRun> {
+        let mut stats: Vec<EpochStats> = Vec::new();
+        let mut events = Vec::new();
+        let mut resumed_at = None;
+        let mut start = options.start_epoch;
+        if self.path.exists() || prev_path(&self.path).exists() {
+            let (ckpt, note) = TrainerCheckpoint::load_with_fallback(&self.path)?;
+            ckpt.apply_to(model, opt)?;
+            *rng = StdRng::from_state(ckpt.rng);
+            start = ckpt.next_epoch;
+            resumed_at = Some(ckpt.next_epoch);
+            stats = ckpt.stats;
+            events.push(RecoveryEvent {
+                phase: "train".to_string(),
+                what: format!("resumed from checkpoint at epoch {start}"),
+            });
+            if let Some(note) = note {
+                events.push(RecoveryEvent {
+                    phase: "train".to_string(),
+                    what: note,
+                });
+            }
+        }
+        for epoch in start..options.epochs {
+            let epoch_options = TrainOptions {
+                epochs: epoch + 1,
+                start_epoch: epoch,
+                batch_size: options.batch_size,
+                schedule: options.schedule,
+                verbose: options.verbose,
+            };
+            let reg: Option<PruneHook<'_>> = match regularizer {
+                Some(ref mut r) => Some(&mut **r),
+                None => None,
+            };
+            let msk: Option<PruneHook<'_>> = match mask {
+                Some(ref mut m) => Some(&mut **m),
+                None => None,
+            };
+            let s = train_classifier(model, &mut data, n_batches, opt, &epoch_options, reg, msk)?;
+            stats.extend(s);
+            if self.recovery.should_checkpoint(epoch, options.epochs) {
+                TrainerCheckpoint::capture(epoch + 1, model, opt, rng.state(), &stats)
+                    .save(&self.path, None)?;
+            }
+        }
+        Ok(TrainRun {
+            stats,
+            resumed_at,
+            recovery_events: events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_nn::{seeded_rng, Flatten, Linear, Sgd};
+    use csp_tensor::Tensor;
+    use rand::Rng;
+    use std::fs;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("csp-io-ckpt-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn tiny_model(seed: u64) -> Sequential {
+        let mut rng = seeded_rng(seed);
+        Sequential::new(vec![
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(&mut rng, 16, 8)),
+            Box::new(Linear::new(&mut rng, 8, 2)),
+        ])
+    }
+
+    fn dataset() -> (Tensor, Vec<usize>) {
+        // Two linearly separable blobs.
+        let x = Tensor::from_fn(&[8, 1, 4, 4], |i| {
+            let sample = i / 16;
+            let base = if sample % 2 == 0 { -1.0 } else { 1.0 };
+            base + ((i * 37 % 11) as f32 - 5.0) * 0.02
+        });
+        let labels = (0..8).map(|s| s % 2).collect();
+        (x, labels)
+    }
+
+    #[test]
+    fn checkpoint_encode_decode_round_trip() {
+        let mut model = tiny_model(1);
+        let mut opt = Sgd::new(0.1).with_momentum(0.9, true);
+        let (x, labels) = dataset();
+        train_classifier(
+            &mut model,
+            |_| (x.clone(), labels.clone()),
+            2,
+            &mut opt,
+            &TrainOptions {
+                epochs: 2,
+                batch_size: 8,
+                ..Default::default()
+            },
+            None,
+            None,
+        )
+        .unwrap();
+        let stats = vec![EpochStats {
+            epoch: 0,
+            loss: 0.5,
+            accuracy: 0.75,
+        }];
+        let ckpt = TrainerCheckpoint::capture(2, &mut model, &opt, [1, 2, 3, 4], &stats);
+        let decoded = TrainerCheckpoint::decode(&ckpt.encode()).unwrap();
+        assert_eq!(ckpt, decoded);
+    }
+
+    #[test]
+    fn kill_and_resume_is_bit_identical() {
+        let dir = tmp_dir("resume");
+        let path = dir.join("train.cspio");
+        let (x, labels) = dataset();
+        let options = TrainOptions {
+            epochs: 6,
+            batch_size: 8,
+            ..Default::default()
+        };
+        let trainer = CheckpointedTrainer::new(&path, RecoveryConfig::default()).unwrap();
+
+        // Uninterrupted reference run (no checkpoint file involved).
+        let mut reference = tiny_model(7);
+        let mut ref_opt = Sgd::new(0.1).with_momentum(0.9, true);
+        let ref_stats = train_classifier(
+            &mut reference,
+            |_| (x.clone(), labels.clone()),
+            2,
+            &mut ref_opt,
+            &options,
+            None,
+            None,
+        )
+        .unwrap();
+
+        // "Killed" run: train only 3 of 6 epochs, drop everything.
+        {
+            let mut m = tiny_model(7);
+            let mut o = Sgd::new(0.1).with_momentum(0.9, true);
+            let mut rng = seeded_rng(42);
+            let run = trainer
+                .train(
+                    &mut m,
+                    &mut rng,
+                    |_| (x.clone(), labels.clone()),
+                    2,
+                    &mut o,
+                    &TrainOptions {
+                        epochs: 3,
+                        batch_size: 8,
+                        ..Default::default()
+                    },
+                    None,
+                    None,
+                )
+                .unwrap();
+            assert_eq!(run.resumed_at, None);
+            assert_eq!(run.stats.len(), 3);
+        }
+
+        // Fresh process: same constructors, resume and finish.
+        let mut resumed = tiny_model(7);
+        let mut opt = Sgd::new(0.1).with_momentum(0.9, true);
+        let mut rng = seeded_rng(42);
+        let run = trainer
+            .train(
+                &mut resumed,
+                &mut rng,
+                |_| (x.clone(), labels.clone()),
+                2,
+                &mut opt,
+                &options,
+                None,
+                None,
+            )
+            .unwrap();
+        assert_eq!(run.resumed_at, Some(3));
+        assert!(!run.recovery_events.is_empty());
+        assert_eq!(run.stats, ref_stats, "resumed stats diverged");
+        for (a, b) in reference.params().iter().zip(resumed.params().iter()) {
+            assert_eq!(a.value.as_slice(), b.value.as_slice());
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rng_state_survives_resume() {
+        let dir = tmp_dir("rng");
+        let path = dir.join("train.cspio");
+        let (x, labels) = dataset();
+        let trainer = CheckpointedTrainer::new(&path, RecoveryConfig::default()).unwrap();
+        let mut rng = seeded_rng(5);
+        let mut m = tiny_model(5);
+        let mut o = Sgd::new(0.1);
+        trainer
+            .train(
+                &mut m,
+                &mut rng,
+                |_| (x.clone(), labels.clone()),
+                1,
+                &mut o,
+                &TrainOptions {
+                    epochs: 2,
+                    batch_size: 8,
+                    ..Default::default()
+                },
+                None,
+                None,
+            )
+            .unwrap();
+        let expected: u64 = rng.gen();
+        // A fresh rng with any seed gets overwritten by the resume.
+        let mut rng2 = seeded_rng(999);
+        let mut m2 = tiny_model(5);
+        let mut o2 = Sgd::new(0.1);
+        trainer
+            .train(
+                &mut m2,
+                &mut rng2,
+                |_| (x.clone(), labels.clone()),
+                1,
+                &mut o2,
+                &TrainOptions {
+                    epochs: 2,
+                    batch_size: 8,
+                    ..Default::default()
+                },
+                None,
+                None,
+            )
+            .unwrap();
+        assert_eq!(rng2.gen::<u64>(), expected);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_primary_falls_back_to_prev() {
+        let dir = tmp_dir("fallback");
+        let path = dir.join("c.cspio");
+        let mut model = tiny_model(3);
+        let opt = Sgd::new(0.1);
+        let c1 = TrainerCheckpoint::capture(1, &mut model, &opt, [9, 9, 9, 9], &[]);
+        c1.save(&path, None).unwrap();
+        let c2 = TrainerCheckpoint::capture(2, &mut model, &opt, [8, 8, 8, 8], &[]);
+        c2.save(&path, None).unwrap();
+        // Corrupt the primary; the previous generation must be served.
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let (loaded, note) = TrainerCheckpoint::load_with_fallback(&path).unwrap();
+        assert_eq!(loaded, c1);
+        assert!(note.unwrap().contains("fell back"));
+        // With both generations unusable the primary error surfaces.
+        fs::write(prev_path(&path), b"garbage").unwrap();
+        assert!(matches!(
+            TrainerCheckpoint::load_with_fallback(&path),
+            Err(CspError::Corrupt { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_model_is_a_config_error() {
+        let mut model = tiny_model(3);
+        let opt = Sgd::new(0.1);
+        let ckpt = TrainerCheckpoint::capture(1, &mut model, &opt, [0; 4], &[]);
+        let mut other = {
+            let mut rng = seeded_rng(4);
+            Sequential::new(vec![
+                Box::new(Flatten::new()),
+                Box::new(Linear::new(&mut rng, 16, 3)),
+            ])
+        };
+        let mut opt2 = Sgd::new(0.1);
+        assert!(matches!(
+            ckpt.apply_to(&mut other, &mut opt2),
+            Err(CspError::Config { .. })
+        ));
+    }
+}

@@ -1,0 +1,312 @@
+//! The versioned, checksummed artifact container all CSP artifacts share.
+//!
+//! ## Layout
+//!
+//! ```text
+//! ┌────────────────────────────── header ──────────────────────────────┐
+//! │ magic  b"CSPIOBIN"            8 B                                  │
+//! │ format version (u32 LE)       4 B   — readers reject unknown       │
+//! │ artifact kind   (u32 LE)      4 B   — TrainerCheckpoint / ...      │
+//! │ section count   (u32 LE)      4 B   — ≤ MAX_SECTIONS               │
+//! │ header CRC32    (u32 LE)      4 B   — over the 20 bytes above      │
+//! ├────────────────────────────── sections ────────────────────────────┤
+//! │ repeated `section count` times:                                    │
+//! │   tag            (u32 LE)     4 B                                  │
+//! │   payload length (u64 LE)     8 B   — bounds-checked               │
+//! │   section CRC32  (u32 LE)     4 B   — over tag ‖ length ‖ payload  │
+//! │   payload        length B                                          │
+//! └────────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Decoding is *strict*: bad magic, an unsupported version, an unknown
+//! kind, an oversized section count, a length running past the buffer, a
+//! CRC mismatch, or trailing bytes all produce
+//! [`CspError::Corrupt`] — never a panic.
+
+use crate::wire::{crc32, Reader, Writer};
+use csp_tensor::{CspError, CspResult};
+
+/// Magic bytes opening every artifact file.
+pub const MAGIC: [u8; 8] = *b"CSPIOBIN";
+
+/// Current (and only) on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Upper bound on sections per container (sanity bound against corrupted
+/// count fields).
+pub const MAX_SECTIONS: u32 = 64;
+
+/// What a container holds (the `kind` header field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// A training checkpoint: model params + optimizer + RNG + stats.
+    TrainerCheckpoint,
+    /// A weaved-compressed model: per-layer `Weaved` artifacts.
+    WeavedModel,
+    /// A completed pipeline phase snapshot (params + phase metrics).
+    PhaseSnapshot,
+}
+
+impl ArtifactKind {
+    /// Wire value of the kind.
+    pub fn code(self) -> u32 {
+        match self {
+            ArtifactKind::TrainerCheckpoint => 1,
+            ArtifactKind::WeavedModel => 2,
+            ArtifactKind::PhaseSnapshot => 3,
+        }
+    }
+
+    /// Decode a wire value.
+    fn from_code(code: u32) -> Option<Self> {
+        match code {
+            1 => Some(ArtifactKind::TrainerCheckpoint),
+            2 => Some(ArtifactKind::WeavedModel),
+            3 => Some(ArtifactKind::PhaseSnapshot),
+            _ => None,
+        }
+    }
+
+    /// Human-readable label (used in `Corrupt` error messages).
+    pub fn label(self) -> &'static str {
+        match self {
+            ArtifactKind::TrainerCheckpoint => "trainer-checkpoint",
+            ArtifactKind::WeavedModel => "weaved-model",
+            ArtifactKind::PhaseSnapshot => "phase-snapshot",
+        }
+    }
+}
+
+/// One tagged, CRC-protected section of a container.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Section {
+    /// Section tag (see the `TAG_*` constants of the artifact codecs).
+    pub tag: u32,
+    /// Raw payload bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// A decoded (or to-be-encoded) artifact container.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Container {
+    /// What the container holds.
+    pub kind: ArtifactKind,
+    /// The sections, in file order.
+    pub sections: Vec<Section>,
+}
+
+impl Container {
+    /// An empty container of `kind`.
+    pub fn new(kind: ArtifactKind) -> Self {
+        Container {
+            kind,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Append a section.
+    pub fn push(&mut self, tag: u32, bytes: Vec<u8>) {
+        self.sections.push(Section { tag, bytes });
+    }
+
+    /// Borrow the first section with `tag`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Corrupt`] when the section is missing — a
+    /// well-formed file of this kind always carries it.
+    pub fn section(&self, tag: u32) -> CspResult<&Section> {
+        self.sections
+            .iter()
+            .find(|s| s.tag == tag)
+            .ok_or_else(|| CspError::Corrupt {
+                artifact: self.kind.label().to_string(),
+                what: format!("required section {tag} missing"),
+            })
+    }
+
+    /// Serialize to the on-disk byte layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut header = Writer::new();
+        header.put_bytes(&MAGIC);
+        header.put_u32(FORMAT_VERSION);
+        header.put_u32(self.kind.code());
+        header.put_u32(self.sections.len() as u32);
+        let mut out = header.into_bytes();
+        let hcrc = crc32(&out);
+        out.extend_from_slice(&hcrc.to_le_bytes());
+        for s in &self.sections {
+            let mut w = Writer::new();
+            w.put_u32(s.tag);
+            w.put_u64(s.bytes.len() as u64);
+            out.extend_from_slice(&w.into_bytes());
+            out.extend_from_slice(&section_crc(s.tag, &s.bytes).to_le_bytes());
+            out.extend_from_slice(&s.bytes);
+        }
+        out
+    }
+
+    /// Strictly decode a container from `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Corrupt`] for any deviation from the layout:
+    /// bad magic, unsupported version, unknown kind, section count above
+    /// [`MAX_SECTIONS`], truncated sections, per-section CRC mismatches,
+    /// or trailing bytes.
+    pub fn decode(bytes: &[u8]) -> CspResult<Container> {
+        let mut r = Reader::new(bytes, "container");
+        let magic = r.take(MAGIC.len())?;
+        if magic != MAGIC {
+            return Err(r.corrupt(format!("bad magic {magic:02x?}")));
+        }
+        let version = r.u32()?;
+        if version != FORMAT_VERSION {
+            return Err(r.corrupt(format!(
+                "unsupported format version {version} (this build reads {FORMAT_VERSION})"
+            )));
+        }
+        let kind_code = r.u32()?;
+        let kind = ArtifactKind::from_code(kind_code)
+            .ok_or_else(|| r.corrupt(format!("unknown artifact kind {kind_code}")))?;
+        let n_sections = r.u32()?;
+        if n_sections > MAX_SECTIONS {
+            return Err(r.corrupt(format!(
+                "section count {n_sections} exceeds the maximum {MAX_SECTIONS}"
+            )));
+        }
+        let stored_hcrc = r.u32()?;
+        let actual_hcrc = crc32(&bytes[..20]);
+        if stored_hcrc != actual_hcrc {
+            return Err(r.corrupt(format!(
+                "header CRC mismatch: stored {stored_hcrc:08x}, computed {actual_hcrc:08x}"
+            )));
+        }
+        let mut sections = Vec::with_capacity(n_sections as usize);
+        for i in 0..n_sections {
+            let tag = r.u32()?;
+            let len = r.usize()?;
+            let stored_crc = r.u32()?;
+            if len > r.remaining() {
+                return Err(r.corrupt(format!(
+                    "section {i} (tag {tag}) claims {len} bytes but only {} remain",
+                    r.remaining()
+                )));
+            }
+            let payload = r.take(len)?;
+            let actual_crc = section_crc(tag, payload);
+            if stored_crc != actual_crc {
+                return Err(r.corrupt(format!(
+                    "section {i} (tag {tag}) CRC mismatch: stored {stored_crc:08x}, computed {actual_crc:08x}"
+                )));
+            }
+            sections.push(Section {
+                tag,
+                bytes: payload.to_vec(),
+            });
+        }
+        r.expect_empty()?;
+        Ok(Container { kind, sections })
+    }
+
+    /// Decode and additionally require the container to be of `kind`.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`decode`](Self::decode) returns, plus
+    /// [`CspError::Corrupt`] on a kind mismatch (a valid file of the
+    /// wrong kind is as unusable as a corrupt one at a given load site).
+    pub fn decode_expecting(bytes: &[u8], kind: ArtifactKind) -> CspResult<Container> {
+        let c = Self::decode(bytes)?;
+        if c.kind != kind {
+            return Err(CspError::Corrupt {
+                artifact: kind.label().to_string(),
+                what: format!("file holds a {} artifact instead", c.kind.label()),
+            });
+        }
+        Ok(c)
+    }
+}
+
+/// CRC32 over a section's tag, payload length, and payload bytes — so a
+/// flipped tag or length field is as detectable as a flipped payload byte.
+fn section_crc(tag: u32, payload: &[u8]) -> u32 {
+    let mut w = Writer::new();
+    w.put_u32(tag);
+    w.put_u64(payload.len() as u64);
+    w.put_bytes(payload);
+    crc32(&w.into_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Container {
+        let mut c = Container::new(ArtifactKind::TrainerCheckpoint);
+        c.push(1, vec![1, 2, 3, 4]);
+        c.push(2, Vec::new());
+        c.push(7, vec![0xAB; 100]);
+        c
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let c = sample();
+        let bytes = c.encode();
+        let d = Container::decode(&bytes).unwrap();
+        assert_eq!(c, d);
+        assert_eq!(d.section(7).unwrap().bytes.len(), 100);
+        assert!(d.section(99).is_err());
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_caught_or_harmless() {
+        // Flip each byte of the encoding in turn: decode must either fail
+        // with Corrupt or return the original container (a flip in dead
+        // padding does not exist in this format, so any Ok must be equal).
+        let c = sample();
+        let bytes = c.encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            match Container::decode(&bad) {
+                Err(CspError::Corrupt { .. }) => {}
+                Err(other) => panic!("byte {i}: wrong error kind {other:?}"),
+                Ok(d) => assert_eq!(c, d, "byte {i}: silent corruption accepted"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncations_are_caught() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(
+                    Container::decode(&bytes[..cut]),
+                    Err(CspError::Corrupt { .. })
+                ),
+                "truncation at {cut} was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_caught() {
+        let mut bytes = sample().encode();
+        bytes.push(0);
+        assert!(matches!(
+            Container::decode(&bytes),
+            Err(CspError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let bytes = sample().encode();
+        assert!(Container::decode_expecting(&bytes, ArtifactKind::TrainerCheckpoint).is_ok());
+        let err = Container::decode_expecting(&bytes, ArtifactKind::WeavedModel).unwrap_err();
+        assert!(matches!(err, CspError::Corrupt { ref what, .. } if what.contains("trainer")));
+    }
+}

@@ -1,0 +1,49 @@
+//! # csp-io
+//!
+//! Crash-safe checkpointing and versioned artifact serialization for the
+//! CSP reproduction.
+//!
+//! The long train→prune→retrain cascades of CSP-A and the compressed
+//! *weaved* artifacts they feed into CSP-H are expensive to produce and
+//! cheap to lose: a crash, an OOM-kill, or a corrupted file used to cost
+//! the entire run. This crate makes every pipeline artifact durable:
+//!
+//! * [`container`] — a versioned, checksummed binary container (magic +
+//!   format version + length-prefixed sections, each protected by its own
+//!   CRC32) shared by all artifact kinds;
+//! * [`atomic`] — the atomic-write protocol (tmp file + fsync + rename,
+//!   with a `.prev` generation kept as fall-back) so a crash mid-write can
+//!   never clobber the last good artifact;
+//! * [`checkpoint`] — training checkpoints: model parameters, full
+//!   optimizer state (SGD velocity / Adam moments + step counter),
+//!   LR-schedule position, seeded RNG state and the epoch statistics so
+//!   far, plus [`checkpoint::CheckpointedTrainer`] which threads periodic
+//!   checkpointing and `resume_from()` through `csp_nn::train_classifier`
+//!   and provably continues bit-identically to an uninterrupted run;
+//! * [`weaved_io`] — strict, corruption-hardened codecs for
+//!   [`csp_pruning::Weaved`] artifacts and pruning masks: every load
+//!   re-validates the cascade prefix-closure invariant, chunk bounds, and
+//!   payload consistency, returning
+//!   [`CspError::Corrupt`](csp_tensor::CspError::Corrupt) — never a panic
+//!   or silent garbage — under arbitrary byte-level corruption;
+//! * [`recovery`] — the single validated [`recovery::RecoveryConfig`]
+//!   holding the checkpoint-interval / retry knobs used across the
+//!   workspace, and the [`recovery::RecoveryEvent`] records the pipelines
+//!   attach to their reports when they fall back to a previous artifact.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atomic;
+pub mod checkpoint;
+pub mod container;
+pub mod recovery;
+pub mod weaved_io;
+pub mod wire;
+
+pub use atomic::{read_file, write_atomic, write_with_history, CrashPoint};
+pub use checkpoint::{CheckpointedTrainer, TrainRun, TrainerCheckpoint};
+pub use container::{ArtifactKind, Container, Section, FORMAT_VERSION, MAGIC};
+pub use recovery::{RecoveryConfig, RecoveryEvent};
+pub use weaved_io::{decode_weaved_model, encode_weaved_model};
+pub use wire::crc32;

@@ -1,0 +1,142 @@
+//! The single validated home of the workspace's recovery knobs, and the
+//! recovery events pipelines attach to their reports.
+//!
+//! Before this module, every driver grew its own checkpoint-interval and
+//! retry constants; [`RecoveryConfig`] deduplicates them behind one
+//! validated type (the same pattern as `CspHConfig::validate()` on the
+//! accelerator side), rejecting nonsensical values with typed
+//! [`CspError::Config`] errors.
+
+use csp_tensor::{CspError, CspResult};
+
+/// Upper bound on the retry budget — anything larger is a config bug, and
+/// bounding it keeps `attempt * retries` arithmetic overflow-free.
+pub const MAX_RETRIES: u32 = 1024;
+
+/// Checkpointing / retry policy shared by the trainer, the pipelines, and
+/// the experiment drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryConfig {
+    /// Write a checkpoint every this many epochs (≥ 1). The final epoch
+    /// is always checkpointed regardless of the interval.
+    pub checkpoint_every_epochs: usize,
+    /// How many times a failed load/decode may fall back or retry before
+    /// the error is surfaced (≤ [`MAX_RETRIES`]).
+    pub max_retries: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            checkpoint_every_epochs: 1,
+            max_retries: 2,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// Validate the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Config`] for a zero checkpoint interval or a
+    /// retry budget above [`MAX_RETRIES`].
+    pub fn validate(&self) -> CspResult<()> {
+        if self.checkpoint_every_epochs == 0 {
+            return Err(CspError::Config {
+                what: "checkpoint_every_epochs must be positive (a zero interval would \
+                       checkpoint never, not always)"
+                    .to_string(),
+            });
+        }
+        if self.max_retries > MAX_RETRIES {
+            return Err(CspError::Config {
+                what: format!(
+                    "max_retries {} exceeds the budget cap {MAX_RETRIES}",
+                    self.max_retries
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether epoch `epoch` (0-based) of a run with `total` epochs should
+    /// be checkpointed under this policy: every interval-th epoch, plus
+    /// always the last.
+    pub fn should_checkpoint(&self, epoch: usize, total: usize) -> bool {
+        (epoch + 1).is_multiple_of(self.checkpoint_every_epochs) || epoch + 1 == total
+    }
+}
+
+/// One recovery action a pipeline took — recorded next to the per-layer
+/// failure records introduced by the fault-injection PR, so a report shows
+/// both what broke and what the pipeline did about it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// Pipeline phase ("base-train", "reg-train", "finetune", "weave", ...)
+    /// the event occurred in.
+    pub phase: String,
+    /// What happened and what the fall-back was.
+    pub what: String,
+}
+
+impl std::fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.phase, self.what)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        RecoveryConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn zero_interval_rejected() {
+        let err = RecoveryConfig {
+            checkpoint_every_epochs: 0,
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(matches!(err, CspError::Config { ref what } if what.contains("interval")));
+    }
+
+    #[test]
+    fn oversized_retry_budget_rejected() {
+        let err = RecoveryConfig {
+            max_retries: MAX_RETRIES + 1,
+            ..Default::default()
+        }
+        .validate()
+        .unwrap_err();
+        assert!(matches!(err, CspError::Config { ref what } if what.contains("max_retries")));
+    }
+
+    #[test]
+    fn checkpoint_cadence() {
+        let c = RecoveryConfig {
+            checkpoint_every_epochs: 3,
+            ..Default::default()
+        };
+        assert!(!c.should_checkpoint(0, 10));
+        assert!(!c.should_checkpoint(1, 10));
+        assert!(c.should_checkpoint(2, 10)); // 3rd epoch
+        assert!(c.should_checkpoint(5, 10));
+        assert!(c.should_checkpoint(9, 10)); // final epoch always
+        assert!(c.should_checkpoint(6, 7)); // final epoch always
+    }
+
+    #[test]
+    fn event_display() {
+        let e = RecoveryEvent {
+            phase: "reg-train".into(),
+            what: "checkpoint corrupt; fell back to .prev".into(),
+        };
+        assert!(e.to_string().contains("reg-train"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Strict, corruption-hardened codecs for the CSP compressed-weight
+//! artifacts: [`ChunkedLayout`], [`CspMask`] and [`Weaved`], plus the
+//! whole-model [`encode_weaved_model`] container.
+//!
+//! Decoding *never trusts the bytes*: after the container CRCs pass, the
+//! decoder still re-validates every structural invariant — layout sizes
+//! positive, chunk counts within `N`, the payload length equal to the
+//! total width of the counted chunks, and (for masks) the cascade
+//! prefix-closure invariant, which holds by construction because masks
+//! are rebuilt from their chunk counts rather than stored as raw bits.
+//! Any violation is a [`CspError::Corrupt`](csp_tensor::CspError::Corrupt), never a panic or silent
+//! garbage.
+
+use crate::container::{ArtifactKind, Container};
+use crate::wire::{Reader, Writer};
+use csp_pruning::{ChunkedLayout, CspMask, Weaved};
+use csp_tensor::CspResult;
+
+/// Section tag of the layer table in a weaved-model container.
+pub const TAG_WEAVED_LAYERS: u32 = 0x10;
+
+/// Encode a [`ChunkedLayout`] (3 × u64).
+pub fn put_layout(w: &mut Writer, layout: &ChunkedLayout) {
+    w.put_usize(layout.m());
+    w.put_usize(layout.c_out());
+    w.put_usize(layout.chunk_size());
+}
+
+/// Decode a [`ChunkedLayout`], re-running its constructor validation.
+///
+/// # Errors
+///
+/// Returns [`CspError::Corrupt`](csp_tensor::CspError::Corrupt) for zero sizes or truncation.
+pub fn read_layout(r: &mut Reader<'_>) -> CspResult<ChunkedLayout> {
+    let m = r.usize()?;
+    let c_out = r.usize()?;
+    let chunk_size = r.usize()?;
+    ChunkedLayout::new(m, c_out, chunk_size).map_err(|e| r.corrupt(format!("invalid layout: {e}")))
+}
+
+/// Encode a [`Weaved`] matrix: layout, chunk counts, payload.
+pub fn put_weaved(w: &mut Writer, weaved: &Weaved) {
+    put_layout(w, &weaved.layout);
+    w.put_usize(weaved.chunk_counts.len());
+    for &c in &weaved.chunk_counts {
+        w.put_usize(c);
+    }
+    w.put_usize(weaved.payload.len());
+    for &v in &weaved.payload {
+        w.put_f32(v);
+    }
+}
+
+/// Decode a [`Weaved`] matrix, re-validating chunk bounds and payload
+/// consistency via [`Weaved::validate`] so tampered counts or truncated
+/// payloads can never become silent wrong answers downstream.
+///
+/// # Errors
+///
+/// Returns [`CspError::Corrupt`](csp_tensor::CspError::Corrupt) on any structural violation.
+pub fn read_weaved(r: &mut Reader<'_>) -> CspResult<Weaved> {
+    let layout = read_layout(r)?;
+    let n_counts = r.bounded_len(8, "chunk-count")?;
+    if n_counts != layout.m() {
+        return Err(r.corrupt(format!(
+            "chunk-count vector length {n_counts} != layout rows {}",
+            layout.m()
+        )));
+    }
+    let mut chunk_counts = Vec::with_capacity(n_counts);
+    for _ in 0..n_counts {
+        let c = r.usize()?;
+        if c > layout.n_chunks() {
+            return Err(r.corrupt(format!(
+                "chunk count {c} exceeds N={} (monotone prefix bound)",
+                layout.n_chunks()
+            )));
+        }
+        chunk_counts.push(c);
+    }
+    let n_payload = r.bounded_len(4, "payload")?;
+    let mut payload = Vec::with_capacity(n_payload);
+    for _ in 0..n_payload {
+        payload.push(r.f32()?);
+    }
+    let weaved = Weaved {
+        chunk_counts,
+        payload,
+        layout,
+    };
+    weaved
+        .validate()
+        .map_err(|e| r.corrupt(format!("weaved invariants violated: {e}")))?;
+    Ok(weaved)
+}
+
+/// Encode a [`CspMask`] as its layout + chunk counts. The dense 0/1 mask
+/// tensor is *not* stored: rebuilding it from the counts is cheaper and
+/// guarantees the decoded mask is cascade prefix-closed by construction.
+pub fn put_mask(w: &mut Writer, mask: &CspMask) {
+    put_layout(w, &mask.layout);
+    w.put_usize(mask.chunk_counts.len());
+    for &c in &mask.chunk_counts {
+        w.put_usize(c);
+    }
+}
+
+/// Decode a [`CspMask`], re-validating counts and rebuilding the prefix-
+/// closed mask tensor.
+///
+/// # Errors
+///
+/// Returns [`CspError::Corrupt`](csp_tensor::CspError::Corrupt) on any structural violation.
+pub fn read_mask(r: &mut Reader<'_>) -> CspResult<CspMask> {
+    let layout = read_layout(r)?;
+    let n_counts = r.bounded_len(8, "chunk-count")?;
+    let mut counts = Vec::with_capacity(n_counts);
+    for _ in 0..n_counts {
+        counts.push(r.usize()?);
+    }
+    let mask = CspMask::from_chunk_counts(layout, counts)
+        .map_err(|e| r.corrupt(format!("invalid mask: {e}")))?;
+    debug_assert!(mask.is_cascade_closed());
+    Ok(mask)
+}
+
+/// Encode a whole weaved-compressed model — one `(label, Weaved)` entry
+/// per pruned layer — into a [`ArtifactKind::WeavedModel`] container.
+pub fn encode_weaved_model(layers: &[(String, Weaved)]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_usize(layers.len());
+    for (label, weaved) in layers {
+        w.put_str(label);
+        put_weaved(&mut w, weaved);
+    }
+    let mut c = Container::new(ArtifactKind::WeavedModel);
+    c.push(TAG_WEAVED_LAYERS, w.into_bytes());
+    c.encode()
+}
+
+/// Strictly decode a weaved-model artifact produced by
+/// [`encode_weaved_model`].
+///
+/// # Errors
+///
+/// Returns [`CspError::Corrupt`](csp_tensor::CspError::Corrupt) for container-level corruption (magic /
+/// version / CRC / truncation) and for any per-layer structural violation.
+pub fn decode_weaved_model(bytes: &[u8]) -> CspResult<Vec<(String, Weaved)>> {
+    let c = Container::decode_expecting(bytes, ArtifactKind::WeavedModel)?;
+    let section = c.section(TAG_WEAVED_LAYERS)?;
+    let mut r = Reader::new(&section.bytes, "weaved-model");
+    let n = r.bounded_len(1, "layer")?;
+    let mut layers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let label = r.str()?;
+        let weaved = read_weaved(&mut r)?;
+        layers.push((label, weaved));
+    }
+    r.expect_empty()?;
+    Ok(layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_pruning::CspPruner;
+    use csp_tensor::{CspError, Tensor};
+
+    fn sample_weaved(seed: usize) -> Weaved {
+        let layout = ChunkedLayout::new(4 + seed % 3, 10, 3).unwrap();
+        let w = Tensor::from_fn(&[layout.m(), layout.c_out()], |i| {
+            ((i + seed) as f32 * 0.61).sin()
+        });
+        let mask = CspPruner::new(0.8).prune(&w, layout).unwrap();
+        Weaved::compress(&w, &mask).unwrap()
+    }
+
+    #[test]
+    fn weaved_model_round_trip() {
+        let layers = vec![
+            ("conv1".to_string(), sample_weaved(0)),
+            ("conv2".to_string(), sample_weaved(1)),
+            ("fc".to_string(), sample_weaved(2)),
+        ];
+        let bytes = encode_weaved_model(&layers);
+        let decoded = decode_weaved_model(&bytes).unwrap();
+        assert_eq!(layers, decoded);
+    }
+
+    #[test]
+    fn mask_round_trip_is_prefix_closed() {
+        let layout = ChunkedLayout::new(5, 12, 4).unwrap();
+        let mask = CspMask::from_chunk_counts(layout, vec![3, 0, 1, 2, 3]).unwrap();
+        let mut w = Writer::new();
+        put_mask(&mut w, &mask);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "mask");
+        let decoded = read_mask(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(decoded, mask);
+        assert!(decoded.is_cascade_closed());
+    }
+
+    #[test]
+    fn tampered_counts_are_rejected() {
+        let weaved = sample_weaved(0);
+        let mut w = Writer::new();
+        put_weaved(&mut w, &weaved);
+        let good = w.into_bytes();
+        let mut r = Reader::new(&good, "weaved");
+        assert!(read_weaved(&mut r).is_ok());
+
+        // Bump the first chunk count past N (bytes 24.. hold the count
+        // vector after the 3×u64 layout and the u64 length).
+        let mut bad = good.clone();
+        bad[32] = 0xFF;
+        let mut r = Reader::new(&bad, "weaved");
+        assert!(matches!(read_weaved(&mut r), Err(CspError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn every_byte_flip_on_model_artifact_is_caught() {
+        let layers = vec![("conv".to_string(), sample_weaved(0))];
+        let bytes = encode_weaved_model(&layers);
+        for i in 0..bytes.len() {
+            for bit in [0x01u8, 0x80] {
+                let mut bad = bytes.clone();
+                bad[i] ^= bit;
+                match decode_weaved_model(&bad) {
+                    Err(CspError::Corrupt { .. }) => {}
+                    Err(other) => panic!("byte {i}: wrong error kind {other:?}"),
+                    Ok(d) => assert_eq!(d, layers, "byte {i}: silent corruption"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Low-level wire encoding: little-endian primitives, a bounds-checked
+//! reader that can only fail with [`CspError::Corrupt`], and the CRC32
+//! (IEEE 802.3, reflected) used to checksum container sections.
+//!
+//! Every decoder in this crate is built on [`Reader`]; the reader never
+//! indexes past its buffer and never allocates more bytes than remain in
+//! the buffer, so arbitrary corrupted input can at worst produce a typed
+//! error — never a panic or an attacker-controlled allocation.
+
+use csp_tensor::{CspError, CspResult, Tensor};
+
+/// CRC32 lookup table (IEEE polynomial 0xEDB88320, reflected), built at
+/// compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE 802.3) of `bytes` — the checksum protecting every
+/// container section.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Append-only little-endian byte writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Consume the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u32` (LE).
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64` (LE).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as a `u64` (LE).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Append an `f32` bit pattern (LE).
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append raw bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Append a tensor: rank, dims, then the f32 payload.
+    pub fn put_tensor(&mut self, t: &Tensor) {
+        self.put_u32(t.dims().len() as u32);
+        for &d in t.dims() {
+            self.put_u64(d as u64);
+        }
+        for &v in t.as_slice() {
+            self.put_f32(v);
+        }
+    }
+}
+
+/// Maximum tensor rank the wire format accepts (sanity bound against
+/// corrupted rank fields).
+pub const MAX_RANK: u32 = 8;
+
+/// Bounds-checked little-endian reader over a byte slice.
+///
+/// All methods return [`CspError::Corrupt`] naming `artifact` when the
+/// buffer is exhausted or a decoded value violates its bounds.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    artifact: &'a str,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`; `artifact` names the structure being decoded
+    /// in error messages.
+    pub fn new(buf: &'a [u8], artifact: &'a str) -> Self {
+        Reader {
+            buf,
+            pos: 0,
+            artifact,
+        }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// A [`CspError::Corrupt`] naming this reader's artifact.
+    pub fn corrupt(&self, what: impl Into<String>) -> CspError {
+        CspError::Corrupt {
+            artifact: self.artifact.to_string(),
+            what: what.into(),
+        }
+    }
+
+    /// Fail unless the buffer is fully consumed (strict decoders reject
+    /// trailing garbage).
+    pub fn expect_empty(&self) -> CspResult<()> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(self.corrupt(format!("{} trailing bytes after payload", self.remaining())))
+        }
+    }
+
+    /// Take `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> CspResult<&'a [u8]> {
+        if n > self.remaining() {
+            return Err(self.corrupt(format!(
+                "need {n} bytes at offset {}, only {} remain",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> CspResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u32` (LE).
+    pub fn u32(&mut self) -> CspResult<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a `u64` (LE).
+    pub fn u64(&mut self) -> CspResult<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read a `u64` and narrow it to `usize`, rejecting overflow.
+    pub fn usize(&mut self) -> CspResult<usize> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| self.corrupt(format!("length {v} overflows usize")))
+    }
+
+    /// Read a length field that counts items of `item_bytes` each and must
+    /// therefore fit in the remaining buffer — the guard that stops a
+    /// corrupted length from driving a huge allocation.
+    pub fn bounded_len(&mut self, item_bytes: usize, what: &str) -> CspResult<usize> {
+        let n = self.usize()?;
+        let need = n.checked_mul(item_bytes.max(1));
+        match need {
+            Some(need) if need <= self.remaining() => Ok(n),
+            _ => Err(self.corrupt(format!(
+                "{what} count {n} ({item_bytes} B each) exceeds the {} remaining bytes",
+                self.remaining()
+            ))),
+        }
+    }
+
+    /// Read an `f32` bit pattern (LE).
+    pub fn f32(&mut self) -> CspResult<f32> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> CspResult<String> {
+        let n = self.bounded_len(1, "string")?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| self.corrupt(format!("invalid UTF-8: {e}")))
+    }
+
+    /// Read a tensor written by [`Writer::put_tensor`], re-validating the
+    /// rank bound, per-dimension sanity, and that the element count both
+    /// matches the dims product and fits in the remaining bytes.
+    pub fn tensor(&mut self) -> CspResult<Tensor> {
+        let rank = self.u32()?;
+        if rank == 0 || rank > MAX_RANK {
+            return Err(self.corrupt(format!("tensor rank {rank} outside 1..={MAX_RANK}")));
+        }
+        let mut dims = Vec::with_capacity(rank as usize);
+        let mut len: usize = 1;
+        for _ in 0..rank {
+            let d = self.usize()?;
+            len = len
+                .checked_mul(d)
+                .filter(|&l| l <= self.remaining() / 4 + 1)
+                .ok_or_else(|| self.corrupt(format!("tensor dims {dims:?}+{d} overflow")))?;
+            dims.push(d);
+        }
+        if len * 4 > self.remaining() {
+            return Err(self.corrupt(format!(
+                "tensor of {len} elements exceeds the {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(self.f32()?);
+        }
+        Tensor::from_vec(data, &dims).map_err(|e| self.corrupt(format!("tensor shape: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_f32(-1.25);
+        w.put_str("hello");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "test");
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.f32().unwrap(), -1.25);
+        assert_eq!(r.str().unwrap(), "hello");
+        assert!(r.expect_empty().is_ok());
+    }
+
+    #[test]
+    fn tensor_round_trip() {
+        let t = Tensor::from_fn(&[3, 4], |i| i as f32 * 0.5 - 1.0);
+        let mut w = Writer::new();
+        w.put_tensor(&t);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "test");
+        assert_eq!(r.tensor().unwrap(), t);
+        assert!(r.expect_empty().is_ok());
+    }
+
+    #[test]
+    fn truncated_reads_are_typed_errors() {
+        let mut w = Writer::new();
+        w.put_u64(42);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..5], "test");
+        let err = r.u64().unwrap_err();
+        assert!(matches!(err, CspError::Corrupt { ref artifact, .. } if artifact == "test"));
+    }
+
+    #[test]
+    fn huge_length_fields_do_not_allocate() {
+        // A corrupted string length far beyond the buffer must error
+        // before any allocation is attempted.
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX / 2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "test");
+        assert!(r.str().is_err());
+        // Same for a corrupted tensor header.
+        let mut w = Writer::new();
+        w.put_u32(2);
+        w.put_u64(u64::MAX / 8);
+        w.put_u64(1 << 40);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "test");
+        assert!(r.tensor().is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut w = Writer::new();
+        w.put_u32(1);
+        w.put_u8(0xFF);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "test");
+        r.u32().unwrap();
+        assert!(r.expect_empty().is_err());
+    }
+}

@@ -64,7 +64,7 @@ pub use extra_layers::{BatchNorm2d, Dropout, Gelu, Residual};
 pub use layers::{AvgPool, Conv2d, Flatten, LayerNorm, Linear, MaxPool, Relu};
 pub use loss::{mse_loss, softmax_cross_entropy};
 pub use model::{Layer, Param, Sequential};
-pub use optim::{Adam, CosineAnnealing, LrSchedule, Optimizer, Sgd};
+pub use optim::{Adam, CosineAnnealing, LrSchedule, Optimizer, OptimizerState, Sgd};
 pub use prunable::Prunable;
 pub use trainer::{eval_classifier, train_classifier, EpochStats, PruneHook, TrainOptions};
 pub use transformer::TransformerModel;

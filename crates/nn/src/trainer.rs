@@ -27,6 +27,11 @@ pub struct TrainOptions<'a> {
     pub schedule: Option<&'a dyn LrSchedule>,
     /// Print a line per epoch.
     pub verbose: bool,
+    /// Global index of the first epoch this call runs (0 for fresh runs).
+    /// A run resumed from a checkpoint sets this to the checkpoint's next
+    /// epoch so LR schedules, reported epoch numbers, and divergence
+    /// errors continue exactly where the interrupted run stopped.
+    pub start_epoch: usize,
 }
 
 impl Default for TrainOptions<'_> {
@@ -36,6 +41,7 @@ impl Default for TrainOptions<'_> {
             batch_size: 8,
             schedule: None,
             verbose: false,
+            start_epoch: 0,
         }
     }
 }
@@ -55,7 +61,10 @@ pub struct EpochStats {
 ///
 /// `data` yields `(inputs, labels)` batches; `n_batches` batches make one
 /// epoch. `regularizer` and `mask` are the CSP-A hooks (pass `None` for
-/// plain training).
+/// plain training). Epochs `start_epoch..epochs` are run, so a resumed
+/// run passes the checkpointed epoch as `start_epoch` and the same total
+/// horizon as `epochs`; the returned stats cover only the epochs this
+/// call executed.
 ///
 /// # Errors
 ///
@@ -73,8 +82,8 @@ pub fn train_classifier(
     mut regularizer: Option<PruneHook<'_>>,
     mut mask: Option<PruneHook<'_>>,
 ) -> CspResult<Vec<EpochStats>> {
-    let mut stats = Vec::with_capacity(options.epochs);
-    for epoch in 0..options.epochs {
+    let mut stats = Vec::with_capacity(options.epochs.saturating_sub(options.start_epoch));
+    for epoch in options.start_epoch..options.epochs {
         if let Some(s) = options.schedule {
             opt.set_lr(s.lr_at(epoch));
         }
@@ -301,6 +310,55 @@ mod tests {
                 assert!(!layer.is_empty());
             }
             other => panic!("expected Divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_run_with_start_epoch_matches_uninterrupted() {
+        use crate::optim::CosineAnnealing;
+        let mut rng = seeded_rng(31);
+        let ds = ClusterImages::generate(&mut rng, 16, 2, 1, 8, 0.2);
+        let sched = CosineAnnealing::new(0.05, 0.001, 6);
+        let train_epochs = |model: &mut Sequential,
+                            opt: &mut dyn Optimizer,
+                            start: usize,
+                            end: usize|
+         -> Vec<EpochStats> {
+            let ds2 = ds.clone();
+            train_classifier(
+                model,
+                move |b| ds2.batch(b * 4, 4),
+                4,
+                opt,
+                &TrainOptions {
+                    epochs: end,
+                    start_epoch: start,
+                    batch_size: 4,
+                    schedule: Some(&sched),
+                    ..Default::default()
+                },
+                None,
+                None,
+            )
+            .unwrap()
+        };
+        // Uninterrupted 0..6.
+        let mut full = tiny_cnn(32, 2);
+        let mut opt_full = Sgd::new(0.05).with_momentum(0.9, true);
+        let stats_full = train_epochs(&mut full, &mut opt_full, 0, 6);
+        // Split 0..3 then 3..6 on the same model/optimizer instances.
+        let mut split = tiny_cnn(32, 2);
+        let mut opt_split = Sgd::new(0.05).with_momentum(0.9, true);
+        let first = train_epochs(&mut split, &mut opt_split, 0, 3);
+        let second = train_epochs(&mut split, &mut opt_split, 3, 6);
+        assert_eq!(first.len(), 3);
+        assert_eq!(second.len(), 3);
+        assert_eq!(second[0].epoch, 3);
+        let stats_split: Vec<EpochStats> = first.into_iter().chain(second).collect();
+        assert_eq!(stats_full, stats_split, "split run diverged from full run");
+        // Final weights are bit-identical.
+        for (a, b) in full.params().iter().zip(split.params().iter()) {
+            assert_eq!(a.value.as_slice(), b.value.as_slice());
         }
     }
 

@@ -23,7 +23,7 @@
 //! the fault-free path is bit-identical to the un-instrumented model.
 
 /// Number of fault-site classes in the taxonomy.
-pub const N_FAULT_CLASSES: usize = 5;
+pub const N_FAULT_CLASSES: usize = 6;
 
 /// Where a fault strikes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -43,6 +43,11 @@ pub enum FaultClass {
     /// A PE whose multiplier output is stuck at zero for the whole run
     /// (one vulnerable event per physical PE).
     StuckMac,
+    /// A byte of a serialized artifact at rest (checkpoint or weaved
+    /// model on storage), flipped between write and read — one vulnerable
+    /// event per byte. Unprotected in the datapath sense; the `csp-io`
+    /// container CRCs are what catch it at decode time.
+    ArtifactAtRest,
 }
 
 impl FaultClass {
@@ -53,6 +58,7 @@ impl FaultClass {
         FaultClass::WeightGlb,
         FaultClass::DramTransfer,
         FaultClass::StuckMac,
+        FaultClass::ArtifactAtRest,
     ];
 
     /// Stable index into per-class counter arrays.
@@ -63,6 +69,7 @@ impl FaultClass {
             FaultClass::WeightGlb => 2,
             FaultClass::DramTransfer => 3,
             FaultClass::StuckMac => 4,
+            FaultClass::ArtifactAtRest => 5,
         }
     }
 
@@ -74,6 +81,7 @@ impl FaultClass {
             FaultClass::WeightGlb => "wgt-glb",
             FaultClass::DramTransfer => "dram",
             FaultClass::StuckMac => "stuck-mac",
+            FaultClass::ArtifactAtRest => "artifact",
         }
     }
 }
@@ -473,6 +481,23 @@ impl FaultSession {
         stuck
     }
 
+    /// Corrupt a serialized artifact at rest: every byte is one
+    /// vulnerable [`FaultClass::ArtifactAtRest`] event, and a firing
+    /// fault flips one bit of that byte. Returns how many bytes were
+    /// struck. The flips are silent here — detection belongs to the
+    /// `csp-io` container CRCs when the artifact is next decoded.
+    pub fn corrupt_artifact(&mut self, bytes: &mut [u8]) -> usize {
+        let mut struck = 0;
+        for b in bytes.iter_mut() {
+            if let Some(bit) = self.decide(FaultClass::ArtifactAtRest, 8) {
+                self.record(FaultClass::ArtifactAtRest, bit, FaultOutcome::Silent);
+                *b ^= 1 << bit;
+                struck += 1;
+            }
+        }
+        struck
+    }
+
     /// Retry stall cycles accumulated so far (added to the run's cycle
     /// count by the arrays).
     pub fn retry_cycles(&self) -> u64 {
@@ -748,6 +773,45 @@ mod tests {
             s.corrupt_f32(FaultClass::WeightGlb, 1.0).to_bits(),
             1.0f32.to_bits()
         );
+    }
+
+    #[test]
+    fn artifact_at_rest_corruption_is_deterministic_and_countable() {
+        let run = |seed: u64| {
+            let mut s = FaultSession::new(FaultPlan::bernoulli(0.02, seed));
+            let mut bytes = vec![0u8; 2048];
+            let struck = s.corrupt_artifact(&mut bytes);
+            (bytes, struck, s.report())
+        };
+        let (b1, n1, r1) = run(11);
+        let (b2, n2, _) = run(11);
+        assert_eq!(b1, b2);
+        assert_eq!(n1, n2);
+        assert!(n1 > 0, "rate 0.02 over 2048 bytes");
+        assert_eq!(r1.events[FaultClass::ArtifactAtRest.index()], 2048);
+        assert_eq!(r1.injected[FaultClass::ArtifactAtRest.index()], n1 as u64);
+        // Zero-rate session leaves the artifact untouched.
+        let mut s = FaultSession::new(FaultPlan::bernoulli(0.0, 11));
+        let mut bytes = vec![0xA5u8; 256];
+        assert_eq!(s.corrupt_artifact(&mut bytes), 0);
+        assert!(bytes.iter().all(|&b| b == 0xA5));
+    }
+
+    #[test]
+    fn targeted_artifact_fault_strikes_exact_byte() {
+        let plan = FaultPlan::targeted(
+            vec![TargetedFault {
+                class: FaultClass::ArtifactAtRest,
+                event: 5,
+                bit: 7,
+            }],
+            0,
+        );
+        let mut s = FaultSession::new(plan);
+        let mut bytes = vec![0u8; 16];
+        assert_eq!(s.corrupt_artifact(&mut bytes), 1);
+        assert_eq!(bytes[5], 0x80);
+        assert!(bytes.iter().enumerate().all(|(i, &b)| i == 5 || b == 0));
     }
 
     #[test]

@@ -87,6 +87,24 @@ pub enum CspError {
         /// Description of the failure.
         what: String,
     },
+    /// A serialized artifact failed validation: bad magic, unsupported
+    /// version, CRC mismatch, truncated section, or a decoded structure
+    /// violating its own invariants. The strict decoders in `csp-io`
+    /// return this — never a panic — under arbitrary byte corruption.
+    Corrupt {
+        /// Which artifact / section was being decoded.
+        artifact: String,
+        /// What was wrong with the bytes.
+        what: String,
+    },
+    /// An operating-system I/O operation failed (open/write/rename/...).
+    Io {
+        /// Path the operation touched.
+        path: String,
+        /// The underlying OS error, stringified (the variant stays
+        /// `Clone`/`PartialEq`, unlike `std::io::Error`).
+        what: String,
+    },
 }
 
 impl fmt::Display for CspError {
@@ -101,6 +119,10 @@ impl fmt::Display for CspError {
                 )
             }
             CspError::Layer { label, what } => write!(f, "layer {label} failed: {what}"),
+            CspError::Corrupt { artifact, what } => {
+                write!(f, "corrupt artifact {artifact}: {what}")
+            }
+            CspError::Io { path, what } => write!(f, "io error on {path}: {what}"),
         }
     }
 }
@@ -165,6 +187,21 @@ mod tests {
         assert_eq!(ce, CspError::Tensor(te));
         assert!(ce.to_string().contains("zero stride"));
         assert!(std::error::Error::source(&ce).is_some());
+    }
+
+    #[test]
+    fn corrupt_and_io_display() {
+        let c = CspError::Corrupt {
+            artifact: "checkpoint".into(),
+            what: "section 2 CRC mismatch".into(),
+        };
+        assert!(c.to_string().contains("checkpoint"));
+        assert!(c.to_string().contains("CRC"));
+        let i = CspError::Io {
+            path: "/tmp/x.cspio".into(),
+            what: "permission denied".into(),
+        };
+        assert!(i.to_string().contains("/tmp/x.cspio"));
     }
 
     #[test]

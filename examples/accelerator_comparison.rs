@@ -12,8 +12,9 @@ use csp_core::models::{
     alexnet, inception_v3, resnet50, transformer_base, vgg16, Dataset, SparsityProfile,
 };
 use csp_core::sim::{format_table, EnergyTable, RunResult};
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let model = args.get(1).map(String::as_str).unwrap_or("vgg16");
     let sparsity: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.74);
@@ -28,7 +29,7 @@ fn main() {
             eprintln!(
                 "unknown model '{other}', expected alexnet|vgg16|resnet50|inception|transformer"
             );
-            std::process::exit(1);
+            return ExitCode::FAILURE;
         }
     };
     let profile = SparsityProfile::new(sparsity, 99);
@@ -88,7 +89,10 @@ fn main() {
     );
 
     println!("\nCSP-H energy breakdown:");
-    let csp = results.last().expect("CSP-H ran");
+    let Some(csp) = results.last() else {
+        eprintln!("accelerator_comparison: no accelerator produced a result");
+        return ExitCode::FAILURE;
+    };
     for (name, pj) in csp.energy.components() {
         println!(
             "  {:<12} {:>9.3} mJ  ({:>5.1}%)",
@@ -97,4 +101,5 @@ fn main() {
             100.0 * pj / csp.total_energy_pj()
         );
     }
+    ExitCode::SUCCESS
 }

@@ -29,16 +29,25 @@ fn main() -> Result<(), csp_core::tensor::CspError> {
         Box::new(Linear::new(&mut rng, 24 * 2 * 2, 6)),
     ]);
 
-    // Train with the cascade regularizer applied through the hook.
+    // Train with the cascade regularizer applied through the hook. The hook
+    // signature cannot return errors, so the first failure is captured and
+    // re-raised once training hands control back.
     let chunk_size = 4;
     let reg = CascadeRegularizer::new(0.008);
-    let mut reg_hook = move |layers: &mut [&mut dyn Prunable]| {
+    let mut hook_err: Option<csp_core::tensor::CspError> = None;
+    let mut reg_hook = |layers: &mut [&mut dyn Prunable]| {
+        if hook_err.is_some() {
+            return;
+        }
         for layer in layers.iter_mut() {
             let (m, c) = layer.csp_dims();
-            let layout = ChunkedLayout::new(m, c, chunk_size).expect("valid dims");
-            let w = layer.csp_weight();
-            let g = reg.grad(&w, layout).expect("shapes match");
-            layer.add_csp_weight_grad(&g).expect("shapes match");
+            let r = ChunkedLayout::new(m, c, chunk_size)
+                .and_then(|layout| reg.grad(&layer.csp_weight(), layout))
+                .and_then(|g| layer.add_csp_weight_grad(&g));
+            if let Err(e) = r {
+                hook_err = Some(e.into());
+                return;
+            }
         }
     };
     let mut opt = Sgd::new(0.05).with_momentum(0.9, true);
@@ -57,6 +66,9 @@ fn main() -> Result<(), csp_core::tensor::CspError> {
         Some(&mut reg_hook),
         None,
     )?;
+    if let Some(e) = hook_err {
+        return Err(e);
+    }
     println!(
         "\ntrained to {:.1}% accuracy in {} epochs\n",
         100.0 * stats.last().map(|s| s.accuracy).unwrap_or(0.0),

@@ -1,0 +1,171 @@
+//! Property tests on the `csp-io` serialization layer: encode/decode
+//! round-trips for trainer checkpoints and weaved-model artifacts, and
+//! corruption hardening — arbitrary bit flips or truncation of the
+//! serialized bytes must surface as `Err(CspError::Corrupt)`, never as a
+//! panic and never as silently-wrong decoded data.
+
+use csp_core::io::{decode_weaved_model, encode_weaved_model, TrainerCheckpoint};
+use csp_core::nn::{EpochStats, OptimizerState};
+use csp_core::pruning::{ChunkedLayout, CspMask, Weaved};
+use csp_core::tensor::Tensor;
+use proptest::prelude::*;
+
+/// Strategy: a small tensor of arbitrary rank 1–3 with finite values.
+fn tensor() -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(1usize..5, 1..=3).prop_flat_map(|dims| {
+        let len: usize = dims.iter().product();
+        proptest::collection::vec(-10.0f32..10.0, len..=len)
+            .prop_map(move |v| Tensor::from_vec(v, &dims).expect("len matches"))
+    })
+}
+
+/// Strategy: an optimizer state whose buffer list mirrors the params.
+fn opt_state(params: Vec<Tensor>) -> impl Strategy<Value = OptimizerState> {
+    let velocity: Vec<Tensor> = params.clone();
+    let (m, v) = (params.clone(), params);
+    prop_oneof![
+        (0.0f32..1.0, 0.0f32..1.0, 0u8..2, 0.0f32..0.1).prop_map(
+            move |(lr, momentum, nesterov, weight_decay)| OptimizerState::Sgd {
+                lr,
+                momentum,
+                nesterov: nesterov == 1,
+                weight_decay,
+                velocity: velocity.clone(),
+            }
+        ),
+        (0.0f32..1.0, 0.5f32..1.0, 0.5f32..1.0, 0u64..1000).prop_map(
+            move |(lr, beta1, beta2, t)| OptimizerState::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps: 1e-8,
+                t,
+                m: m.clone(),
+                v: v.clone(),
+            }
+        ),
+    ]
+}
+
+/// Strategy: a full trainer checkpoint with matching param/buffer lists.
+fn checkpoint() -> impl Strategy<Value = TrainerCheckpoint> {
+    (
+        proptest::collection::vec(tensor(), 1..4),
+        0usize..100,
+        proptest::collection::vec(0u64..u64::MAX, 4..=4).prop_map(|s| [s[0], s[1], s[2], s[3]]),
+        proptest::collection::vec((0usize..50, -5.0f32..5.0, 0.0f32..1.0), 0..4),
+    )
+        .prop_flat_map(|(params, next_epoch, rng, raw_stats)| {
+            let stats: Vec<EpochStats> = raw_stats
+                .into_iter()
+                .map(|(epoch, loss, accuracy)| EpochStats {
+                    epoch,
+                    loss,
+                    accuracy,
+                })
+                .collect();
+            opt_state(params.clone()).prop_map(move |opt| TrainerCheckpoint {
+                next_epoch,
+                params: params.clone(),
+                opt,
+                rng,
+                stats: stats.clone(),
+            })
+        })
+}
+
+/// Strategy: a named weaved-model artifact built from a valid mask.
+fn weaved_layers() -> impl Strategy<Value = Vec<(String, Weaved)>> {
+    proptest::collection::vec(
+        (1usize..8, 1usize..16, 1usize..5).prop_flat_map(|(m, c_out, chunk)| {
+            let layout = ChunkedLayout::new(m, c_out, chunk).expect("positive dims");
+            let n = layout.n_chunks();
+            (
+                proptest::collection::vec(0u8..26, 1..=8)
+                    .prop_map(|cs| cs.iter().map(|c| (b'a' + c) as char).collect::<String>()),
+                proptest::collection::vec(0usize..=n, m..=m),
+            )
+                .prop_map(move |(label, counts)| {
+                    let mask = CspMask::from_chunk_counts(layout, counts).expect("counts bounded");
+                    let w =
+                        Tensor::from_fn(&[layout.m(), layout.c_out()], |i| (i as f32 * 0.61).cos());
+                    let masked = mask.apply(&w).expect("shapes match");
+                    let weaved = Weaved::compress(&masked, &mask).expect("valid mask");
+                    (label, weaved)
+                })
+        }),
+        1..4,
+    )
+}
+
+/// Flip `bit` of byte `index % len` in place; returns whether the buffer
+/// still differs from `original` afterwards.
+fn apply_flips(bytes: &mut [u8], flips: &[(usize, u8)], original: &[u8]) -> bool {
+    for &(index, bit) in flips {
+        let i = index % bytes.len();
+        bytes[i] ^= 1 << (bit % 8);
+    }
+    bytes != original
+}
+
+proptest! {
+    #[test]
+    fn checkpoint_round_trip_is_identity(ckpt in checkpoint()) {
+        let decoded = TrainerCheckpoint::decode(&ckpt.encode()).unwrap();
+        prop_assert_eq!(ckpt, decoded);
+    }
+
+    #[test]
+    fn weaved_model_round_trip_is_identity(layers in weaved_layers()) {
+        let decoded = decode_weaved_model(&encode_weaved_model(&layers)).unwrap();
+        prop_assert_eq!(layers, decoded);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    #[test]
+    fn flipped_checkpoint_bytes_never_decode_silently(
+        ckpt in checkpoint(),
+        flips in proptest::collection::vec((0usize..usize::MAX, 0u8..8), 1..=8),
+    ) {
+        let original = ckpt.encode();
+        let mut bytes = original.clone();
+        // Paired flips can cancel; only a buffer that actually differs
+        // must be rejected. Decode must never panic either way.
+        let differs = apply_flips(&mut bytes, &flips, &original);
+        let result = TrainerCheckpoint::decode(&bytes);
+        if differs {
+            prop_assert!(result.is_err(), "corrupted checkpoint decoded silently");
+        } else {
+            prop_assert!(result.is_ok());
+        }
+    }
+
+    #[test]
+    fn flipped_weaved_bytes_never_decode_silently(
+        layers in weaved_layers(),
+        flips in proptest::collection::vec((0usize..usize::MAX, 0u8..8), 1..=8),
+    ) {
+        let original = encode_weaved_model(&layers);
+        let mut bytes = original.clone();
+        let differs = apply_flips(&mut bytes, &flips, &original);
+        let result = decode_weaved_model(&bytes);
+        if differs {
+            prop_assert!(result.is_err(), "corrupted weaved artifact decoded silently");
+        } else {
+            prop_assert!(result.is_ok());
+        }
+    }
+
+    #[test]
+    fn truncated_artifacts_are_rejected(
+        ckpt in checkpoint(),
+        cut in 0usize..usize::MAX,
+    ) {
+        let bytes = ckpt.encode();
+        let keep = cut % bytes.len(); // strictly shorter than full
+        prop_assert!(TrainerCheckpoint::decode(&bytes[..keep]).is_err());
+    }
+}
