@@ -245,13 +245,15 @@ impl CspH {
     }
 
     /// Simulate a whole network under `profile` (conv layers on IpOS, FC
-    /// layers on IpWS).
+    /// layers on IpWS). Layers are independent closed-form evaluations, so
+    /// they run on the pool; the energy totals (`f64`) are folded in layer
+    /// order to keep the sums bit-identical to a serial run.
     pub fn run_network(&self, net: &Network, profile: &SparsityProfile) -> RunResult {
+        let runs = self.run_network_layers(net, profile);
         let mut cycles = 0u64;
         let mut macs = 0u64;
         let mut energy = EnergyBreakdown::new();
-        for layer in &net.layers {
-            let run = self.run_layer(layer, profile);
+        for run in &runs {
             cycles += run.cycles;
             macs += run.macs;
             energy.absorb(&run.energy);
@@ -265,12 +267,12 @@ impl CspH {
         }
     }
 
-    /// Per-layer runs for a whole network (Fig. 1-style layer-wise plots).
+    /// Per-layer runs for a whole network (Fig. 1-style layer-wise plots),
+    /// computed in parallel and returned in layer order.
     pub fn run_network_layers(&self, net: &Network, profile: &SparsityProfile) -> Vec<LayerRun> {
-        net.layers
-            .iter()
-            .map(|l| self.run_layer(l, profile))
-            .collect()
+        csp_runtime::Pool::current().map_collect(net.layers.len(), |i| {
+            self.run_layer(&net.layers[i], profile)
+        })
     }
 }
 

@@ -35,6 +35,30 @@ pub struct ArrayStats {
     pub wgt_loads: u64,
 }
 
+impl ArrayStats {
+    /// Accumulate another run's counters into this one (all fields are
+    /// integers, so the sum is exact regardless of accumulation order).
+    pub fn absorb(&mut self, other: &ArrayStats) {
+        self.cycles += other.cycles;
+        self.macs += other.macs;
+        self.flush_stalls += other.flush_stalls;
+        self.act_loads += other.act_loads;
+        self.act_recycles += other.act_recycles;
+        self.wgt_loads += other.wgt_loads;
+    }
+}
+
+/// Shared per-GEMM dimensions handed to each pixel-tile pass.
+#[derive(Clone, Copy)]
+struct TileGeometry {
+    m: usize,
+    c_out: usize,
+    p: usize,
+    n_chunks: usize,
+    arr_w: usize,
+    group_rows: usize,
+}
+
 /// The functional Serial Cascading array.
 #[derive(Debug, Clone)]
 pub struct SerialCascadingArray {
@@ -170,12 +194,7 @@ impl SerialCascadingArray {
                         out.set(&[col0 + col, pix], o.get(&[col, pix])?)?;
                     }
                 }
-                stats.cycles += s.cycles;
-                stats.macs += s.macs;
-                stats.flush_stalls += s.flush_stalls;
-                stats.act_loads += s.act_loads;
-                stats.act_recycles += s.act_recycles;
-                stats.wgt_loads += s.wgt_loads;
+                stats.absorb(&s);
             }
             return Ok((out, stats));
         }
@@ -188,8 +207,75 @@ impl SerialCascadingArray {
         // chunk before a fold means T consecutive filter rows per group.
         let group_rows = t_period.max(1);
 
-        for tile_start in (0..p).step_by(arr_h) {
-            let tile = tile_start..(tile_start + arr_h).min(p);
+        // Pixel tiles are independent passes: each gets fresh PEs, writes a
+        // disjoint set of output pixels, and exposes its own flush stall.
+        // Fault-free runs execute them on the pool and merge results in
+        // tile order; a fault campaign is a single stateful RNG stream, so
+        // those runs stay serial.
+        let tiles: Vec<std::ops::Range<usize>> = (0..p)
+            .step_by(arr_h)
+            .map(|s| s..(s + arr_h).min(p))
+            .collect();
+        let geo = TileGeometry {
+            m,
+            c_out,
+            p,
+            n_chunks,
+            arr_w,
+            group_rows,
+        };
+        let shards: Vec<(Vec<f32>, ArrayStats)> = match session {
+            Some(s) => {
+                let mut acc = Vec::with_capacity(tiles.len());
+                for t in &tiles {
+                    acc.push(self.run_tile(t.clone(), geo, chunk_counts, wd, ad, Some(s)));
+                }
+                acc
+            }
+            None => csp_runtime::Pool::current().map_collect(tiles.len(), |ti| {
+                self.run_tile(tiles[ti].clone(), geo, chunk_counts, wd, ad, None)
+            }),
+        };
+        for (tile, (tile_out, tstats)) in tiles.iter().zip(shards) {
+            for (pi, pixel) in tile.clone().enumerate() {
+                for col in 0..c_out {
+                    let v = tile_out[pi * c_out + col];
+                    if v != 0.0 {
+                        out.set(&[col, pixel], v)?;
+                    }
+                }
+            }
+            stats.absorb(&tstats);
+        }
+        stats.cycles += stats.flush_stalls;
+        Ok((out, stats))
+    }
+
+    /// One pixel-tile pass of [`run_gemm_inner`](Self::run_gemm_inner):
+    /// feeds every surviving chunk of every filter row through a fresh PE
+    /// grid and returns the dense `tile.len() × c_out` output block (row
+    /// `pi` = pixel `tile.start + pi`) plus this pass's statistics (with
+    /// the pass flush stall already in `flush_stalls`, not in `cycles`).
+    fn run_tile(
+        &self,
+        tile: std::ops::Range<usize>,
+        geo: TileGeometry,
+        chunk_counts: &[usize],
+        wd: &[f32],
+        ad: &[f32],
+        mut session: Option<&mut FaultSession>,
+    ) -> (Vec<f32>, ArrayStats) {
+        let TileGeometry {
+            m,
+            c_out,
+            p,
+            n_chunks,
+            arr_w,
+            group_rows,
+        } = geo;
+        let mut stats = ArrayStats::default();
+        let mut tile_out = vec![0.0f32; tile.len() * c_out];
+        {
             // One PE per (pixel-in-tile, column-in-chunk).
             let mut pes: Vec<Pe> = (0..tile.len() * arr_w)
                 .map(|_| Pe::new(self.truncation))
@@ -269,24 +355,23 @@ impl SerialCascadingArray {
                     }
                 }
             }
-            // End of pass: flush all PEs and scatter into the output.
+            // End of pass: flush all PEs and scatter into the tile block.
             let mut pass_stall = 0u64;
-            for (pi, pixel) in tile.clone().enumerate() {
+            for pi in 0..tile.len() {
                 for ci in 0..arr_w {
                     let (psums, fstats) = pes[pi * arr_w + ci].flush();
                     pass_stall = pass_stall.max(fstats.stall_cycles);
                     for (n, &v) in psums.iter().enumerate().take(n_chunks) {
                         let col = n * arr_w + ci;
-                        if col < c_out && v != 0.0 {
-                            out.set(&[col, pixel], v)?;
+                        if col < c_out {
+                            tile_out[pi * c_out + col] = v;
                         }
                     }
                 }
             }
             stats.flush_stalls += pass_stall;
         }
-        stats.cycles += stats.flush_stalls;
-        Ok((out, stats))
+        (tile_out, stats)
     }
 
     /// Execute a 2-D convolution under IpOS: the input `(c_in, h, w)` is

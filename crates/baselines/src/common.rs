@@ -19,7 +19,12 @@ pub struct LayerCost {
 }
 
 /// An accelerator model: layer in, cycles/traffic/energy out.
-pub trait Accelerator {
+///
+/// Models are immutable closed-form evaluators, so the trait requires
+/// [`Sync`]: the default whole-network methods fan layers out over
+/// [`csp_runtime::Pool::current`] and fold the results in layer order,
+/// keeping the floating-point energy sums bit-identical to a serial run.
+pub trait Accelerator: Sync {
     /// Display name (matches the paper's figures).
     fn name(&self) -> &'static str;
 
@@ -30,13 +35,14 @@ pub trait Accelerator {
     /// column), used for leakage accounting and the area discussion.
     fn buffer_bytes_per_mac(&self) -> f64;
 
-    /// Simulate a whole network; the default sums the layer runs.
+    /// Simulate a whole network; the default sums the layer runs in layer
+    /// order (layers themselves are evaluated on the pool).
     fn run_network(&self, net: &Network, profile: &SparsityProfile) -> RunResult {
+        let runs = self.run_network_layers(net, profile);
         let mut cycles = 0u64;
         let mut macs = 0u64;
         let mut energy = EnergyBreakdown::new();
-        for layer in &net.layers {
-            let run = self.run_layer(layer, profile);
+        for run in &runs {
             cycles += run.cycles;
             macs += run.macs;
             energy.absorb(&run.energy);
@@ -50,12 +56,12 @@ pub trait Accelerator {
         }
     }
 
-    /// Per-layer runs for a whole network.
+    /// Per-layer runs for a whole network, evaluated in parallel and
+    /// returned in layer order.
     fn run_network_layers(&self, net: &Network, profile: &SparsityProfile) -> Vec<LayerCost> {
-        net.layers
-            .iter()
-            .map(|l| self.run_layer(l, profile))
-            .collect()
+        csp_runtime::Pool::current().map_collect(net.layers.len(), |i| {
+            self.run_layer(&net.layers[i], profile)
+        })
     }
 }
 

@@ -1,0 +1,289 @@
+//! Kernel and pipeline benchmark: serial vs parallel wall-clock for the
+//! workspace's hot paths, with bit-identity verification.
+//!
+//! Measures four representative stages — the blocked GEMM, the direct
+//! convolution, one training epoch of the mini-CNN, and the Fig. 10
+//! accelerator sweep — once under a single-thread pool and once under the
+//! full pool, and reports the speedup. Every parallel output is compared
+//! bit-for-bit against its serial twin (the determinism contract of
+//! `csp-runtime`), and the blocked GEMM is additionally checked against
+//! the naive reference kernel.
+//!
+//! ```text
+//! kernel_bench [--smoke] [--json] [--threads N] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks every problem so the whole run takes seconds (CI);
+//! `--json` additionally writes `results/BENCH_kernels.json`.
+
+use criterion::{black_box, Criterion};
+use csp_bench::{accelerator_lineup, run_lineup, workloads, Workload};
+use csp_core::nn::data::ClusterImages;
+use csp_core::nn::{
+    seeded_rng, train_classifier, Conv2d, EpochStats, Flatten, Linear, MaxPool, Relu, Sequential,
+    Sgd, TrainOptions,
+};
+use csp_core::tensor::{conv2d, matmul, matmul_reference, uniform, Conv2dSpec, Tensor};
+use csp_runtime::{with_threads, Pool};
+use std::process::ExitCode;
+
+/// One measured stage: serial and parallel seconds per iteration plus the
+/// bit-identity verdict of the parallel output against the serial one.
+struct BenchRow {
+    name: String,
+    dims: String,
+    serial_s: f64,
+    parallel_s: f64,
+    bit_identical: bool,
+}
+
+impl BenchRow {
+    fn speedup(&self) -> f64 {
+        if self.parallel_s > 0.0 {
+            self.serial_s / self.parallel_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Time `work` under a `threads`-wide pool.
+fn time_at<R>(c: &mut Criterion, threads: usize, mut work: impl FnMut() -> R) -> f64 {
+    with_threads(threads, || {
+        c.time_function("", |b| b.iter(|| black_box(work())))
+    })
+}
+
+fn bench_matmul(c: &mut Criterion, threads: usize, smoke: bool) -> BenchRow {
+    let (m, k, n) = if smoke { (96, 96, 96) } else { (512, 512, 512) };
+    let mut rng = seeded_rng(7);
+    let a = uniform(&mut rng, &[m, k], 1.0);
+    let b = uniform(&mut rng, &[k, n], 1.0);
+    let serial = with_threads(1, || matmul(&a, &b).expect("matmul"));
+    let parallel = with_threads(threads, || matmul(&a, &b).expect("matmul"));
+    let reference = matmul_reference(&a, &b).expect("matmul_reference");
+    let bit_identical = bits(&serial) == bits(&parallel) && bits(&serial) == bits(&reference);
+    BenchRow {
+        name: format!("matmul_{m}"),
+        dims: format!("{m}x{k}x{n}"),
+        serial_s: time_at(c, 1, || matmul(&a, &b).expect("matmul")),
+        parallel_s: time_at(c, threads, || matmul(&a, &b).expect("matmul")),
+        bit_identical,
+    }
+}
+
+fn bench_conv(c: &mut Criterion, threads: usize, smoke: bool) -> BenchRow {
+    let (c_in, side, c_out) = if smoke { (4, 16, 8) } else { (16, 64, 32) };
+    let spec = Conv2dSpec::new(3, 1, 1);
+    let mut rng = seeded_rng(11);
+    let x = uniform(&mut rng, &[c_in, side, side], 1.0);
+    let w = uniform(&mut rng, &[c_out, c_in, 3, 3], 0.5);
+    let serial = with_threads(1, || conv2d(&x, &w, spec).expect("conv2d"));
+    let parallel = with_threads(threads, || conv2d(&x, &w, spec).expect("conv2d"));
+    BenchRow {
+        name: "conv3x3".into(),
+        dims: format!("{c_in}x{side}x{side} -> {c_out}"),
+        serial_s: time_at(c, 1, || conv2d(&x, &w, spec).expect("conv2d")),
+        parallel_s: time_at(c, threads, || conv2d(&x, &w, spec).expect("conv2d")),
+        bit_identical: bits(&serial) == bits(&parallel),
+    }
+}
+
+/// Build the mini-CNN and run one epoch; returns the epoch stats and the
+/// final parameter values (for bit-comparison).
+fn one_epoch(ds: &ClusterImages, batch: usize, n_batches: usize) -> (EpochStats, Vec<u32>) {
+    let mut rng = seeded_rng(23);
+    let side = 8;
+    let mut model = Sequential::new(vec![
+        Box::new(Conv2d::new(&mut rng, 1, 8, 3, 1, 1)),
+        Box::new(Relu::new()),
+        Box::new(MaxPool::new(2, 2)),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(&mut rng, 8 * (side / 2) * (side / 2), 4)),
+    ]);
+    let mut opt = Sgd::new(0.05).with_momentum(0.9, true);
+    let stats = train_classifier(
+        &mut model,
+        |b| ds.batch(b * batch, batch),
+        n_batches,
+        &mut opt,
+        &TrainOptions {
+            epochs: 1,
+            batch_size: batch,
+            ..Default::default()
+        },
+        None,
+        None,
+    )
+    .expect("train_classifier");
+    let weights: Vec<u32> = model
+        .params()
+        .iter()
+        .flat_map(|p| p.value.as_slice().iter().map(|v| v.to_bits()))
+        .collect();
+    (stats[0], weights)
+}
+
+fn bench_train_epoch(c: &mut Criterion, threads: usize, smoke: bool) -> BenchRow {
+    let (samples, batch) = if smoke { (16, 8) } else { (64, 8) };
+    let n_batches = samples / batch;
+    let mut rng = seeded_rng(19);
+    let ds = ClusterImages::generate(&mut rng, samples, 4, 1, 8, 0.2);
+    let (s_stats, s_weights) = with_threads(1, || one_epoch(&ds, batch, n_batches));
+    let (p_stats, p_weights) = with_threads(threads, || one_epoch(&ds, batch, n_batches));
+    let bit_identical = s_weights == p_weights
+        && s_stats.loss.to_bits() == p_stats.loss.to_bits()
+        && s_stats.accuracy.to_bits() == p_stats.accuracy.to_bits();
+    BenchRow {
+        name: "train_epoch".into(),
+        dims: format!("{samples} samples, batch {batch}"),
+        serial_s: time_at(c, 1, || one_epoch(&ds, batch, n_batches)),
+        parallel_s: time_at(c, threads, || one_epoch(&ds, batch, n_batches)),
+        bit_identical,
+    }
+}
+
+/// The Fig. 10 sweep: every lineup accelerator over the selected workloads.
+fn sweep(ws: &[Workload]) -> Vec<(u64, u64)> {
+    let lineup = accelerator_lineup();
+    ws.iter()
+        .flat_map(|w| run_lineup(&lineup, w))
+        .map(|r| (r.cycles, r.total_energy_pj().to_bits()))
+        .collect()
+}
+
+fn bench_sim_sweep(c: &mut Criterion, threads: usize, smoke: bool) -> BenchRow {
+    let mut ws = workloads();
+    if smoke {
+        ws.truncate(1);
+    }
+    let serial = with_threads(1, || sweep(&ws));
+    let parallel = with_threads(threads, || sweep(&ws));
+    BenchRow {
+        name: "fig10_sweep".into(),
+        dims: format!("{} workloads x 6 accelerators", ws.len()),
+        serial_s: time_at(c, 1, || sweep(&ws)),
+        parallel_s: time_at(c, threads, || sweep(&ws)),
+        bit_identical: serial == parallel,
+    }
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(path: &str, rows: &[BenchRow], threads: usize, smoke: bool, iters: u64) {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut body = String::from("{\n");
+    body.push_str("  \"schema\": \"csp-bench/kernels/v1\",\n");
+    body.push_str(&format!("  \"smoke\": {smoke},\n"));
+    body.push_str(&format!("  \"host_threads\": {host},\n"));
+    body.push_str(&format!("  \"parallel_threads\": {threads},\n"));
+    body.push_str(&format!("  \"iters\": {iters},\n"));
+    body.push_str("  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"dims\": \"{}\", \"serial_s\": {:.6}, \
+             \"parallel_s\": {:.6}, \"speedup\": {:.3}, \"bit_identical\": {}}}{}\n",
+            json_escape(&r.name),
+            json_escape(&r.dims),
+            r.serial_s,
+            r.parallel_s,
+            r.speedup(),
+            r.bit_identical,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(path, body) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut json = false;
+    let mut out = String::from("results/BENCH_kernels.json");
+    let mut threads = Pool::current().threads();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => json = true,
+            "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => threads = n,
+                _ => {
+                    eprintln!("--threads requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match args.next() {
+                Some(p) => out = p,
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other}; usage: kernel_bench [--smoke] [--json] [--threads N] [--out PATH]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let iters = if smoke { 2 } else { 5 };
+    let mut c = match std::env::var("CRITERION_ITERS") {
+        Ok(_) => Criterion::default(),
+        Err(_) => Criterion::with_iters(iters),
+    };
+
+    println!(
+        "kernel_bench: serial (1 thread) vs parallel ({threads} threads), \
+         {} problem sizes",
+        if smoke { "smoke" } else { "full" }
+    );
+    let rows = vec![
+        bench_matmul(&mut c, threads, smoke),
+        bench_conv(&mut c, threads, smoke),
+        bench_train_epoch(&mut c, threads, smoke),
+        bench_sim_sweep(&mut c, threads, smoke),
+    ];
+
+    println!(
+        "\n{:<14} {:<28} {:>12} {:>12} {:>9}  bit-identical",
+        "bench", "dims", "serial(ms)", "parallel(ms)", "speedup"
+    );
+    let mut all_identical = true;
+    for r in &rows {
+        all_identical &= r.bit_identical;
+        println!(
+            "{:<14} {:<28} {:>12.3} {:>12.3} {:>8.2}x  {}",
+            r.name,
+            r.dims,
+            r.serial_s * 1e3,
+            r.parallel_s * 1e3,
+            r.speedup(),
+            r.bit_identical
+        );
+    }
+
+    if json {
+        write_json(&out, &rows, threads, smoke, iters);
+    }
+    if all_identical {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("FAIL: parallel output differs from serial");
+        ExitCode::FAILURE
+    }
+}

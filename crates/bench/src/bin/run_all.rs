@@ -11,6 +11,7 @@
 
 use std::path::Path;
 use std::process::{Command, ExitCode};
+use std::time::{Duration, Instant};
 
 /// One experiment driver: binary name plus extra argv.
 struct Driver {
@@ -27,6 +28,7 @@ struct Outcome {
     name: &'static str,
     status: String,
     ok: bool,
+    elapsed: Duration,
 }
 
 fn main() -> ExitCode {
@@ -52,6 +54,10 @@ fn main() -> ExitCode {
         Driver {
             name: "checkpoint_study",
             args: &["--smoke"],
+        },
+        Driver {
+            name: "kernel_bench",
+            args: &["--smoke", "--json"],
         },
     ];
     let slow = [driver("table2_cspa"), driver("fig09_truncation")];
@@ -91,10 +97,12 @@ fn main() -> ExitCode {
                 name: d.name,
                 status: "not built".to_string(),
                 ok: false,
+                elapsed: Duration::ZERO,
             });
             continue;
         }
         print!("running {:<24} ... ", d.name);
+        let start = Instant::now();
         let output = match Command::new(&exe).args(d.args).output() {
             Ok(o) => o,
             Err(e) => {
@@ -103,10 +111,12 @@ fn main() -> ExitCode {
                     name: d.name,
                     status: format!("spawn error: {e}"),
                     ok: false,
+                    elapsed: start.elapsed(),
                 });
                 continue;
             }
         };
+        let elapsed = start.elapsed();
         let path = format!("results/{}.txt", d.name);
         if let Err(e) = std::fs::write(&path, &output.stdout) {
             println!("FAILED (cannot write {path}: {e})");
@@ -114,15 +124,17 @@ fn main() -> ExitCode {
                 name: d.name,
                 status: format!("write error: {e}"),
                 ok: false,
+                elapsed,
             });
             continue;
         }
         if output.status.success() {
-            println!("ok -> {path}");
+            println!("ok in {:.2}s -> {path}", elapsed.as_secs_f64());
             outcomes.push(Outcome {
                 name: d.name,
                 status: format!("ok -> {path}"),
                 ok: true,
+                elapsed,
             });
         } else {
             let stderr = String::from_utf8_lossy(&output.stderr);
@@ -139,20 +151,24 @@ fn main() -> ExitCode {
                     format!("exit {:?}: {first_err}", output.status.code())
                 },
                 ok: false,
+                elapsed,
             });
         }
     }
 
     let failed = outcomes.iter().filter(|o| !o.ok).count();
+    let total: Duration = outcomes.iter().map(|o| o.elapsed).sum();
     println!("\n== run_all summary ==");
     for o in &outcomes {
         println!(
-            "  {} {:<24} {}",
+            "  {} {:<24} {:>8.2}s  {}",
             if o.ok { "PASS" } else { "FAIL" },
             o.name,
+            o.elapsed.as_secs_f64(),
             o.status
         );
     }
+    println!("  total wall-clock: {:.2}s", total.as_secs_f64());
     if failed == 0 {
         println!(
             "\nall {} drivers completed; outputs in results/",

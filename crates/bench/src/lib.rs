@@ -141,12 +141,14 @@ pub fn fig11_extras() -> Vec<Box<dyn Accelerator>> {
     ]
 }
 
-/// Run every accelerator in `lineup` on one workload.
+/// Run every accelerator in `lineup` on one workload. Models run on the
+/// pool (they are independent); results come back in lineup order, and
+/// each model's internal layer fold is ordered, so the output is
+/// bit-identical to a serial sweep.
 pub fn run_lineup(lineup: &[Box<dyn Accelerator>], w: &Workload) -> Vec<RunResult> {
-    lineup
-        .iter()
-        .map(|acc| acc.run_network(&w.network, &w.profile))
-        .collect()
+    csp_runtime::Pool::current().map_collect(lineup.len(), |i| {
+        lineup[i].run_network(&w.network, &w.profile)
+    })
 }
 
 /// Format a ratio like `15.3x`.

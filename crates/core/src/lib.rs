@@ -45,6 +45,7 @@ pub use csp_io as io;
 pub use csp_models as models;
 pub use csp_nn as nn;
 pub use csp_pruning as pruning;
+pub use csp_runtime as runtime;
 pub use csp_sim as sim;
 pub use csp_tensor as tensor;
 

@@ -2,6 +2,7 @@
 
 use crate::model::{Layer, Param};
 use crate::prunable::Prunable;
+use csp_runtime::Pool;
 use csp_tensor::{
     add_bias, avg_pool2d, avg_pool2d_grad, conv2d, conv2d_grad_input, conv2d_grad_weight,
     kaiming_uniform, matmul, matmul_a_bt, matmul_at_b, max_pool2d, max_pool2d_grad, relu,
@@ -269,18 +270,18 @@ impl Layer for Conv2d {
         }
         let n = x.dims()[0];
         let per = [x.dims()[1], x.dims()[2], x.dims()[3]];
-        let mut outs = Vec::with_capacity(n);
-        for i in 0..n {
-            let start = i * per.iter().product::<usize>();
-            let xi = Tensor::from_vec(
-                x.as_slice()[start..start + per.iter().product::<usize>()].to_vec(),
-                &per,
-            )?;
-            outs.push(self.one(&xi)?);
-        }
-        let od = outs[0].dims().to_vec();
-        let mut data = Vec::with_capacity(n * outs[0].len());
-        for o in &outs {
+        let per_len: usize = per.iter().product();
+        // Batch samples are independent shards: compute them on the pool
+        // and concatenate in sample order.
+        let outs = Pool::current().map_collect(n, |i| -> Result<Tensor> {
+            let xi = Tensor::from_vec(x.as_slice()[i * per_len..(i + 1) * per_len].to_vec(), &per)?;
+            self.one(&xi)
+        });
+        let mut data = Vec::with_capacity(x.len());
+        let mut od = Vec::new();
+        for o in outs {
+            let o = o?;
+            od = o.dims().to_vec();
             data.extend_from_slice(o.as_slice());
         }
         self.cache_x = train.then(|| x.clone());
@@ -299,8 +300,13 @@ impl Layer for Conv2d {
         let in_len: usize = in_dims.iter().product();
         let g_dims = [grad_out.dims()[1], grad_out.dims()[2], grad_out.dims()[3]];
         let g_len: usize = g_dims.iter().product();
-        let mut gin = Tensor::zeros(x.dims());
-        for i in 0..n {
+        let c_out = self.c_out();
+        let weight = &self.weight;
+        let spec = self.spec;
+        // Per-sample gradients in parallel; the *accumulation* into
+        // weight/bias grads happens below on the calling thread in sample
+        // order, reproducing the serial floating-point association.
+        let shards = Pool::current().map_collect(n, |i| -> Result<(Tensor, Vec<f32>, Tensor)> {
             let xi = Tensor::from_vec(
                 x.as_slice()[i * in_len..(i + 1) * in_len].to_vec(),
                 &in_dims,
@@ -309,15 +315,22 @@ impl Layer for Conv2d {
                 grad_out.as_slice()[i * g_len..(i + 1) * g_len].to_vec(),
                 &g_dims,
             )?;
-            let gw = conv2d_grad_weight(&xi, &gi, self.c_out(), self.spec)?;
-            self.weight_grad.axpy(1.0, &gw)?;
-            // Bias gradient: sum over spatial positions per output channel.
+            let gw = conv2d_grad_weight(&xi, &gi, c_out, spec)?;
+            // Bias gradient: sum over spatial positions per channel.
             let (oh, ow) = (g_dims[1], g_dims[2]);
-            for c in 0..self.c_out() {
-                let s: f32 = gi.as_slice()[c * oh * ow..(c + 1) * oh * ow].iter().sum();
+            let bias_sums: Vec<f32> = (0..c_out)
+                .map(|c| gi.as_slice()[c * oh * ow..(c + 1) * oh * ow].iter().sum())
+                .collect();
+            let gx = conv2d_grad_input(weight, &gi, &in_dims, spec)?;
+            Ok((gw, bias_sums, gx))
+        });
+        let mut gin = Tensor::zeros(x.dims());
+        for (i, shard) in shards.into_iter().enumerate() {
+            let (gw, bias_sums, gx) = shard?;
+            self.weight_grad.axpy(1.0, &gw)?;
+            for (c, s) in bias_sums.into_iter().enumerate() {
                 self.bias_grad.as_mut_slice()[c] += s;
             }
-            let gx = conv2d_grad_input(&self.weight, &gi, &in_dims, self.spec)?;
             gin.as_mut_slice()[i * in_len..(i + 1) * in_len].copy_from_slice(gx.as_slice());
         }
         Ok(gin)
@@ -443,11 +456,15 @@ impl Layer for MaxPool {
         let n = x.dims()[0];
         let per = [x.dims()[1], x.dims()[2], x.dims()[3]];
         let per_len: usize = per.iter().product();
-        let mut outs = Vec::new();
-        let mut args = Vec::new();
-        for i in 0..n {
+        let spec = self.spec;
+        let shards = Pool::current().map_collect(n, |i| {
             let xi = Tensor::from_vec(x.as_slice()[i * per_len..(i + 1) * per_len].to_vec(), &per)?;
-            let (y, a) = max_pool2d(&xi, self.spec)?;
+            max_pool2d(&xi, spec)
+        });
+        let mut outs = Vec::with_capacity(n);
+        let mut args = Vec::with_capacity(n);
+        for shard in shards {
+            let (y, a) = shard?;
             outs.push(y);
             args.push(a);
         }
@@ -474,13 +491,16 @@ impl Layer for MaxPool {
         let per_len: usize = per.iter().product();
         let g_len = grad_out.len() / n;
         let g_dims = [grad_out.dims()[1], grad_out.dims()[2], grad_out.dims()[3]];
-        let mut gin = Tensor::zeros(&[n, per[0], per[1], per[2]]);
-        for (i, arg) in args.iter().enumerate().take(n) {
+        let shards = Pool::current().map_collect(n, |i| {
             let gi = Tensor::from_vec(
                 grad_out.as_slice()[i * g_len..(i + 1) * g_len].to_vec(),
                 &g_dims,
             )?;
-            let gx = max_pool2d_grad(&gi, arg, &per)?;
+            max_pool2d_grad(&gi, &args[i], &per)
+        });
+        let mut gin = Tensor::zeros(&[n, per[0], per[1], per[2]]);
+        for (i, shard) in shards.into_iter().enumerate() {
+            let gx = shard?;
             gin.as_mut_slice()[i * per_len..(i + 1) * per_len].copy_from_slice(gx.as_slice());
         }
         Ok(gin)
@@ -512,11 +532,15 @@ impl Layer for AvgPool {
         let n = x.dims()[0];
         let per = [x.dims()[1], x.dims()[2], x.dims()[3]];
         let per_len: usize = per.iter().product();
-        let mut outs = Vec::new();
-        for i in 0..n {
-            let xi = Tensor::from_vec(x.as_slice()[i * per_len..(i + 1) * per_len].to_vec(), &per)?;
-            outs.push(avg_pool2d(&xi, self.spec)?);
-        }
+        let spec = self.spec;
+        let outs = Pool::current()
+            .map_collect(n, |i| {
+                let xi =
+                    Tensor::from_vec(x.as_slice()[i * per_len..(i + 1) * per_len].to_vec(), &per)?;
+                avg_pool2d(&xi, spec)
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>>>()?;
         let od = outs[0].dims().to_vec();
         let mut data = Vec::with_capacity(n * outs[0].len());
         for o in &outs {
@@ -539,13 +563,17 @@ impl Layer for AvgPool {
         let per_len: usize = per.iter().product();
         let g_len = grad_out.len() / n;
         let g_dims = [grad_out.dims()[1], grad_out.dims()[2], grad_out.dims()[3]];
-        let mut gin = Tensor::zeros(&[n, per[0], per[1], per[2]]);
-        for i in 0..n {
+        let spec = self.spec;
+        let shards = Pool::current().map_collect(n, |i| {
             let gi = Tensor::from_vec(
                 grad_out.as_slice()[i * g_len..(i + 1) * g_len].to_vec(),
                 &g_dims,
             )?;
-            let gx = avg_pool2d_grad(&gi, &per, self.spec)?;
+            avg_pool2d_grad(&gi, &per, spec)
+        });
+        let mut gin = Tensor::zeros(&[n, per[0], per[1], per[2]]);
+        for (i, shard) in shards.into_iter().enumerate() {
+            let gx = shard?;
             gin.as_mut_slice()[i * per_len..(i + 1) * per_len].copy_from_slice(gx.as_slice());
         }
         Ok(gin)

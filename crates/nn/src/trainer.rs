@@ -11,7 +11,32 @@ use crate::loss::softmax_cross_entropy;
 use crate::model::Sequential;
 use crate::optim::{LrSchedule, Optimizer};
 use crate::prunable::Prunable;
+use csp_runtime::Pool;
 use csp_tensor::{CspError, CspResult, Result, Tensor};
+
+/// Count rows of `logits` whose argmax equals the matching label.
+///
+/// Rows are scored on the pool and the per-row hits (0/1) are summed in
+/// row order — an integer reduction, so the count is exact and identical
+/// for every thread count.
+fn count_correct(logits: &Tensor, labels: &[usize]) -> usize {
+    let c = logits.dims()[1];
+    Pool::current().fold_ordered(
+        labels.len(),
+        |i| {
+            let row = &logits.as_slice()[i * c..(i + 1) * c];
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN logits"))
+                .map(|(j, _)| j)
+                .expect("non-empty row");
+            usize::from(pred == labels[i])
+        },
+        0usize,
+        |acc, hit| acc + hit,
+    )
+}
 
 /// A mutable hook over the model's prunable layers, invoked by the
 /// training loop (regularizer/mask application).
@@ -106,20 +131,8 @@ pub fn train_classifier(
                 });
             }
             loss_sum += loss;
-            let (n, c) = (logits.dims()[0], logits.dims()[1]);
-            for (i, &label) in labels.iter().enumerate() {
-                let row = &logits.as_slice()[i * c..(i + 1) * c];
-                let pred = row
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN logits"))
-                    .map(|(j, _)| j)
-                    .expect("non-empty row");
-                if pred == label {
-                    correct += 1;
-                }
-            }
-            total += n;
+            correct += count_correct(&logits, &labels);
+            total += logits.dims()[0];
             model.backward(&grad)?;
             if let Some(reg) = regularizer.as_mut() {
                 reg(&mut model.prunable_layers());
@@ -175,19 +188,7 @@ pub fn eval_classifier(
     for b in 0..n_batches {
         let (x, labels) = data(b);
         let logits = model.forward(&x, false)?;
-        let c = logits.dims()[1];
-        for (i, &label) in labels.iter().enumerate() {
-            let row = &logits.as_slice()[i * c..(i + 1) * c];
-            let pred = row
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN logits"))
-                .map(|(j, _)| j)
-                .expect("non-empty row");
-            if pred == label {
-                correct += 1;
-            }
-        }
+        correct += count_correct(&logits, &labels);
         total += labels.len();
     }
     Ok(correct as f32 / total.max(1) as f32)

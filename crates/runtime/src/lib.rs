@@ -1,0 +1,380 @@
+//! # csp-runtime
+//!
+//! A from-scratch, offline-safe (no crates.io) deterministic fork-join
+//! runtime for the CSP reproduction. Every hot loop in the workspace —
+//! the cache-blocked GEMM micro-kernel, batched layer forward/backward,
+//! and the accelerator simulation sweeps — parallelizes through the
+//! [`Pool`] in this crate.
+//!
+//! ## Determinism contract
+//!
+//! Parallel results must be **bit-identical** to the serial results for
+//! any thread count, because `csp-io` checkpoints guarantee bit-identical
+//! kill-and-resume. Two rules make that hold:
+//!
+//! 1. **Fixed chunk partitioning** — work is split into chunks whose
+//!    boundaries depend only on the problem size (caller-chosen chunk
+//!    length), never on the thread count. Which worker executes a chunk
+//!    is irrelevant: chunk outputs are disjoint, or are combined by
+//!    rule 2.
+//! 2. **Ordered reduction** — when chunk results must be combined (e.g.
+//!    gradient accumulation, energy sums), the fold happens on the
+//!    calling thread in ascending chunk order, reproducing the serial
+//!    floating-point association exactly.
+//!
+//! A pool of size 1 executes the chunk loop inline on the calling thread
+//! — the exact serial code path, with no scope, no spawns, and no
+//! thread-local overrides.
+//!
+//! ## Pool discovery
+//!
+//! [`Pool::current`] resolves, in order: the innermost active
+//! [`with_threads`] override on this thread, then the process-wide
+//! default — the `CSP_THREADS` environment variable if set and positive,
+//! otherwise [`std::thread::available_parallelism`].
+//!
+//! Worker closures run with an implicit `with_threads(1)` so nested data
+//! parallelism (e.g. a per-sample convolution calling the parallel GEMM)
+//! degrades to serial instead of oversubscribing the machine.
+//!
+//! ## Example
+//!
+//! ```
+//! use csp_runtime::{with_threads, Pool};
+//!
+//! let serial = with_threads(1, || Pool::current().map_collect(8, |i| i * i));
+//! let parallel = with_threads(4, || Pool::current().map_collect(8, |i| i * i));
+//! assert_eq!(serial, parallel);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Process-wide default thread count, resolved once.
+static GLOBAL_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// Innermost `with_threads` override on this thread (`None` = use the
+    /// global default).
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn resolve_global() -> usize {
+    if let Ok(v) = std::env::var("CSP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` with the current thread's pool size overridden to `threads`
+/// (clamped to at least 1). Restores the previous override on exit, also
+/// on panic. Overrides nest; the innermost wins.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = OverrideGuard::set(threads.max(1));
+    f()
+}
+
+/// RAII guard restoring the previous thread-count override.
+struct OverrideGuard {
+    prev: Option<usize>,
+}
+
+impl OverrideGuard {
+    fn set(threads: usize) -> Self {
+        let prev = OVERRIDE.with(|c| c.replace(Some(threads)));
+        OverrideGuard { prev }
+    }
+}
+
+impl Drop for OverrideGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        OVERRIDE.with(|c| c.set(prev));
+    }
+}
+
+/// A deterministic fork-join pool: a thread count plus the partitioning
+/// and ordered-reduction rules documented at the crate root.
+///
+/// `Pool` is `Copy` — it carries no OS resources. Threads are scoped
+/// ([`std::thread::scope`]) per parallel region, so borrowed data flows
+/// into workers without `'static` bounds and every region joins before
+/// returning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool with exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The serial pool: every operation runs inline on the caller.
+    pub fn serial() -> Self {
+        Pool { threads: 1 }
+    }
+
+    /// The pool the current thread should use: the innermost
+    /// [`with_threads`] override, else the process-wide default
+    /// (`CSP_THREADS` env var, falling back to the machine parallelism).
+    pub fn current() -> Self {
+        let t = OVERRIDE
+            .with(Cell::get)
+            .unwrap_or_else(|| *GLOBAL_THREADS.get_or_init(resolve_global));
+        Pool::new(t)
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether this pool runs everything inline on the caller.
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Compute `f(0..n)` and return the results **in index order**.
+    ///
+    /// Items are assigned to workers round-robin (item `i` to worker
+    /// `i % w`), which balances sweeps whose cost varies monotonically
+    /// with the index (deep layers first, cheap layers last). Assignment
+    /// never affects results: each item is a pure function of its index.
+    ///
+    /// Panics in `f` are propagated to the caller after all workers stop.
+    pub fn map_collect<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let nt = self.threads.min(n).max(1);
+        if nt == 1 {
+            // Exact serial code path: no scope, no override.
+            return (0..n).map(f).collect();
+        }
+        let mut parts: Vec<Vec<R>> = Vec::with_capacity(nt);
+        std::thread::scope(|s| {
+            let f = &f;
+            let handles: Vec<_> = (1..nt)
+                .map(|w| {
+                    s.spawn(move || {
+                        with_threads(1, || (w..n).step_by(nt).map(f).collect::<Vec<R>>())
+                    })
+                })
+                .collect();
+            parts.push(with_threads(1, || {
+                (0..n).step_by(nt).map(f).collect::<Vec<R>>()
+            }));
+            for h in handles {
+                match h.join() {
+                    Ok(v) => parts.push(v),
+                    Err(p) => std::panic::resume_unwind(p),
+                }
+            }
+        });
+        let mut iters: Vec<std::vec::IntoIter<R>> = parts.into_iter().map(Vec::into_iter).collect();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(iters[i % nt].next().expect("worker produced its items"));
+        }
+        out
+    }
+
+    /// Compute `f(0..n)` chunk results and fold them into `init` **in
+    /// ascending index order** on the calling thread — the ordered
+    /// reduction used for gradient accumulation and energy sums.
+    pub fn fold_ordered<R, A, F, G>(&self, n: usize, f: F, init: A, mut fold: G) -> A
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+        G: FnMut(A, R) -> A,
+    {
+        if self.threads.min(n).max(1) == 1 {
+            // Exact serial code path: map and fold interleaved, as a
+            // plain serial loop would.
+            let mut acc = init;
+            for i in 0..n {
+                acc = fold(acc, f(i));
+            }
+            return acc;
+        }
+        self.map_collect(n, f).into_iter().fold(init, fold)
+    }
+
+    /// Split `data` into fixed chunks of `chunk_len` elements (the last
+    /// chunk may be shorter) and run `f(chunk_index, element_offset,
+    /// chunk)` over them. Chunk boundaries depend only on `data.len()`
+    /// and `chunk_len`, never on the thread count; chunks are disjoint
+    /// `&mut` slices, so any worker assignment yields identical memory.
+    ///
+    /// Panics in `f` are propagated to the caller after all workers stop.
+    pub fn for_each_chunk_mut<T, F>(&self, data: &mut [T], chunk_len: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, usize, &mut [T]) + Sync,
+    {
+        let chunk_len = chunk_len.max(1);
+        let n_chunks = data.len().div_ceil(chunk_len);
+        let nt = self.threads.min(n_chunks).max(1);
+        if nt == 1 {
+            // Exact serial code path.
+            for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(ci, ci * chunk_len, chunk);
+            }
+            return;
+        }
+        let mut buckets: Vec<Vec<(usize, &mut [T])>> = (0..nt)
+            .map(|_| Vec::with_capacity(n_chunks / nt + 1))
+            .collect();
+        for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            buckets[ci % nt].push((ci, chunk));
+        }
+        std::thread::scope(|s| {
+            let f = &f;
+            let mut rest = buckets.into_iter();
+            let mine = rest.next().unwrap_or_default();
+            let handles: Vec<_> = rest
+                .map(|bucket| {
+                    s.spawn(move || {
+                        with_threads(1, || {
+                            for (ci, chunk) in bucket {
+                                f(ci, ci * chunk_len, chunk);
+                            }
+                        })
+                    })
+                })
+                .collect();
+            with_threads(1, || {
+                for (ci, chunk) in mine {
+                    f(ci, ci * chunk_len, chunk);
+                }
+            });
+            for h in handles {
+                if let Err(p) = h.join() {
+                    std::panic::resume_unwind(p);
+                }
+            }
+        });
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::current()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_clamps_to_one() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert!(Pool::serial().is_serial());
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = Pool::current().threads();
+        with_threads(3, || {
+            assert_eq!(Pool::current().threads(), 3);
+            with_threads(7, || assert_eq!(Pool::current().threads(), 7));
+            assert_eq!(Pool::current().threads(), 3);
+        });
+        assert_eq!(Pool::current().threads(), outer);
+    }
+
+    #[test]
+    fn map_collect_returns_index_order() {
+        for t in [1, 2, 3, 4, 8] {
+            let got = Pool::new(t).map_collect(13, |i| 2 * i + 1);
+            let want: Vec<usize> = (0..13).map(|i| 2 * i + 1).collect();
+            assert_eq!(got, want, "threads={t}");
+        }
+        assert!(Pool::new(4).map_collect(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn workers_run_nested_calls_serially() {
+        let inner: Vec<usize> = Pool::new(4).map_collect(8, |_| Pool::current().threads());
+        // Either the inline path kept the caller's pool (n < threads
+        // never happens here) or workers saw the serial override.
+        assert!(inner.iter().all(|&t| t == 1));
+    }
+
+    #[test]
+    fn fold_ordered_matches_serial_association() {
+        // Sum of f32 values in strictly ascending chunk order: every
+        // thread count must produce the same bits.
+        let vals: Vec<f32> = (0..97).map(|i| (i as f32 * 0.731).sin() * 1e3).collect();
+        let serial = Pool::new(1).fold_ordered(vals.len(), |i| vals[i], 0.0f32, |a, v| a + v);
+        for t in [2, 4, 8] {
+            let par = Pool::new(t).fold_ordered(vals.len(), |i| vals[i], 0.0f32, |a, v| a + v);
+            assert_eq!(serial.to_bits(), par.to_bits(), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_mut_covers_disjoint_chunks() {
+        for t in [1, 2, 4, 8] {
+            let mut data = vec![0u32; 37];
+            Pool::new(t).for_each_chunk_mut(&mut data, 5, |ci, off, chunk| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v = (ci * 100 + off + k) as u32;
+                }
+            });
+            for (i, &v) in data.iter().enumerate() {
+                let ci = i / 5;
+                assert_eq!(v, (ci * 100 + i) as u32, "threads={t}, index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries_ignore_thread_count() {
+        // Record (chunk_index, offset, len) per chunk; the partition must
+        // be identical for every pool size.
+        let describe = |t: usize| -> Vec<(usize, usize, usize)> {
+            let mut data = vec![0u8; 23];
+            let pool = Pool::new(t);
+            let log = std::sync::Mutex::new(Vec::new());
+            pool.for_each_chunk_mut(&mut data, 4, |ci, off, chunk| {
+                log.lock().unwrap().push((ci, off, chunk.len()));
+            });
+            let mut v = log.into_inner().unwrap();
+            v.sort_unstable();
+            v
+        };
+        let want = describe(1);
+        for t in [2, 4, 8] {
+            assert_eq!(describe(t), want, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn map_collect_propagates_panics() {
+        let res = std::panic::catch_unwind(|| {
+            Pool::new(4).map_collect(8, |i| {
+                if i == 5 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(res.is_err());
+    }
+}

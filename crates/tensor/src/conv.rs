@@ -38,9 +38,16 @@ impl Conv2dSpec {
         }
     }
 
-    /// Output spatial extent for an input extent `in_dim`.
+    /// Output spatial extent for an input extent `in_dim`. Returns 0 when
+    /// the kernel exceeds the padded input — the convolution produces no
+    /// output positions, and callers must see the empty output rather
+    /// than a bogus extent of 1.
     pub fn out_dim(&self, in_dim: usize) -> usize {
-        (in_dim + 2 * self.padding).saturating_sub(self.kernel) / self.stride + 1
+        let padded = in_dim + 2 * self.padding;
+        if padded < self.kernel {
+            return 0;
+        }
+        (padded - self.kernel) / self.stride + 1
     }
 }
 
@@ -73,27 +80,25 @@ pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Result<Tensor, TensorError> {
     let cols = oh * ow;
     let mut out = vec![0.0f32; rows * cols];
     let data = input.as_slice();
-    for ci in 0..c {
-        for ky in 0..k {
-            for kx in 0..k {
-                let row = (ci * k + ky) * k + kx;
-                for oy in 0..oh {
-                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    for ox in 0..ow {
-                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        out[row * cols + oy * ow + ox] =
-                            data[(ci * h + iy as usize) * w + ix as usize];
-                    }
+    // Each output row is one (channel, ky, kx) filter coordinate and is
+    // written independently — a fixed one-row chunk per work unit keeps
+    // parallel results identical to serial for any pool size.
+    csp_runtime::Pool::current().for_each_chunk_mut(&mut out, cols.max(1), |row, _, chunk| {
+        let (ci, ky, kx) = (row / (k * k), (row / k) % k, row % k);
+        for oy in 0..oh {
+            let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+            if iy < 0 || iy >= h as isize {
+                continue;
+            }
+            for ox in 0..ow {
+                let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                if ix < 0 || ix >= w as isize {
+                    continue;
                 }
+                chunk[oy * ow + ox] = data[(ci * h + iy as usize) * w + ix as usize];
             }
         }
-    }
+    });
     Tensor::from_vec(out, &[rows, cols])
 }
 
@@ -125,29 +130,35 @@ pub fn col2im(
     }
     let mut out = Tensor::zeros(&[c, h, w]);
     let src = cols_mat.as_slice();
-    let dst = out.as_mut_slice();
     let n_cols = oh * ow;
-    for ci in 0..c {
-        for ky in 0..k {
-            for kx in 0..k {
-                let row = (ci * k + ky) * k + kx;
-                for oy in 0..oh {
-                    let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    for ox in 0..ow {
-                        let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
-                        if ix < 0 || ix >= w as isize {
+    // Windows overlap *within* a channel but never across channels, so
+    // channels are the independent unit: one fixed chunk per channel,
+    // scatter-adding in the same (ky, kx, oy, ox) order as the serial
+    // loop — bit-identical for any pool size.
+    csp_runtime::Pool::current().for_each_chunk_mut(
+        out.as_mut_slice(),
+        (h * w).max(1),
+        |ci, _, dst| {
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row = (ci * k + ky) * k + kx;
+                    for oy in 0..oh {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy >= h as isize {
                             continue;
                         }
-                        dst[(ci * h + iy as usize) * w + ix as usize] +=
-                            src[row * n_cols + oy * ow + ox];
+                        for ox in 0..ow {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            dst[iy as usize * w + ix as usize] += src[row * n_cols + oy * ow + ox];
+                        }
                     }
                 }
             }
-        }
-    }
+        },
+    );
     Ok(out)
 }
 
@@ -239,6 +250,20 @@ mod tests {
         assert_eq!(Conv2dSpec::new(3, 2, 1).out_dim(8), 4);
         assert_eq!(Conv2dSpec::new(1, 1, 0).out_dim(7), 7);
         assert_eq!(Conv2dSpec::new(11, 4, 0).out_dim(227), 55); // AlexNet conv1
+    }
+
+    #[test]
+    fn oversized_kernel_yields_empty_output() {
+        // Kernel exceeding the padded input produces *no* output
+        // positions — out_dim must say 0, not 1.
+        assert_eq!(Conv2dSpec::new(5, 1, 0).out_dim(3), 0);
+        assert_eq!(Conv2dSpec::new(7, 2, 1).out_dim(4), 0);
+        // Exactly-fitting kernel still yields one position.
+        assert_eq!(Conv2dSpec::new(5, 1, 1).out_dim(3), 1);
+        // im2col rejects the degenerate geometry rather than fabricating
+        // a 1-pixel output.
+        let x = Tensor::zeros(&[1, 3, 3]);
+        assert!(im2col(&x, Conv2dSpec::new(5, 1, 0)).is_err());
     }
 
     #[test]

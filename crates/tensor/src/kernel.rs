@@ -1,0 +1,231 @@
+//! The single packed, cache-blocked GEMM micro-kernel behind every
+//! `matmul*` variant.
+//!
+//! All three public entry points ([`crate::matmul`], [`crate::matmul_at_b`],
+//! [`crate::matmul_a_bt`]) normalize their operands to the logical product
+//! `A (m×k) · B (k×n)` and call [`gemm`]. A transposed operand is packed
+//! into row-major order once up front; `B` is additionally packed into
+//! contiguous `KC × NC` panels so the inner loop streams unit-stride data
+//! that stays resident in cache while every row of the current row chunk
+//! passes over it.
+//!
+//! ## Determinism
+//!
+//! The kernel is **bit-identical to the naive loop nest** (see
+//! [`crate::matmul_reference`]) for every thread count:
+//!
+//! * each output element accumulates its `k` products in strictly
+//!   ascending `p` order — the `pc` panel loop ascends and the in-panel
+//!   `p` loop ascends, and the `j` split never reorders additions to a
+//!   fixed element;
+//! * rows are distributed over the pool in fixed chunks of [`ROW_CHUNK`]
+//!   rows; rows are independent, so worker assignment cannot affect any
+//!   value;
+//! * the zero-skip on `A` values drops only exact-zero multiplicands,
+//!   matching the reference kernel's skip.
+
+use csp_runtime::Pool;
+
+/// Rows of `A`/`C` per parallel work unit. Fixed — never derived from the
+/// thread count — so the partition is identical for every pool size.
+pub(crate) const ROW_CHUNK: usize = 16;
+
+/// `k`-extent of a packed `B` panel.
+const KC: usize = 128;
+
+/// `n`-extent of a packed `B` panel. `KC × NC × 4` bytes ≈ 256 KiB, sized
+/// to stay resident in a typical L2 while a row chunk streams over it.
+const NC: usize = 512;
+
+/// Pack the logical `(k × n)` B matrix into contiguous `KC × NC` panels.
+/// `b_trans` means `b` is stored `(n × k)` (the `A · Bᵀ` case). Returns
+/// the panel data plus the flat offset of each `(pc, jc)` panel.
+fn pack_b(k: usize, n: usize, b: &[f32], b_trans: bool) -> (Vec<f32>, Vec<usize>) {
+    let n_pc = k.div_ceil(KC);
+    let n_jc = n.div_ceil(NC);
+    let mut data = Vec::with_capacity(k * n);
+    let mut offsets = Vec::with_capacity(n_pc * n_jc);
+    for pc in (0..k).step_by(KC) {
+        let pl = KC.min(k - pc);
+        for jc in (0..n).step_by(NC) {
+            let jl = NC.min(n - jc);
+            offsets.push(data.len());
+            if b_trans {
+                for p in pc..pc + pl {
+                    for j in jc..jc + jl {
+                        data.push(b[j * k + p]);
+                    }
+                }
+            } else {
+                for p in pc..pc + pl {
+                    data.extend_from_slice(&b[p * n + jc..p * n + jc + jl]);
+                }
+            }
+        }
+    }
+    (data, offsets)
+}
+
+/// `C (m×n) = A (m×k) · B (k×n)` on raw row-major slices.
+///
+/// `a_trans` means `a` is stored `(k × m)` (the `Aᵀ · B` case); `b_trans`
+/// means `b` is stored `(n × k)` (the `A · Bᵀ` case). Row chunks of the
+/// output are computed on [`Pool::current`].
+pub(crate) fn gemm(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    a_trans: bool,
+    b: &[f32],
+    b_trans: bool,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    if m == 0 || n == 0 || k == 0 {
+        return out;
+    }
+    // Normalize A to row-major (m × k) so the micro-kernel reads one
+    // contiguous row slice per (row, panel).
+    let a_packed: Vec<f32>;
+    let a_view: &[f32] = if a_trans {
+        a_packed = {
+            let mut v = vec![0.0f32; m * k];
+            for p in 0..k {
+                let arow = &a[p * m..(p + 1) * m];
+                for (i, &av) in arow.iter().enumerate() {
+                    v[i * k + p] = av;
+                }
+            }
+            v
+        };
+        &a_packed
+    } else {
+        a
+    };
+    let (bp, offsets) = pack_b(k, n, b, b_trans);
+    let n_jc = n.div_ceil(NC);
+
+    Pool::current().for_each_chunk_mut(&mut out, ROW_CHUNK * n, |_, elem_off, out_rows| {
+        let i0 = elem_off / n;
+        let rows = out_rows.len() / n;
+        for (pcb, pc) in (0..k).step_by(KC).enumerate() {
+            let pl = KC.min(k - pc);
+            for (jcb, jc) in (0..n).step_by(NC).enumerate() {
+                let jl = NC.min(n - jc);
+                let panel = {
+                    let off = offsets[pcb * n_jc + jcb];
+                    &bp[off..off + pl * jl]
+                };
+                for r in 0..rows {
+                    let arow = &a_view[(i0 + r) * k + pc..(i0 + r) * k + pc + pl];
+                    let orow = &mut out_rows[r * n + jc..r * n + jc + jl];
+                    for (dp, &av) in arow.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = &panel[dp * jl..(dp + 1) * jl];
+                        for (o, &bv) in orow.iter_mut().zip(brow) {
+                            *o += av * bv;
+                        }
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let av = a[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[i * n + j] += av * b[p * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn fill(len: usize, scale: f32) -> Vec<f32> {
+        (0..len).map(|i| (i as f32 * scale).sin()).collect()
+    }
+
+    #[test]
+    fn blocked_matches_reference_bitwise_across_shapes() {
+        // Shapes straddling the KC/NC/ROW_CHUNK boundaries.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (16, 128, 512),
+            (17, 129, 513),
+            (33, 300, 40),
+        ] {
+            let a = fill(m * k, 0.37);
+            let b = fill(k * n, 0.61);
+            let got = gemm(m, k, n, &a, false, &b, false);
+            let want = reference(m, k, n, &a, &b);
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "shape ({m},{k},{n})"
+            );
+        }
+    }
+
+    #[test]
+    fn transposed_operands_match_explicit_transpose() {
+        let (m, k, n) = (9, 20, 11);
+        let a = fill(m * k, 0.21);
+        let b = fill(k * n, 0.43);
+        // Store A as (k × m) and B as (n × k) and let the kernel repack.
+        let mut a_t = vec![0.0f32; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                a_t[p * m + i] = a[i * k + p];
+            }
+        }
+        let mut b_t = vec![0.0f32; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                b_t[j * k + p] = b[p * n + j];
+            }
+        }
+        let want = reference(m, k, n, &a, &b);
+        let from_at = gemm(m, k, n, &a_t, true, &b, false);
+        let from_bt = gemm(m, k, n, &a, false, &b_t, true);
+        assert_eq!(from_at, want);
+        assert_eq!(from_bt, want);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_bits() {
+        let (m, k, n) = (37, 150, 70);
+        let a = fill(m * k, 0.17);
+        let b = fill(k * n, 0.53);
+        let serial = csp_runtime::with_threads(1, || gemm(m, k, n, &a, false, &b, false));
+        for t in [2, 4, 8] {
+            let par = csp_runtime::with_threads(t, || gemm(m, k, n, &a, false, &b, false));
+            assert_eq!(
+                serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                par.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "threads={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_dims_yield_zeros() {
+        assert!(gemm(0, 3, 3, &[], false, &fill(9, 0.3), false).is_empty());
+        let out = gemm(2, 0, 3, &[], false, &[], false);
+        assert_eq!(out, vec![0.0; 6]);
+    }
+}

@@ -11,9 +11,12 @@
 //! * pooling, activations and broadcasting element-wise arithmetic,
 //! * random and deterministic initializers.
 //!
-//! The library favours clarity and testability over raw speed: all kernels
-//! are straightforward loops that the accelerator simulators can also use as
-//! their *functional golden model*.
+//! The hot kernels (`matmul*`, `im2col`/`col2im`) run cache-blocked and
+//! parallel over [`csp_runtime::Pool::current`], with fixed chunking and
+//! ordered accumulation so results are **bit-identical to serial** for any
+//! thread count. [`matmul_reference`] keeps the unblocked loop nest as the
+//! *functional golden model* the accelerator simulators and benchmarks
+//! compare against.
 //!
 //! ## Example
 //!
@@ -38,6 +41,7 @@ mod blocks;
 mod conv;
 mod error;
 mod init;
+mod kernel;
 mod ops;
 mod pool;
 mod shape;
@@ -47,7 +51,10 @@ pub use blocks::{add_col_block, col_block, row_block, vstack};
 pub use conv::{col2im, conv2d, conv2d_grad_input, conv2d_grad_weight, im2col, Conv2dSpec};
 pub use error::{CspError, CspResult, TensorError};
 pub use init::{kaiming_uniform, uniform, xavier_uniform};
-pub use ops::{add_bias, matmul, matmul_a_bt, matmul_at_b, outer, relu, relu_grad, softmax_rows};
+pub use ops::{
+    add_bias, matmul, matmul_a_bt, matmul_at_b, matmul_reference, outer, relu, relu_grad,
+    softmax_rows,
+};
 pub use pool::{avg_pool2d, avg_pool2d_grad, max_pool2d, max_pool2d_grad, Pool2dSpec};
 pub use shape::Shape;
 pub use tensor::Tensor;

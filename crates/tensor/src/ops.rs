@@ -1,12 +1,52 @@
 //! Dense linear-algebra kernels: matmul variants, activations, softmax.
 
 use crate::error::TensorError;
+use crate::kernel;
 use crate::tensor::Tensor;
+
+/// Validate shapes for a logical `A (m×k) · B (k×n)` product where either
+/// operand may be stored transposed, then run the shared packed
+/// micro-kernel ([`crate::kernel`]).
+fn gemm_checked(
+    op: &'static str,
+    a: &Tensor,
+    b: &Tensor,
+    a_trans: bool,
+    b_trans: bool,
+) -> Result<Tensor, TensorError> {
+    let bad = || TensorError::IncompatibleShapes {
+        op,
+        lhs: a.dims().to_vec(),
+        rhs: b.dims().to_vec(),
+    };
+    if a.rank() != 2 || b.rank() != 2 {
+        return Err(bad());
+    }
+    let (m, ka) = if a_trans {
+        (a.dims()[1], a.dims()[0])
+    } else {
+        (a.dims()[0], a.dims()[1])
+    };
+    let (kb, n) = if b_trans {
+        (b.dims()[1], b.dims()[0])
+    } else {
+        (b.dims()[0], b.dims()[1])
+    };
+    if ka != kb {
+        return Err(bad());
+    }
+    Tensor::from_vec(
+        kernel::gemm(m, ka, n, a.as_slice(), a_trans, b.as_slice(), b_trans),
+        &[m, n],
+    )
+}
 
 /// Matrix product `A (m×k) · B (k×n) → (m×n)`.
 ///
-/// This loop-nest kernel is also the *functional golden model* the
-/// accelerator simulators check themselves against.
+/// Runs the packed, cache-blocked micro-kernel shared by all `matmul*`
+/// variants, parallel over row chunks on [`csp_runtime::Pool::current`].
+/// The result is bit-identical to the naive loop nest
+/// ([`matmul_reference`]) for every thread count.
 ///
 /// # Errors
 ///
@@ -23,13 +63,24 @@ use crate::tensor::Tensor;
 /// # }
 /// ```
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    let bad = || TensorError::IncompatibleShapes {
-        op: "matmul",
-        lhs: a.dims().to_vec(),
-        rhs: b.dims().to_vec(),
-    };
+    gemm_checked("matmul", a, b, false, false)
+}
+
+/// The unblocked, single-threaded loop-nest GEMM — the *functional golden
+/// model* the accelerator simulators and the `kernel_bench` harness
+/// compare against. [`matmul`] must return bit-identical results.
+///
+/// # Errors
+///
+/// Returns [`TensorError::IncompatibleShapes`] if operands are not rank 2
+/// with a matching inner dimension.
+pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     if a.rank() != 2 || b.rank() != 2 || a.dims()[1] != b.dims()[0] {
-        return Err(bad());
+        return Err(TensorError::IncompatibleShapes {
+            op: "matmul_reference",
+            lhs: a.dims().to_vec(),
+            rhs: b.dims().to_vec(),
+        });
     }
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let n = b.dims()[1];
@@ -53,66 +104,28 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 
 /// `Aᵀ · B` without materializing the transpose: `A (k×m), B (k×n) → (m×n)`.
 ///
+/// Same packed micro-kernel as [`matmul`]; `A` is repacked row-major once
+/// instead of being re-strided in the inner loop.
+///
 /// # Errors
 ///
 /// Returns [`TensorError::IncompatibleShapes`] if operands are not rank 2
 /// with matching leading dimension.
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    let bad = || TensorError::IncompatibleShapes {
-        op: "matmul_at_b",
-        lhs: a.dims().to_vec(),
-        rhs: b.dims().to_vec(),
-    };
-    if a.rank() != 2 || b.rank() != 2 || a.dims()[0] != b.dims()[0] {
-        return Err(bad());
-    }
-    let (k, m) = (a.dims()[0], a.dims()[1]);
-    let n = b.dims()[1];
-    let (ad, bd) = (a.as_slice(), b.as_slice());
-    let mut out = vec![0.0f32; m * n];
-    for p in 0..k {
-        let arow = &ad[p * m..(p + 1) * m];
-        let brow = &bd[p * n..(p + 1) * n];
-        for (i, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
-        }
-    }
-    Tensor::from_vec(out, &[m, n])
+    gemm_checked("matmul_at_b", a, b, true, false)
 }
 
 /// `A · Bᵀ` without materializing the transpose: `A (m×k), B (n×k) → (m×n)`.
+///
+/// Same packed micro-kernel as [`matmul`]; `B` panels are packed from the
+/// transposed storage.
 ///
 /// # Errors
 ///
 /// Returns [`TensorError::IncompatibleShapes`] if operands are not rank 2
 /// with matching trailing dimension.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
-    let bad = || TensorError::IncompatibleShapes {
-        op: "matmul_a_bt",
-        lhs: a.dims().to_vec(),
-        rhs: b.dims().to_vec(),
-    };
-    if a.rank() != 2 || b.rank() != 2 || a.dims()[1] != b.dims()[1] {
-        return Err(bad());
-    }
-    let (m, k) = (a.dims()[0], a.dims()[1]);
-    let n = b.dims()[0];
-    let (ad, bd) = (a.as_slice(), b.as_slice());
-    let mut out = vec![0.0f32; m * n];
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &bd[j * k..(j + 1) * k];
-            out[i * n + j] = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
-        }
-    }
-    Tensor::from_vec(out, &[m, n])
+    gemm_checked("matmul_a_bt", a, b, false, true)
 }
 
 /// Outer product of two vectors: `u (m) ⊗ v (n) → (m×n)`.
@@ -225,6 +238,16 @@ mod tests {
         let b = Tensor::zeros(&[2, 3]);
         assert!(matmul(&a, &b).is_err());
         assert!(matmul(&a, &Tensor::zeros(&[3])).is_err());
+    }
+
+    #[test]
+    fn blocked_matmul_bit_identical_to_reference() {
+        let a = Tensor::from_fn(&[23, 45], |i| (i as f32 * 0.31).sin());
+        let b = Tensor::from_fn(&[45, 19], |i| (i as f32 * 0.17).cos());
+        let blocked = matmul(&a, &b).unwrap();
+        let naive = matmul_reference(&a, &b).unwrap();
+        let bits = |t: &Tensor| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&blocked), bits(&naive));
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Parallel-determinism property suite: every parallel code path must be
+//! **bit-identical** to its serial twin for any thread count.
+//!
+//! The `csp-runtime` pool guarantees this by construction (fixed chunk
+//! boundaries that depend only on the problem size, plus reductions folded
+//! on the calling thread in chunk order); these tests pin the contract on
+//! the real kernels — blocked GEMM, convolution, a full training epoch —
+//! and on PR 2's kill-and-resume guarantee running under the pool.
+
+use csp_core::io::{CheckpointedTrainer, RecoveryConfig};
+use csp_core::nn::data::ClusterImages;
+use csp_core::nn::{
+    seeded_rng, train_classifier, Conv2d, Flatten, Linear, MaxPool, Relu, Sequential, Sgd,
+    TrainOptions,
+};
+use csp_core::runtime::with_threads;
+use csp_core::tensor::{conv2d, matmul, matmul_reference, Conv2dSpec, Tensor};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [2, 4, 8];
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Strategy: a tensor with the given dims and finite values.
+fn tensor_of(dims: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let len: usize = dims.iter().product();
+    proptest::collection::vec(-2.0f32..2.0, len..=len)
+        .prop_map(move |v| Tensor::from_vec(v, &dims).expect("len matches"))
+}
+
+/// Strategy: a random GEMM instance `(A: m×k, B: k×n)`.
+fn gemm_instance() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1usize..24, 1usize..24, 1usize..24)
+        .prop_flat_map(|(m, k, n)| (tensor_of(vec![m, k]), tensor_of(vec![k, n])))
+}
+
+/// Strategy: a random conv instance `(input, weights, spec)` with geometry
+/// that always yields a non-degenerate output.
+fn conv_instance() -> impl Strategy<Value = (Tensor, Tensor, Conv2dSpec)> {
+    (1usize..4, 5usize..12, 1usize..3, 1usize..4, 0usize..2).prop_flat_map(
+        |(c_in, side, kernel, c_out, padding)| {
+            let spec = Conv2dSpec::new(kernel, 1, padding);
+            (
+                tensor_of(vec![c_in, side, side]),
+                tensor_of(vec![c_out, c_in, kernel, kernel]),
+                Just(spec),
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_bit_identical_across_thread_counts((a, b) in gemm_instance()) {
+        let serial = with_threads(1, || matmul(&a, &b)).expect("matmul");
+        let reference = matmul_reference(&a, &b).expect("reference");
+        prop_assert_eq!(bits(&serial), bits(&reference));
+        for nt in THREAD_COUNTS {
+            let parallel = with_threads(nt, || matmul(&a, &b)).expect("matmul");
+            prop_assert_eq!(bits(&serial), bits(&parallel));
+        }
+    }
+
+    #[test]
+    fn conv2d_bit_identical_across_thread_counts((x, w, spec) in conv_instance()) {
+        let serial = with_threads(1, || conv2d(&x, &w, spec)).expect("conv2d");
+        for nt in THREAD_COUNTS {
+            let parallel = with_threads(nt, || conv2d(&x, &w, spec)).expect("conv2d");
+            prop_assert_eq!(bits(&serial), bits(&parallel));
+        }
+    }
+}
+
+/// One training epoch of the mini-CNN; returns final parameter bits and
+/// the per-epoch stats bits.
+fn train_fingerprint(seed: u64) -> (Vec<u32>, Vec<u32>) {
+    let mut rng = seeded_rng(seed);
+    let ds = ClusterImages::generate(&mut rng, 24, 4, 1, 8, 0.2);
+    let mut model = Sequential::new(vec![
+        Box::new(Conv2d::new(&mut rng, 1, 4, 3, 1, 1)),
+        Box::new(Relu::new()),
+        Box::new(MaxPool::new(2, 2)),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(&mut rng, 4 * 4 * 4, 4)),
+    ]);
+    let mut opt = Sgd::new(0.05).with_momentum(0.9, true);
+    let stats = train_classifier(
+        &mut model,
+        |b| ds.batch(b * 8, 8),
+        3,
+        &mut opt,
+        &TrainOptions {
+            epochs: 2,
+            batch_size: 8,
+            ..Default::default()
+        },
+        None,
+        None,
+    )
+    .expect("train_classifier");
+    let weights = model
+        .params()
+        .iter()
+        .flat_map(|p| p.value.as_slice().iter().map(|v| v.to_bits()))
+        .collect();
+    let stat_bits = stats
+        .iter()
+        .flat_map(|s| [s.loss.to_bits(), s.accuracy.to_bits()])
+        .collect();
+    (weights, stat_bits)
+}
+
+#[test]
+fn train_epoch_bit_identical_across_thread_counts() {
+    for seed in [3, 17] {
+        let serial = with_threads(1, || train_fingerprint(seed));
+        for nt in THREAD_COUNTS {
+            let parallel = with_threads(nt, || train_fingerprint(seed));
+            assert_eq!(serial, parallel, "threads={nt} seed={seed}");
+        }
+    }
+}
+
+/// Build the mini-CNN for the checkpoint-resume runs.
+fn ckpt_model(rng: &mut rand::rngs::StdRng) -> Sequential {
+    Sequential::new(vec![
+        Box::new(Conv2d::new(rng, 1, 4, 3, 1, 1)),
+        Box::new(Relu::new()),
+        Box::new(MaxPool::new(2, 2)),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(rng, 4 * 4 * 4, 4)),
+    ])
+}
+
+/// PR 2's kill-and-resume bit-identity must survive the parallel runtime:
+/// an interrupted-then-resumed run under a 4-thread pool finishes with
+/// exactly the parameters of an uninterrupted serial run.
+#[test]
+fn checkpoint_resume_bit_identical_under_pool() {
+    let dir = std::env::temp_dir().join(format!("csp_par_ckpt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let opts = TrainOptions {
+        epochs: 4,
+        batch_size: 8,
+        ..Default::default()
+    };
+    let run = |path: &std::path::Path, threads: usize, stop_after: Option<usize>| -> Vec<u32> {
+        with_threads(threads, || {
+            let mut rng = seeded_rng(5);
+            let ds = ClusterImages::generate(&mut rng, 24, 4, 1, 8, 0.2);
+            let mut model = ckpt_model(&mut rng);
+            let mut opt = Sgd::new(0.05).with_momentum(0.9, true);
+            let trainer = CheckpointedTrainer::new(path, RecoveryConfig::default())
+                .expect("valid recovery config");
+            let opts_here = TrainOptions {
+                epochs: stop_after.unwrap_or(opts.epochs),
+                batch_size: opts.batch_size,
+                ..Default::default()
+            };
+            trainer
+                .train(
+                    &mut model,
+                    &mut rng,
+                    |b| ds.batch(b * 8, 8),
+                    3,
+                    &mut opt,
+                    &opts_here,
+                    None,
+                    None,
+                )
+                .expect("train");
+            model
+                .params()
+                .iter()
+                .flat_map(|p| p.value.as_slice().iter().map(|v| v.to_bits()))
+                .collect()
+        })
+    };
+
+    // Uninterrupted serial run.
+    let full_path = dir.join("full.ckpt");
+    let serial = run(&full_path, 1, None);
+    // Interrupted parallel run: stop after 2 epochs, then resume to 4,
+    // all under a 4-thread pool.
+    let resumed_path = dir.join("resumed.ckpt");
+    let _partial = run(&resumed_path, 4, Some(2));
+    let resumed = run(&resumed_path, 4, None);
+    assert_eq!(serial, resumed);
+    let _ = std::fs::remove_dir_all(&dir);
+}

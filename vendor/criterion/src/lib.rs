@@ -54,20 +54,35 @@ impl Default for Criterion {
 }
 
 impl Criterion {
+    /// A harness with an explicit iteration budget (the `CRITERION_ITERS`
+    /// environment variable still wins in [`Criterion::default`]).
+    pub fn with_iters(iters: u64) -> Self {
+        Criterion {
+            iters: iters.max(1),
+        }
+    }
+
     /// Run one named benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let per_iter = self.time_function(id, f);
+        println!(
+            "{id:<48} {:>12.3} µs/iter ({} iters)",
+            per_iter * 1e6,
+            self.iters
+        );
+        self
+    }
+
+    /// Like [`Criterion::bench_function`] but silent: returns the measured
+    /// mean seconds per iteration so callers can post-process (JSON
+    /// reports, speedup ratios) instead of only printing.
+    pub fn time_function<F: FnMut(&mut Bencher)>(&mut self, _id: &str, mut f: F) -> f64 {
         let mut b = Bencher {
             iters: self.iters,
             elapsed: Duration::ZERO,
         };
         f(&mut b);
-        let per_iter = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
-        println!(
-            "{id:<48} {:>12.3} µs/iter ({} iters)",
-            per_iter * 1e6,
-            b.iters
-        );
-        self
+        b.elapsed.as_secs_f64() / b.iters.max(1) as f64
     }
 
     /// Compatibility no-op (real criterion tunes sample counts).
