@@ -89,8 +89,10 @@ fn crash_label(c: CrashPoint) -> &'static str {
 }
 
 fn run() -> CspResult<()> {
-    let args: Vec<String> = std::env::args().collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
+    let cli = csp_bench::cli::CommonCli::parse().map_err(|what| CspError::Config { what })?;
+    cli.reject_unknown("checkpoint_study [--smoke]")
+        .map_err(|what| CspError::Config { what })?;
+    let smoke = cli.smoke;
     let dir = study_dir()?;
 
     let total_epochs = if smoke { 4 } else { 8 };

@@ -25,7 +25,7 @@
 
 use csp_accel::{CspHConfig, SerialCascadingArray};
 use csp_core::pruning::{ChunkedLayout, CspPruner};
-use csp_core::tensor::{uniform, CspResult, Tensor};
+use csp_core::tensor::{uniform, CspError, CspResult, Tensor};
 use csp_sim::{
     format_table, AreaModel, EnergyTable, FaultClass, FaultPlan, FaultReport, Protection,
 };
@@ -83,14 +83,11 @@ fn main() -> ExitCode {
 }
 
 fn run() -> CspResult<()> {
-    let args: Vec<String> = std::env::args().collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let seed = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse::<u64>().ok())
-        .unwrap_or(2022);
+    let cli = csp_bench::cli::CommonCli::parse().map_err(|what| CspError::Config { what })?;
+    cli.reject_unknown("fault_study [--smoke] [--seed N]")
+        .map_err(|what| CspError::Config { what })?;
+    let smoke = cli.smoke;
+    let seed = cli.seed_or(2022);
 
     // Small array so fault effects are visible at modest event counts.
     let cfg = CspHConfig {

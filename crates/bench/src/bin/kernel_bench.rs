@@ -24,7 +24,7 @@ use csp_core::nn::{
     Sgd, TrainOptions,
 };
 use csp_core::tensor::{conv2d, matmul, matmul_reference, uniform, Conv2dSpec, Tensor};
-use csp_runtime::{with_threads, Pool};
+use csp_runtime::with_threads;
 use std::process::ExitCode;
 
 /// One measured stage: serial and parallel seconds per iteration plus the
@@ -211,35 +211,19 @@ fn write_json(path: &str, rows: &[BenchRow], threads: usize, smoke: bool, iters:
 }
 
 fn main() -> ExitCode {
-    let mut smoke = false;
-    let mut json = false;
-    let mut out = String::from("results/BENCH_kernels.json");
-    let mut threads = Pool::current().threads();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--smoke" => smoke = true,
-            "--json" => json = true,
-            "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
-                Some(n) if n >= 1 => threads = n,
-                _ => {
-                    eprintln!("--threads requires a positive integer");
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--out" => match args.next() {
-                Some(p) => out = p,
-                None => {
-                    eprintln!("--out requires a path");
-                    return ExitCode::FAILURE;
-                }
-            },
-            other => {
-                eprintln!("unknown flag {other}; usage: kernel_bench [--smoke] [--json] [--threads N] [--out PATH]");
-                return ExitCode::FAILURE;
-            }
+    let cli = match csp_bench::cli::CommonCli::parse().and_then(|cli| {
+        cli.reject_unknown("kernel_bench [--smoke] [--json] [--threads N] [--out PATH]")?;
+        Ok(cli)
+    }) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
         }
-    }
+    };
+    let (smoke, json) = (cli.smoke, cli.json);
+    let threads = cli.threads_or_pool();
+    let out = cli.out_or("results/BENCH_kernels.json").to_string();
 
     let iters = if smoke { 2 } else { 5 };
     let mut c = match std::env::var("CRITERION_ITERS") {

@@ -59,6 +59,10 @@ fn main() -> ExitCode {
             name: "kernel_bench",
             args: &["--smoke", "--json"],
         },
+        Driver {
+            name: "serve_bench",
+            args: &["--smoke", "--json"],
+        },
     ];
     let slow = [driver("table2_cspa"), driver("fig09_truncation")];
 

@@ -1,0 +1,501 @@
+//! serve_bench — load generator for the `csp-serve` batched inference
+//! engine.
+//!
+//! Usage: `serve_bench [--smoke] [--json] [--threads N] [--out PATH]
+//! [--seed N]`
+//!
+//! Three phases:
+//!
+//! 1. **Closed loop, in-process** — sweep batch policy × concurrent
+//!    clients; each client issues its next request the moment the
+//!    previous one completes, so throughput is bounded by service time.
+//! 2. **Open loop, real TCP** — a `Server` on an ephemeral loopback port;
+//!    paced connections offer a fixed load regardless of completions,
+//!    the regime where admission control starts to matter.
+//! 3. **Overload** — a tiny queue hammered by unpaced clients; the engine
+//!    must shed with typed errors, never stall or crash.
+//!
+//! `--smoke` shrinks the sweep for CI but still pushes ≥ 100 requests
+//! through the real TCP path and verifies the smoke invariants (zero shed
+//! at low load, nonzero latency percentiles, populated batch histogram,
+//! nonzero shed under overload), exiting nonzero on violation.
+//! `--json` additionally writes `results/BENCH_serve.json`; the study
+//! table always goes to stdout and `results/serve_study.txt`.
+
+use csp_bench::cli::CommonCli;
+use csp_io::write_with_history;
+use csp_serve::testutil::{prune_to_artifact, sample_input};
+use csp_serve::{BatchPolicy, Engine, ModelRegistry, ModelSpec, Server, StatsSnapshot, TcpClient};
+use csp_tensor::{CspError, CspResult, Tensor};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const MODEL: &str = "basic";
+
+/// One measured cell of the sweep.
+struct Cell {
+    phase: &'static str,
+    label: String,
+    policy: BatchPolicy,
+    clients: usize,
+    offered_rps: Option<f64>,
+    requests: u64,
+    client_errors: u64,
+    wall_s: f64,
+    snap: StatsSnapshot,
+}
+
+/// The request samples clients rotate through (`[c, h, w]` each).
+fn request_pool(spec: ModelSpec, seed: u64) -> Vec<Tensor> {
+    (0..8)
+        .map(|i| {
+            let x = sample_input(spec, seed + i, 1);
+            let d = spec.input_dims();
+            Tensor::from_vec(x.as_slice().to_vec(), &d).expect("same length")
+        })
+        .collect()
+}
+
+/// Write the artifact crash-safely and load it back through the registry
+/// (the same path a deployment takes).
+fn registry_from_disk(spec: ModelSpec, path: &Path) -> CspResult<Arc<ModelRegistry>> {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.load_from_path(MODEL, spec, path)?;
+    Ok(registry)
+}
+
+/// Closed loop: `clients` threads, each issuing `per_client` back-to-back
+/// requests in-process.
+fn closed_loop(
+    spec: ModelSpec,
+    artifact: &Path,
+    policy: BatchPolicy,
+    workers: usize,
+    clients: usize,
+    per_client: usize,
+    seed: u64,
+) -> CspResult<Cell> {
+    let engine = Engine::start(registry_from_disk(spec, artifact)?, policy, workers)?;
+    let samples = request_pool(spec, seed);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|t| {
+            let client = engine.client();
+            let samples = samples.clone();
+            std::thread::spawn(move || {
+                let mut errors = 0u64;
+                for i in 0..per_client {
+                    let x = &samples[(t + i) % samples.len()];
+                    if client.infer(MODEL, x, None).is_err() {
+                        errors += 1;
+                    }
+                }
+                errors
+            })
+        })
+        .collect();
+    let client_errors: u64 = handles.into_iter().map(|h| h.join().unwrap_or(1)).sum();
+    let wall_s = start.elapsed().as_secs_f64();
+    let snap = engine.stats(MODEL);
+    engine.shutdown()?;
+    Ok(Cell {
+        phase: "closed",
+        label: format!("b{}w{}ms", policy.max_batch, policy.max_wait.as_millis()),
+        policy,
+        clients,
+        offered_rps: None,
+        requests: (clients * per_client) as u64,
+        client_errors,
+        wall_s,
+        snap,
+    })
+}
+
+/// Open loop over real TCP: `conns` persistent connections, each pacing
+/// requests at a fixed interval regardless of completion times.
+#[allow(clippy::too_many_arguments)]
+fn tcp_open_loop(
+    spec: ModelSpec,
+    artifact: &Path,
+    policy: BatchPolicy,
+    workers: usize,
+    conns: usize,
+    per_conn: usize,
+    pace: Duration,
+    seed: u64,
+) -> CspResult<Cell> {
+    let engine = Engine::start(registry_from_disk(spec, artifact)?, policy, workers)?;
+    let server = Server::serve(engine.client(), "127.0.0.1:0")?;
+    let addr = server.addr();
+    let samples = request_pool(spec, seed);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..conns)
+        .map(|t| {
+            let samples = samples.clone();
+            std::thread::spawn(move || -> Result<u64, CspError> {
+                let mut tcp = TcpClient::connect(&addr)?;
+                let mut errors = 0u64;
+                for i in 0..per_conn {
+                    let x = &samples[(t + i) % samples.len()];
+                    if tcp.infer(MODEL, x, None).is_err() {
+                        errors += 1;
+                    }
+                    std::thread::sleep(pace);
+                }
+                Ok(errors)
+            })
+        })
+        .collect();
+    let mut client_errors = 0u64;
+    for h in handles {
+        match h.join() {
+            Ok(Ok(e)) => client_errors += e,
+            _ => client_errors += per_conn as u64,
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let snap = engine.stats(MODEL);
+    server.shutdown()?;
+    engine.shutdown()?;
+    let offered = conns as f64 / pace.as_secs_f64().max(1e-9);
+    Ok(Cell {
+        phase: "tcp-open",
+        label: format!(
+            "b{}w{}ms@{:.0}rps",
+            policy.max_batch,
+            policy.max_wait.as_millis(),
+            offered
+        ),
+        policy,
+        clients: conns,
+        offered_rps: Some(offered),
+        requests: (conns * per_conn) as u64,
+        client_errors,
+        wall_s,
+        snap,
+    })
+}
+
+/// Overload: a deliberately tiny queue hammered by unpaced clients — the
+/// engine must shed with typed `Overloaded` errors.
+fn overload(spec: ModelSpec, artifact: &Path, seed: u64) -> CspResult<Cell> {
+    let policy = BatchPolicy {
+        max_batch: 1,
+        max_wait: Duration::ZERO,
+        queue_cap: 2,
+    };
+    let engine = Engine::start(registry_from_disk(spec, artifact)?, policy, 1)?;
+    let samples = request_pool(spec, seed);
+    let clients = 16;
+    let per_client = 25;
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|t| {
+            let client = engine.client();
+            let samples = samples.clone();
+            std::thread::spawn(move || {
+                let mut sheds = 0u64;
+                for i in 0..per_client {
+                    let x = &samples[(t + i) % samples.len()];
+                    if let Err(CspError::Overloaded { .. }) = client.infer(MODEL, x, None) {
+                        sheds += 1;
+                    }
+                }
+                sheds
+            })
+        })
+        .collect();
+    let client_sheds: u64 = handles.into_iter().map(|h| h.join().unwrap_or(0)).sum();
+    let wall_s = start.elapsed().as_secs_f64();
+    let snap = engine.stats(MODEL);
+    engine.shutdown()?;
+    Ok(Cell {
+        phase: "overload",
+        label: "cap2-burst".to_string(),
+        policy,
+        clients,
+        offered_rps: None,
+        requests: (clients * per_client) as u64,
+        client_errors: client_sheds,
+        wall_s,
+        snap,
+    })
+}
+
+fn study_table(cells: &[Cell]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<10} {:<18} {:>4} {:>8} {:>9} {:>6} {:>8} {:>9} {:>9} {:>9} {:>7}\n",
+        "phase",
+        "cell",
+        "cli",
+        "requests",
+        "completed",
+        "shed",
+        "qps",
+        "p50(us)",
+        "p95(us)",
+        "p99(us)",
+        "batch"
+    ));
+    for c in cells {
+        s.push_str(&format!(
+            "{:<10} {:<18} {:>4} {:>8} {:>9} {:>6} {:>8.0} {:>9} {:>9} {:>9} {:>7.2}\n",
+            c.phase,
+            c.label,
+            c.clients,
+            c.requests,
+            c.snap.completed,
+            c.snap.shed,
+            c.snap.qps,
+            c.snap.p50_us,
+            c.snap.p95_us,
+            c.snap.p99_us,
+            c.snap.mean_batch(),
+        ));
+    }
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(path: &str, cells: &[Cell], workers: usize, smoke: bool) {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut body = String::from("{\n");
+    body.push_str("  \"schema\": \"csp-bench/serve/v1\",\n");
+    body.push_str(&format!("  \"smoke\": {smoke},\n"));
+    body.push_str(&format!("  \"host_threads\": {host},\n"));
+    body.push_str(&format!("  \"workers\": {workers},\n"));
+    body.push_str(&format!("  \"model\": \"{}\",\n", json_escape(MODEL)));
+    body.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let hist = c
+            .snap
+            .batch_hist
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        body.push_str(&format!(
+            "    {{\"phase\": \"{}\", \"cell\": \"{}\", \"max_batch\": {}, \
+             \"max_wait_us\": {}, \"queue_cap\": {}, \"clients\": {}, \
+             \"offered_rps\": {}, \"requests\": {}, \"completed\": {}, \
+             \"failed\": {}, \"shed\": {}, \"expired\": {}, \"client_errors\": {}, \
+             \"wall_s\": {:.4}, \"qps\": {:.2}, \"p50_us\": {}, \"p95_us\": {}, \
+             \"p99_us\": {}, \"max_us\": {}, \"mean_batch\": {:.3}, \
+             \"batch_hist\": [{}]}}{}\n",
+            c.phase,
+            json_escape(&c.label),
+            c.policy.max_batch,
+            c.policy.max_wait.as_micros(),
+            c.policy.queue_cap,
+            c.clients,
+            c.offered_rps
+                .map(|r| format!("{r:.1}"))
+                .unwrap_or_else(|| "null".to_string()),
+            c.requests,
+            c.snap.completed,
+            c.snap.failed,
+            c.snap.shed,
+            c.snap.expired,
+            c.client_errors,
+            c.wall_s,
+            c.snap.qps,
+            c.snap.p50_us,
+            c.snap.p95_us,
+            c.snap.p99_us,
+            c.snap.max_us,
+            c.snap.mean_batch(),
+            hist,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    if let Some(dir) = Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(path, body) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+/// The smoke invariants the CI gate checks. Returns violation messages.
+fn check_invariants(cells: &[Cell]) -> Vec<String> {
+    let mut bad = Vec::new();
+    let tcp: Vec<&Cell> = cells.iter().filter(|c| c.phase == "tcp-open").collect();
+    let tcp_completed: u64 = tcp.iter().map(|c| c.snap.completed).sum();
+    let tcp_shed: u64 = tcp.iter().map(|c| c.snap.shed + c.snap.expired).sum();
+    if tcp_completed < 100 {
+        bad.push(format!(
+            "tcp phase completed only {tcp_completed} requests (need >= 100)"
+        ));
+    }
+    if tcp_shed != 0 {
+        bad.push(format!("tcp phase shed {tcp_shed} requests at low load"));
+    }
+    for c in cells.iter().filter(|c| c.phase != "overload") {
+        if c.snap.completed > 0 && (c.snap.p50_us == 0 || c.snap.p99_us == 0) {
+            bad.push(format!(
+                "cell {} has zero latency percentiles (p50={}, p99={})",
+                c.label, c.snap.p50_us, c.snap.p99_us
+            ));
+        }
+        if c.snap.completed > 0 && c.snap.batch_hist.iter().sum::<u64>() == 0 {
+            bad.push(format!("cell {} has an empty batch histogram", c.label));
+        }
+        if c.client_errors > 0 {
+            bad.push(format!(
+                "cell {} saw {} client-side errors at benign load",
+                c.label, c.client_errors
+            ));
+        }
+    }
+    let over_shed: u64 = cells
+        .iter()
+        .filter(|c| c.phase == "overload")
+        .map(|c| c.snap.shed)
+        .sum();
+    if over_shed == 0 {
+        bad.push("overload phase shed nothing (admission control inert)".to_string());
+    }
+    bad
+}
+
+fn run(cli: &CommonCli) -> CspResult<Vec<Cell>> {
+    let smoke = cli.smoke;
+    let seed = cli.seed_or(2022);
+    let workers = cli.threads.unwrap_or(2);
+    let spec = ModelSpec::default();
+
+    // Persist the artifact the way the pipeline does, then serve from disk.
+    let dir = std::env::temp_dir().join(format!("csp-serve-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| CspError::Io {
+        path: dir.display().to_string(),
+        what: format!("create temp dir: {e}"),
+    })?;
+    let artifact: PathBuf = dir.join("model.cspio");
+    write_with_history(&artifact, &prune_to_artifact(spec, 0.8), None)?;
+
+    let mut cells = Vec::new();
+
+    // Phase 1: closed loop, batch policy × clients.
+    let policies: &[(usize, u64)] = if smoke {
+        &[(1, 0), (8, 2)]
+    } else {
+        &[(1, 0), (4, 1), (8, 2)]
+    };
+    let client_counts: &[usize] = if smoke { &[4] } else { &[1, 4, 16] };
+    let per_client = if smoke { 40 } else { 150 };
+    for &(max_batch, wait_ms) in policies {
+        for &clients in client_counts {
+            let policy = BatchPolicy {
+                max_batch,
+                max_wait: Duration::from_millis(wait_ms),
+                queue_cap: 256,
+            };
+            cells.push(closed_loop(
+                spec, &artifact, policy, workers, clients, per_client, seed,
+            )?);
+        }
+    }
+
+    // Phase 2: open loop over real TCP.
+    let tcp_cfgs: &[(usize, usize, u64)] = if smoke {
+        &[(4, 30, 1000)] // 4 conns × 30 reqs ≥ 100, 1 ms pace
+    } else {
+        &[(2, 100, 2000), (8, 100, 500)]
+    };
+    for &(conns, per_conn, pace_us) in tcp_cfgs {
+        let policy = BatchPolicy {
+            max_batch: 8,
+            max_wait: Duration::from_millis(1),
+            queue_cap: 256,
+        };
+        cells.push(tcp_open_loop(
+            spec,
+            &artifact,
+            policy,
+            workers,
+            conns,
+            per_conn,
+            Duration::from_micros(pace_us),
+            seed,
+        )?);
+    }
+
+    // Phase 3: overload.
+    cells.push(overload(spec, &artifact, seed)?);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(cells)
+}
+
+fn main() -> ExitCode {
+    let cli = match CommonCli::parse().and_then(|cli| {
+        cli.reject_unknown("serve_bench [--smoke] [--json] [--threads N] [--out PATH] [--seed N]")?;
+        Ok(cli)
+    }) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "serve_bench: {} sweep, {} engine workers",
+        if cli.smoke { "smoke" } else { "full" },
+        cli.threads.unwrap_or(2)
+    );
+    let cells = match run(&cli) {
+        Ok(cells) => cells,
+        Err(e) => {
+            eprintln!("serve_bench failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let table = study_table(&cells);
+    print!("\n{table}");
+    let study_path = "results/serve_study.txt";
+    if let Some(dir) = Path::new(study_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let mut study = String::from("serve_bench study: batched serving under load\n\n");
+    study.push_str(&table);
+    study.push_str(
+        "\nphases: closed = in-process closed loop; tcp-open = paced open loop over\n\
+         loopback TCP; overload = unpaced burst into a cap-2 queue (shed expected).\n",
+    );
+    match std::fs::write(study_path, &study) {
+        Ok(()) => println!("wrote {study_path}"),
+        Err(e) => eprintln!("failed to write {study_path}: {e}"),
+    }
+
+    if cli.json {
+        write_json(
+            cli.out_or("results/BENCH_serve.json"),
+            &cells,
+            cli.threads.unwrap_or(2),
+            cli.smoke,
+        );
+    }
+
+    let violations = check_invariants(&cells);
+    if violations.is_empty() {
+        println!("\nall serving invariants hold");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("INVARIANT VIOLATED: {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

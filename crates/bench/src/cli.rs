@@ -1,0 +1,155 @@
+//! Shared command-line parsing for the `src/bin/*` study drivers.
+//!
+//! Every driver accepts the same core flags — `--smoke`, `--json`,
+//! `--threads N`, `--out PATH`, `--seed N` — and previously each re-parsed
+//! them by hand. [`CommonCli::parse`] centralizes that: it consumes the
+//! flags it knows, leaves everything else in [`CommonCli::rest`] for
+//! driver-specific handling, and a driver with no extra flags calls
+//! [`CommonCli::reject_unknown`] to keep strict usage errors.
+
+use csp_runtime::Pool;
+
+/// The flags shared by all study drivers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommonCli {
+    /// `--smoke`: shrink the run for CI (seconds, not minutes).
+    pub smoke: bool,
+    /// `--json`: additionally write the machine-readable results file.
+    pub json: bool,
+    /// `--threads N`: pool width override (default: ambient pool).
+    pub threads: Option<usize>,
+    /// `--out PATH`: results-file override.
+    pub out: Option<String>,
+    /// `--seed N`: RNG seed override.
+    pub seed: Option<u64>,
+    /// Arguments this parser did not recognize, in order.
+    pub rest: Vec<String>,
+}
+
+impl CommonCli {
+    /// Parse the process arguments (after the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when a flag's value is missing or invalid.
+    pub fn parse() -> Result<CommonCli, String> {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit argument iterator (tests, nesting).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message when a flag's value is missing or invalid.
+    pub fn parse_from(args: impl Iterator<Item = String>) -> Result<CommonCli, String> {
+        let mut cli = CommonCli::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--smoke" => cli.smoke = true,
+                "--json" => cli.json = true,
+                "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => cli.threads = Some(n),
+                    _ => return Err("--threads requires a positive integer".to_string()),
+                },
+                "--out" => match args.next() {
+                    Some(p) => cli.out = Some(p),
+                    None => return Err("--out requires a path".to_string()),
+                },
+                "--seed" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                    Some(s) => cli.seed = Some(s),
+                    None => return Err("--seed requires an integer".to_string()),
+                },
+                _ => cli.rest.push(arg),
+            }
+        }
+        Ok(cli)
+    }
+
+    /// Fail with a usage message if any unrecognized argument survived.
+    ///
+    /// # Errors
+    ///
+    /// Returns `"unknown flag <flag>; usage: <usage>"` for the first
+    /// leftover argument.
+    pub fn reject_unknown(&self, usage: &str) -> Result<(), String> {
+        match self.rest.first() {
+            Some(flag) => Err(format!("unknown flag {flag}; usage: {usage}")),
+            None => Ok(()),
+        }
+    }
+
+    /// The effective thread count: the `--threads` override, or the
+    /// ambient pool's width.
+    pub fn threads_or_pool(&self) -> usize {
+        self.threads.unwrap_or_else(|| Pool::current().threads())
+    }
+
+    /// The effective output path: the `--out` override, or `default`.
+    pub fn out_or<'a>(&'a self, default: &'a str) -> &'a str {
+        self.out.as_deref().unwrap_or(default)
+    }
+
+    /// The effective seed: the `--seed` override, or `default`.
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CommonCli, String> {
+        CommonCli::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_all_common_flags() {
+        let cli = parse(&[
+            "--smoke",
+            "--json",
+            "--threads",
+            "4",
+            "--out",
+            "x.json",
+            "--seed",
+            "9",
+        ])
+        .unwrap();
+        assert!(cli.smoke && cli.json);
+        assert_eq!(cli.threads, Some(4));
+        assert_eq!(cli.out.as_deref(), Some("x.json"));
+        assert_eq!(cli.seed, Some(9));
+        assert!(cli.rest.is_empty());
+        assert_eq!(cli.threads_or_pool(), 4);
+        assert_eq!(cli.out_or("d"), "x.json");
+        assert_eq!(cli.seed_or(1), 9);
+    }
+
+    #[test]
+    fn defaults_flow_through() {
+        let cli = parse(&[]).unwrap();
+        assert!(!cli.smoke && !cli.json);
+        assert_eq!(cli.out_or("default.json"), "default.json");
+        assert_eq!(cli.seed_or(7), 7);
+        assert!(cli.threads_or_pool() >= 1);
+    }
+
+    #[test]
+    fn bad_values_are_usage_errors() {
+        assert!(parse(&["--threads"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--threads", "abc"]).is_err());
+        assert!(parse(&["--out"]).is_err());
+        assert!(parse(&["--seed", "x"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_kept_for_the_driver() {
+        let cli = parse(&["--smoke", "--sweep", "3"]).unwrap();
+        assert_eq!(cli.rest, vec!["--sweep", "3"]);
+        let err = cli.reject_unknown("demo [--smoke]").unwrap_err();
+        assert!(err.contains("--sweep") && err.contains("usage"));
+    }
+}

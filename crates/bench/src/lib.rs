@@ -12,6 +12,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+
 use csp_accel::{CspH, CspHConfig};
 use csp_baselines::{Accelerator, CambriconS, CambriconX, DianNao, LayerCost, OsDataflow, SparTen};
 use csp_models::{

@@ -50,7 +50,9 @@ pub use csp_sim as sim;
 pub use csp_tensor as tensor;
 
 pub use csp_io::{RecoveryConfig, RecoveryEvent};
-pub use pipeline::{CspPipeline, LayerReport, ModelFamily, PipelineConfig, PipelineReport};
+pub use pipeline::{
+    build_family_model, CspPipeline, LayerReport, ModelFamily, PipelineConfig, PipelineReport,
+};
 pub use transformer_pipeline::{
     run_transformer_pipeline, run_transformer_pipeline_recoverable, run_transformer_pipeline_with,
     TransformerPipelineConfig, TransformerReport,

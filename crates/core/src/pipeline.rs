@@ -43,6 +43,65 @@ pub enum ModelFamily {
     Inception,
 }
 
+impl ModelFamily {
+    /// Stable lowercase name, used by serving configs and the wire level.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelFamily::Basic => "basic",
+            ModelFamily::AlexNet => "alexnet",
+            ModelFamily::Vgg => "vgg",
+            ModelFamily::ResNet => "resnet",
+            ModelFamily::Inception => "inception",
+        }
+    }
+}
+
+impl std::str::FromStr for ModelFamily {
+    type Err = CspError;
+
+    fn from_str(s: &str) -> CspResult<Self> {
+        match s {
+            "basic" => Ok(ModelFamily::Basic),
+            "alexnet" => Ok(ModelFamily::AlexNet),
+            "vgg" => Ok(ModelFamily::Vgg),
+            "resnet" => Ok(ModelFamily::ResNet),
+            "inception" => Ok(ModelFamily::Inception),
+            other => Err(CspError::Config {
+                what: format!(
+                    "unknown model family {other:?} (expected basic|alexnet|vgg|resnet|inception)"
+                ),
+            }),
+        }
+    }
+}
+
+/// Build the mini network of `family` from its deterministic seeded
+/// initialization — the forward-only entry point the serving layer uses to
+/// re-instantiate the exact skeleton a weaved artifact was pruned from.
+///
+/// The same `(family, seed, classes)` triple always yields bit-identical
+/// parameters, so a deployed model is fully described by this triple plus
+/// the weaved artifact holding its pruned weights.
+pub fn build_family_model(family: ModelFamily, seed: u64, classes: usize) -> Sequential {
+    let mut rng = csp_nn::seeded_rng(seed);
+    match family {
+        ModelFamily::Basic => Sequential::new(vec![
+            Box::new(Conv2d::new(&mut rng, 1, 8, 3, 1, 1)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool::new(2, 2)),
+            Box::new(Conv2d::new(&mut rng, 8, 16, 3, 1, 1)),
+            Box::new(Relu::new()),
+            Box::new(MaxPool::new(2, 2)),
+            Box::new(Flatten::new()),
+            Box::new(Linear::new(&mut rng, 16 * 2 * 2, classes)),
+        ]),
+        ModelFamily::AlexNet => zoo_mini::mini_alexnet(&mut rng, 1, 8, classes),
+        ModelFamily::Vgg => zoo_mini::mini_vgg(&mut rng, 1, 8, classes),
+        ModelFamily::ResNet => zoo_mini::mini_resnet(&mut rng, 1, 8, classes),
+        ModelFamily::Inception => zoo_mini::mini_inception(&mut rng, 1, 8, classes),
+    }
+}
+
 /// Configuration of a pipeline run.
 #[derive(Debug, Clone, Copy)]
 pub struct PipelineConfig {
@@ -207,23 +266,7 @@ impl CspPipeline {
     }
 
     fn build_cnn(&self, seed: u64, classes: usize) -> Sequential {
-        let mut rng = csp_nn::seeded_rng(seed);
-        match self.config.family {
-            ModelFamily::Basic => Sequential::new(vec![
-                Box::new(Conv2d::new(&mut rng, 1, 8, 3, 1, 1)),
-                Box::new(Relu::new()),
-                Box::new(MaxPool::new(2, 2)),
-                Box::new(Conv2d::new(&mut rng, 8, 16, 3, 1, 1)),
-                Box::new(Relu::new()),
-                Box::new(MaxPool::new(2, 2)),
-                Box::new(Flatten::new()),
-                Box::new(Linear::new(&mut rng, 16 * 2 * 2, classes)),
-            ]),
-            ModelFamily::AlexNet => zoo_mini::mini_alexnet(&mut rng, 1, 8, classes),
-            ModelFamily::Vgg => zoo_mini::mini_vgg(&mut rng, 1, 8, classes),
-            ModelFamily::ResNet => zoo_mini::mini_resnet(&mut rng, 1, 8, classes),
-            ModelFamily::Inception => zoo_mini::mini_inception(&mut rng, 1, 8, classes),
-        }
+        build_family_model(self.config.family, seed, classes)
     }
 
     fn eval(model: &mut Sequential, ds: &ClusterImages, batch: usize) -> Result<f32> {

@@ -1,0 +1,326 @@
+//! The dynamic batcher: a bounded request queue with max-batch-size and
+//! max-wait-deadline batch formation, plus admission control.
+//!
+//! ## Batch formation
+//!
+//! A worker blocks until the queue is non-empty, takes the oldest request,
+//! and then gathers further requests **for the same model** until either
+//! the batch holds [`BatchPolicy::max_batch`] requests or
+//! [`BatchPolicy::max_wait`] has elapsed since the oldest request was
+//! *dequeued*. Requests for other models stay queued in arrival order for
+//! the next worker. With `max_wait == 0` the batcher degrades to
+//! take-what-is-queued; with `max_batch == 1` it degrades to pure FIFO
+//! serving.
+//!
+//! ## Admission control
+//!
+//! The (crate-internal) queue's `submit` refuses work with a typed
+//! [`CspError::Overloaded`] when the queue already holds
+//! [`BatchPolicy::queue_cap`] requests or the engine is draining — load is
+//! shed at the cheapest possible point, before any tensor work.
+
+use csp_tensor::{CspError, CspResult, Tensor};
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Batch-formation and admission-control policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Largest batch a worker may execute (≥ 1).
+    pub max_batch: usize,
+    /// How long a worker may hold an incomplete batch open waiting for
+    /// more same-model requests.
+    pub max_wait: Duration,
+    /// Queue length beyond which new requests are shed (≥ 1).
+    pub queue_cap: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+            queue_cap: 256,
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// Validate the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Config`] for a zero batch size or queue cap.
+    pub fn validate(&self) -> CspResult<()> {
+        if self.max_batch == 0 {
+            return Err(CspError::Config {
+                what: "max_batch must be positive".to_string(),
+            });
+        }
+        if self.queue_cap == 0 {
+            return Err(CspError::Config {
+                what: "queue_cap must be positive (a zero cap would shed everything)".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The engine's answer to one inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferReply {
+    /// The model's output row (logits) for this request.
+    pub output: Vec<f32>,
+    /// Version of the model that produced the output — every request in a
+    /// batch carries the same version (no mixing across hot-swaps).
+    pub model_version: u64,
+    /// Size of the batch this request was executed in.
+    pub batch_size: usize,
+}
+
+/// One queued request.
+#[derive(Debug)]
+pub(crate) struct Pending {
+    /// Target model name.
+    pub model: String,
+    /// The `(c, h, w)` input sample.
+    pub input: Tensor,
+    /// Absolute deadline; a request still queued past it is shed.
+    pub deadline: Option<Instant>,
+    /// Admission timestamp (latency is measured from here).
+    pub enqueued: Instant,
+    /// Where the reply goes.
+    pub tx: Sender<CspResult<InferReply>>,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    q: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// The bounded MPSC request queue shared by clients and workers.
+#[derive(Debug)]
+pub(crate) struct BatchQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    policy: BatchPolicy,
+}
+
+impl BatchQueue {
+    pub(crate) fn new(policy: BatchPolicy) -> Self {
+        BatchQueue {
+            state: Mutex::new(QueueState::default()),
+            not_empty: Condvar::new(),
+            policy,
+        }
+    }
+
+    pub(crate) fn policy(&self) -> &BatchPolicy {
+        &self.policy
+    }
+
+    /// Admit one request, or shed it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Overloaded`] when the queue is full or closed.
+    pub(crate) fn submit(&self, p: Pending) -> CspResult<()> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(CspError::Overloaded {
+                what: "engine is draining for shutdown".to_string(),
+            });
+        }
+        if state.q.len() >= self.policy.queue_cap {
+            return Err(CspError::Overloaded {
+                what: format!("queue full ({} pending)", state.q.len()),
+            });
+        }
+        state.q.push_back(p);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Close the queue: no further admissions; workers drain what is
+    /// already queued, then [`next_batch`](Self::next_batch) returns
+    /// `None`.
+    pub(crate) fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Currently queued requests.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").q.len()
+    }
+
+    /// Block until a batch can be formed. Returns `None` once the queue is
+    /// closed **and** fully drained.
+    pub(crate) fn next_batch(&self) -> Option<Vec<Pending>> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if !state.q.is_empty() {
+                break;
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock");
+        }
+        let first = state.q.pop_front().expect("non-empty");
+        let model = first.model.clone();
+        let mut batch = vec![first];
+        let hold_until = Instant::now() + self.policy.max_wait;
+        loop {
+            // Gather queued same-model requests, preserving arrival order
+            // of everything else.
+            let mut i = 0;
+            while batch.len() < self.policy.max_batch && i < state.q.len() {
+                if state.q[i].model == model {
+                    batch.push(state.q.remove(i).expect("index in bounds"));
+                } else {
+                    i += 1;
+                }
+            }
+            if batch.len() >= self.policy.max_batch || state.closed {
+                break;
+            }
+            let now = Instant::now();
+            if now >= hold_until {
+                break;
+            }
+            let (s, timeout) = self
+                .not_empty
+                .wait_timeout(state, hold_until - now)
+                .expect("queue lock");
+            state = s;
+            if timeout.timed_out() {
+                // One final gather below, then execute what we have.
+                let mut i = 0;
+                while batch.len() < self.policy.max_batch && i < state.q.len() {
+                    if state.q[i].model == model {
+                        batch.push(state.q.remove(i).expect("index in bounds"));
+                    } else {
+                        i += 1;
+                    }
+                }
+                break;
+            }
+        }
+        // Wake another worker if requests (e.g. for other models) remain.
+        if !state.q.is_empty() {
+            self.not_empty.notify_one();
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn pending(model: &str) -> (Pending, std::sync::mpsc::Receiver<CspResult<InferReply>>) {
+        let (tx, rx) = channel();
+        (
+            Pending {
+                model: model.to_string(),
+                input: Tensor::zeros(&[1, 2, 2]),
+                deadline: None,
+                enqueued: Instant::now(),
+                tx,
+            },
+            rx,
+        )
+    }
+
+    fn queue(max_batch: usize, wait_ms: u64, cap: usize) -> BatchQueue {
+        BatchQueue::new(BatchPolicy {
+            max_batch,
+            max_wait: Duration::from_millis(wait_ms),
+            queue_cap: cap,
+        })
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(BatchPolicy::default().validate().is_ok());
+        assert!(BatchPolicy {
+            max_batch: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(BatchPolicy {
+            queue_cap: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn full_queue_sheds_with_typed_error() {
+        let q = queue(4, 0, 2);
+        q.submit(pending("m").0).unwrap();
+        q.submit(pending("m").0).unwrap();
+        let err = q.submit(pending("m").0).unwrap_err();
+        assert!(matches!(err, CspError::Overloaded { ref what } if what.contains("queue full")));
+    }
+
+    #[test]
+    fn closed_queue_sheds_and_drains() {
+        let q = queue(4, 0, 8);
+        q.submit(pending("m").0).unwrap();
+        q.close();
+        assert!(matches!(
+            q.submit(pending("m").0),
+            Err(CspError::Overloaded { .. })
+        ));
+        // The queued request is still drained...
+        assert_eq!(q.next_batch().unwrap().len(), 1);
+        // ...and only then does the worker see the end.
+        assert!(q.next_batch().is_none());
+    }
+
+    #[test]
+    fn batch_respects_max_batch_and_model_grouping() {
+        let q = queue(3, 0, 16);
+        for m in ["a", "a", "b", "a", "a"] {
+            q.submit(pending(m).0).unwrap();
+        }
+        let b1 = q.next_batch().unwrap();
+        assert_eq!(b1.len(), 3, "max_batch caps the batch");
+        assert!(b1.iter().all(|p| p.model == "a"));
+        let b2 = q.next_batch().unwrap();
+        assert_eq!(b2.len(), 1);
+        assert_eq!(b2[0].model, "b", "other models keep arrival order");
+        let b3 = q.next_batch().unwrap();
+        assert_eq!(b3.len(), 1);
+        assert_eq!(b3[0].model, "a");
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn max_wait_holds_the_batch_open() {
+        let q = std::sync::Arc::new(queue(4, 40, 16));
+        q.submit(pending("m").0).unwrap();
+        let q2 = std::sync::Arc::clone(&q);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            q2.submit(pending("m").0).unwrap();
+        });
+        let batch = q.next_batch().unwrap();
+        h.join().unwrap();
+        assert_eq!(
+            batch.len(),
+            2,
+            "request arriving within max_wait joins the open batch"
+        );
+    }
+}

@@ -1,0 +1,443 @@
+//! The batched inference engine: a worker pool draining the
+//! [`BatchQueue`](crate::batch) and executing batches on forward-only
+//! networks rebuilt from the registry.
+//!
+//! ## Determinism
+//!
+//! A batch of `N` requests returns **byte-identical** results to `N`
+//! serial single-request calls (property-tested in
+//! `tests/prop_serve_determinism.rs`). Three ingredients make this hold:
+//!
+//! 1. every kernel reached by an eval-mode forward pass is per-sample
+//!    independent — convolutions shard the batch dimension, the GEMM
+//!    computes each output row from one input row with a fixed
+//!    accumulation order, and normalization uses running statistics;
+//! 2. workers execute batches under a serial `csp-runtime` pool
+//!    (`with_threads(1)`), so the engine's own thread count never leaks
+//!    into kernel partitioning;
+//! 3. a worker grabs the model `Arc` **once per batch**, so a hot-swap
+//!    can never mix two versions inside one batch.
+
+use crate::batch::{BatchPolicy, BatchQueue, InferReply, Pending};
+use crate::registry::ModelRegistry;
+use crate::stats::{Stats, StatsSnapshot};
+use csp_nn::Sequential;
+use csp_runtime::with_threads;
+use csp_tensor::{CspError, CspResult, Tensor};
+use std::collections::HashMap;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// State shared by clients, workers, and the TCP front-end.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub(crate) registry: Arc<ModelRegistry>,
+    pub(crate) queue: BatchQueue,
+    pub(crate) stats: Stats,
+}
+
+impl Shared {
+    /// Admit one request, recording admission/shed stats.
+    pub(crate) fn submit(&self, p: Pending) -> CspResult<()> {
+        let model = p.model.clone();
+        match self.queue.submit(p) {
+            Ok(()) => {
+                self.stats.record_admitted(&model);
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.record_shed(&model);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// The serving engine: worker threads plus the shared queue/registry.
+///
+/// Dropping an `Engine` without calling [`shutdown`](Engine::shutdown)
+/// closes the queue and detaches the workers (they drain and exit);
+/// `shutdown` additionally joins them, guaranteeing every admitted request
+/// was answered.
+#[derive(Debug)]
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Start `workers` worker threads serving `registry` under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Config`] for an invalid policy or zero workers.
+    pub fn start(
+        registry: Arc<ModelRegistry>,
+        policy: BatchPolicy,
+        workers: usize,
+    ) -> CspResult<Engine> {
+        policy.validate()?;
+        if workers == 0 {
+            return Err(CspError::Config {
+                what: "engine needs at least one worker".to_string(),
+            });
+        }
+        let shared = Arc::new(Shared {
+            registry,
+            queue: BatchQueue::new(policy),
+            stats: Stats::new(policy.max_batch),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("csp-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(Engine {
+            shared,
+            workers: handles,
+        })
+    }
+
+    /// A cheap cloneable handle for submitting requests in-process.
+    pub fn client(&self) -> Client {
+        Client {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The registry this engine serves from.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.shared.registry
+    }
+
+    /// The batch policy in effect.
+    pub fn policy(&self) -> BatchPolicy {
+        *self.shared.queue.policy()
+    }
+
+    /// Snapshot one model's rolling stats.
+    pub fn stats(&self, model: &str) -> StatsSnapshot {
+        self.shared.stats.snapshot(model)
+    }
+
+    /// Snapshots for every model seen so far.
+    pub fn stats_all(&self) -> Vec<StatsSnapshot> {
+        self.shared.stats.all()
+    }
+
+    /// Graceful shutdown: refuse new admissions, drain every queued
+    /// request (each gets a response), and join the workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Io`] if a worker panicked.
+    pub fn shutdown(mut self) -> CspResult<()> {
+        self.shared.queue.close();
+        for h in std::mem::take(&mut self.workers) {
+            h.join().map_err(|_| CspError::Io {
+                path: "csp-serve worker".to_string(),
+                what: "worker thread panicked during drain".to_string(),
+            })?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+    }
+}
+
+/// An in-process client: submits a request and blocks for the reply.
+#[derive(Debug, Clone)]
+pub struct Client {
+    shared: Arc<Shared>,
+}
+
+impl Client {
+    /// Run one inference. `budget` (if given) is the end-to-end deadline:
+    /// a request still queued when it expires is shed with
+    /// [`CspError::Overloaded`] instead of executed late.
+    ///
+    /// # Errors
+    ///
+    /// [`CspError::Overloaded`] when shed (queue full, draining, or
+    /// deadline expired), [`CspError::Config`] for an unknown model or an
+    /// input that does not match the model's `(c, h, w)` shape, and any
+    /// execution error from the forward pass.
+    pub fn infer(
+        &self,
+        model: &str,
+        input: &Tensor,
+        budget: Option<Duration>,
+    ) -> CspResult<InferReply> {
+        let loaded = self.shared.registry.get(model).ok_or(CspError::Config {
+            what: format!("unknown model {model:?}"),
+        })?;
+        if input.len() != loaded.spec.input_len() {
+            return Err(CspError::Config {
+                what: format!(
+                    "input holds {} elements but model {model:?} expects {:?} = {}",
+                    input.len(),
+                    loaded.spec.input_dims(),
+                    loaded.spec.input_len()
+                ),
+            });
+        }
+        let dims = loaded.spec.input_dims();
+        let sample = Tensor::from_vec(input.as_slice().to_vec(), &dims)?;
+        let now = Instant::now();
+        let (tx, rx) = channel();
+        self.shared.submit(Pending {
+            model: model.to_string(),
+            input: sample,
+            deadline: budget.map(|b| now + b),
+            enqueued: now,
+            tx,
+        })?;
+        rx.recv().map_err(|_| CspError::Overloaded {
+            what: "engine terminated before responding".to_string(),
+        })?
+    }
+
+    /// Snapshot one model's rolling stats.
+    pub fn stats(&self, model: &str) -> StatsSnapshot {
+        self.shared.stats.snapshot(model)
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // Per-worker cache of built networks, keyed by model name; rebuilt
+    // whenever the registry's version moved.
+    let mut cache: HashMap<String, (u64, Sequential)> = HashMap::new();
+    while let Some(batch) = shared.queue.next_batch() {
+        execute_batch(shared, &mut cache, batch);
+    }
+}
+
+/// Respond to every request in `batch` with a clone of `err`.
+fn fail_batch(shared: &Shared, batch: Vec<Pending>, err: &CspError) {
+    for p in batch {
+        shared.stats.record_failed(&p.model);
+        let _ = p.tx.send(Err(err.clone()));
+    }
+}
+
+fn execute_batch(
+    shared: &Shared,
+    cache: &mut HashMap<String, (u64, Sequential)>,
+    batch: Vec<Pending>,
+) {
+    // Shed requests whose deadline expired while queued.
+    let now = Instant::now();
+    let (live, dead): (Vec<Pending>, Vec<Pending>) = batch
+        .into_iter()
+        .partition(|p| p.deadline.is_none_or(|d| d > now));
+    for p in dead {
+        shared.stats.record_expired(&p.model);
+        let _ = p.tx.send(Err(CspError::Overloaded {
+            what: format!(
+                "deadline expired after {:.1} ms in queue",
+                p.enqueued.elapsed().as_secs_f64() * 1e3
+            ),
+        }));
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    let name = live[0].model.clone();
+    // One Arc grab per batch: the whole batch executes on this version.
+    let Some(model) = shared.registry.get(&name) else {
+        fail_batch(
+            shared,
+            live,
+            &CspError::Config {
+                what: format!("model {name:?} disappeared from the registry"),
+            },
+        );
+        return;
+    };
+    let net = match cache.get(&name) {
+        Some((v, _)) if *v == model.version => &mut cache.get_mut(&name).expect("cached").1,
+        _ => match model.build() {
+            Ok(built) => {
+                cache.insert(name.clone(), (model.version, built));
+                &mut cache.get_mut(&name).expect("just inserted").1
+            }
+            Err(e) => {
+                fail_batch(shared, live, &e);
+                return;
+            }
+        },
+    };
+
+    let dims = model.spec.input_dims();
+    let per = model.spec.input_len();
+    let n = live.len();
+    let mut data = Vec::with_capacity(n * per);
+    for p in &live {
+        data.extend_from_slice(p.input.as_slice());
+    }
+    let outcome: CspResult<Tensor> = (|| {
+        let x = Tensor::from_vec(data, &[n, dims[0], dims[1], dims[2]])?;
+        // Serial kernel pool: worker-level parallelism comes from the
+        // engine's thread count, and kernel partitioning must not depend
+        // on it (determinism rule 2 at the module root).
+        Ok(with_threads(1, || net.forward(&x, false))?)
+    })();
+    match outcome {
+        Ok(y) => {
+            let c = y.dims()[1];
+            shared.stats.record_batch(&name, n);
+            for (i, p) in live.into_iter().enumerate() {
+                let row = y.as_slice()[i * c..(i + 1) * c].to_vec();
+                shared
+                    .stats
+                    .record_completed(&name, p.enqueued.elapsed().as_micros() as u64);
+                let _ = p.tx.send(Ok(InferReply {
+                    output: row,
+                    model_version: model.version,
+                    batch_size: n,
+                }));
+            }
+        }
+        Err(e) => fail_batch(shared, live, &e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelSpec;
+    use crate::testutil::{prune_to_artifact, sample_input};
+
+    fn engine_with_model(policy: BatchPolicy, workers: usize) -> (Engine, ModelSpec) {
+        let spec = ModelSpec::default();
+        let registry = Arc::new(ModelRegistry::new());
+        registry
+            .load_from_bytes("m", spec, &prune_to_artifact(spec, 0.8))
+            .unwrap();
+        (Engine::start(registry, policy, workers).unwrap(), spec)
+    }
+
+    #[test]
+    fn single_request_round_trip() {
+        let (engine, spec) = engine_with_model(BatchPolicy::default(), 1);
+        let client = engine.client();
+        let x = sample_input(spec, 5, 1);
+        let reply = client.infer("m", &x, None).unwrap();
+        assert_eq!(reply.output.len(), spec.classes);
+        assert_eq!(reply.model_version, 1);
+        assert!(reply.batch_size >= 1);
+        let stats = engine.stats("m");
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.shed, 0);
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn unknown_model_and_bad_shape_are_config_errors() {
+        let (engine, spec) = engine_with_model(BatchPolicy::default(), 1);
+        let client = engine.client();
+        let x = sample_input(spec, 5, 1);
+        assert!(matches!(
+            client.infer("ghost", &x, None),
+            Err(CspError::Config { .. })
+        ));
+        let bad = Tensor::zeros(&[3]);
+        assert!(matches!(
+            client.infer("m", &bad, None),
+            Err(CspError::Config { .. })
+        ));
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shutdown_answers_every_admitted_request() {
+        let (engine, spec) = engine_with_model(
+            BatchPolicy {
+                max_batch: 4,
+                max_wait: Duration::from_millis(1),
+                queue_cap: 64,
+            },
+            2,
+        );
+        let client = engine.client();
+        let x = sample_input(spec, 5, 1);
+        let mut threads = Vec::new();
+        for _ in 0..16 {
+            let c = client.clone();
+            let xi = x.clone();
+            threads.push(std::thread::spawn(move || c.infer("m", &xi, None)));
+        }
+        engine.shutdown().unwrap();
+        let mut answered = 0;
+        for t in threads {
+            match t.join().unwrap() {
+                Ok(_) => answered += 1,
+                // Requests arriving after close() are shed with a typed
+                // error — also an answer.
+                Err(CspError::Overloaded { .. }) => answered += 1,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert_eq!(answered, 16, "no request may hang across shutdown");
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_not_executed() {
+        let (engine, spec) = engine_with_model(
+            BatchPolicy {
+                max_batch: 1,
+                max_wait: Duration::ZERO,
+                queue_cap: 64,
+            },
+            1,
+        );
+        let client = engine.client();
+        let x = sample_input(spec, 5, 1);
+        // A deadline already in the past must come back Overloaded.
+        let err = client.infer("m", &x, Some(Duration::ZERO)).unwrap_err();
+        assert!(matches!(err, CspError::Overloaded { ref what } if what.contains("deadline")));
+        let stats = engine.stats("m");
+        assert_eq!(stats.expired, 1);
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn batching_actually_happens_under_concurrency() {
+        let (engine, spec) = engine_with_model(
+            BatchPolicy {
+                max_batch: 8,
+                max_wait: Duration::from_millis(100),
+                queue_cap: 64,
+            },
+            1,
+        );
+        let client = engine.client();
+        let mut threads = Vec::new();
+        for i in 0..8 {
+            let c = client.clone();
+            let xi = sample_input(spec, i as u64, 1);
+            threads.push(std::thread::spawn(move || c.infer("m", &xi, None).unwrap()));
+        }
+        let replies: Vec<InferReply> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        let max_seen = replies.iter().map(|r| r.batch_size).max().unwrap();
+        assert!(
+            max_seen > 1,
+            "a 100 ms hold with 8 concurrent clients must form a multi-request batch"
+        );
+        let stats = engine.stats("m");
+        assert_eq!(stats.completed, 8);
+        assert!(stats.batch_hist[max_seen] >= 1);
+        engine.shutdown().unwrap();
+    }
+}

@@ -1,0 +1,52 @@
+//! `csp-serve` — a batched inference serving engine for weaved CSP
+//! artifacts, in pure `std`.
+//!
+//! The crate turns the repository's offline pipeline artifacts into an
+//! online service:
+//!
+//! * [`registry`] loads weaved-model artifacts (with `.prev` fall-back
+//!   recovery) and hot-swaps model versions behind an `Arc`;
+//! * [`batch`] is the dynamic batcher — a bounded request queue with
+//!   max-batch-size / max-wait batch formation and admission-control
+//!   shedding ([`csp_tensor::CspError::Overloaded`]);
+//! * [`engine`] runs the worker pool; a batch of `N` requests is
+//!   byte-identical to `N` serial single-request calls;
+//! * [`protocol`] + [`server`] speak a length-prefixed binary protocol
+//!   over `std::net::TcpListener`, reusing `csp_io::wire`;
+//! * [`stats`] keeps per-model rolling QPS, latency percentiles, and the
+//!   executed batch-size histogram;
+//! * [`testutil`] builds small weaved artifacts without running the full
+//!   training pipeline (for tests and benchmarks).
+//!
+//! ```no_run
+//! use csp_serve::{BatchPolicy, Engine, ModelRegistry, ModelSpec};
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(ModelRegistry::new());
+//! registry
+//!     .load_from_path("basic", ModelSpec::default(), std::path::Path::new("model.cspio"))
+//!     .unwrap();
+//! let engine = Engine::start(registry, BatchPolicy::default(), 2).unwrap();
+//! let client = engine.client();
+//! # let input = csp_tensor::Tensor::zeros(&[1, 8, 8]);
+//! let reply = client.infer("basic", &input, None).unwrap();
+//! println!("logits = {:?} (v{})", reply.output, reply.model_version);
+//! engine.shutdown().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod engine;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod stats;
+pub mod testutil;
+
+pub use batch::{BatchPolicy, InferReply};
+pub use engine::{Client, Engine};
+pub use registry::{LoadedModel, ModelRegistry, ModelSpec};
+pub use server::{Server, TcpClient};
+pub use stats::{Stats, StatsSnapshot};

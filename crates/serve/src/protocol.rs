@@ -1,0 +1,399 @@
+//! The length-prefixed binary wire protocol spoken over TCP.
+//!
+//! Every message is one *frame*: a little-endian `u32` payload length
+//! followed by that many payload bytes (capped at [`MAX_FRAME`]). Payloads
+//! are encoded with `csp_io::wire` — the same bounds-checked Reader/Writer
+//! the artifact containers use, so a truncated or corrupted frame is
+//! always a typed [`CspError::Corrupt`], never a panic or silent garbage.
+//!
+//! ## Request payload
+//!
+//! | field        | encoding                    |
+//! |--------------|-----------------------------|
+//! | opcode       | `u8` = [`REQ_INFER`]        |
+//! | request id   | `u64` (echoed in the reply) |
+//! | model name   | length-prefixed UTF-8       |
+//! | deadline µs  | `u64`, `0` = no deadline    |
+//! | input        | tensor (dims + f32 data)    |
+//!
+//! ## Response payload
+//!
+//! | field       | encoding                                        |
+//! |-------------|-------------------------------------------------|
+//! | status      | `u8` ([`STATUS_OK`] … [`STATUS_INTERNAL`])      |
+//! | request id  | `u64`                                           |
+//! | if OK       | `u64` model version, `u32` batch size, tensor   |
+//! | otherwise   | length-prefixed UTF-8 error message             |
+
+use crate::batch::InferReply;
+use csp_io::wire::{Reader, Writer};
+use csp_tensor::{CspError, CspResult, Tensor};
+use std::io::{Read, Write};
+
+/// Largest accepted frame payload (16 MiB) — an admission bound, so a
+/// malicious or corrupted length prefix cannot trigger a huge allocation.
+pub const MAX_FRAME: usize = 1 << 24;
+
+/// Request opcode: run one inference.
+pub const REQ_INFER: u8 = 1;
+
+/// Response status: success.
+pub const STATUS_OK: u8 = 0;
+/// Response status: request shed by admission control.
+pub const STATUS_OVERLOADED: u8 = 1;
+/// Response status: artifact or frame corruption.
+pub const STATUS_CORRUPT: u8 = 2;
+/// Response status: invalid request (unknown model, bad shape, …).
+pub const STATUS_INVALID: u8 = 3;
+/// Response status: any other server-side failure.
+pub const STATUS_INTERNAL: u8 = 4;
+
+/// One decoded inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen id, echoed verbatim in the response.
+    pub id: u64,
+    /// Target model name.
+    pub model: String,
+    /// Per-request deadline in microseconds from arrival (`0` = none).
+    pub deadline_us: u64,
+    /// The input sample.
+    pub input: Tensor,
+}
+
+impl Request {
+    /// Encode this request as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(REQ_INFER);
+        w.put_u64(self.id);
+        w.put_str(&self.model);
+        w.put_u64(self.deadline_us);
+        w.put_tensor(&self.input);
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload as a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Corrupt`] for an unknown opcode, truncation, or
+    /// trailing bytes.
+    pub fn decode(payload: &[u8]) -> CspResult<Request> {
+        let mut r = Reader::new(payload, "serve-request");
+        let op = r.u8()?;
+        if op != REQ_INFER {
+            return Err(r.corrupt(format!("unknown request opcode {op}")));
+        }
+        let id = r.u64()?;
+        let model = r.str()?;
+        let deadline_us = r.u64()?;
+        let input = r.tensor()?;
+        r.expect_empty()?;
+        Ok(Request {
+            id,
+            model,
+            deadline_us,
+            input,
+        })
+    }
+}
+
+/// One decoded inference response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Echo of the request id.
+    pub id: u64,
+    /// The engine's verdict.
+    pub result: CspResult<InferReply>,
+}
+
+/// Map an engine error onto a wire status code.
+fn status_of(err: &CspError) -> u8 {
+    match err {
+        CspError::Overloaded { .. } => STATUS_OVERLOADED,
+        CspError::Corrupt { .. } => STATUS_CORRUPT,
+        CspError::Config { .. } => STATUS_INVALID,
+        _ => STATUS_INTERNAL,
+    }
+}
+
+/// The bare message to put on the wire for an engine error. For the
+/// variants [`error_of`] reconstructs from their `what` alone, send just
+/// that — sending the full `Display` would re-gain the variant's prefix
+/// on decode and double it. Everything else collapses to
+/// [`STATUS_INTERNAL`], so its full `Display` is the message.
+fn message_of(err: &CspError) -> String {
+    match err {
+        CspError::Overloaded { what }
+        | CspError::Corrupt { what, .. }
+        | CspError::Config { what } => what.clone(),
+        other => other.to_string(),
+    }
+}
+
+/// Map a wire status code plus message back onto a typed error.
+fn error_of(status: u8, message: String) -> CspError {
+    match status {
+        STATUS_OVERLOADED => CspError::Overloaded { what: message },
+        STATUS_CORRUPT => CspError::Corrupt {
+            artifact: "serve-response".to_string(),
+            what: message,
+        },
+        STATUS_INVALID => CspError::Config { what: message },
+        _ => CspError::Io {
+            path: "csp-serve".to_string(),
+            what: message,
+        },
+    }
+}
+
+impl Response {
+    /// Encode this response as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match &self.result {
+            Ok(reply) => {
+                w.put_u8(STATUS_OK);
+                w.put_u64(self.id);
+                w.put_u64(reply.model_version);
+                w.put_u32(reply.batch_size as u32);
+                let out = Tensor::from_vec(reply.output.clone(), &[reply.output.len()])
+                    .expect("rank-1 tensor always fits its data");
+                w.put_tensor(&out);
+            }
+            Err(e) => {
+                w.put_u8(status_of(e));
+                w.put_u64(self.id);
+                w.put_str(&message_of(e));
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload as a response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Corrupt`] for an unknown status, truncation, or
+    /// trailing bytes.
+    pub fn decode(payload: &[u8]) -> CspResult<Response> {
+        let mut r = Reader::new(payload, "serve-response");
+        let status = r.u8()?;
+        let id = r.u64()?;
+        let result = if status == STATUS_OK {
+            let model_version = r.u64()?;
+            let batch_size = r.u32()? as usize;
+            let out = r.tensor()?;
+            Ok(InferReply {
+                output: out.as_slice().to_vec(),
+                model_version,
+                batch_size,
+            })
+        } else if status <= STATUS_INTERNAL {
+            Err(error_of(status, r.str()?))
+        } else {
+            return Err(r.corrupt(format!("unknown response status {status}")));
+        };
+        r.expect_empty()?;
+        Ok(Response { id, result })
+    }
+}
+
+/// Write one length-prefixed frame to `w`.
+///
+/// # Errors
+///
+/// Returns [`CspError::Io`] when the payload exceeds [`MAX_FRAME`] or the
+/// underlying write fails.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> CspResult<()> {
+    let io_err = |what: String| CspError::Io {
+        path: "serve-socket".to_string(),
+        what,
+    };
+    if payload.len() > MAX_FRAME {
+        return Err(io_err(format!(
+            "frame of {} bytes exceeds MAX_FRAME ({MAX_FRAME})",
+            payload.len()
+        )));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())
+        .and_then(|()| w.write_all(payload))
+        .and_then(|()| w.flush())
+        .map_err(|e| io_err(format!("frame write failed: {e}")))
+}
+
+/// Read one length-prefixed frame from `r`. Returns `Ok(None)` on a clean
+/// EOF at a frame boundary.
+///
+/// # Errors
+///
+/// Returns [`CspError::Corrupt`] for an oversized length prefix and
+/// [`CspError::Io`] for mid-frame EOF or read failures.
+pub fn read_frame(r: &mut impl Read) -> CspResult<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(CspError::Io {
+                    path: "serve-socket".to_string(),
+                    what: "EOF inside a frame length prefix".to_string(),
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) => {
+                return Err(CspError::Io {
+                    path: "serve-socket".to_string(),
+                    what: format!("frame read failed: {e}"),
+                })
+            }
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(CspError::Corrupt {
+            artifact: "serve-frame".to_string(),
+            what: format!("length prefix {len} exceeds MAX_FRAME ({MAX_FRAME})"),
+        });
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(CspError::Io {
+                    path: "serve-socket".to_string(),
+                    what: format!("EOF after {filled} of {len} frame bytes"),
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) => {
+                return Err(CspError::Io {
+                    path: "serve-socket".to_string(),
+                    what: format!("frame read failed: {e}"),
+                })
+            }
+        }
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let req = Request {
+            id: 42,
+            model: "alexnet".to_string(),
+            deadline_us: 1500,
+            input: Tensor::from_vec(vec![1.0, -2.0, 3.5, 0.0], &[1, 2, 2]).unwrap(),
+        };
+        assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    #[test]
+    fn ok_response_round_trips() {
+        let resp = Response {
+            id: 7,
+            result: Ok(InferReply {
+                output: vec![0.25, -1.0, 9.0],
+                model_version: 3,
+                batch_size: 4,
+            }),
+        };
+        assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn error_responses_round_trip_typed() {
+        for (err, status) in [
+            (
+                CspError::Overloaded {
+                    what: "queue full".to_string(),
+                },
+                STATUS_OVERLOADED,
+            ),
+            (
+                CspError::Config {
+                    what: "unknown model".to_string(),
+                },
+                STATUS_INVALID,
+            ),
+        ] {
+            let resp = Response {
+                id: 1,
+                result: Err(err),
+            };
+            let bytes = resp.encode();
+            assert_eq!(bytes[0], status);
+            let back = Response::decode(&bytes).unwrap();
+            match (&resp.result, &back.result) {
+                (Err(a), Err(b)) => {
+                    assert_eq!(std::mem::discriminant(a), std::mem::discriminant(b));
+                    assert_eq!(
+                        a.to_string(),
+                        b.to_string(),
+                        "the decoded Display must match exactly — no prefix doubling"
+                    );
+                }
+                _ => panic!("expected errors on both sides"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_payloads_are_typed() {
+        assert!(matches!(
+            Request::decode(&[9, 0, 0]),
+            Err(CspError::Corrupt { .. })
+        ));
+        let req = Request {
+            id: 1,
+            model: "m".to_string(),
+            deadline_us: 0,
+            input: Tensor::zeros(&[2]),
+        };
+        let mut bytes = req.encode();
+        bytes.truncate(bytes.len() - 1);
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(CspError::Corrupt { .. })
+        ));
+        bytes = req.encode();
+        bytes.push(0xFF); // trailing garbage
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(CspError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn frames_round_trip_and_bound_length() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+
+        // A hostile length prefix is refused before allocation.
+        let huge = ((MAX_FRAME + 1) as u32).to_le_bytes();
+        let mut cursor = std::io::Cursor::new(huge.to_vec());
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(CspError::Corrupt { .. })
+        ));
+
+        // Mid-frame EOF is an Io error, not a hang or panic.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cursor), Err(CspError::Io { .. })));
+    }
+}

@@ -1,0 +1,459 @@
+//! The model registry: loads weaved-model artifacts, rebuilds the
+//! forward-only networks they were pruned from, and hot-swaps versions
+//! behind an `Arc`.
+//!
+//! A deployed model is fully described by a [`ModelSpec`] — the
+//! `(family, seed, classes)` triple that deterministically re-creates the
+//! network skeleton — plus the weaved artifact holding its CSP-pruned
+//! weights. The registry strict-decodes the artifact through
+//! [`csp_io::decode_weaved_model`] (so at-rest corruption is always a
+//! typed error, never silent garbage), falls back to the `.prev`
+//! generation kept by `csp-io`'s atomic writes when the primary is
+//! unusable, and publishes the result as an immutable
+//! [`Arc<LoadedModel>`]. Hot-swapping a version is one `Arc` store:
+//! in-flight batches keep serving the version they grabbed, so no response
+//! ever mixes two versions.
+
+use csp_core::{build_family_model, ModelFamily};
+use csp_io::atomic::prev_path;
+use csp_io::{decode_weaved_model, read_file, RecoveryEvent};
+use csp_nn::Sequential;
+use csp_sim::fault::FaultSession;
+use csp_tensor::{CspError, CspResult, Tensor};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Everything needed to rebuild the forward-only network a weaved artifact
+/// was pruned from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelSpec {
+    /// The mini-model family (skeleton architecture).
+    pub family: ModelFamily,
+    /// Seed of the deterministic parameter initialization. Must equal the
+    /// seed the training pipeline built the model with (`cfg.seed + 1` for
+    /// `CspPipeline`), or the artifact's layer labels will not match.
+    pub seed: u64,
+    /// Output classes.
+    pub classes: usize,
+    /// Input channel count.
+    pub channels: usize,
+    /// Input spatial extent (square `side × side` images).
+    pub side: usize,
+}
+
+impl Default for ModelSpec {
+    fn default() -> Self {
+        ModelSpec {
+            family: ModelFamily::Basic,
+            seed: 8, // CspPipeline default seed 7, built with seed + 1
+            classes: 4,
+            channels: 1,
+            side: 8,
+        }
+    }
+}
+
+impl ModelSpec {
+    /// Validate the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Config`] for degenerate dimensions.
+    pub fn validate(&self) -> CspResult<()> {
+        let reject = |what: String| Err(CspError::Config { what });
+        if self.classes < 2 {
+            return reject(format!("need at least 2 classes, got {}", self.classes));
+        }
+        if self.channels == 0 || self.side == 0 {
+            return reject(format!(
+                "input dims {}x{}x{} are degenerate",
+                self.channels, self.side, self.side
+            ));
+        }
+        Ok(())
+    }
+
+    /// The `(c, h, w)` input shape of one request sample.
+    pub fn input_dims(&self) -> [usize; 3] {
+        [self.channels, self.side, self.side]
+    }
+
+    /// Elements in one request sample.
+    pub fn input_len(&self) -> usize {
+        self.channels * self.side * self.side
+    }
+}
+
+/// One immutable loaded model version: the spec, the dense weights
+/// decompressed from the weaved artifact, and the recovery trail of the
+/// load. Workers rebuild their private [`Sequential`] from this whenever
+/// the version they cached is stale.
+#[derive(Debug)]
+pub struct LoadedModel {
+    /// Registry name the model serves under.
+    pub name: String,
+    /// Monotonic version, bumped by every (re)load or swap of this name.
+    pub version: u64,
+    /// The skeleton spec.
+    pub spec: ModelSpec,
+    /// Aggregate weight sparsity of the weaved artifact.
+    pub sparsity: f32,
+    /// Recovery actions taken while loading (`.prev` fall-backs).
+    pub recovery: Vec<RecoveryEvent>,
+    /// Per-prunable-layer `(label, dense M×c_out weights)`, in layer order.
+    weights: Vec<(String, Tensor)>,
+}
+
+impl LoadedModel {
+    /// Decode `bytes` as a weaved-model artifact and bind it to `spec`:
+    /// decompress every layer and prove the artifact fits the skeleton by
+    /// building the network once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Corrupt`] for undecodable bytes or an artifact
+    /// whose layers do not match the spec's skeleton, and
+    /// [`CspError::Config`] for an invalid spec.
+    pub fn from_artifact_bytes(
+        name: &str,
+        spec: ModelSpec,
+        version: u64,
+        bytes: &[u8],
+    ) -> CspResult<Self> {
+        spec.validate()?;
+        let layers = decode_weaved_model(bytes)?;
+        let mut nnz = 0usize;
+        let mut total = 0usize;
+        let weights: Vec<(String, Tensor)> = layers
+            .iter()
+            .map(|(label, weaved)| {
+                nnz += weaved.nnz();
+                total += weaved.layout.m() * weaved.layout.c_out();
+                (label.clone(), weaved.decompress())
+            })
+            .collect();
+        let model = LoadedModel {
+            name: name.to_string(),
+            version,
+            spec,
+            sparsity: 1.0 - nnz as f32 / total.max(1) as f32,
+            recovery: Vec::new(),
+            weights,
+        };
+        model.build()?; // prove artifact ↔ skeleton fit before publishing
+        Ok(model)
+    }
+
+    /// Instantiate a private forward-only network carrying this version's
+    /// weights. Non-pruned parameters (biases) come from the deterministic
+    /// seeded initialization named by the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Corrupt`] when the artifact's layers do not
+    /// match the skeleton (count, label, or shape).
+    pub fn build(&self) -> CspResult<Sequential> {
+        let corrupt = |what: String| CspError::Corrupt {
+            artifact: format!("weaved-model {}", self.name),
+            what,
+        };
+        let mut net = build_family_model(self.spec.family, self.spec.seed, self.spec.classes);
+        let mut prunable = net.prunable_layers();
+        if prunable.len() != self.weights.len() {
+            return Err(corrupt(format!(
+                "artifact holds {} layers but the {} skeleton has {}",
+                self.weights.len(),
+                self.spec.family.name(),
+                prunable.len()
+            )));
+        }
+        for (layer, (label, w)) in prunable.iter_mut().zip(&self.weights) {
+            if *label != layer.csp_label() {
+                return Err(corrupt(format!(
+                    "artifact layer {label:?} does not match skeleton layer {:?}",
+                    layer.csp_label()
+                )));
+            }
+            layer
+                .set_csp_weight(w)
+                .map_err(|e| corrupt(format!("weights do not fit layer {label}: {e}")))?;
+        }
+        Ok(net)
+    }
+
+    /// The decompressed dense weights, `(label, M×c_out)` per layer.
+    pub fn weights(&self) -> &[(String, Tensor)] {
+        &self.weights
+    }
+}
+
+/// The registry mapping model names to their current [`LoadedModel`]
+/// version. All methods take `&self`; the map lives behind a mutex held
+/// only for map operations (never during artifact decode or inference).
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: Mutex<HashMap<String, Arc<LoadedModel>>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ModelRegistry::default()
+    }
+
+    /// The current version serving `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Arc<LoadedModel>> {
+        self.models
+            .lock()
+            .expect("registry lock")
+            .get(name)
+            .cloned()
+    }
+
+    /// Registered model names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .models
+            .lock()
+            .expect("registry lock")
+            .keys()
+            .cloned()
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Next version number for `name` (1 for a fresh name).
+    fn next_version(&self, name: &str) -> u64 {
+        self.models
+            .lock()
+            .expect("registry lock")
+            .get(name)
+            .map(|m| m.version + 1)
+            .unwrap_or(1)
+    }
+
+    /// Publish `model` as the current version of its name. In-flight
+    /// batches holding the previous `Arc` finish on the old version.
+    fn publish(&self, model: LoadedModel) -> Arc<LoadedModel> {
+        let arc = Arc::new(model);
+        self.models
+            .lock()
+            .expect("registry lock")
+            .insert(arc.name.clone(), Arc::clone(&arc));
+        arc
+    }
+
+    /// Load (or hot-swap) `name` from in-memory artifact bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Corrupt`] / [`CspError::Config`] as
+    /// [`LoadedModel::from_artifact_bytes`] does; on error the previously
+    /// published version (if any) keeps serving.
+    pub fn load_from_bytes(
+        &self,
+        name: &str,
+        spec: ModelSpec,
+        bytes: &[u8],
+    ) -> CspResult<Arc<LoadedModel>> {
+        let version = self.next_version(name);
+        let model = LoadedModel::from_artifact_bytes(name, spec, version, bytes)?;
+        Ok(self.publish(model))
+    }
+
+    /// Load (or hot-swap) `name` from the artifact at `path`, falling back
+    /// to the `.prev` generation kept by `csp-io`'s atomic writes when the
+    /// primary generation is missing or undecodable. The fall-back is
+    /// recorded in [`LoadedModel::recovery`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the primary generation's error when no generation can be
+    /// decoded; the previously published version (if any) keeps serving.
+    pub fn load_from_path(
+        &self,
+        name: &str,
+        spec: ModelSpec,
+        path: &Path,
+    ) -> CspResult<Arc<LoadedModel>> {
+        self.load_from_path_with_faults(name, spec, path, None)
+    }
+
+    /// [`load_from_path`](Self::load_from_path) with an at-rest fault
+    /// session: every generation's bytes pass through
+    /// [`FaultSession::corrupt_artifact`] after the read, modelling bit rot
+    /// between the write and this load. The `.prev` fall-back protects the
+    /// load exactly as it does against real corruption.
+    ///
+    /// # Errors
+    ///
+    /// As [`load_from_path`](Self::load_from_path).
+    pub fn load_from_path_with_faults(
+        &self,
+        name: &str,
+        spec: ModelSpec,
+        path: &Path,
+        mut fault: Option<&mut FaultSession>,
+    ) -> CspResult<Arc<LoadedModel>> {
+        let version = self.next_version(name);
+        let mut load_gen = |p: &Path| -> CspResult<LoadedModel> {
+            let mut bytes = read_file(p)?;
+            if let Some(session) = fault.as_deref_mut() {
+                session.corrupt_artifact(&mut bytes);
+            }
+            LoadedModel::from_artifact_bytes(name, spec, version, &bytes)
+        };
+        match load_gen(path) {
+            Ok(model) => Ok(self.publish(model)),
+            Err(primary_err) => {
+                let prev = prev_path(path);
+                match load_gen(&prev) {
+                    Ok(mut model) => {
+                        model.recovery.push(RecoveryEvent {
+                            phase: "registry".to_string(),
+                            what: format!(
+                                "primary artifact unusable ({primary_err}); fell back to {}",
+                                prev.display()
+                            ),
+                        });
+                        Ok(self.publish(model))
+                    }
+                    Err(_) => Err(primary_err),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{prune_to_artifact, sample_input};
+    use csp_io::write_with_history;
+    use csp_sim::fault::{FaultClass, FaultPlan, TargetedFault};
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("csp-serve-reg-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn load_build_and_forward() {
+        let spec = ModelSpec::default();
+        let bytes = prune_to_artifact(spec, 0.8);
+        let reg = ModelRegistry::new();
+        let model = reg.load_from_bytes("m", spec, &bytes).unwrap();
+        assert_eq!(model.version, 1);
+        assert!(model.sparsity > 0.0 && model.sparsity < 1.0);
+        let mut net = model.build().unwrap();
+        let x = sample_input(spec, 3, 1);
+        let y = net.forward(&x, false).unwrap();
+        assert_eq!(y.dims(), &[1, spec.classes]);
+    }
+
+    #[test]
+    fn hot_swap_bumps_version_and_keeps_old_arc_alive() {
+        let spec = ModelSpec::default();
+        let reg = ModelRegistry::new();
+        let v1 = reg
+            .load_from_bytes("m", spec, &prune_to_artifact(spec, 0.8))
+            .unwrap();
+        let v2 = reg
+            .load_from_bytes("m", spec, &prune_to_artifact(spec, 1.4))
+            .unwrap();
+        assert_eq!((v1.version, v2.version), (1, 2));
+        // The old Arc still builds and serves: in-flight batches are safe.
+        assert!(v1.build().is_ok());
+        assert_eq!(reg.get("m").unwrap().version, 2);
+    }
+
+    #[test]
+    fn corrupt_bytes_are_typed_and_do_not_unpublish() {
+        let spec = ModelSpec::default();
+        let reg = ModelRegistry::new();
+        let good = prune_to_artifact(spec, 0.8);
+        reg.load_from_bytes("m", spec, &good).unwrap();
+        let mut bad = good.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        assert!(matches!(
+            reg.load_from_bytes("m", spec, &bad),
+            Err(CspError::Corrupt { .. })
+        ));
+        assert_eq!(
+            reg.get("m").unwrap().version,
+            1,
+            "old version keeps serving"
+        );
+    }
+
+    #[test]
+    fn spec_mismatch_is_rejected_at_load() {
+        let spec = ModelSpec::default();
+        let bytes = prune_to_artifact(spec, 0.8);
+        let reg = ModelRegistry::new();
+        let wrong = ModelSpec {
+            family: ModelFamily::Vgg,
+            ..spec
+        };
+        assert!(matches!(
+            reg.load_from_bytes("m", wrong, &bytes),
+            Err(CspError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn at_rest_fault_on_primary_falls_back_to_prev() {
+        let spec = ModelSpec::default();
+        let dir = tmp_dir("fault");
+        let path = dir.join("model.cspio");
+        let gen1 = prune_to_artifact(spec, 0.8);
+        let gen2 = prune_to_artifact(spec, 1.4);
+        write_with_history(&path, &gen1, None).unwrap();
+        write_with_history(&path, &gen2, None).unwrap(); // gen1 → .prev
+                                                         // One targeted at-rest strike inside the primary read: the .prev
+                                                         // read that follows sees no further faults.
+        let mut session = FaultSession::new(FaultPlan::targeted(
+            vec![TargetedFault {
+                class: FaultClass::ArtifactAtRest,
+                event: (gen2.len() / 2) as u64,
+                bit: 3,
+            }],
+            7,
+        ));
+        let reg = ModelRegistry::new();
+        let model = reg
+            .load_from_path_with_faults("m", spec, &path, Some(&mut session))
+            .unwrap();
+        // The fall-back served gen1 (the .prev generation), not a crash.
+        let expect = LoadedModel::from_artifact_bytes("m", spec, 1, &gen1).unwrap();
+        assert_eq!(model.weights().len(), expect.weights().len());
+        for ((la, wa), (lb, wb)) in model.weights().iter().zip(expect.weights()) {
+            assert_eq!(la, lb);
+            assert_eq!(wa, wb, "fallback must serve the .prev weights");
+        }
+        assert!(
+            model.recovery.iter().any(|e| e.what.contains("fell back")),
+            "recovery trail missing: {:?}",
+            model.recovery
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn both_generations_corrupt_returns_primary_error() {
+        let spec = ModelSpec::default();
+        let dir = tmp_dir("bothbad");
+        let path = dir.join("model.cspio");
+        std::fs::write(&path, b"garbage").unwrap();
+        std::fs::write(prev_path(&path), b"also garbage").unwrap();
+        let reg = ModelRegistry::new();
+        assert!(reg.load_from_path("m", spec, &path).is_err());
+        assert!(reg.get("m").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

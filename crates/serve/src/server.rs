@@ -1,0 +1,331 @@
+//! TCP front-end: a `std::net::TcpListener` accept loop handing each
+//! connection to its own thread, speaking the length-prefixed
+//! [`protocol`](crate::protocol) frames, with graceful drain on shutdown.
+//!
+//! Connections are read with a short poll timeout so the accept and
+//! connection threads notice a shutdown promptly; a request already read
+//! off the wire always gets its response before the connection closes.
+
+use crate::batch::InferReply;
+use crate::engine::Client;
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use csp_tensor::{CspError, CspResult, Tensor};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often a blocked connection read re-checks the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+fn sock_err(what: String) -> CspError {
+    CspError::Io {
+        path: "serve-socket".to_string(),
+        what,
+    }
+}
+
+/// The TCP serving front-end. Dropping without
+/// [`shutdown`](Server::shutdown) stops accepting but does not join the
+/// connection threads.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// accepting connections, serving them through `client`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Io`] when the bind fails.
+    pub fn serve(client: Client, addr: &str) -> CspResult<Server> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| sock_err(format!("bind {addr} failed: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| sock_err(format!("local_addr failed: {e}")))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("csp-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &client, &stop))
+                .map_err(|e| sock_err(format!("spawn accept thread failed: {e}")))?
+        };
+        Ok(Server {
+            addr: local,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, let every connection finish the
+    /// request it already read, and join all threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Io`] if the accept thread panicked.
+    pub fn shutdown(mut self) -> CspResult<()> {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            h.join()
+                .map_err(|_| sock_err("accept thread panicked".to_string()))?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, client: &Client, stop: &Arc<AtomicBool>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let client = client.clone();
+                let stop = Arc::clone(stop);
+                if let Ok(h) = std::thread::Builder::new()
+                    .name("csp-serve-conn".to_string())
+                    .spawn(move || handle_connection(stream, &client, &stop))
+                {
+                    conns.push(h);
+                }
+            }
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+        // Reap finished connection threads so the vec stays bounded.
+        conns.retain(|h| !h.is_finished());
+    }
+    // Drain: every connection answers the request it already read.
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// Like [`read_frame`], but on a socket with a poll timeout: between
+/// frames, a quiet socket re-checks `stop` every [`POLL_INTERVAL`] and
+/// returns `None` once shutdown is requested. A partially received frame
+/// keeps reading (the client is mid-send).
+fn read_frame_polled(stream: &mut TcpStream, stop: &AtomicBool) -> CspResult<Option<Vec<u8>>> {
+    // Peek one byte with the poll timeout to learn whether a frame is
+    // inbound; once it is, read the full frame blocking-style.
+    let mut one = [0u8; 1];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        match stream.peek(&mut one) {
+            Ok(0) => return Ok(None), // clean EOF between frames
+            Ok(_) => break,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => return Err(sock_err(format!("poll failed: {e}"))),
+        }
+    }
+    // A frame is inbound: give mid-frame reads a generous timeout so a
+    // stalled client cannot pin the connection thread forever.
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| sock_err(format!("set_read_timeout failed: {e}")))?;
+    let frame = read_frame(stream);
+    stream
+        .set_read_timeout(Some(POLL_INTERVAL))
+        .map_err(|e| sock_err(format!("set_read_timeout failed: {e}")))?;
+    frame
+}
+
+fn handle_connection(mut stream: TcpStream, client: &Client, stop: &AtomicBool) {
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    loop {
+        let payload = match read_frame_polled(&mut stream, stop) {
+            Ok(Some(p)) => p,
+            Ok(None) => return,
+            Err(_) => return, // broken socket: nothing left to answer
+        };
+        let response = match Request::decode(&payload) {
+            Ok(req) => {
+                let deadline =
+                    (req.deadline_us > 0).then(|| Duration::from_micros(req.deadline_us));
+                Response {
+                    id: req.id,
+                    result: client.infer(&req.model, &req.input, deadline),
+                }
+            }
+            // Undecodable request: answer with id 0 (the id is inside the
+            // part we could not trust) and drop the connection, since the
+            // stream may be desynchronized.
+            Err(e) => {
+                let _ = write_frame(
+                    &mut stream,
+                    &Response {
+                        id: 0,
+                        result: Err(e),
+                    }
+                    .encode(),
+                );
+                return;
+            }
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+/// A blocking TCP client for the serve protocol.
+#[derive(Debug)]
+pub struct TcpClient {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl TcpClient {
+    /// Connect to a [`Server`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Io`] when the connection fails.
+    pub fn connect(addr: &SocketAddr) -> CspResult<TcpClient> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| sock_err(format!("connect {addr} failed: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| sock_err(format!("set_nodelay failed: {e}")))?;
+        Ok(TcpClient { stream, next_id: 1 })
+    }
+
+    /// Run one inference over the wire. `budget`, if given, becomes the
+    /// request's server-side deadline.
+    ///
+    /// # Errors
+    ///
+    /// The engine's typed error (decoded from the response frame), or
+    /// [`CspError::Io`] / [`CspError::Corrupt`] for transport failures.
+    pub fn infer(
+        &mut self,
+        model: &str,
+        input: &Tensor,
+        budget: Option<Duration>,
+    ) -> CspResult<InferReply> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = Request {
+            id,
+            model: model.to_string(),
+            deadline_us: budget.map_or(0, |b| b.as_micros() as u64),
+            input: input.clone(),
+        };
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            sock_err("server closed the connection before responding".to_string())
+        })?;
+        let resp = Response::decode(&payload)?;
+        if resp.id != id && resp.id != 0 {
+            return Err(CspError::Corrupt {
+                artifact: "serve-response".to_string(),
+                what: format!("response id {} does not match request id {id}", resp.id),
+            });
+        }
+        resp.result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::BatchPolicy;
+    use crate::engine::Engine;
+    use crate::registry::{ModelRegistry, ModelSpec};
+    use crate::testutil::{prune_to_artifact, sample_input};
+
+    fn serve_engine() -> (Engine, ModelSpec) {
+        let spec = ModelSpec::default();
+        let registry = Arc::new(ModelRegistry::new());
+        registry
+            .load_from_bytes("m", spec, &prune_to_artifact(spec, 0.8))
+            .unwrap();
+        let engine = Engine::start(registry, BatchPolicy::default(), 2).unwrap();
+        (engine, spec)
+    }
+
+    #[test]
+    fn tcp_round_trip_matches_in_process() {
+        let (engine, spec) = serve_engine();
+        let server = Server::serve(engine.client(), "127.0.0.1:0").unwrap();
+        let mut tcp = TcpClient::connect(&server.addr()).unwrap();
+        let x = sample_input(spec, 11, 1);
+        let remote = tcp.infer("m", &x, None).unwrap();
+        let local = engine.client().infer("m", &x, None).unwrap();
+        assert_eq!(remote.output, local.output, "wire adds no numeric drift");
+        assert_eq!(remote.model_version, local.model_version);
+        server.shutdown().unwrap();
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn typed_errors_survive_the_wire() {
+        let (engine, spec) = serve_engine();
+        let server = Server::serve(engine.client(), "127.0.0.1:0").unwrap();
+        let mut tcp = TcpClient::connect(&server.addr()).unwrap();
+        let x = sample_input(spec, 11, 1);
+        assert!(matches!(
+            tcp.infer("ghost", &x, None),
+            Err(CspError::Config { .. })
+        ));
+        // The connection survives a well-formed but invalid request.
+        assert!(tcp.infer("m", &x, None).is_ok());
+        server.shutdown().unwrap();
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_cleanly() {
+        let (engine, spec) = serve_engine();
+        let server = Server::serve(engine.client(), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        let x = sample_input(spec, 3, 1);
+        let mut tcp = TcpClient::connect(&addr).unwrap();
+        assert!(tcp.infer("m", &x, None).is_ok());
+        server.shutdown().unwrap();
+        // After shutdown the port no longer answers the protocol.
+        let mut late = match TcpClient::connect(&addr) {
+            Ok(c) => c,
+            Err(_) => {
+                engine.shutdown().unwrap();
+                return;
+            }
+        };
+        assert!(late.infer("m", &x, None).is_err());
+        engine.shutdown().unwrap();
+    }
+}

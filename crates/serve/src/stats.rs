@@ -1,0 +1,274 @@
+//! Per-model rolling serving statistics: admission/shed/expiry counters,
+//! batch-size histogram, and latency percentiles over a bounded ring of
+//! recent requests.
+//!
+//! Recording is a short mutex-protected counter update on the request
+//! path; percentile math happens only when a snapshot is taken, so stats
+//! never sit between a worker and its batch.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Capacity of the per-model latency ring (recent requests kept for
+/// percentile estimation).
+pub const LATENCY_RING: usize = 16_384;
+
+/// One model's counters and latency ring.
+#[derive(Debug)]
+struct Inner {
+    admitted: u64,
+    completed: u64,
+    failed: u64,
+    shed: u64,
+    expired: u64,
+    batches: u64,
+    /// `batch_hist[b]` = batches executed with exactly `b` requests;
+    /// oversized batches land in the last bucket.
+    batch_hist: Vec<u64>,
+    /// Ring of recent request latencies in microseconds.
+    latencies_us: Vec<u64>,
+    ring_next: usize,
+    first_admit: Option<Instant>,
+    last_done: Option<Instant>,
+}
+
+impl Inner {
+    fn new(max_batch: usize) -> Self {
+        Inner {
+            admitted: 0,
+            completed: 0,
+            failed: 0,
+            shed: 0,
+            expired: 0,
+            batches: 0,
+            batch_hist: vec![0; max_batch + 1],
+            latencies_us: Vec::new(),
+            ring_next: 0,
+            first_admit: None,
+            last_done: None,
+        }
+    }
+
+    fn push_latency(&mut self, us: u64) {
+        if self.latencies_us.len() < LATENCY_RING {
+            self.latencies_us.push(us);
+        } else {
+            self.latencies_us[self.ring_next] = us;
+            self.ring_next = (self.ring_next + 1) % LATENCY_RING;
+        }
+    }
+}
+
+/// An immutable snapshot of one model's serving stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Model name.
+    pub model: String,
+    /// Requests accepted into the queue.
+    pub admitted: u64,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests answered with an execution error.
+    pub failed: u64,
+    /// Requests refused at admission (queue full / engine draining).
+    pub shed: u64,
+    /// Requests whose deadline expired before a worker reached them.
+    pub expired: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// `batch_hist[b]` = batches of size `b` (last bucket = "or larger").
+    pub batch_hist: Vec<u64>,
+    /// Median request latency (admission → response), microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Worst latency in the ring, microseconds.
+    pub max_us: u64,
+    /// Completed requests per second over the active window (first
+    /// admission → last completion).
+    pub qps: f64,
+}
+
+impl StatsSnapshot {
+    /// Mean executed batch size.
+    pub fn mean_batch(&self) -> f64 {
+        let total: u64 = self
+            .batch_hist
+            .iter()
+            .enumerate()
+            .map(|(b, &n)| b as u64 * n)
+            .sum();
+        if self.batches == 0 {
+            0.0
+        } else {
+            total as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Thread-safe per-model stats collector.
+#[derive(Debug)]
+pub struct Stats {
+    map: Mutex<HashMap<String, Inner>>,
+    max_batch: usize,
+}
+
+impl Stats {
+    /// A collector whose batch histograms cover `0..=max_batch`.
+    pub fn new(max_batch: usize) -> Self {
+        Stats {
+            map: Mutex::new(HashMap::new()),
+            max_batch: max_batch.max(1),
+        }
+    }
+
+    fn with<R>(&self, model: &str, f: impl FnOnce(&mut Inner) -> R) -> R {
+        let mut map = self.map.lock().expect("stats lock");
+        let max_batch = self.max_batch;
+        let inner = map
+            .entry(model.to_string())
+            .or_insert_with(|| Inner::new(max_batch));
+        f(inner)
+    }
+
+    pub(crate) fn record_admitted(&self, model: &str) {
+        self.with(model, |s| {
+            s.admitted += 1;
+            s.first_admit.get_or_insert_with(Instant::now);
+        });
+    }
+
+    pub(crate) fn record_shed(&self, model: &str) {
+        self.with(model, |s| s.shed += 1);
+    }
+
+    pub(crate) fn record_expired(&self, model: &str) {
+        self.with(model, |s| s.expired += 1);
+    }
+
+    pub(crate) fn record_batch(&self, model: &str, size: usize) {
+        self.with(model, |s| {
+            s.batches += 1;
+            let bucket = size.min(s.batch_hist.len() - 1);
+            s.batch_hist[bucket] += 1;
+        });
+    }
+
+    pub(crate) fn record_completed(&self, model: &str, latency_us: u64) {
+        self.with(model, |s| {
+            s.completed += 1;
+            s.last_done = Some(Instant::now());
+            s.push_latency(latency_us);
+        });
+    }
+
+    pub(crate) fn record_failed(&self, model: &str) {
+        self.with(model, |s| s.failed += 1);
+    }
+
+    /// Snapshot one model's stats (zeroed snapshot for an unknown name).
+    pub fn snapshot(&self, model: &str) -> StatsSnapshot {
+        self.with(model, |s| {
+            let mut sorted = s.latencies_us.clone();
+            sorted.sort_unstable();
+            let pct = |q: f64| -> u64 {
+                if sorted.is_empty() {
+                    0
+                } else {
+                    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+                }
+            };
+            let window = match (s.first_admit, s.last_done) {
+                (Some(a), Some(b)) => b.duration_since(a).as_secs_f64(),
+                _ => 0.0,
+            };
+            StatsSnapshot {
+                model: model.to_string(),
+                admitted: s.admitted,
+                completed: s.completed,
+                failed: s.failed,
+                shed: s.shed,
+                expired: s.expired,
+                batches: s.batches,
+                batch_hist: s.batch_hist.clone(),
+                p50_us: pct(0.50),
+                p95_us: pct(0.95),
+                p99_us: pct(0.99),
+                max_us: sorted.last().copied().unwrap_or(0),
+                qps: if window > 0.0 {
+                    s.completed as f64 / window
+                } else {
+                    0.0
+                },
+            }
+        })
+    }
+
+    /// Snapshots of every model seen so far, sorted by name.
+    pub fn all(&self) -> Vec<StatsSnapshot> {
+        let names: Vec<String> = {
+            let map = self.map.lock().expect("stats lock");
+            map.keys().cloned().collect()
+        };
+        let mut names = names;
+        names.sort();
+        names.iter().map(|n| self.snapshot(n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_percentiles() {
+        let s = Stats::new(8);
+        for i in 0..100u64 {
+            s.record_admitted("m");
+            s.record_completed("m", (i + 1) * 10);
+        }
+        s.record_batch("m", 4);
+        s.record_batch("m", 4);
+        s.record_batch("m", 9); // clamps into the last bucket
+        s.record_shed("m");
+        s.record_expired("m");
+        let snap = s.snapshot("m");
+        assert_eq!(snap.admitted, 100);
+        assert_eq!(snap.completed, 100);
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.expired, 1);
+        assert_eq!(snap.batches, 3);
+        assert_eq!(snap.batch_hist[4], 2);
+        assert_eq!(snap.batch_hist[8], 1);
+        // round((100-1) * 0.5) = 50 → sorted[50] = 510 µs
+        assert_eq!(snap.p50_us, 510);
+        assert!(snap.p99_us >= 980 && snap.p99_us <= 1000);
+        assert_eq!(snap.max_us, 1000);
+        assert!((snap.mean_batch() - (4 + 4 + 8) as f64 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_ring_is_bounded() {
+        let s = Stats::new(4);
+        for i in 0..(LATENCY_RING as u64 + 100) {
+            s.record_completed("m", i);
+        }
+        let snap = s.snapshot("m");
+        assert_eq!(snap.completed, LATENCY_RING as u64 + 100);
+        // The oldest samples were overwritten: the minimum surviving
+        // latency is at least 100.
+        assert!(snap.p50_us >= 100);
+    }
+
+    #[test]
+    fn unknown_model_snapshot_is_zeroed() {
+        let s = Stats::new(4);
+        let snap = s.snapshot("ghost");
+        assert_eq!(snap.completed, 0);
+        assert_eq!(snap.qps, 0.0);
+        assert_eq!(snap.p99_us, 0);
+    }
+}

@@ -105,6 +105,13 @@ pub enum CspError {
         /// `Clone`/`PartialEq`, unlike `std::io::Error`).
         what: String,
     },
+    /// The serving engine shed this request: the admission queue was full,
+    /// the request's deadline expired before a worker reached it, or the
+    /// engine is draining for shutdown. Clients should back off and retry.
+    Overloaded {
+        /// Why admission control refused the request.
+        what: String,
+    },
 }
 
 impl fmt::Display for CspError {
@@ -123,6 +130,7 @@ impl fmt::Display for CspError {
                 write!(f, "corrupt artifact {artifact}: {what}")
             }
             CspError::Io { path, what } => write!(f, "io error on {path}: {what}"),
+            CspError::Overloaded { what } => write!(f, "overloaded: {what}"),
         }
     }
 }
@@ -217,5 +225,10 @@ mod tests {
             what: "arr_w must be positive".into(),
         };
         assert!(c.to_string().contains("arr_w"));
+        let o = CspError::Overloaded {
+            what: "queue full (256 pending)".into(),
+        };
+        assert!(o.to_string().contains("overloaded"));
+        assert!(o.to_string().contains("queue full"));
     }
 }

@@ -1,0 +1,210 @@
+//! Serving-determinism property suite: a batch of `N` requests through the
+//! `csp-serve` engine must be **bit-identical** to `N` serial
+//! single-request calls, for any batch composition and any worker-pool
+//! size — and a registry hot-swap mid-stream must never yield a response
+//! mixing two model versions.
+//!
+//! The serial twin is the forward-only network built straight from the
+//! same weaved artifact, run one sample at a time under a single-thread
+//! kernel pool (exactly what the engine pins its workers to).
+
+use csp_runtime::with_threads;
+use csp_serve::testutil::{prune_to_artifact, sample_input};
+use csp_serve::{BatchPolicy, Engine, ModelRegistry, ModelSpec};
+use csp_tensor::Tensor;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const POOL_SIZES: [usize; 4] = [1, 2, 4, 8];
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// One sample shaped `[c, h, w]` (what a client submits).
+fn request_sample(spec: ModelSpec, seed: u64) -> Tensor {
+    let x = sample_input(spec, seed, 1);
+    let d = spec.input_dims();
+    Tensor::from_vec(x.as_slice().to_vec(), &d).expect("same length")
+}
+
+/// Serial reference: build the network from the artifact and run each
+/// sample alone under a one-thread kernel pool.
+fn serial_reference(spec: ModelSpec, artifact: &[u8], samples: &[Tensor]) -> Vec<Vec<u32>> {
+    let reg = ModelRegistry::new();
+    let model = reg.load_from_bytes("ref", spec, artifact).expect("load");
+    let mut net = model.build().expect("build");
+    samples
+        .iter()
+        .map(|s| {
+            let d = spec.input_dims();
+            let x = Tensor::from_vec(s.as_slice().to_vec(), &[1, d[0], d[1], d[2]])
+                .expect("same length");
+            let y = with_threads(1, || net.forward(&x, false)).expect("forward");
+            bits(y.as_slice())
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Kernel-level core of the contract: an `[n, …]` batched forward is
+    /// bitwise the concatenation of `n` single-sample forwards, for every
+    /// kernel-pool size.
+    #[test]
+    fn batched_forward_bit_identical_to_serial(
+        n in 1usize..=8,
+        seed in 0u64..1000,
+        q in 0.6f32..1.6,
+    ) {
+        let spec = ModelSpec::default();
+        let artifact = prune_to_artifact(spec, q);
+        let samples: Vec<Tensor> =
+            (0..n).map(|i| request_sample(spec, seed + i as u64)).collect();
+        let reference = serial_reference(spec, &artifact, &samples);
+
+        let reg = ModelRegistry::new();
+        let model = reg.load_from_bytes("m", spec, &artifact).expect("load");
+        let d = spec.input_dims();
+        let mut stacked = Vec::with_capacity(n * spec.input_len());
+        for s in &samples {
+            stacked.extend_from_slice(s.as_slice());
+        }
+        let x = Tensor::from_vec(stacked, &[n, d[0], d[1], d[2]]).expect("shape");
+        for threads in POOL_SIZES {
+            let mut net = model.build().expect("build");
+            let y = with_threads(threads, || net.forward(&x, false)).expect("forward");
+            let c = y.dims()[1];
+            for (i, want) in reference.iter().enumerate() {
+                let got = bits(&y.as_slice()[i * c..(i + 1) * c]);
+                prop_assert_eq!(
+                    &got, want,
+                    "row {} differs from its serial twin at {} kernel threads", i, threads
+                );
+            }
+        }
+    }
+
+    /// End-to-end: the same property through the full engine — dynamic
+    /// batcher, worker pool of 1/2/4/8 threads, concurrent submission.
+    #[test]
+    fn engine_replies_bit_identical_to_serial(
+        n in 1usize..=6,
+        seed in 0u64..1000,
+    ) {
+        let spec = ModelSpec::default();
+        let artifact = prune_to_artifact(spec, 0.8);
+        let samples: Vec<Tensor> =
+            (0..n).map(|i| request_sample(spec, seed + i as u64)).collect();
+        let reference = serial_reference(spec, &artifact, &samples);
+
+        for workers in POOL_SIZES {
+            let registry = Arc::new(ModelRegistry::new());
+            registry.load_from_bytes("m", spec, &artifact).expect("load");
+            let engine = Engine::start(
+                registry,
+                BatchPolicy {
+                    max_batch: 8,
+                    max_wait: Duration::from_millis(20),
+                    queue_cap: 64,
+                },
+                workers,
+            )
+            .expect("engine");
+            let client = engine.client();
+            let handles: Vec<_> = samples
+                .iter()
+                .cloned()
+                .map(|s| {
+                    let c = client.clone();
+                    std::thread::spawn(move || c.infer("m", &s, None).expect("infer"))
+                })
+                .collect();
+            for (i, h) in handles.into_iter().enumerate() {
+                let reply = h.join().expect("client thread");
+                prop_assert_eq!(
+                    bits(&reply.output),
+                    reference[i].clone(),
+                    "request {} differs from its serial twin at {} workers", i, workers
+                );
+            }
+            engine.shutdown().expect("shutdown");
+        }
+    }
+}
+
+/// A hot-swap racing a stream of concurrent requests: every reply must be
+/// bitwise the output of exactly the version it reports — never a blend.
+#[test]
+fn hot_swap_never_mixes_versions() {
+    let spec = ModelSpec::default();
+    let art_v1 = prune_to_artifact(spec, 0.8);
+    let art_v2 = prune_to_artifact(spec, 1.4);
+    let n_inputs = 6usize;
+    let samples: Vec<Tensor> = (0..n_inputs)
+        .map(|i| request_sample(spec, 100 + i as u64))
+        .collect();
+    let ref_v1 = serial_reference(spec, &art_v1, &samples);
+    let ref_v2 = serial_reference(spec, &art_v2, &samples);
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .load_from_bytes("m", spec, &art_v1)
+        .expect("load v1");
+    let engine = Engine::start(
+        Arc::clone(&registry),
+        BatchPolicy {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            queue_cap: 256,
+        },
+        2,
+    )
+    .expect("engine");
+    let client = engine.client();
+
+    let mut clients = Vec::new();
+    for t in 0..4usize {
+        let c = client.clone();
+        let samples = samples.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut seen = Vec::new();
+            for round in 0..30usize {
+                let idx = (t + round) % samples.len();
+                let reply = c.infer("m", &samples[idx], None).expect("infer");
+                seen.push((idx, reply));
+            }
+            seen
+        }));
+    }
+    // Swap mid-stream.
+    std::thread::sleep(Duration::from_millis(5));
+    registry
+        .load_from_bytes("m", spec, &art_v2)
+        .expect("swap to v2");
+
+    let mut versions_seen = std::collections::BTreeSet::new();
+    for h in clients {
+        for (idx, reply) in h.join().expect("client thread") {
+            versions_seen.insert(reply.model_version);
+            let want = match reply.model_version {
+                1 => &ref_v1[idx],
+                2 => &ref_v2[idx],
+                v => panic!("reply reports unknown version {v}"),
+            };
+            assert_eq!(
+                &bits(&reply.output),
+                want,
+                "reply mixes versions: reported v{} but bits do not match it",
+                reply.model_version
+            );
+        }
+    }
+    assert!(
+        versions_seen.contains(&2),
+        "the swapped-in version must serve the tail of the stream"
+    );
+    engine.shutdown().expect("shutdown");
+}
