@@ -2,6 +2,7 @@
 //! simultaneous serial flush, and per-pass clock gating (Section 5.1).
 
 use crate::regbin::{regbin_index_of_chunk, regbin_start, RegBin, RegBinEvents, NUM_REGBINS};
+use csp_telemetry::Registry;
 
 /// Statistics of one flush of the accumulation buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +23,14 @@ pub struct FlushStats {
 #[derive(Debug, Clone)]
 pub struct AccumBuffer {
     bins: Vec<RegBin>,
+    /// Chunks touched since the last pass boundary (62 entries ≤ 64 bits).
+    touch_mask: u64,
+    /// Most chunks any single pass has held — the occupancy high-water
+    /// mark published to telemetry.
+    occupancy_hwm: u32,
+    /// Per-bin event counts already published, so telemetry publishes
+    /// deltas and repeated publishes never double-count.
+    published: [RegBinEvents; NUM_REGBINS],
 }
 
 impl Default for AccumBuffer {
@@ -35,6 +44,9 @@ impl AccumBuffer {
     pub fn new() -> Self {
         AccumBuffer {
             bins: (0..NUM_REGBINS).map(RegBin::new).collect(),
+            touch_mask: 0,
+            occupancy_hwm: 0,
+            published: [RegBinEvents::default(); NUM_REGBINS],
         }
     }
 
@@ -55,6 +67,7 @@ impl AccumBuffer {
     pub fn accumulate(&mut self, chunk: usize, delta: f32, row_chunk_count: usize) -> f32 {
         let b = regbin_index_of_chunk(chunk);
         let offset = chunk - regbin_start(b);
+        self.touch_mask |= 1u64 << chunk;
         for (i, bin) in self.bins.iter_mut().enumerate() {
             if i != b {
                 bin.tick();
@@ -125,9 +138,17 @@ impl AccumBuffer {
     /// End the current pass: bins untouched since the last pass boundary
     /// count as clock-gated (Fig. 13's per-pass gating statistics).
     pub fn end_pass(&mut self) {
+        self.occupancy_hwm = self.occupancy_hwm.max(self.touch_mask.count_ones());
+        self.touch_mask = 0;
         for bin in &mut self.bins {
             bin.end_pass();
         }
+    }
+
+    /// Most chunks any single completed pass has held (updated at
+    /// [`end_pass`](Self::end_pass)).
+    pub fn occupancy_high_water(&self) -> u32 {
+        self.occupancy_hwm.max(self.touch_mask.count_ones())
     }
 
     /// Per-bin event counters.
@@ -137,6 +158,44 @@ impl AccumBuffer {
             out[i] = bin.events();
         }
         out
+    }
+
+    /// Publish per-bin event deltas since the last publish into `reg`
+    /// (counters `accel.regbin.*` labelled `rb0`..`rb4`) plus the
+    /// occupancy high-water gauge. Deltas make repeated publishes — one
+    /// per pass, or one per PE lifetime — sum to the exact event totals.
+    pub fn publish_telemetry(&mut self, reg: &Registry) {
+        for (b, bin) in self.bins.iter().enumerate() {
+            let now = bin.events();
+            let prev = self.published[b];
+            let label = format!("rb{b}");
+            reg.counter_add(
+                "accel.regbin.head_accesses",
+                &label,
+                now.head_accesses - prev.head_accesses,
+            );
+            reg.counter_add(
+                "accel.regbin.rotation_steps",
+                &label,
+                now.rotation_steps - prev.rotation_steps,
+            );
+            reg.counter_add(
+                "accel.regbin.active_passes",
+                &label,
+                now.active_passes - prev.active_passes,
+            );
+            reg.counter_add(
+                "accel.regbin.gated_passes",
+                &label,
+                now.gated_passes - prev.gated_passes,
+            );
+            self.published[b] = now;
+        }
+        reg.max_gauge(
+            "accel.regbin.occupancy_hwm",
+            "",
+            u64::from(self.occupancy_high_water()),
+        );
     }
 }
 

@@ -46,6 +46,18 @@ impl ArrayStats {
         self.act_recycles += other.act_recycles;
         self.wgt_loads += other.wgt_loads;
     }
+
+    /// Publish this run's counters into `reg` as `accel.array.*` — the
+    /// GLB/IR traffic view (loads, recycles, weight streams) backing the
+    /// data-reuse claims.
+    pub fn publish_telemetry(&self, reg: &csp_telemetry::Registry) {
+        reg.counter_add("accel.array.cycles", "", self.cycles);
+        reg.counter_add("accel.array.macs", "", self.macs);
+        reg.counter_add("accel.array.flush_stalls", "", self.flush_stalls);
+        reg.counter_add("accel.array.act_loads", "", self.act_loads);
+        reg.counter_add("accel.array.act_recycles", "", self.act_recycles);
+        reg.counter_add("accel.array.wgt_loads", "", self.wgt_loads);
+    }
 }
 
 /// Shared per-GEMM dimensions handed to each pixel-tile pass.
@@ -248,6 +260,11 @@ impl SerialCascadingArray {
             stats.absorb(&tstats);
         }
         stats.cycles += stats.flush_stalls;
+        // Windowed runs (the recursion above) publish per window; this
+        // branch is the sole publish point for a non-windowed pass.
+        if csp_telemetry::enabled() {
+            stats.publish_telemetry(csp_telemetry::Registry::global());
+        }
         Ok((out, stats))
     }
 

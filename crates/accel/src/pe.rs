@@ -19,6 +19,8 @@ pub struct Pe {
     truncation: Option<TruncationConfig>,
     macs: u64,
     ir_folds: u64,
+    published_macs: u64,
+    published_folds: u64,
 }
 
 impl Pe {
@@ -31,6 +33,8 @@ impl Pe {
             truncation,
             macs: 0,
             ir_folds: 0,
+            published_macs: 0,
+            published_folds: 0,
         }
     }
 
@@ -120,7 +124,27 @@ impl Pe {
     pub fn flush(&mut self) -> (Vec<f32>, FlushStats) {
         let out = self.accum.flush();
         self.accum.end_pass();
+        if csp_telemetry::enabled() {
+            self.publish_telemetry(csp_telemetry::Registry::global());
+        }
         out
+    }
+
+    /// Publish this PE's MAC/fold deltas (counters `accel.pe.macs`,
+    /// `accel.pe.ir_folds` — each fold is one truncation event) and its
+    /// accumulation buffer's RegBin events into `reg`. Called
+    /// automatically at [`flush`](Self::flush) when telemetry is enabled;
+    /// callable directly with a private registry for exact-count tests.
+    pub fn publish_telemetry(&mut self, reg: &csp_telemetry::Registry) {
+        reg.counter_add("accel.pe.macs", "", self.macs - self.published_macs);
+        reg.counter_add(
+            "accel.pe.ir_folds",
+            "",
+            self.ir_folds - self.published_folds,
+        );
+        self.published_macs = self.macs;
+        self.published_folds = self.ir_folds;
+        self.accum.publish_telemetry(reg);
     }
 
     /// Borrow the accumulation buffer (for event inspection).

@@ -90,7 +90,7 @@ fn crash_label(c: CrashPoint) -> &'static str {
 
 fn run() -> CspResult<()> {
     let cli = csp_bench::cli::CommonCli::parse().map_err(|what| CspError::Config { what })?;
-    cli.reject_unknown("checkpoint_study [--smoke]")
+    cli.reject_unknown("checkpoint_study [--smoke] [--telemetry]")
         .map_err(|what| CspError::Config { what })?;
     let smoke = cli.smoke;
     let dir = study_dir()?;
@@ -346,6 +346,7 @@ fn run() -> CspResult<()> {
     }
 
     let _ = std::fs::remove_dir_all(&dir);
+    cli.dump_telemetry("checkpoint");
     verdict(stats_match && weights_match, all_survived, undetected_total)
 }
 

@@ -84,7 +84,7 @@ fn main() -> ExitCode {
 
 fn run() -> CspResult<()> {
     let cli = csp_bench::cli::CommonCli::parse().map_err(|what| CspError::Config { what })?;
-    cli.reject_unknown("fault_study [--smoke] [--seed N]")
+    cli.reject_unknown("fault_study [--smoke] [--seed N] [--telemetry]")
         .map_err(|what| CspError::Config { what })?;
     let smoke = cli.smoke;
     let seed = cli.seed_or(2022);
@@ -273,5 +273,6 @@ fn run() -> CspResult<()> {
     if smoke {
         println!("\nsmoke mode: single-rate sweep, reduced GEMM.");
     }
+    cli.dump_telemetry("fault");
     Ok(())
 }

@@ -10,11 +10,13 @@
 //! the naive reference kernel.
 //!
 //! ```text
-//! kernel_bench [--smoke] [--json] [--threads N] [--out PATH]
+//! kernel_bench [--smoke] [--json] [--threads N] [--out PATH] [--telemetry]
 //! ```
 //!
 //! `--smoke` shrinks every problem so the whole run takes seconds (CI);
-//! `--json` additionally writes `results/BENCH_kernels.json`.
+//! `--json` additionally writes `results/BENCH_kernels.json`;
+//! `--telemetry` enables the process-wide metrics registry and dumps its
+//! snapshot to `results/TELEMETRY_kernels.json`.
 
 use criterion::{black_box, Criterion};
 use csp_bench::{accelerator_lineup, run_lineup, workloads, Workload};
@@ -212,7 +214,9 @@ fn write_json(path: &str, rows: &[BenchRow], threads: usize, smoke: bool, iters:
 
 fn main() -> ExitCode {
     let cli = match csp_bench::cli::CommonCli::parse().and_then(|cli| {
-        cli.reject_unknown("kernel_bench [--smoke] [--json] [--threads N] [--out PATH]")?;
+        cli.reject_unknown(
+            "kernel_bench [--smoke] [--json] [--threads N] [--out PATH] [--telemetry]",
+        )?;
         Ok(cli)
     }) {
         Ok(cli) => cli,
@@ -264,6 +268,7 @@ fn main() -> ExitCode {
     if json {
         write_json(&out, &rows, threads, smoke, iters);
     }
+    cli.dump_telemetry("kernels");
     if all_identical {
         ExitCode::SUCCESS
     } else {

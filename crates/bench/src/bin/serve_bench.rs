@@ -439,7 +439,9 @@ fn run(cli: &CommonCli) -> CspResult<Vec<Cell>> {
 
 fn main() -> ExitCode {
     let cli = match CommonCli::parse().and_then(|cli| {
-        cli.reject_unknown("serve_bench [--smoke] [--json] [--threads N] [--out PATH] [--seed N]")?;
+        cli.reject_unknown(
+            "serve_bench [--smoke] [--json] [--threads N] [--out PATH] [--seed N] [--telemetry]",
+        )?;
         Ok(cli)
     }) {
         Ok(cli) => cli,
@@ -487,6 +489,8 @@ fn main() -> ExitCode {
             cli.smoke,
         );
     }
+
+    cli.dump_telemetry("serve");
 
     let violations = check_invariants(&cells);
     if violations.is_empty() {

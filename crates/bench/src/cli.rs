@@ -22,6 +22,9 @@ pub struct CommonCli {
     pub out: Option<String>,
     /// `--seed N`: RNG seed override.
     pub seed: Option<u64>,
+    /// `--telemetry`: enable the process-wide telemetry registry and dump
+    /// a snapshot next to the study's results file.
+    pub telemetry: bool,
     /// Arguments this parser did not recognize, in order.
     pub rest: Vec<String>,
 }
@@ -60,6 +63,10 @@ impl CommonCli {
                     Some(s) => cli.seed = Some(s),
                     None => return Err("--seed requires an integer".to_string()),
                 },
+                "--telemetry" => {
+                    cli.telemetry = true;
+                    csp_telemetry::set_enabled(true);
+                }
                 _ => cli.rest.push(arg),
             }
         }
@@ -94,6 +101,25 @@ impl CommonCli {
     pub fn seed_or(&self, default: u64) -> u64 {
         self.seed.unwrap_or(default)
     }
+
+    /// When `--telemetry` was given, dump the process-wide snapshot to
+    /// `results/TELEMETRY_<study>.json` (creating `results/` if needed)
+    /// and report the path on stdout. A no-op otherwise, so drivers can
+    /// call it unconditionally on exit.
+    pub fn dump_telemetry(&self, study: &str) {
+        if !self.telemetry {
+            return;
+        }
+        let path = format!("results/TELEMETRY_{study}.json");
+        let body = csp_telemetry::global_snapshot().to_json();
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(&path, body) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -115,9 +141,14 @@ mod tests {
             "x.json",
             "--seed",
             "9",
+            "--telemetry",
         ])
         .unwrap();
-        assert!(cli.smoke && cli.json);
+        assert!(cli.smoke && cli.json && cli.telemetry);
+        assert!(
+            csp_telemetry::enabled(),
+            "--telemetry must switch the registry on"
+        );
         assert_eq!(cli.threads, Some(4));
         assert_eq!(cli.out.as_deref(), Some("x.json"));
         assert_eq!(cli.seed, Some(9));

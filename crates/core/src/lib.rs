@@ -47,6 +47,7 @@ pub use csp_nn as nn;
 pub use csp_pruning as pruning;
 pub use csp_runtime as runtime;
 pub use csp_sim as sim;
+pub use csp_telemetry as telemetry;
 pub use csp_tensor as tensor;
 
 pub use csp_io::{RecoveryConfig, RecoveryEvent};

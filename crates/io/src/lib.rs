@@ -38,6 +38,7 @@ pub mod atomic;
 pub mod checkpoint;
 pub mod container;
 pub mod recovery;
+pub mod telemetry_io;
 pub mod weaved_io;
 pub mod wire;
 
@@ -45,5 +46,6 @@ pub use atomic::{read_file, write_atomic, write_with_history, CrashPoint};
 pub use checkpoint::{CheckpointedTrainer, TrainRun, TrainerCheckpoint};
 pub use container::{ArtifactKind, Container, Section, FORMAT_VERSION, MAGIC};
 pub use recovery::{RecoveryConfig, RecoveryEvent};
+pub use telemetry_io::{decode_snapshot, encode_snapshot, TELEMETRY_MAGIC};
 pub use weaved_io::{decode_weaved_model, encode_weaved_model};
 pub use wire::crc32;

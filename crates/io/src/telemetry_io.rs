@@ -1,0 +1,214 @@
+//! Versioned binary codec for [`csp_telemetry::Snapshot`].
+//!
+//! Layout (all little-endian, via [`crate::wire`]):
+//!
+//! ```text
+//! magic    8 bytes  "CSPTELEM"
+//! version  u32      snapshot format version (must be 1)
+//! flags    u8       bit 0 = deterministic
+//! taken_at u64      logical tick or unix ms (see csp-telemetry)
+//! entries  u64      metric count, then per metric:
+//!   name   str      length-prefixed UTF-8
+//!   label  str
+//!   kind   u8       0 = counter, 1 = max gauge, 2 = histogram
+//!   payload         counter/max: u64; histogram: u64 bound count,
+//!                   bounds, then (count+1) bucket counts
+//! crc      u32      CRC-32 (IEEE) of everything before it
+//! ```
+//!
+//! Decoding is fully bounds-checked and rejects bad magic, unknown
+//! versions or kinds, CRC mismatches, truncation, and trailing bytes —
+//! the same hardening discipline as the artifact container.
+
+use crate::wire::{crc32, Reader, Writer};
+use csp_telemetry::{Entry, Histogram, Snapshot, Value, SNAPSHOT_VERSION};
+use csp_tensor::CspResult;
+
+/// Magic prefix of an encoded snapshot.
+pub const TELEMETRY_MAGIC: &[u8; 8] = b"CSPTELEM";
+
+const KIND_COUNTER: u8 = 0;
+const KIND_MAX: u8 = 1;
+const KIND_HIST: u8 = 2;
+
+/// Encode a snapshot into the versioned, CRC-protected wire form.
+#[must_use]
+pub fn encode_snapshot(s: &Snapshot) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_bytes(TELEMETRY_MAGIC);
+    w.put_u32(s.version);
+    w.put_u8(u8::from(s.deterministic));
+    w.put_u64(s.taken_at);
+    w.put_u64(s.entries.len() as u64);
+    for e in &s.entries {
+        w.put_str(&e.name);
+        w.put_str(&e.label);
+        match &e.value {
+            Value::Counter(c) => {
+                w.put_u8(KIND_COUNTER);
+                w.put_u64(*c);
+            }
+            Value::Max(m) => {
+                w.put_u8(KIND_MAX);
+                w.put_u64(*m);
+            }
+            Value::Hist(h) => {
+                w.put_u8(KIND_HIST);
+                w.put_u64(h.bounds().len() as u64);
+                for &b in h.bounds() {
+                    w.put_u64(b);
+                }
+                for &c in h.counts() {
+                    w.put_u64(c);
+                }
+            }
+        }
+    }
+    let mut bytes = w.into_bytes();
+    let crc = crc32(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    bytes
+}
+
+/// Decode a snapshot, verifying magic, version, CRC, and every bound.
+///
+/// # Errors
+///
+/// Returns [`csp_tensor::CspError::Corrupt`] on any malformed input.
+pub fn decode_snapshot(bytes: &[u8]) -> CspResult<Snapshot> {
+    let probe = Reader::new(bytes, "telemetry-snapshot");
+    if bytes.len() < TELEMETRY_MAGIC.len() + 4 + 1 + 8 + 8 + 4 {
+        return Err(probe.corrupt("snapshot shorter than its fixed header"));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let want = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+    let got = crc32(body);
+    if want != got {
+        return Err(probe.corrupt(format!(
+            "CRC mismatch: stored {want:#010x}, computed {got:#010x}"
+        )));
+    }
+    let mut r = Reader::new(body, "telemetry-snapshot");
+    let magic = r.take(TELEMETRY_MAGIC.len())?;
+    if magic != TELEMETRY_MAGIC {
+        return Err(r.corrupt("bad magic (not a telemetry snapshot)"));
+    }
+    let version = r.u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(r.corrupt(format!(
+            "unsupported snapshot version {version} (expected {SNAPSHOT_VERSION})"
+        )));
+    }
+    let flags = r.u8()?;
+    if flags > 1 {
+        return Err(r.corrupt(format!("unknown flag bits {flags:#04x}")));
+    }
+    let taken_at = r.u64()?;
+    // Lower-bound each entry at 2 length-prefixed strings + kind + u64.
+    let n = r.bounded_len(4 + 4 + 1 + 8, "metric entries")?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        let label = r.str()?;
+        let value = match r.u8()? {
+            KIND_COUNTER => Value::Counter(r.u64()?),
+            KIND_MAX => Value::Max(r.u64()?),
+            KIND_HIST => {
+                let nb = r.bounded_len(8, "histogram bounds")?;
+                let mut bounds = Vec::with_capacity(nb);
+                for _ in 0..nb {
+                    bounds.push(r.u64()?);
+                }
+                let mut counts = Vec::with_capacity(nb + 1);
+                for _ in 0..nb + 1 {
+                    counts.push(r.u64()?);
+                }
+                let h = Histogram::from_parts(&bounds, &counts)
+                    .ok_or_else(|| r.corrupt("inconsistent histogram bounds/counts"))?;
+                Value::Hist(h)
+            }
+            k => return Err(r.corrupt(format!("unknown metric kind {k}"))),
+        };
+        entries.push(Entry { name, label, value });
+    }
+    r.expect_empty()?;
+    Ok(Snapshot {
+        version,
+        deterministic: flags & 1 == 1,
+        taken_at,
+        entries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_telemetry::Registry;
+
+    fn sample() -> Snapshot {
+        let reg = Registry::new();
+        reg.counter_add("a.count", "", 42);
+        reg.counter_add("a.count", "model-x", 7);
+        reg.max_gauge("b.hwm", "", 31);
+        for v in [1u64, 5, 9, 100] {
+            reg.histogram_record("c.lat", "", &[2, 8, 32], v);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let snap = sample();
+        let bytes = encode_snapshot(&snap);
+        let back = decode_snapshot(&bytes).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_length() {
+        let bytes = encode_snapshot(&sample());
+        for len in 0..bytes.len() {
+            assert!(
+                decode_snapshot(&bytes[..len]).is_err(),
+                "truncation to {len} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_rejected() {
+        let bytes = encode_snapshot(&sample());
+        for pos in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x01;
+            assert!(
+                decode_snapshot(&bad).is_err(),
+                "bit flip at byte {pos} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_snapshot(&sample());
+        bytes.push(0);
+        assert!(decode_snapshot(&bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let mut snap = sample();
+        snap.version = 99;
+        let bytes = encode_snapshot(&snap);
+        let err = decode_snapshot(&bytes).unwrap_err();
+        assert!(format!("{err}").contains("version"));
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = Registry::new().snapshot();
+        let back = decode_snapshot(&encode_snapshot(&snap)).unwrap();
+        assert!(back.entries.is_empty());
+        assert_eq!(back.version, SNAPSHOT_VERSION);
+    }
+}

@@ -109,6 +109,7 @@ pub fn train_classifier(
 ) -> CspResult<Vec<EpochStats>> {
     let mut stats = Vec::with_capacity(options.epochs.saturating_sub(options.start_epoch));
     for epoch in options.start_epoch..options.epochs {
+        let _epoch_span = csp_telemetry::span("nn.epoch");
         if let Some(s) = options.schedule {
             opt.set_lr(s.lr_at(epoch));
         }
@@ -154,6 +155,30 @@ pub fn train_classifier(
                 s.loss,
                 s.accuracy,
                 opt.lr()
+            );
+        }
+        if csp_telemetry::enabled() {
+            // Per-epoch records: labelled counters written once per epoch
+            // (micro-units keep every telemetry payload an exact integer).
+            let label = format!("epoch{epoch}");
+            csp_telemetry::counter_add("nn.epochs", "", 1);
+            csp_telemetry::counter_add(
+                "nn.epoch.loss_micro",
+                &label,
+                (f64::from(s.loss.max(0.0)) * 1e6).round() as u64,
+            );
+            // Gradient norm of the epoch's final batch (the grads the
+            // optimizer last consumed are still in place).
+            let sq_sum: f64 = model
+                .params()
+                .iter()
+                .flat_map(|p| p.grad.as_slice())
+                .map(|&g| f64::from(g) * f64::from(g))
+                .sum();
+            csp_telemetry::counter_add(
+                "nn.epoch.grad_norm_micro",
+                &label,
+                (sq_sum.sqrt() * 1e6).round() as u64,
             );
         }
         stats.push(s);

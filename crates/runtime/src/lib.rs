@@ -161,6 +161,7 @@ impl Pool {
         F: Fn(usize) -> R + Sync,
     {
         let nt = self.threads.min(n).max(1);
+        let _region = region_telemetry("runtime.map_collect", n, nt);
         if nt == 1 {
             // Exact serial code path: no scope, no override.
             return (0..n).map(f).collect();
@@ -229,6 +230,7 @@ impl Pool {
         let chunk_len = chunk_len.max(1);
         let n_chunks = data.len().div_ceil(chunk_len);
         let nt = self.threads.min(n_chunks).max(1);
+        let _region = region_telemetry("runtime.chunks", n_chunks, nt);
         if nt == 1 {
             // Exact serial code path.
             for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
@@ -275,6 +277,26 @@ impl Default for Pool {
     fn default() -> Self {
         Pool::current()
     }
+}
+
+/// When telemetry is on, record one fork-join region under `name`:
+/// `<name>.regions` / `<name>.dispatched` counters (independent of the
+/// thread count — chunking is fixed, so every width reports the same
+/// dispatch totals), the `runtime.pool_width` high-water gauge, and a
+/// [`csp_telemetry::Span`] timing the region end to end (workers never
+/// steal, so the caller's scope covers the whole fork-join).
+fn region_telemetry(
+    name: &'static str,
+    dispatched: usize,
+    width: usize,
+) -> Option<csp_telemetry::Span> {
+    if !csp_telemetry::enabled() {
+        return None;
+    }
+    csp_telemetry::counter_add(&format!("{name}.regions"), "", 1);
+    csp_telemetry::counter_add(&format!("{name}.dispatched"), "", dispatched as u64);
+    csp_telemetry::max_gauge("runtime.pool_width", "", width as u64);
+    Some(csp_telemetry::span(name))
 }
 
 #[cfg(test)]

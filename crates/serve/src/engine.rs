@@ -131,6 +131,16 @@ impl Engine {
         self.shared.stats.all()
     }
 
+    /// One merged telemetry snapshot: this engine's serving counters plus
+    /// whatever the process-wide registry has collected (kernel, runtime,
+    /// and accelerator metrics when `CSP_TELEMETRY` is on).
+    pub fn telemetry_snapshot(&self) -> csp_telemetry::Snapshot {
+        self.shared
+            .stats
+            .telemetry_snapshot()
+            .merged(&csp_telemetry::global_snapshot())
+    }
+
     /// Graceful shutdown: refuse new admissions, drain every queued
     /// request (each gets a response), and join the workers.
     ///
@@ -210,6 +220,16 @@ impl Client {
     /// Snapshot one model's rolling stats.
     pub fn stats(&self, model: &str) -> StatsSnapshot {
         self.shared.stats.snapshot(model)
+    }
+
+    /// One merged telemetry snapshot — the same view
+    /// [`Engine::telemetry_snapshot`] gives, reachable from any handle
+    /// (the TCP front-end answers `REQ_TELEMETRY` with this).
+    pub fn telemetry_snapshot(&self) -> csp_telemetry::Snapshot {
+        self.shared
+            .stats
+            .telemetry_snapshot()
+            .merged(&csp_telemetry::global_snapshot())
     }
 }
 

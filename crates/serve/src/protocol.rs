@@ -6,7 +6,7 @@
 //! the artifact containers use, so a truncated or corrupted frame is
 //! always a typed [`CspError::Corrupt`], never a panic or silent garbage.
 //!
-//! ## Request payload
+//! ## Inference request payload ([`REQ_INFER`])
 //!
 //! | field        | encoding                    |
 //! |--------------|-----------------------------|
@@ -16,7 +16,7 @@
 //! | deadline µs  | `u64`, `0` = no deadline    |
 //! | input        | tensor (dims + f32 data)    |
 //!
-//! ## Response payload
+//! ## Inference response payload
 //!
 //! | field       | encoding                                        |
 //! |-------------|-------------------------------------------------|
@@ -24,9 +24,17 @@
 //! | request id  | `u64`                                           |
 //! | if OK       | `u64` model version, `u32` batch size, tensor   |
 //! | otherwise   | length-prefixed UTF-8 error message             |
+//!
+//! ## Telemetry request/response ([`REQ_TELEMETRY`])
+//!
+//! The request is just opcode + id. The OK response carries a
+//! length-prefixed [`csp_io::telemetry_io`] blob — the versioned,
+//! CRC-protected snapshot encoding — so the snapshot's own integrity
+//! check rides inside the frame.
 
 use crate::batch::InferReply;
 use csp_io::wire::{Reader, Writer};
+use csp_telemetry::Snapshot;
 use csp_tensor::{CspError, CspResult, Tensor};
 use std::io::{Read, Write};
 
@@ -36,6 +44,9 @@ pub const MAX_FRAME: usize = 1 << 24;
 
 /// Request opcode: run one inference.
 pub const REQ_INFER: u8 = 1;
+
+/// Request opcode: fetch the engine's telemetry snapshot.
+pub const REQ_TELEMETRY: u8 = 2;
 
 /// Response status: success.
 pub const STATUS_OK: u8 = 0;
@@ -197,6 +208,123 @@ impl Response {
         };
         r.expect_empty()?;
         Ok(Response { id, result })
+    }
+}
+
+/// One decoded telemetry-snapshot request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryRequest {
+    /// Client-chosen id, echoed verbatim in the response.
+    pub id: u64,
+}
+
+impl TelemetryRequest {
+    /// Encode this request as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(REQ_TELEMETRY);
+        w.put_u64(self.id);
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload as a telemetry request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Corrupt`] for a wrong opcode, truncation, or
+    /// trailing bytes.
+    pub fn decode(payload: &[u8]) -> CspResult<TelemetryRequest> {
+        let mut r = Reader::new(payload, "serve-telemetry-request");
+        let op = r.u8()?;
+        if op != REQ_TELEMETRY {
+            return Err(r.corrupt(format!("unknown request opcode {op}")));
+        }
+        let id = r.u64()?;
+        r.expect_empty()?;
+        Ok(TelemetryRequest { id })
+    }
+}
+
+/// One decoded telemetry-snapshot response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryResponse {
+    /// Echo of the request id.
+    pub id: u64,
+    /// The snapshot, or the engine's typed refusal.
+    pub result: CspResult<Snapshot>,
+}
+
+impl TelemetryResponse {
+    /// Encode this response as a frame payload. The snapshot rides as a
+    /// length-prefixed `csp_io` blob, keeping its own magic/version/CRC.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match &self.result {
+            Ok(snap) => {
+                w.put_u8(STATUS_OK);
+                w.put_u64(self.id);
+                let blob = csp_io::encode_snapshot(snap);
+                w.put_usize(blob.len());
+                w.put_bytes(&blob);
+            }
+            Err(e) => {
+                w.put_u8(status_of(e));
+                w.put_u64(self.id);
+                w.put_str(&message_of(e));
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload as a telemetry response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Corrupt`] for an unknown status, a snapshot
+    /// blob failing its CRC/version checks, truncation, or trailing
+    /// bytes.
+    pub fn decode(payload: &[u8]) -> CspResult<TelemetryResponse> {
+        let mut r = Reader::new(payload, "serve-telemetry-response");
+        let status = r.u8()?;
+        let id = r.u64()?;
+        let result = if status == STATUS_OK {
+            let len = r.bounded_len(1, "snapshot blob")?;
+            let blob = r.take(len)?;
+            Ok(csp_io::decode_snapshot(blob)?)
+        } else if status <= STATUS_INTERNAL {
+            Err(error_of(status, r.str()?))
+        } else {
+            return Err(r.corrupt(format!("unknown response status {status}")));
+        };
+        r.expect_empty()?;
+        Ok(TelemetryResponse { id, result })
+    }
+}
+
+/// Any request the server accepts, dispatched on the opcode byte.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyRequest {
+    /// [`REQ_INFER`]: run one inference.
+    Infer(Request),
+    /// [`REQ_TELEMETRY`]: fetch the engine's telemetry snapshot.
+    Telemetry(TelemetryRequest),
+}
+
+impl AnyRequest {
+    /// Decode a frame payload into whichever request its opcode names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Corrupt`] for an unknown opcode or a malformed
+    /// body.
+    pub fn decode(payload: &[u8]) -> CspResult<AnyRequest> {
+        let probe = Reader::new(payload, "serve-request");
+        match payload.first() {
+            Some(&REQ_INFER) => Ok(AnyRequest::Infer(Request::decode(payload)?)),
+            Some(&REQ_TELEMETRY) => Ok(AnyRequest::Telemetry(TelemetryRequest::decode(payload)?)),
+            Some(&op) => Err(probe.corrupt(format!("unknown request opcode {op}"))),
+            None => Err(probe.corrupt("empty request payload")),
+        }
     }
 }
 
@@ -367,6 +495,127 @@ mod tests {
         bytes.push(0xFF); // trailing garbage
         assert!(matches!(
             Request::decode(&bytes),
+            Err(CspError::Corrupt { .. })
+        ));
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        let reg = csp_telemetry::Registry::new();
+        reg.counter_add("serve.admitted", "alexnet", 12);
+        reg.max_gauge("runtime.pool_width", "", 4);
+        for v in [3u64, 90, 4000] {
+            reg.histogram_record("serve.latency_us", "alexnet", &[8, 64, 512], v);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn telemetry_request_round_trips_and_rejects_garbage() {
+        let req = TelemetryRequest { id: 99 };
+        assert_eq!(TelemetryRequest::decode(&req.encode()).unwrap(), req);
+
+        // Wrong opcode, truncation, trailing bytes: all typed Corrupt.
+        assert!(matches!(
+            TelemetryRequest::decode(
+                &Request {
+                    id: 1,
+                    model: "m".to_string(),
+                    deadline_us: 0,
+                    input: Tensor::zeros(&[1]),
+                }
+                .encode()
+            ),
+            Err(CspError::Corrupt { .. })
+        ));
+        let bytes = req.encode();
+        for len in 0..bytes.len() {
+            assert!(matches!(
+                TelemetryRequest::decode(&bytes[..len]),
+                Err(CspError::Corrupt { .. })
+            ));
+        }
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(matches!(
+            TelemetryRequest::decode(&long),
+            Err(CspError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn telemetry_response_round_trips() {
+        let resp = TelemetryResponse {
+            id: 5,
+            result: Ok(sample_snapshot()),
+        };
+        assert_eq!(TelemetryResponse::decode(&resp.encode()).unwrap(), resp);
+
+        let err_resp = TelemetryResponse {
+            id: 6,
+            result: Err(CspError::Overloaded {
+                what: "draining".to_string(),
+            }),
+        };
+        let back = TelemetryResponse::decode(&err_resp.encode()).unwrap();
+        assert_eq!(back.id, 6);
+        assert!(matches!(back.result, Err(CspError::Overloaded { .. })));
+    }
+
+    #[test]
+    fn telemetry_response_rejects_truncation_and_corruption() {
+        let bytes = TelemetryResponse {
+            id: 5,
+            result: Ok(sample_snapshot()),
+        }
+        .encode();
+        for len in 0..bytes.len() {
+            assert!(
+                matches!(
+                    TelemetryResponse::decode(&bytes[..len]),
+                    Err(CspError::Corrupt { .. })
+                ),
+                "truncation to {len} bytes must be a typed Corrupt"
+            );
+        }
+        // Past the status byte and echoed id (which carry no integrity of
+        // their own), every bit flip lands in the blob length field or the
+        // CRC-protected snapshot blob and must be rejected.
+        for pos in 9..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x01;
+            assert!(
+                matches!(
+                    TelemetryResponse::decode(&bad),
+                    Err(CspError::Corrupt { .. })
+                ),
+                "bit flip at byte {pos} must be a typed Corrupt"
+            );
+        }
+    }
+
+    #[test]
+    fn any_request_dispatches_on_opcode() {
+        let infer = Request {
+            id: 3,
+            model: "vgg".to_string(),
+            deadline_us: 0,
+            input: Tensor::zeros(&[2]),
+        };
+        assert_eq!(
+            AnyRequest::decode(&infer.encode()).unwrap(),
+            AnyRequest::Infer(infer)
+        );
+        let telem = TelemetryRequest { id: 4 };
+        assert_eq!(
+            AnyRequest::decode(&telem.encode()).unwrap(),
+            AnyRequest::Telemetry(telem)
+        );
+        assert!(matches!(
+            AnyRequest::decode(&[7, 1, 2]),
+            Err(CspError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            AnyRequest::decode(&[]),
             Err(CspError::Corrupt { .. })
         ));
     }

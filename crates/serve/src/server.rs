@@ -8,7 +8,10 @@
 
 use crate::batch::InferReply;
 use crate::engine::Client;
-use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::protocol::{
+    read_frame, write_frame, AnyRequest, Request, Response, TelemetryRequest, TelemetryResponse,
+};
+use csp_telemetry::Snapshot;
 use csp_tensor::{CspError, CspResult, Tensor};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -172,15 +175,21 @@ fn handle_connection(mut stream: TcpStream, client: &Client, stop: &AtomicBool) 
             Ok(None) => return,
             Err(_) => return, // broken socket: nothing left to answer
         };
-        let response = match Request::decode(&payload) {
-            Ok(req) => {
+        let response = match AnyRequest::decode(&payload) {
+            Ok(AnyRequest::Infer(req)) => {
                 let deadline =
                     (req.deadline_us > 0).then(|| Duration::from_micros(req.deadline_us));
                 Response {
                     id: req.id,
                     result: client.infer(&req.model, &req.input, deadline),
                 }
+                .encode()
             }
+            Ok(AnyRequest::Telemetry(req)) => TelemetryResponse {
+                id: req.id,
+                result: Ok(client.telemetry_snapshot()),
+            }
+            .encode(),
             // Undecodable request: answer with id 0 (the id is inside the
             // part we could not trust) and drop the connection, since the
             // stream may be desynchronized.
@@ -196,7 +205,7 @@ fn handle_connection(mut stream: TcpStream, client: &Client, stop: &AtomicBool) 
                 return;
             }
         };
-        if write_frame(&mut stream, &response.encode()).is_err() {
+        if write_frame(&mut stream, &response).is_err() {
             return;
         }
     }
@@ -258,6 +267,31 @@ impl TcpClient {
         }
         resp.result
     }
+
+    /// Fetch the server's merged telemetry snapshot (serving counters plus
+    /// the remote process's global kernel/runtime/accelerator metrics).
+    ///
+    /// # Errors
+    ///
+    /// The engine's typed error (decoded from the response frame), or
+    /// [`CspError::Io`] / [`CspError::Corrupt`] for transport failures —
+    /// including a snapshot blob failing its CRC or version check.
+    pub fn telemetry(&mut self) -> CspResult<Snapshot> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, &TelemetryRequest { id }.encode())?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            sock_err("server closed the connection before responding".to_string())
+        })?;
+        let resp = TelemetryResponse::decode(&payload)?;
+        if resp.id != id && resp.id != 0 {
+            return Err(CspError::Corrupt {
+                artifact: "serve-telemetry-response".to_string(),
+                what: format!("response id {} does not match request id {id}", resp.id),
+            });
+        }
+        resp.result
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +338,28 @@ mod tests {
         ));
         // The connection survives a well-formed but invalid request.
         assert!(tcp.infer("m", &x, None).is_ok());
+        server.shutdown().unwrap();
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn telemetry_op_returns_live_counters_over_tcp() {
+        let (engine, spec) = serve_engine();
+        let server = Server::serve(engine.client(), "127.0.0.1:0").unwrap();
+        let mut tcp = TcpClient::connect(&server.addr()).unwrap();
+        let x = sample_input(spec, 11, 1);
+        tcp.infer("m", &x, None).unwrap();
+        tcp.infer("m", &x, None).unwrap();
+        let snap = tcp.telemetry().unwrap();
+        assert_eq!(snap.counter("serve.admitted", "m"), 2);
+        assert_eq!(snap.counter("serve.completed", "m"), 2);
+        let lat = snap
+            .histogram("serve.latency_us", "m")
+            .expect("latency histogram present");
+        assert_eq!(lat.total(), 2);
+        // The same connection keeps serving inferences after a telemetry op.
+        tcp.infer("m", &x, None).unwrap();
+        assert_eq!(tcp.telemetry().unwrap().counter("serve.completed", "m"), 3);
         server.shutdown().unwrap();
         engine.shutdown().unwrap();
     }

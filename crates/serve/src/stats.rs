@@ -1,11 +1,19 @@
-//! Per-model rolling serving statistics: admission/shed/expiry counters,
-//! batch-size histogram, and latency percentiles over a bounded ring of
-//! recent requests.
+//! Per-model rolling serving statistics, rebased onto the
+//! [`csp_telemetry`] registry.
 //!
-//! Recording is a short mutex-protected counter update on the request
-//! path; percentile math happens only when a snapshot is taken, so stats
-//! never sit between a worker and its batch.
+//! Counters (admitted / completed / failed / shed / expired / batches)
+//! and the batch-size + latency histograms live in a **private**
+//! [`Registry`] owned by the engine's `Stats` — shard-per-thread, so the
+//! request path never contends on a stats lock for counter updates, and
+//! the whole engine view can be exported as one versioned
+//! [`csp_telemetry::Snapshot`] (the TCP `Telemetry` op).
+//!
+//! Exact percentile math needs the raw recent latencies, not bucketed
+//! counts, so a bounded per-model ring (plus the wall-clock QPS window)
+//! stays in a small mutex-protected side table; percentiles are computed
+//! only when a snapshot is taken.
 
+use csp_telemetry::{Histogram, Registry, Snapshot};
 use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::Instant;
@@ -14,42 +22,29 @@ use std::time::Instant;
 /// percentile estimation).
 pub const LATENCY_RING: usize = 16_384;
 
-/// One model's counters and latency ring.
-#[derive(Debug)]
-struct Inner {
-    admitted: u64,
-    completed: u64,
-    failed: u64,
-    shed: u64,
-    expired: u64,
-    batches: u64,
-    /// `batch_hist[b]` = batches executed with exactly `b` requests;
-    /// oversized batches land in the last bucket.
-    batch_hist: Vec<u64>,
-    /// Ring of recent request latencies in microseconds.
+/// Metric names written by the collector (all labelled by model name).
+mod metric {
+    pub const ADMITTED: &str = "serve.admitted";
+    pub const COMPLETED: &str = "serve.completed";
+    pub const FAILED: &str = "serve.failed";
+    pub const SHED: &str = "serve.shed";
+    pub const EXPIRED: &str = "serve.expired";
+    pub const BATCHES: &str = "serve.batches";
+    pub const BATCH_SIZE: &str = "serve.batch_size";
+    pub const LATENCY_US: &str = "serve.latency_us";
+}
+
+/// Latency-ring and QPS-window state that cannot live in the registry
+/// (exact percentiles need raw samples; QPS needs `Instant`s).
+#[derive(Debug, Default)]
+struct Local {
     latencies_us: Vec<u64>,
     ring_next: usize,
     first_admit: Option<Instant>,
     last_done: Option<Instant>,
 }
 
-impl Inner {
-    fn new(max_batch: usize) -> Self {
-        Inner {
-            admitted: 0,
-            completed: 0,
-            failed: 0,
-            shed: 0,
-            expired: 0,
-            batches: 0,
-            batch_hist: vec![0; max_batch + 1],
-            latencies_us: Vec::new(),
-            ring_next: 0,
-            first_admit: None,
-            last_done: None,
-        }
-    }
-
+impl Local {
     fn push_latency(&mut self, us: u64) {
         if self.latencies_us.len() < LATENCY_RING {
             self.latencies_us.push(us);
@@ -109,112 +104,148 @@ impl StatsSnapshot {
     }
 }
 
-/// Thread-safe per-model stats collector.
+/// Thread-safe per-model stats collector backed by a private telemetry
+/// registry.
 #[derive(Debug)]
 pub struct Stats {
-    map: Mutex<HashMap<String, Inner>>,
+    registry: Registry,
     max_batch: usize,
+    /// Batch-size histogram bounds `0..=max_batch` (overflow bucket =
+    /// oversized batches, folded into the last legacy bucket).
+    batch_bounds: Vec<u64>,
+    /// Exponential latency bounds for the exported histogram (exact
+    /// percentiles come from the ring, not these buckets).
+    latency_bounds: Vec<u64>,
+    local: Mutex<HashMap<String, Local>>,
 }
 
 impl Stats {
     /// A collector whose batch histograms cover `0..=max_batch`.
     pub fn new(max_batch: usize) -> Self {
+        let max_batch = max_batch.max(1);
         Stats {
-            map: Mutex::new(HashMap::new()),
-            max_batch: max_batch.max(1),
+            registry: Registry::new(),
+            max_batch,
+            batch_bounds: (0..=max_batch as u64).collect(),
+            // 1 µs … ~134 s in doubling buckets.
+            latency_bounds: Histogram::exponential_bounds(1, 28),
+            local: Mutex::new(HashMap::new()),
         }
     }
 
-    fn with<R>(&self, model: &str, f: impl FnOnce(&mut Inner) -> R) -> R {
-        let mut map = self.map.lock().expect("stats lock");
-        let max_batch = self.max_batch;
-        let inner = map
-            .entry(model.to_string())
-            .or_insert_with(|| Inner::new(max_batch));
-        f(inner)
+    /// The registry holding this collector's counters — merged into the
+    /// engine-wide snapshot served by the TCP `Telemetry` op.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// One versioned snapshot of every counter/histogram in the
+    /// collector (all models).
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+
+    fn with_local<R>(&self, model: &str, f: impl FnOnce(&mut Local) -> R) -> R {
+        let mut map = self.local.lock().expect("stats lock");
+        f(map.entry(model.to_string()).or_default())
     }
 
     pub(crate) fn record_admitted(&self, model: &str) {
-        self.with(model, |s| {
-            s.admitted += 1;
-            s.first_admit.get_or_insert_with(Instant::now);
+        self.registry.counter_add(metric::ADMITTED, model, 1);
+        self.with_local(model, |l| {
+            l.first_admit.get_or_insert_with(Instant::now);
         });
     }
 
     pub(crate) fn record_shed(&self, model: &str) {
-        self.with(model, |s| s.shed += 1);
+        self.registry.counter_add(metric::SHED, model, 1);
     }
 
     pub(crate) fn record_expired(&self, model: &str) {
-        self.with(model, |s| s.expired += 1);
+        self.registry.counter_add(metric::EXPIRED, model, 1);
     }
 
     pub(crate) fn record_batch(&self, model: &str, size: usize) {
-        self.with(model, |s| {
-            s.batches += 1;
-            let bucket = size.min(s.batch_hist.len() - 1);
-            s.batch_hist[bucket] += 1;
-        });
+        self.registry.counter_add(metric::BATCHES, model, 1);
+        self.registry
+            .histogram_record(metric::BATCH_SIZE, model, &self.batch_bounds, size as u64);
     }
 
     pub(crate) fn record_completed(&self, model: &str, latency_us: u64) {
-        self.with(model, |s| {
-            s.completed += 1;
-            s.last_done = Some(Instant::now());
-            s.push_latency(latency_us);
+        self.registry.counter_add(metric::COMPLETED, model, 1);
+        self.registry
+            .histogram_record(metric::LATENCY_US, model, &self.latency_bounds, latency_us);
+        self.with_local(model, |l| {
+            l.last_done = Some(Instant::now());
+            l.push_latency(latency_us);
         });
     }
 
     pub(crate) fn record_failed(&self, model: &str) {
-        self.with(model, |s| s.failed += 1);
+        self.registry.counter_add(metric::FAILED, model, 1);
     }
 
     /// Snapshot one model's stats (zeroed snapshot for an unknown name).
     pub fn snapshot(&self, model: &str) -> StatsSnapshot {
-        self.with(model, |s| {
-            let mut sorted = s.latencies_us.clone();
+        let reg = self.registry.snapshot();
+        // Legacy batch histogram shape: buckets 0..=max_batch with
+        // oversized batches clamped into the last bucket.
+        let mut batch_hist = vec![0u64; self.max_batch + 1];
+        if let Some(h) = reg.histogram(metric::BATCH_SIZE, model) {
+            for (b, &c) in h.counts().iter().enumerate() {
+                batch_hist[b.min(self.max_batch)] += c;
+            }
+        }
+        let (sorted, window) = self.with_local(model, |l| {
+            let mut sorted = l.latencies_us.clone();
             sorted.sort_unstable();
-            let pct = |q: f64| -> u64 {
-                if sorted.is_empty() {
-                    0
-                } else {
-                    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
-                }
-            };
-            let window = match (s.first_admit, s.last_done) {
+            let window = match (l.first_admit, l.last_done) {
                 (Some(a), Some(b)) => b.duration_since(a).as_secs_f64(),
                 _ => 0.0,
             };
-            StatsSnapshot {
-                model: model.to_string(),
-                admitted: s.admitted,
-                completed: s.completed,
-                failed: s.failed,
-                shed: s.shed,
-                expired: s.expired,
-                batches: s.batches,
-                batch_hist: s.batch_hist.clone(),
-                p50_us: pct(0.50),
-                p95_us: pct(0.95),
-                p99_us: pct(0.99),
-                max_us: sorted.last().copied().unwrap_or(0),
-                qps: if window > 0.0 {
-                    s.completed as f64 / window
-                } else {
-                    0.0
-                },
+            (sorted, window)
+        });
+        let pct = |q: f64| -> u64 {
+            if sorted.is_empty() {
+                0
+            } else {
+                sorted[((sorted.len() - 1) as f64 * q).round() as usize]
             }
-        })
+        };
+        let completed = reg.counter(metric::COMPLETED, model);
+        StatsSnapshot {
+            model: model.to_string(),
+            admitted: reg.counter(metric::ADMITTED, model),
+            completed,
+            failed: reg.counter(metric::FAILED, model),
+            shed: reg.counter(metric::SHED, model),
+            expired: reg.counter(metric::EXPIRED, model),
+            batches: reg.counter(metric::BATCHES, model),
+            batch_hist,
+            p50_us: pct(0.50),
+            p95_us: pct(0.95),
+            p99_us: pct(0.99),
+            max_us: sorted.last().copied().unwrap_or(0),
+            qps: if window > 0.0 {
+                completed as f64 / window
+            } else {
+                0.0
+            },
+        }
     }
 
     /// Snapshots of every model seen so far, sorted by name.
     pub fn all(&self) -> Vec<StatsSnapshot> {
-        let names: Vec<String> = {
-            let map = self.map.lock().expect("stats lock");
-            map.keys().cloned().collect()
-        };
-        let mut names = names;
+        let reg = self.registry.snapshot();
+        let mut names: Vec<String> = reg
+            .entries
+            .iter()
+            .filter(|e| e.name.starts_with("serve."))
+            .map(|e| e.label.clone())
+            .collect();
+        names.extend(self.local.lock().expect("stats lock").keys().cloned());
         names.sort();
+        names.dedup();
         names.iter().map(|n| self.snapshot(n)).collect()
     }
 }
@@ -270,5 +301,57 @@ mod tests {
         assert_eq!(snap.completed, 0);
         assert_eq!(snap.qps, 0.0);
         assert_eq!(snap.p99_us, 0);
+    }
+
+    #[test]
+    fn exact_percentiles_on_fixed_1000_sample_input() {
+        // Satellite acceptance: latencies 1..=1000 µs in scrambled insert
+        // order; under `sorted[round((n-1)·q)]`, p50 = sorted[500] = 501,
+        // p95 = sorted[949] = 950, p99 = sorted[989] = 990.
+        let s = Stats::new(4);
+        for i in 0..1000u64 {
+            let scrambled = (i * 617) % 1000 + 1; // 617 ⊥ 1000 → permutation
+            s.record_completed("m", scrambled);
+        }
+        let snap = s.snapshot("m");
+        assert_eq!(snap.completed, 1000);
+        assert_eq!(snap.p50_us, 501);
+        assert_eq!(snap.p95_us, 950);
+        assert_eq!(snap.p99_us, 990);
+        assert_eq!(snap.max_us, 1000);
+    }
+
+    #[test]
+    fn stats_are_isolated_per_instance() {
+        // Private registries: two engines' stats never bleed into each
+        // other (or the process-global telemetry registry).
+        let a = Stats::new(4);
+        let b = Stats::new(4);
+        a.record_admitted("m");
+        assert_eq!(a.snapshot("m").admitted, 1);
+        assert_eq!(b.snapshot("m").admitted, 0);
+    }
+
+    #[test]
+    fn telemetry_snapshot_exposes_all_counters() {
+        let s = Stats::new(4);
+        s.record_admitted("m");
+        s.record_completed("m", 250);
+        s.record_batch("m", 2);
+        let snap = s.telemetry_snapshot();
+        assert_eq!(snap.counter("serve.admitted", "m"), 1);
+        assert_eq!(snap.counter("serve.completed", "m"), 1);
+        let h = snap.histogram("serve.batch_size", "m").unwrap();
+        assert_eq!(h.total(), 1);
+        assert!(snap.histogram("serve.latency_us", "m").unwrap().total() == 1);
+    }
+
+    #[test]
+    fn all_lists_shed_only_models() {
+        let s = Stats::new(4);
+        s.record_shed("overloaded");
+        s.record_completed("ok", 10);
+        let names: Vec<String> = s.all().into_iter().map(|x| x.model).collect();
+        assert_eq!(names, vec!["ok".to_string(), "overloaded".to_string()]);
     }
 }

@@ -188,6 +188,7 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, spec: Conv2dSpec) -> Result<Tenso
     }
     let c_out = weight.dims()[0];
     let m = weight.dims()[1] * spec.kernel * spec.kernel;
+    csp_telemetry::counter_add("tensor.conv2d.calls", "", 1);
     let cols = im2col(input, spec)?;
     let w_flat = weight.reshape(&[c_out, m])?;
     let out = matmul(&w_flat, &cols)?;

@@ -104,10 +104,18 @@ pub(crate) fn gemm(
     };
     let (bp, offsets) = pack_b(k, n, b, b_trans);
     let n_jc = n.div_ceil(NC);
+    // Hoisted so the hot loop pays one closure-captured bool, and counts
+    // are published once per row chunk (into the worker's own telemetry
+    // shard), not once per MAC.
+    let telem = csp_telemetry::enabled();
+    if telem {
+        csp_telemetry::counter_add("tensor.gemm.calls", "", 1);
+    }
 
     Pool::current().for_each_chunk_mut(&mut out, ROW_CHUNK * n, |_, elem_off, out_rows| {
         let i0 = elem_off / n;
         let rows = out_rows.len() / n;
+        let (mut macs, mut skipped) = (0u64, 0u64);
         for (pcb, pc) in (0..k).step_by(KC).enumerate() {
             let pl = KC.min(k - pc);
             for (jcb, jc) in (0..n).step_by(NC).enumerate() {
@@ -121,7 +129,13 @@ pub(crate) fn gemm(
                     let orow = &mut out_rows[r * n + jc..r * n + jc + jl];
                     for (dp, &av) in arow.iter().enumerate() {
                         if av == 0.0 {
+                            if telem {
+                                skipped += jl as u64;
+                            }
                             continue;
+                        }
+                        if telem {
+                            macs += jl as u64;
                         }
                         let brow = &panel[dp * jl..(dp + 1) * jl];
                         for (o, &bv) in orow.iter_mut().zip(brow) {
@@ -130,6 +144,10 @@ pub(crate) fn gemm(
                     }
                 }
             }
+        }
+        if telem {
+            csp_telemetry::counter_add("tensor.gemm.macs", "", macs);
+            csp_telemetry::counter_add("tensor.gemm.skipped", "", skipped);
         }
     });
     out

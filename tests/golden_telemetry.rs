@@ -1,0 +1,271 @@
+//! Golden test: the RegBin telemetry counters reproduce the published
+//! Fig. 7 / Fig. 13 numbers exactly.
+//!
+//! The figure drivers (`fig07_regbin_trace`, `fig13_regbin_freq`) compute
+//! their numbers from the functional model's own event structs. This
+//! suite replays the same scenarios, publishes the events through
+//! `AccumBuffer::publish_telemetry` into a private registry, and checks
+//! that the *telemetry counters* — the path a live monitoring consumer
+//! would read — agree bit-for-bit with the legacy figure loops and with
+//! the checked-in `results/fig07_regbin_trace.txt` /
+//! `results/fig13_regbin_freq.txt` golden files.
+
+use csp_accel::{
+    regbin_access_frequency, regbin_index_of_chunk, regbin_len, regbin_start, AccumBuffer, RegBin,
+    NUM_REGBINS,
+};
+use csp_bench::workloads;
+use csp_telemetry::{Registry, Snapshot};
+
+fn golden(name: &str) -> String {
+    let path = format!("{}/../../results/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Replay Fig. 7's RB1 trace on the full accumulation buffer (RB1 holds
+/// chunks 2..6) and publish into `reg`; returns the buffer for value
+/// checks.
+fn replay_fig07(reg: &Registry) -> AccumBuffer {
+    let mut ab = AccumBuffer::new();
+    // Row A (count 3): head-only access to chunk 2 — no rotation.
+    ab.accumulate(2, 1.0, 3);
+    // Row B (count 4): chunk 3 is past RB1's head — FSM armed.
+    ab.accumulate(3, 2.0, 4);
+    // Idle cycles 5..8: the bin realigns on its own.
+    ab.settle();
+    // Row C (count 3): head access again, stall-free.
+    ab.accumulate(2, 4.0, 3);
+    ab.end_pass();
+    ab.publish_telemetry(reg);
+    ab
+}
+
+#[test]
+fn fig07_trace_counters_match_legacy_events_and_golden_file() {
+    // Legacy path: the exact driver scenario on a bare RegBin.
+    let mut rb = RegBin::new(1);
+    rb.accumulate(0, 1.0, 3);
+    rb.accumulate(1, 2.0, 4);
+    for _ in 0..3 {
+        rb.tick();
+    }
+    rb.accumulate(0, 4.0, 3);
+    rb.end_pass();
+    let legacy = rb.events();
+
+    // Telemetry path: same scenario through the accumulation buffer.
+    let reg = Registry::new();
+    let ab = replay_fig07(&reg);
+    let snap = reg.snapshot();
+
+    assert_eq!(
+        snap.counter("accel.regbin.head_accesses", "rb1"),
+        legacy.head_accesses
+    );
+    assert_eq!(
+        snap.counter("accel.regbin.rotation_steps", "rb1"),
+        legacy.rotation_steps
+    );
+    assert_eq!(
+        snap.counter("accel.regbin.active_passes", "rb1"),
+        legacy.active_passes
+    );
+
+    // Pin against the checked-in figure text: the final FSM step count and
+    // the preserved partial sums.
+    let text = golden("fig07_regbin_trace.txt");
+    let last_steps: u64 = text
+        .lines()
+        .filter_map(|l| {
+            let (_, rest) = l.split_once("(steps ")?;
+            rest.split(')').next()?.parse().ok()
+        })
+        .next_back()
+        .expect("golden trace reports FSM steps");
+    assert_eq!(
+        snap.counter("accel.regbin.rotation_steps", "rb1"),
+        last_steps,
+        "telemetry rotation steps must reproduce the golden trace"
+    );
+    assert_eq!(snap.counter("accel.regbin.head_accesses", "rb1"), 3);
+
+    let values_line = text
+        .lines()
+        .find(|l| l.contains("values preserved"))
+        .expect("golden trace reports preserved values");
+    assert!(values_line.contains("chunk2 = 5") && values_line.contains("chunk3 = 2"));
+    assert_eq!(ab.peek(2), 5.0);
+    assert_eq!(ab.peek(3), 2.0);
+
+    // Untouched bins were gated, and the pass held exactly 2 chunks.
+    for b in [0usize, 2, 3, 4] {
+        assert_eq!(
+            snap.counter("accel.regbin.gated_passes", &format!("rb{b}")),
+            1
+        );
+    }
+    assert_eq!(snap.max("accel.regbin.occupancy_hwm", ""), 2);
+}
+
+/// Drive one pass per filter row: a row with chunk count `c` touches every
+/// bin up to the bin holding its deepest chunk — the same reach rule
+/// `regbin_access_frequency` encodes.
+fn replay_rows(
+    reg: &Registry,
+    all_counts: &[Vec<usize>],
+) -> (u64, [u64; NUM_REGBINS], [u64; NUM_REGBINS]) {
+    let mut ab = AccumBuffer::new();
+    let mut rows = 0u64;
+    for counts in all_counts {
+        for &c in counts {
+            rows += 1;
+            if c > 0 {
+                let top = regbin_index_of_chunk((c - 1).min(61));
+                for b in 0..=top {
+                    ab.accumulate(regbin_start(b), 1.0, c);
+                }
+            }
+            ab.end_pass();
+        }
+    }
+    ab.publish_telemetry(reg);
+    let snap = reg.snapshot();
+    let mut active = [0u64; NUM_REGBINS];
+    let mut gated = [0u64; NUM_REGBINS];
+    for b in 0..NUM_REGBINS {
+        let label = format!("rb{b}");
+        active[b] = snap.counter("accel.regbin.active_passes", &label);
+        gated[b] = snap.counter("accel.regbin.gated_passes", &label);
+    }
+    (rows, active, gated)
+}
+
+/// Fig. 13 frequencies derived from telemetry counters alone.
+fn frequencies_from_telemetry(
+    rows: u64,
+    active: &[u64; NUM_REGBINS],
+    gated: &[u64; NUM_REGBINS],
+) -> ([f64; NUM_REGBINS], f64) {
+    let mut freq = [0.0f64; NUM_REGBINS];
+    let mut gated_weight = 0u64;
+    let mut total_weight = 0u64;
+    for b in 0..NUM_REGBINS {
+        freq[b] = if rows == 0 {
+            0.0
+        } else {
+            active[b] as f64 / rows as f64
+        };
+        gated_weight += gated[b] * regbin_len(b) as u64;
+        total_weight += rows * regbin_len(b) as u64;
+    }
+    let gated_fraction = if total_weight == 0 {
+        0.0
+    } else {
+        gated_weight as f64 / total_weight as f64
+    };
+    (freq, gated_fraction)
+}
+
+/// Parse the golden Fig. 13 table into `(model, [RB0..RB4, gated])` rows.
+fn parse_fig13_table(text: &str) -> Vec<(String, Vec<String>)> {
+    text.lines()
+        .skip_while(|l| !l.starts_with("---"))
+        .skip(1)
+        .take_while(|l| !l.trim().is_empty())
+        .map(|l| {
+            let mut tok = l.split_whitespace();
+            let model = tok.next().expect("model name").to_string();
+            (model, tok.map(str::to_string).collect())
+        })
+        .collect()
+}
+
+#[test]
+fn fig13_frequencies_from_telemetry_match_legacy_and_golden_file() {
+    let table = parse_fig13_table(&golden("fig13_regbin_freq.txt"));
+    assert_eq!(table.len(), 5, "golden table lists the five models");
+
+    for w in workloads() {
+        let chunked = w.profile.with_chunk_size(32);
+        let all_counts: Vec<Vec<usize>> = w
+            .network
+            .layers
+            .iter()
+            .map(|l| chunked.chunk_counts(l))
+            .collect();
+
+        // Legacy figure loop.
+        let usage = regbin_access_frequency(all_counts.iter().map(|c| c.as_slice()));
+
+        // Telemetry counters, via pass bookkeeping on the functional buffer.
+        let reg = Registry::new();
+        let (rows, active, gated) = replay_rows(&reg, &all_counts);
+        let (freq, gated_fraction) = frequencies_from_telemetry(rows, &active, &gated);
+
+        // Counters agree with the legacy computation bit-for-bit: both
+        // sides divide the same exact integers.
+        for (b, &f) in freq.iter().enumerate() {
+            assert_eq!(
+                f.to_bits(),
+                usage.access_frequency[b].to_bits(),
+                "{} RB{b}: telemetry {} vs legacy {}",
+                w.network.name,
+                f,
+                usage.access_frequency[b]
+            );
+        }
+        assert_eq!(
+            gated_fraction.to_bits(),
+            usage.gated_power_fraction.to_bits(),
+            "{} gated fraction: telemetry {} vs legacy {}",
+            w.network.name,
+            gated_fraction,
+            usage.gated_power_fraction
+        );
+
+        // And both reproduce the published table cells exactly.
+        let (_, cells) = table
+            .iter()
+            .find(|(m, _)| m == w.network.name)
+            .unwrap_or_else(|| panic!("{} missing from golden table", w.network.name));
+        for b in 0..NUM_REGBINS {
+            assert_eq!(
+                format!("{:.1}%", 100.0 * freq[b]),
+                cells[b],
+                "{} RB{b} golden cell",
+                w.network.name
+            );
+        }
+        assert_eq!(
+            format!("{:.1}%", 100.0 * gated_fraction),
+            cells[NUM_REGBINS],
+            "{} gated-power golden cell",
+            w.network.name
+        );
+    }
+}
+
+/// Repeated publishes emit deltas: publishing after every pass sums to
+/// exactly the same totals as one publish at the end.
+#[test]
+fn per_pass_publishes_sum_to_one_shot_totals() {
+    let drive = |publish_each_pass: bool| -> Snapshot {
+        let reg = Registry::new();
+        let mut ab = AccumBuffer::new();
+        for pass in 0..6 {
+            for chunk in 0..(pass * 9 + 1).min(62) {
+                ab.accumulate(chunk, 1.0, pass * 9 + 1);
+            }
+            ab.settle();
+            ab.end_pass();
+            if publish_each_pass {
+                ab.publish_telemetry(&reg);
+            }
+        }
+        ab.publish_telemetry(&reg);
+        reg.snapshot()
+    };
+    let once = drive(false);
+    let per_pass = drive(true);
+    assert_eq!(once.entries, per_pass.entries);
+}

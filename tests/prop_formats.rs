@@ -210,3 +210,27 @@ proptest! {
         prop_assert!((got - s).abs() <= 1.0 / n as f32 + 1e-6);
     }
 }
+
+/// Replay of the case recorded in `prop_formats.proptest-regressions`.
+///
+/// The vendored proptest does **not** read `.proptest-regressions` files,
+/// so saved failure seeds never re-run automatically; this explicit test
+/// is the enforcement. The case once tripped an off-by-one in the
+/// `reorder_waste_bounded_by_group_spread` bound: with `counts =
+/// [0, 0, 0, 0, 1]` and `t = 2`, the sorted order groups the lone
+/// count-1 row with a count-0 row, wasting exactly `(t - 1) * max = 1`
+/// slot — the bound must hold with equality, not strictly.
+#[test]
+fn regression_lone_nonzero_row_saturates_waste_bound() {
+    let counts = [0usize, 0, 0, 0, 1];
+    let t = 2;
+    let reordered = reorder_rows_for_ipws(&counts);
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let waste = group_waste(&counts, &reordered, t);
+    assert_eq!(
+        waste,
+        (t - 1) * max,
+        "this case saturates the bound exactly"
+    );
+    assert!(waste <= (t - 1) * max);
+}

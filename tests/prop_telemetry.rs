@@ -1,0 +1,253 @@
+//! Telemetry determinism property suite.
+//!
+//! `csp-telemetry` promises that its shard-per-thread design never makes
+//! a count depend on *how many* threads recorded it: counter sums, gauge
+//! maxima, and histogram bucket counts are commutative `u64` merges, so a
+//! parallel run's merged totals must be bit-identical to a single-thread
+//! run of the same operations. These tests pin that contract — on the
+//! registry directly, on the histogram merge algebra, on the instrumented
+//! GEMM counters, and on the end-to-end rule that *enabling telemetry
+//! never changes the numerics it observes* (a training epoch's weights
+//! are bit-identical with telemetry on and off).
+
+use csp_core::nn::data::ClusterImages;
+use csp_core::nn::{
+    seeded_rng, train_classifier, Conv2d, Flatten, Linear, MaxPool, Relu, Sequential, Sgd,
+    TrainOptions,
+};
+use csp_core::runtime::{with_threads, Pool};
+use csp_core::telemetry::{self, Histogram, Registry, Snapshot};
+use csp_core::tensor::{matmul, uniform};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// One recorded operation against a registry. The metric kind is fixed by
+/// the name prefix so a key is never recorded with two kinds.
+#[derive(Debug, Clone)]
+enum Op {
+    Counter(u8, u8, u64),
+    Gauge(u8, u8, u64),
+    Hist(u8, u8, u64),
+}
+
+const HIST_BOUNDS: [u64; 4] = [8, 64, 512, 4096];
+
+fn apply(reg: &Registry, op: &Op) {
+    match op {
+        Op::Counter(n, l, d) => reg.counter_add(&format!("c{n}"), &format!("l{l}"), *d),
+        Op::Gauge(n, l, v) => reg.max_gauge(&format!("g{n}"), &format!("l{l}"), *v),
+        Op::Hist(n, l, v) => {
+            reg.histogram_record(&format!("h{n}"), &format!("l{l}"), &HIST_BOUNDS, *v);
+        }
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let idx = 0u8..3;
+    let label = 0u8..2;
+    prop_oneof![
+        (idx.clone(), label.clone(), 0u64..10_000).prop_map(|(n, l, d)| Op::Counter(n, l, d)),
+        (idx.clone(), label.clone(), 0u64..10_000).prop_map(|(n, l, v)| Op::Gauge(n, l, v)),
+        (idx, label, 0u64..10_000).prop_map(|(n, l, v)| Op::Hist(n, l, v)),
+    ]
+}
+
+/// Entries only — `taken_at` legitimately differs between snapshots.
+fn entries(s: &Snapshot) -> Vec<(String, String, telemetry::Value)> {
+    s.entries
+        .iter()
+        .map(|e| (e.name.clone(), e.label.clone(), e.value.clone()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole contract: the same ops applied from 1, 2, 4, or 8
+    /// pool threads merge to exactly the single-thread totals.
+    #[test]
+    fn shard_merged_totals_equal_single_thread(
+        ops in proptest::collection::vec(op_strategy(), 0..120)
+    ) {
+        let serial = Registry::new();
+        for op in &ops {
+            apply(&serial, op);
+        }
+        let want = entries(&serial.snapshot());
+
+        for nt in THREAD_COUNTS {
+            let reg = Registry::new();
+            with_threads(nt, || {
+                Pool::current().map_collect(ops.len(), |i| apply(&reg, &ops[i]));
+            });
+            prop_assert_eq!(
+                &entries(&reg.snapshot()),
+                &want,
+                "merged totals diverged at {} threads",
+                nt
+            );
+        }
+    }
+
+    /// Histogram merging is associative and order-independent: any
+    /// partition of the samples, merged in any order, reproduces the
+    /// bucket counts of recording every sample into one histogram.
+    #[test]
+    fn histogram_merge_is_order_independent(
+        values in proptest::collection::vec(0u64..10_000, 0..200),
+        chunk in 1usize..9,
+        rot in 0usize..16,
+    ) {
+        let mut single = Histogram::new(&HIST_BOUNDS);
+        for &v in &values {
+            single.record(v);
+        }
+
+        let parts: Vec<Histogram> = values
+            .chunks(chunk)
+            .map(|c| {
+                let mut h = Histogram::new(&HIST_BOUNDS);
+                for &v in c {
+                    h.record(v);
+                }
+                h
+            })
+            .collect();
+
+        // Left fold, right fold, and a rotated order must all agree.
+        let fold = |order: Vec<&Histogram>| {
+            let mut acc = Histogram::new(&HIST_BOUNDS);
+            for h in order {
+                acc.merge(h);
+            }
+            acc
+        };
+        let left = fold(parts.iter().collect());
+        let right = fold(parts.iter().rev().collect());
+        let rotated = if parts.is_empty() {
+            left.clone()
+        } else {
+            let r = rot % parts.len();
+            fold(parts[r..].iter().chain(parts[..r].iter()).collect())
+        };
+        prop_assert_eq!(left.counts(), single.counts());
+        prop_assert_eq!(right.counts(), single.counts());
+        prop_assert_eq!(rotated.counts(), single.counts());
+        prop_assert_eq!(single.total(), values.len() as u64);
+    }
+}
+
+/// Serializes the tests that flip the process-global telemetry switch so
+/// they cannot contaminate each other's global-registry readings.
+static GLOBAL_TELEMETRY: Mutex<()> = Mutex::new(());
+
+/// The instrumented GEMM's work counters (`macs`, `skipped`, dispatch
+/// accounting) are functions of the problem alone — identical at every
+/// pool width.
+#[test]
+fn gemm_work_counters_are_thread_count_invariant() {
+    let _guard = GLOBAL_TELEMETRY.lock().unwrap();
+    let was_enabled = telemetry::enabled();
+    telemetry::set_enabled(true);
+
+    let mut rng = seeded_rng(41);
+    let a = uniform(&mut rng, &[33, 29], 1.0);
+    let b = uniform(&mut rng, &[29, 37], 1.0);
+
+    let mut baseline: Option<(u64, u64, u64, u64)> = None;
+    for nt in THREAD_COUNTS {
+        telemetry::reset_global();
+        let y = with_threads(nt, || matmul(&a, &b)).expect("matmul");
+        assert_eq!(y.dims(), &[33, 37]);
+        let s = telemetry::global_snapshot();
+        let got = (
+            s.counter("tensor.gemm.macs", ""),
+            s.counter("tensor.gemm.skipped", ""),
+            s.counter("tensor.gemm.calls", ""),
+            s.counter("runtime.chunks.dispatched", ""),
+        );
+        assert!(got.0 > 0, "an enabled GEMM must count MACs");
+        match baseline {
+            None => baseline = Some(got),
+            Some(want) => assert_eq!(got, want, "counters diverged at {nt} threads"),
+        }
+    }
+
+    telemetry::set_enabled(was_enabled);
+}
+
+/// One short training run; returns final parameter bits and per-epoch
+/// stats bits (the same fingerprint `prop_parallel_determinism` uses).
+fn train_fingerprint(seed: u64) -> (Vec<u32>, Vec<u32>) {
+    let mut rng = seeded_rng(seed);
+    let ds = ClusterImages::generate(&mut rng, 24, 4, 1, 8, 0.2);
+    let mut model = Sequential::new(vec![
+        Box::new(Conv2d::new(&mut rng, 1, 4, 3, 1, 1)),
+        Box::new(Relu::new()),
+        Box::new(MaxPool::new(2, 2)),
+        Box::new(Flatten::new()),
+        Box::new(Linear::new(&mut rng, 4 * 4 * 4, 4)),
+    ]);
+    let mut opt = Sgd::new(0.05).with_momentum(0.9, true);
+    let stats = train_classifier(
+        &mut model,
+        |b| ds.batch(b * 8, 8),
+        3,
+        &mut opt,
+        &TrainOptions {
+            epochs: 2,
+            batch_size: 8,
+            ..Default::default()
+        },
+        None,
+        None,
+    )
+    .expect("train_classifier");
+    let weights = model
+        .params()
+        .iter()
+        .flat_map(|p| p.value.as_slice().iter().map(|v| v.to_bits()))
+        .collect();
+    let stat_bits = stats
+        .iter()
+        .flat_map(|s| [s.loss.to_bits(), s.accuracy.to_bits()])
+        .collect();
+    (weights, stat_bits)
+}
+
+/// Observation must not perturb the observed: a telemetry-enabled
+/// training run is bit-identical to a disabled one, serial and under a
+/// 4-thread pool — and the enabled run really did record.
+#[test]
+fn telemetry_enabled_training_is_bit_identical_to_disabled() {
+    let _guard = GLOBAL_TELEMETRY.lock().unwrap();
+    let was_enabled = telemetry::enabled();
+
+    for nt in [1usize, 4] {
+        telemetry::set_enabled(false);
+        let off = with_threads(nt, || train_fingerprint(29));
+
+        telemetry::set_enabled(true);
+        telemetry::reset_global();
+        let on = with_threads(nt, || train_fingerprint(29));
+        let snap = telemetry::global_snapshot();
+
+        assert_eq!(
+            off, on,
+            "telemetry changed training numerics at {nt} threads"
+        );
+        assert_eq!(
+            snap.counter("nn.epochs", ""),
+            2,
+            "enabled run must record epochs"
+        );
+        assert!(
+            snap.counter("tensor.gemm.macs", "") > 0,
+            "enabled run must count kernel MACs"
+        );
+    }
+
+    telemetry::set_enabled(was_enabled);
+}
