@@ -4,7 +4,7 @@
 //! Usage: `serve_bench [--smoke] [--json] [--threads N] [--out PATH]
 //! [--seed N]`
 //!
-//! Three phases:
+//! Four phases:
 //!
 //! 1. **Closed loop, in-process** — sweep batch policy × concurrent
 //!    clients; each client issues its next request the moment the
@@ -14,11 +14,20 @@
 //!    the regime where admission control starts to matter.
 //! 3. **Overload** — a tiny queue hammered by unpaced clients; the engine
 //!    must shed with typed errors, never stall or crash.
+//! 4. **Deadline sweep** — a slow batcher (long `max_wait`) fed requests
+//!    whose budgets are far shorter than the batch hold time; queued
+//!    requests must be shed as typed `Expired`, never executed late.
+//!
+//! Every client-side reply is classified into a typed outcome — ok /
+//! shed (`Overloaded`) / expired (`Expired`) / failed (other engine
+//! errors) / transport (`Io`/`Corrupt` socket faults) — so the study
+//! separates load shedding from real failures.
 //!
 //! `--smoke` shrinks the sweep for CI but still pushes ≥ 100 requests
 //! through the real TCP path and verifies the smoke invariants (zero shed
 //! at low load, nonzero latency percentiles, populated batch histogram,
-//! nonzero shed under overload), exiting nonzero on violation.
+//! nonzero shed under overload, nonzero expired in the deadline sweep,
+//! exactly one typed outcome per request), exiting nonzero on violation.
 //! `--json` additionally writes `results/BENCH_serve.json`; the study
 //! table always goes to stdout and `results/serve_study.txt`.
 
@@ -34,6 +43,45 @@ use std::time::{Duration, Instant};
 
 const MODEL: &str = "basic";
 
+/// Client-side typed reply outcomes: every issued request lands in
+/// exactly one bucket.
+#[derive(Debug, Default, Clone, Copy)]
+struct Outcomes {
+    ok: u64,
+    shed: u64,
+    expired: u64,
+    failed: u64,
+    transport: u64,
+}
+
+impl Outcomes {
+    fn record<T>(&mut self, r: &CspResult<T>) {
+        match r {
+            Ok(_) => self.ok += 1,
+            Err(CspError::Overloaded { .. }) => self.shed += 1,
+            Err(CspError::Expired { .. }) => self.expired += 1,
+            Err(CspError::Io { .. }) | Err(CspError::Corrupt { .. }) => self.transport += 1,
+            Err(_) => self.failed += 1,
+        }
+    }
+
+    fn merge(&mut self, o: Outcomes) {
+        self.ok += o.ok;
+        self.shed += o.shed;
+        self.expired += o.expired;
+        self.failed += o.failed;
+        self.transport += o.transport;
+    }
+
+    fn total(&self) -> u64 {
+        self.ok + self.errors()
+    }
+
+    fn errors(&self) -> u64 {
+        self.shed + self.expired + self.failed + self.transport
+    }
+}
+
 /// One measured cell of the sweep.
 struct Cell {
     phase: &'static str,
@@ -42,7 +90,7 @@ struct Cell {
     clients: usize,
     offered_rps: Option<f64>,
     requests: u64,
-    client_errors: u64,
+    outcomes: Outcomes,
     wall_s: f64,
     snap: StatsSnapshot,
 }
@@ -85,18 +133,19 @@ fn closed_loop(
             let client = engine.client();
             let samples = samples.clone();
             std::thread::spawn(move || {
-                let mut errors = 0u64;
+                let mut outcomes = Outcomes::default();
                 for i in 0..per_client {
                     let x = &samples[(t + i) % samples.len()];
-                    if client.infer(MODEL, x, None).is_err() {
-                        errors += 1;
-                    }
+                    outcomes.record(&client.infer(MODEL, x, None));
                 }
-                errors
+                outcomes
             })
         })
         .collect();
-    let client_errors: u64 = handles.into_iter().map(|h| h.join().unwrap_or(1)).sum();
+    let mut outcomes = Outcomes::default();
+    for h in handles {
+        outcomes.merge(h.join().unwrap_or_default());
+    }
     let wall_s = start.elapsed().as_secs_f64();
     let snap = engine.stats(MODEL);
     engine.shutdown()?;
@@ -107,7 +156,7 @@ fn closed_loop(
         clients,
         offered_rps: None,
         requests: (clients * per_client) as u64,
-        client_errors,
+        outcomes,
         wall_s,
         snap,
     })
@@ -134,30 +183,30 @@ fn tcp_open_loop(
     let handles: Vec<_> = (0..conns)
         .map(|t| {
             let samples = samples.clone();
-            std::thread::spawn(move || -> Result<u64, CspError> {
+            std::thread::spawn(move || -> Result<Outcomes, CspError> {
                 let mut tcp = TcpClient::connect(&addr)?;
-                let mut errors = 0u64;
+                let mut outcomes = Outcomes::default();
                 for i in 0..per_conn {
                     let x = &samples[(t + i) % samples.len()];
-                    if tcp.infer(MODEL, x, None).is_err() {
-                        errors += 1;
-                    }
+                    outcomes.record(&tcp.infer(MODEL, x, None));
                     std::thread::sleep(pace);
                 }
-                Ok(errors)
+                Ok(outcomes)
             })
         })
         .collect();
-    let mut client_errors = 0u64;
+    let mut outcomes = Outcomes::default();
     for h in handles {
         match h.join() {
-            Ok(Ok(e)) => client_errors += e,
-            _ => client_errors += per_conn as u64,
+            Ok(Ok(o)) => outcomes.merge(o),
+            // A connection that could not even be established counts all
+            // its requests as transport errors.
+            _ => outcomes.transport += per_conn as u64,
         }
     }
     let wall_s = start.elapsed().as_secs_f64();
     let snap = engine.stats(MODEL);
-    server.shutdown()?;
+    server.shutdown(Duration::from_secs(10))?;
     engine.shutdown()?;
     let offered = conns as f64 / pace.as_secs_f64().max(1e-9);
     Ok(Cell {
@@ -172,7 +221,7 @@ fn tcp_open_loop(
         clients: conns,
         offered_rps: Some(offered),
         requests: (conns * per_conn) as u64,
-        client_errors,
+        outcomes,
         wall_s,
         snap,
     })
@@ -196,18 +245,19 @@ fn overload(spec: ModelSpec, artifact: &Path, seed: u64) -> CspResult<Cell> {
             let client = engine.client();
             let samples = samples.clone();
             std::thread::spawn(move || {
-                let mut sheds = 0u64;
+                let mut outcomes = Outcomes::default();
                 for i in 0..per_client {
                     let x = &samples[(t + i) % samples.len()];
-                    if let Err(CspError::Overloaded { .. }) = client.infer(MODEL, x, None) {
-                        sheds += 1;
-                    }
+                    outcomes.record(&client.infer(MODEL, x, None));
                 }
-                sheds
+                outcomes
             })
         })
         .collect();
-    let client_sheds: u64 = handles.into_iter().map(|h| h.join().unwrap_or(0)).sum();
+    let mut outcomes = Outcomes::default();
+    for h in handles {
+        outcomes.merge(h.join().unwrap_or_default());
+    }
     let wall_s = start.elapsed().as_secs_f64();
     let snap = engine.stats(MODEL);
     engine.shutdown()?;
@@ -218,7 +268,64 @@ fn overload(spec: ModelSpec, artifact: &Path, seed: u64) -> CspResult<Cell> {
         clients,
         offered_rps: None,
         requests: (clients * per_client) as u64,
-        client_errors: client_sheds,
+        outcomes,
+        wall_s,
+        snap,
+    })
+}
+
+/// Deadline sweep: the batcher holds batches open far longer than the
+/// clients' budgets, so queued requests must be shed as typed `Expired`
+/// — the engine never spends a forward pass on a request nobody is
+/// waiting for. Half the requests carry no budget and must complete.
+fn deadline_sweep(
+    spec: ModelSpec,
+    artifact: &Path,
+    clients: usize,
+    per_client: usize,
+    seed: u64,
+) -> CspResult<Cell> {
+    let policy = BatchPolicy {
+        max_batch: 8,
+        max_wait: Duration::from_millis(25),
+        queue_cap: 256,
+    };
+    let budget = Duration::from_millis(1);
+    let engine = Engine::start(registry_from_disk(spec, artifact)?, policy, 1)?;
+    let samples = request_pool(spec, seed);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|t| {
+            let client = engine.client();
+            let samples = samples.clone();
+            std::thread::spawn(move || {
+                let mut outcomes = Outcomes::default();
+                for i in 0..per_client {
+                    let x = &samples[(t + i) % samples.len()];
+                    // Alternate: budget far below the 25 ms batch hold
+                    // (expires in queue) vs no budget (completes).
+                    let b = if i % 2 == 0 { Some(budget) } else { None };
+                    outcomes.record(&client.infer(MODEL, x, b));
+                }
+                outcomes
+            })
+        })
+        .collect();
+    let mut outcomes = Outcomes::default();
+    for h in handles {
+        outcomes.merge(h.join().unwrap_or_default());
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let snap = engine.stats(MODEL);
+    engine.shutdown()?;
+    Ok(Cell {
+        phase: "deadline",
+        label: format!("hold25ms-budget{}ms", budget.as_millis()),
+        policy,
+        clients,
+        offered_rps: None,
+        requests: (clients * per_client) as u64,
+        outcomes,
         wall_s,
         snap,
     })
@@ -227,31 +334,35 @@ fn overload(spec: ModelSpec, artifact: &Path, seed: u64) -> CspResult<Cell> {
 fn study_table(cells: &[Cell]) -> String {
     let mut s = String::new();
     s.push_str(&format!(
-        "{:<10} {:<18} {:>4} {:>8} {:>9} {:>6} {:>8} {:>9} {:>9} {:>9} {:>7}\n",
+        "{:<10} {:<20} {:>4} {:>8} {:>9} {:>6} {:>7} {:>6} {:>5} {:>8} {:>9} {:>9} {:>7}\n",
         "phase",
         "cell",
         "cli",
         "requests",
-        "completed",
+        "ok",
         "shed",
+        "expired",
+        "failed",
+        "io",
         "qps",
         "p50(us)",
-        "p95(us)",
         "p99(us)",
         "batch"
     ));
     for c in cells {
         s.push_str(&format!(
-            "{:<10} {:<18} {:>4} {:>8} {:>9} {:>6} {:>8.0} {:>9} {:>9} {:>9} {:>7.2}\n",
+            "{:<10} {:<20} {:>4} {:>8} {:>9} {:>6} {:>7} {:>6} {:>5} {:>8.0} {:>9} {:>9} {:>7.2}\n",
             c.phase,
             c.label,
             c.clients,
             c.requests,
-            c.snap.completed,
-            c.snap.shed,
+            c.outcomes.ok,
+            c.outcomes.shed,
+            c.outcomes.expired,
+            c.outcomes.failed,
+            c.outcomes.transport,
             c.snap.qps,
             c.snap.p50_us,
-            c.snap.p95_us,
             c.snap.p99_us,
             c.snap.mean_batch(),
         ));
@@ -268,7 +379,7 @@ fn write_json(path: &str, cells: &[Cell], workers: usize, smoke: bool) {
         .map(|n| n.get())
         .unwrap_or(1);
     let mut body = String::from("{\n");
-    body.push_str("  \"schema\": \"csp-bench/serve/v1\",\n");
+    body.push_str("  \"schema\": \"csp-bench/serve/v2\",\n");
     body.push_str(&format!("  \"smoke\": {smoke},\n"));
     body.push_str(&format!("  \"host_threads\": {host},\n"));
     body.push_str(&format!("  \"workers\": {workers},\n"));
@@ -286,7 +397,9 @@ fn write_json(path: &str, cells: &[Cell], workers: usize, smoke: bool) {
             "    {{\"phase\": \"{}\", \"cell\": \"{}\", \"max_batch\": {}, \
              \"max_wait_us\": {}, \"queue_cap\": {}, \"clients\": {}, \
              \"offered_rps\": {}, \"requests\": {}, \"completed\": {}, \
-             \"failed\": {}, \"shed\": {}, \"expired\": {}, \"client_errors\": {}, \
+             \"failed\": {}, \"shed\": {}, \"expired\": {}, \
+             \"client_ok\": {}, \"client_shed\": {}, \"client_expired\": {}, \
+             \"client_failed\": {}, \"client_transport\": {}, \"client_errors\": {}, \
              \"wall_s\": {:.4}, \"qps\": {:.2}, \"p50_us\": {}, \"p95_us\": {}, \
              \"p99_us\": {}, \"max_us\": {}, \"mean_batch\": {:.3}, \
              \"batch_hist\": [{}]}}{}\n",
@@ -304,7 +417,12 @@ fn write_json(path: &str, cells: &[Cell], workers: usize, smoke: bool) {
             c.snap.failed,
             c.snap.shed,
             c.snap.expired,
-            c.client_errors,
+            c.outcomes.ok,
+            c.outcomes.shed,
+            c.outcomes.expired,
+            c.outcomes.failed,
+            c.outcomes.transport,
+            c.outcomes.errors(),
             c.wall_s,
             c.snap.qps,
             c.snap.p50_us,
@@ -340,7 +458,22 @@ fn check_invariants(cells: &[Cell]) -> Vec<String> {
     if tcp_shed != 0 {
         bad.push(format!("tcp phase shed {tcp_shed} requests at low load"));
     }
-    for c in cells.iter().filter(|c| c.phase != "overload") {
+    for c in cells {
+        // Accounting: every issued request landed in exactly one typed
+        // outcome bucket — nothing was lost silently.
+        if c.outcomes.total() != c.requests {
+            bad.push(format!(
+                "cell {} lost requests: {} issued but {} typed outcomes",
+                c.label,
+                c.requests,
+                c.outcomes.total()
+            ));
+        }
+    }
+    for c in cells
+        .iter()
+        .filter(|c| c.phase == "closed" || c.phase == "tcp-open")
+    {
         if c.snap.completed > 0 && (c.snap.p50_us == 0 || c.snap.p99_us == 0) {
             bad.push(format!(
                 "cell {} has zero latency percentiles (p50={}, p99={})",
@@ -350,10 +483,11 @@ fn check_invariants(cells: &[Cell]) -> Vec<String> {
         if c.snap.completed > 0 && c.snap.batch_hist.iter().sum::<u64>() == 0 {
             bad.push(format!("cell {} has an empty batch histogram", c.label));
         }
-        if c.client_errors > 0 {
+        if c.outcomes.errors() > 0 {
             bad.push(format!(
                 "cell {} saw {} client-side errors at benign load",
-                c.label, c.client_errors
+                c.label,
+                c.outcomes.errors()
             ));
         }
     }
@@ -364,6 +498,27 @@ fn check_invariants(cells: &[Cell]) -> Vec<String> {
         .sum();
     if over_shed == 0 {
         bad.push("overload phase shed nothing (admission control inert)".to_string());
+    }
+    for c in cells.iter().filter(|c| c.phase == "deadline") {
+        if c.outcomes.expired == 0 || c.snap.expired == 0 {
+            bad.push(format!(
+                "deadline cell {} expired nothing (client={}, server={}) — deadline \
+                 propagation inert",
+                c.label, c.outcomes.expired, c.snap.expired
+            ));
+        }
+        if c.outcomes.ok == 0 {
+            bad.push(format!(
+                "deadline cell {} completed nothing — budget-free requests must succeed",
+                c.label
+            ));
+        }
+        if c.outcomes.transport > 0 || c.outcomes.failed > 0 {
+            bad.push(format!(
+                "deadline cell {} saw non-deadline failures (failed={}, transport={})",
+                c.label, c.outcomes.failed, c.outcomes.transport
+            ));
+        }
     }
     bad
 }
@@ -433,6 +588,16 @@ fn run(cli: &CommonCli) -> CspResult<Vec<Cell>> {
     // Phase 3: overload.
     cells.push(overload(spec, &artifact, seed)?);
 
+    // Phase 4: deadline sweep — tight budgets against a slow batcher.
+    let (dl_clients, dl_per_client) = if smoke { (4, 10) } else { (4, 40) };
+    cells.push(deadline_sweep(
+        spec,
+        &artifact,
+        dl_clients,
+        dl_per_client,
+        seed,
+    )?);
+
     let _ = std::fs::remove_dir_all(&dir);
     Ok(cells)
 }
@@ -474,7 +639,9 @@ fn main() -> ExitCode {
     study.push_str(&table);
     study.push_str(
         "\nphases: closed = in-process closed loop; tcp-open = paced open loop over\n\
-         loopback TCP; overload = unpaced burst into a cap-2 queue (shed expected).\n",
+         loopback TCP; overload = unpaced burst into a cap-2 queue (shed expected);\n\
+         deadline = 1 ms budgets against a 25 ms batch hold (expired expected).\n\
+         outcome columns (ok/shed/expired/failed/io) are client-side typed replies.\n",
     );
     match std::fs::write(study_path, &study) {
         Ok(()) => println!("wrote {study_path}"),

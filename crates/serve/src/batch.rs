@@ -91,6 +91,12 @@ pub(crate) struct Pending {
     pub deadline: Option<Instant>,
     /// Admission timestamp (latency is measured from here).
     pub enqueued: Instant,
+    /// Idempotency token of the submitting client (`0` = request is not
+    /// idempotent; no dedup bookkeeping happens).
+    pub token: u64,
+    /// Client-scoped request id; `(token, req_id)` keys the engine's
+    /// reply cache so a retried request never re-executes.
+    pub req_id: u64,
     /// Where the reply goes.
     pub tx: Sender<CspResult<InferReply>>,
 }
@@ -153,10 +159,22 @@ impl BatchQueue {
         self.not_empty.notify_all();
     }
 
-    /// Currently queued requests.
-    #[cfg(test)]
+    /// Currently queued requests (reported by the `Health` op).
     pub(crate) fn len(&self) -> usize {
         self.state.lock().expect("queue lock").q.len()
+    }
+
+    /// Whether [`close`](Self::close) has been called — the engine is
+    /// draining and refuses new admissions.
+    pub(crate) fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock").closed
+    }
+
+    /// Remove and return everything still queued. Shutdown's backstop
+    /// for the pathological case where every worker died mid-drain —
+    /// each leftover must still get a typed answer.
+    pub(crate) fn drain_remaining(&self) -> Vec<Pending> {
+        self.state.lock().expect("queue lock").q.drain(..).collect()
     }
 
     /// Block until a batch can be formed. Returns `None` once the queue is
@@ -233,6 +251,8 @@ mod tests {
                 input: Tensor::zeros(&[1, 2, 2]),
                 deadline: None,
                 enqueued: Instant::now(),
+                token: 0,
+                req_id: 0,
                 tx,
             },
             rx,

@@ -1,0 +1,112 @@
+//! Seeded chaos injection for the serving tier.
+//!
+//! A [`ChaosSession`] wraps one [`csp_sim::FaultSession`] behind a mutex
+//! so the TCP front-end and the engine's workers can draw faults from the
+//! same deterministic stream. The five serving-tier fault classes
+//! ([`FaultClass::SERVE`]) model the failure modes a networked service
+//! actually sees:
+//!
+//! | class          | injected where                    | effect            |
+//! |----------------|-----------------------------------|-------------------|
+//! | `ConnDrop`     | server, before writing a reply    | socket closed     |
+//! | `FrameTruncate`| server, mid-reply write           | partial frame     |
+//! | `WorkerStall`  | engine, before a batch executes   | worker sleeps     |
+//! | `WorkerPanic`  | engine, inside the forward region | worker panics     |
+//! | `ReplyCorrupt` | server, on the encoded reply      | one bit flipped   |
+//!
+//! Everything is seeded: the same [`FaultPlan`] reproduces the exact same
+//! fault sites, so a resilience campaign is replayable from its seed
+//! alone.
+
+use csp_sim::{FaultClass, FaultPlan, FaultReport, FaultSession};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A shared, thread-safe source of seeded serving-tier faults.
+#[derive(Debug)]
+pub struct ChaosSession {
+    faults: Mutex<FaultSession>,
+    stall: Duration,
+}
+
+impl ChaosSession {
+    /// A session drawing from `plan`, stalling workers for `stall`
+    /// whenever [`FaultClass::WorkerStall`] fires.
+    pub fn new(plan: FaultPlan, stall: Duration) -> Self {
+        ChaosSession {
+            faults: Mutex::new(FaultSession::new(plan)),
+            stall,
+        }
+    }
+
+    /// One vulnerable event of `class`: `true` when the fault fires.
+    pub fn fires(&self, class: FaultClass) -> bool {
+        self.faults.lock().expect("chaos lock").event_fires(class)
+    }
+
+    /// One vulnerable event over an encoded message: when the fault
+    /// fires, flips one seeded bit in place and returns the struck byte
+    /// offset.
+    pub fn strike(&self, class: FaultClass, bytes: &mut [u8]) -> Option<usize> {
+        self.faults
+            .lock()
+            .expect("chaos lock")
+            .strike_message(class, bytes)
+    }
+
+    /// One vulnerable event over a `len`-byte frame: when the fault
+    /// fires, returns the seeded cut point after which the write is
+    /// abandoned.
+    pub fn truncate(&self, class: FaultClass, len: usize) -> Option<usize> {
+        self.faults
+            .lock()
+            .expect("chaos lock")
+            .truncate_point(class, len)
+    }
+
+    /// How long a chaos-stalled worker sleeps.
+    pub fn stall(&self) -> Duration {
+        self.stall
+    }
+
+    /// Snapshot the campaign summary (events and injections per class).
+    pub fn report(&self) -> FaultReport {
+        self.faults.lock().expect("chaos lock").report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_is_deterministic_per_seed() {
+        let mk = || {
+            ChaosSession::new(
+                FaultPlan::bernoulli(0.3, 77).with_classes(&[FaultClass::ConnDrop]),
+                Duration::ZERO,
+            )
+        };
+        let (a, b) = (mk(), mk());
+        let fa: Vec<bool> = (0..64).map(|_| a.fires(FaultClass::ConnDrop)).collect();
+        let fb: Vec<bool> = (0..64).map(|_| b.fires(FaultClass::ConnDrop)).collect();
+        assert_eq!(fa, fb, "same seed, same fault stream");
+        assert!(fa.iter().any(|&x| x), "rate 0.3 over 64 events must fire");
+        let report = a.report();
+        assert_eq!(report.events[FaultClass::ConnDrop.index()], 64);
+        assert_eq!(
+            report.injected[FaultClass::ConnDrop.index()],
+            fa.iter().filter(|&&x| x).count() as u64
+        );
+    }
+
+    #[test]
+    fn disabled_classes_never_fire() {
+        let s = ChaosSession::new(
+            FaultPlan::bernoulli(1.0, 1).with_classes(&[FaultClass::ConnDrop]),
+            Duration::ZERO,
+        );
+        assert!(!s.fires(FaultClass::WorkerPanic));
+        assert!(s.fires(FaultClass::ConnDrop));
+    }
+}

@@ -15,6 +15,12 @@
 //!   over `std::net::TcpListener`, reusing `csp_io::wire`;
 //! * [`stats`] keeps per-model rolling QPS, latency percentiles, and the
 //!   executed batch-size histogram;
+//! * [`retry`] is the resilient client — deterministic seeded backoff,
+//!   reconnect-and-retry, and idempotent request keys so a retry after a
+//!   lost reply never double-executes;
+//! * [`chaos`] injects seeded serving-tier faults (connection drops,
+//!   frame truncation, reply corruption, worker stalls and panics) for
+//!   resilience campaigns;
 //! * [`testutil`] builds small weaved artifacts without running the full
 //!   training pipeline (for tests and benchmarks).
 //!
@@ -38,15 +44,20 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod chaos;
 pub mod engine;
 pub mod protocol;
 pub mod registry;
+pub mod retry;
 pub mod server;
 pub mod stats;
 pub mod testutil;
 
 pub use batch::{BatchPolicy, InferReply};
+pub use chaos::ChaosSession;
 pub use engine::{Client, Engine};
+pub use protocol::{HealthReport, HealthState};
 pub use registry::{LoadedModel, ModelRegistry, ModelSpec};
+pub use retry::{ResilientClient, RetryPolicy};
 pub use server::{Server, TcpClient};
 pub use stats::{Stats, StatsSnapshot};

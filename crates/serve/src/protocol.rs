@@ -25,6 +25,30 @@
 //! | if OK       | `u64` model version, `u32` batch size, tensor   |
 //! | otherwise   | length-prefixed UTF-8 error message             |
 //!
+//! ## v2 inference request payload ([`REQ_INFER_V2`])
+//!
+//! | field        | encoding                                  |
+//! |--------------|-------------------------------------------|
+//! | opcode       | `u8` = [`REQ_INFER_V2`]                   |
+//! | token        | `u64` client idempotency token, `0` = none|
+//! | request id   | `u64` (echoed in the reply)               |
+//! | attempt      | `u32` zero-based retry attempt            |
+//! | model name   | length-prefixed UTF-8                     |
+//! | deadline µs  | `u64` **remaining** budget, `0` = none    |
+//! | input        | tensor (dims + f32 data)                  |
+//!
+//! The v2 response is the v1 response payload followed by a little-endian
+//! CRC-32 of it, so a corrupted reply is a typed transport error the
+//! client can retry — never silently wrong logits. Old servers reject the
+//! unknown opcode with a typed error; old clients never see v2 frames.
+//!
+//! ## Health request/response ([`REQ_HEALTH`])
+//!
+//! The request is opcode + id. The OK response carries the engine's
+//! [`HealthReport`]: a state byte (`0` ready / `1` degraded / `2`
+//! draining), `u32` queue depth, `u32` worker count, `u64` restarts,
+//! `u64` panics.
+//!
 //! ## Telemetry request/response ([`REQ_TELEMETRY`])
 //!
 //! The request is just opcode + id. The OK response carries a
@@ -48,6 +72,13 @@ pub const REQ_INFER: u8 = 1;
 /// Request opcode: fetch the engine's telemetry snapshot.
 pub const REQ_TELEMETRY: u8 = 2;
 
+/// Request opcode: fetch the engine's health report.
+pub const REQ_HEALTH: u8 = 3;
+
+/// Request opcode: run one inference, v2 framing — adds the client's
+/// idempotency token, the attempt counter, and a CRC-protected response.
+pub const REQ_INFER_V2: u8 = 4;
+
 /// Response status: success.
 pub const STATUS_OK: u8 = 0;
 /// Response status: request shed by admission control.
@@ -56,8 +87,16 @@ pub const STATUS_OVERLOADED: u8 = 1;
 pub const STATUS_CORRUPT: u8 = 2;
 /// Response status: invalid request (unknown model, bad shape, …).
 pub const STATUS_INVALID: u8 = 3;
-/// Response status: any other server-side failure.
+/// Response status: any other server-side failure (worker panic, …).
 pub const STATUS_INTERNAL: u8 = 4;
+/// Response status: the request's deadline expired before execution.
+pub const STATUS_EXPIRED: u8 = 5;
+/// Response status: the connection was force-closed at the server's
+/// drain deadline; the request (if any was in flight) was not executed.
+pub const STATUS_DRAINING: u8 = 6;
+
+/// Highest status a decoder accepts; anything above is frame corruption.
+const STATUS_MAX: u8 = STATUS_DRAINING;
 
 /// One decoded inference request.
 #[derive(Debug, Clone, PartialEq)]
@@ -125,6 +164,7 @@ fn status_of(err: &CspError) -> u8 {
         CspError::Overloaded { .. } => STATUS_OVERLOADED,
         CspError::Corrupt { .. } => STATUS_CORRUPT,
         CspError::Config { .. } => STATUS_INVALID,
+        CspError::Expired { .. } => STATUS_EXPIRED,
         _ => STATUS_INTERNAL,
     }
 }
@@ -132,13 +172,16 @@ fn status_of(err: &CspError) -> u8 {
 /// The bare message to put on the wire for an engine error. For the
 /// variants [`error_of`] reconstructs from their `what` alone, send just
 /// that — sending the full `Display` would re-gain the variant's prefix
-/// on decode and double it. Everything else collapses to
-/// [`STATUS_INTERNAL`], so its full `Display` is the message.
+/// on decode and double it. Every other variant collapses to
+/// [`STATUS_INTERNAL`] and decodes as [`CspError::Internal`], so its full
+/// `Display` becomes the `what` (keeping the original variant's context).
 fn message_of(err: &CspError) -> String {
     match err {
         CspError::Overloaded { what }
         | CspError::Corrupt { what, .. }
-        | CspError::Config { what } => what.clone(),
+        | CspError::Config { what }
+        | CspError::Expired { what }
+        | CspError::Internal { what } => what.clone(),
         other => other.to_string(),
     }
 }
@@ -152,10 +195,11 @@ fn error_of(status: u8, message: String) -> CspError {
             what: message,
         },
         STATUS_INVALID => CspError::Config { what: message },
-        _ => CspError::Io {
-            path: "csp-serve".to_string(),
-            what: message,
-        },
+        STATUS_EXPIRED => CspError::Expired { what: message },
+        // A drain force-close is admission-level shedding from the
+        // client's point of view: back off and retry elsewhere/later.
+        STATUS_DRAINING => CspError::Overloaded { what: message },
+        _ => CspError::Internal { what: message },
     }
 }
 
@@ -201,13 +245,285 @@ impl Response {
                 model_version,
                 batch_size,
             })
-        } else if status <= STATUS_INTERNAL {
+        } else if status <= STATUS_MAX {
             Err(error_of(status, r.str()?))
         } else {
             return Err(r.corrupt(format!("unknown response status {status}")));
         };
         r.expect_empty()?;
         Ok(Response { id, result })
+    }
+}
+
+/// One decoded v2 inference request: v1 plus the client's idempotency
+/// token and the attempt counter, answered with a CRC-protected frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestV2 {
+    /// Idempotency token identifying the submitting client (`0` = the
+    /// request is not idempotent and is never deduplicated).
+    pub token: u64,
+    /// Client-chosen id, echoed verbatim in the response; `(token, id)`
+    /// keys the engine's reply cache across retries.
+    pub id: u64,
+    /// Zero-based retry attempt (diagnostic; the server treats every
+    /// attempt identically).
+    pub attempt: u32,
+    /// Target model name.
+    pub model: String,
+    /// Remaining deadline budget in microseconds from arrival (`0` =
+    /// none). A retrying client shrinks this on every attempt, so the
+    /// server sees the *remaining* budget, not the original one.
+    pub deadline_us: u64,
+    /// The input sample.
+    pub input: Tensor,
+}
+
+impl RequestV2 {
+    /// Encode this request as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(REQ_INFER_V2);
+        w.put_u64(self.token);
+        w.put_u64(self.id);
+        w.put_u32(self.attempt);
+        w.put_str(&self.model);
+        w.put_u64(self.deadline_us);
+        w.put_tensor(&self.input);
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload as a v2 request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Corrupt`] for a wrong opcode, truncation, or
+    /// trailing bytes.
+    pub fn decode(payload: &[u8]) -> CspResult<RequestV2> {
+        let mut r = Reader::new(payload, "serve-request-v2");
+        let op = r.u8()?;
+        if op != REQ_INFER_V2 {
+            return Err(r.corrupt(format!("unknown request opcode {op}")));
+        }
+        let token = r.u64()?;
+        let id = r.u64()?;
+        let attempt = r.u32()?;
+        let model = r.str()?;
+        let deadline_us = r.u64()?;
+        let input = r.tensor()?;
+        r.expect_empty()?;
+        Ok(RequestV2 {
+            token,
+            id,
+            attempt,
+            model,
+            deadline_us,
+            input,
+        })
+    }
+}
+
+impl Response {
+    /// Encode this response in v2 framing: the v1 payload followed by a
+    /// little-endian CRC-32 of it. A bit flipped anywhere in transit is a
+    /// typed [`CspError::Corrupt`] on decode — never silently wrong
+    /// logits — which is what lets a retrying client preserve
+    /// delivered-reply bit-identity under reply corruption.
+    pub fn encode_v2(&self) -> Vec<u8> {
+        let mut bytes = self.encode();
+        let crc = csp_io::crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes
+    }
+
+    /// Decode a v2 (CRC-suffixed) frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Corrupt`] on CRC mismatch or any v1 decode
+    /// failure.
+    pub fn decode_v2(payload: &[u8]) -> CspResult<Response> {
+        if payload.len() < 4 {
+            return Err(CspError::Corrupt {
+                artifact: "serve-response-v2".to_string(),
+                what: format!("{} bytes cannot hold a CRC suffix", payload.len()),
+            });
+        }
+        let (body, crc_bytes) = payload.split_at(payload.len() - 4);
+        let sent = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        let computed = csp_io::crc32(body);
+        if sent != computed {
+            // Drain force-closes are written in v1 framing (the shutdown
+            // path cannot know the stream's protocol version), so a
+            // cleanly-decoding DRAINING payload is accepted without a CRC.
+            if payload.first() == Some(&STATUS_DRAINING) {
+                if let Ok(resp) = Response::decode(payload) {
+                    return Ok(resp);
+                }
+            }
+            return Err(CspError::Corrupt {
+                artifact: "serve-response-v2".to_string(),
+                what: format!(
+                    "response CRC mismatch: sent {sent:#010x}, computed {computed:#010x}"
+                ),
+            });
+        }
+        Response::decode(body)
+    }
+}
+
+/// Engine liveness, as reported by the `Health` op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Serving normally.
+    Ready,
+    /// Still serving, but impaired: a worker was restarted recently or
+    /// the admission queue is at capacity.
+    Degraded,
+    /// Draining for shutdown; new requests are shed.
+    Draining,
+}
+
+impl HealthState {
+    fn code(self) -> u8 {
+        match self {
+            HealthState::Ready => 0,
+            HealthState::Degraded => 1,
+            HealthState::Draining => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<HealthState> {
+        match code {
+            0 => Some(HealthState::Ready),
+            1 => Some(HealthState::Degraded),
+            2 => Some(HealthState::Draining),
+            _ => None,
+        }
+    }
+
+    /// Human-readable label (`"ready"`, `"degraded"`, `"draining"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthState::Ready => "ready",
+            HealthState::Degraded => "degraded",
+            HealthState::Draining => "draining",
+        }
+    }
+}
+
+/// One engine health report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Overall verdict.
+    pub state: HealthState,
+    /// Requests currently queued.
+    pub queue_depth: usize,
+    /// Target worker-pool size.
+    pub workers: usize,
+    /// Worker threads respawned by the supervisor since start.
+    pub restarts: u64,
+    /// Worker panics converted to typed per-request errors since start.
+    pub panics: u64,
+}
+
+/// One decoded health request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthRequest {
+    /// Client-chosen id, echoed verbatim in the response.
+    pub id: u64,
+}
+
+impl HealthRequest {
+    /// Encode this request as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u8(REQ_HEALTH);
+        w.put_u64(self.id);
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload as a health request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Corrupt`] for a wrong opcode, truncation, or
+    /// trailing bytes.
+    pub fn decode(payload: &[u8]) -> CspResult<HealthRequest> {
+        let mut r = Reader::new(payload, "serve-health-request");
+        let op = r.u8()?;
+        if op != REQ_HEALTH {
+            return Err(r.corrupt(format!("unknown request opcode {op}")));
+        }
+        let id = r.u64()?;
+        r.expect_empty()?;
+        Ok(HealthRequest { id })
+    }
+}
+
+/// One decoded health response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthResponse {
+    /// Echo of the request id.
+    pub id: u64,
+    /// The report, or the server's typed refusal.
+    pub result: CspResult<HealthReport>,
+}
+
+impl HealthResponse {
+    /// Encode this response as a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match &self.result {
+            Ok(report) => {
+                w.put_u8(STATUS_OK);
+                w.put_u64(self.id);
+                w.put_u8(report.state.code());
+                w.put_u32(report.queue_depth as u32);
+                w.put_u32(report.workers as u32);
+                w.put_u64(report.restarts);
+                w.put_u64(report.panics);
+            }
+            Err(e) => {
+                w.put_u8(status_of(e));
+                w.put_u64(self.id);
+                w.put_str(&message_of(e));
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a frame payload as a health response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Corrupt`] for an unknown status or state code,
+    /// truncation, or trailing bytes.
+    pub fn decode(payload: &[u8]) -> CspResult<HealthResponse> {
+        let mut r = Reader::new(payload, "serve-health-response");
+        let status = r.u8()?;
+        let id = r.u64()?;
+        let result = if status == STATUS_OK {
+            let code = r.u8()?;
+            let state = HealthState::from_code(code)
+                .ok_or_else(|| r.corrupt(format!("unknown health state {code}")))?;
+            let queue_depth = r.u32()? as usize;
+            let workers = r.u32()? as usize;
+            let restarts = r.u64()?;
+            let panics = r.u64()?;
+            Ok(HealthReport {
+                state,
+                queue_depth,
+                workers,
+                restarts,
+                panics,
+            })
+        } else if status <= STATUS_MAX {
+            Err(error_of(status, r.str()?))
+        } else {
+            return Err(r.corrupt(format!("unknown response status {status}")));
+        };
+        r.expect_empty()?;
+        Ok(HealthResponse { id, result })
     }
 }
 
@@ -291,7 +607,7 @@ impl TelemetryResponse {
             let len = r.bounded_len(1, "snapshot blob")?;
             let blob = r.take(len)?;
             Ok(csp_io::decode_snapshot(blob)?)
-        } else if status <= STATUS_INTERNAL {
+        } else if status <= STATUS_MAX {
             Err(error_of(status, r.str()?))
         } else {
             return Err(r.corrupt(format!("unknown response status {status}")));
@@ -304,14 +620,20 @@ impl TelemetryResponse {
 /// Any request the server accepts, dispatched on the opcode byte.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AnyRequest {
-    /// [`REQ_INFER`]: run one inference.
+    /// [`REQ_INFER`]: run one inference (legacy v1 framing).
     Infer(Request),
+    /// [`REQ_INFER_V2`]: run one inference with idempotency metadata.
+    InferV2(RequestV2),
     /// [`REQ_TELEMETRY`]: fetch the engine's telemetry snapshot.
     Telemetry(TelemetryRequest),
+    /// [`REQ_HEALTH`]: fetch the engine's health report.
+    Health(HealthRequest),
 }
 
 impl AnyRequest {
     /// Decode a frame payload into whichever request its opcode names.
+    /// Legacy v1 infer frames decode unchanged — a v1 client keeps
+    /// working against a v2 server.
     ///
     /// # Errors
     ///
@@ -321,11 +643,27 @@ impl AnyRequest {
         let probe = Reader::new(payload, "serve-request");
         match payload.first() {
             Some(&REQ_INFER) => Ok(AnyRequest::Infer(Request::decode(payload)?)),
+            Some(&REQ_INFER_V2) => Ok(AnyRequest::InferV2(RequestV2::decode(payload)?)),
             Some(&REQ_TELEMETRY) => Ok(AnyRequest::Telemetry(TelemetryRequest::decode(payload)?)),
+            Some(&REQ_HEALTH) => Ok(AnyRequest::Health(HealthRequest::decode(payload)?)),
             Some(&op) => Err(probe.corrupt(format!("unknown request opcode {op}"))),
             None => Err(probe.corrupt("empty request payload")),
         }
     }
+}
+
+/// The payload a server writes when force-closing a connection at its
+/// drain deadline: a [`STATUS_DRAINING`] response with id 0 (the server
+/// does not know which request, if any, the client is waiting on). Both
+/// [`Response::decode`] and [`Response::decode_v2`] (the frame carries no
+/// CRC, so only v1 decode accepts it) surface it as a typed
+/// [`CspError::Overloaded`].
+pub fn draining_payload(what: &str) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u8(STATUS_DRAINING);
+    w.put_u64(0);
+    w.put_str(what);
+    w.into_bytes()
 }
 
 /// Write one length-prefixed frame to `w`.
@@ -618,6 +956,133 @@ mod tests {
             AnyRequest::decode(&[]),
             Err(CspError::Corrupt { .. })
         ));
+    }
+
+    #[test]
+    fn v2_request_round_trips_and_dispatches() {
+        let req = RequestV2 {
+            token: 0xDEAD_BEEF,
+            id: 42,
+            attempt: 3,
+            model: "alexnet".to_string(),
+            deadline_us: 1500,
+            input: Tensor::from_vec(vec![1.0, -2.0, 3.5, 0.0], &[1, 2, 2]).unwrap(),
+        };
+        assert_eq!(RequestV2::decode(&req.encode()).unwrap(), req);
+        assert_eq!(
+            AnyRequest::decode(&req.encode()).unwrap(),
+            AnyRequest::InferV2(req)
+        );
+    }
+
+    #[test]
+    fn v2_response_crc_catches_every_bit_flip() {
+        let resp = Response {
+            id: 7,
+            result: Ok(InferReply {
+                output: vec![0.25, -1.0, 9.0],
+                model_version: 3,
+                batch_size: 4,
+            }),
+        };
+        let bytes = resp.encode_v2();
+        assert_eq!(Response::decode_v2(&bytes).unwrap(), resp);
+        for pos in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[pos] ^= 1 << bit;
+                assert!(
+                    matches!(Response::decode_v2(&bad), Err(CspError::Corrupt { .. })),
+                    "bit {bit} of byte {pos} flipped: must be a typed Corrupt"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expired_and_internal_statuses_round_trip_typed() {
+        for (err, status) in [
+            (
+                CspError::Expired {
+                    what: "2.0 ms past deadline in queue".to_string(),
+                },
+                STATUS_EXPIRED,
+            ),
+            (
+                CspError::Internal {
+                    what: "worker panic: chaos".to_string(),
+                },
+                STATUS_INTERNAL,
+            ),
+        ] {
+            let resp = Response {
+                id: 9,
+                result: Err(err.clone()),
+            };
+            let bytes = resp.encode_v2();
+            assert_eq!(bytes[0], status);
+            let back = Response::decode_v2(&bytes).unwrap();
+            assert_eq!(back.result.unwrap_err(), err, "no prefix doubling");
+        }
+    }
+
+    #[test]
+    fn health_round_trips() {
+        for state in [
+            HealthState::Ready,
+            HealthState::Degraded,
+            HealthState::Draining,
+        ] {
+            let resp = HealthResponse {
+                id: 11,
+                result: Ok(HealthReport {
+                    state,
+                    queue_depth: 17,
+                    workers: 4,
+                    restarts: 2,
+                    panics: 2,
+                }),
+            };
+            assert_eq!(HealthResponse::decode(&resp.encode()).unwrap(), resp);
+        }
+        let req = HealthRequest { id: 11 };
+        assert_eq!(
+            AnyRequest::decode(&req.encode()).unwrap(),
+            AnyRequest::Health(req)
+        );
+        // Unknown state byte is typed corruption.
+        let mut bytes = HealthResponse {
+            id: 1,
+            result: Ok(HealthReport {
+                state: HealthState::Ready,
+                queue_depth: 0,
+                workers: 1,
+                restarts: 0,
+                panics: 0,
+            }),
+        }
+        .encode();
+        bytes[9] = 9;
+        assert!(matches!(
+            HealthResponse::decode(&bytes),
+            Err(CspError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn draining_payload_is_typed_for_both_decoders() {
+        let payload = draining_payload("drain deadline exceeded");
+        for resp in [
+            Response::decode(&payload).unwrap(),
+            Response::decode_v2(&payload).unwrap(),
+        ] {
+            assert_eq!(resp.id, 0);
+            assert!(
+                matches!(resp.result, Err(CspError::Overloaded { ref what })
+                    if what.contains("drain")),
+                "draining must surface as typed Overloaded"
+            );
+        }
     }
 
     #[test]

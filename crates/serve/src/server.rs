@@ -1,23 +1,39 @@
 //! TCP front-end: a `std::net::TcpListener` accept loop handing each
 //! connection to its own thread, speaking the length-prefixed
-//! [`protocol`](crate::protocol) frames, with graceful drain on shutdown.
+//! [`protocol`](crate::protocol) frames, with bounded graceful drain on
+//! shutdown.
 //!
 //! Connections are read with a short poll timeout so the accept and
 //! connection threads notice a shutdown promptly; a request already read
 //! off the wire always gets its response before the connection closes.
+//! [`Server::shutdown`] takes a drain deadline — connections that have
+//! not finished by then are force-closed with a typed `Draining` reply
+//! rather than pinning the shutdown forever.
+//!
+//! When a [`ChaosSession`] is attached, every outbound reply draws three
+//! seeded fault events: connection drop (reply never written), frame
+//! truncation (partial write, then the socket is severed), and reply
+//! corruption (one bit flipped — which the v2 response CRC converts into
+//! a typed transport error on the client).
 
 use crate::batch::InferReply;
+use crate::chaos::ChaosSession;
 use crate::engine::Client;
 use crate::protocol::{
-    read_frame, write_frame, AnyRequest, Request, Response, TelemetryRequest, TelemetryResponse,
+    draining_payload, read_frame, write_frame, AnyRequest, HealthReport, HealthRequest,
+    HealthResponse, Request, RequestV2, Response, TelemetryRequest, TelemetryResponse,
 };
+use csp_sim::FaultClass;
+use csp_telemetry::names;
 use csp_telemetry::Snapshot;
 use csp_tensor::{CspError, CspResult, Tensor};
+use std::collections::HashMap;
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often a blocked connection read re-checks the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
@@ -29,6 +45,10 @@ fn sock_err(what: String) -> CspError {
     }
 }
 
+/// Live connection streams (`try_clone` handles), so a drain-deadline
+/// shutdown can force-close stragglers from outside their threads.
+type ConnSlab = Arc<Mutex<HashMap<usize, TcpStream>>>;
+
 /// The TCP serving front-end. Dropping without
 /// [`shutdown`](Server::shutdown) stops accepting but does not join the
 /// connection threads.
@@ -36,6 +56,7 @@ fn sock_err(what: String) -> CspError {
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    conns: ConnSlab,
     accept: Option<JoinHandle<()>>,
 }
 
@@ -47,22 +68,39 @@ impl Server {
     ///
     /// Returns [`CspError::Io`] when the bind fails.
     pub fn serve(client: Client, addr: &str) -> CspResult<Server> {
+        Server::serve_with_chaos(client, addr, None)
+    }
+
+    /// Like [`serve`](Server::serve), but injecting seeded wire-level
+    /// faults from `chaos` into every outbound reply.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CspError::Io`] when the bind fails.
+    pub fn serve_with_chaos(
+        client: Client,
+        addr: &str,
+        chaos: Option<Arc<ChaosSession>>,
+    ) -> CspResult<Server> {
         let listener =
             TcpListener::bind(addr).map_err(|e| sock_err(format!("bind {addr} failed: {e}")))?;
         let local = listener
             .local_addr()
             .map_err(|e| sock_err(format!("local_addr failed: {e}")))?;
         let stop = Arc::new(AtomicBool::new(false));
+        let conns: ConnSlab = Arc::new(Mutex::new(HashMap::new()));
         let accept = {
             let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
             std::thread::Builder::new()
                 .name("csp-serve-accept".to_string())
-                .spawn(move || accept_loop(&listener, &client, &stop))
+                .spawn(move || accept_loop(&listener, &client, &stop, &conns, chaos))
                 .map_err(|e| sock_err(format!("spawn accept thread failed: {e}")))?
         };
         Ok(Server {
             addr: local,
             stop,
+            conns,
             accept: Some(accept),
         })
     }
@@ -72,21 +110,43 @@ impl Server {
         self.addr
     }
 
-    /// Graceful shutdown: stop accepting, let every connection finish the
-    /// request it already read, and join all threads.
+    /// Bounded graceful shutdown: stop accepting and let every connection
+    /// finish the request it already read — but no longer than `drain`.
+    /// Connections still open at the deadline are force-closed: each gets
+    /// a typed `Draining` reply (id 0) and its socket severed, which also
+    /// unblocks a mid-frame read. Returns how many connections were
+    /// force-closed (0 = fully graceful).
     ///
     /// # Errors
     ///
     /// Returns [`CspError::Io`] if the accept thread panicked.
-    pub fn shutdown(mut self) -> CspResult<()> {
+    pub fn shutdown(mut self, drain: Duration) -> CspResult<usize> {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
+        let mut forced = 0;
         if let Some(h) = self.accept.take() {
+            let deadline = Instant::now() + drain;
+            while !h.is_finished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if !h.is_finished() {
+                let mut slab = self.conns.lock().expect("conn slab lock");
+                for (_, mut stream) in slab.drain() {
+                    // Best-effort typed goodbye; the concurrent reply (if
+                    // any) may interleave, but the socket dies either way.
+                    let _ = write_frame(
+                        &mut stream,
+                        &draining_payload("connection force-closed at the server's drain deadline"),
+                    );
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    forced += 1;
+                }
+            }
             h.join()
                 .map_err(|_| sock_err("accept thread panicked".to_string()))?;
         }
-        Ok(())
+        Ok(forced)
     }
 }
 
@@ -97,21 +157,38 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, client: &Client, stop: &Arc<AtomicBool>) {
-    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+fn accept_loop(
+    listener: &TcpListener,
+    client: &Client,
+    stop: &Arc<AtomicBool>,
+    conns: &ConnSlab,
+    chaos: Option<Arc<ChaosSession>>,
+) {
+    let mut handles: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_conn = 0usize;
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
+                let conn_id = next_conn;
+                next_conn += 1;
+                if let Ok(clone) = stream.try_clone() {
+                    conns.lock().expect("conn slab lock").insert(conn_id, clone);
+                }
                 let client = client.clone();
                 let stop = Arc::clone(stop);
+                let conns = Arc::clone(conns);
+                let chaos = chaos.clone();
                 if let Ok(h) = std::thread::Builder::new()
                     .name("csp-serve-conn".to_string())
-                    .spawn(move || handle_connection(stream, &client, &stop))
+                    .spawn(move || {
+                        handle_connection(stream, &client, &stop, chaos.as_deref());
+                        conns.lock().expect("conn slab lock").remove(&conn_id);
+                    })
                 {
-                    conns.push(h);
+                    handles.push(h);
                 }
             }
             Err(_) => {
@@ -121,10 +198,10 @@ fn accept_loop(listener: &TcpListener, client: &Client, stop: &Arc<AtomicBool>) 
             }
         }
         // Reap finished connection threads so the vec stays bounded.
-        conns.retain(|h| !h.is_finished());
+        handles.retain(|h| !h.is_finished());
     }
     // Drain: every connection answers the request it already read.
-    for h in conns {
+    for h in handles {
         let _ = h.join();
     }
 }
@@ -165,7 +242,12 @@ fn read_frame_polled(stream: &mut TcpStream, stop: &AtomicBool) -> CspResult<Opt
     frame
 }
 
-fn handle_connection(mut stream: TcpStream, client: &Client, stop: &AtomicBool) {
+fn handle_connection(
+    mut stream: TcpStream,
+    client: &Client,
+    stop: &AtomicBool,
+    chaos: Option<&ChaosSession>,
+) {
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
         return;
     }
@@ -175,7 +257,7 @@ fn handle_connection(mut stream: TcpStream, client: &Client, stop: &AtomicBool) 
             Ok(None) => return,
             Err(_) => return, // broken socket: nothing left to answer
         };
-        let response = match AnyRequest::decode(&payload) {
+        let mut response = match AnyRequest::decode(&payload) {
             Ok(AnyRequest::Infer(req)) => {
                 let deadline =
                     (req.deadline_us > 0).then(|| Duration::from_micros(req.deadline_us));
@@ -185,9 +267,23 @@ fn handle_connection(mut stream: TcpStream, client: &Client, stop: &AtomicBool) 
                 }
                 .encode()
             }
+            Ok(AnyRequest::InferV2(req)) => {
+                let deadline =
+                    (req.deadline_us > 0).then(|| Duration::from_micros(req.deadline_us));
+                Response {
+                    id: req.id,
+                    result: client.infer_keyed(&req.model, &req.input, deadline, req.token, req.id),
+                }
+                .encode_v2()
+            }
             Ok(AnyRequest::Telemetry(req)) => TelemetryResponse {
                 id: req.id,
                 result: Ok(client.telemetry_snapshot()),
+            }
+            .encode(),
+            Ok(AnyRequest::Health(req)) => HealthResponse {
+                id: req.id,
+                result: Ok(client.health()),
             }
             .encode(),
             // Undecodable request: answer with id 0 (the id is inside the
@@ -205,6 +301,28 @@ fn handle_connection(mut stream: TcpStream, client: &Client, stop: &AtomicBool) 
                 return;
             }
         };
+        // Seeded wire-level chaos: drop, truncate, or corrupt the reply.
+        if let Some(chaos) = chaos {
+            if chaos.fires(FaultClass::ConnDrop) {
+                client.record_chaos(names::SERVE_CHAOS_CONN_DROPS);
+                return;
+            }
+            if let Some(cut) = chaos.truncate(FaultClass::FrameTruncate, response.len() + 4) {
+                client.record_chaos(names::SERVE_CHAOS_TRUNCATIONS);
+                let mut framed = (response.len() as u32).to_le_bytes().to_vec();
+                framed.extend_from_slice(&response);
+                framed.truncate(cut);
+                let _ = stream.write_all(&framed);
+                let _ = stream.flush();
+                return;
+            }
+            if chaos
+                .strike(FaultClass::ReplyCorrupt, &mut response)
+                .is_some()
+            {
+                client.record_chaos(names::SERVE_CHAOS_CORRUPTIONS);
+            }
+        }
         if write_frame(&mut stream, &response).is_err() {
             return;
         }
@@ -233,8 +351,8 @@ impl TcpClient {
         Ok(TcpClient { stream, next_id: 1 })
     }
 
-    /// Run one inference over the wire. `budget`, if given, becomes the
-    /// request's server-side deadline.
+    /// Run one inference over the wire (legacy v1 framing). `budget`, if
+    /// given, becomes the request's server-side deadline.
     ///
     /// # Errors
     ///
@@ -255,16 +373,56 @@ impl TcpClient {
             input: input.clone(),
         };
         write_frame(&mut self.stream, &req.encode())?;
-        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
-            sock_err("server closed the connection before responding".to_string())
-        })?;
-        let resp = Response::decode(&payload)?;
-        if resp.id != id && resp.id != 0 {
-            return Err(CspError::Corrupt {
-                artifact: "serve-response".to_string(),
-                what: format!("response id {} does not match request id {id}", resp.id),
-            });
-        }
+        let resp = Response::decode(&self.read_reply()?)?;
+        self.check_id(resp.id, id, "serve-response")?;
+        resp.result
+    }
+
+    /// Run one inference in v2 framing: carries the idempotency key and
+    /// attempt counter, and verifies the response CRC — a corrupted
+    /// reply is a typed [`CspError::Corrupt`], never silently wrong
+    /// logits.
+    ///
+    /// # Errors
+    ///
+    /// The engine's typed error, or [`CspError::Io`] /
+    /// [`CspError::Corrupt`] for transport failures.
+    pub fn infer_v2(
+        &mut self,
+        model: &str,
+        input: &Tensor,
+        budget: Option<Duration>,
+        token: u64,
+        id: u64,
+        attempt: u32,
+    ) -> CspResult<InferReply> {
+        self.next_id = self.next_id.max(id + 1);
+        let req = RequestV2 {
+            token,
+            id,
+            attempt,
+            model: model.to_string(),
+            deadline_us: budget.map_or(0, |b| b.as_micros() as u64),
+            input: input.clone(),
+        };
+        write_frame(&mut self.stream, &req.encode())?;
+        let resp = Response::decode_v2(&self.read_reply()?)?;
+        self.check_id(resp.id, id, "serve-response-v2")?;
+        resp.result
+    }
+
+    /// Fetch the server's health report.
+    ///
+    /// # Errors
+    ///
+    /// The server's typed error, or [`CspError::Io`] /
+    /// [`CspError::Corrupt`] for transport failures.
+    pub fn health(&mut self) -> CspResult<HealthReport> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, &HealthRequest { id }.encode())?;
+        let resp = HealthResponse::decode(&self.read_reply()?)?;
+        self.check_id(resp.id, id, "serve-health-response")?;
         resp.result
     }
 
@@ -280,17 +438,24 @@ impl TcpClient {
         let id = self.next_id;
         self.next_id += 1;
         write_frame(&mut self.stream, &TelemetryRequest { id }.encode())?;
-        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
-            sock_err("server closed the connection before responding".to_string())
-        })?;
-        let resp = TelemetryResponse::decode(&payload)?;
-        if resp.id != id && resp.id != 0 {
+        let resp = TelemetryResponse::decode(&self.read_reply()?)?;
+        self.check_id(resp.id, id, "serve-telemetry-response")?;
+        resp.result
+    }
+
+    fn read_reply(&mut self) -> CspResult<Vec<u8>> {
+        read_frame(&mut self.stream)?
+            .ok_or_else(|| sock_err("server closed the connection before responding".to_string()))
+    }
+
+    fn check_id(&self, got: u64, want: u64, artifact: &str) -> CspResult<()> {
+        if got != want && got != 0 {
             return Err(CspError::Corrupt {
-                artifact: "serve-telemetry-response".to_string(),
-                what: format!("response id {} does not match request id {id}", resp.id),
+                artifact: artifact.to_string(),
+                what: format!("response id {got} does not match request id {want}"),
             });
         }
-        resp.result
+        Ok(())
     }
 }
 
@@ -299,8 +464,13 @@ mod tests {
     use super::*;
     use crate::batch::BatchPolicy;
     use crate::engine::Engine;
+    use crate::protocol::HealthState;
     use crate::registry::{ModelRegistry, ModelSpec};
+    use crate::retry::{ResilientClient, RetryPolicy};
     use crate::testutil::{prune_to_artifact, sample_input};
+    use csp_sim::FaultPlan;
+
+    const DRAIN: Duration = Duration::from_secs(5);
 
     fn serve_engine() -> (Engine, ModelSpec) {
         let spec = ModelSpec::default();
@@ -322,7 +492,7 @@ mod tests {
         let local = engine.client().infer("m", &x, None).unwrap();
         assert_eq!(remote.output, local.output, "wire adds no numeric drift");
         assert_eq!(remote.model_version, local.model_version);
-        server.shutdown().unwrap();
+        assert_eq!(server.shutdown(DRAIN).unwrap(), 0, "drain was graceful");
         engine.shutdown().unwrap();
     }
 
@@ -338,7 +508,7 @@ mod tests {
         ));
         // The connection survives a well-formed but invalid request.
         assert!(tcp.infer("m", &x, None).is_ok());
-        server.shutdown().unwrap();
+        server.shutdown(DRAIN).unwrap();
         engine.shutdown().unwrap();
     }
 
@@ -360,7 +530,7 @@ mod tests {
         // The same connection keeps serving inferences after a telemetry op.
         tcp.infer("m", &x, None).unwrap();
         assert_eq!(tcp.telemetry().unwrap().counter("serve.completed", "m"), 3);
-        server.shutdown().unwrap();
+        server.shutdown(DRAIN).unwrap();
         engine.shutdown().unwrap();
     }
 
@@ -372,7 +542,7 @@ mod tests {
         let x = sample_input(spec, 3, 1);
         let mut tcp = TcpClient::connect(&addr).unwrap();
         assert!(tcp.infer("m", &x, None).is_ok());
-        server.shutdown().unwrap();
+        server.shutdown(DRAIN).unwrap();
         // After shutdown the port no longer answers the protocol.
         let mut late = match TcpClient::connect(&addr) {
             Ok(c) => c,
@@ -382,6 +552,108 @@ mod tests {
             }
         };
         assert!(late.infer("m", &x, None).is_err());
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn v2_infer_dedups_and_health_reports_over_the_wire() {
+        let (engine, spec) = serve_engine();
+        let server = Server::serve(engine.client(), "127.0.0.1:0").unwrap();
+        let mut tcp = TcpClient::connect(&server.addr()).unwrap();
+        let x = sample_input(spec, 11, 1);
+        let first = tcp.infer_v2("m", &x, None, 77, 1, 0).unwrap();
+        // A retry of the same (token, id) is answered from the reply
+        // cache: identical bits, no second execution.
+        let retry = tcp.infer_v2("m", &x, None, 77, 1, 1).unwrap();
+        assert_eq!(first, retry, "retry is bit-identical");
+        let snap = engine.client().telemetry_snapshot();
+        assert_eq!(snap.counter("serve.completed", "m"), 1);
+        assert_eq!(snap.counter("serve.dedup_hits", "m"), 1);
+        let health = tcp.health().unwrap();
+        assert_eq!(health.state, HealthState::Ready);
+        assert_eq!(health.workers, 2);
+        server.shutdown(DRAIN).unwrap();
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn chaos_conn_drop_is_a_typed_transport_error() {
+        let (engine, spec) = serve_engine();
+        let chaos = Arc::new(ChaosSession::new(
+            FaultPlan::bernoulli(1.0, 5).with_classes(&[FaultClass::ConnDrop]),
+            Duration::ZERO,
+        ));
+        let server =
+            Server::serve_with_chaos(engine.client(), "127.0.0.1:0", Some(Arc::clone(&chaos)))
+                .unwrap();
+        let mut tcp = TcpClient::connect(&server.addr()).unwrap();
+        let x = sample_input(spec, 11, 1);
+        assert!(matches!(tcp.infer("m", &x, None), Err(CspError::Io { .. })));
+        assert!(
+            engine
+                .client()
+                .telemetry_snapshot()
+                .counter("serve.chaos.conn_drops", "engine")
+                >= 1
+        );
+        server.shutdown(DRAIN).unwrap();
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn chaos_reply_corruption_is_caught_by_the_v2_crc() {
+        let (engine, spec) = serve_engine();
+        let chaos = Arc::new(ChaosSession::new(
+            FaultPlan::bernoulli(1.0, 6).with_classes(&[FaultClass::ReplyCorrupt]),
+            Duration::ZERO,
+        ));
+        let server = Server::serve_with_chaos(engine.client(), "127.0.0.1:0", Some(chaos)).unwrap();
+        let mut tcp = TcpClient::connect(&server.addr()).unwrap();
+        let x = sample_input(spec, 11, 1);
+        // Every reply has one bit flipped; the CRC turns that into a
+        // typed transport error instead of silently wrong logits.
+        assert!(matches!(
+            tcp.infer_v2("m", &x, None, 9, 1, 0),
+            Err(CspError::Corrupt { .. })
+        ));
+        server.shutdown(DRAIN).unwrap();
+        engine.shutdown().unwrap();
+    }
+
+    #[test]
+    fn resilient_client_recovers_from_intermittent_chaos() {
+        let (engine, spec) = serve_engine();
+        let chaos = Arc::new(ChaosSession::new(
+            FaultPlan::bernoulli(0.5, 9)
+                .with_classes(&[FaultClass::ConnDrop, FaultClass::ReplyCorrupt]),
+            Duration::ZERO,
+        ));
+        let server = Server::serve_with_chaos(engine.client(), "127.0.0.1:0", Some(chaos)).unwrap();
+        let mut client = ResilientClient::connect(
+            &server.addr(),
+            RetryPolicy {
+                max_attempts: 16,
+                base: Duration::from_micros(100),
+                cap: Duration::from_millis(5),
+                seed: 1,
+            },
+        )
+        .unwrap();
+        let x = sample_input(spec, 11, 1);
+        let reference = engine.client().infer("m", &x, None).unwrap();
+        for _ in 0..8 {
+            let reply = client.infer("m", &x, None).unwrap();
+            assert_eq!(
+                reply.output, reference.output,
+                "delivered replies are exact"
+            );
+        }
+        let snap = engine.client().telemetry_snapshot();
+        assert!(
+            snap.counter("serve.completed", "m") + snap.counter("serve.dedup_hits", "m") >= 9,
+            "every delivered reply was executed or served from the dedup cache"
+        );
+        server.shutdown(DRAIN).unwrap();
         engine.shutdown().unwrap();
     }
 }

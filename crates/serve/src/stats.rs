@@ -22,16 +22,19 @@ use std::time::Instant;
 /// percentile estimation).
 pub const LATENCY_RING: usize = 16_384;
 
-/// Metric names written by the collector (all labelled by model name).
+/// Metric names written by the collector — the workspace-wide constants
+/// from [`csp_telemetry::names`], so readers (benches, tests, remote
+/// consumers) never drift from the writer.
+#[rustfmt::skip]
 mod metric {
-    pub const ADMITTED: &str = "serve.admitted";
-    pub const COMPLETED: &str = "serve.completed";
-    pub const FAILED: &str = "serve.failed";
-    pub const SHED: &str = "serve.shed";
-    pub const EXPIRED: &str = "serve.expired";
-    pub const BATCHES: &str = "serve.batches";
-    pub const BATCH_SIZE: &str = "serve.batch_size";
-    pub const LATENCY_US: &str = "serve.latency_us";
+    pub use csp_telemetry::names::{
+        SERVE_ADMITTED as ADMITTED, SERVE_BATCHES as BATCHES,
+        SERVE_BATCH_SIZE as BATCH_SIZE, SERVE_COMPLETED as COMPLETED,
+        SERVE_DEDUP_HITS as DEDUP_HITS, SERVE_EXPIRED as EXPIRED,
+        SERVE_FAILED as FAILED, SERVE_LATENCY_US as LATENCY_US,
+        SERVE_SHED as SHED, SERVE_WORKER_PANICS as WORKER_PANICS,
+        SERVE_WORKER_RESTARTS as WORKER_RESTARTS,
+    };
 }
 
 /// Latency-ring and QPS-window state that cannot live in the registry
@@ -185,6 +188,44 @@ impl Stats {
         self.registry.counter_add(metric::FAILED, model, 1);
     }
 
+    /// A retried request was answered from the idempotency cache (or
+    /// piggybacked on an in-flight execution) instead of re-executing.
+    pub(crate) fn record_dedup(&self, model: &str) {
+        self.registry.counter_add(metric::DEDUP_HITS, model, 1);
+    }
+
+    /// A worker thread panicked mid-batch; its requests were answered
+    /// with typed `Internal` errors.
+    pub(crate) fn record_worker_panic(&self) {
+        self.registry
+            .counter_add(metric::WORKER_PANICS, "engine", 1);
+    }
+
+    /// The supervisor respawned a dead worker thread.
+    pub(crate) fn record_worker_restart(&self) {
+        self.registry
+            .counter_add(metric::WORKER_RESTARTS, "engine", 1);
+    }
+
+    /// Total worker restarts so far (engine-wide).
+    pub fn worker_restarts(&self) -> u64 {
+        self.registry
+            .snapshot()
+            .counter(metric::WORKER_RESTARTS, "engine")
+    }
+
+    /// Total worker panics so far (engine-wide).
+    pub fn worker_panics(&self) -> u64 {
+        self.registry
+            .snapshot()
+            .counter(metric::WORKER_PANICS, "engine")
+    }
+
+    /// One injected chaos event of the given `serve.chaos.*` metric.
+    pub(crate) fn record_chaos(&self, name: &str) {
+        self.registry.counter_add(name, "engine", 1);
+    }
+
     /// Snapshot one model's stats (zeroed snapshot for an unknown name).
     pub fn snapshot(&self, model: &str) -> StatsSnapshot {
         let reg = self.registry.snapshot();
@@ -240,7 +281,13 @@ impl Stats {
         let mut names: Vec<String> = reg
             .entries
             .iter()
-            .filter(|e| e.name.starts_with("serve."))
+            // Engine-wide counters (worker supervision, chaos injection)
+            // carry the pseudo label "engine", not a model name.
+            .filter(|e| {
+                e.name.starts_with("serve.")
+                    && !e.name.starts_with("serve.worker")
+                    && !e.name.starts_with("serve.chaos")
+            })
             .map(|e| e.label.clone())
             .collect();
         names.extend(self.local.lock().expect("stats lock").keys().cloned());

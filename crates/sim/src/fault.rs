@@ -23,7 +23,7 @@
 //! the fault-free path is bit-identical to the un-instrumented model.
 
 /// Number of fault-site classes in the taxonomy.
-pub const N_FAULT_CLASSES: usize = 6;
+pub const N_FAULT_CLASSES: usize = 11;
 
 /// Where a fault strikes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -48,6 +48,27 @@ pub enum FaultClass {
     /// event per byte. Unprotected in the datapath sense; the `csp-io`
     /// container CRCs are what catch it at decode time.
     ArtifactAtRest,
+    /// A serving-tier TCP connection dropped by the server before the
+    /// reply frame is written — one vulnerable event per reply. The client
+    /// observes a lost reply and must reconnect and retry; idempotent
+    /// request ids keep the retry from double-executing.
+    ConnDrop,
+    /// A serving-tier reply frame truncated mid-write (broken pipe /
+    /// half-closed socket) — one vulnerable event per reply. The client
+    /// observes EOF inside a frame, a typed transport error.
+    FrameTruncate,
+    /// A serving-tier worker stalling before executing a batch (GC pause,
+    /// noisy neighbor, page fault storm) — one vulnerable event per batch.
+    /// Queued requests age toward their deadlines while the worker sleeps.
+    WorkerStall,
+    /// A serving-tier worker panicking mid-batch — one vulnerable event
+    /// per batch. Supervision must convert this into per-request typed
+    /// errors plus a worker restart, never an engine death.
+    WorkerPanic,
+    /// A bit flip in an encoded serving reply payload between execution
+    /// and the wire — one vulnerable event per reply. The v2 response
+    /// CRC is what catches it client-side.
+    ReplyCorrupt,
 }
 
 impl FaultClass {
@@ -59,6 +80,32 @@ impl FaultClass {
         FaultClass::DramTransfer,
         FaultClass::StuckMac,
         FaultClass::ArtifactAtRest,
+        FaultClass::ConnDrop,
+        FaultClass::FrameTruncate,
+        FaultClass::WorkerStall,
+        FaultClass::WorkerPanic,
+        FaultClass::ReplyCorrupt,
+    ];
+
+    /// The accelerator/storage classes — the ones the CSP-H functional
+    /// arrays and artifact codecs see (the `fault_study` sweep).
+    pub const ACCEL: [FaultClass; 6] = [
+        FaultClass::RegBin,
+        FaultClass::IntermediateReg,
+        FaultClass::WeightGlb,
+        FaultClass::DramTransfer,
+        FaultClass::StuckMac,
+        FaultClass::ArtifactAtRest,
+    ];
+
+    /// The serving-tier classes — driven through the `csp-serve` chaos
+    /// hooks (the `resilience_study` campaign).
+    pub const SERVE: [FaultClass; 5] = [
+        FaultClass::ConnDrop,
+        FaultClass::FrameTruncate,
+        FaultClass::WorkerStall,
+        FaultClass::WorkerPanic,
+        FaultClass::ReplyCorrupt,
     ];
 
     /// Stable index into per-class counter arrays.
@@ -70,6 +117,11 @@ impl FaultClass {
             FaultClass::DramTransfer => 3,
             FaultClass::StuckMac => 4,
             FaultClass::ArtifactAtRest => 5,
+            FaultClass::ConnDrop => 6,
+            FaultClass::FrameTruncate => 7,
+            FaultClass::WorkerStall => 8,
+            FaultClass::WorkerPanic => 9,
+            FaultClass::ReplyCorrupt => 10,
         }
     }
 
@@ -82,6 +134,11 @@ impl FaultClass {
             FaultClass::DramTransfer => "dram",
             FaultClass::StuckMac => "stuck-mac",
             FaultClass::ArtifactAtRest => "artifact",
+            FaultClass::ConnDrop => "conn-drop",
+            FaultClass::FrameTruncate => "frame-trunc",
+            FaultClass::WorkerStall => "worker-stall",
+            FaultClass::WorkerPanic => "worker-panic",
+            FaultClass::ReplyCorrupt => "reply-corrupt",
         }
     }
 }
@@ -498,6 +555,54 @@ impl FaultSession {
         struck
     }
 
+    /// One binary vulnerable event of `class` (connection about to reply,
+    /// batch about to execute, …): returns `true` when a fault fires. The
+    /// firing is recorded as a silent injection — whatever mitigation the
+    /// serving tier applies (retry, supervision) happens above this layer.
+    pub fn event_fires(&mut self, class: FaultClass) -> bool {
+        match self.decide(class, 1) {
+            Some(bit) => {
+                self.record(class, bit, FaultOutcome::Silent);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// One vulnerable event of `class` over an encoded message: when a
+    /// fault fires, flips one seeded bit of one seeded byte of `bytes` and
+    /// returns the struck byte offset. Unlike [`corrupt_artifact`]
+    /// (per-byte events for storage bit rot), this charges a single event
+    /// per message — the wire either delivers the frame intact or it
+    /// doesn't.
+    ///
+    /// [`corrupt_artifact`]: FaultSession::corrupt_artifact
+    pub fn strike_message(&mut self, class: FaultClass, bytes: &mut [u8]) -> Option<usize> {
+        if bytes.is_empty() {
+            // Still one vulnerable event, but nothing to strike.
+            let _ = self.decide(class, 8);
+            return None;
+        }
+        let bit = self.decide(class, 8)?;
+        let pos = (self.next_u64() % bytes.len() as u64) as usize;
+        self.record(class, bit, FaultOutcome::Silent);
+        bytes[pos] ^= 1 << bit;
+        Some(pos)
+    }
+
+    /// One vulnerable event of `class` over a `len`-byte frame about to be
+    /// written: when a fault fires, returns the seeded cut point
+    /// (`1..len`) after which the write is abandoned. `None` means the
+    /// frame goes out whole (or is too short to truncate).
+    pub fn truncate_point(&mut self, class: FaultClass, len: usize) -> Option<usize> {
+        let bit = self.decide(class, 1)?;
+        if len < 2 {
+            return None;
+        }
+        self.record(class, bit, FaultOutcome::Silent);
+        Some(1 + (self.next_u64() % (len as u64 - 1)) as usize)
+    }
+
     /// Retry stall cycles accumulated so far (added to the run's cycle
     /// count by the arrays).
     pub fn retry_cycles(&self) -> u64 {
@@ -532,7 +637,11 @@ pub fn flip_fixed_point_bit(value: f32, bit: u32, lsb: f32) -> f32 {
     f32::from(flipped as i8) * lsb
 }
 
-fn splitmix64(mut x: u64) -> u64 {
+/// The SplitMix64 mixing step — the seedable generator behind every fault
+/// decision here, exported so the serving tier's deterministic backoff
+/// jitter draws from the same arithmetic (one schedule per seed, no
+/// process-global RNG state).
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -812,6 +921,76 @@ mod tests {
         assert_eq!(s.corrupt_artifact(&mut bytes), 1);
         assert_eq!(bytes[5], 0x80);
         assert!(bytes.iter().enumerate().all(|(i, &b)| i == 5 || b == 0));
+    }
+
+    #[test]
+    fn taxonomy_is_consistent() {
+        assert_eq!(FaultClass::ALL.len(), N_FAULT_CLASSES);
+        for (i, c) in FaultClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "ALL must be in counter order");
+        }
+        // ACCEL and SERVE partition ALL.
+        let mut union: Vec<FaultClass> = FaultClass::ACCEL.to_vec();
+        union.extend(FaultClass::SERVE);
+        assert_eq!(union, FaultClass::ALL.to_vec());
+    }
+
+    #[test]
+    fn serve_event_fires_deterministically() {
+        let run = |seed: u64| {
+            let mut s = FaultSession::new(FaultPlan::bernoulli(0.3, seed));
+            (0..200)
+                .map(|_| s.event_fires(FaultClass::ConnDrop))
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert!(run(7).iter().any(|&b| b), "rate 0.3 over 200 events");
+        assert!(!run(7).iter().all(|&b| b), "rate 0.3 is not rate 1.0");
+        // Zero rate never fires and still counts events.
+        let mut s = FaultSession::new(FaultPlan::bernoulli(0.0, 7));
+        assert!((0..50).all(|_| !s.event_fires(FaultClass::WorkerPanic)));
+        assert_eq!(s.report().events[FaultClass::WorkerPanic.index()], 50);
+    }
+
+    #[test]
+    fn strike_message_flips_exactly_one_bit_per_firing() {
+        let plan = FaultPlan::bernoulli(1.0, 3).with_classes(&[FaultClass::ReplyCorrupt]);
+        let mut s = FaultSession::new(plan);
+        let original = vec![0u8; 64];
+        let mut bytes = original.clone();
+        let pos = s
+            .strike_message(FaultClass::ReplyCorrupt, &mut bytes)
+            .expect("rate 1.0 fires");
+        let diff: Vec<usize> = (0..bytes.len())
+            .filter(|&i| bytes[i] != original[i])
+            .collect();
+        assert_eq!(diff, vec![pos]);
+        assert_eq!(bytes[pos].count_ones(), 1, "exactly one flipped bit");
+        // Empty messages survive (one event, no strike).
+        assert!(s
+            .strike_message(FaultClass::ReplyCorrupt, &mut [])
+            .is_none());
+        assert_eq!(s.report().events[FaultClass::ReplyCorrupt.index()], 2);
+    }
+
+    #[test]
+    fn truncate_point_is_in_range_and_seeded() {
+        let run = |seed: u64| {
+            let plan = FaultPlan::bernoulli(0.5, seed).with_classes(&[FaultClass::FrameTruncate]);
+            let mut s = FaultSession::new(plan);
+            (0..100)
+                .map(|_| s.truncate_point(FaultClass::FrameTruncate, 40))
+                .collect::<Vec<Option<usize>>>()
+        };
+        let cuts = run(21);
+        assert_eq!(cuts, run(21));
+        assert!(cuts.iter().flatten().all(|&c| (1..40).contains(&c)));
+        assert!(cuts.iter().any(|c| c.is_some()));
+        assert!(cuts.iter().any(|c| c.is_none()));
+        // A 1-byte frame cannot be mid-truncated.
+        let plan = FaultPlan::bernoulli(1.0, 0).with_classes(&[FaultClass::FrameTruncate]);
+        let mut s = FaultSession::new(plan);
+        assert!(s.truncate_point(FaultClass::FrameTruncate, 1).is_none());
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub use area::{AreaModel, PeAreaBreakdown};
 pub use energy::EnergyTable;
 pub use fault::{
     FaultClass, FaultOutcome, FaultPlan, FaultRecord, FaultReport, FaultSession, Protection,
-    TargetedFault,
+    TargetedFault, N_FAULT_CLASSES,
 };
 pub use memory::{MemoryPort, TrafficClass};
 pub use report::{format_table, EnergyBreakdown, RunResult};

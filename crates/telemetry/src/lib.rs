@@ -49,6 +49,58 @@ use std::time::Instant;
 /// Version stamp embedded in every [`Snapshot`].
 pub const SNAPSHOT_VERSION: u32 = 1;
 
+/// Well-known metric names shared across crates.
+///
+/// The serving tier's counters are written by `csp-serve` (engine stats,
+/// retry client) and read back by benches, tests, and remote telemetry
+/// consumers; naming them once here keeps writer and reader from drifting
+/// apart. All `serve.*` metrics are labelled by model name except the
+/// engine-scoped ones, which use an empty label.
+pub mod names {
+    /// Requests accepted into the batch queue (per model).
+    pub const SERVE_ADMITTED: &str = "serve.admitted";
+    /// Requests answered successfully (per model).
+    pub const SERVE_COMPLETED: &str = "serve.completed";
+    /// Requests answered with an execution error (per model).
+    pub const SERVE_FAILED: &str = "serve.failed";
+    /// Requests refused at admission: queue full or draining (per model).
+    pub const SERVE_SHED: &str = "serve.shed";
+    /// Requests whose deadline expired while queued (per model).
+    pub const SERVE_EXPIRED: &str = "serve.expired";
+    /// Batches executed (per model).
+    pub const SERVE_BATCHES: &str = "serve.batches";
+    /// Executed batch-size histogram (per model).
+    pub const SERVE_BATCH_SIZE: &str = "serve.batch_size";
+    /// Admission→response latency histogram, microseconds (per model).
+    pub const SERVE_LATENCY_US: &str = "serve.latency_us";
+    /// Idempotent retries answered from the reply cache or by piggybacking
+    /// on an in-flight execution — work that was *not* re-executed (per
+    /// model).
+    pub const SERVE_DEDUP_HITS: &str = "serve.dedup_hits";
+    /// Worker threads restarted by the engine supervisor (engine-scoped,
+    /// empty label).
+    pub const SERVE_WORKER_RESTARTS: &str = "serve.worker_restarts";
+    /// Worker panics converted into typed per-request errors
+    /// (engine-scoped, empty label).
+    pub const SERVE_WORKER_PANICS: &str = "serve.worker_panics";
+    /// Connections deliberately dropped by chaos before the reply
+    /// (engine-scoped, empty label).
+    pub const SERVE_CHAOS_CONN_DROPS: &str = "serve.chaos.conn_drops";
+    /// Reply frames truncated mid-write by chaos (engine-scoped, empty
+    /// label).
+    pub const SERVE_CHAOS_TRUNCATIONS: &str = "serve.chaos.truncations";
+    /// Reply payload bits flipped by chaos (engine-scoped, empty label).
+    pub const SERVE_CHAOS_CORRUPTIONS: &str = "serve.chaos.corruptions";
+    /// Worker stalls injected by chaos (engine-scoped, empty label).
+    pub const SERVE_CHAOS_STALLS: &str = "serve.chaos.stalls";
+    /// Transport-level retries performed by the resilient client (per
+    /// model; global registry).
+    pub const SERVE_CLIENT_RETRIES: &str = "serve.client.retries";
+    /// Reconnects performed by the resilient client (per model; global
+    /// registry).
+    pub const SERVE_CLIENT_RECONNECTS: &str = "serve.client.reconnects";
+}
+
 // ---------------------------------------------------------------------------
 // Process-wide switches
 // ---------------------------------------------------------------------------

@@ -105,11 +105,25 @@ pub enum CspError {
         /// `Clone`/`PartialEq`, unlike `std::io::Error`).
         what: String,
     },
-    /// The serving engine shed this request: the admission queue was full,
-    /// the request's deadline expired before a worker reached it, or the
-    /// engine is draining for shutdown. Clients should back off and retry.
+    /// The serving engine shed this request: the admission queue was full
+    /// or the engine is draining for shutdown. Clients should back off and
+    /// retry.
     Overloaded {
         /// Why admission control refused the request.
+        what: String,
+    },
+    /// The request's deadline expired before it could be executed — either
+    /// server-side (still queued past its deadline) or client-side (the
+    /// retry budget ran out). Retrying is pointless without a new budget.
+    Expired {
+        /// Where the deadline was exceeded and by how much.
+        what: String,
+    },
+    /// An internal server failure that is not the request's fault — most
+    /// notably a worker panic converted into a typed reply by the serving
+    /// engine's supervision layer. The request was *not* silently lost.
+    Internal {
+        /// What failed inside the server.
         what: String,
     },
 }
@@ -131,6 +145,8 @@ impl fmt::Display for CspError {
             }
             CspError::Io { path, what } => write!(f, "io error on {path}: {what}"),
             CspError::Overloaded { what } => write!(f, "overloaded: {what}"),
+            CspError::Expired { what } => write!(f, "deadline expired: {what}"),
+            CspError::Internal { what } => write!(f, "internal server error: {what}"),
         }
     }
 }
@@ -230,5 +246,15 @@ mod tests {
         };
         assert!(o.to_string().contains("overloaded"));
         assert!(o.to_string().contains("queue full"));
+        let e = CspError::Expired {
+            what: "3.1 ms past deadline in queue".into(),
+        };
+        assert!(e.to_string().contains("deadline expired"));
+        assert!(e.to_string().contains("3.1 ms"));
+        let i = CspError::Internal {
+            what: "worker panic: chaos".into(),
+        };
+        assert!(i.to_string().contains("internal server error"));
+        assert!(i.to_string().contains("worker panic"));
     }
 }
