@@ -28,6 +28,7 @@ use csp_core::nn::{
 use csp_core::tensor::{conv2d, matmul, matmul_reference, uniform, Conv2dSpec, Tensor};
 use csp_runtime::with_threads;
 use std::process::ExitCode;
+use std::time::Instant;
 
 /// One measured stage: serial and parallel seconds per iteration plus the
 /// bit-identity verdict of the parallel output against the serial one.
@@ -46,6 +47,40 @@ impl BenchRow {
         } else {
             0.0
         }
+    }
+}
+
+/// Pool-reuse probe: the persistent pool's dispatch overhead, measured
+/// as the cold first parallel dispatch (which spawns and parks the
+/// workers) against the steady-state average once the same workers are
+/// being reused. Run **before** any benchmark so the first call really
+/// is cold.
+struct DispatchProbe {
+    width: usize,
+    first_call_ns: u64,
+    steady_ns: u64,
+    calls: u64,
+}
+
+fn probe_dispatch(threads: usize) -> DispatchProbe {
+    // At least two lanes so a dispatch actually involves a worker even
+    // when the benchmark itself runs serially.
+    let width = threads.max(2);
+    let pool = csp_runtime::Pool::new(width);
+    let t0 = Instant::now();
+    black_box(pool.map_collect(width, |i| i));
+    let first_call_ns = t0.elapsed().as_nanos() as u64;
+    const CALLS: u64 = 2000;
+    let t1 = Instant::now();
+    for _ in 0..CALLS {
+        black_box(pool.map_collect(width, |i| i));
+    }
+    let steady_ns = (t1.elapsed().as_nanos() as u64) / CALLS;
+    DispatchProbe {
+        width,
+        first_call_ns,
+        steady_ns,
+        calls: CALLS,
     }
 }
 
@@ -178,16 +213,32 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn write_json(path: &str, rows: &[BenchRow], threads: usize, smoke: bool, iters: u64) {
+fn write_json(
+    path: &str,
+    rows: &[BenchRow],
+    probe: &DispatchProbe,
+    threads: usize,
+    smoke: bool,
+    iters: u64,
+) {
     let host = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let mut body = String::from("{\n");
-    body.push_str("  \"schema\": \"csp-bench/kernels/v1\",\n");
+    body.push_str("  \"schema\": \"csp-bench/kernels/v2\",\n");
     body.push_str(&format!("  \"smoke\": {smoke},\n"));
     body.push_str(&format!("  \"host_threads\": {host},\n"));
     body.push_str(&format!("  \"parallel_threads\": {threads},\n"));
     body.push_str(&format!("  \"iters\": {iters},\n"));
+    body.push_str(&format!(
+        "  \"grain\": {},\n",
+        csp_runtime::Pool::current().grain()
+    ));
+    body.push_str(&format!(
+        "  \"dispatch_probe\": {{\"width\": {}, \"first_call_ns\": {}, \"steady_ns\": {}, \
+         \"calls\": {}}},\n",
+        probe.width, probe.first_call_ns, probe.steady_ns, probe.calls
+    ));
     body.push_str("  \"benchmarks\": [\n");
     for (i, r) in rows.iter().enumerate() {
         body.push_str(&format!(
@@ -240,6 +291,18 @@ fn main() -> ExitCode {
          {} problem sizes",
         if smoke { "smoke" } else { "full" }
     );
+    // Cold-vs-warm dispatch latency must run before anything else warms
+    // the persistent pool.
+    let probe = probe_dispatch(threads);
+    println!(
+        "dispatch probe (width {}): first call {} ns (worker spawn), \
+         steady-state {} ns over {} reused dispatches; grain cutoff {} units",
+        probe.width,
+        probe.first_call_ns,
+        probe.steady_ns,
+        probe.calls,
+        csp_runtime::Pool::current().grain()
+    );
     let rows = vec![
         bench_matmul(&mut c, threads, smoke),
         bench_conv(&mut c, threads, smoke),
@@ -266,7 +329,7 @@ fn main() -> ExitCode {
     }
 
     if json {
-        write_json(&out, &rows, threads, smoke, iters);
+        write_json(&out, &rows, &probe, threads, smoke, iters);
     }
     cli.dump_telemetry("kernels");
     if all_identical {

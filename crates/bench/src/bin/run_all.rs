@@ -60,6 +60,10 @@ fn main() -> ExitCode {
             args: &["--smoke", "--json"],
         },
         Driver {
+            name: "runtime_resilience",
+            args: &["--smoke", "--json"],
+        },
+        Driver {
             name: "serve_bench",
             args: &["--smoke", "--json"],
         },

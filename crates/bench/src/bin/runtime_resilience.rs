@@ -1,0 +1,358 @@
+//! runtime_resilience — a seeded chaos campaign against the supervised
+//! persistent worker pool in `csp-runtime`.
+//!
+//! Usage: `runtime_resilience [--smoke] [--json] [--threads N]
+//! [--out PATH] [--seed N] [--telemetry]`
+//!
+//! Each cell installs one [`RuntimeChaosSession`] (chunk panics, worker
+//! stalls, or worker losses at a swept rate) and drives a batch of typed
+//! `try_map_collect` dispatches at pool widths 1/2/4/8. The campaign
+//! asserts, per cell:
+//!
+//! * **exactly one typed outcome** — every dispatch returns `Ok` or a
+//!   typed [`RuntimeError`] of the injected class; no panic ever escapes
+//!   the pool into the caller;
+//! * **no lost chunks** — an execution counter incremented inside every
+//!   chunk closure shows each element executed exactly once for every
+//!   dispatch that ran to quiescence (losses are re-executed from the
+//!   orphan list, never dropped and never doubled);
+//! * **bit-identical results** — every `Ok` result matches a chaos-free
+//!   serial reference bit-for-bit, at every width, through any number of
+//!   worker deaths and restarts;
+//! * **the pool survives the storm** — after all campaigns,
+//!   `supervise_workers` reports live workers and a chaos-free probe
+//!   dispatch at the widest width still succeeds and matches the
+//!   reference.
+//!
+//! Everything is seeded: the same `--seed` replays the same fault sites.
+//! `--smoke` shrinks the sweep for CI and exits nonzero on any violated
+//! invariant; `--json` additionally writes
+//! `results/BENCH_runtime_resilience.json`.
+
+use csp_bench::cli::CommonCli;
+use csp_runtime::{
+    pool_stats, silence_injected_panics, supervise_workers, with_threads, workers_alive, Pool,
+    RuntimeChaosSession, RuntimeError, RuntimeFaultClass,
+};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a chaos-stalled chunk sleeps. Paired with [`DEADLINE`] so a
+/// single injected stall is guaranteed to trip the watchdog.
+const STALL: Duration = Duration::from_millis(12);
+
+/// Stall-watchdog deadline for the stall campaign's typed dispatches.
+const DEADLINE: Duration = Duration::from_millis(4);
+
+/// Per-element busywork so workers actually win chunks on a loaded
+/// 1-core host (instant chunks are all drained by the calling thread
+/// before a parked worker wakes, which would starve the loss/stall
+/// fault sites of coverage).
+const ELEM_SPIN: Duration = Duration::from_micros(20);
+
+/// The deterministic per-element function every dispatch computes.
+fn elem(i: usize) -> f64 {
+    let x = (i as f64) * 0.7390851332151607 + 1.0;
+    x.sin() * x.sqrt() + (i as f64)
+}
+
+/// One campaign cell: a (width, fault class, rate) combination.
+struct Cell {
+    width: usize,
+    class: RuntimeFaultClass,
+    rate: f64,
+    dispatches: u64,
+    ok: u64,
+    typed_errors: u64,
+    injected: u64,
+    /// Dispatches whose typed error was NOT the class this cell injects.
+    wrong_error_class: u64,
+    /// Raw panics that escaped the pool into the caller (must be 0).
+    escaped_panics: u64,
+    /// `Ok` results that differed from the serial reference (must be 0).
+    mismatched: u64,
+    /// Quiesced dispatches whose execution count was not exactly `n`.
+    miscounted: u64,
+    /// Pool supervision deltas over this cell.
+    worker_panics: u64,
+    worker_restarts: u64,
+}
+
+impl Cell {
+    fn violations(&self) -> u64 {
+        self.wrong_error_class + self.escaped_panics + self.mismatched + self.miscounted
+    }
+}
+
+/// Run one cell: `dispatches` typed map dispatches under one seeded
+/// chaos session, classifying every outcome against `reference`.
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    width: usize,
+    class: RuntimeFaultClass,
+    rate: f64,
+    dispatches: u64,
+    n: usize,
+    seed: u64,
+    reference: &[u64],
+) -> Cell {
+    let session = Arc::new(
+        RuntimeChaosSession::new(seed)
+            .with_rate(class, rate)
+            .with_stall(STALL),
+    );
+    let before = pool_stats();
+    let mut cell = Cell {
+        width,
+        class,
+        rate,
+        dispatches,
+        ok: 0,
+        typed_errors: 0,
+        injected: 0,
+        wrong_error_class: 0,
+        escaped_panics: 0,
+        mismatched: 0,
+        miscounted: 0,
+        worker_panics: 0,
+        worker_restarts: 0,
+    };
+    // The stall campaign arms the watchdog; the others leave it off so an
+    // honestly slow (spinning) chunk is never misreported as a stall.
+    let deadline = match class {
+        RuntimeFaultClass::WorkerStall => Some(DEADLINE),
+        _ => None,
+    };
+    let pool = Pool::new(width).with_stall_deadline(deadline);
+    session.run(|| {
+        for _ in 0..dispatches {
+            let executed = AtomicU64::new(0);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.try_map_collect(n, |i| {
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    // Busywork (not sleep): keeps the chunk on-CPU long
+                    // enough for parked workers to claim their share.
+                    let t0 = std::time::Instant::now();
+                    while t0.elapsed() < ELEM_SPIN {
+                        std::hint::spin_loop();
+                    }
+                    elem(i)
+                })
+            }));
+            match outcome {
+                Ok(Ok(values)) => {
+                    cell.ok += 1;
+                    let bits: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+                    if bits != reference {
+                        cell.mismatched += 1;
+                    }
+                    if executed.load(Ordering::Relaxed) != n as u64 {
+                        cell.miscounted += 1;
+                    }
+                }
+                Ok(Err(e)) => {
+                    cell.typed_errors += 1;
+                    let matches_class = matches!(
+                        (&e, class),
+                        (
+                            RuntimeError::ChunkPanicked { .. },
+                            RuntimeFaultClass::ChunkPanic
+                        ) | (RuntimeError::Stalled { .. }, RuntimeFaultClass::WorkerStall)
+                    );
+                    if !matches_class {
+                        cell.wrong_error_class += 1;
+                    }
+                    // A stalled dispatch still ran to quiescence: every
+                    // chunk executed before the typed error was returned.
+                    if matches!(e, RuntimeError::Stalled { .. })
+                        && executed.load(Ordering::Relaxed) != n as u64
+                    {
+                        cell.miscounted += 1;
+                    }
+                }
+                Err(_) => cell.escaped_panics += 1,
+            }
+        }
+    });
+    cell.injected = session.injected(class);
+    let after = pool_stats();
+    cell.worker_panics = after.worker_panics - before.worker_panics;
+    cell.worker_restarts = after.worker_restarts - before.worker_restarts;
+    cell
+}
+
+fn json_cell(c: &Cell) -> String {
+    format!(
+        "    {{\"width\": {}, \"class\": \"{}\", \"rate\": {:.3}, \
+         \"dispatches\": {}, \"ok\": {}, \"typed_errors\": {}, \
+         \"injected\": {}, \"worker_panics\": {}, \"worker_restarts\": {}, \
+         \"violations\": {}}}",
+        c.width,
+        c.class.name(),
+        c.rate,
+        c.dispatches,
+        c.ok,
+        c.typed_errors,
+        c.injected,
+        c.worker_panics,
+        c.worker_restarts,
+        c.violations()
+    )
+}
+
+fn main() -> ExitCode {
+    let cli = match CommonCli::parse().and_then(|cli| {
+        cli.reject_unknown(
+            "runtime_resilience [--smoke] [--json] [--threads N] [--out PATH] [--seed N] \
+             [--telemetry]",
+        )?;
+        Ok(cli)
+    }) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    silence_injected_panics();
+    let seed = cli.seed_or(0x5EED_CA5C);
+    let smoke = cli.smoke;
+    let (n, dispatches) = if smoke { (48, 6) } else { (96, 16) };
+    let widths: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
+    let rates: &[f64] = if smoke { &[0.25] } else { &[0.05, 0.25] };
+
+    // Chaos-free serial reference, computed before any session installs.
+    let reference: Vec<u64> =
+        with_threads(1, || (0..n).map(|i| elem(i).to_bits()).collect::<Vec<_>>());
+
+    println!(
+        "runtime_resilience: {} dispatches x {n} elements per cell, widths {widths:?}, \
+         rates {rates:?}, seed {seed:#x}",
+        dispatches
+    );
+    println!(
+        "\n{:>5} {:<12} {:>6} {:>6} {:>6} {:>9} {:>8} {:>9} {:>10}",
+        "width", "class", "rate", "ok", "errors", "injected", "panics", "restarts", "violations"
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut cell_seed = seed;
+    for &width in widths {
+        for class in RuntimeFaultClass::ALL {
+            for &rate in rates {
+                cell_seed = cell_seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(1);
+                let cell = run_cell(width, class, rate, dispatches, n, cell_seed, &reference);
+                println!(
+                    "{:>5} {:<12} {:>6.2} {:>6} {:>6} {:>9} {:>8} {:>9} {:>10}",
+                    cell.width,
+                    cell.class.name(),
+                    cell.rate,
+                    cell.ok,
+                    cell.typed_errors,
+                    cell.injected,
+                    cell.worker_panics,
+                    cell.worker_restarts,
+                    cell.violations()
+                );
+                cells.push(cell);
+            }
+        }
+    }
+
+    // Post-storm survival: the supervisor owns respawns; after all the
+    // injected deaths the pool must still produce correct parallel work.
+    supervise_workers();
+    let alive = workers_alive();
+    let probe_width = *widths.iter().max().unwrap_or(&4);
+    let probe: Vec<u64> = Pool::new(probe_width)
+        .map_collect(n, elem)
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    let probe_ok = probe == reference;
+
+    let total_injected: u64 = cells.iter().map(|c| c.injected).sum();
+    let total_violations: u64 = cells.iter().map(|c| c.violations()).sum();
+    let stats = pool_stats();
+    println!(
+        "\npost-storm: {alive} workers alive, probe(width {probe_width}) bit-identical: \
+         {probe_ok}"
+    );
+    println!(
+        "pool totals: {} dispatches ({} parallel), {} chunk panics, {} worker panics, \
+         {} restarts, {} stalls, {} degraded",
+        stats.dispatches,
+        stats.parallel_dispatches,
+        stats.chunk_panics,
+        stats.worker_panics,
+        stats.worker_restarts,
+        stats.stalls,
+        stats.degraded
+    );
+    println!("total injected: {total_injected}, total violations: {total_violations}");
+
+    // The panic campaign must actually exercise containment: panic draws
+    // fire on every participant (caller included), so a 25% rate over the
+    // full sweep firing zero times means the chaos plumbing is broken.
+    let panic_injected: u64 = cells
+        .iter()
+        .filter(|c| matches!(c.class, RuntimeFaultClass::ChunkPanic))
+        .map(|c| c.injected)
+        .sum();
+    let pass = total_violations == 0 && probe_ok && alive > 0 && panic_injected > 0;
+
+    if cli.json {
+        let out = cli.out_or("results/BENCH_runtime_resilience.json");
+        let mut body = String::from("{\n");
+        body.push_str("  \"schema\": \"csp-bench/runtime-resilience/v1\",\n");
+        body.push_str(&format!("  \"smoke\": {smoke},\n"));
+        body.push_str(&format!("  \"seed\": {seed},\n"));
+        body.push_str(&format!("  \"elements\": {n},\n"));
+        body.push_str(&format!("  \"dispatches_per_cell\": {dispatches},\n"));
+        body.push_str("  \"cells\": [\n");
+        for (i, c) in cells.iter().enumerate() {
+            body.push_str(&json_cell(c));
+            body.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
+        }
+        body.push_str("  ],\n");
+        body.push_str(&format!(
+            "  \"pool\": {{\"dispatches\": {}, \"parallel_dispatches\": {}, \
+             \"chunk_panics\": {}, \"worker_panics\": {}, \"worker_restarts\": {}, \
+             \"stalls\": {}, \"degraded\": {}}},\n",
+            stats.dispatches,
+            stats.parallel_dispatches,
+            stats.chunk_panics,
+            stats.worker_panics,
+            stats.worker_restarts,
+            stats.stalls,
+            stats.degraded
+        ));
+        body.push_str(&format!(
+            "  \"post_storm\": {{\"workers_alive\": {alive}, \"probe_width\": {probe_width}, \
+             \"probe_bit_identical\": {probe_ok}}},\n"
+        ));
+        body.push_str(&format!("  \"total_injected\": {total_injected},\n"));
+        body.push_str(&format!("  \"total_violations\": {total_violations},\n"));
+        body.push_str(&format!("  \"pass\": {pass}\n}}\n"));
+        if let Some(dir) = std::path::Path::new(out).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(out, body) {
+            Ok(()) => println!("wrote {out}"),
+            Err(e) => eprintln!("failed to write {out}: {e}"),
+        }
+    }
+    cli.dump_telemetry("runtime_resilience");
+
+    if pass {
+        println!("PASS: all supervision invariants held");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("FAIL: supervision invariant violated (see counts above)");
+        ExitCode::FAILURE
+    }
+}

@@ -272,8 +272,11 @@ impl Layer for Conv2d {
         let per = [x.dims()[1], x.dims()[2], x.dims()[3]];
         let per_len: usize = per.iter().product();
         // Batch samples are independent shards: compute them on the pool
-        // and concatenate in sample order.
-        let outs = Pool::current().map_collect(n, |i| -> Result<Tensor> {
+        // and concatenate in sample order. A sample costs roughly
+        // per_len × c_out MAC-units, so convolutions shard in parallel
+        // even for modest batches while degenerate shapes stay inline.
+        let cost = (per_len as u64).saturating_mul(self.c_out() as u64);
+        let outs = Pool::current().map_collect_weighted(n, cost, |i| -> Result<Tensor> {
             let xi = Tensor::from_vec(x.as_slice()[i * per_len..(i + 1) * per_len].to_vec(), &per)?;
             self.one(&xi)
         });
@@ -306,24 +309,29 @@ impl Layer for Conv2d {
         // Per-sample gradients in parallel; the *accumulation* into
         // weight/bias grads happens below on the calling thread in sample
         // order, reproducing the serial floating-point association.
-        let shards = Pool::current().map_collect(n, |i| -> Result<(Tensor, Vec<f32>, Tensor)> {
-            let xi = Tensor::from_vec(
-                x.as_slice()[i * in_len..(i + 1) * in_len].to_vec(),
-                &in_dims,
-            )?;
-            let gi = Tensor::from_vec(
-                grad_out.as_slice()[i * g_len..(i + 1) * g_len].to_vec(),
-                &g_dims,
-            )?;
-            let gw = conv2d_grad_weight(&xi, &gi, c_out, spec)?;
-            // Bias gradient: sum over spatial positions per channel.
-            let (oh, ow) = (g_dims[1], g_dims[2]);
-            let bias_sums: Vec<f32> = (0..c_out)
-                .map(|c| gi.as_slice()[c * oh * ow..(c + 1) * oh * ow].iter().sum())
-                .collect();
-            let gx = conv2d_grad_input(weight, &gi, &in_dims, spec)?;
-            Ok((gw, bias_sums, gx))
-        });
+        let cost = (in_len as u64).saturating_mul(c_out as u64);
+        let shards = Pool::current().map_collect_weighted(
+            n,
+            cost,
+            |i| -> Result<(Tensor, Vec<f32>, Tensor)> {
+                let xi = Tensor::from_vec(
+                    x.as_slice()[i * in_len..(i + 1) * in_len].to_vec(),
+                    &in_dims,
+                )?;
+                let gi = Tensor::from_vec(
+                    grad_out.as_slice()[i * g_len..(i + 1) * g_len].to_vec(),
+                    &g_dims,
+                )?;
+                let gw = conv2d_grad_weight(&xi, &gi, c_out, spec)?;
+                // Bias gradient: sum over spatial positions per channel.
+                let (oh, ow) = (g_dims[1], g_dims[2]);
+                let bias_sums: Vec<f32> = (0..c_out)
+                    .map(|c| gi.as_slice()[c * oh * ow..(c + 1) * oh * ow].iter().sum())
+                    .collect();
+                let gx = conv2d_grad_input(weight, &gi, &in_dims, spec)?;
+                Ok((gw, bias_sums, gx))
+            },
+        );
         let mut gin = Tensor::zeros(x.dims());
         for (i, shard) in shards.into_iter().enumerate() {
             let (gw, bias_sums, gx) = shard?;
@@ -457,7 +465,9 @@ impl Layer for MaxPool {
         let per = [x.dims()[1], x.dims()[2], x.dims()[3]];
         let per_len: usize = per.iter().product();
         let spec = self.spec;
-        let shards = Pool::current().map_collect(n, |i| {
+        // Pooling touches each input element about once: small batches
+        // fall below the grain and run inline.
+        let shards = Pool::current().map_collect_weighted(n, per_len as u64, |i| {
             let xi = Tensor::from_vec(x.as_slice()[i * per_len..(i + 1) * per_len].to_vec(), &per)?;
             max_pool2d(&xi, spec)
         });
@@ -491,7 +501,7 @@ impl Layer for MaxPool {
         let per_len: usize = per.iter().product();
         let g_len = grad_out.len() / n;
         let g_dims = [grad_out.dims()[1], grad_out.dims()[2], grad_out.dims()[3]];
-        let shards = Pool::current().map_collect(n, |i| {
+        let shards = Pool::current().map_collect_weighted(n, per_len as u64, |i| {
             let gi = Tensor::from_vec(
                 grad_out.as_slice()[i * g_len..(i + 1) * g_len].to_vec(),
                 &g_dims,
@@ -534,7 +544,7 @@ impl Layer for AvgPool {
         let per_len: usize = per.iter().product();
         let spec = self.spec;
         let outs = Pool::current()
-            .map_collect(n, |i| {
+            .map_collect_weighted(n, per_len as u64, |i| {
                 let xi =
                     Tensor::from_vec(x.as_slice()[i * per_len..(i + 1) * per_len].to_vec(), &per)?;
                 avg_pool2d(&xi, spec)
@@ -564,7 +574,7 @@ impl Layer for AvgPool {
         let g_len = grad_out.len() / n;
         let g_dims = [grad_out.dims()[1], grad_out.dims()[2], grad_out.dims()[3]];
         let spec = self.spec;
-        let shards = Pool::current().map_collect(n, |i| {
+        let shards = Pool::current().map_collect_weighted(n, per_len as u64, |i| {
             let gi = Tensor::from_vec(
                 grad_out.as_slice()[i * g_len..(i + 1) * g_len].to_vec(),
                 &g_dims,

@@ -21,8 +21,11 @@ use csp_tensor::{CspError, CspResult, Result, Tensor};
 /// for every thread count.
 fn count_correct(logits: &Tensor, labels: &[usize]) -> usize {
     let c = logits.dims()[1];
-    Pool::current().fold_ordered(
+    // ~c comparisons per row: small batches fall below the pool grain
+    // and run inline, which is cheaper than any dispatch.
+    Pool::current().fold_ordered_weighted(
         labels.len(),
+        c as u64,
         |i| {
             let row = &logits.as_slice()[i * c..(i + 1) * c];
             let pred = row

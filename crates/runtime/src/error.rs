@@ -1,0 +1,107 @@
+//! Typed dispatch failures.
+//!
+//! The fallible `try_*` entry points on [`Pool`](crate::Pool) surface
+//! contained chunk panics and watchdog timeouts as values instead of
+//! unwinding the caller. `csp-tensor` folds these into `CspError`, so the
+//! rest of the workspace sees one error vocabulary.
+
+use std::fmt;
+
+/// A parallel dispatch that did not complete cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A chunk closure panicked. The dispatch stopped claiming new
+    /// chunks, waited for in-flight chunks to finish, and reported the
+    /// **smallest** panicking chunk index — which is the same at every
+    /// pool width, because chunks are claimed in ascending order.
+    ChunkPanicked {
+        /// Region name of the dispatch (e.g. `runtime.map_collect`).
+        region: &'static str,
+        /// Index of the lowest chunk whose closure panicked.
+        chunk: usize,
+        /// Stringified panic payload.
+        what: String,
+    },
+    /// The dispatch exceeded its stall-watchdog deadline. The runtime
+    /// still waited for full quiescence before returning (borrowed data
+    /// must not outlive the call), so this reports slowness, not a
+    /// half-done dispatch.
+    Stalled {
+        /// Region name of the dispatch.
+        region: &'static str,
+        /// Total time the caller waited for stragglers.
+        waited_ms: u64,
+        /// The configured deadline that was exceeded.
+        deadline_ms: u64,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::ChunkPanicked {
+                region,
+                chunk,
+                what,
+            } => {
+                write!(f, "chunk {chunk} panicked in {region}: {what}")
+            }
+            RuntimeError::Stalled {
+                region,
+                waited_ms,
+                deadline_ms,
+            } => {
+                write!(
+                    f,
+                    "dispatch {region} stalled: waited {waited_ms} ms past a {deadline_ms} ms deadline"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Render a caught panic payload for error messages.
+pub(crate) fn panic_what(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_region_and_chunk() {
+        let e = RuntimeError::ChunkPanicked {
+            region: "runtime.map_collect",
+            chunk: 7,
+            what: "boom".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("chunk 7"), "{msg}");
+        assert!(msg.contains("runtime.map_collect"), "{msg}");
+        let s = RuntimeError::Stalled {
+            region: "runtime.chunks",
+            waited_ms: 12,
+            deadline_ms: 5,
+        };
+        assert!(s.to_string().contains("5 ms deadline"));
+    }
+
+    #[test]
+    fn panic_what_handles_common_payloads() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_what(s.as_ref()), "static str");
+        let o: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_what(o.as_ref()), "owned");
+        let w: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_what(w.as_ref()), "non-string panic payload");
+    }
+}

@@ -1,0 +1,806 @@
+//! The supervised persistent worker pool behind [`Pool`](crate::Pool).
+//!
+//! ## Architecture
+//!
+//! A process-wide slab of **long-lived parked workers** replaces the
+//! per-call `std::thread::scope` fork-join of earlier revisions. Each
+//! worker owns a one-slot mailbox (mutex + condvar); a dispatch acquires
+//! idle workers with a CAS on their `busy` flag, posts the job to each
+//! mailbox, participates in the work itself, and releases the workers at
+//! quiescence. Nothing is spawned on the hot path, which is what removes
+//! the dispatch overhead that kept parallel speedups below 1×.
+//!
+//! ## Work distribution and determinism
+//!
+//! Chunks are claimed from a shared atomic counter in ascending order.
+//! Which participant executes a chunk is scheduling-dependent, but chunk
+//! *boundaries* depend only on the problem size, chunk outputs are
+//! disjoint (or reduced in order by the caller), and every chunk runs
+//! exactly once — so results are bit-identical to serial at any width,
+//! through any number of worker restarts.
+//!
+//! ## Containment, supervision, degradation
+//!
+//! Every chunk closure runs inside `catch_unwind`: a panic stops further
+//! claiming, is recorded min-chunk-wins (ascending claiming makes the
+//! reported chunk index width-invariant), and surfaces as a typed error
+//! (or is re-raised by the legacy infallible APIs). A worker thread dies
+//! only abnormally — an injected loss or an escaped panic — and before
+//! dying it abandons its claimed, untouched chunk to an orphan list that
+//! the dispatcher drains and re-executes, so no chunk is ever lost. The
+//! supervisor scan ([`supervise_workers`], also run at every acquire)
+//! joins dead workers and respawns replacements, counting
+//! `runtime.worker.panics` / `runtime.worker.restarts`. If a respawn
+//! fails the pool simply shrinks — a dispatch that acquires zero workers
+//! degrades to the caller running every chunk inline, which is the
+//! serial path.
+//!
+//! ## Stall watchdog
+//!
+//! A dispatch with a configured deadline measures how long the caller
+//! waits for stragglers after finishing its own claims. The runtime can
+//! never abandon a dispatch early — workers hold borrowed references —
+//! so on timeout it still waits for quiescence, then reports a typed
+//! [`RuntimeError::Stalled`](crate::RuntimeError::Stalled).
+//!
+//! ## Soundness of the lifetime erasure
+//!
+//! Workers receive a `&'static DispatchCore<'static>` forged from a
+//! stack-allocated `DispatchCore<'a>`. This is sound for the same reason
+//! rayon's scoped model is: `run_dispatch` does not return — on any
+//! path, including unwinds, enforced by the [`Quiescence`] drop guard —
+//! until the participant count reaches zero, after which no worker can
+//! touch the reference again (it takes jobs only from its mailbox, which
+//! is empty by then).
+
+use crate::chaos::{self, DispatchChaos, RuntimeFault, INJECTED_PANIC_MARK};
+use crate::error::panic_what;
+use crate::supervise::Supervisor;
+use csp_telemetry::names;
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Hard ceiling on persistent workers; dispatches wider than this share.
+pub const MAX_WORKERS: usize = 64;
+
+/// Wait-loop tick: watchdog sampling period and the backstop for any
+/// missed condvar notification.
+const TICK: Duration = Duration::from_millis(2);
+
+/// Lock leniently: a mutex poisoned by a panicking holder still guards
+/// valid data here (counters, lists of plain indices), and refusing to
+/// continue would wedge every later dispatch.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide counters
+// ---------------------------------------------------------------------------
+
+static DISPATCHES: AtomicU64 = AtomicU64::new(0);
+static PARALLEL_DISPATCHES: AtomicU64 = AtomicU64::new(0);
+static CHUNK_PANICS: AtomicU64 = AtomicU64::new(0);
+static STALLS: AtomicU64 = AtomicU64::new(0);
+static DEGRADED: AtomicU64 = AtomicU64::new(0);
+static POOL_SUPERVISOR: Supervisor = Supervisor::new();
+
+fn telem_count(name: &'static str, delta: u64) {
+    if csp_telemetry::enabled() {
+        csp_telemetry::counter_add(name, "", delta);
+    }
+}
+
+/// Always-on (not telemetry-gated) counters for the process-wide pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Dispatches routed through the containment engine (any width).
+    pub dispatches: u64,
+    /// Dispatches that acquired at least one pool worker.
+    pub parallel_dispatches: u64,
+    /// Chunk closures that panicked and were contained.
+    pub chunk_panics: u64,
+    /// Worker deaths detected by the supervisor.
+    pub worker_panics: u64,
+    /// Workers respawned by the supervisor.
+    pub worker_restarts: u64,
+    /// Dispatches that exceeded their stall-watchdog deadline.
+    pub stalls: u64,
+    /// Times the pool shrank because a worker could not be (re)spawned.
+    pub degraded: u64,
+}
+
+/// Snapshot the process-wide pool counters.
+pub fn pool_stats() -> PoolStats {
+    PoolStats {
+        dispatches: DISPATCHES.load(Ordering::Relaxed),
+        parallel_dispatches: PARALLEL_DISPATCHES.load(Ordering::Relaxed),
+        chunk_panics: CHUNK_PANICS.load(Ordering::Relaxed),
+        worker_panics: POOL_SUPERVISOR.panics(),
+        worker_restarts: POOL_SUPERVISOR.restarts(),
+        stalls: STALLS.load(Ordering::Relaxed),
+        degraded: DEGRADED.load(Ordering::Relaxed),
+    }
+}
+
+/// The pool's shared [`Supervisor`] (panic/restart accounting).
+pub fn pool_supervisor() -> &'static Supervisor {
+    &POOL_SUPERVISOR
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+/// A reference to an in-flight dispatch, with its stack lifetime erased.
+/// Only ever dereferenced between job receipt and the participant's
+/// leave, which `run_dispatch` outlives by construction.
+#[derive(Clone, Copy)]
+struct JobRef(&'static DispatchCore<'static>);
+
+enum Mail {
+    Idle,
+    Job(JobRef),
+}
+
+struct WorkerShared {
+    slot: Mutex<Mail>,
+    bell: Condvar,
+    /// Cleared by the worker itself on abnormal exit.
+    alive: AtomicBool,
+    /// Held by the dispatch that currently owns this worker.
+    busy: AtomicBool,
+}
+
+impl WorkerShared {
+    fn new() -> Self {
+        WorkerShared {
+            slot: Mutex::new(Mail::Idle),
+            bell: Condvar::new(),
+            alive: AtomicBool::new(true),
+            busy: AtomicBool::new(false),
+        }
+    }
+
+    fn assign(&self, job: JobRef) {
+        *lock(&self.slot) = Mail::Job(job);
+        self.bell.notify_one();
+    }
+}
+
+struct WorkerSlot {
+    shared: Arc<WorkerShared>,
+    handle: Option<JoinHandle<()>>,
+    /// Whether this slot's current death has already been counted, so a
+    /// failed respawn attempt is not re-counted on the next scan.
+    death_counted: bool,
+}
+
+fn slots() -> &'static Mutex<Vec<WorkerSlot>> {
+    static SLOTS: OnceLock<Mutex<Vec<WorkerSlot>>> = OnceLock::new();
+    SLOTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn spawn_worker(shared: Arc<WorkerShared>, index: usize) -> std::io::Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name(format!("csp-pool-{index}"))
+        .spawn(move || worker_main(shared))
+}
+
+fn worker_main(shared: Arc<WorkerShared>) {
+    loop {
+        let job = {
+            let mut mail = lock(&shared.slot);
+            loop {
+                match std::mem::replace(&mut *mail, Mail::Idle) {
+                    Mail::Job(j) => break j,
+                    Mail::Idle => {
+                        mail = shared
+                            .bell
+                            .wait(mail)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                }
+            }
+        };
+        // Chunk panics are contained inside `participate`; `Ok(false)`
+        // or an escaped panic means this thread must die (injected
+        // worker loss, or machinery failure). The participant guard has
+        // already signed the dispatch off either way.
+        let keep = catch_unwind(AssertUnwindSafe(|| job.0.participate(true))).unwrap_or(false);
+        if !keep {
+            shared.alive.store(false, Ordering::Release);
+            return;
+        }
+    }
+}
+
+/// Supervision sweep: join and respawn every dead, unowned worker.
+/// Counts each detected death as `runtime.worker.panics` and each
+/// successful respawn as `runtime.worker.restarts`. Returns the number
+/// of respawns. Runs automatically at every parallel dispatch; exposed
+/// so tests and studies can force a sweep between storms.
+pub fn supervise_workers() -> usize {
+    supervise_locked(&mut lock(slots()))
+}
+
+fn supervise_locked(slots: &mut [WorkerSlot]) -> usize {
+    let mut respawned = 0;
+    for (i, s) in slots.iter_mut().enumerate() {
+        if s.shared.busy.load(Ordering::Acquire) {
+            continue; // still owned by an in-flight dispatch
+        }
+        let dead = !s.shared.alive.load(Ordering::Acquire)
+            || s.handle
+                .as_ref()
+                .map(JoinHandle::is_finished)
+                .unwrap_or(true);
+        if !dead {
+            continue;
+        }
+        if !s.death_counted {
+            s.death_counted = true;
+            POOL_SUPERVISOR.record_panic();
+            telem_count(names::RUNTIME_WORKER_PANICS, 1);
+        }
+        if let Some(h) = s.handle.take() {
+            let _ = h.join();
+        }
+        let fresh = Arc::new(WorkerShared::new());
+        match spawn_worker(Arc::clone(&fresh), i) {
+            Ok(h) => {
+                s.shared = fresh;
+                s.handle = Some(h);
+                s.death_counted = false;
+                POOL_SUPERVISOR.record_restart();
+                telem_count(names::RUNTIME_WORKER_RESTARTS, 1);
+                respawned += 1;
+            }
+            Err(_) => {
+                // Could not respawn: the slot stays dead and the pool is
+                // effectively narrower until a later sweep succeeds.
+                DEGRADED.fetch_add(1, Ordering::Relaxed);
+                telem_count(names::RUNTIME_DEGRADED, 1);
+            }
+        }
+    }
+    respawned
+}
+
+/// Number of live (spawned, not dead) workers in the slab.
+pub fn workers_alive() -> usize {
+    lock(slots())
+        .iter()
+        .filter(|s| {
+            s.shared.alive.load(Ordering::Acquire)
+                && s.handle.as_ref().is_some_and(|h| !h.is_finished())
+        })
+        .count()
+}
+
+/// Acquire up to `want` idle workers, supervising first and growing the
+/// slab (up to [`MAX_WORKERS`]) if needed. May return fewer than `want`
+/// — the dispatch then runs narrower; zero workers is the inline serial
+/// degradation.
+fn acquire_workers(want: usize) -> Vec<Arc<WorkerShared>> {
+    if want == 0 {
+        return Vec::new();
+    }
+    let mut slab = lock(slots());
+    supervise_locked(&mut slab);
+    let mut got = Vec::with_capacity(want);
+    for s in slab.iter() {
+        if got.len() == want {
+            break;
+        }
+        if s.handle.is_some()
+            && s.shared.alive.load(Ordering::Acquire)
+            && s.shared
+                .busy
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            got.push(Arc::clone(&s.shared));
+        }
+    }
+    while got.len() < want && slab.len() < MAX_WORKERS {
+        let fresh = Arc::new(WorkerShared::new());
+        fresh.busy.store(true, Ordering::Relaxed);
+        match spawn_worker(Arc::clone(&fresh), slab.len()) {
+            Ok(h) => {
+                slab.push(WorkerSlot {
+                    shared: Arc::clone(&fresh),
+                    handle: Some(h),
+                    death_counted: false,
+                });
+                got.push(fresh);
+            }
+            Err(_) => {
+                DEGRADED.fetch_add(1, Ordering::Relaxed);
+                telem_count(names::RUNTIME_DEGRADED, 1);
+                break;
+            }
+        }
+    }
+    got
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+/// How a dispatch failed; the caller-facing layer attaches the region
+/// name and converts to [`RuntimeError`](crate::RuntimeError) or
+/// re-raises.
+pub(crate) enum DispatchFailure {
+    /// The lowest panicking chunk, with the original payload preserved
+    /// so legacy APIs can `resume_unwind` it.
+    Panicked {
+        chunk: usize,
+        what: String,
+        payload: Box<dyn Any + Send>,
+    },
+    /// The stall deadline elapsed before quiescence.
+    Stalled {
+        waited: Duration,
+        deadline: Duration,
+    },
+}
+
+impl std::fmt::Debug for DispatchFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DispatchFailure::Panicked { chunk, what, .. } => f
+                .debug_struct("Panicked")
+                .field("chunk", chunk)
+                .field("what", what)
+                .finish(),
+            DispatchFailure::Stalled { waited, deadline } => f
+                .debug_struct("Stalled")
+                .field("waited", waited)
+                .field("deadline", deadline)
+                .finish(),
+        }
+    }
+}
+
+impl DispatchFailure {
+    pub(crate) fn into_error(self, region: &'static str) -> crate::RuntimeError {
+        match self {
+            DispatchFailure::Panicked { chunk, what, .. } => crate::RuntimeError::ChunkPanicked {
+                region,
+                chunk,
+                what,
+            },
+            DispatchFailure::Stalled { waited, deadline } => crate::RuntimeError::Stalled {
+                region,
+                waited_ms: waited.as_millis() as u64,
+                deadline_ms: deadline.as_millis() as u64,
+            },
+        }
+    }
+
+    /// Legacy escalation: re-raise the original panic, or panic with the
+    /// stall description.
+    pub(crate) fn raise(self, region: &'static str) -> ! {
+        match self {
+            DispatchFailure::Panicked { payload, .. } => std::panic::resume_unwind(payload),
+            stalled => panic!("{}", stalled.into_error(region)),
+        }
+    }
+}
+
+struct PanicSlot {
+    chunk: usize,
+    payload: Box<dyn Any + Send>,
+}
+
+struct DispatchCore<'a> {
+    n_chunks: usize,
+    /// Next chunk to claim; ascending claims make the min-wins panic
+    /// record width-invariant.
+    next: AtomicUsize,
+    /// Set on the first contained panic: no further chunks are claimed.
+    stop: AtomicBool,
+    /// Whether chunk closures run under `with_threads(1)` (true for any
+    /// dispatch that may use workers; the width-1 containment path keeps
+    /// the caller's nested width, like the plain serial loop).
+    nest_serial: bool,
+    run: &'a (dyn Fn(usize) + Sync),
+    panic: Mutex<Option<PanicSlot>>,
+    /// Chunks claimed by a lost worker but never touched; the dispatcher
+    /// re-executes them.
+    orphans: Mutex<Vec<usize>>,
+    /// Participants (caller + assigned workers) still inside the
+    /// dispatch.
+    active: Mutex<usize>,
+    quiet: Condvar,
+    chaos: Option<DispatchChaos>,
+}
+
+/// Decrements the participant count on every exit path, including
+/// unwinds, so the dispatcher's quiescence wait can never hang on a
+/// participant that died.
+struct LeaveGuard<'s, 'a>(&'s DispatchCore<'a>);
+
+impl Drop for LeaveGuard<'_, '_> {
+    fn drop(&mut self) {
+        let mut active = lock(&self.0.active);
+        *active = active.saturating_sub(1);
+        self.0.quiet.notify_all();
+    }
+}
+
+impl DispatchCore<'_> {
+    /// Claim-and-execute loop run by the caller and every assigned
+    /// worker. Returns `false` when an injected worker loss requires
+    /// this (worker) thread to die.
+    fn participate(&self, is_worker: bool) -> bool {
+        let _leave = LeaveGuard(self);
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                return true;
+            }
+            let chunk = self.next.fetch_add(1, Ordering::Relaxed);
+            if chunk >= self.n_chunks {
+                return true;
+            }
+            match self
+                .chaos
+                .as_ref()
+                .and_then(|cx| cx.fault_for(chunk, is_worker))
+            {
+                None => self.run_chunk(chunk, false),
+                Some(RuntimeFault::Panic) => self.run_chunk(chunk, true),
+                Some(RuntimeFault::Stall(d)) => {
+                    std::thread::sleep(d);
+                    self.run_chunk(chunk, false);
+                }
+                Some(RuntimeFault::Loss) => {
+                    // Die *before* touching the chunk: the data is
+                    // untouched, so the dispatcher can re-execute it
+                    // with no double-write.
+                    lock(&self.orphans).push(chunk);
+                    self.quiet.notify_all();
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Execute one chunk inside the containment boundary.
+    fn run_chunk(&self, chunk: usize, inject_panic: bool) {
+        // Nested dispatches made by the chunk closure must not draw
+        // chaos (width-invariance) — on workers there is no installed
+        // session anyway, but at width 1 the closure runs on the
+        // installing thread.
+        let _no_chaos = chaos::SuppressGuard::enter();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let body = || {
+                if inject_panic {
+                    panic!("{INJECTED_PANIC_MARK} injected panic in chunk {chunk}");
+                }
+                (self.run)(chunk)
+            };
+            if self.nest_serial {
+                crate::with_threads(1, body)
+            } else {
+                body()
+            }
+        }));
+        if let Err(payload) = result {
+            CHUNK_PANICS.fetch_add(1, Ordering::Relaxed);
+            telem_count(names::RUNTIME_CHUNK_PANICS, 1);
+            let mut slot = lock(&self.panic);
+            // Min-wins: ascending claims guarantee the smallest drawn
+            // panic chunk is claimed (hence executed and recorded)
+            // before any stop, so the surviving record is the same at
+            // every width.
+            if slot.as_ref().map(|p| chunk < p.chunk).unwrap_or(true) {
+                *slot = Some(PanicSlot { chunk, payload });
+            }
+            drop(slot);
+            self.stop.store(true, Ordering::Release);
+        }
+    }
+
+    /// Re-execute every orphaned chunk (on the calling thread).
+    fn drain_orphans(&self) {
+        loop {
+            let next = lock(&self.orphans).pop();
+            match next {
+                Some(c) => {
+                    if !self.stop.load(Ordering::Acquire) {
+                        self.run_chunk(c, false);
+                    }
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Blocks until every participant has left, on every exit path. Normal
+/// flow calls [`finish`](Self::finish) (which also runs the watchdog
+/// clock and releases the workers); the `Drop` impl is the unwind
+/// backstop that keeps the lifetime erasure sound.
+struct Quiescence<'s, 'a> {
+    core: &'s DispatchCore<'a>,
+    workers: &'s [Arc<WorkerShared>],
+    done: bool,
+}
+
+impl Quiescence<'_, '_> {
+    fn finish(&mut self, deadline: Option<Duration>, started: Instant) -> (Duration, bool) {
+        let mut fired = false;
+        loop {
+            self.core.drain_orphans();
+            if let Some(d) = deadline {
+                if !fired && started.elapsed() >= d {
+                    fired = true;
+                }
+            }
+            let active = lock(&self.core.active);
+            if *active == 0 {
+                break;
+            }
+            let (guard, _) = self
+                .core
+                .quiet
+                .wait_timeout(active, TICK)
+                .unwrap_or_else(PoisonError::into_inner);
+            drop(guard);
+        }
+        // A worker can abandon its chunk and leave between the last
+        // drain and the final active check.
+        self.core.drain_orphans();
+        for w in self.workers {
+            w.busy.store(false, Ordering::Release);
+        }
+        self.done = true;
+        (started.elapsed(), fired)
+    }
+}
+
+impl Drop for Quiescence<'_, '_> {
+    fn drop(&mut self) {
+        if !self.done {
+            let _ = self.finish(None, Instant::now());
+        }
+    }
+}
+
+/// Run `n_chunks` chunks through the containment engine at up to `width`
+/// participants (the caller plus `width - 1` pool workers).
+///
+/// Returns `Ok(())` iff every chunk executed exactly once with no panic
+/// and within the deadline. The engine is used for every parallel
+/// dispatch and for width-1 dispatches that need typed containment or
+/// chaos; the plain width-1 fast path lives in `lib.rs`.
+pub(crate) fn run_dispatch(
+    width: usize,
+    stall_deadline: Option<Duration>,
+    n_chunks: usize,
+    run: &(dyn Fn(usize) + Sync),
+) -> Result<(), DispatchFailure> {
+    DISPATCHES.fetch_add(1, Ordering::Relaxed);
+    // The watchdog clock covers the whole dispatch — the caller's own
+    // chunk work included — not just the tail wait for stragglers.
+    let started = Instant::now();
+    let core = DispatchCore {
+        n_chunks,
+        next: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+        nest_serial: width > 1,
+        run,
+        panic: Mutex::new(None),
+        orphans: Mutex::new(Vec::new()),
+        active: Mutex::new(0),
+        quiet: Condvar::new(),
+        chaos: chaos::begin_dispatch(),
+    };
+    let workers = if width > 1 {
+        acquire_workers((width - 1).min(MAX_WORKERS))
+    } else {
+        Vec::new()
+    };
+    if !workers.is_empty() {
+        PARALLEL_DISPATCHES.fetch_add(1, Ordering::Relaxed);
+    }
+    *lock(&core.active) = workers.len() + 1;
+    // SAFETY: erases the stack lifetime of `core` (and of the borrowed
+    // closure and data behind it) so parked workers can receive the job.
+    // Sound because this function cannot return before `core.active`
+    // reaches zero — the `Quiescence` guard waits on every path,
+    // including unwinds — and a worker only dereferences the job between
+    // taking it from its mailbox and its `LeaveGuard` decrement.
+    let job = JobRef(unsafe {
+        std::mem::transmute::<&DispatchCore<'_>, &'static DispatchCore<'static>>(&core)
+    });
+    let mut quiescence = Quiescence {
+        core: &core,
+        workers: &workers,
+        done: false,
+    };
+    for w in &workers {
+        w.assign(job);
+    }
+    core.participate(false);
+    let (waited, fired) = quiescence.finish(stall_deadline, started);
+    if let Some(p) = lock(&core.panic).take() {
+        return Err(DispatchFailure::Panicked {
+            chunk: p.chunk,
+            what: panic_what(p.payload.as_ref()),
+            payload: p.payload,
+        });
+    }
+    if fired {
+        STALLS.fetch_add(1, Ordering::Relaxed);
+        telem_count(names::RUNTIME_STALLS, 1);
+        return Err(DispatchFailure::Stalled {
+            waited,
+            deadline: stall_deadline.unwrap_or_default(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaos::{RuntimeChaosSession, RuntimeFaultClass};
+
+    fn collect_squares(width: usize, n: usize) -> Result<Vec<usize>, DispatchFailure> {
+        let out: Vec<Mutex<Option<usize>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let runner = |c: usize| {
+            *lock(&out[c]) = Some(c * c);
+        };
+        run_dispatch(width, None, n, &runner)?;
+        Ok(out
+            .into_iter()
+            .map(|m| lock(&m).take().expect("chunk executed"))
+            .collect())
+    }
+
+    #[test]
+    fn dispatch_executes_every_chunk_at_any_width() {
+        let want: Vec<usize> = (0..33).map(|c| c * c).collect();
+        for width in [1, 2, 4, 8] {
+            let got = collect_squares(width, 33).unwrap_or_else(|_| panic!("width {width}"));
+            assert_eq!(got, want, "width {width}");
+        }
+    }
+
+    #[test]
+    fn workers_persist_across_dispatches() {
+        let _ = collect_squares(4, 16);
+        let alive = workers_alive();
+        assert!(alive >= 3, "expected parked workers, found {alive}");
+        let before = pool_stats().parallel_dispatches;
+        let _ = collect_squares(4, 16);
+        assert!(pool_stats().parallel_dispatches > before);
+        assert!(
+            workers_alive() >= alive,
+            "pool must not shrink between clean dispatches"
+        );
+    }
+
+    #[test]
+    fn panic_is_contained_and_min_chunk_reported() {
+        crate::chaos::silence_injected_panics();
+        for width in [1, 2, 4, 8] {
+            let runner = |c: usize| {
+                if c == 7 || c == 13 {
+                    panic!("csp-chaos: test panic in {c}");
+                }
+            };
+            let err = run_dispatch(width, None, 20, &runner)
+                .err()
+                .unwrap_or_else(|| panic!("width {width}: expected a contained panic"));
+            match err {
+                DispatchFailure::Panicked {
+                    chunk, ref what, ..
+                } => {
+                    assert_eq!(chunk, 7, "width {width}: min chunk wins");
+                    assert!(what.contains("test panic"), "width {width}: {what}");
+                }
+                DispatchFailure::Stalled { .. } => panic!("width {width}: wrong failure"),
+            }
+        }
+    }
+
+    #[test]
+    fn worker_loss_recovers_without_losing_chunks() {
+        crate::chaos::silence_injected_panics();
+        let n = 48;
+        let want: Vec<usize> = (0..n).map(|c| c * c).collect();
+        let before = pool_stats();
+        // Losses fire only on chunks claimed by pool workers; on a
+        // loaded or single-core host the caller can drain a dispatch of
+        // instant chunks before any worker wakes, so the chunks yield
+        // and we run a bounded number of storms until one lands.
+        let mut losses = 0;
+        for storm in 0..10u64 {
+            let session = Arc::new(
+                RuntimeChaosSession::new(0xC0FFEE + storm)
+                    .with_rate(RuntimeFaultClass::WorkerLoss, 0.4),
+            );
+            let out: Vec<Mutex<Option<usize>>> = (0..n).map(|_| Mutex::new(None)).collect();
+            let runner = |c: usize| {
+                std::thread::sleep(Duration::from_micros(300));
+                *lock(&out[c]) = Some(c * c);
+            };
+            session
+                .run(|| run_dispatch(8, None, n, &runner))
+                .unwrap_or_else(|_| panic!("loss must not fail the dispatch"));
+            let got: Vec<usize> = out
+                .into_iter()
+                .map(|m| lock(&m).take().expect("chunk executed"))
+                .collect();
+            assert_eq!(
+                got, want,
+                "storm {storm}: every chunk executed exactly once"
+            );
+            losses += session.injected(RuntimeFaultClass::WorkerLoss);
+            if losses > 0 {
+                break;
+            }
+        }
+        assert!(losses > 0, "no worker loss landed across 10 storms");
+        supervise_workers();
+        let after = pool_stats();
+        assert!(
+            after.worker_panics > before.worker_panics,
+            "lost workers must be detected"
+        );
+        assert!(
+            after.worker_restarts > before.worker_restarts,
+            "lost workers must be respawned"
+        );
+        // Post-storm probe: the pool still serves clean work.
+        let probe = collect_squares(8, 16).unwrap_or_else(|_| panic!("post-storm probe failed"));
+        assert_eq!(probe.len(), 16);
+    }
+
+    #[test]
+    fn stall_watchdog_reports_typed_timeout() {
+        let session = Arc::new(
+            RuntimeChaosSession::new(7)
+                .with_rate(RuntimeFaultClass::WorkerStall, 1.0)
+                .with_stall(Duration::from_millis(40)),
+        );
+        let out: Vec<Mutex<Option<usize>>> = (0..4).map(|_| Mutex::new(None)).collect();
+        let runner = |c: usize| {
+            *lock(&out[c]) = Some(c);
+        };
+        let err = session.run(|| run_dispatch(2, Some(Duration::from_millis(5)), 4, &runner));
+        match err {
+            Err(DispatchFailure::Stalled { waited, deadline }) => {
+                assert!(
+                    waited >= deadline,
+                    "waited {waited:?} deadline {deadline:?}"
+                );
+            }
+            _ => panic!("expected a stall"),
+        }
+        // Slowness, not data loss: every chunk still executed.
+        assert!(out.iter().all(|m| lock(m).is_some()));
+    }
+
+    #[test]
+    fn no_deadline_means_no_stall_error() {
+        let session = Arc::new(
+            RuntimeChaosSession::new(7)
+                .with_rate(RuntimeFaultClass::WorkerStall, 1.0)
+                .with_stall(Duration::from_millis(5)),
+        );
+        let got = session
+            .run(|| collect_squares(2, 4))
+            .expect("stalls alone never fail");
+        assert_eq!(got, vec![0, 1, 4, 9]);
+    }
+}

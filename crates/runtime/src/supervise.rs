@@ -1,0 +1,163 @@
+//! Worker life-cycle accounting shared by every supervised tier.
+//!
+//! Both the runtime's persistent pool and `csp-serve`'s engine workers
+//! follow the same supervision loop: detect a dead thread, count the
+//! death as a panic, respawn a replacement, count the restart, and
+//! remember *when* the last restart happened so health probes can report
+//! a degraded window. [`Supervisor`] is that loop's bookkeeping, written
+//! once; the tiers differ only in how a replacement thread is spawned,
+//! which they pass in as a closure.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Panic/restart counters plus the degraded-window clock for one set of
+/// supervised workers.
+///
+/// All methods are lock-light and panic-free: the internal mutex guards
+/// only an `Option<Instant>` and recovers from poisoning.
+#[derive(Debug)]
+pub struct Supervisor {
+    panics: AtomicU64,
+    restarts: AtomicU64,
+    last_restart: Mutex<Option<Instant>>,
+}
+
+impl Supervisor {
+    /// A supervisor with zeroed counters.
+    pub const fn new() -> Self {
+        Supervisor {
+            panics: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            last_restart: Mutex::new(None),
+        }
+    }
+
+    /// Record one worker death (panic, injected loss, or any abnormal
+    /// exit). Returns the new total.
+    pub fn record_panic(&self) -> u64 {
+        self.panics.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Record one successful respawn and stamp the degraded-window
+    /// clock. Returns the new total.
+    pub fn record_restart(&self) -> u64 {
+        let n = self.restarts.fetch_add(1, Ordering::Relaxed) + 1;
+        *self
+            .last_restart
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(Instant::now());
+        n
+    }
+
+    /// Worker deaths recorded so far.
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Respawns recorded so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Whether a restart happened within the last `window` — the
+    /// "recently degraded" signal health probes report.
+    pub fn restarted_within(&self, window: Duration) -> bool {
+        self.last_restart
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .map(|t| t.elapsed() <= window)
+            .unwrap_or(false)
+    }
+
+    /// One supervision sweep over a slab of worker handles: for every
+    /// finished (dead) handle, ask `respawn(slot_index)` for a
+    /// replacement. `respawn` returning `None` leaves the dead handle in
+    /// place (e.g. the tier is draining and does not want new workers).
+    /// Each replacement joins the dead thread and is counted as one
+    /// panic and one restart. Returns the number of respawns performed.
+    pub fn respawn_finished<F>(&self, handles: &mut [JoinHandle<()>], mut respawn: F) -> usize
+    where
+        F: FnMut(usize) -> Option<JoinHandle<()>>,
+    {
+        let mut respawned = 0;
+        for (i, h) in handles.iter_mut().enumerate() {
+            if !h.is_finished() {
+                continue;
+            }
+            if let Some(fresh) = respawn(i) {
+                let dead = std::mem::replace(h, fresh);
+                let _ = dead.join();
+                self.record_panic();
+                self.record_restart();
+                respawned += 1;
+            }
+        }
+        respawned
+    }
+}
+
+impl Default for Supervisor {
+    fn default() -> Self {
+        Supervisor::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_records() {
+        let s = Supervisor::new();
+        assert_eq!(s.panics(), 0);
+        assert_eq!(s.restarts(), 0);
+        assert!(!s.restarted_within(Duration::from_secs(3600)));
+        assert_eq!(s.record_panic(), 1);
+        assert_eq!(s.record_restart(), 1);
+        assert!(s.restarted_within(Duration::from_secs(3600)));
+        assert!(!s.restarted_within(Duration::ZERO));
+    }
+
+    #[test]
+    fn respawn_finished_replaces_only_dead_handles() {
+        let s = Supervisor::new();
+        let dead = std::thread::spawn(|| {});
+        while !dead.is_finished() {
+            std::thread::yield_now();
+        }
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let live = {
+            let stop = std::sync::Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            })
+        };
+        let mut handles = vec![dead, live];
+        let n = s.respawn_finished(&mut handles, |_| Some(std::thread::spawn(|| {})));
+        assert_eq!(n, 1, "only the finished handle is replaced");
+        assert_eq!(s.panics(), 1);
+        assert_eq!(s.restarts(), 1);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    #[test]
+    fn respawn_can_decline() {
+        let s = Supervisor::new();
+        let dead = std::thread::spawn(|| {});
+        while !dead.is_finished() {
+            std::thread::yield_now();
+        }
+        let mut handles = vec![dead];
+        assert_eq!(s.respawn_finished(&mut handles, |_| None), 0);
+        assert_eq!(s.restarts(), 0);
+        let _ = handles.pop().unwrap().join();
+    }
+}

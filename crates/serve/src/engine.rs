@@ -26,7 +26,11 @@
 //! silently lost), then exits. A supervisor thread notices the death and
 //! respawns the worker while the queue is open, so the engine keeps
 //! serving — health degrades instead of the service dying. The [`Health`]
-//! report exposes queue depth, restart and panic counts.
+//! report exposes queue depth, restart and panic counts. Restart
+//! bookkeeping (death detection, joining, counters, the degraded-window
+//! clock) is `csp_runtime::Supervisor` — the same implementation that
+//! supervises the runtime's persistent worker pool — so `serve.*` and
+//! `runtime.worker.*` restart accounting share one code path.
 //!
 //! [`Health`]: crate::protocol::HealthReport
 //!
@@ -44,7 +48,7 @@ use crate::protocol::{HealthReport, HealthState};
 use crate::registry::ModelRegistry;
 use crate::stats::{Stats, StatsSnapshot};
 use csp_nn::Sequential;
-use csp_runtime::with_threads;
+use csp_runtime::{with_threads, Supervisor};
 use csp_sim::FaultClass;
 use csp_tensor::{CspError, CspResult, Tensor};
 use std::collections::{HashMap, VecDeque};
@@ -96,7 +100,9 @@ pub(crate) struct Shared {
     pub(crate) chaos: Option<Arc<ChaosSession>>,
     dedup: Mutex<Dedup>,
     workers: usize,
-    last_restart: Mutex<Option<Instant>>,
+    /// Restart accounting shared with the runtime pool's supervision
+    /// machinery — one bookkeeping implementation for both tiers.
+    supervisor: Supervisor,
 }
 
 impl Shared {
@@ -118,11 +124,7 @@ impl Shared {
     /// The engine's current health verdict.
     pub(crate) fn health(&self) -> HealthReport {
         let queue_depth = self.queue.len();
-        let recently_restarted = self
-            .last_restart
-            .lock()
-            .expect("restart lock")
-            .is_some_and(|t| t.elapsed() < DEGRADED_WINDOW);
+        let recently_restarted = self.supervisor.restarted_within(DEGRADED_WINDOW);
         let state = if self.queue.is_closed() {
             HealthState::Draining
         } else if recently_restarted || queue_depth >= self.queue.policy().queue_cap {
@@ -179,7 +181,12 @@ fn spawn_worker(shared: Arc<Shared>, index: usize) -> JoinHandle<()> {
 
 /// Respawn workers that died while the queue is open. A worker exits
 /// normally only once the queue is closed *and* drained, so "finished
-/// while open" always means a panic death.
+/// while open" always means a panic death. Death detection, joining,
+/// and panic/restart counting all live in
+/// [`Supervisor::respawn_finished`] — the same sweep the runtime pool's
+/// supervisor runs — so the two tiers cannot drift apart; this loop only
+/// supplies the serve-specific respawn policy (decline while draining,
+/// mirror the restart into the engine's stats registry).
 fn supervisor_loop(shared: &Arc<Shared>, set: &WorkerSet) {
     loop {
         if shared.queue.is_closed() {
@@ -187,15 +194,14 @@ fn supervisor_loop(shared: &Arc<Shared>, set: &WorkerSet) {
         }
         {
             let mut handles = set.handles.lock().expect("worker set lock");
-            for h in handles.iter_mut() {
-                if h.is_finished() && !shared.queue.is_closed() {
-                    let index = set.next_index.fetch_add(1, Ordering::SeqCst);
-                    let dead = std::mem::replace(h, spawn_worker(Arc::clone(shared), index));
-                    let _ = dead.join();
-                    shared.stats.record_worker_restart();
-                    *shared.last_restart.lock().expect("restart lock") = Some(Instant::now());
+            shared.supervisor.respawn_finished(&mut handles, |_| {
+                if shared.queue.is_closed() {
+                    return None;
                 }
-            }
+                let index = set.next_index.fetch_add(1, Ordering::SeqCst);
+                shared.stats.record_worker_restart();
+                Some(spawn_worker(Arc::clone(shared), index))
+            });
         }
         std::thread::sleep(SUPERVISOR_POLL);
     }
@@ -254,7 +260,7 @@ impl Engine {
             chaos,
             dedup: Mutex::new(Dedup::default()),
             workers,
-            last_restart: Mutex::new(None),
+            supervisor: Supervisor::new(),
         });
         let set = Arc::new(WorkerSet {
             handles: Mutex::new(

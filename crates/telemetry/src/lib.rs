@@ -99,6 +99,27 @@ pub mod names {
     /// Reconnects performed by the resilient client (per model; global
     /// registry).
     pub const SERVE_CLIENT_RECONNECTS: &str = "serve.client.reconnects";
+
+    /// Dead runtime pool workers detected by the supervisor (empty
+    /// label). A worker dies only abnormally — a lost thread or an
+    /// escaped panic — so detections are counted as panics.
+    pub const RUNTIME_WORKER_PANICS: &str = "runtime.worker.panics";
+    /// Runtime pool workers respawned by the supervisor (empty label).
+    pub const RUNTIME_WORKER_RESTARTS: &str = "runtime.worker.restarts";
+    /// Chunk closures that panicked and were contained by the dispatch
+    /// (empty label).
+    pub const RUNTIME_CHUNK_PANICS: &str = "runtime.chunk_panics";
+    /// Dispatches whose stall watchdog deadline elapsed before
+    /// quiescence (empty label).
+    pub const RUNTIME_STALLS: &str = "runtime.stalls";
+    /// Times the pool had to shrink because a worker could not be
+    /// (re)spawned (empty label).
+    pub const RUNTIME_DEGRADED: &str = "runtime.degraded";
+    /// Faults injected by a [`RuntimeChaosSession`] (labelled by fault
+    /// class name).
+    ///
+    /// [`RuntimeChaosSession`]: https://docs.rs/csp-runtime
+    pub const RUNTIME_CHAOS_INJECTED: &str = "runtime.chaos.injected";
 }
 
 // ---------------------------------------------------------------------------

@@ -82,23 +82,29 @@ pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Result<Tensor, TensorError> {
     let data = input.as_slice();
     // Each output row is one (channel, ky, kx) filter coordinate and is
     // written independently — a fixed one-row chunk per work unit keeps
-    // parallel results identical to serial for any pool size.
-    csp_runtime::Pool::current().for_each_chunk_mut(&mut out, cols.max(1), |row, _, chunk| {
-        let (ci, ky, kx) = (row / (k * k), (row / k) % k, row % k);
-        for oy in 0..oh {
-            let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
-            if iy < 0 || iy >= h as isize {
-                continue;
-            }
-            for ox in 0..ow {
-                let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
-                if ix < 0 || ix >= w as isize {
+    // parallel results identical to serial for any pool size. One copy
+    // per element (unit cost 1): small layouts stay inline serial.
+    csp_runtime::Pool::current().for_each_chunk_mut_weighted(
+        &mut out,
+        cols.max(1),
+        1,
+        |row, _, chunk| {
+            let (ci, ky, kx) = (row / (k * k), (row / k) % k, row % k);
+            for oy in 0..oh {
+                let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                if iy < 0 || iy >= h as isize {
                     continue;
                 }
-                chunk[oy * ow + ox] = data[(ci * h + iy as usize) * w + ix as usize];
+                for ox in 0..ow {
+                    let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                    if ix < 0 || ix >= w as isize {
+                        continue;
+                    }
+                    chunk[oy * ow + ox] = data[(ci * h + iy as usize) * w + ix as usize];
+                }
             }
-        }
-    });
+        },
+    );
     Tensor::from_vec(out, &[rows, cols])
 }
 
@@ -135,9 +141,10 @@ pub fn col2im(
     // channels are the independent unit: one fixed chunk per channel,
     // scatter-adding in the same (ky, kx, oy, ox) order as the serial
     // loop — bit-identical for any pool size.
-    csp_runtime::Pool::current().for_each_chunk_mut(
+    csp_runtime::Pool::current().for_each_chunk_mut_weighted(
         out.as_mut_slice(),
         (h * w).max(1),
+        (k * k) as u64,
         |ci, _, dst| {
             for ky in 0..k {
                 for kx in 0..k {

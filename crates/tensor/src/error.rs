@@ -126,6 +126,28 @@ pub enum CspError {
         /// What failed inside the server.
         what: String,
     },
+    /// A chunk closure panicked inside a runtime dispatch and was
+    /// contained by the worker pool. The reported index is the lowest
+    /// panicking chunk, which is the same at every pool width.
+    ChunkPanicked {
+        /// Dispatch region name (e.g. `runtime.map_collect`).
+        region: &'static str,
+        /// Index of the lowest chunk whose closure panicked.
+        chunk: usize,
+        /// Stringified panic payload.
+        what: String,
+    },
+    /// A runtime dispatch exceeded its stall-watchdog deadline. The pool
+    /// still waited for quiescence before reporting, so no work was left
+    /// half-done — this is a slowness signal, not data loss.
+    RuntimeStalled {
+        /// Dispatch region name.
+        region: &'static str,
+        /// Total time the dispatch took.
+        waited_ms: u64,
+        /// The deadline that was exceeded.
+        deadline_ms: u64,
+    },
 }
 
 impl fmt::Display for CspError {
@@ -147,6 +169,19 @@ impl fmt::Display for CspError {
             CspError::Overloaded { what } => write!(f, "overloaded: {what}"),
             CspError::Expired { what } => write!(f, "deadline expired: {what}"),
             CspError::Internal { what } => write!(f, "internal server error: {what}"),
+            CspError::ChunkPanicked {
+                region,
+                chunk,
+                what,
+            } => write!(f, "chunk {chunk} panicked in {region}: {what}"),
+            CspError::RuntimeStalled {
+                region,
+                waited_ms,
+                deadline_ms,
+            } => write!(
+                f,
+                "dispatch {region} stalled: waited {waited_ms} ms past a {deadline_ms} ms deadline"
+            ),
         }
     }
 }
@@ -163,6 +198,31 @@ impl std::error::Error for CspError {
 impl From<TensorError> for CspError {
     fn from(e: TensorError) -> Self {
         CspError::Tensor(e)
+    }
+}
+
+impl From<csp_runtime::RuntimeError> for CspError {
+    fn from(e: csp_runtime::RuntimeError) -> Self {
+        match e {
+            csp_runtime::RuntimeError::ChunkPanicked {
+                region,
+                chunk,
+                what,
+            } => CspError::ChunkPanicked {
+                region,
+                chunk,
+                what,
+            },
+            csp_runtime::RuntimeError::Stalled {
+                region,
+                waited_ms,
+                deadline_ms,
+            } => CspError::RuntimeStalled {
+                region,
+                waited_ms,
+                deadline_ms,
+            },
+        }
     }
 }
 
@@ -256,5 +316,31 @@ mod tests {
         };
         assert!(i.to_string().contains("internal server error"));
         assert!(i.to_string().contains("worker panic"));
+    }
+
+    #[test]
+    fn runtime_errors_convert_to_typed_variants() {
+        let p: CspError = csp_runtime::RuntimeError::ChunkPanicked {
+            region: "runtime.map_collect",
+            chunk: 4,
+            what: "boom".into(),
+        }
+        .into();
+        assert_eq!(
+            p,
+            CspError::ChunkPanicked {
+                region: "runtime.map_collect",
+                chunk: 4,
+                what: "boom".into(),
+            }
+        );
+        assert!(p.to_string().contains("chunk 4"), "{p}");
+        let s: CspError = csp_runtime::RuntimeError::Stalled {
+            region: "runtime.chunks",
+            waited_ms: 20,
+            deadline_ms: 5,
+        }
+        .into();
+        assert!(s.to_string().contains("stalled"), "{s}");
     }
 }

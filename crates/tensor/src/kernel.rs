@@ -112,44 +112,51 @@ pub(crate) fn gemm(
         csp_telemetry::counter_add("tensor.gemm.calls", "", 1);
     }
 
-    Pool::current().for_each_chunk_mut(&mut out, ROW_CHUNK * n, |_, elem_off, out_rows| {
-        let i0 = elem_off / n;
-        let rows = out_rows.len() / n;
-        let (mut macs, mut skipped) = (0u64, 0u64);
-        for (pcb, pc) in (0..k).step_by(KC).enumerate() {
-            let pl = KC.min(k - pc);
-            for (jcb, jc) in (0..n).step_by(NC).enumerate() {
-                let jl = NC.min(n - jc);
-                let panel = {
-                    let off = offsets[pcb * n_jc + jcb];
-                    &bp[off..off + pl * jl]
-                };
-                for r in 0..rows {
-                    let arow = &a_view[(i0 + r) * k + pc..(i0 + r) * k + pc + pl];
-                    let orow = &mut out_rows[r * n + jc..r * n + jc + jl];
-                    for (dp, &av) in arow.iter().enumerate() {
-                        if av == 0.0 {
-                            if telem {
-                                skipped += jl as u64;
+    // Each output element costs ~k MACs; the weighted dispatch lets tiny
+    // GEMMs (small heads, smoke shapes) skip pool dispatch entirely.
+    Pool::current().for_each_chunk_mut_weighted(
+        &mut out,
+        ROW_CHUNK * n,
+        k as u64,
+        |_, elem_off, out_rows| {
+            let i0 = elem_off / n;
+            let rows = out_rows.len() / n;
+            let (mut macs, mut skipped) = (0u64, 0u64);
+            for (pcb, pc) in (0..k).step_by(KC).enumerate() {
+                let pl = KC.min(k - pc);
+                for (jcb, jc) in (0..n).step_by(NC).enumerate() {
+                    let jl = NC.min(n - jc);
+                    let panel = {
+                        let off = offsets[pcb * n_jc + jcb];
+                        &bp[off..off + pl * jl]
+                    };
+                    for r in 0..rows {
+                        let arow = &a_view[(i0 + r) * k + pc..(i0 + r) * k + pc + pl];
+                        let orow = &mut out_rows[r * n + jc..r * n + jc + jl];
+                        for (dp, &av) in arow.iter().enumerate() {
+                            if av == 0.0 {
+                                if telem {
+                                    skipped += jl as u64;
+                                }
+                                continue;
                             }
-                            continue;
-                        }
-                        if telem {
-                            macs += jl as u64;
-                        }
-                        let brow = &panel[dp * jl..(dp + 1) * jl];
-                        for (o, &bv) in orow.iter_mut().zip(brow) {
-                            *o += av * bv;
+                            if telem {
+                                macs += jl as u64;
+                            }
+                            let brow = &panel[dp * jl..(dp + 1) * jl];
+                            for (o, &bv) in orow.iter_mut().zip(brow) {
+                                *o += av * bv;
+                            }
                         }
                     }
                 }
             }
-        }
-        if telem {
-            csp_telemetry::counter_add("tensor.gemm.macs", "", macs);
-            csp_telemetry::counter_add("tensor.gemm.skipped", "", skipped);
-        }
-    });
+            if telem {
+                csp_telemetry::counter_add("tensor.gemm.macs", "", macs);
+                csp_telemetry::counter_add("tensor.gemm.skipped", "", skipped);
+            }
+        },
+    );
     out
 }
 

@@ -1,0 +1,199 @@
+//! Supervision property suite: the persistent worker pool must preserve
+//! the runtime's determinism contract *while faults fire*.
+//!
+//! Three families of properties:
+//!
+//! * **width-invariant outcomes under chaos** — a fresh seeded
+//!   [`RuntimeChaosSession`] draws faults per `(seed, dispatch, chunk)`,
+//!   independent of which thread claims the chunk. One typed dispatch at
+//!   widths 1/2/4/8 must therefore produce the *same* outcome: the same
+//!   bit-identical `Ok` vector, or the same lowest panicking chunk.
+//!   Worker losses must be invisible (orphaned chunks are re-executed,
+//!   so the dispatch still returns the bit-identical `Ok`).
+//! * **supervision accounting** — every injected worker loss is a death
+//!   the supervisor counts, and a supervision sweep respawns each one
+//!   (`≥` inequalities: the counters are process-global and other tests
+//!   run concurrently).
+//! * **nested serialization** — chunk closures run under a width-1 pool,
+//!   so kernels that themselves dispatch can never oversubscribe or
+//!   deadlock the pool from inside a worker.
+
+use csp_core::runtime::{
+    pool_stats, silence_injected_panics, supervise_workers, with_threads, Pool,
+    RuntimeChaosSession, RuntimeError, RuntimeFaultClass,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// The deterministic per-element payload. Spins briefly so parked
+/// workers win chunks even on a 1-core host (an instant closure lets the
+/// calling thread drain every chunk before a worker wakes).
+fn elem(i: usize, spin: Duration) -> u64 {
+    if !spin.is_zero() {
+        let t0 = Instant::now();
+        while t0.elapsed() < spin {
+            std::hint::spin_loop();
+        }
+    }
+    let x = (i as f64).mul_add(0.6180339887498949, 1.0);
+    (x.sin() * 1e6).to_bits() ^ (i as u64)
+}
+
+/// One typed dispatch under a fresh chaos session, reduced to a
+/// comparable outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Outcome {
+    Ok(Vec<u64>),
+    Panicked { chunk: usize },
+    Stalled,
+}
+
+fn run_once(
+    width: usize,
+    n: usize,
+    seed: u64,
+    class: RuntimeFaultClass,
+    rate: f64,
+    spin: Duration,
+) -> Outcome {
+    let session = Arc::new(RuntimeChaosSession::new(seed).with_rate(class, rate));
+    session.run(
+        || match Pool::new(width).try_map_collect(n, |i| elem(i, spin)) {
+            Ok(v) => Outcome::Ok(v),
+            Err(RuntimeError::ChunkPanicked { chunk, .. }) => Outcome::Panicked { chunk },
+            Err(RuntimeError::Stalled { .. }) => Outcome::Stalled,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Chunk panics are drawn per `(seed, dispatch, chunk)`, so the
+    /// lowest panicking chunk — and therefore the typed error — is the
+    /// same at every pool width; fault-free draws return the serial
+    /// bits.
+    #[test]
+    fn chunk_panic_outcome_is_width_invariant(
+        seed in 0u64..u64::MAX,
+        n in 1usize..48,
+        rate in 0.02f64..0.5,
+    ) {
+        silence_injected_panics();
+        let reference: Vec<u64> = with_threads(1, || (0..n).map(|i| elem(i, Duration::ZERO)).collect());
+        let baseline = run_once(1, n, seed, RuntimeFaultClass::ChunkPanic, rate, Duration::ZERO);
+        if let Outcome::Ok(v) = &baseline {
+            prop_assert_eq!(v, &reference, "width-1 Ok must match the serial reference");
+        }
+        for width in [2, 4, 8] {
+            let got = run_once(width, n, seed, RuntimeFaultClass::ChunkPanic, rate, Duration::ZERO);
+            prop_assert_eq!(
+                &got, &baseline,
+                "width {} diverged from width 1 (seed {:#x}, n {}, rate {})",
+                width, seed, n, rate
+            );
+        }
+    }
+
+    /// Worker losses never surface to the caller: orphaned chunks are
+    /// re-executed exactly once, so every width returns the bit-identical
+    /// `Ok` vector no matter how many workers die mid-dispatch.
+    #[test]
+    fn worker_loss_is_invisible_and_bit_identical(
+        seed in 0u64..u64::MAX,
+        n in 1usize..40,
+        rate in 0.05f64..0.6,
+    ) {
+        silence_injected_panics();
+        let reference: Vec<u64> = with_threads(1, || (0..n).map(|i| elem(i, Duration::ZERO)).collect());
+        let spin = Duration::from_micros(15);
+        for width in WIDTHS {
+            let got = run_once(width, n, seed, RuntimeFaultClass::WorkerLoss, rate, spin);
+            prop_assert_eq!(
+                got,
+                Outcome::Ok(reference.clone()),
+                "width {} (seed {:#x}, n {}, rate {})",
+                width, seed, n, rate
+            );
+        }
+    }
+}
+
+/// Every injected worker loss is a counted death, and a supervision
+/// sweep respawns each of this test's dead workers. Counters are
+/// process-global, so only `≥` deltas are asserted.
+#[test]
+fn injected_losses_are_counted_and_respawned() {
+    silence_injected_panics();
+    let before = pool_stats();
+    let mut lost = 0u64;
+    // Bounded storm retries: on a loaded 1-core host a given storm can
+    // complete before any worker claims a chunk.
+    for storm in 0..10u64 {
+        let session = Arc::new(
+            RuntimeChaosSession::new(0xBAD_5EED ^ storm)
+                .with_rate(RuntimeFaultClass::WorkerLoss, 0.5),
+        );
+        session.run(|| {
+            let out = Pool::new(4)
+                .try_map_collect(32, |i| elem(i, Duration::from_micros(50)))
+                .expect("losses are contained, never a typed error");
+            assert_eq!(out.len(), 32);
+        });
+        lost += session.injected(RuntimeFaultClass::WorkerLoss);
+        if lost > 0 {
+            break;
+        }
+    }
+    assert!(
+        lost > 0,
+        "a 50% loss rate over 10 storms must kill a worker"
+    );
+    supervise_workers();
+    let after = pool_stats();
+    assert!(
+        after.worker_panics >= before.worker_panics + lost,
+        "each injected loss is a counted death: {} -> {} with {} lost",
+        before.worker_panics,
+        after.worker_panics,
+        lost
+    );
+    assert!(
+        after.worker_restarts >= before.worker_restarts + lost,
+        "each death is respawned by supervision: {} -> {} with {} lost",
+        before.worker_restarts,
+        after.worker_restarts,
+        lost
+    );
+    // The pool is still healthy: a fault-free parallel probe matches.
+    let probe = Pool::new(4).map_collect(16, |i| elem(i, Duration::ZERO));
+    let reference: Vec<u64> = (0..16).map(|i| elem(i, Duration::ZERO)).collect();
+    assert_eq!(probe, reference);
+}
+
+/// Chunk closures always observe a width-1 pool: nested kernels inside a
+/// parallel dispatch serialize instead of oversubscribing, at every
+/// outer width and nesting depth.
+#[test]
+fn nested_dispatch_inside_chunks_is_serial() {
+    for width in [2, 4, 8] {
+        let widths_seen = Pool::new(width).map_collect(16, |_| {
+            let inner = Pool::current().threads();
+            // A nested dispatch from inside the chunk must itself run —
+            // and observe serial width all the way down.
+            let nested = Pool::current().map_collect(4, |_| Pool::current().threads());
+            (inner, nested)
+        });
+        for (inner, nested) in widths_seen {
+            assert_eq!(inner, 1, "outer width {width}: chunk saw a parallel pool");
+            assert_eq!(
+                nested,
+                vec![1; 4],
+                "outer width {width}: nested dispatch not serial"
+            );
+        }
+    }
+}
