@@ -9,14 +9,20 @@
 //! `csp-runtime`), and the blocked GEMM is additionally checked against
 //! the naive reference kernel.
 //!
+//! A backend×shape matrix additionally times single-thread `matmul` under
+//! every [`KernelBackend`] the host supports, recording per-backend
+//! speedup over scalar, bitwise identity, and the max ULP distance (the
+//! FMA backend is allowed a documented bound; all others must be 0).
+//!
 //! ```text
-//! kernel_bench [--smoke] [--json] [--threads N] [--out PATH] [--telemetry]
+//! kernel_bench [--smoke] [--json] [--threads N] [--out PATH] [--telemetry] [--backend NAME]
 //! ```
 //!
 //! `--smoke` shrinks every problem so the whole run takes seconds (CI);
 //! `--json` additionally writes `results/BENCH_kernels.json`;
 //! `--telemetry` enables the process-wide metrics registry and dumps its
-//! snapshot to `results/TELEMETRY_kernels.json`.
+//! snapshot to `results/TELEMETRY_kernels.json`; `--backend` forces a
+//! kernel backend for the headline rows (typed error if unsupported).
 
 use criterion::{black_box, Criterion};
 use csp_bench::{accelerator_lineup, run_lineup, workloads, Workload};
@@ -27,6 +33,7 @@ use csp_core::nn::{
 };
 use csp_core::tensor::{conv2d, matmul, matmul_reference, uniform, Conv2dSpec, Tensor};
 use csp_runtime::with_threads;
+use csp_tensor::{with_backend, CpuFeatures, KernelBackend};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -84,9 +91,13 @@ fn probe_dispatch(threads: usize) -> DispatchProbe {
     }
 }
 
-/// Time `work` under a `threads`-wide pool.
+/// Time `work` under a `threads`-wide pool. One explicit warm-up call
+/// runs first *inside the pool scope*, so cold pool dispatch (~196 µs
+/// first-call per the dispatch probe), lazy backend selection, and page
+/// faults on freshly-allocated operands never pollute the timed iters.
 fn time_at<R>(c: &mut Criterion, threads: usize, mut work: impl FnMut() -> R) -> f64 {
     with_threads(threads, || {
+        black_box(work());
         c.time_function("", |b| b.iter(|| black_box(work())))
     })
 }
@@ -209,27 +220,124 @@ fn bits(t: &Tensor) -> Vec<u32> {
     t.as_slice().iter().map(|v| v.to_bits()).collect()
 }
 
+/// ULP distance between two finite f32 values via the monotone integer
+/// mapping (sign-magnitude → two's-complement order), so ±0 compare equal
+/// and adjacent floats are 1 apart.
+fn ulp_distance(a: f32, b: f32) -> u64 {
+    fn key(x: f32) -> i64 {
+        let u = x.to_bits();
+        if u & 0x8000_0000 != 0 {
+            -((u & 0x7fff_ffff) as i64)
+        } else {
+            u as i64
+        }
+    }
+    key(a).abs_diff(key(b))
+}
+
+/// One cell of the backend×shape matrix: single-thread `matmul` of one
+/// shape under one backend, compared against the scalar run of the same
+/// shape.
+struct BackendCell {
+    backend: &'static str,
+    lanes: usize,
+    shape: String,
+    dims: String,
+    serial_s: f64,
+    speedup_vs_scalar: f64,
+    bit_identical: bool,
+    max_ulp: u64,
+}
+
+/// Time single-thread `matmul` for each shape under every backend the
+/// host supports. Scalar is the row every other backend is normalized to
+/// (`speedup_vs_scalar`) and bit-compared against.
+fn bench_backend_matrix(c: &mut Criterion, smoke: bool) -> Vec<BackendCell> {
+    let shapes: &[(usize, usize, usize)] = if smoke {
+        &[(96, 96, 96)]
+    } else {
+        // The headline square shape, a smaller square, and a ragged
+        // shape that exercises the lane-tail epilogues.
+        &[(128, 128, 128), (512, 512, 512), (257, 129, 65)]
+    };
+    let mut cells = Vec::new();
+    for &(m, k, n) in shapes {
+        let mut rng = seeded_rng(7);
+        let a = uniform(&mut rng, &[m, k], 1.0);
+        let b = uniform(&mut rng, &[k, n], 1.0);
+        let scalar_out = with_backend(KernelBackend::Scalar, || matmul(&a, &b).expect("matmul"));
+        let scalar_bits = bits(&scalar_out);
+        let mut scalar_s = 0.0f64;
+        for backend in KernelBackend::supported_backends() {
+            let out = with_backend(backend, || matmul(&a, &b).expect("matmul"));
+            let bit_identical = bits(&out) == scalar_bits;
+            let max_ulp = out
+                .as_slice()
+                .iter()
+                .zip(scalar_out.as_slice())
+                .map(|(&x, &y)| ulp_distance(x, y))
+                .max()
+                .unwrap_or(0);
+            let serial_s = with_backend(backend, || {
+                time_at(c, 1, || matmul(&a, &b).expect("matmul"))
+            });
+            if backend == KernelBackend::Scalar {
+                scalar_s = serial_s;
+            }
+            cells.push(BackendCell {
+                backend: backend.name(),
+                lanes: backend.lanes(),
+                shape: format!("matmul_{m}"),
+                dims: format!("{m}x{k}x{n}"),
+                serial_s,
+                speedup_vs_scalar: if serial_s > 0.0 {
+                    scalar_s / serial_s
+                } else {
+                    0.0
+                },
+                bit_identical,
+                max_ulp,
+            });
+        }
+    }
+    cells
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Run-level facts recorded in the JSON header.
+struct RunInfo {
+    backend: KernelBackend,
+    threads: usize,
+    smoke: bool,
+    iters: u64,
 }
 
 fn write_json(
     path: &str,
     rows: &[BenchRow],
+    cells: &[BackendCell],
     probe: &DispatchProbe,
-    threads: usize,
-    smoke: bool,
-    iters: u64,
+    run: &RunInfo,
 ) {
     let host = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let cpu = CpuFeatures::detect();
     let mut body = String::from("{\n");
-    body.push_str("  \"schema\": \"csp-bench/kernels/v2\",\n");
-    body.push_str(&format!("  \"smoke\": {smoke},\n"));
+    body.push_str("  \"schema\": \"csp-bench/kernels/v3\",\n");
+    body.push_str(&format!("  \"smoke\": {},\n", run.smoke));
     body.push_str(&format!("  \"host_threads\": {host},\n"));
-    body.push_str(&format!("  \"parallel_threads\": {threads},\n"));
-    body.push_str(&format!("  \"iters\": {iters},\n"));
+    body.push_str(&format!("  \"parallel_threads\": {},\n", run.threads));
+    body.push_str(&format!("  \"iters\": {},\n", run.iters));
+    body.push_str(&format!(
+        "  \"cpu\": {{\"sse2\": {}, \"avx\": {}, \"avx2\": {}, \"fma\": {}}},\n",
+        cpu.sse2, cpu.avx, cpu.avx2, cpu.fma
+    ));
+    body.push_str(&format!("  \"backend\": \"{}\",\n", run.backend.name()));
+    body.push_str(&format!("  \"backend_lanes\": {},\n", run.backend.lanes()));
     body.push_str(&format!(
         "  \"grain\": {},\n",
         csp_runtime::Pool::current().grain()
@@ -239,6 +347,24 @@ fn write_json(
          \"calls\": {}}},\n",
         probe.width, probe.first_call_ns, probe.steady_ns, probe.calls
     ));
+    body.push_str("  \"backend_matrix\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"backend\": \"{}\", \"lanes\": {}, \"shape\": \"{}\", \"dims\": \"{}\", \
+             \"serial_s\": {:.6}, \"speedup_vs_scalar\": {:.3}, \"bit_identical\": {}, \
+             \"max_ulp\": {}}}{}\n",
+            cell.backend,
+            cell.lanes,
+            json_escape(&cell.shape),
+            json_escape(&cell.dims),
+            cell.serial_s,
+            cell.speedup_vs_scalar,
+            cell.bit_identical,
+            cell.max_ulp,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ],\n");
     body.push_str("  \"benchmarks\": [\n");
     for (i, r) in rows.iter().enumerate() {
         body.push_str(&format!(
@@ -266,11 +392,19 @@ fn write_json(
 fn main() -> ExitCode {
     let cli = match csp_bench::cli::CommonCli::parse().and_then(|cli| {
         cli.reject_unknown(
-            "kernel_bench [--smoke] [--json] [--threads N] [--out PATH] [--telemetry]",
+            "kernel_bench [--smoke] [--json] [--threads N] [--out PATH] [--telemetry] \
+             [--backend NAME]",
         )?;
         Ok(cli)
     }) {
         Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let backend = match cli.apply_backend() {
+        Ok(b) => b,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
@@ -291,6 +425,12 @@ fn main() -> ExitCode {
          {} problem sizes",
         if smoke { "smoke" } else { "full" }
     );
+    println!(
+        "cpu: {}; kernel backend: {} ({} lanes)",
+        CpuFeatures::detect().summary(),
+        backend.name(),
+        backend.lanes()
+    );
     // Cold-vs-warm dispatch latency must run before anything else warms
     // the persistent pool.
     let probe = probe_dispatch(threads);
@@ -309,6 +449,7 @@ fn main() -> ExitCode {
         bench_train_epoch(&mut c, threads, smoke),
         bench_sim_sweep(&mut c, threads, smoke),
     ];
+    let cells = bench_backend_matrix(&mut c, smoke);
 
     println!(
         "\n{:<14} {:<28} {:>12} {:>12} {:>9}  bit-identical",
@@ -328,8 +469,36 @@ fn main() -> ExitCode {
         );
     }
 
+    println!(
+        "\nbackend matrix (single thread)\n{:<12} {:<8} {:<16} {:>12} {:>12} {:>8}  bit-identical",
+        "shape", "backend", "dims", "serial(ms)", "vs scalar", "max_ulp"
+    );
+    for cell in &cells {
+        // The FMA backend is exempt from bit-identity (documented error
+        // bound instead); every other backend must match scalar exactly.
+        if cell.backend != "avx2fma" {
+            all_identical &= cell.bit_identical;
+        }
+        println!(
+            "{:<12} {:<8} {:<16} {:>12.3} {:>11.2}x {:>8}  {}",
+            cell.shape,
+            cell.backend,
+            cell.dims,
+            cell.serial_s * 1e3,
+            cell.speedup_vs_scalar,
+            cell.max_ulp,
+            cell.bit_identical
+        );
+    }
+
     if json {
-        write_json(&out, &rows, &probe, threads, smoke, iters);
+        let run = RunInfo {
+            backend,
+            threads,
+            smoke,
+            iters,
+        };
+        write_json(&out, &rows, &cells, &probe, &run);
     }
     cli.dump_telemetry("kernels");
     if all_identical {

@@ -33,6 +33,16 @@ struct Outcome {
 
 fn main() -> ExitCode {
     let skip_slow = std::env::args().any(|a| a == "--skip-slow");
+    // Bench artifacts are only comparable across hosts when the ISA
+    // context is known, so record it up front and again in the summary.
+    let cpu = csp_tensor::CpuFeatures::detect();
+    let backend = csp_tensor::KernelBackend::selected();
+    println!(
+        "host cpu: {}; kernel backend: {} ({} lanes)",
+        cpu.summary(),
+        backend.name(),
+        backend.lanes()
+    );
     let fast = [
         driver("table1_hw_params"),
         driver("fig01_motivation"),
@@ -167,6 +177,12 @@ fn main() -> ExitCode {
     let failed = outcomes.iter().filter(|o| !o.ok).count();
     let total: Duration = outcomes.iter().map(|o| o.elapsed).sum();
     println!("\n== run_all summary ==");
+    println!(
+        "  host cpu: {}; kernel backend: {} ({} lanes)",
+        cpu.summary(),
+        backend.name(),
+        backend.lanes()
+    );
     for o in &outcomes {
         println!(
             "  {} {:<24} {:>8.2}s  {}",

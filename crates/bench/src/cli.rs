@@ -1,8 +1,8 @@
 //! Shared command-line parsing for the `src/bin/*` study drivers.
 //!
 //! Every driver accepts the same core flags — `--smoke`, `--json`,
-//! `--threads N`, `--out PATH`, `--seed N` — and previously each re-parsed
-//! them by hand. [`CommonCli::parse`] centralizes that: it consumes the
+//! `--threads N`, `--out PATH`, `--seed N`, `--backend NAME` — and
+//! previously each re-parsed them by hand. [`CommonCli::parse`] centralizes that: it consumes the
 //! flags it knows, leaves everything else in [`CommonCli::rest`] for
 //! driver-specific handling, and a driver with no extra flags calls
 //! [`CommonCli::reject_unknown`] to keep strict usage errors.
@@ -25,6 +25,11 @@ pub struct CommonCli {
     /// `--telemetry`: enable the process-wide telemetry registry and dump
     /// a snapshot next to the study's results file.
     pub telemetry: bool,
+    /// `--backend NAME`: force a kernel backend (`scalar` / `sse2` /
+    /// `avx2` / `avx2fma`). Parsed here; drivers apply it via
+    /// [`CommonCli::apply_backend`] so an unsupported CPU surfaces a
+    /// typed [`csp_tensor::CspError`] instead of a parse error.
+    pub backend: Option<String>,
     /// Arguments this parser did not recognize, in order.
     pub rest: Vec<String>,
 }
@@ -67,6 +72,14 @@ impl CommonCli {
                     cli.telemetry = true;
                     csp_telemetry::set_enabled(true);
                 }
+                "--backend" => match args.next() {
+                    Some(name) => cli.backend = Some(name),
+                    None => {
+                        return Err(
+                            "--backend requires a name (scalar|sse2|avx2|avx2fma)".to_string()
+                        )
+                    }
+                },
                 _ => cli.rest.push(arg),
             }
         }
@@ -100,6 +113,20 @@ impl CommonCli {
     /// The effective seed: the `--seed` override, or `default`.
     pub fn seed_or(&self, default: u64) -> u64 {
         self.seed.unwrap_or(default)
+    }
+
+    /// Apply the `--backend` override, if any, by forcing the process-wide
+    /// kernel backend. Returns the backend now in effect.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the typed [`csp_tensor::CspError`] when the name is
+    /// unknown or the host CPU lacks the required feature.
+    pub fn apply_backend(&self) -> Result<csp_tensor::KernelBackend, csp_tensor::CspError> {
+        match self.backend.as_deref() {
+            Some(name) => csp_tensor::KernelBackend::force(name),
+            None => Ok(csp_tensor::KernelBackend::current()),
+        }
     }
 
     /// When `--telemetry` was given, dump the process-wide snapshot to
@@ -174,6 +201,26 @@ mod tests {
         assert!(parse(&["--threads", "abc"]).is_err());
         assert!(parse(&["--out"]).is_err());
         assert!(parse(&["--seed", "x"]).is_err());
+        assert!(parse(&["--backend"]).is_err());
+    }
+
+    #[test]
+    fn backend_flag_is_parsed_and_applied_lazily() {
+        let cli = parse(&["--backend", "scalar"]).unwrap();
+        assert_eq!(cli.backend.as_deref(), Some("scalar"));
+        // Parsing must not force anything; application is explicit.
+        let applied = cli.apply_backend().unwrap();
+        assert_eq!(applied.name(), "scalar");
+        // An unknown name is a typed CspError, not a parse error.
+        let cli = parse(&["--backend", "avx512"]).unwrap();
+        assert!(cli.apply_backend().is_err());
+    }
+
+    #[test]
+    fn no_backend_flag_reports_current() {
+        let cli = parse(&[]).unwrap();
+        assert!(cli.backend.is_none());
+        assert!(cli.apply_backend().is_ok());
     }
 
     #[test]

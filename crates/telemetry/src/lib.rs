@@ -120,6 +120,11 @@ pub mod names {
     ///
     /// [`RuntimeChaosSession`]: https://docs.rs/csp-runtime
     pub const RUNTIME_CHAOS_INJECTED: &str = "runtime.chaos.injected";
+
+    /// GEMM calls served per kernel backend (labelled by backend name:
+    /// `scalar` / `sse2` / `avx2` / `avx2fma`). The label set doubles as
+    /// the record of which backend the process selected.
+    pub const TENSOR_GEMM_BACKEND: &str = "tensor.gemm.backend";
 }
 
 // ---------------------------------------------------------------------------

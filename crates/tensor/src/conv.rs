@@ -1,7 +1,17 @@
 //! Convolution lowering (im2col/col2im) and direct 2-D convolution.
+//!
+//! Both lowering directions are backend-aware: `im2col` copies whole
+//! contiguous input rows when `stride == 1` (pure data movement, so
+//! backend-independent and always bit-exact), and `col2im` accumulates
+//! its stride-1 contiguous spans through the selected
+//! [`KernelBackend`](crate::KernelBackend)'s vector add
+//! ([`crate::simd::add_assign`]) — lane-wise IEEE additions that are
+//! bit-identical to the scalar loop for every backend.
 
+use crate::backend::KernelBackend;
 use crate::error::TensorError;
 use crate::ops::matmul;
+use crate::simd;
 use crate::tensor::Tensor;
 
 /// Geometry of a 2-D convolution: kernel size, stride and zero padding.
@@ -95,12 +105,26 @@ pub fn im2col(input: &Tensor, spec: Conv2dSpec) -> Result<Tensor, TensorError> {
                 if iy < 0 || iy >= h as isize {
                     continue;
                 }
+                let in_row = (ci * h + iy as usize) * w;
+                if spec.stride == 1 {
+                    // Consecutive output pixels read consecutive input
+                    // pixels: copy the whole valid span at once. Valid ox
+                    // satisfy 0 <= ox + kx - padding < w.
+                    let ox0 = spec.padding.saturating_sub(kx);
+                    let ox1 = ow.min((w + spec.padding).saturating_sub(kx));
+                    if ox0 < ox1 {
+                        let ix0 = ox0 + kx - spec.padding;
+                        chunk[oy * ow + ox0..oy * ow + ox1]
+                            .copy_from_slice(&data[in_row + ix0..in_row + ix0 + (ox1 - ox0)]);
+                    }
+                    continue;
+                }
                 for ox in 0..ow {
                     let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
                     if ix < 0 || ix >= w as isize {
                         continue;
                     }
-                    chunk[oy * ow + ox] = data[(ci * h + iy as usize) * w + ix as usize];
+                    chunk[oy * ow + ox] = data[in_row + ix as usize];
                 }
             }
         },
@@ -137,14 +161,20 @@ pub fn col2im(
     let mut out = Tensor::zeros(&[c, h, w]);
     let src = cols_mat.as_slice();
     let n_cols = oh * ow;
+    // Resolved on the calling thread (workers do not see the caller's
+    // thread-local override) and captured by value below. Every backend's
+    // add_assign is lane-wise IEEE addition in the same order, so the
+    // choice never changes bits.
+    let backend = KernelBackend::current();
     // Windows overlap *within* a channel but never across channels, so
     // channels are the independent unit: one fixed chunk per channel,
     // scatter-adding in the same (ky, kx, oy, ox) order as the serial
-    // loop — bit-identical for any pool size.
+    // loop — bit-identical for any pool size. Each output element absorbs
+    // ~k² adds; lanes divide the effective cost for the grain cutoff.
     csp_runtime::Pool::current().for_each_chunk_mut_weighted(
         out.as_mut_slice(),
         (h * w).max(1),
-        (k * k) as u64,
+        backend.unit_cost((k * k) as u64),
         |ci, _, dst| {
             for ky in 0..k {
                 for kx in 0..k {
@@ -152,6 +182,24 @@ pub fn col2im(
                     for oy in 0..oh {
                         let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
                         if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        if spec.stride == 1 {
+                            // Consecutive output pixels scatter into
+                            // consecutive input pixels: one contiguous
+                            // vector accumulate per valid span.
+                            let ox0 = spec.padding.saturating_sub(kx);
+                            let ox1 = ow.min((w + spec.padding).saturating_sub(kx));
+                            if ox0 < ox1 {
+                                let ix0 = ox0 + kx - spec.padding;
+                                let d0 = iy as usize * w + ix0;
+                                let s0 = row * n_cols + oy * ow + ox0;
+                                simd::add_assign(
+                                    backend,
+                                    &mut dst[d0..d0 + (ox1 - ox0)],
+                                    &src[s0..s0 + (ox1 - ox0)],
+                                );
+                            }
                             continue;
                         }
                         for ox in 0..ow {

@@ -18,6 +18,17 @@
 //! *functional golden model* the accelerator simulators and benchmarks
 //! compare against.
 //!
+//! ## Kernel backends
+//!
+//! The inner loops dispatch through a [`KernelBackend`] selected once at
+//! startup (`is_x86_feature_detected!`, overridable via the
+//! `CSP_KERNEL_BACKEND` env var — see the [`backend`](KernelBackend)
+//! docs). `Scalar`, `Sse2` and `Avx2` are bit-identical to each other and
+//! to [`matmul_reference`]; the opt-in `Avx2Fma` backend trades bit
+//! equality for fused multiply-adds within a documented error bound. All
+//! `unsafe` lives in one `simd` module of `#[target_feature]` kernels;
+//! the rest of the crate denies `unsafe_code`.
+//!
 //! ## Example
 //!
 //! ```
@@ -34,9 +45,12 @@
 //!
 //! [`csp-nn`]: ../csp_nn/index.html
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid` so the one SIMD module can opt back in;
+// every other module still rejects unsafe at compile time.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod blocks;
 mod conv;
 mod error;
@@ -47,6 +61,10 @@ mod pool;
 mod shape;
 mod tensor;
 
+#[allow(unsafe_code)]
+mod simd;
+
+pub use backend::{with_backend, CpuFeatures, KernelBackend, ALL_BACKENDS};
 pub use blocks::{add_col_block, col_block, row_block, vstack};
 pub use conv::{col2im, conv2d, conv2d_grad_input, conv2d_grad_weight, im2col, Conv2dSpec};
 pub use error::{CspError, CspResult, TensorError};

@@ -1,0 +1,593 @@
+//! The backend-dispatched micro-kernels behind the packed GEMM and the
+//! convolution lowering — the only module in the crate allowed to use
+//! `unsafe` (see the crate root's `deny(unsafe_code)` and the audit notes
+//! in DESIGN.md §13).
+//!
+//! ## Shape of the kernels
+//!
+//! [`panel_axpy`] computes the inner `(row, panel)` update of the blocked
+//! GEMM: `orow[j] += Σₚ arow[p] · panel[p·jl + j]`. The scalar reference
+//! iterates `p` outermost (one AXPY per `p`, exact-zero skip on
+//! `arow[p]`); the vector paths instead walk `j` in register-width strips
+//! and run the full ascending-`p` accumulation per strip, holding the
+//! output in registers. Per output element both orders perform the
+//! identical sequence of IEEE-754 single-rounded `mul` then `add`
+//! operations in ascending `p` — which is why SSE2/AVX2 are bit-identical
+//! to scalar — while the strip form loads/stores each output element once
+//! per panel instead of once per `p`. The fused [`KernelBackend::Avx2Fma`]
+//! path is the same strip loop with one rounding per step, documented as
+//! non-bit-identical.
+//!
+//! ## Boundary handling
+//!
+//! All vector loads/stores are unaligned (`loadu`/`storeu`), so row
+//! starts need no alignment; the `jl % lane` tail of every strip loop
+//! falls back to a scalar epilogue that preserves the ascending-`p`
+//! accumulation order and the exact-zero skip.
+//!
+//! ## Soundness
+//!
+//! Every `#[target_feature]` function is reached only through the safe
+//! dispatchers in this module, which match on a [`KernelBackend`] value;
+//! backend values for unsupported ISAs cannot be installed — detection,
+//! [`KernelBackend::force`] and [`crate::with_backend`] all verify
+//! support first — so the required CPU features are always present at
+//! the call site. All pointer arithmetic stays inside the bounds of the
+//! slice arguments, justified per block.
+
+use crate::backend::KernelBackend;
+
+// ---------------------------------------------------------------------------
+// (row, panel) AXPY kernel
+// ---------------------------------------------------------------------------
+
+/// `orow[j] += Σₚ arow[p] · panel[p·jl + j]` for `jl = orow.len()`,
+/// accumulating ascending `p` per element, skipping exact-zero `arow[p]`.
+/// Dispatches on `backend`; every non-FMA backend returns bit-identical
+/// results.
+pub(crate) fn panel_axpy(backend: KernelBackend, arow: &[f32], panel: &[f32], orow: &mut [f32]) {
+    debug_assert_eq!(panel.len(), arow.len() * orow.len());
+    match backend {
+        KernelBackend::Scalar => panel_axpy_scalar(arow, panel, orow),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: a non-scalar backend value is only obtainable through
+        // detection / force / with_backend, each of which checks
+        // `KernelBackend::supported`, so the target feature is present.
+        KernelBackend::Sse2 => unsafe { panel_axpy_sse2(arow, panel, orow) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — AVX2 verified present before the backend
+        // value could be constructed and installed.
+        KernelBackend::Avx2 => unsafe { panel_axpy_avx2(arow, panel, orow) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — AVX2+FMA verified present before install.
+        KernelBackend::Avx2Fma => unsafe { panel_axpy_avx2fma(arow, panel, orow) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => panel_axpy_scalar(arow, panel, orow),
+    }
+}
+
+/// Four-row register-blocked variant of [`panel_axpy`]: updates four
+/// output rows against the same panel in one pass, so each panel row is
+/// loaded from cache once per *four* rows of `A` instead of once per row
+/// — the AVX2 paths are L2-bandwidth-bound in the single-row form, and
+/// this quarters the panel traffic.
+///
+/// Bit-identity is preserved: each row keeps its own accumulators, its
+/// own exact-zero skip branch, and its own ascending-`p` mul-then-add
+/// sequence, so per output element the rounded-operation stream is
+/// byte-for-byte the single-row one. Backends without a blocked kernel
+/// (scalar, non-x86_64) simply run [`panel_axpy`] row by row.
+pub(crate) fn panel_axpy4(
+    backend: KernelBackend,
+    arows: [&[f32]; 4],
+    panel: &[f32],
+    mut orows: [&mut [f32]; 4],
+) {
+    debug_assert!(arows.iter().all(|a| a.len() == arows[0].len()));
+    debug_assert!(orows.iter().all(|o| o.len() == orows[0].len()));
+    debug_assert_eq!(panel.len(), arows[0].len() * orows[0].len());
+    match backend {
+        KernelBackend::Scalar => {
+            for (a, o) in arows.into_iter().zip(orows.iter_mut()) {
+                panel_axpy(backend, a, panel, o);
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: a non-scalar backend value is only obtainable through
+        // detection / force / with_backend, each of which checks
+        // `KernelBackend::supported`, so SSE2 is present.
+        KernelBackend::Sse2 => unsafe { panel_axpy4_sse2(arows, panel, orows) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — AVX2 verified present before install.
+        KernelBackend::Avx2 => unsafe { panel_axpy4_avx2(arows, panel, orows) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above — AVX2+FMA verified present before install.
+        KernelBackend::Avx2Fma => unsafe { panel_axpy4_avx2fma(arows, panel, orows) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => {
+            for (a, o) in arows.into_iter().zip(orows.iter_mut()) {
+                panel_axpy(backend, a, panel, o);
+            }
+        }
+    }
+}
+
+/// The reference loop: `p` outermost, one AXPY over the whole row per
+/// nonzero `arow[p]` — exactly the pre-backend kernel and the semantics
+/// of [`crate::matmul_reference`].
+fn panel_axpy_scalar(arow: &[f32], panel: &[f32], orow: &mut [f32]) {
+    let jl = orow.len();
+    for (p, &av) in arow.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let brow = &panel[p * jl..(p + 1) * jl];
+        for (o, &bv) in orow.iter_mut().zip(brow) {
+            *o += av * bv;
+        }
+    }
+}
+
+/// Scalar epilogue for the strip kernels: columns `j0..jl`, each
+/// accumulated ascending `p` into a register and stored once — the same
+/// rounded-operation sequence per element as [`panel_axpy_scalar`].
+fn panel_axpy_tail(arow: &[f32], panel: &[f32], orow: &mut [f32], j0: usize) {
+    let jl = orow.len();
+    for j in j0..jl {
+        let mut acc = orow[j];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            acc += av * panel[p * jl + j];
+        }
+        orow[j] = acc;
+    }
+}
+
+/// Generates a strip-form AXPY kernel for one 128/256-bit ISA: `$wide`
+/// lanes per vector, a 4-vector main strip and a 1-vector strip, with
+/// `$combine(va, b, o)` producing the new accumulator (mul-then-add for
+/// the bit-identical paths, fused for FMA).
+#[cfg(target_arch = "x86_64")]
+macro_rules! strip_axpy {
+    ($name:ident, $feature:literal, $lanes:expr, $vec:ty,
+     $loadu:ident, $storeu:ident, $set1:ident, $combine:expr) => {
+        #[target_feature(enable = $feature)]
+        unsafe fn $name(arow: &[f32], panel: &[f32], orow: &mut [f32]) {
+            use core::arch::x86_64::*;
+            const L: usize = $lanes;
+            let pl = arow.len();
+            let jl = orow.len();
+            let o = orow.as_mut_ptr();
+            let bp = panel.as_ptr();
+            let combine = $combine;
+            let mut j = 0usize;
+            // Main strip: 4 accumulators held in registers across the
+            // whole ascending-p loop; output loaded/stored once.
+            while j + 4 * L <= jl {
+                // SAFETY: `j + 4L <= jl`, so lanes `[j, j+4L)` of `orow`
+                // are in bounds for the loads and the mirrored stores;
+                // `bp.add(p*jl + j)` reads `panel[p*jl + j .. +4L]`,
+                // in bounds because `p < pl` and `panel.len() == pl*jl`
+                // (debug-asserted by the dispatcher).
+                unsafe {
+                    let mut o0 = $loadu(o.add(j));
+                    let mut o1 = $loadu(o.add(j + L));
+                    let mut o2 = $loadu(o.add(j + 2 * L));
+                    let mut o3 = $loadu(o.add(j + 3 * L));
+                    for p in 0..pl {
+                        let av = *arow.get_unchecked(p);
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let va = $set1(av);
+                        let b = bp.add(p * jl + j);
+                        o0 = combine(va, $loadu(b), o0);
+                        o1 = combine(va, $loadu(b.add(L)), o1);
+                        o2 = combine(va, $loadu(b.add(2 * L)), o2);
+                        o3 = combine(va, $loadu(b.add(3 * L)), o3);
+                    }
+                    $storeu(o.add(j), o0);
+                    $storeu(o.add(j + L), o1);
+                    $storeu(o.add(j + 2 * L), o2);
+                    $storeu(o.add(j + 3 * L), o3);
+                }
+                j += 4 * L;
+            }
+            // Single-vector strip for the 1..4-vector remainder.
+            while j + L <= jl {
+                // SAFETY: `j + L <= jl` bounds the output lanes; panel
+                // reads are in bounds as in the main strip.
+                unsafe {
+                    let mut o0 = $loadu(o.add(j));
+                    for p in 0..pl {
+                        let av = *arow.get_unchecked(p);
+                        if av == 0.0 {
+                            continue;
+                        }
+                        o0 = combine($set1(av), $loadu(bp.add(p * jl + j)), o0);
+                    }
+                    $storeu(o.add(j), o0);
+                }
+                j += L;
+            }
+            panel_axpy_tail(arow, panel, orow, j);
+        }
+    };
+}
+
+#[cfg(target_arch = "x86_64")]
+strip_axpy!(
+    panel_axpy_sse2,
+    "sse2",
+    4,
+    core::arch::x86_64::__m128,
+    _mm_loadu_ps,
+    _mm_storeu_ps,
+    _mm_set1_ps,
+    // Mul then add: two single-rounded IEEE ops per lane, identical to
+    // the scalar `o += av * bv`.
+    |va, b, o| core::arch::x86_64::_mm_add_ps(o, core::arch::x86_64::_mm_mul_ps(va, b))
+);
+
+#[cfg(target_arch = "x86_64")]
+strip_axpy!(
+    panel_axpy_avx2,
+    "avx2",
+    8,
+    core::arch::x86_64::__m256,
+    _mm256_loadu_ps,
+    _mm256_storeu_ps,
+    _mm256_set1_ps,
+    // Mul then add, as in the SSE2 path: bit-identical to scalar.
+    |va, b, o| core::arch::x86_64::_mm256_add_ps(o, core::arch::x86_64::_mm256_mul_ps(va, b))
+);
+
+#[cfg(target_arch = "x86_64")]
+strip_axpy!(
+    panel_axpy_avx2fma,
+    "avx2,fma",
+    8,
+    core::arch::x86_64::__m256,
+    _mm256_loadu_ps,
+    _mm256_storeu_ps,
+    _mm256_set1_ps,
+    // Fused multiply-add: one rounding per step — NOT bit-identical; see
+    // `KernelBackend::Avx2Fma` for the documented error bound.
+    |va, b, o| core::arch::x86_64::_mm256_fmadd_ps(va, b, o)
+);
+
+/// Generates a 4-row × two-vector register-blocked kernel for one ISA:
+/// eight vector accumulators (two `$lanes`-wide strips per row) held
+/// across the whole ascending-`p` loop, one pair of panel loads per `p`
+/// shared by all four rows, a per-row zero-skip branch, and per-row
+/// scalar tails for the `jl % (2·lanes)` columns.
+#[cfg(target_arch = "x86_64")]
+macro_rules! quad_axpy {
+    ($name:ident, $feature:literal, $lanes:expr,
+     $loadu:ident, $storeu:ident, $set1:ident, $zero:ident, $combine:expr) => {
+        #[target_feature(enable = $feature)]
+        unsafe fn $name(arows: [&[f32]; 4], panel: &[f32], mut orows: [&mut [f32]; 4]) {
+            use core::arch::x86_64::*;
+            const L: usize = $lanes;
+            let pl = arows[0].len();
+            let jl = orows[0].len();
+            let bp = panel.as_ptr();
+            let combine = $combine;
+            let mut j = 0usize;
+            while j + 2 * L <= jl {
+                // SAFETY: `j + 2L <= jl` bounds both `L`-lane strips of
+                // every output row (each `orows[r]` has length `jl`, and
+                // the rows are disjoint `&mut` slices by construction);
+                // `bp.add(p*jl + j)` reads `panel[p·jl + j .. +2L]`, in
+                // bounds because `p < pl` and `panel.len() == pl·jl`
+                // (debug-asserted by the dispatcher); `arows[r]` reads
+                // are `get_unchecked(p)` with `p < pl == arows[r].len()`.
+                unsafe {
+                    let mut acc = [[$zero(); 2]; 4];
+                    for r in 0..4 {
+                        acc[r][0] = $loadu(orows[r].as_ptr().add(j));
+                        acc[r][1] = $loadu(orows[r].as_ptr().add(j + L));
+                    }
+                    for p in 0..pl {
+                        let b0 = $loadu(bp.add(p * jl + j));
+                        let b1 = $loadu(bp.add(p * jl + j + L));
+                        for r in 0..4 {
+                            let av = *arows[r].get_unchecked(p);
+                            if av == 0.0 {
+                                continue;
+                            }
+                            let va = $set1(av);
+                            acc[r][0] = combine(va, b0, acc[r][0]);
+                            acc[r][1] = combine(va, b1, acc[r][1]);
+                        }
+                    }
+                    for r in 0..4 {
+                        $storeu(orows[r].as_mut_ptr().add(j), acc[r][0]);
+                        $storeu(orows[r].as_mut_ptr().add(j + L), acc[r][1]);
+                    }
+                }
+                j += 2 * L;
+            }
+            for (a, o) in arows.into_iter().zip(orows.iter_mut()) {
+                panel_axpy_tail(a, panel, o, j);
+            }
+        }
+    };
+}
+
+#[cfg(target_arch = "x86_64")]
+quad_axpy!(
+    panel_axpy4_sse2,
+    "sse2",
+    4,
+    _mm_loadu_ps,
+    _mm_storeu_ps,
+    _mm_set1_ps,
+    _mm_setzero_ps,
+    // Mul then add: bit-identical to the scalar accumulation.
+    |va, b, o| core::arch::x86_64::_mm_add_ps(o, core::arch::x86_64::_mm_mul_ps(va, b))
+);
+
+#[cfg(target_arch = "x86_64")]
+quad_axpy!(
+    panel_axpy4_avx2,
+    "avx2",
+    8,
+    _mm256_loadu_ps,
+    _mm256_storeu_ps,
+    _mm256_set1_ps,
+    _mm256_setzero_ps,
+    // Mul then add: bit-identical to the scalar accumulation.
+    |va, b, o| core::arch::x86_64::_mm256_add_ps(o, core::arch::x86_64::_mm256_mul_ps(va, b))
+);
+
+#[cfg(target_arch = "x86_64")]
+quad_axpy!(
+    panel_axpy4_avx2fma,
+    "avx2,fma",
+    8,
+    _mm256_loadu_ps,
+    _mm256_storeu_ps,
+    _mm256_set1_ps,
+    _mm256_setzero_ps,
+    // Fused multiply-add: NOT bit-identical (see `KernelBackend::Avx2Fma`).
+    |va, b, o| core::arch::x86_64::_mm256_fmadd_ps(va, b, o)
+);
+
+// ---------------------------------------------------------------------------
+// Transposed panel packing
+// ---------------------------------------------------------------------------
+
+/// One `(pc, jc)` panel's coordinates within the logical `(k × n)` B
+/// matrix: the panel covers `p ∈ [pc, pc+pl)` × `j ∈ [jc, jc+jl)`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PanelTile {
+    /// First `k`-index of the panel.
+    pub pc: usize,
+    /// `k`-extent of the panel.
+    pub pl: usize,
+    /// First `n`-index of the panel.
+    pub jc: usize,
+    /// `n`-extent of the panel.
+    pub jl: usize,
+}
+
+/// Pack one `pl × jl` panel of the logical `(k × n)` B matrix from
+/// transposed `(n × k)` storage: `dst[p·jl + j] = b[(jc+j)·k + (pc+p)]`.
+/// Pure data movement, so every backend is bit-exact; non-scalar
+/// backends use a 4×4 SSE in-register transpose (rows of 4 consecutive
+/// `p` are contiguous in transposed storage, columns of 4 consecutive
+/// `j` are contiguous in the panel).
+pub(crate) fn pack_panel_transposed(
+    backend: KernelBackend,
+    b: &[f32],
+    k: usize,
+    tile: PanelTile,
+    dst: &mut [f32],
+) {
+    debug_assert_eq!(dst.len(), tile.pl * tile.jl);
+    debug_assert!((tile.jc + tile.jl) * k <= b.len() || tile.jl == 0);
+    match backend {
+        KernelBackend::Scalar => pack_panel_transposed_scalar(b, k, tile, dst),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: every non-scalar backend implies SSE2 support
+        // (verified at backend construction; SSE2 ⊂ AVX2 hosts).
+        _ => unsafe { pack_panel_transposed_sse2(b, k, tile, dst) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => pack_panel_transposed_scalar(b, k, tile, dst),
+    }
+}
+
+/// The reference strided gather — exactly the pre-backend `pack_b` loop.
+fn pack_panel_transposed_scalar(b: &[f32], k: usize, tile: PanelTile, dst: &mut [f32]) {
+    let PanelTile { pc, pl, jc, jl } = tile;
+    for p in 0..pl {
+        for j in 0..jl {
+            dst[p * jl + j] = b[(jc + j) * k + (pc + p)];
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn pack_panel_transposed_sse2(b: &[f32], k: usize, tile: PanelTile, dst: &mut [f32]) {
+    use core::arch::x86_64::*;
+    let PanelTile { pc, pl, jc, jl } = tile;
+    let p4 = pl & !3;
+    let j4 = jl & !3;
+    let src = b.as_ptr();
+    let out = dst.as_mut_ptr();
+    for p0 in (0..p4).step_by(4) {
+        for j0 in (0..j4).step_by(4) {
+            // SAFETY: rows `jc+j0..jc+j0+4` each read 4 consecutive `p`
+            // values at `(jc+j)·k + pc+p0`, in bounds because
+            // `jc+j0+3 < jc+jl ≤ n` and `pc+p0+3 < pc+pl ≤ k` with
+            // `b.len() == n·k`; stores hit `dst[(p0+i)·jl + j0 .. +4]`,
+            // in bounds because `p0+3 < pl` and `j0+3 < jl`.
+            unsafe {
+                let r0 = _mm_loadu_ps(src.add((jc + j0) * k + pc + p0));
+                let r1 = _mm_loadu_ps(src.add((jc + j0 + 1) * k + pc + p0));
+                let r2 = _mm_loadu_ps(src.add((jc + j0 + 2) * k + pc + p0));
+                let r3 = _mm_loadu_ps(src.add((jc + j0 + 3) * k + pc + p0));
+                // 4×4 in-register transpose.
+                let t0 = _mm_unpacklo_ps(r0, r1);
+                let t1 = _mm_unpacklo_ps(r2, r3);
+                let t2 = _mm_unpackhi_ps(r0, r1);
+                let t3 = _mm_unpackhi_ps(r2, r3);
+                _mm_storeu_ps(out.add(p0 * jl + j0), _mm_movelh_ps(t0, t1));
+                _mm_storeu_ps(out.add((p0 + 1) * jl + j0), _mm_movehl_ps(t1, t0));
+                _mm_storeu_ps(out.add((p0 + 2) * jl + j0), _mm_movelh_ps(t2, t3));
+                _mm_storeu_ps(out.add((p0 + 3) * jl + j0), _mm_movehl_ps(t3, t2));
+            }
+        }
+        // j tail of these four p rows.
+        for p in p0..p0 + 4 {
+            for j in j4..jl {
+                dst[p * jl + j] = b[(jc + j) * k + (pc + p)];
+            }
+        }
+    }
+    // Remaining p rows (pl % 4), full width.
+    for p in p4..pl {
+        for j in 0..jl {
+            dst[p * jl + j] = b[(jc + j) * k + (pc + p)];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Element-wise accumulate (col2im spans)
+// ---------------------------------------------------------------------------
+
+/// `dst[i] += src[i]` over equal-length slices. Lane-wise IEEE adds, so
+/// every backend is bit-identical; used for the contiguous stride-1
+/// scatter-add spans of [`crate::col2im`].
+pub(crate) fn add_assign(backend: KernelBackend, dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    match backend {
+        KernelBackend::Scalar | KernelBackend::Sse2 => add_assign_scalar(dst, src),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 backends are only installable on hosts where the
+        // feature was detected.
+        KernelBackend::Avx2 | KernelBackend::Avx2Fma => unsafe { add_assign_avx2(dst, src) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => add_assign_scalar(dst, src),
+    }
+}
+
+/// Reference accumulate (the compiler vectorizes this to the SSE2
+/// baseline on its own, so SSE2 shares it).
+fn add_assign_scalar(dst: &mut [f32], src: &[f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn add_assign_avx2(dst: &mut [f32], src: &[f32]) {
+    use core::arch::x86_64::*;
+    let n = dst.len().min(src.len());
+    let d = dst.as_mut_ptr();
+    let s = src.as_ptr();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        // SAFETY: `i + 8 <= n ≤ len` for both slices, so the unaligned
+        // 8-lane load/store pairs stay in bounds.
+        unsafe {
+            _mm256_storeu_ps(
+                d.add(i),
+                _mm256_add_ps(_mm256_loadu_ps(d.add(i)), _mm256_loadu_ps(s.add(i))),
+            );
+        }
+        i += 8;
+    }
+    add_assign_scalar(&mut dst[i..], &src[i..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(len: usize, scale: f32) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                // A quarter exact zeros so the skip path is exercised.
+                if i % 4 == 3 {
+                    0.0
+                } else {
+                    (i as f32 * scale).sin()
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn vector_axpy_bit_identical_to_scalar_across_widths() {
+        // jl sweeps across the 4/8/16/32-lane strip boundaries.
+        for jl in (1..=40).chain([63, 64, 65]) {
+            for pl in [1, 2, 7, 16] {
+                let a = fill(pl, 0.37);
+                let panel = fill(pl * jl, 0.61);
+                let mut want = fill(jl, 0.11);
+                panel_axpy_scalar(&a, &panel, &mut want);
+                for b in KernelBackend::supported_backends() {
+                    if !b.bit_identical_to_scalar() {
+                        continue;
+                    }
+                    let mut got = fill(jl, 0.11);
+                    panel_axpy(b, &a, &panel, &mut got);
+                    assert_eq!(
+                        got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "backend {} pl={pl} jl={jl}",
+                        b.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_packing_is_exact_for_every_backend() {
+        let (k, n) = (13, 11);
+        // b stored (n × k).
+        let b = fill(n * k, 0.23);
+        for (pc, pl, jc, jl) in [(0, 13, 0, 11), (4, 9, 3, 8), (0, 4, 0, 4), (1, 3, 2, 5)] {
+            let tile = PanelTile { pc, pl, jc, jl };
+            let mut want = vec![0.0f32; pl * jl];
+            pack_panel_transposed_scalar(&b, k, tile, &mut want);
+            for back in KernelBackend::supported_backends() {
+                let mut got = vec![0.0f32; pl * jl];
+                pack_panel_transposed(back, &b, k, tile, &mut got);
+                assert_eq!(
+                    got,
+                    want,
+                    "backend {} tile ({pc},{pl},{jc},{jl})",
+                    back.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn add_assign_matches_scalar_bitwise() {
+        for len in [0, 1, 7, 8, 9, 31, 64, 100] {
+            let src = fill(len, 0.41);
+            let mut want = fill(len, 0.19);
+            add_assign_scalar(&mut want, &src);
+            for b in KernelBackend::supported_backends() {
+                let mut got = fill(len, 0.19);
+                add_assign(b, &mut got, &src);
+                assert_eq!(
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "backend {} len={len}",
+                    b.name()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Kernel-backend property suite: every SIMD backend must be
+//! **bit-identical** to the scalar reference for every `matmul` variant,
+//! shape, and pool width — and the opt-in FMA backend must stay inside
+//! its documented error bound.
+//!
+//! Shapes deliberately straddle the vector widths (n runs 1..=33 so every
+//! 4/8/16/32-lane strip boundary and scalar tail is hit, k is forced odd
+//! so panel tails are never lane-aligned), values include exact zeros to
+//! exercise the zero-skip, and the A/B operands come from sliced views at
+//! odd offsets so the kernels see unaligned row starts.
+
+use csp_core::runtime::with_threads;
+use csp_core::tensor::{
+    matmul, matmul_a_bt, matmul_at_b, matmul_reference, with_backend, KernelBackend, Tensor,
+};
+use proptest::prelude::*;
+
+const POOL_WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Finite values with a deliberate mass at exact zero, so every shape
+/// exercises the kernels' zero-skip branch (a skipped `0 · b` is the only
+/// behaviour compatible with bit-identity: multiplying would manufacture
+/// `-0.0`/NaN differences).
+fn values(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(prop_oneof![3 => -2.0f32..2.0, 1 => Just(0.0f32)], len..=len)
+}
+
+/// A GEMM instance whose operands are carved out of larger buffers at an
+/// unaligned element offset: `Tensor::from_vec(buf[off..off+len])` hands
+/// the kernel row pointers with arbitrary 4-byte alignment relative to
+/// the 16/32-byte vector width.
+fn gemm_instance() -> impl Strategy<Value = (usize, usize, usize, Tensor, Tensor)> {
+    (1usize..24, 0usize..12, 1usize..=33, 1usize..8)
+        .prop_flat_map(|(m, k_half, n, off)| {
+            let k = 2 * k_half + 1; // odd on purpose: never lane-aligned
+            (
+                Just(m),
+                Just(k),
+                Just(n),
+                Just(off),
+                values(off + m * k),
+                values(off + k * n),
+            )
+        })
+        .prop_map(|(m, k, n, off, abuf, bbuf)| {
+            let a = Tensor::from_vec(abuf[off..].to_vec(), &[m, k]).expect("a dims");
+            let b = Tensor::from_vec(bbuf[off..].to_vec(), &[k, n]).expect("b dims");
+            (m, k, n, a, b)
+        })
+}
+
+/// The three public GEMM entry points, fed from the same logical (A, B):
+/// `matmul(A, B)`, `matmul_at_b(Aᵀ, B)`, `matmul_a_bt(A, Bᵀ)` — all
+/// mathematically `A·B`, each exercising a different packing path.
+fn all_variants(a: &Tensor, b: &Tensor) -> Vec<Tensor> {
+    let at = a.transpose().expect("a transpose");
+    let bt = b.transpose().expect("b transpose");
+    vec![
+        matmul(a, b).expect("matmul"),
+        matmul_at_b(&at, b).expect("matmul_at_b"),
+        matmul_a_bt(a, &bt).expect("matmul_a_bt"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every bit-identical backend × every matmul variant × pool widths
+    /// 1/2/4/8 must reproduce the scalar reference exactly.
+    #[test]
+    fn simd_backends_bit_identical_to_scalar((_m, _k, _n, a, b) in gemm_instance()) {
+        let reference = matmul_reference(&a, &b).expect("reference");
+        let want: Vec<Vec<u32>> = with_backend(KernelBackend::Scalar, || {
+            all_variants(&a, &b).iter().map(bits).collect()
+        });
+        prop_assert_eq!(&want[0], &bits(&reference));
+        for backend in KernelBackend::supported_backends() {
+            if !backend.bit_identical_to_scalar() {
+                continue;
+            }
+            for width in POOL_WIDTHS {
+                let got: Vec<Vec<u32>> = with_threads(width, || {
+                    with_backend(backend, || {
+                        all_variants(&a, &b).iter().map(bits).collect()
+                    })
+                });
+                prop_assert_eq!(
+                    &got,
+                    &want,
+                    "backend {} width {}",
+                    backend.name(),
+                    width
+                );
+            }
+        }
+    }
+
+    /// The FMA backend contracts mul+add to one rounding; per output
+    /// element the divergence from scalar is bounded by
+    /// `2·(k+1)·ε·Σₚ|aₚ·bₚ|` (DESIGN.md §13). Skipped (trivially) on
+    /// hosts without AVX2+FMA.
+    #[test]
+    fn fma_backend_within_error_bound((m, k, n, a, b) in gemm_instance()) {
+        if KernelBackend::Avx2Fma.supported() {
+            let want = with_backend(KernelBackend::Scalar, || matmul(&a, &b).expect("matmul"));
+            for width in POOL_WIDTHS {
+                let got = with_threads(width, || {
+                    with_backend(KernelBackend::Avx2Fma, || matmul(&a, &b).expect("matmul"))
+                });
+                for i in 0..m {
+                    for j in 0..n {
+                        let mag: f32 = (0..k)
+                            .map(|p| (a.as_slice()[i * k + p] * b.as_slice()[p * n + j]).abs())
+                            .sum();
+                        let bound =
+                            2.0 * (k as f32 + 1.0) * f32::EPSILON * mag + f32::MIN_POSITIVE;
+                        let diff = (got.as_slice()[i * n + j] - want.as_slice()[i * n + j]).abs();
+                        prop_assert!(
+                            diff <= bound,
+                            "width {width} ({i},{j}): diff {diff} > bound {bound}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forcing and env selection are process-global, so they get one
+/// deterministic (non-proptest) test: the thread-local scope must win
+/// over the ambient selection and restore it afterwards.
+#[test]
+fn scoped_override_beats_ambient_selection() {
+    let ambient = KernelBackend::current();
+    let out = with_backend(KernelBackend::Scalar, KernelBackend::current);
+    assert_eq!(out, KernelBackend::Scalar);
+    assert_eq!(KernelBackend::current(), ambient);
+}
