@@ -32,7 +32,9 @@ use csp_core::nn::{
     Sgd, TrainOptions,
 };
 use csp_core::tensor::{conv2d, matmul, matmul_reference, uniform, Conv2dSpec, Tensor};
+use csp_pruning::{ChunkedLayout, CspMask, Weaved};
 use csp_runtime::with_threads;
+use csp_sparse::{PreparedWeaved, PreparedWeavedInt8};
 use csp_tensor::{with_backend, CpuFeatures, KernelBackend};
 use std::process::ExitCode;
 use std::time::Instant;
@@ -303,6 +305,151 @@ fn bench_backend_matrix(c: &mut Criterion, smoke: bool) -> Vec<BackendCell> {
     cells
 }
 
+/// One cell of the execution matrix: a forward GEMM at one structured
+/// sparsity point, run dense (on the decompressed weights), weaved
+/// (f32 early-stop straight from the compressed layout), or weaved-int8
+/// (fused quantized early-stop) — all single-thread, compared against
+/// the dense product under the same backend.
+struct ExecutionCell {
+    execution: &'static str,
+    backend: &'static str,
+    dims: String,
+    sparsity: f64,
+    serial_s: f64,
+    speedup_vs_dense: f64,
+    bit_identical: bool,
+    max_ulp: u64,
+}
+
+/// Build one weaved GEMM problem at roughly `keep` surviving weight
+/// fraction: per-row chunk counts around `keep · n_chunks` (±1 jitter),
+/// sorted descending as the paper's row reordering would leave them, so
+/// equal-prefix rows form long contiguous panels.
+fn weaved_problem(
+    n: usize,
+    m: usize,
+    c_out: usize,
+    cs: usize,
+    keep: f64,
+    seed: u64,
+) -> (PreparedWeaved, PreparedWeavedInt8, Tensor, Tensor, f64) {
+    let layout = ChunkedLayout::new(m, c_out, cs).expect("layout");
+    let n_chunks = layout.n_chunks();
+    let mut rng = seeded_rng(seed);
+    let w = uniform(&mut rng, &[m, c_out], 1.0);
+    let x = uniform(&mut rng, &[n, m], 1.0);
+    let base = (keep * n_chunks as f64).round() as usize;
+    let mut counts: Vec<usize> = (0..m)
+        .map(|r| (base + (r % 3)).saturating_sub(1).min(n_chunks))
+        .collect();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let mask = CspMask::from_chunk_counts(layout, counts).expect("mask");
+    let weaved = Weaved::compress(&w, &mask).expect("compress");
+    let dense = mask.apply(&w).expect("mask apply");
+    let sparsity = 1.0 - weaved.nnz() as f64 / (m * c_out) as f64;
+    let prep = PreparedWeaved::new(&weaved).expect("prepare weaved");
+    let prep8 = PreparedWeavedInt8::new(&weaved).expect("prepare weaved-int8");
+    (prep, prep8, dense, x, sparsity)
+}
+
+/// Dense-vs-weaved at the Fig. 10 structured-sparsity points: for each
+/// point, time the dense GEMM on the decompressed weights and the weaved
+/// early-stop under every bit-identity-eligible backend, plus the fused
+/// int8 engine (backend-independent integer loops, reported once under
+/// "scalar"). The weaved f32 output is bit-compared against the dense
+/// product of the same backend — the engines' headline contract.
+fn bench_execution_matrix(c: &mut Criterion, smoke: bool) -> Vec<ExecutionCell> {
+    let (n, m, c_out, cs) = if smoke {
+        (16, 96, 96, 8)
+    } else {
+        (64, 512, 512, 16)
+    };
+    // Weight-keep fractions ≈ the paper's Fig. 10 sparsity points
+    // (50% / 70% / 85% structured sparsity).
+    let keeps: &[f64] = if smoke { &[0.3] } else { &[0.5, 0.3, 0.15] };
+    let mut cells = Vec::new();
+    for (ki, &keep) in keeps.iter().enumerate() {
+        let (prep, prep8, dense, x, sparsity) =
+            weaved_problem(n, m, c_out, cs, keep, 31 + ki as u64);
+        let dims = format!("{n}x{m}x{c_out}");
+        for backend in KernelBackend::supported_backends() {
+            if backend == KernelBackend::Avx2Fma {
+                // The weaved engines only claim bit-identity against
+                // non-contracting backends; FMA has its own bound and
+                // its own rows in the backend matrix.
+                continue;
+            }
+            let dense_out = with_backend(backend, || matmul(&x, &dense).expect("dense gemm"));
+            let dense_s = with_backend(backend, || {
+                time_at(c, 1, || matmul(&x, &dense).expect("dense gemm"))
+            });
+            cells.push(ExecutionCell {
+                execution: "dense",
+                backend: backend.name(),
+                dims: dims.clone(),
+                sparsity,
+                serial_s: dense_s,
+                speedup_vs_dense: 1.0,
+                bit_identical: true,
+                max_ulp: 0,
+            });
+            let weaved_out = with_backend(backend, || prep.gemm_xw(&x).expect("weaved gemm"));
+            let weaved_s = with_backend(backend, || {
+                time_at(c, 1, || prep.gemm_xw(&x).expect("weaved gemm"))
+            });
+            let max_ulp = weaved_out
+                .as_slice()
+                .iter()
+                .zip(dense_out.as_slice())
+                .map(|(&a, &b)| ulp_distance(a, b))
+                .max()
+                .unwrap_or(0);
+            cells.push(ExecutionCell {
+                execution: "weaved",
+                backend: backend.name(),
+                dims: dims.clone(),
+                sparsity,
+                serial_s: weaved_s,
+                speedup_vs_dense: if weaved_s > 0.0 {
+                    dense_s / weaved_s
+                } else {
+                    0.0
+                },
+                bit_identical: bits(&weaved_out) == bits(&dense_out),
+                max_ulp,
+            });
+        }
+        // Scalar dense run is the int8 baseline (first backend in the
+        // supported list is always Scalar).
+        let dense_out = with_backend(KernelBackend::Scalar, || {
+            matmul(&x, &dense).expect("dense gemm")
+        });
+        let dense_s = with_backend(KernelBackend::Scalar, || {
+            time_at(c, 1, || matmul(&x, &dense).expect("dense gemm"))
+        });
+        let int8_out = prep8.gemm_xw(&x).expect("weaved-int8 gemm");
+        let int8_s = time_at(c, 1, || prep8.gemm_xw(&x).expect("weaved-int8 gemm"));
+        let max_ulp = int8_out
+            .as_slice()
+            .iter()
+            .zip(dense_out.as_slice())
+            .map(|(&a, &b)| ulp_distance(a, b))
+            .max()
+            .unwrap_or(0);
+        cells.push(ExecutionCell {
+            execution: "weaved-int8",
+            backend: "scalar",
+            dims: dims.clone(),
+            sparsity,
+            serial_s: int8_s,
+            speedup_vs_dense: if int8_s > 0.0 { dense_s / int8_s } else { 0.0 },
+            bit_identical: false, // quantized: bounded error, not bitwise
+            max_ulp,
+        });
+    }
+    cells
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -319,6 +466,7 @@ fn write_json(
     path: &str,
     rows: &[BenchRow],
     cells: &[BackendCell],
+    exec_cells: &[ExecutionCell],
     probe: &DispatchProbe,
     run: &RunInfo,
 ) {
@@ -327,7 +475,7 @@ fn write_json(
         .unwrap_or(1);
     let cpu = CpuFeatures::detect();
     let mut body = String::from("{\n");
-    body.push_str("  \"schema\": \"csp-bench/kernels/v3\",\n");
+    body.push_str("  \"schema\": \"csp-bench/kernels/v4\",\n");
     body.push_str(&format!("  \"smoke\": {},\n", run.smoke));
     body.push_str(&format!("  \"host_threads\": {host},\n"));
     body.push_str(&format!("  \"parallel_threads\": {},\n", run.threads));
@@ -362,6 +510,24 @@ fn write_json(
             cell.bit_identical,
             cell.max_ulp,
             if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ],\n");
+    body.push_str("  \"execution_matrix\": [\n");
+    for (i, cell) in exec_cells.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"execution\": \"{}\", \"backend\": \"{}\", \"dims\": \"{}\", \
+             \"sparsity\": {:.4}, \"serial_s\": {:.6}, \"speedup_vs_dense\": {:.3}, \
+             \"bit_identical\": {}, \"max_ulp\": {}}}{}\n",
+            cell.execution,
+            cell.backend,
+            json_escape(&cell.dims),
+            cell.sparsity,
+            cell.serial_s,
+            cell.speedup_vs_dense,
+            cell.bit_identical,
+            cell.max_ulp,
+            if i + 1 == exec_cells.len() { "" } else { "," }
         ));
     }
     body.push_str("  ],\n");
@@ -450,6 +616,7 @@ fn main() -> ExitCode {
         bench_sim_sweep(&mut c, threads, smoke),
     ];
     let cells = bench_backend_matrix(&mut c, smoke);
+    let exec_cells = bench_execution_matrix(&mut c, smoke);
 
     println!(
         "\n{:<14} {:<28} {:>12} {:>12} {:>9}  bit-identical",
@@ -491,6 +658,31 @@ fn main() -> ExitCode {
         );
     }
 
+    println!(
+        "\nexecution matrix (single thread, dense vs weaved early-stop)\n\
+         {:<12} {:<8} {:<14} {:>9} {:>12} {:>10} {:>8}  bit-identical",
+        "execution", "backend", "dims", "sparsity", "serial(ms)", "vs dense", "max_ulp"
+    );
+    for cell in &exec_cells {
+        // The f32 weaved engine carries the same bit-identity contract
+        // as the non-FMA backends; the int8 engine is quantized by
+        // design (bounded error, never bitwise).
+        if cell.execution == "weaved" {
+            all_identical &= cell.bit_identical;
+        }
+        println!(
+            "{:<12} {:<8} {:<14} {:>8.1}% {:>12.3} {:>9.2}x {:>8}  {}",
+            cell.execution,
+            cell.backend,
+            cell.dims,
+            cell.sparsity * 100.0,
+            cell.serial_s * 1e3,
+            cell.speedup_vs_dense,
+            cell.max_ulp,
+            cell.bit_identical
+        );
+    }
+
     if json {
         let run = RunInfo {
             backend,
@@ -498,7 +690,7 @@ fn main() -> ExitCode {
             smoke,
             iters,
         };
-        write_json(&out, &rows, &cells, &probe, &run);
+        write_json(&out, &rows, &cells, &exec_cells, &probe, &run);
     }
     cli.dump_telemetry("kernels");
     if all_identical {

@@ -4,7 +4,7 @@
 //! Usage: `serve_bench [--smoke] [--json] [--threads N] [--out PATH]
 //! [--seed N]`
 //!
-//! Four phases:
+//! Six phases:
 //!
 //! 1. **Closed loop, in-process** — sweep batch policy × concurrent
 //!    clients; each client issues its next request the moment the
@@ -17,6 +17,12 @@
 //! 4. **Deadline sweep** — a slow batcher (long `max_wait`) fed requests
 //!    whose budgets are far shorter than the batch hold time; queued
 //!    requests must be shed as typed `Expired`, never executed late.
+//! 5. **Execution sweep** — the same closed-loop load served dense, weaved
+//!    (f32 early-stop from the compressed layout), and weaved-int8, so
+//!    `BENCH_serve.json` carries measured rows per execution backend.
+//! 6. **TCP deadline** — the open-loop TCP driver pushed past its deadline
+//!    budget: paced wire requests carrying budgets far below the batch
+//!    hold time must come back as typed `Expired` over the socket.
 //!
 //! Every client-side reply is classified into a typed outcome — ok /
 //! shed (`Overloaded`) / expired (`Expired`) / failed (other engine
@@ -34,7 +40,9 @@
 use csp_bench::cli::CommonCli;
 use csp_io::write_with_history;
 use csp_serve::testutil::{prune_to_artifact, sample_input};
-use csp_serve::{BatchPolicy, Engine, ModelRegistry, ModelSpec, Server, StatsSnapshot, TcpClient};
+use csp_serve::{
+    BatchPolicy, Engine, Execution, ModelRegistry, ModelSpec, Server, StatsSnapshot, TcpClient,
+};
 use csp_tensor::{CspError, CspResult, Tensor};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -331,6 +339,67 @@ fn deadline_sweep(
     })
 }
 
+/// TCP deadline phase: the open-loop driver deliberately pushed past its
+/// deadline budget — a slow batcher (25 ms hold) against 1 ms wire
+/// budgets. Alternating requests carry no budget and must complete; the
+/// budgeted half must come back as typed `Expired` frames.
+fn tcp_deadline(
+    spec: ModelSpec,
+    artifact: &Path,
+    conns: usize,
+    per_conn: usize,
+    seed: u64,
+) -> CspResult<Cell> {
+    let policy = BatchPolicy {
+        max_batch: 8,
+        max_wait: Duration::from_millis(25),
+        queue_cap: 256,
+    };
+    let budget = Duration::from_millis(1);
+    let engine = Engine::start(registry_from_disk(spec, artifact)?, policy, 1)?;
+    let server = Server::serve(engine.client(), "127.0.0.1:0")?;
+    let addr = server.addr();
+    let samples = request_pool(spec, seed);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..conns)
+        .map(|t| {
+            let samples = samples.clone();
+            std::thread::spawn(move || -> Result<Outcomes, CspError> {
+                let mut tcp = TcpClient::connect(&addr)?;
+                let mut outcomes = Outcomes::default();
+                for i in 0..per_conn {
+                    let x = &samples[(t + i) % samples.len()];
+                    let b = if i % 2 == 0 { Some(budget) } else { None };
+                    outcomes.record(&tcp.infer(MODEL, x, b));
+                }
+                Ok(outcomes)
+            })
+        })
+        .collect();
+    let mut outcomes = Outcomes::default();
+    for h in handles {
+        match h.join() {
+            Ok(Ok(o)) => outcomes.merge(o),
+            _ => outcomes.transport += per_conn as u64,
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    let snap = engine.stats(MODEL);
+    server.shutdown(Duration::from_secs(10))?;
+    engine.shutdown()?;
+    Ok(Cell {
+        phase: "tcp-deadline",
+        label: format!("hold25ms-budget{}ms", budget.as_millis()),
+        policy,
+        clients: conns,
+        offered_rps: None,
+        requests: (conns * per_conn) as u64,
+        outcomes,
+        wall_s,
+        snap,
+    })
+}
+
 fn study_table(cells: &[Cell]) -> String {
     let mut s = String::new();
     s.push_str(&format!(
@@ -499,6 +568,42 @@ fn check_invariants(cells: &[Cell]) -> Vec<String> {
     if over_shed == 0 {
         bad.push("overload phase shed nothing (admission control inert)".to_string());
     }
+    for c in cells.iter().filter(|c| c.phase == "execution") {
+        // Every execution backend serves the benign closed loop cleanly.
+        if c.outcomes.errors() > 0 {
+            bad.push(format!(
+                "execution cell {} saw {} client-side errors at benign load",
+                c.label,
+                c.outcomes.errors()
+            ));
+        }
+        if c.snap.completed == 0 {
+            bad.push(format!("execution cell {} completed nothing", c.label));
+        }
+    }
+    for c in cells.iter().filter(|c| c.phase == "tcp-deadline") {
+        // The wire-level deadline point must actually expire requests —
+        // the open-loop phase driven past its budget.
+        if c.outcomes.expired == 0 || c.snap.expired == 0 {
+            bad.push(format!(
+                "tcp-deadline cell {} expired nothing (client={}, server={}) — wire \
+                 deadline propagation inert",
+                c.label, c.outcomes.expired, c.snap.expired
+            ));
+        }
+        if c.outcomes.ok == 0 {
+            bad.push(format!(
+                "tcp-deadline cell {} completed nothing — budget-free requests must succeed",
+                c.label
+            ));
+        }
+        if c.outcomes.transport > 0 || c.outcomes.failed > 0 {
+            bad.push(format!(
+                "tcp-deadline cell {} saw non-deadline failures (failed={}, transport={})",
+                c.label, c.outcomes.failed, c.outcomes.transport
+            ));
+        }
+    }
     for c in cells.iter().filter(|c| c.phase == "deadline") {
         if c.outcomes.expired == 0 || c.snap.expired == 0 {
             bad.push(format!(
@@ -598,6 +703,34 @@ fn run(cli: &CommonCli) -> CspResult<Vec<Cell>> {
         seed,
     )?);
 
+    // Phase 5: execution sweep — the same closed-loop load served by
+    // each execution backend, from the same artifact on disk.
+    let (ex_clients, ex_per_client) = if smoke { (4, 25) } else { (4, 100) };
+    for execution in [Execution::Dense, Execution::Weaved, Execution::WeavedInt8] {
+        let espec = ModelSpec { execution, ..spec };
+        let policy = BatchPolicy {
+            max_batch: 8,
+            max_wait: Duration::from_millis(1),
+            queue_cap: 256,
+        };
+        let mut cell = closed_loop(
+            espec,
+            &artifact,
+            policy,
+            workers,
+            ex_clients,
+            ex_per_client,
+            seed,
+        )?;
+        cell.phase = "execution";
+        cell.label = execution.name().to_string();
+        cells.push(cell);
+    }
+
+    // Phase 6: open-loop TCP driven past its deadline budget.
+    let (td_conns, td_per_conn) = if smoke { (4, 10) } else { (4, 40) };
+    cells.push(tcp_deadline(spec, &artifact, td_conns, td_per_conn, seed)?);
+
     let _ = std::fs::remove_dir_all(&dir);
     Ok(cells)
 }
@@ -640,7 +773,9 @@ fn main() -> ExitCode {
     study.push_str(
         "\nphases: closed = in-process closed loop; tcp-open = paced open loop over\n\
          loopback TCP; overload = unpaced burst into a cap-2 queue (shed expected);\n\
-         deadline = 1 ms budgets against a 25 ms batch hold (expired expected).\n\
+         deadline = 1 ms budgets against a 25 ms batch hold (expired expected);\n\
+         execution = closed loop per execution backend (dense / weaved / weaved-int8);\n\
+         tcp-deadline = open-loop TCP past its deadline budget (expired expected).\n\
          outcome columns (ok/shed/expired/failed/io) are client-side typed replies.\n",
     );
     match std::fs::write(study_path, &study) {

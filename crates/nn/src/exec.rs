@@ -1,0 +1,38 @@
+//! The [`CspGemm`] execution hook: pluggable inference-time GEMM engines.
+//!
+//! `csp-sparse` implements this trait over weaved-compressed layouts so a
+//! prunable layer can run its forward GEMM straight from the compressed
+//! weights (the paper's early-stop), without this crate depending on the
+//! pruning crate. The hook is *inference-only*: training forwards and all
+//! backwards keep using the layer's dense weights, so gradients and the
+//! cached activations stay exactly what the dense path produces.
+
+use csp_tensor::{Result, Tensor};
+use std::sync::Arc;
+
+/// An engine that evaluates `y = x · W` for one layer's weight matrix `W`
+/// in the canonical `M × c_out` flattened-filter layout (rows = filter
+/// rows, columns = output units — paper Fig. 2).
+///
+/// Implementations own whatever representation of `W` they like (dense,
+/// weaved-compressed, quantized). A layer given an executor calls it for
+/// every inference forward instead of its dense `matmul`.
+pub trait CspGemm: Send + Sync {
+    /// `(M, c_out)` — the shape of the weight matrix this engine applies.
+    fn dims(&self) -> (usize, usize);
+
+    /// Compute `x · W` for a row-major `x` of shape `(n, M)`, returning
+    /// `(n, c_out)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when `x` is not `(n, M)`.
+    fn gemm_xw(&self, x: &Tensor) -> Result<Tensor>;
+
+    /// Human-readable description (execution variant, shape, sparsity)
+    /// for logs and debug output.
+    fn describe(&self) -> String;
+}
+
+/// Shared, immutable executor handle as installed into layers.
+pub type SharedGemm = Arc<dyn CspGemm>;

@@ -1,14 +1,29 @@
 //! Core layers: `Linear`, `Conv2d`, activations, pooling, flatten, layer norm.
 
+use crate::exec::SharedGemm;
 use crate::model::{Layer, Param};
 use crate::prunable::Prunable;
 use csp_runtime::Pool;
 use csp_tensor::{
-    add_bias, avg_pool2d, avg_pool2d_grad, conv2d, conv2d_grad_input, conv2d_grad_weight,
+    add_bias, avg_pool2d, avg_pool2d_grad, conv2d, conv2d_grad_input, conv2d_grad_weight, im2col,
     kaiming_uniform, matmul, matmul_a_bt, matmul_at_b, max_pool2d, max_pool2d_grad, relu,
     relu_grad, Conv2dSpec, Pool2dSpec, Result, Tensor, TensorError,
 };
 use rand::Rng;
+
+/// Shape-check an executor against a layer's `(M, c_out)` view before
+/// installing it — a mismatched engine must be a typed error at install
+/// time, never a wrong answer at serve time.
+fn check_executor_dims(exec: &SharedGemm, dims: (usize, usize)) -> Result<()> {
+    if exec.dims() != dims {
+        return Err(TensorError::IncompatibleShapes {
+            op: "set_csp_executor",
+            lhs: vec![dims.0, dims.1],
+            rhs: vec![exec.dims().0, exec.dims().1],
+        });
+    }
+    Ok(())
+}
 
 /// Fully-connected layer: `y = x · W + b`, with `W` stored as
 /// `(in_features, out_features)` — exactly the `M × c_out` layout CSP-A
@@ -19,6 +34,7 @@ pub struct Linear {
     weight_grad: Tensor,
     bias_grad: Tensor,
     cache_x: Option<Tensor>,
+    exec: Option<SharedGemm>,
 }
 
 impl Linear {
@@ -30,6 +46,7 @@ impl Linear {
             weight_grad: Tensor::zeros(&[inf, outf]),
             bias_grad: Tensor::zeros(&[outf]),
             cache_x: None,
+            exec: None,
         }
     }
 
@@ -73,7 +90,14 @@ impl Linear {
 
 impl Layer for Linear {
     fn forward(&mut self, x: &Tensor, train: bool) -> Result<Tensor> {
-        let y = add_bias(&matmul(x, &self.weight)?, &self.bias)?;
+        // Inference with an installed executor runs the GEMM straight
+        // from its (possibly compressed) weight representation; training
+        // always uses the dense weights so backward sees them.
+        let prod = match (&self.exec, train) {
+            (Some(exec), false) => exec.gemm_xw(x)?,
+            _ => matmul(x, &self.weight)?,
+        };
+        let y = add_bias(&prod, &self.bias)?;
         self.cache_x = train.then(|| x.clone());
         Ok(y)
     }
@@ -148,6 +172,18 @@ impl Prunable for Linear {
     fn csp_label(&self) -> String {
         format!("linear({}->{})", self.in_features(), self.out_features())
     }
+
+    fn set_csp_executor(&mut self, exec: Option<SharedGemm>) -> Result<()> {
+        if let Some(e) = &exec {
+            check_executor_dims(e, self.csp_dims())?;
+        }
+        self.exec = exec;
+        Ok(())
+    }
+
+    fn csp_executor(&self) -> Option<&SharedGemm> {
+        self.exec.as_ref()
+    }
 }
 
 /// 2-D convolution layer over batched `(n, c, h, w)` inputs.
@@ -158,6 +194,7 @@ pub struct Conv2d {
     bias_grad: Tensor,
     spec: Conv2dSpec,
     cache_x: Option<Tensor>,
+    exec: Option<SharedGemm>,
 }
 
 impl Conv2d {
@@ -178,6 +215,7 @@ impl Conv2d {
             bias_grad: Tensor::zeros(&[c_out]),
             spec: Conv2dSpec::new(kernel, stride, padding),
             cache_x: None,
+            exec: None,
         }
     }
 
@@ -218,8 +256,24 @@ impl Conv2d {
         Ok(())
     }
 
-    fn one(&self, x: &Tensor) -> Result<Tensor> {
-        let mut y = conv2d(x, &self.weight, self.spec)?;
+    fn one(&self, x: &Tensor, exec: Option<&SharedGemm>) -> Result<Tensor> {
+        let mut y = match exec {
+            // Executor path: the convolution is the same flattened-matrix
+            // product the dense path lowers to — `W_flat · cols` equals
+            // `(cols·ᵀ applied to the M×c_out view)ᵀ`, and transposes are
+            // pure data movement, so per output element the rounded
+            // mul/add stream is exactly the dense one.
+            Some(e) => {
+                let cols = im2col(x, self.spec)?; // (M, P)
+                let prod = e.gemm_xw(&cols.transpose()?)?; // (P, c_out)
+                let (oh, ow) = (
+                    self.spec.out_dim(x.dims()[1]),
+                    self.spec.out_dim(x.dims()[2]),
+                );
+                prod.transpose()?.reshape(&[self.c_out(), oh, ow])?
+            }
+            None => conv2d(x, &self.weight, self.spec)?,
+        };
         let (c, oh, ow) = (y.dims()[0], y.dims()[1], y.dims()[2]);
         for ci in 0..c {
             let b = self.bias.as_slice()[ci];
@@ -276,9 +330,10 @@ impl Layer for Conv2d {
         // per_len × c_out MAC-units, so convolutions shard in parallel
         // even for modest batches while degenerate shapes stay inline.
         let cost = (per_len as u64).saturating_mul(self.c_out() as u64);
+        let exec = if train { None } else { self.exec.as_ref() };
         let outs = Pool::current().map_collect_weighted(n, cost, |i| -> Result<Tensor> {
             let xi = Tensor::from_vec(x.as_slice()[i * per_len..(i + 1) * per_len].to_vec(), &per)?;
-            self.one(&xi)
+            self.one(&xi, exec)
         });
         let mut data = Vec::with_capacity(x.len());
         let mut od = Vec::new();
@@ -406,6 +461,18 @@ impl Prunable for Conv2d {
             self.c_out(),
             self.spec.kernel
         )
+    }
+
+    fn set_csp_executor(&mut self, exec: Option<SharedGemm>) -> Result<()> {
+        if let Some(e) = &exec {
+            check_executor_dims(e, self.csp_dims())?;
+        }
+        self.exec = exec;
+        Ok(())
+    }
+
+    fn csp_executor(&self) -> Option<&SharedGemm> {
+        self.exec.as_ref()
     }
 }
 

@@ -47,6 +47,7 @@ pub mod attention;
 mod branches;
 pub mod data;
 mod embedding;
+mod exec;
 mod extra_layers;
 mod layers;
 mod loss;
@@ -60,6 +61,7 @@ pub mod zoo_mini;
 
 pub use branches::Branches;
 pub use embedding::Embedding;
+pub use exec::{CspGemm, SharedGemm};
 pub use extra_layers::{BatchNorm2d, Dropout, Gelu, Residual};
 pub use layers::{AvgPool, Conv2d, Flatten, LayerNorm, Linear, MaxPool, Relu};
 pub use loss::{mse_loss, softmax_cross_entropy};

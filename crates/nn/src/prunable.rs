@@ -7,7 +7,8 @@
 //! output units. Chunking and cascades are then defined along the column
 //! dimension by `csp-pruning`.
 
-use csp_tensor::{Result, Tensor};
+use crate::exec::SharedGemm;
+use csp_tensor::{Result, Tensor, TensorError};
 
 /// A layer whose weights can be regularized and pruned by CSP-A.
 ///
@@ -46,6 +47,31 @@ pub trait Prunable {
 
     /// A label for reports (e.g. `"conv2d(16->32,k3)"`).
     fn csp_label(&self) -> String;
+
+    /// Install (or with `None`, remove) a [`CspGemm`](crate::CspGemm)
+    /// engine that replaces this layer's dense GEMM on *inference*
+    /// forwards. Training forwards and backwards keep the dense weights.
+    ///
+    /// The default rejects the install: only layers whose forward is the
+    /// canonical `x · W` (plus data movement) can honour the hook.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidParameter`] when the layer does not
+    /// support executors, or a shape error when `exec`'s
+    /// [`dims`](crate::CspGemm::dims) do not match
+    /// [`csp_dims`](Self::csp_dims).
+    fn set_csp_executor(&mut self, exec: Option<SharedGemm>) -> Result<()> {
+        let _ = exec;
+        Err(TensorError::InvalidParameter {
+            what: format!("layer {} does not support CSP executors", self.csp_label()),
+        })
+    }
+
+    /// The currently installed inference executor, if any.
+    fn csp_executor(&self) -> Option<&SharedGemm> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -84,11 +84,27 @@ impl Weaved {
 
     /// Borrow the surviving chunk `n` of row `j`.
     ///
+    /// Assumes the layout invariant that [`validate`](Self::validate)
+    /// enforces: `chunk_counts.len() == M`, every count `≤ N`, and
+    /// `payload.len()` equal to the total width of the counted chunks —
+    /// the cursor walk below indexes `payload` on that arithmetic alone.
+    /// Surviving chunks of a row are always the *prefix* `0..count`
+    /// (cascade closure), stored in ascending chunk order, rows in
+    /// ascending row order. On a `Weaved` whose fields were mutated into
+    /// an inconsistent state, the slice bounds may panic or return
+    /// payload belonging to a different chunk — run
+    /// [`validate`](Self::validate) after any untrusted construction. A
+    /// debug build asserts the invariant here.
+    ///
     /// # Errors
     ///
     /// Returns [`TensorError::InvalidParameter`] when the chunk was pruned
     /// or indices are out of range.
     pub fn chunk(&self, j: usize, n: usize) -> Result<&[f32]> {
+        debug_assert!(
+            self.validate().is_ok(),
+            "Weaved::chunk called on a layout that fails validate()"
+        );
         if j >= self.layout.m() || n >= *self.chunk_counts.get(j).unwrap_or(&0) {
             return Err(TensorError::InvalidParameter {
                 what: format!("chunk ({j},{n}) not present"),
@@ -173,6 +189,13 @@ impl Weaved {
     /// permutation (e.g. from
     /// [`reorder_rows_for_ipws`](crate::reorder_rows_for_ipws)) to group
     /// reordered rows.
+    ///
+    /// Assumes `chunk_counts.len() == M` with every entry a valid count
+    /// — the invariant [`validate`](Self::validate) enforces. `order`
+    /// must contain only rows `< M` (it is usually a permutation of
+    /// `0..M`, but subsets and repeats are accepted); groups are emitted
+    /// in `order`'s sequence, each covering at most `t` consecutive
+    /// entries, so only the final group may be short.
     ///
     /// # Panics
     ///

@@ -647,6 +647,7 @@ fn execute_batch(
         Ok(Ok(y)) => {
             let c = y.dims()[1];
             shared.stats.record_batch(&name, n);
+            shared.stats.record_execution(model.spec.execution.name());
             for (i, p) in live.into_iter().enumerate() {
                 let row = y.as_slice()[i * c..(i + 1) * c].to_vec();
                 shared

@@ -55,6 +55,7 @@ pub mod testutil;
 
 pub use batch::{BatchPolicy, InferReply};
 pub use chaos::ChaosSession;
+pub use csp_sparse::Execution;
 pub use engine::{Client, Engine};
 pub use protocol::{HealthReport, HealthState};
 pub use registry::{LoadedModel, ModelRegistry, ModelSpec};

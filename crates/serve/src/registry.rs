@@ -17,8 +17,9 @@
 use csp_core::{build_family_model, ModelFamily};
 use csp_io::atomic::prev_path;
 use csp_io::{decode_weaved_model, read_file, RecoveryEvent};
-use csp_nn::Sequential;
+use csp_nn::{Sequential, SharedGemm};
 use csp_sim::fault::FaultSession;
+use csp_sparse::{Execution, PreparedWeaved, PreparedWeavedInt8};
 use csp_tensor::{CspError, CspResult, Tensor};
 use std::collections::HashMap;
 use std::path::Path;
@@ -40,6 +41,11 @@ pub struct ModelSpec {
     pub channels: usize,
     /// Input spatial extent (square `side × side` images).
     pub side: usize,
+    /// How the prunable layers execute their GEMMs: dense on the
+    /// decompressed weights, or early-stop straight from the weaved
+    /// layout (f32 bit-identical, or fused int8 within the engine's
+    /// documented error bound).
+    pub execution: Execution,
 }
 
 impl Default for ModelSpec {
@@ -50,6 +56,7 @@ impl Default for ModelSpec {
             classes: 4,
             channels: 1,
             side: 8,
+            execution: Execution::Dense,
         }
     }
 }
@@ -86,10 +93,10 @@ impl ModelSpec {
 }
 
 /// One immutable loaded model version: the spec, the dense weights
-/// decompressed from the weaved artifact, and the recovery trail of the
-/// load. Workers rebuild their private [`Sequential`] from this whenever
-/// the version they cached is stale.
-#[derive(Debug)]
+/// decompressed from the weaved artifact, the prepared sparse executors
+/// (when the spec selects weaved execution), and the recovery trail of
+/// the load. Workers rebuild their private [`Sequential`] from this
+/// whenever the version they cached is stale.
 pub struct LoadedModel {
     /// Registry name the model serves under.
     pub name: String,
@@ -103,6 +110,24 @@ pub struct LoadedModel {
     pub recovery: Vec<RecoveryEvent>,
     /// Per-prunable-layer `(label, dense M×c_out weights)`, in layer order.
     weights: Vec<(String, Tensor)>,
+    /// Per-prunable-layer prepared sparse engines, in layer order; empty
+    /// for [`Execution::Dense`]. Shared by every worker that builds this
+    /// version (preparation happens once per load, not per worker).
+    executors: Vec<(String, SharedGemm)>,
+}
+
+impl std::fmt::Debug for LoadedModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoadedModel")
+            .field("name", &self.name)
+            .field("version", &self.version)
+            .field("spec", &self.spec)
+            .field("sparsity", &self.sparsity)
+            .field("recovery", &self.recovery)
+            .field("layers", &self.weights.len())
+            .field("executors", &self.executors.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl LoadedModel {
@@ -133,6 +158,35 @@ impl LoadedModel {
                 (label.clone(), weaved.decompress())
             })
             .collect();
+        // Prepare the sparse engines once per load; preparation
+        // re-validates every layout, so a corrupted artifact is a typed
+        // error here, before this version can ever answer a request.
+        let corrupt_prep = |label: &str, e: csp_tensor::TensorError| CspError::Corrupt {
+            artifact: format!("weaved-model {name}"),
+            what: format!(
+                "cannot prepare {} execution for layer {label}: {e}",
+                spec.execution
+            ),
+        };
+        let executors = match spec.execution {
+            Execution::Dense => Vec::new(),
+            Execution::Weaved => layers
+                .iter()
+                .map(|(label, weaved)| {
+                    PreparedWeaved::new(weaved)
+                        .map(|p| (label.clone(), Arc::new(p) as SharedGemm))
+                        .map_err(|e| corrupt_prep(label, e))
+                })
+                .collect::<CspResult<Vec<_>>>()?,
+            Execution::WeavedInt8 => layers
+                .iter()
+                .map(|(label, weaved)| {
+                    PreparedWeavedInt8::new(weaved)
+                        .map(|p| (label.clone(), Arc::new(p) as SharedGemm))
+                        .map_err(|e| corrupt_prep(label, e))
+                })
+                .collect::<CspResult<Vec<_>>>()?,
+        };
         let model = LoadedModel {
             name: name.to_string(),
             version,
@@ -140,6 +194,7 @@ impl LoadedModel {
             sparsity: 1.0 - nnz as f32 / total.max(1) as f32,
             recovery: Vec::new(),
             weights,
+            executors,
         };
         model.build()?; // prove artifact ↔ skeleton fit before publishing
         Ok(model)
@@ -168,7 +223,7 @@ impl LoadedModel {
                 prunable.len()
             )));
         }
-        for (layer, (label, w)) in prunable.iter_mut().zip(&self.weights) {
+        for (i, (layer, (label, w))) in prunable.iter_mut().zip(&self.weights).enumerate() {
             if *label != layer.csp_label() {
                 return Err(corrupt(format!(
                     "artifact layer {label:?} does not match skeleton layer {:?}",
@@ -178,8 +233,21 @@ impl LoadedModel {
             layer
                 .set_csp_weight(w)
                 .map_err(|e| corrupt(format!("weights do not fit layer {label}: {e}")))?;
+            // Executors are built from the same layer list as `weights`,
+            // so index i is the same layer; Dense loads carry none.
+            if let Some((elabel, exec)) = self.executors.get(i) {
+                debug_assert_eq!(elabel, label);
+                layer
+                    .set_csp_executor(Some(Arc::clone(exec)))
+                    .map_err(|e| corrupt(format!("executor does not fit layer {label}: {e}")))?;
+            }
         }
         Ok(net)
+    }
+
+    /// The execution backend this version serves with.
+    pub fn execution(&self) -> Execution {
+        self.spec.execution
     }
 
     /// The decompressed dense weights, `(label, M×c_out)` per layer.

@@ -30,8 +30,8 @@ mod metric {
     pub use csp_telemetry::names::{
         SERVE_ADMITTED as ADMITTED, SERVE_BATCHES as BATCHES,
         SERVE_BATCH_SIZE as BATCH_SIZE, SERVE_COMPLETED as COMPLETED,
-        SERVE_DEDUP_HITS as DEDUP_HITS, SERVE_EXPIRED as EXPIRED,
-        SERVE_FAILED as FAILED, SERVE_LATENCY_US as LATENCY_US,
+        SERVE_DEDUP_HITS as DEDUP_HITS, SERVE_EXECUTION_BATCHES as EXECUTION_BATCHES,
+        SERVE_EXPIRED as EXPIRED, SERVE_FAILED as FAILED, SERVE_LATENCY_US as LATENCY_US,
         SERVE_SHED as SHED, SERVE_WORKER_PANICS as WORKER_PANICS,
         SERVE_WORKER_RESTARTS as WORKER_RESTARTS,
     };
@@ -168,6 +168,14 @@ impl Stats {
         self.registry.counter_add(metric::EXPIRED, model, 1);
     }
 
+    /// A batch executed under the given execution backend (`dense` /
+    /// `weaved` / `weaved-int8`) — exported through the TCP `Telemetry`
+    /// op so remote consumers can see which serving path answered.
+    pub(crate) fn record_execution(&self, execution: &str) {
+        self.registry
+            .counter_add(metric::EXECUTION_BATCHES, execution, 1);
+    }
+
     pub(crate) fn record_batch(&self, model: &str, size: usize) {
         self.registry.counter_add(metric::BATCHES, model, 1);
         self.registry
@@ -281,12 +289,14 @@ impl Stats {
         let mut names: Vec<String> = reg
             .entries
             .iter()
-            // Engine-wide counters (worker supervision, chaos injection)
-            // carry the pseudo label "engine", not a model name.
+            // Engine-wide counters (worker supervision, chaos injection,
+            // execution-backend tallies) carry a pseudo label ("engine"
+            // or the execution name), not a model name.
             .filter(|e| {
                 e.name.starts_with("serve.")
                     && !e.name.starts_with("serve.worker")
                     && !e.name.starts_with("serve.chaos")
+                    && !e.name.starts_with("serve.execution")
             })
             .map(|e| e.label.clone())
             .collect();

@@ -1,0 +1,384 @@
+//! The f32 early-stop engine: weaved layouts executed as prefix-length
+//! trip counts, bit-identical to dense GEMM on the decompressed weights.
+//!
+//! ## Data layout walk
+//!
+//! A weaved matrix stores, per filter row `p` of the `M × c_out` view, a
+//! surviving-chunk count `c_p`; cascade closure makes the survivors a
+//! *prefix*, so row `p` contributes exactly its first
+//! `len_p = min(c_p · chunk_size, c_out)` columns and the payload is the
+//! dense row-major stack of those prefixes. Preparation walks the counts
+//! once and groups **maximal runs of consecutive rows with equal prefix
+//! length**: each run is a contiguous `rows × len` row-major panel inside
+//! the payload — exactly the operand shape of the dense GEMM's packed
+//! panel kernels, which is how the scalar/SSE2/AVX2 strip kernels
+//! ([`csp_tensor::span_axpy`]/[`span_axpy4`](csp_tensor::span_axpy4)) are
+//! reused unchanged for prefix-length spans.
+//!
+//! ## Early-stop loop structure
+//!
+//! For each sample row `i` of `x`, walk the groups in ascending `p` and
+//! AXPY `x[i, p0..p0+rows]` against the group's panel into
+//! `out[i, 0..len]` — the trip count *is* the prefix length; no
+//! per-element mask test, no index indirection, strictly sequential
+//! payload access (the paper's early-stop, §3.3/§6).
+//!
+//! ## Why this is bit-identical to the dense GEMM
+//!
+//! Per output element `(i, j)` the dense blocked GEMM performs one IEEE
+//! single-rounded `mul`-then-`add` per `p` in ascending order, skipping
+//! exact-zero `x[i, p]`, starting from `+0.0`. The weaved loop performs
+//! the identical sequence except that it also omits the terms where the
+//! weight is a pruned (exact) zero. Those terms contribute a product of
+//! `±0.0`; with round-to-nearest, `acc + ±0.0` is bitwise `acc` for every
+//! `acc` that is not `-0.0`, and the accumulator can never become `-0.0`
+//! (it starts `+0.0`, and `+0.0 + -0.0 = +0.0`). Omitting them is
+//! therefore bitwise invisible, for every backend whose
+//! [`bit_identical_to_scalar`](csp_tensor::KernelBackend::bit_identical_to_scalar)
+//! holds. Parallelism uses the same fixed 16-row output chunking as the
+//! dense kernel, so results are bit-identical for every pool width.
+
+use csp_nn::CspGemm;
+use csp_pruning::Weaved;
+use csp_runtime::Pool;
+use csp_telemetry::names;
+use csp_tensor::{span_axpy, span_axpy4, KernelBackend, Tensor, TensorError};
+
+/// Fixed output-row chunk of the parallel dispatch — matching the dense
+/// GEMM's chunking so the parallel split can never change results.
+const ROW_CHUNK: usize = 16;
+
+/// One maximal run of consecutive filter rows sharing a prefix length:
+/// a contiguous `rows × len` row-major panel at `off` in the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Group {
+    /// First filter row of the run.
+    pub p0: usize,
+    /// Rows in the run.
+    pub rows: usize,
+    /// Shared prefix length (surviving columns) of every row in the run.
+    pub len: usize,
+    /// Payload offset of the run's first element.
+    pub off: usize,
+}
+
+/// Validate `w` and precompute the group table. Returns
+/// `(m, c_out, groups, nnz)`; zero-length rows are dropped from the table
+/// (they contribute nothing and would only add loop overhead).
+pub(crate) fn prepare_groups(w: &Weaved) -> Result<(usize, usize, Vec<Group>, usize), TensorError> {
+    w.validate()?;
+    let m = w.layout.m();
+    let c_out = w.layout.c_out();
+    let cs = w.layout.chunk_size();
+    let mut groups = Vec::new();
+    let mut off = 0usize;
+    let mut r = 0usize;
+    while r < m {
+        let len = (w.chunk_counts[r] * cs).min(c_out);
+        let mut rows = 1usize;
+        while r + rows < m && (w.chunk_counts[r + rows] * cs).min(c_out) == len {
+            rows += 1;
+        }
+        if len > 0 {
+            groups.push(Group {
+                p0: r,
+                rows,
+                len,
+                off,
+            });
+        }
+        off += rows * len;
+        r += rows;
+    }
+    debug_assert_eq!(off, w.payload.len(), "validate() guarantees this");
+    Ok((m, c_out, groups, w.payload.len()))
+}
+
+/// A weaved layout prepared for f32 early-stop execution: the payload plus
+/// the group table described in the module docs. Immutable once built;
+/// share it across workers behind an `Arc`.
+#[derive(Debug, Clone)]
+pub struct PreparedWeaved {
+    m: usize,
+    c_out: usize,
+    payload: Vec<f32>,
+    groups: Vec<Group>,
+}
+
+impl PreparedWeaved {
+    /// Validate `w` ([`Weaved::validate`] plus the prefix arithmetic) and
+    /// precompute the execution plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`TensorError::InvalidParameter`] from
+    /// [`Weaved::validate`] for corrupted layouts — corruption is an
+    /// error at preparation, never a wrong answer at execution.
+    pub fn new(w: &Weaved) -> Result<Self, TensorError> {
+        let (m, c_out, groups, _nnz) = prepare_groups(w)?;
+        Ok(PreparedWeaved {
+            m,
+            c_out,
+            payload: w.payload.clone(),
+            groups,
+        })
+    }
+
+    /// `(M, c_out)` — the dense shape this layout stands for.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.m, self.c_out)
+    }
+
+    /// Stored (surviving) weight count.
+    pub fn nnz(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Compute `x · W` (`x` row-major `(n, M)` → `(n, c_out)`) with the
+    /// early-stop loops, bit-identical to
+    /// `csp_tensor::matmul(x, &w.decompress())` for every non-FMA backend
+    /// and every pool width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] when `x` is not
+    /// `(n, M)`.
+    pub fn gemm_xw(&self, x: &Tensor) -> Result<Tensor, TensorError> {
+        if x.rank() != 2 || x.dims()[1] != self.m {
+            return Err(TensorError::IncompatibleShapes {
+                op: "weaved_gemm_xw",
+                lhs: x.dims().to_vec(),
+                rhs: vec![self.m, self.c_out],
+            });
+        }
+        let n = x.dims()[0];
+        let mut out = Tensor::zeros(&[n, self.c_out]);
+        if n == 0 || self.c_out == 0 || self.m == 0 {
+            return Ok(out);
+        }
+        // Resolved once on the calling thread: pool workers must never
+        // consult their own thread-local backend override.
+        let backend = KernelBackend::current();
+        record_telemetry("weaved", backend, n, self.m, self.c_out, self.payload.len());
+        let (m, c_out) = (self.m, self.c_out);
+        let (xs, payload, groups) = (x.as_slice(), &self.payload, &self.groups);
+        // Each output element absorbs ~nnz/c_out MACs; lanes divide the
+        // effective cost for the serial-inline cutoff.
+        let unit = backend.unit_cost((self.payload.len() / c_out).max(1) as u64);
+        Pool::current().for_each_chunk_mut_weighted(
+            out.as_mut_slice(),
+            ROW_CHUNK * c_out,
+            unit,
+            |_, elem_off, chunk| {
+                let row0 = elem_off / c_out;
+                let rows = chunk.len() / c_out;
+                let mut r = 0usize;
+                // Four sample rows per pass share each panel read.
+                while r + 4 <= rows {
+                    let base = r * c_out;
+                    let (a01, a23) = chunk[base..base + 4 * c_out].split_at_mut(2 * c_out);
+                    let (o0, o1) = a01.split_at_mut(c_out);
+                    let (o2, o3) = a23.split_at_mut(c_out);
+                    let xb = (row0 + r) * m;
+                    for g in groups {
+                        let panel = &payload[g.off..g.off + g.rows * g.len];
+                        let a = |q: usize| &xs[xb + q * m + g.p0..xb + q * m + g.p0 + g.rows];
+                        span_axpy4(
+                            backend,
+                            [a(0), a(1), a(2), a(3)],
+                            panel,
+                            [
+                                &mut o0[..g.len],
+                                &mut o1[..g.len],
+                                &mut o2[..g.len],
+                                &mut o3[..g.len],
+                            ],
+                        );
+                    }
+                    r += 4;
+                }
+                while r < rows {
+                    let base = r * c_out;
+                    let orow = &mut chunk[base..base + c_out];
+                    let xb = (row0 + r) * m;
+                    for g in groups {
+                        span_axpy(
+                            backend,
+                            &xs[xb + g.p0..xb + g.p0 + g.rows],
+                            &payload[g.off..g.off + g.rows * g.len],
+                            &mut orow[..g.len],
+                        );
+                    }
+                    r += 1;
+                }
+            },
+        );
+        Ok(out)
+    }
+}
+
+/// `sparse.gemm.*` counters for one engine call.
+pub(crate) fn record_telemetry(
+    variant: &str,
+    backend: KernelBackend,
+    n: usize,
+    m: usize,
+    c_out: usize,
+    nnz: usize,
+) {
+    csp_telemetry::counter_add(names::SPARSE_GEMM_CALLS, variant, 1);
+    csp_telemetry::counter_add(names::SPARSE_GEMM_BACKEND, backend.name(), 1);
+    let macs = (n as u64) * nnz as u64;
+    let dense = (n as u64) * (m as u64) * (c_out as u64);
+    csp_telemetry::counter_add(names::SPARSE_GEMM_MACS, variant, macs);
+    csp_telemetry::counter_add(
+        names::SPARSE_GEMM_SKIPPED,
+        variant,
+        dense.saturating_sub(macs),
+    );
+}
+
+impl CspGemm for PreparedWeaved {
+    fn dims(&self) -> (usize, usize) {
+        (self.m, self.c_out)
+    }
+
+    fn gemm_xw(&self, x: &Tensor) -> Result<Tensor, TensorError> {
+        PreparedWeaved::gemm_xw(self, x)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "weaved f32 {}x{} (nnz {}, {:.1}% of dense)",
+            self.m,
+            self.c_out,
+            self.nnz(),
+            100.0 * self.nnz() as f32 / (self.m * self.c_out).max(1) as f32
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_pruning::{ChunkedLayout, CspMask};
+    use csp_tensor::matmul;
+
+    pub(crate) fn weaved_from_counts(
+        m: usize,
+        c_out: usize,
+        cs: usize,
+        counts: Vec<usize>,
+        seed: u64,
+    ) -> (Weaved, Tensor) {
+        let layout = ChunkedLayout::new(m, c_out, cs).unwrap();
+        let w = Tensor::from_fn(&[m, c_out], |i| ((i as f32) * 0.37 + seed as f32).sin());
+        let mask = CspMask::from_chunk_counts(layout, counts).unwrap();
+        let weaved = Weaved::compress(&w, &mask).unwrap();
+        (weaved, mask.apply(&w).unwrap())
+    }
+
+    #[test]
+    fn groups_cover_payload_in_row_order() {
+        let (wv, _) = weaved_from_counts(6, 8, 2, vec![4, 4, 2, 0, 1, 1], 0);
+        let (m, c_out, groups, nnz) = prepare_groups(&wv).unwrap();
+        assert_eq!((m, c_out, nnz), (6, 8, wv.payload.len()));
+        // Runs: rows 0-1 len 8, row 2 len 4, row 3 dropped (len 0),
+        // rows 4-5 len 2.
+        assert_eq!(groups.len(), 3);
+        assert_eq!((groups[0].p0, groups[0].rows, groups[0].len), (0, 2, 8));
+        assert_eq!((groups[1].p0, groups[1].rows, groups[1].len), (2, 1, 4));
+        assert_eq!((groups[2].p0, groups[2].rows, groups[2].len), (4, 2, 2));
+        assert_eq!(groups[2].off, 2 * 8 + 4);
+    }
+
+    #[test]
+    fn gemm_bit_identical_to_dense_on_decompressed() {
+        for backend in KernelBackend::supported_backends() {
+            if !backend.bit_identical_to_scalar() {
+                continue;
+            }
+            csp_tensor::with_backend(backend, || {
+                for (m, c_out, cs, counts, n) in [
+                    (6, 8, 2, vec![4, 4, 2, 0, 1, 1], 5),
+                    (1, 1, 1, vec![1], 1),
+                    (5, 7, 3, vec![3, 2, 0, 1, 3], 9),
+                    (16, 32, 4, vec![8; 16], 17),
+                ] {
+                    let (wv, dense) = weaved_from_counts(m, c_out, cs, counts, 3);
+                    let prep = PreparedWeaved::new(&wv).unwrap();
+                    let x = Tensor::from_fn(&[n, m], |i| {
+                        if i % 5 == 0 {
+                            0.0
+                        } else {
+                            ((i as f32) * 0.61).cos()
+                        }
+                    });
+                    let got = prep.gemm_xw(&x).unwrap();
+                    let want = matmul(&x, &dense).unwrap();
+                    assert_eq!(
+                        got.as_slice(),
+                        want.as_slice(),
+                        "backend {} shape {m}x{c_out}",
+                        backend.name()
+                    );
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn gemm_bit_identical_across_pool_widths() {
+        let (wv, dense) =
+            weaved_from_counts(12, 20, 4, vec![5, 5, 3, 3, 3, 2, 1, 0, 0, 4, 4, 4], 1);
+        let prep = PreparedWeaved::new(&wv).unwrap();
+        let x = Tensor::from_fn(&[37, 12], |i| ((i as f32) * 0.13).sin());
+        let want = matmul(&x, &dense).unwrap();
+        for threads in [1usize, 2, 4, 8] {
+            let got = csp_runtime::with_threads(threads, || prep.gemm_xw(&x).unwrap());
+            assert_eq!(got.as_slice(), want.as_slice(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn corrupted_layouts_are_typed_errors() {
+        let (wv, _) = weaved_from_counts(4, 6, 2, vec![3, 2, 1, 0], 0);
+        assert!(PreparedWeaved::new(&wv).is_ok());
+
+        let mut truncated = wv.clone();
+        truncated.payload.pop();
+        assert!(matches!(
+            PreparedWeaved::new(&truncated),
+            Err(TensorError::InvalidParameter { .. })
+        ));
+
+        let mut tampered = wv.clone();
+        tampered.chunk_counts[0] = 99;
+        assert!(matches!(
+            PreparedWeaved::new(&tampered),
+            Err(TensorError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_is_typed_error() {
+        let (wv, _) = weaved_from_counts(4, 6, 2, vec![3, 2, 1, 0], 0);
+        let prep = PreparedWeaved::new(&wv).unwrap();
+        let x = Tensor::zeros(&[2, 5]);
+        assert!(matches!(
+            prep.gemm_xw(&x),
+            Err(TensorError::IncompatibleShapes { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_batch_and_empty_rows() {
+        let (wv, dense) = weaved_from_counts(3, 4, 2, vec![0, 0, 0], 0);
+        let prep = PreparedWeaved::new(&wv).unwrap();
+        assert_eq!(prep.nnz(), 0);
+        let y = prep.gemm_xw(&Tensor::zeros(&[0, 3])).unwrap();
+        assert_eq!(y.dims(), &[0, 4]);
+        let y = prep.gemm_xw(&Tensor::ones(&[2, 3])).unwrap();
+        assert_eq!(y, matmul(&Tensor::ones(&[2, 3]), &dense).unwrap());
+    }
+}

@@ -77,6 +77,9 @@ pub mod names {
     /// on an in-flight execution — work that was *not* re-executed (per
     /// model).
     pub const SERVE_DEDUP_HITS: &str = "serve.dedup_hits";
+    /// Batches executed per execution backend (label = `dense` /
+    /// `weaved` / `weaved-int8`; engine-scoped).
+    pub const SERVE_EXECUTION_BATCHES: &str = "serve.execution.batches";
     /// Worker threads restarted by the engine supervisor (engine-scoped,
     /// empty label).
     pub const SERVE_WORKER_RESTARTS: &str = "serve.worker_restarts";
@@ -125,6 +128,20 @@ pub mod names {
     /// `scalar` / `sse2` / `avx2` / `avx2fma`). The label set doubles as
     /// the record of which backend the process selected.
     pub const TENSOR_GEMM_BACKEND: &str = "tensor.gemm.backend";
+
+    /// Weaved sparse GEMM calls (labelled by execution variant:
+    /// `weaved` / `weaved-int8`).
+    pub const SPARSE_GEMM_CALLS: &str = "sparse.gemm.calls";
+    /// Weaved sparse GEMM calls per kernel backend (labelled by backend
+    /// name), mirroring [`TENSOR_GEMM_BACKEND`] for the sparse engine.
+    pub const SPARSE_GEMM_BACKEND: &str = "sparse.gemm.backend";
+    /// Multiply-accumulates actually performed by the weaved early-stop
+    /// loops (labelled by execution variant).
+    pub const SPARSE_GEMM_MACS: &str = "sparse.gemm.macs";
+    /// Multiply-accumulates a dense GEMM of the same shape would have
+    /// performed but the prefix trip counts skipped (labelled by
+    /// execution variant) — the paper's early-stop savings, measured.
+    pub const SPARSE_GEMM_SKIPPED: &str = "sparse.gemm.skipped";
 }
 
 // ---------------------------------------------------------------------------

@@ -59,6 +59,7 @@ mod kernel;
 mod ops;
 mod pool;
 mod shape;
+mod spans;
 mod tensor;
 
 #[allow(unsafe_code)]
@@ -75,6 +76,7 @@ pub use ops::{
 };
 pub use pool::{avg_pool2d, avg_pool2d_grad, max_pool2d, max_pool2d_grad, Pool2dSpec};
 pub use shape::Shape;
+pub use spans::{span_axpy, span_axpy4};
 pub use tensor::Tensor;
 
 /// Convenient result alias for fallible tensor operations.

@@ -1,0 +1,152 @@
+//! Public span-kernel entry points for sparse execution engines.
+//!
+//! The weaved sparse GEMM (`csp-sparse`) turns per-row prefix lengths into
+//! inner-loop trip counts: each surviving prefix of a compressed weight row
+//! is a contiguous *span*, and a run of consecutive rows with equal prefix
+//! length forms a row-major panel exactly shaped like the packed panels of
+//! the dense blocked GEMM. These wrappers expose the crate's backend-
+//! dispatched strip kernels ([`crate::simd`]) for that use without opening
+//! the `unsafe` module itself: bounds are re-checked here with hard
+//! assertions, so the vector paths' pointer arithmetic stays justified even
+//! for out-of-crate callers.
+//!
+//! Bit-identity contract: for every backend except
+//! [`KernelBackend::Avx2Fma`], both functions perform, per output element,
+//! the identical ascending-`p` sequence of IEEE-754 single-rounded
+//! `mul`-then-`add` operations as the scalar reference, skipping
+//! exact-zero `arow[p]` values — the same contract the dense GEMM relies
+//! on (see DESIGN.md §13).
+
+use crate::backend::KernelBackend;
+use crate::simd;
+
+/// `orow[j] += Σₚ arow[p] · panel[p·jl + j]` for `jl = orow.len()`,
+/// accumulating ascending `p` per element and skipping exact-zero
+/// `arow[p]`. Dispatches on `backend`; every non-FMA backend returns
+/// bit-identical results to [`KernelBackend::Scalar`].
+///
+/// `panel` is row-major `arow.len() × orow.len()`.
+///
+/// # Panics
+///
+/// Panics if `panel.len() != arow.len() * orow.len()` — the invariant the
+/// vectorized paths' pointer arithmetic relies on.
+pub fn span_axpy(backend: KernelBackend, arow: &[f32], panel: &[f32], orow: &mut [f32]) {
+    assert_eq!(
+        panel.len(),
+        arow.len() * orow.len(),
+        "span_axpy: panel must be arow.len() x orow.len()"
+    );
+    simd::panel_axpy(backend, arow, panel, orow);
+}
+
+/// Four-row register-blocked variant of [`span_axpy`]: updates four output
+/// rows against the same panel in one pass, loading each panel row from
+/// cache once per four rows. Each row keeps its own accumulators, its own
+/// exact-zero skip and its own ascending-`p` order, so per output element
+/// the rounded-operation stream is byte-for-byte the [`span_axpy`] one.
+///
+/// # Panics
+///
+/// Panics if the four `arows` (or the four `orows`) have unequal lengths,
+/// or if `panel.len() != arows[0].len() * orows[0].len()`.
+pub fn span_axpy4(
+    backend: KernelBackend,
+    arows: [&[f32]; 4],
+    panel: &[f32],
+    orows: [&mut [f32]; 4],
+) {
+    assert!(
+        arows.iter().all(|a| a.len() == arows[0].len()),
+        "span_axpy4: arows must have equal lengths"
+    );
+    assert!(
+        orows.iter().all(|o| o.len() == orows[0].len()),
+        "span_axpy4: orows must have equal lengths"
+    );
+    assert_eq!(
+        panel.len(),
+        arows[0].len() * orows[0].len(),
+        "span_axpy4: panel must be arow.len() x orow.len()"
+    );
+    simd::panel_axpy4(backend, arows, panel, orows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::KernelBackend;
+
+    fn reference(arow: &[f32], panel: &[f32], orow: &mut [f32]) {
+        let jl = orow.len();
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..jl {
+                orow[j] += av * panel[p * jl + j];
+            }
+        }
+    }
+
+    #[test]
+    fn span_axpy_matches_reference_bitwise() {
+        for backend in crate::backend::KernelBackend::supported_backends() {
+            if !backend.bit_identical_to_scalar() {
+                continue;
+            }
+            for (k, jl) in [(1usize, 1usize), (3, 7), (8, 16), (5, 33)] {
+                let arow: Vec<f32> = (0..k)
+                    .map(|i| {
+                        if i % 3 == 0 {
+                            0.0
+                        } else {
+                            (i as f32 * 0.7).sin()
+                        }
+                    })
+                    .collect();
+                let panel: Vec<f32> = (0..k * jl).map(|i| (i as f32 * 0.31).cos()).collect();
+                let mut got = vec![0.1f32; jl];
+                let mut want = vec![0.1f32; jl];
+                span_axpy(backend, &arow, &panel, &mut got);
+                reference(&arow, &panel, &mut want);
+                assert_eq!(got, want, "backend {} k={k} jl={jl}", backend.name());
+            }
+        }
+    }
+
+    #[test]
+    fn span_axpy4_matches_single_row_bitwise() {
+        for backend in crate::backend::KernelBackend::supported_backends() {
+            let (k, jl) = (6usize, 19usize);
+            let rows: Vec<Vec<f32>> = (0..4)
+                .map(|r| (0..k).map(|i| ((r * k + i) as f32 * 0.5).sin()).collect())
+                .collect();
+            let panel: Vec<f32> = (0..k * jl).map(|i| (i as f32 * 0.17).cos()).collect();
+            let mut quad = vec![vec![0.0f32; jl]; 4];
+            {
+                let [a, b, c, d] = &mut quad[..] else {
+                    unreachable!()
+                };
+                span_axpy4(
+                    backend,
+                    [&rows[0], &rows[1], &rows[2], &rows[3]],
+                    &panel,
+                    [a, b, c, d],
+                );
+            }
+            for r in 0..4 {
+                let mut single = vec![0.0f32; jl];
+                span_axpy(backend, &rows[r], &panel, &mut single);
+                assert_eq!(quad[r], single, "backend {} row {r}", backend.name());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "span_axpy: panel")]
+    fn span_axpy_rejects_mis_sized_panel() {
+        let mut o = [0.0f32; 4];
+        span_axpy(KernelBackend::Scalar, &[1.0, 2.0], &[0.0; 7], &mut o);
+    }
+}

@@ -10,7 +10,7 @@
 
 use csp_runtime::with_threads;
 use csp_serve::testutil::{prune_to_artifact, sample_input};
-use csp_serve::{BatchPolicy, Engine, ModelRegistry, ModelSpec};
+use csp_serve::{BatchPolicy, Engine, Execution, ModelRegistry, ModelSpec, Server, TcpClient};
 use csp_tensor::Tensor;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -207,4 +207,88 @@ fn hot_swap_never_mixes_versions() {
         "the swapped-in version must serve the tail of the stream"
     );
     engine.shutdown().expect("shutdown");
+}
+
+/// Sparse serving end-to-end: a model loaded with `execution = weaved`
+/// serves over the real TCP protocol, its replies are **bitwise** the
+/// dense serial reference (the engines' bit-identity contract), batched
+/// submission ≡ serial submission, and the execution backend is visible
+/// in the wire telemetry snapshot. The int8 variant must be
+/// deterministic (batched ≡ its own serial twin), though not bit-equal
+/// to dense.
+#[test]
+fn weaved_execution_serves_bit_identical_over_tcp() {
+    let dense_spec = ModelSpec::default();
+    let artifact = prune_to_artifact(dense_spec, 0.8);
+    let n = 5usize;
+    let samples: Vec<Tensor> = (0..n)
+        .map(|i| request_sample(dense_spec, 300 + i as u64))
+        .collect();
+    let dense_ref = serial_reference(dense_spec, &artifact, &samples);
+
+    for execution in [Execution::Weaved, Execution::WeavedInt8] {
+        let spec = ModelSpec {
+            execution,
+            ..dense_spec
+        };
+        // Serial twin under the *same* execution backend: the
+        // determinism bar every backend must clear.
+        let own_ref = serial_reference(spec, &artifact, &samples);
+        if execution == Execution::Weaved {
+            // …and the f32 weaved path must additionally be bitwise the
+            // dense path.
+            assert_eq!(own_ref, dense_ref, "weaved serial != dense serial");
+        }
+
+        let registry = Arc::new(ModelRegistry::new());
+        registry
+            .load_from_bytes("m", spec, &artifact)
+            .expect("load sparse model");
+        let engine = Engine::start(
+            registry,
+            BatchPolicy {
+                max_batch: 8,
+                max_wait: Duration::from_millis(10),
+                queue_cap: 64,
+            },
+            2,
+        )
+        .expect("engine");
+        let server = Server::serve(engine.client(), "127.0.0.1:0").expect("server");
+        let addr = server.addr();
+
+        // Concurrent TCP clients so the batcher actually coalesces.
+        let handles: Vec<_> = samples
+            .iter()
+            .cloned()
+            .map(|s| {
+                std::thread::spawn(move || {
+                    let mut tcp = TcpClient::connect(&addr).expect("connect");
+                    tcp.infer("m", &s, None).expect("tcp infer")
+                })
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let reply = h.join().expect("client thread");
+            assert_eq!(
+                bits(&reply.output),
+                own_ref[i],
+                "{} reply {} differs from its serial twin",
+                execution,
+                i
+            );
+        }
+
+        // The wire telemetry op reports which backend answered.
+        let mut tcp = TcpClient::connect(&addr).expect("connect");
+        let snap = tcp.telemetry().expect("telemetry");
+        assert!(
+            snap.counter("serve.execution.batches", execution.name()) > 0,
+            "telemetry missing serve.execution.batches[{execution}]"
+        );
+        server
+            .shutdown(Duration::from_millis(500))
+            .expect("server shutdown");
+        engine.shutdown().expect("engine shutdown");
+    }
 }
