@@ -107,8 +107,27 @@ pub(crate) struct Shared {
 
 impl Shared {
     /// Admit one request, recording admission/shed stats.
+    ///
+    /// Expiry-aware admission: a request whose deadline has already
+    /// passed is answered with a typed `Expired` *here*, before it ever
+    /// occupies a queue slot — the earliest of the expiry checks (the
+    /// batcher re-checks at batch formation). It still counts as
+    /// admitted, so `admitted == completed + failed + expired` holds at
+    /// every shed point.
     pub(crate) fn submit(&self, p: Pending) -> CspResult<()> {
         let model = p.model.clone();
+        if let Some(d) = p.deadline {
+            if d <= Instant::now() {
+                self.stats.record_admitted(&model);
+                self.stats.record_expired(&model);
+                return Err(CspError::Expired {
+                    what: format!(
+                        "request arrived {:.1} ms past its deadline",
+                        p.enqueued.elapsed().as_secs_f64() * 1e3
+                    ),
+                });
+            }
+        }
         match self.queue.submit(p) {
             Ok(()) => {
                 self.stats.record_admitted(&model);
@@ -387,6 +406,75 @@ enum Route {
     Execute,
 }
 
+/// A reply that may not have arrived yet: the handle returned by
+/// [`Client::submit_nowait`].
+///
+/// The nonblocking front-end polls these with
+/// [`try_take`](PendingReply::try_take) from its event loop; blocking
+/// callers use [`wait`](PendingReply::wait). Either way the reply is
+/// yielded exactly once.
+#[derive(Debug)]
+pub struct PendingReply {
+    inner: PendingInner,
+}
+
+#[derive(Debug)]
+enum PendingInner {
+    /// The reply was available at submission time (dedup cache hit).
+    Now(Option<CspResult<InferReply>>),
+    /// The reply arrives on this channel when a worker (or a piggybacked
+    /// execution) delivers it.
+    Rx(Receiver<CspResult<InferReply>>),
+}
+
+impl PendingReply {
+    fn now(result: CspResult<InferReply>) -> Self {
+        PendingReply {
+            inner: PendingInner::Now(Some(result)),
+        }
+    }
+
+    fn rx(rx: Receiver<CspResult<InferReply>>) -> Self {
+        PendingReply {
+            inner: PendingInner::Rx(rx),
+        }
+    }
+
+    /// Block until the reply arrives.
+    ///
+    /// # Errors
+    ///
+    /// The engine's typed per-request error, or [`CspError::Overloaded`]
+    /// if the engine terminated before responding.
+    pub fn wait(self) -> CspResult<InferReply> {
+        match self.inner {
+            PendingInner::Now(r) => r.expect("reply already taken"),
+            PendingInner::Rx(rx) => rx.recv().map_err(|_| CspError::Overloaded {
+                what: "engine terminated before responding".to_string(),
+            })?,
+        }
+    }
+
+    /// Nonblocking poll: `Some(result)` once the reply is available (at
+    /// most once — the reply is moved out), `None` while still in flight.
+    /// An engine that terminated before responding yields a typed
+    /// [`CspError::Overloaded`].
+    pub fn try_take(&mut self) -> Option<CspResult<InferReply>> {
+        match &mut self.inner {
+            PendingInner::Now(r) => r.take(),
+            PendingInner::Rx(rx) => match rx.try_recv() {
+                Ok(r) => Some(r),
+                Err(std::sync::mpsc::TryRecvError::Empty) => None,
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                    Some(Err(CspError::Overloaded {
+                        what: "engine terminated before responding".to_string(),
+                    }))
+                }
+            },
+        }
+    }
+}
+
 impl Client {
     /// Run one inference. `budget` (if given) is the end-to-end deadline:
     /// a request still queued when it expires is shed with
@@ -427,6 +515,29 @@ impl Client {
         token: u64,
         req_id: u64,
     ) -> CspResult<InferReply> {
+        self.submit_nowait(model, input, budget, token, req_id)?
+            .wait()
+    }
+
+    /// Submit a request without blocking for the reply: validation, dedup
+    /// routing, and admission happen synchronously (their typed errors
+    /// return immediately), and the returned [`PendingReply`] is polled
+    /// or awaited for the outcome. This is the submission path of the
+    /// nonblocking sharded front-end, whose event loop must never park on
+    /// an individual request.
+    ///
+    /// # Errors
+    ///
+    /// As [`infer`](Client::infer), for errors detectable at submission
+    /// (unknown model, shape mismatch, shed, already-expired deadline).
+    pub fn submit_nowait(
+        &self,
+        model: &str,
+        input: &Tensor,
+        budget: Option<Duration>,
+        token: u64,
+        req_id: u64,
+    ) -> CspResult<PendingReply> {
         let loaded = self.shared.registry.get(model).ok_or(CspError::Config {
             what: format!("unknown model {model:?}"),
         })?;
@@ -458,13 +569,11 @@ impl Client {
             match route {
                 Route::Cached(reply) => {
                     self.shared.stats.record_dedup(model);
-                    return Ok(reply);
+                    return Ok(PendingReply::now(Ok(reply)));
                 }
                 Route::Wait(rx) => {
                     self.shared.stats.record_dedup(model);
-                    return rx.recv().map_err(|_| CspError::Overloaded {
-                        what: "engine terminated before responding".to_string(),
-                    })?;
+                    return Ok(PendingReply::rx(rx));
                 }
                 Route::Execute => {}
             }
@@ -497,9 +606,7 @@ impl Client {
             }
             return Err(e);
         }
-        rx.recv().map_err(|_| CspError::Overloaded {
-            what: "engine terminated before responding".to_string(),
-        })?
+        Ok(PendingReply::rx(rx))
     }
 
     /// The engine's current health verdict (served as the TCP `Health`
@@ -527,6 +634,15 @@ impl Client {
     /// this when its chaos session fires).
     pub(crate) fn record_chaos(&self, name: &str) {
         self.shared.stats.record_chaos(name);
+    }
+
+    /// This engine's serving counters alone, **without** the process-global
+    /// registry merged in. The sharded tier folds one of these per shard
+    /// and merges the global registry exactly once — merging
+    /// [`telemetry_snapshot`](Client::telemetry_snapshot)s instead would
+    /// multiply every global counter by the shard count.
+    pub(crate) fn stats_telemetry(&self) -> csp_telemetry::Snapshot {
+        self.shared.stats.telemetry_snapshot()
     }
 }
 

@@ -13,6 +13,13 @@
 //!   byte-identical to `N` serial single-request calls;
 //! * [`protocol`] + [`server`] speak a length-prefixed binary protocol
 //!   over `std::net::TcpListener`, reusing `csp_io::wire`;
+//! * [`shard`] scales the engine out: N engine shards behind a
+//!   consistent-hash router on `(model, token)`, with rolling
+//!   shard-by-shard hot-swap and shard-count-invariant merged stats;
+//! * [`net`] is the nonblocking front-end — acceptor/IO shards
+//!   hand-polling nonblocking sockets, so thousands of connections share
+//!   a few event-loop threads instead of a thread each (v1/v2 clients
+//!   work unchanged);
 //! * [`stats`] keeps per-model rolling QPS, latency percentiles, and the
 //!   executed batch-size histogram;
 //! * [`retry`] is the resilient client — deterministic seeded backoff,
@@ -46,19 +53,23 @@
 pub mod batch;
 pub mod chaos;
 pub mod engine;
+pub mod net;
 pub mod protocol;
 pub mod registry;
 pub mod retry;
 pub mod server;
+pub mod shard;
 pub mod stats;
 pub mod testutil;
 
 pub use batch::{BatchPolicy, InferReply};
 pub use chaos::ChaosSession;
 pub use csp_sparse::Execution;
-pub use engine::{Client, Engine};
+pub use engine::{Client, Engine, PendingReply};
+pub use net::ShardedServer;
 pub use protocol::{HealthReport, HealthState};
 pub use registry::{LoadedModel, ModelRegistry, ModelSpec};
 pub use retry::{ResilientClient, RetryPolicy};
 pub use server::{Server, TcpClient};
-pub use stats::{Stats, StatsSnapshot};
+pub use shard::{RollingSwap, ShardClient, ShardPolicy, ShardedEngine};
+pub use stats::{histogram_quantile, Stats, StatsSnapshot};

@@ -90,7 +90,83 @@ pub struct StatsSnapshot {
     pub qps: f64,
 }
 
+/// The `q`-quantile of a bucketed histogram: the smallest bucket upper
+/// bound whose cumulative count covers `ceil(q · total)` samples (the
+/// overflow bucket reports the last finite bound, saturated).
+///
+/// Unlike the exact ring-based percentiles, this depends only on the
+/// bucket counts — and [`Histogram::merge`] is a commutative element-wise
+/// sum — so the quantile of a merge equals the quantile of the union of
+/// samples, however they were sharded. That property is what makes the
+/// sharded engine's reported p50/p99 **shard-count-invariant**
+/// (`tests` pin merged ≡ single-shard).
+pub fn histogram_quantile(h: &Histogram, q: f64) -> u64 {
+    let total = h.total();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let bounds = h.bounds();
+    let mut seen = 0u64;
+    for (i, &c) in h.counts().iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            // counts[i] covers samples ≤ bounds[i]; the final slot is the
+            // overflow bucket (> last bound), reported saturated at the
+            // last finite bound.
+            return match bounds.get(i) {
+                Some(&b) => b,
+                None => bounds.last().copied().unwrap_or(0),
+            };
+        }
+    }
+    bounds.last().copied().unwrap_or(0)
+}
+
 impl StatsSnapshot {
+    /// Rebuild a per-model snapshot from a (possibly merged) telemetry
+    /// [`Snapshot`] — the aggregation path of the sharded engine.
+    ///
+    /// Counters come straight from the merged counters; latency
+    /// percentiles come from the merged `serve.latency_us` histogram via
+    /// [`histogram_quantile`], so they are invariant to how the load was
+    /// split across shards (bucket resolution, not exact ranks). `qps` is
+    /// not derivable from a snapshot (no wall clock) and is left 0 for the
+    /// caller to fill.
+    pub fn from_telemetry(reg: &Snapshot, model: &str, max_batch: usize) -> StatsSnapshot {
+        let max_batch = max_batch.max(1);
+        let mut batch_hist = vec![0u64; max_batch + 1];
+        if let Some(h) = reg.histogram(metric::BATCH_SIZE, model) {
+            for (b, &c) in h.counts().iter().enumerate() {
+                batch_hist[b.min(max_batch)] += c;
+            }
+        }
+        let (p50_us, p95_us, p99_us, max_us) = match reg.histogram(metric::LATENCY_US, model) {
+            Some(h) => (
+                histogram_quantile(h, 0.50),
+                histogram_quantile(h, 0.95),
+                histogram_quantile(h, 0.99),
+                histogram_quantile(h, 1.0),
+            ),
+            None => (0, 0, 0, 0),
+        };
+        StatsSnapshot {
+            model: model.to_string(),
+            admitted: reg.counter(metric::ADMITTED, model),
+            completed: reg.counter(metric::COMPLETED, model),
+            failed: reg.counter(metric::FAILED, model),
+            shed: reg.counter(metric::SHED, model),
+            expired: reg.counter(metric::EXPIRED, model),
+            batches: reg.counter(metric::BATCHES, model),
+            batch_hist,
+            p50_us,
+            p95_us,
+            p99_us,
+            max_us,
+            qps: 0.0,
+        }
+    }
+
     /// Mean executed batch size.
     pub fn mean_batch(&self) -> f64 {
         let total: u64 = self
@@ -401,6 +477,76 @@ mod tests {
         let h = snap.histogram("serve.batch_size", "m").unwrap();
         assert_eq!(h.total(), 1);
         assert!(snap.histogram("serve.latency_us", "m").unwrap().total() == 1);
+    }
+
+    #[test]
+    fn merged_shard_histograms_pin_single_shard_percentiles() {
+        // Satellite acceptance: the same 1000-sample workload recorded
+        // into one collector vs. round-robined across four must report
+        // identical histogram-derived percentiles after the commutative
+        // merge — the sharded engine's aggregation path.
+        let single = Stats::new(8);
+        let shards: Vec<Stats> = (0..4).map(|_| Stats::new(8)).collect();
+        for i in 0..1000u64 {
+            let v = (i * 617) % 1000 + 1; // scrambled 1..=1000
+            single.record_completed("m", v);
+            shards[(i % 4) as usize].record_completed("m", v);
+        }
+        let merged = shards
+            .iter()
+            .skip(1)
+            .fold(shards[0].telemetry_snapshot(), |acc, s| {
+                acc.merged(&s.telemetry_snapshot())
+            });
+        let from_merged = StatsSnapshot::from_telemetry(&merged, "m", 8);
+        let from_single = StatsSnapshot::from_telemetry(&single.telemetry_snapshot(), "m", 8);
+        assert_eq!(from_merged, from_single, "merged ≡ single-shard");
+        // Pin the bucketed values for 1..=1000 under exponential bounds
+        // 1,2,4,…: rank 500 is covered at bound 512; ranks 950/990 and
+        // the max land in the 1024 bucket.
+        assert_eq!(from_single.completed, 1000);
+        assert_eq!(from_single.p50_us, 512);
+        assert_eq!(from_single.p95_us, 1024);
+        assert_eq!(from_single.p99_us, 1024);
+        assert_eq!(from_single.max_us, 1024);
+    }
+
+    #[test]
+    fn histogram_percentiles_are_shard_count_invariant() {
+        // The same workload split over 1 / 2 / 4 / 8 collectors reports
+        // the same p50/p99 after merging — shard count never shows.
+        let mut reference: Option<StatsSnapshot> = None;
+        for shards in [1usize, 2, 4, 8] {
+            let parts: Vec<Stats> = (0..shards).map(|_| Stats::new(8)).collect();
+            for i in 0..500u64 {
+                parts[(i % shards as u64) as usize].record_completed("m", i * 13 + 1);
+            }
+            let merged = parts
+                .iter()
+                .skip(1)
+                .fold(parts[0].telemetry_snapshot(), |acc, s| {
+                    acc.merged(&s.telemetry_snapshot())
+                });
+            let snap = StatsSnapshot::from_telemetry(&merged, "m", 8);
+            match &reference {
+                None => reference = Some(snap),
+                Some(want) => assert_eq!(&snap, want, "{shards} shards drifted"),
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantile_edges() {
+        let mut h = Histogram::new(&[10, 20, 40]);
+        assert_eq!(histogram_quantile(&h, 0.5), 0, "empty histogram");
+        h.record(5);
+        h.record(15);
+        h.record(35);
+        assert_eq!(histogram_quantile(&h, 0.0), 10, "rank clamps to 1");
+        assert_eq!(histogram_quantile(&h, 0.5), 20);
+        assert_eq!(histogram_quantile(&h, 1.0), 40);
+        h.record(1000); // overflow bucket saturates at the last bound
+        assert_eq!(histogram_quantile(&h, 1.0), 40);
     }
 
     #[test]

@@ -96,6 +96,21 @@ pub mod names {
     pub const SERVE_CHAOS_CORRUPTIONS: &str = "serve.chaos.corruptions";
     /// Worker stalls injected by chaos (engine-scoped, empty label).
     pub const SERVE_CHAOS_STALLS: &str = "serve.chaos.stalls";
+    /// Requests routed to an engine shard by the consistent-hash router
+    /// (label = `s<shard>`; sharded-engine registry).
+    pub const SERVE_SHARD_REQUESTS: &str = "serve.shard.requests";
+    /// Connections assigned to an IO shard's event loop (label =
+    /// `io<shard>`; sharded-engine registry).
+    pub const SERVE_SHARD_CONNECTIONS: &str = "serve.shard.connections";
+    /// Wire frames parsed by an IO shard's event loop (label =
+    /// `io<shard>`; sharded-engine registry).
+    pub const SERVE_SHARD_FRAMES: &str = "serve.shard.frames";
+    /// Undecodable / oversized frames answered with a typed error and a
+    /// closed connection (label = `io<shard>`; sharded-engine registry).
+    pub const SERVE_SHARD_PROTOCOL_ERRORS: &str = "serve.shard.protocol_errors";
+    /// Model versions published to an engine shard by a rolling hot-swap
+    /// (label = `s<shard>`; sharded-engine registry).
+    pub const SERVE_SHARD_SWAPS: &str = "serve.shard.swaps";
     /// Transport-level retries performed by the resilient client (per
     /// model; global registry).
     pub const SERVE_CLIENT_RETRIES: &str = "serve.client.retries";

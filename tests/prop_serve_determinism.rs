@@ -10,7 +10,10 @@
 
 use csp_runtime::with_threads;
 use csp_serve::testutil::{prune_to_artifact, sample_input};
-use csp_serve::{BatchPolicy, Engine, Execution, ModelRegistry, ModelSpec, Server, TcpClient};
+use csp_serve::{
+    BatchPolicy, Engine, Execution, ModelRegistry, ModelSpec, Server, ShardPolicy, ShardedEngine,
+    TcpClient,
+};
 use csp_tensor::Tensor;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -207,6 +210,82 @@ fn hot_swap_never_mixes_versions() {
         "the swapped-in version must serve the tail of the stream"
     );
     engine.shutdown().expect("shutdown");
+}
+
+/// Cross-shard determinism: the **same** requests submitted directly to
+/// every shard of a 4-shard engine — at worker-pool widths 1/2/4/8 — come
+/// back bit-identical for each execution mode. Shard identity and pool
+/// width never show in the bits; the f32 weaved path additionally matches
+/// the dense path exactly. The consistent-hash router is checked on the
+/// same lineup: a keyed request routed through the ring returns the same
+/// bits as every per-shard submission.
+#[test]
+fn every_shard_replies_bit_identical_at_all_pool_widths() {
+    let dense_spec = ModelSpec::default();
+    let artifact = prune_to_artifact(dense_spec, 0.8);
+    let n = 4usize;
+    let samples: Vec<Tensor> = (0..n)
+        .map(|i| request_sample(dense_spec, 500 + i as u64))
+        .collect();
+    let dense_ref = serial_reference(dense_spec, &artifact, &samples);
+
+    for execution in [Execution::Dense, Execution::Weaved, Execution::WeavedInt8] {
+        let spec = ModelSpec {
+            execution,
+            ..dense_spec
+        };
+        // The bar every (shard, pool-width) pair must clear: the serial
+        // twin under the same execution backend.
+        let own_ref = serial_reference(spec, &artifact, &samples);
+        if execution != Execution::WeavedInt8 {
+            assert_eq!(own_ref, dense_ref, "{execution} serial != dense serial");
+        }
+
+        for workers in POOL_SIZES {
+            let shards = 4usize;
+            let sharded = ShardedEngine::start(ShardPolicy {
+                shards,
+                workers,
+                batch: BatchPolicy {
+                    max_batch: 4,
+                    max_wait: Duration::from_millis(1),
+                    queue_cap: 64,
+                },
+                replicas: 16,
+            })
+            .expect("engine");
+            sharded.deploy("m", spec, &artifact).expect("deploy");
+
+            // Direct per-shard submission: bypass the router so every
+            // shard provably answers every sample itself.
+            for shard in 0..shards {
+                let c = sharded.shard_client(shard);
+                for (i, s) in samples.iter().enumerate() {
+                    let reply = c.infer("m", s, None).expect("shard infer");
+                    assert_eq!(
+                        bits(&reply.output),
+                        own_ref[i],
+                        "{execution} sample {i} on shard {shard} at {workers} workers \
+                         differs from its serial twin"
+                    );
+                }
+            }
+            // And through the ring: a keyed retry-pinned request lands on
+            // whichever shard the hash picks — same bits regardless.
+            let router = sharded.client();
+            for (i, s) in samples.iter().enumerate() {
+                let reply = router
+                    .infer_keyed("m", s, None, 7000 + i as u64, i as u64)
+                    .expect("routed infer");
+                assert_eq!(
+                    bits(&reply.output),
+                    own_ref[i],
+                    "{execution} routed sample {i} at {workers} workers differs"
+                );
+            }
+            sharded.shutdown().expect("shutdown");
+        }
+    }
 }
 
 /// Sparse serving end-to-end: a model loaded with `execution = weaved`
